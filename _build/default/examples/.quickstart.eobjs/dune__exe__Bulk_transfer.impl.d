@@ -1,0 +1,1 @@
+examples/bulk_transfer.ml: Demux Format Hashing List Numerics Sim

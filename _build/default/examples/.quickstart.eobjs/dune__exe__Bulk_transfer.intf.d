@@ -1,0 +1,1 @@
+examples/bulk_transfer.mli:

@@ -1,0 +1,1 @@
+examples/mixed_traffic.ml: Array Demux Format Hashing List Printf Sim Sys

@@ -1,0 +1,1 @@
+examples/oltp_server.ml: Analysis Array Demux Format Hashing Sim Sys

@@ -1,0 +1,1 @@
+examples/oltp_server.mli:

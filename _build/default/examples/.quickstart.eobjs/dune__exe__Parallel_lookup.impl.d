@@ -1,0 +1,1 @@
+examples/parallel_lookup.ml: Array Domain Format List Parallel Printf String Sys

@@ -1,0 +1,1 @@
+examples/parallel_lookup.mli:

@@ -1,0 +1,1 @@
+examples/polling_worstcase.ml: Array Demux Format Hashing List Sim Sys

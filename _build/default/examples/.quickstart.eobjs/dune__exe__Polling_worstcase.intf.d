@@ -1,0 +1,1 @@
+examples/polling_worstcase.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Demux Format Hashing List Packet Printf String

@@ -1,0 +1,1 @@
+examples/trace_demux.ml: Array Demux Format Fun Hashing Int32 List Numerics Packet Printf Sys Tcpcore

@@ -1,0 +1,1 @@
+examples/trace_demux.mli:

@@ -1,0 +1,37 @@
+(* The other side of the coin: bulk-data transfers form packet trains
+   (Jain & Routhier), and there the BSD one-entry cache is excellent —
+   which is exactly why it was adopted.  The paper's point is not that
+   BSD is bad, but that OLTP traffic has no trains.
+
+   This example delivers geometric trains (mean 16 segments) over 64
+   connections and shows every algorithm's hit rate and cost, then
+   re-runs the same shape with train length 1 (pure OLTP-like
+   interleaving) to show the cache collapsing.
+
+   Run with: dune exec examples/bulk_transfer.exe *)
+
+let run_with ~label ~mean_train_length =
+  let config =
+    { (Sim.Trains_workload.default_config ~connections:64 ~trains:5000 ()) with
+      Sim.Trains_workload.train_length =
+        (if mean_train_length > 1.0 then
+           Numerics.Distribution.geometric ~p:(1.0 /. mean_train_length)
+         else Numerics.Distribution.deterministic 0.0) }
+  in
+  let specs =
+    Demux.Registry.
+      [ Bsd; Mtf; Sr_cache;
+        Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative } ]
+  in
+  let reports = List.map (Sim.Trains_workload.run config) specs in
+  Format.printf "== %s ==@.%a@." label Sim.Report.pp_table reports
+
+let () =
+  run_with ~label:"packet trains, mean length 16 (bulk transfer)"
+    ~mean_train_length:16.0;
+  run_with ~label:"train length 1 (no locality at all)" ~mean_train_length:1.0;
+  print_endline
+    "With real trains the BSD cache hits ~94% of packets and all the\n\
+     list algorithms look fine; with singleton trains the cache hit\n\
+     rate collapses toward 1/connections and costs approach the mean\n\
+     scan.  Hashing wins in both regimes."

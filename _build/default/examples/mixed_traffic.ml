@@ -1,0 +1,37 @@
+(* The abstract's full claim, live: "an order of magnitude better for
+   OLTP traffic than the one-PCB cache approach while still
+   maintaining good performance for packet-train traffic."
+
+   One server carries a TPC/A terminal population AND a handful of
+   bulk transfers; each lookup algorithm serves both traffic classes
+   through the same PCB table, and the two classes are reported
+   separately.
+
+   Run with: dune exec examples/mixed_traffic.exe -- [oltp_users] [bulk_streams] *)
+
+let () =
+  let oltp_users =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1000
+  in
+  let bulk_streams =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
+  in
+  let config = Sim.Mixed_workload.default_config ~oltp_users ~bulk_streams () in
+  Printf.printf
+    "%d OLTP terminals (%d txn/s) + %d bulk streams (%.0f segments/s each)\n\n"
+    oltp_users (oltp_users / 10) bulk_streams
+    config.Sim.Mixed_workload.bulk_rate;
+  let results =
+    List.map
+      (Sim.Mixed_workload.run config)
+      Demux.Registry.
+        [ Bsd; Mtf; Sr_cache;
+          Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative };
+          Splay ]
+  in
+  Format.printf "%a@." Sim.Mixed_workload.pp_results results;
+  print_endline
+    "Watch the sr-cache row: its OLTP cost is WORSE here than under\n\
+     pure OLTP, because the bulk stream keeps evicting its two cache\n\
+     slots.  Cache-based schemes trade one traffic class against the\n\
+     other; hashed chains (and the splay tree) serve both."

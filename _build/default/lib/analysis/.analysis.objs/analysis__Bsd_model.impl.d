@@ -1,0 +1,1 @@
+lib/analysis/bsd_model.ml: Float Tpca_params

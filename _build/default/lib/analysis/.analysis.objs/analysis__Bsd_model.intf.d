@@ -1,0 +1,1 @@
+lib/analysis/bsd_model.mli: Tpca_params

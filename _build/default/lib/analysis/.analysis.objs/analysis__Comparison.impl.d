@@ -1,0 +1,1 @@
+lib/analysis/comparison.ml: Array Bsd_model List Mtf_model Printf Sequent_model Srcache_model Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/hashed_mtf_model.ml: Float Mtf_model Sequent_model Tpca_params

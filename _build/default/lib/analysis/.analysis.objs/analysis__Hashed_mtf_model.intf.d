@@ -1,0 +1,1 @@
+lib/analysis/hashed_mtf_model.mli: Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/lru_model.ml: Float Numerics Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/lru_model.mli: Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/mtf_model.ml: Float Numerics Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/mtf_model.mli: Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Bsd_model Float List Mtf_model Sequent_model Srcache_model Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.mli: Tpca_params

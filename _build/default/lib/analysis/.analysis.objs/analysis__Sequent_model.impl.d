@@ -1,0 +1,1 @@
+lib/analysis/sequent_model.ml: Float Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/sequent_model.mli: Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/srcache_model.ml: Float Numerics Tpca_params

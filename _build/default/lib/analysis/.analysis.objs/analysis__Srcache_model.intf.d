@@ -1,0 +1,1 @@
+lib/analysis/srcache_model.mli: Tpca_params

@@ -1,0 +1,1 @@
+lib/analysis/tpca_params.ml: Format

@@ -1,0 +1,14 @@
+let hit_rate (p : Tpca_params.t) =
+  if p.users = 0 then Float.nan else 1.0 /. float_of_int p.users
+
+let cost (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  if p.users = 0 then 0.0
+  else
+    (* Equation 1: 1 for the cache probe, plus (N+1)/2 scanned on the
+       (N-1)/N chance of a miss; simplifies to 1 + (N^2 - 1) / 2N. *)
+    1.0 +. (((n *. n) -. 1.0) /. (2.0 *. n))
+
+let train_probability (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  Float.exp (-2.0 *. p.rate *. p.response_time *. (n -. 1.0))

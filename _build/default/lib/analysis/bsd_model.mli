@@ -1,0 +1,23 @@
+(** Analytic model of the BSD algorithm (paper Section 3.1).
+
+    One list, one single-entry cache.  Under TPC/A the cache hit rate
+    is [1/N] — almost useless — so nearly every packet pays the mean
+    linear scan. *)
+
+val hit_rate : Tpca_params.t -> float
+(** Cache hit rate [1/N] (0.05 % at N = 2000). *)
+
+val cost : Tpca_params.t -> float
+(** Equation 1: expected PCBs examined per packet.  A hit costs the
+    single cache probe; a miss (probability [(N-1)/N]) additionally
+    scans [(N+1)/2] PCBs, giving [1 + (N^2 - 1)/2N] — 1001.0 at
+    N = 2000, approaching [N/2] for large N.  (The paper quotes 1001
+    for its 200-TPS example.) *)
+
+val train_probability : Tpca_params.t -> float
+(** Probability that no other user's packet intervenes during a
+    response-time interval, so the query/response-ack pair forms a
+    packet train and the ack hits the cache:
+    [exp (-2 a R (N-1))].  About 2e-35 for the default parameters —
+    the paper's text prints "1.9 x 10-3[5]", and the magnitude of this
+    expression shows the intended value is 1.9e-35. *)

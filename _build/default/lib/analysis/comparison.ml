@@ -1,0 +1,67 @@
+type series = { label : string; points : (float * float) array }
+
+let figure4 ?(users = 2000) ?(max_time = 50.0) ?(steps = 200) () =
+  let params = Tpca_params.v ~users () in
+  let points =
+    Array.init (steps + 1) (fun i ->
+        let t = max_time *. float_of_int i /. float_of_int steps in
+        (t, Mtf_model.expected_preceding params t))
+  in
+  { label = Printf.sprintf "N(T), %d users" users; points }
+
+let sweep_users ~max_users ~step f =
+  let count = (max_users / step) + 1 in
+  Array.init count (fun i ->
+      let users = max 1 (i * step) in
+      (float_of_int users, f users))
+
+let figure13 ?(max_users = 10000) ?(step = 100)
+    ?(response_times = [ 1.0; 0.5; 0.2 ]) ?(sr_rtts = [ 0.001 ])
+    ?(sequent_chains = 19) () =
+  let bsd =
+    { label = "BSD";
+      points =
+        sweep_users ~max_users ~step (fun users ->
+            Bsd_model.cost (Tpca_params.v ~users ())) }
+  in
+  let mtf r =
+    { label = Printf.sprintf "MTF %.1f" r;
+      points =
+        sweep_users ~max_users ~step (fun users ->
+            Mtf_model.overall_cost (Tpca_params.v ~users ~response_time:r ())) }
+  in
+  let sr rtt =
+    { label = Printf.sprintf "SR %g" (rtt *. 1000.0);
+      points =
+        sweep_users ~max_users ~step (fun users ->
+            Srcache_model.overall_cost (Tpca_params.v ~users ~rtt ())) }
+  in
+  let sequent =
+    { label = "SEQUENT";
+      points =
+        sweep_users ~max_users ~step (fun users ->
+            Sequent_model.cost
+              (Tpca_params.v ~users ())
+              ~chains:sequent_chains) }
+  in
+  (bsd :: List.map mtf response_times)
+  @ List.map sr sr_rtts @ [ sequent ]
+
+let figure14 () =
+  figure13 ~max_users:1000 ~step:10 ~sr_rtts:[ 0.001; 0.010 ] ()
+
+let mtf_response_time_table ?(users = 2000) response_times =
+  List.map
+    (fun r ->
+      let params = Tpca_params.v ~users ~response_time:r () in
+      ( r, Mtf_model.entry_cost params, Mtf_model.ack_cost params,
+        Mtf_model.overall_cost params ))
+    response_times
+
+let sequent_chain_sweep ?(users = 2000) ?(response_time = 0.2) chain_counts =
+  let params = Tpca_params.v ~users ~response_time () in
+  List.map
+    (fun chains ->
+      ( chains, Sequent_model.cost params ~chains,
+        Sequent_model.cost_naive params ~chains ))
+    chain_counts

@@ -1,0 +1,33 @@
+(** Figure-series generators: the analytic curves of the paper's
+    Figures 4, 13 and 14. *)
+
+type series = { label : string; points : (float * float) array }
+(** One labelled curve: x = TPC/A connections (or seconds for
+    Figure 4), y = expected PCBs searched (or users for Figure 4). *)
+
+val figure4 : ?users:int -> ?max_time:float -> ?steps:int -> unit -> series
+(** Equation 3, [N(T)] for [T] in [[0, max_time]].  Defaults: 2000
+    users, 50 s, 200 steps — the paper's Figure 4. *)
+
+val figure13 :
+  ?max_users:int -> ?step:int -> ?response_times:float list ->
+  ?sr_rtts:float list -> ?sequent_chains:int -> unit -> series list
+(** The paper's Figure 13: expected search cost vs connection count
+    for BSD, move-to-front at each response time (default 1.0, 0.5,
+    0.2 s), the send/receive cache at each RTT (default 1 ms), and
+    Sequent (default 19 chains, R = 0.2).  Defaults: users 0-10000
+    step 100. *)
+
+val figure14 : unit -> series list
+(** The paper's Figure 14: the same curves detailed over 0-1000 users
+    with the send/receive cache at both 1 ms and 10 ms RTT. *)
+
+val mtf_response_time_table :
+  ?users:int -> float list -> (float * float * float * float) list
+(** For each response time: (R, entry cost, ack cost, overall cost) —
+    the quoted-results table of Section 3.2. *)
+
+val sequent_chain_sweep :
+  ?users:int -> ?response_time:float -> int list -> (int * float * float) list
+(** For each chain count: (H, Equation 22 cost, Equation 19 naive
+    cost) — the paper's 19-vs-51-vs-100-chain discussion. *)

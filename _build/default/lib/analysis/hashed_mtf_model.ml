@@ -1,0 +1,19 @@
+let cost_estimate (params : Tpca_params.t) ~chains =
+  if chains <= 0 then invalid_arg "Hashed_mtf_model: chains <= 0";
+  let per_chain =
+    float_of_int params.Tpca_params.users /. float_of_int chains
+  in
+  (* Equation 6's closed forms extend smoothly to fractional N; reuse
+     them by scaling the (N-1) factors.  entry = (N'-1)(2/3 - e/6),
+     ack = (N'-1)(1 - e^{-2aR}); both linear in N'-1. *)
+  let reference_users = 1000 in
+  let reference =
+    Tpca_params.v ~users:reference_users ~rate:params.Tpca_params.rate
+      ~response_time:params.Tpca_params.response_time
+      ~rtt:params.Tpca_params.rtt ()
+  in
+  let scale = (per_chain -. 1.0) /. float_of_int (reference_users - 1) in
+  Float.max 1.0 (Mtf_model.overall_cost reference *. scale)
+
+let improvement_bound params ~chains =
+  Sequent_model.cost params ~chains /. cost_estimate params ~chains

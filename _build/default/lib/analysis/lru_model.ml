@@ -1,0 +1,54 @@
+let check entries =
+  if entries <= 0 then invalid_arg "Lru_model: entries <= 0"
+
+let window_rate (p : Tpca_params.t) =
+  (* Each other user offers ~2 packets per transaction into the
+     response window. *)
+  2.0 *. p.Tpca_params.rate
+  *. (p.Tpca_params.response_time +. p.Tpca_params.rtt)
+  *. float_of_int (max 0 (p.Tpca_params.users - 1))
+
+let poisson_pmf ~lambda k =
+  if lambda = 0.0 then if k = 0 then 1.0 else 0.0
+  else
+    Float.exp
+      ((float_of_int k *. Float.log lambda)
+      -. lambda
+      -. Numerics.Special.log_factorial k)
+
+let ack_hit_probability (p : Tpca_params.t) ~entries =
+  check entries;
+  let lambda = window_rate p in
+  Numerics.Kahan.sum_fn entries (fun k -> poisson_pmf ~lambda k)
+
+let miss_cost (p : Tpca_params.t) ~entries =
+  let n = float_of_int p.Tpca_params.users in
+  float_of_int entries +. ((n +. 1.0) /. 2.0)
+
+let ack_cost (p : Tpca_params.t) ~entries =
+  check entries;
+  let lambda = window_rate p in
+  (* Hit at LRU position k+1 when k < K others intervened. *)
+  let hit_side =
+    Numerics.Kahan.sum_fn entries (fun k ->
+        poisson_pmf ~lambda k *. float_of_int (k + 1))
+  in
+  let miss_probability = 1.0 -. ack_hit_probability p ~entries in
+  hit_side +. (miss_probability *. miss_cost p ~entries)
+
+let entry_cost (p : Tpca_params.t) ~entries =
+  check entries;
+  (* Think times are tens of response windows: treat the entry as a
+     guaranteed miss (the K/N correction is below a tenth of a PCB for
+     any sane K). *)
+  miss_cost p ~entries
+
+let cost p ~entries = 0.5 *. (entry_cost p ~entries +. ack_cost p ~entries)
+
+let best_entries p ~max_entries =
+  let best = ref (1, cost p ~entries:1) in
+  for entries = 2 to max_entries do
+    let c = cost p ~entries in
+    if c < snd !best then best := (entries, c)
+  done;
+  !best

@@ -1,0 +1,32 @@
+let expected_preceding (p : Tpca_params.t) t =
+  let n = float_of_int p.users in
+  (n -. 1.0) *. -.Float.expm1 (-.p.rate *. t)
+
+let expected_preceding_sum (p : Tpca_params.t) t =
+  if p.users = 0 then 0.0
+  else
+    let prob = -.Float.expm1 (-.p.rate *. t) in
+    Numerics.Special.binomial_mean_direct ~n:(p.users - 1) ~p:prob
+
+let entry_cost (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  let r = p.response_time in
+  (* Equation 5 in closed form: integrate N(2T) over think times below
+     R and N(T+R) above R against the exponential think-time density. *)
+  (n -. 1.0) *. ((2.0 /. 3.0) -. (Float.exp (-3.0 *. p.rate *. r) /. 6.0))
+
+let entry_cost_quadrature (p : Tpca_params.t) =
+  let r = p.response_time in
+  Numerics.Integrate.expectation_exponential_piecewise ~rate:p.rate
+    ~breakpoints:[ r ]
+    (fun t ->
+      if t < r then expected_preceding p (2.0 *. t)
+      else expected_preceding p (t +. r))
+
+let ack_cost (p : Tpca_params.t) =
+  expected_preceding p (2.0 *. p.response_time)
+
+let overall_cost (p : Tpca_params.t) =
+  0.5 *. (entry_cost p +. ack_cost p)
+
+let entry_cost_deterministic (p : Tpca_params.t) = float_of_int p.users

@@ -1,0 +1,45 @@
+(** Analytic model of Crowcroft's move-to-front list (paper
+    Section 3.2).
+
+    The quantity everything builds on is the paper's [N(T)]
+    (Equation 3): the expected number of {e other} users whose PCBs
+    precede a given user's after an interval of length [T].  The
+    binomial sum collapses to the closed form
+    [(N-1) * (1 - exp (-aT))], which this module uses inside the
+    integrals; the raw sum is also exposed so tests can confirm the
+    identity. *)
+
+val expected_preceding : Tpca_params.t -> float -> float
+(** [expected_preceding p t] — Equation 3 / Figure 4 — closed form
+    [(N-1)(1 - e^{-at})]. *)
+
+val expected_preceding_sum : Tpca_params.t -> float -> float
+(** Equation 3 evaluated as the paper prints it: the explicit
+    binomial-weighted sum, in log space.  Equal to
+    {!expected_preceding} to floating-point accuracy; costs O(N). *)
+
+val entry_cost : Tpca_params.t -> float
+(** Expected PCBs scanned for a {e transaction-entry} packet
+    (Equation 5).  During a think time [T < R] the window for other
+    users' packets is [2T]; for [T > R] it is [T + R].  Closed form
+    [(N-1) (2/3 - e^{-3aR}/6)].  Paper values at N = 2000: 1019, 1045,
+    1086, 1150 for R = 0.2, 0.5, 1.0, 2.0. *)
+
+val entry_cost_quadrature : Tpca_params.t -> float
+(** Equation 5 by direct numerical integration of the two-piece
+    integrand, as a cross-check of {!entry_cost}. *)
+
+val ack_cost : Tpca_params.t -> float
+(** Expected PCBs scanned for a {e response-acknowledgement} packet:
+    [N(2R)] (Figure 7 discussion).  Paper values: 78, 190, 362, 659
+    for R = 0.2, 0.5, 1.0, 2.0. *)
+
+val overall_cost : Tpca_params.t -> float
+(** Equation 6: the mean of {!entry_cost} and {!ack_cost} — half the
+    server's packets are entries, half are acks.  Paper values: 549,
+    618, 724, 904. *)
+
+val entry_cost_deterministic : Tpca_params.t -> float
+(** The paper's worst case: with {e deterministic} think times
+    (central server polling its clients) every other user slots in
+    ahead, so each entry scans all [N] PCBs. *)

@@ -1,0 +1,64 @@
+let chains_needed (params : Tpca_params.t) ~target_cost =
+  if target_cost < 1.0 then
+    invalid_arg "Sensitivity.chains_needed: target below the 1-PCB floor";
+  if params.Tpca_params.users <= 0 then
+    invalid_arg "Sensitivity.chains_needed: no users";
+  (* Equation 22 is monotone decreasing in H; gallop then bisect. *)
+  let cost chains = Sequent_model.cost params ~chains in
+  if cost 1 <= target_cost then 1
+  else begin
+    let hi = ref 1 in
+    while cost !hi > target_cost && !hi < params.Tpca_params.users do
+      hi := !hi * 2
+    done;
+    let lo = ref (max 1 (!hi / 2)) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if cost mid <= target_cost then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let bisect_users ~lo ~hi predicate =
+  (* Smallest N in (lo, hi] satisfying a monotone predicate. *)
+  let lo = ref lo and hi = ref hi in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if predicate mid then hi := mid else lo := mid
+  done;
+  !hi
+
+let sr_rejoins_bsd ?(rtt = 0.001) ?(threshold = 0.95) () =
+  let ratio users =
+    let params = Tpca_params.v ~users ~rtt () in
+    Srcache_model.overall_cost params /. Bsd_model.cost params
+  in
+  bisect_users ~lo:1 ~hi:10_000_000 (fun users -> ratio users > threshold)
+
+let mtf_beats_sr_from ?(rtt = 0.001) ?(response_time = 0.2) () =
+  let advantage users =
+    let params = Tpca_params.v ~users ~rtt ~response_time () in
+    Mtf_model.overall_cost params < Srcache_model.overall_cost params
+  in
+  if not (advantage 100_000) then None
+  else Some (bisect_users ~lo:1 ~hi:100_000 advantage)
+
+let cost_gradient_in_response_time (params : Tpca_params.t) algorithm =
+  let cost_at response_time =
+    let p = { params with Tpca_params.response_time } in
+    match algorithm with
+    | `Bsd -> Bsd_model.cost p
+    | `Mtf -> Mtf_model.overall_cost p
+    | `Sr_cache -> Srcache_model.overall_cost p
+    | `Sequent chains -> Sequent_model.cost p ~chains
+  in
+  let h = 0.001 in
+  let r = params.Tpca_params.response_time in
+  (cost_at (r +. h) -. cost_at (Float.max 1e-6 (r -. h))) /. (2.0 *. h)
+
+let sweep_2d ~users ~chains =
+  List.concat_map
+    (fun n ->
+      let params = Tpca_params.v ~users:n () in
+      List.map (fun h -> (n, h, Sequent_model.cost params ~chains:h)) chains)
+    users

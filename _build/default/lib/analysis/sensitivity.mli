@@ -1,0 +1,36 @@
+(** Sensitivity analysis and crossover finding on the paper's models.
+
+    The comparison figures show {e where} algorithms cross; these
+    helpers compute the crossings and answer the sizing question the
+    paper leaves to the system administrator ("may increase the value
+    of H in order to get even better performance"). *)
+
+val chains_needed : Tpca_params.t -> target_cost:float -> int
+(** Smallest chain count [H] whose Equation 22 cost is at or below
+    [target_cost].  The paper's examples: ~19 chains reach 53 PCBs,
+    ~100 reach 9.
+    @raise Invalid_argument if [target_cost < 1] (one examination is
+    the floor) or the parameters are degenerate. *)
+
+val sr_rejoins_bsd : ?rtt:float -> ?threshold:float -> unit -> int
+(** The user count beyond which the send/receive cache's advantage
+    over BSD has shrunk below [threshold] (default: within 5 %,
+    i.e. ratio > 0.95) at round-trip time [rtt] (default 1 ms).
+    Monotone bisection over N. *)
+
+val mtf_beats_sr_from : ?rtt:float -> ?response_time:float -> unit -> int option
+(** Smallest user count at which move-to-front's overall cost drops
+    below the send/receive cache's (the Figure 14 crossover), if it
+    happens within 1..100_000 users. *)
+
+val cost_gradient_in_response_time :
+  Tpca_params.t -> [ `Bsd | `Mtf | `Sr_cache | `Sequent of int ] -> float
+(** Numerical d(cost)/dR at the given operating point (central
+    difference, h = 1 ms): how sensitive each algorithm is to server
+    response time.  BSD's is ~0 (its cache is already dead); MTF's is
+    positive and large — its advantage erodes as responses slow. *)
+
+val sweep_2d :
+  users:int list -> chains:int list -> (int * int * float) list
+(** Equation 22 over a (users x chains) grid, for heatmap-style
+    output: [(users, chains, cost)] in row-major order. *)

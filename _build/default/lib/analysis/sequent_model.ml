@@ -1,0 +1,49 @@
+let default_chains = 19
+
+let check_chains chains =
+  if chains <= 0 then invalid_arg "Sequent_model: chains <= 0"
+
+let hit_rate (p : Tpca_params.t) ~chains =
+  check_chains chains;
+  if p.users = 0 then Float.nan
+  else Float.min 1.0 (float_of_int chains /. float_of_int p.users)
+
+let quiet_probability (p : Tpca_params.t) ~chains =
+  check_chains chains;
+  let per_chain = float_of_int p.users /. float_of_int chains in
+  (* Equation 20; when a chain holds at most one user the exponent is
+     non-negative and the chain is always quiet. *)
+  Float.min 1.0
+    (Float.exp (-2.0 *. p.rate *. p.response_time *. (per_chain -. 1.0)))
+
+let chain_scan_cost per_chain = ((per_chain +. 1.0) /. 2.0)
+
+let cost_naive (p : Tpca_params.t) ~chains =
+  check_chains chains;
+  let n = float_of_int p.users and h = float_of_int chains in
+  if p.users = 0 then 0.0
+  else
+    let per_chain = n /. h in
+    let miss_probability = Float.max 0.0 ((n -. h) /. n) in
+    (* Equation 19 = C_BSD(N/H): one cache probe plus the chain scan on
+       a miss. *)
+    1.0 +. (miss_probability *. chain_scan_cost per_chain)
+
+let ack_cost (p : Tpca_params.t) ~chains =
+  check_chains chains;
+  let n = float_of_int p.users and h = float_of_int chains in
+  if p.users = 0 then 0.0
+  else
+    let quiet = quiet_probability p ~chains in
+    (* Equation 21: a quiet chain leaves the PCB cached (1 examined);
+       otherwise the mean chain scan follows. *)
+    quiet +. ((1.0 -. quiet) *. chain_scan_cost (n /. h))
+
+let cost (p : Tpca_params.t) ~chains =
+  (* Equation 22: half the server's packets are transaction entries
+     (Equation 19 applies), half are acknowledgements (Equation 21). *)
+  0.5 *. (cost_naive p ~chains +. ack_cost p ~chains)
+
+let naive_error p ~chains =
+  let refined = cost p ~chains in
+  (cost_naive p ~chains -. refined) /. refined

@@ -1,0 +1,69 @@
+(* Shared shorthands: a = per-user rate, n = users, miss cost
+   (N+5)/2 = two cache probes plus the (N+1)/2 mean chain scan, hit
+   cost 1. *)
+
+let miss_cost n = (n +. 5.0) /. 2.0
+
+let survival_probability_long_think (p : Tpca_params.t) t =
+  let n = float_of_int p.users in
+  Float.exp (-.p.rate *. (t +. p.response_time +. p.rtt) *. (n -. 1.0))
+
+let survival_probability_short_think (p : Tpca_params.t) t =
+  let n = float_of_int p.users in
+  Float.exp (-2.0 *. p.rate *. t *. (n -. 1.0))
+
+let expected_cost_given_survival survive n =
+  survive +. ((1.0 -. survive) *. miss_cost n)
+
+let transaction_cost_long_think (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  let a = p.rate in
+  let rd = p.response_time +. p.rtt in
+  (* Equation 11: integrate Equation 9 against the think-time density
+     over [R+D, inf). *)
+  (miss_cost n *. Float.exp (-.a *. rd))
+  -. ((n +. 3.0) /. (2.0 *. n) *. Float.exp (-.a *. rd *. ((2.0 *. n) -. 1.0)))
+
+let transaction_cost_short_think (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  let a = p.rate in
+  let rd = p.response_time +. p.rtt in
+  (* Equation 14: integrate over [0, R+D). *)
+  (miss_cost n *. -.Float.expm1 (-.a *. rd))
+  +. ((n +. 3.0) /. (2.0 *. ((2.0 *. n) -. 1.0))
+     *. Float.expm1 (-.a *. rd *. ((2.0 *. n) -. 1.0)))
+
+let transaction_cost_long_think_quadrature (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  let rd = p.response_time +. p.rtt in
+  let integrand t =
+    if t <= rd then 0.0
+    else expected_cost_given_survival (survival_probability_long_think p t) n
+  in
+  Numerics.Integrate.expectation_exponential_piecewise ~rate:p.rate
+    ~breakpoints:[ rd ] integrand
+
+let transaction_cost_short_think_quadrature (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  let rd = p.response_time +. p.rtt in
+  let integrand t =
+    if t > rd then 0.0
+    else expected_cost_given_survival (survival_probability_short_think p t) n
+  in
+  Numerics.Integrate.expectation_exponential_piecewise ~rate:p.rate
+    ~breakpoints:[ rd ] integrand
+
+let ack_cost (p : Tpca_params.t) =
+  let n = float_of_int p.users in
+  (* Equation 16: two windows of width D around the response give
+     survival probability exp(-2aD(N-1)); D is constant so no
+     integration is needed. *)
+  let survive = Float.exp (-2.0 *. p.rate *. p.rtt *. (n -. 1.0)) in
+  miss_cost n -. ((n +. 3.0) /. 2.0 *. survive)
+
+let overall_cost (p : Tpca_params.t) =
+  (* Equation 17 combination; see the interface note about the paper's
+     printed 1/3. *)
+  0.5
+  *. (transaction_cost_long_think p +. transaction_cost_short_think p
+     +. ack_cost p)

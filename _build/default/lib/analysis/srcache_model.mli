@@ -1,0 +1,49 @@
+(** Analytic model of Partridge and Pink's last-sent/last-received
+    cache (paper Section 3.3).
+
+    Three mutually exclusive receive cases: a transaction whose think
+    time exceeded [R + D] (Equation 11, "N1"), a transaction whose
+    think time was shorter (Equation 14, "N2"), and a response
+    acknowledgement (Equation 16, "Na").  A cache hit costs one
+    examination; a full miss costs the two cache probes plus the mean
+    scan, [(N+5)/2].
+
+    Note on Equation 7: the paper prints the per-packet average as
+    [1/3 (N1 + N2 + Na)], but its own quoted results (667, 993, 1002
+    PCBs for D = 1, 10, 100 ms) equal [((N1 + N2) + Na) / 2] — the
+    transaction cases are disjoint halves of one packet class.  We
+    implement the [/2] combination and verify the quoted numbers in
+    the test suite. *)
+
+val transaction_cost_long_think : Tpca_params.t -> float
+(** Equation 11 ("N1"): contribution of transaction receptions with
+    think time above [R + D]. *)
+
+val transaction_cost_short_think : Tpca_params.t -> float
+(** Equation 14 ("N2"): contribution of transaction receptions with
+    think time below [R + D]. *)
+
+val transaction_cost_long_think_quadrature : Tpca_params.t -> float
+(** Equation 10 integrated numerically, cross-checking Equation 11. *)
+
+val transaction_cost_short_think_quadrature : Tpca_params.t -> float
+(** Equation 13 integrated numerically, cross-checking Equation 14. *)
+
+val ack_cost : Tpca_params.t -> float
+(** Equation 16 ("Na"): expected PCBs examined for a response
+    acknowledgement.  The flush windows are the two RTT-length
+    intervals around the response, so the survival probability is
+    [exp (-2aD(N-1))]. *)
+
+val survival_probability_long_think : Tpca_params.t -> float -> float
+(** Equation 8: probability no other user flushes the caches when the
+    think time is [t > R + D]. *)
+
+val survival_probability_short_think : Tpca_params.t -> float -> float
+(** Equation 12: same for [t < R + D]. *)
+
+val overall_cost : Tpca_params.t -> float
+(** Equation 17: per-packet expectation,
+    [((N1 + N2) + Na) / 2].  Paper values at N = 2000, R = 0.2:
+    667, 993, 1002 for D = 1, 10, 100 ms.  Approaches [(N+5)/2] as
+    N grows — the scheme decays to (slightly worse than) BSD. *)

@@ -1,0 +1,23 @@
+type t = {
+  users : int;
+  rate : float;
+  response_time : float;
+  rtt : float;
+}
+
+let default = { users = 2000; rate = 0.1; response_time = 0.2; rtt = 0.001 }
+
+let v ?(rate = 0.1) ?(response_time = 0.2) ?(rtt = 0.001) ~users () =
+  if users < 0 then invalid_arg "Tpca_params.v: negative users";
+  if rate <= 0.0 then invalid_arg "Tpca_params.v: rate <= 0";
+  if response_time <= 0.0 then invalid_arg "Tpca_params.v: response_time <= 0";
+  if rtt <= 0.0 then invalid_arg "Tpca_params.v: rtt <= 0";
+  { users; rate; response_time; rtt }
+
+let think_time_mean t = 1.0 /. t.rate
+let think_time_cutoff t = 10.0 /. t.rate
+let server_packets_per_transaction = 2
+
+let pp ppf t =
+  Format.fprintf ppf "N=%d a=%g R=%gs D=%gs" t.users t.rate t.response_time
+    t.rtt

@@ -1,0 +1,37 @@
+(** TPC/A workload parameters shared by every analytic model.
+
+    The paper's Section 2: each user enters a transaction, waits the
+    response time, then thinks for an exponentially distributed time
+    of mean at least 10 s; a benchmark at [tps] transactions per
+    second must simulate at least [10 * tps] users.  Each transaction
+    is four packets, two of which (the query and the response
+    acknowledgement) arrive at the server. *)
+
+type t = {
+  users : int;          (** N — concurrent TPC/A connections. *)
+  rate : float;         (** a — per-user transaction rate, 1/s. *)
+  response_time : float;(** R — seconds from query to response. *)
+  rtt : float;          (** D — network round-trip time, seconds. *)
+}
+
+val default : t
+(** The paper's running example: a 200-TPS benchmark — [users = 2000],
+    [rate = 0.1], [response_time = 0.2], [rtt = 0.001]. *)
+
+val v :
+  ?rate:float -> ?response_time:float -> ?rtt:float -> users:int -> unit -> t
+(** @raise Invalid_argument if any value is non-positive ([users] may
+    be zero only for plotting axes). *)
+
+val think_time_mean : t -> float
+(** Mean think time [1 / rate] (10 s at the default). *)
+
+val think_time_cutoff : t -> float
+(** TPC/A truncation point: ten times the mean. *)
+
+val server_packets_per_transaction : int
+(** Packets {e received by the server} per transaction: the query and
+    the response acknowledgement (the other two packets of the
+    four-packet exchange arrive at the client). *)
+
+val pp : Format.formatter -> t -> unit

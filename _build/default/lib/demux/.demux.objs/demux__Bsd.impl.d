@@ -1,0 +1,1 @@
+lib/demux/bsd.ml: Chain Flow_table Lookup_stats Option Pcb

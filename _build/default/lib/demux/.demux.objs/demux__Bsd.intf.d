@@ -1,0 +1,1 @@
+lib/demux/bsd.mli: Lookup_stats Packet Pcb Types

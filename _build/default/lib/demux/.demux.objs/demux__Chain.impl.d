@@ -1,0 +1,1 @@
+lib/demux/chain.ml: List Lookup_stats Pcb

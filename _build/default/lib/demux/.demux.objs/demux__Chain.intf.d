@@ -1,0 +1,1 @@
+lib/demux/chain.mli: Lookup_stats Packet Pcb

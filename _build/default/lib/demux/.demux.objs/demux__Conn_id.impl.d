@@ -1,0 +1,1 @@
+lib/demux/conn_id.ml: Array Flow_table Fun List Lookup_stats Pcb

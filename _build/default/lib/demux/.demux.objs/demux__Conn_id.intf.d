@@ -1,0 +1,1 @@
+lib/demux/conn_id.mli: Lookup_stats Packet Pcb Types

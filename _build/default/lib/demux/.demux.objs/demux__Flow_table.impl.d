@@ -1,0 +1,1 @@
+lib/demux/flow_table.ml: Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/demux/flow_table.mli: Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/demux/hashed_mtf.ml: Array Chain Flow_table Hashing Lookup_stats Packet Pcb Sequent

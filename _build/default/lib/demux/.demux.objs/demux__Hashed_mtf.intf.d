@@ -1,0 +1,1 @@
+lib/demux/hashed_mtf.mli: Hashing Lookup_stats Packet Pcb Types

@@ -1,0 +1,1 @@
+lib/demux/linear.ml: Chain Flow_table Lookup_stats Pcb

@@ -1,0 +1,1 @@
+lib/demux/linear.mli: Lookup_stats Packet Pcb Types

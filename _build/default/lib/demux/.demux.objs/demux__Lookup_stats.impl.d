@@ -1,0 +1,1 @@
+lib/demux/lookup_stats.ml: Float Format List

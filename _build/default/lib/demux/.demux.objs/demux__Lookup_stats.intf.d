@@ -1,0 +1,1 @@
+lib/demux/lookup_stats.mli: Format

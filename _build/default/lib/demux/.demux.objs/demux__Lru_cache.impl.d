@@ -1,0 +1,1 @@
+lib/demux/lru_cache.ml: Chain Flow_table Lookup_stats Pcb

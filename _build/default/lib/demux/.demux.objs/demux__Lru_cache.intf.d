@@ -1,0 +1,1 @@
+lib/demux/lru_cache.mli: Lookup_stats Packet Pcb Types

@@ -1,0 +1,1 @@
+lib/demux/mtf.ml: Chain Flow_table Lookup_stats Pcb

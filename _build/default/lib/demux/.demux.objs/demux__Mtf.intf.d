@@ -1,0 +1,1 @@
+lib/demux/mtf.mli: Lookup_stats Packet Pcb Types

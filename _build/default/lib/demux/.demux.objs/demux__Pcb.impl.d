@@ -1,0 +1,1 @@
+lib/demux/pcb.ml: Format Packet

@@ -1,0 +1,1 @@
+lib/demux/pcb.mli: Format Packet

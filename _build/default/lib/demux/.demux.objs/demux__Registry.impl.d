@@ -1,0 +1,1 @@
+lib/demux/registry.ml: Bsd Conn_id Hashed_mtf Hashing Linear Lookup_stats Lru_cache Mtf Packet Pcb Printf Resizing_hash Sequent Splay Sr_cache String Types

@@ -1,0 +1,1 @@
+lib/demux/registry.mli: Hashing Lookup_stats Packet Pcb Types

@@ -1,0 +1,1 @@
+lib/demux/resizing_hash.ml: Array Chain Flow_table Hashing Lookup_stats Packet Pcb

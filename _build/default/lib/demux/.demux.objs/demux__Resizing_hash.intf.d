@@ -1,0 +1,1 @@
+lib/demux/resizing_hash.mli: Hashing Lookup_stats Packet Pcb Types

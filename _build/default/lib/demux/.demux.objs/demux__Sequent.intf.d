@@ -1,0 +1,1 @@
+lib/demux/sequent.mli: Hashing Lookup_stats Packet Pcb Types

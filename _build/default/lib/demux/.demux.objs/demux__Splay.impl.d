@@ -1,0 +1,1 @@
+lib/demux/splay.ml: Lookup_stats Packet Pcb

@@ -1,0 +1,1 @@
+lib/demux/splay.mli: Lookup_stats Packet Pcb Types

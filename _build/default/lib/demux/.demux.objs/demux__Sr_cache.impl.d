@@ -1,0 +1,1 @@
+lib/demux/sr_cache.ml: Chain Flow_table Lookup_stats Option Pcb Types

@@ -1,0 +1,1 @@
+lib/demux/sr_cache.mli: Lookup_stats Packet Pcb Types

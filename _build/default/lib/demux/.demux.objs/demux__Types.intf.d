@@ -1,0 +1,1 @@
+lib/demux/types.mli: Format

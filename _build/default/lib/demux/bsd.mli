@@ -1,0 +1,28 @@
+(** The BSD 4.3-Reno algorithm (paper Section 3.1): one linear list
+    plus a single-entry cache holding the PCB last found.
+
+    Lookup probes the cache (one PCB examined); on a miss it scans the
+    list from the head charging one examination per PCB compared, then
+    installs the result in the cache.  Expected cost under TPC/A is
+    Equation 1: [1 + (N^2 - 1)/N], about [N/2] — 1001 PCBs at
+    N = 2000. *)
+
+type 'a t
+
+val name : string
+val create : unit -> 'a t
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Pcb.t option
+(** Removing the cached PCB invalidates the cache. *)
+
+val lookup : 'a t -> ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option
+val note_send : 'a t -> Packet.Flow.t -> unit
+val stats : 'a t -> Lookup_stats.t
+val length : 'a t -> int
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit
+
+val cached_flow : 'a t -> Packet.Flow.t option
+(** Current cache contents, for tests. *)

@@ -1,0 +1,87 @@
+type 'a node = {
+  pcb : 'a Pcb.t;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable linked : bool;
+}
+
+type 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable length : int;
+}
+
+let create () = { head = None; tail = None; length = 0 }
+let length t = t.length
+let is_empty t = t.length = 0
+let pcb node = node.pcb
+
+let push_front t pcb =
+  let node = { pcb; prev = None; next = t.head; linked = true } in
+  (match t.head with
+  | Some old_head -> old_head.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node;
+  t.length <- t.length + 1;
+  node
+
+let remove t node =
+  if not node.linked then invalid_arg "Chain.remove: node not linked";
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  node.linked <- false;
+  t.length <- t.length - 1
+
+let move_to_front t node =
+  if not node.linked then invalid_arg "Chain.move_to_front: node not linked";
+  let is_head = match t.head with Some h -> h == node | None -> false in
+  if not is_head then begin
+    remove t node;
+    node.linked <- true;
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with
+    | Some old_head -> old_head.prev <- Some node
+    | None -> t.tail <- Some node);
+    t.head <- Some node;
+    t.length <- t.length + 1
+  end
+
+let scan t ~stats flow =
+  let rec walk = function
+    | None -> None
+    | Some node ->
+      Lookup_stats.examine stats ();
+      if Pcb.matches node.pcb flow then Some node else walk node.next
+  in
+  walk t.head
+
+let iter f t =
+  let rec walk = function
+    | None -> ()
+    | Some node ->
+      f node.pcb;
+      walk node.next
+  in
+  walk t.head
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun pcb -> acc := pcb :: !acc) t;
+  List.rev !acc
+
+let tail_pcb t =
+  match t.tail with Some node -> Some node.pcb | None -> None
+
+let find_exact t flow =
+  let rec walk = function
+    | None -> None
+    | Some node -> if Pcb.matches node.pcb flow then Some node else walk node.next
+  in
+  walk t.head

@@ -1,0 +1,46 @@
+(** Intrusive doubly linked PCB chain.
+
+    The common substrate of every list-based algorithm in the paper:
+    BSD's single list, Crowcroft's move-to-front list, Partridge and
+    Pink's cached list, and each of the Sequent algorithm's hash
+    chains.  Nodes support O(1) unlink and move-to-front, and the scan
+    primitive charges one examination per PCB compared via the
+    caller's {!Lookup_stats.t}. *)
+
+type 'a node
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val pcb : 'a node -> 'a Pcb.t
+
+val push_front : 'a t -> 'a Pcb.t -> 'a node
+(** New PCBs go to the head, matching BSD's insertion discipline. *)
+
+val remove : 'a t -> 'a node -> unit
+(** Unlink a node.
+    @raise Invalid_argument if the node is not currently linked in
+    this chain. *)
+
+val move_to_front : 'a t -> 'a node -> unit
+(** Crowcroft's heuristic; no-op when already at the head. *)
+
+val scan : 'a t -> stats:Lookup_stats.t -> Packet.Flow.t -> 'a node option
+(** Walk from the head comparing flows, charging one examination per
+    PCB compared (including the match itself, per the paper's
+    accounting). *)
+
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit
+(** Head-to-tail iteration (no charge). *)
+
+val to_list : 'a t -> 'a Pcb.t list
+(** Head-to-tail snapshot, for tests. *)
+
+val tail_pcb : 'a t -> 'a Pcb.t option
+(** The PCB at the tail (least recently pushed/moved), O(1). *)
+
+val find_exact : 'a t -> Packet.Flow.t -> 'a node option
+(** Uncharged exact search, for maintenance paths (removal, transmit
+    bookkeeping) that the paper does not meter. *)

@@ -1,0 +1,82 @@
+type 'a t = {
+  slots : 'a Pcb.t option array;
+  ids : int Flow_table.t;
+  mutable free : int list;
+  stats : Lookup_stats.t;
+  mutable population : int;
+}
+
+let name = "conn-id"
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Conn_id.create: capacity <= 0";
+  { slots = Array.make capacity None; ids = Flow_table.create 64;
+    free = List.init capacity Fun.id; stats = Lookup_stats.create ();
+    population = 0 }
+
+let insert t flow data =
+  if Flow_table.mem t.ids flow then invalid_arg "Conn_id.insert: duplicate flow";
+  match t.free with
+  | [] -> failwith "Conn_id.insert: connection-ID space exhausted"
+  | id :: rest ->
+    t.free <- rest;
+    let pcb = Pcb.make ~id ~flow data in
+    t.slots.(id) <- Some pcb;
+    Flow_table.replace t.ids flow id;
+    t.population <- t.population + 1;
+    Lookup_stats.note_insert t.stats;
+    pcb
+
+let connection_id t flow = Flow_table.find_opt t.ids flow
+
+let lookup_by_id t ?kind:_ id =
+  Lookup_stats.begin_lookup t.stats;
+  if id < 0 || id >= Array.length t.slots then begin
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+    None
+  end
+  else begin
+    Lookup_stats.examine t.stats ();
+    match t.slots.(id) with
+    | Some pcb ->
+      Pcb.note_rx pcb;
+      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
+      Some pcb
+    | None ->
+      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+      None
+  end
+
+let remove t flow =
+  match Flow_table.find_opt t.ids flow with
+  | None -> None
+  | Some id ->
+    let pcb = t.slots.(id) in
+    t.slots.(id) <- None;
+    Flow_table.remove t.ids flow;
+    t.free <- id :: t.free;
+    t.population <- t.population - 1;
+    Lookup_stats.note_remove t.stats;
+    pcb
+
+let lookup t ?kind flow =
+  (* The ID travels in the packet header; translating flow -> ID here
+     stands in for reading those header bits and is not charged. *)
+  match Flow_table.find_opt t.ids flow with
+  | Some id -> lookup_by_id t ?kind id
+  | None ->
+    Lookup_stats.begin_lookup t.stats;
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+    None
+
+let note_send t flow =
+  match Flow_table.find_opt t.ids flow with
+  | Some id -> (
+    match t.slots.(id) with Some pcb -> Pcb.note_tx pcb | None -> ())
+  | None -> ()
+
+let stats t = t.stats
+let length t = t.population
+
+let iter f t =
+  Array.iter (function Some pcb -> f pcb | None -> ()) t.slots

@@ -1,0 +1,6 @@
+include Hashtbl.Make (struct
+  type t = Packet.Flow.t
+
+  let equal = Packet.Flow.equal
+  let hash flow = Hashtbl.hash (Packet.Flow.to_key_bytes flow)
+end)

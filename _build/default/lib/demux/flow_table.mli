@@ -1,0 +1,9 @@
+(** Hashtable keyed by flows — internal bookkeeping substrate.
+
+    The list-based algorithms need O(1) access to their own nodes on
+    the {e unmetered} maintenance paths (duplicate detection on
+    insert, removal on connection close, transmit-side bookkeeping
+    where the real stack already holds the PCB in hand).  This index
+    is never consulted on the metered receive path. *)
+
+include Hashtbl.S with type key = Packet.Flow.t

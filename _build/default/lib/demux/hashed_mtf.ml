@@ -1,0 +1,64 @@
+type 'a t = {
+  buckets : 'a Chain.t array;
+  hasher : Hashing.Hashers.t;
+  index : 'a Chain.node Flow_table.t;
+  stats : Lookup_stats.t;
+  mutable next_id : int;
+}
+
+let name = "hashed-mtf"
+
+let create ?(chains = Sequent.default_chains)
+    ?(hasher = Hashing.Hashers.multiplicative) () =
+  if chains <= 0 then invalid_arg "Hashed_mtf.create: chains <= 0";
+  { buckets = Array.init chains (fun _ -> Chain.create ()); hasher;
+    index = Flow_table.create 64; stats = Lookup_stats.create ();
+    next_id = 0 }
+
+let chains t = Array.length t.buckets
+
+let bucket_of_flow t flow =
+  t.buckets.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.buckets)
+                (Packet.Flow.to_key_bytes flow))
+
+let insert t flow data =
+  if Flow_table.mem t.index flow then
+    invalid_arg "Hashed_mtf.insert: duplicate flow";
+  let pcb = Pcb.make ~id:t.next_id ~flow data in
+  t.next_id <- t.next_id + 1;
+  let node = Chain.push_front (bucket_of_flow t flow) pcb in
+  Flow_table.replace t.index flow node;
+  Lookup_stats.note_insert t.stats;
+  pcb
+
+let remove t flow =
+  match Flow_table.find_opt t.index flow with
+  | None -> None
+  | Some node ->
+    Chain.remove (bucket_of_flow t flow) node;
+    Flow_table.remove t.index flow;
+    Lookup_stats.note_remove t.stats;
+    Some (Chain.pcb node)
+
+let lookup t ?kind:_ flow =
+  Lookup_stats.begin_lookup t.stats;
+  let chain = bucket_of_flow t flow in
+  match Chain.scan chain ~stats:t.stats flow with
+  | Some node ->
+    Chain.move_to_front chain node;
+    let pcb = Chain.pcb node in
+    Pcb.note_rx pcb;
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
+    Some pcb
+  | None ->
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+    None
+
+let note_send t flow =
+  match Flow_table.find_opt t.index flow with
+  | Some node -> Pcb.note_tx (Chain.pcb node)
+  | None -> ()
+
+let stats t = t.stats
+let length t = Flow_table.length t.index
+let iter f t = Array.iter (fun chain -> Chain.iter f chain) t.buckets

@@ -1,0 +1,18 @@
+(** Uncached linear PCB list — the original BSD scheme before the
+    4.3-Reno one-entry cache, kept as the degenerate baseline.  Every
+    lookup scans from the head; new PCBs are inserted at the head. *)
+
+type 'a t
+
+val name : string
+val create : unit -> 'a t
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Pcb.t option
+val lookup : 'a t -> ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option
+val note_send : 'a t -> Packet.Flow.t -> unit
+val stats : 'a t -> Lookup_stats.t
+val length : 'a t -> int
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  mutable lookups : int;
+  mutable pcbs_examined : int;
+  mutable cache_hits : int;
+  mutable found : int;
+  mutable not_found : int;
+  mutable inserts : int;
+  mutable removes : int;
+  mutable max_examined : int;
+  mutable current : int;      (* examinations charged to the open lookup *)
+  mutable in_lookup : bool;
+}
+
+let create () =
+  { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
+    inserts = 0; removes = 0; max_examined = 0; current = 0;
+    in_lookup = false }
+
+let begin_lookup t =
+  assert (not t.in_lookup);
+  t.in_lookup <- true;
+  t.current <- 0
+
+let examine t ?(count = 1) () =
+  assert t.in_lookup;
+  t.current <- t.current + count
+
+let end_lookup t ~hit_cache ~found =
+  assert t.in_lookup;
+  t.in_lookup <- false;
+  t.lookups <- t.lookups + 1;
+  t.pcbs_examined <- t.pcbs_examined + t.current;
+  if t.current > t.max_examined then t.max_examined <- t.current;
+  if hit_cache then t.cache_hits <- t.cache_hits + 1;
+  if found then t.found <- t.found + 1 else t.not_found <- t.not_found + 1
+
+let note_insert t = t.inserts <- t.inserts + 1
+let note_remove t = t.removes <- t.removes + 1
+
+type snapshot = {
+  lookups : int;
+  pcbs_examined : int;
+  cache_hits : int;
+  found : int;
+  not_found : int;
+  inserts : int;
+  removes : int;
+  max_examined : int;
+}
+
+let snapshot (t : t) =
+  { lookups = t.lookups; pcbs_examined = t.pcbs_examined;
+    cache_hits = t.cache_hits; found = t.found; not_found = t.not_found;
+    inserts = t.inserts; removes = t.removes; max_examined = t.max_examined }
+
+let empty_snapshot =
+  { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
+    inserts = 0; removes = 0; max_examined = 0 }
+
+let merge_snapshots snapshots =
+  List.fold_left
+    (fun acc s ->
+      { lookups = acc.lookups + s.lookups;
+        pcbs_examined = acc.pcbs_examined + s.pcbs_examined;
+        cache_hits = acc.cache_hits + s.cache_hits;
+        found = acc.found + s.found;
+        not_found = acc.not_found + s.not_found;
+        inserts = acc.inserts + s.inserts;
+        removes = acc.removes + s.removes;
+        max_examined = max acc.max_examined s.max_examined })
+    empty_snapshot snapshots
+
+let mean_examined s =
+  if s.lookups = 0 then Float.nan
+  else float_of_int s.pcbs_examined /. float_of_int s.lookups
+
+let hit_rate s =
+  if s.lookups = 0 then Float.nan
+  else float_of_int s.cache_hits /. float_of_int s.lookups
+
+let reset (t : t) =
+  t.lookups <- 0;
+  t.pcbs_examined <- 0;
+  t.cache_hits <- 0;
+  t.found <- 0;
+  t.not_found <- 0;
+  t.inserts <- 0;
+  t.removes <- 0;
+  t.max_examined <- 0;
+  t.current <- 0;
+  t.in_lookup <- false
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "@[<v>lookups=%d examined=%d (mean %.2f, max %d)@,\
+     cache hits=%d (rate %.4f) found=%d not-found=%d@,\
+     inserts=%d removes=%d@]"
+    s.lookups s.pcbs_examined (mean_examined s) s.max_examined s.cache_hits
+    (hit_rate s) s.found s.not_found s.inserts s.removes

@@ -1,0 +1,55 @@
+(** Shared accounting for PCB lookups.
+
+    The paper's figure of merit is "the expected number of PCBs
+    searched" per inbound packet: every cache probe and every chain
+    node compared counts as one PCB examined.  All algorithms charge
+    their work through this one module so they cannot diverge in
+    accounting discipline. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Charging (called by algorithm implementations)} *)
+
+val begin_lookup : t -> unit
+val examine : t -> ?count:int -> unit -> unit
+(** Charge [count] (default 1) PCB examinations to the current lookup. *)
+
+val end_lookup : t -> hit_cache:bool -> found:bool -> unit
+(** Close the current lookup; [hit_cache] records that a one-entry
+    cache satisfied it, [found] that any PCB matched at all. *)
+
+val note_insert : t -> unit
+val note_remove : t -> unit
+
+(** {1 Reading} *)
+
+type snapshot = {
+  lookups : int;
+  pcbs_examined : int;       (** Total across all lookups. *)
+  cache_hits : int;
+  found : int;
+  not_found : int;
+  inserts : int;
+  removes : int;
+  max_examined : int;        (** Worst single lookup. *)
+}
+
+val snapshot : t -> snapshot
+
+val merge_snapshots : snapshot list -> snapshot
+(** Pointwise sum (max for [max_examined]) — used to aggregate
+    per-stripe counters in the parallel demultiplexers. *)
+
+val mean_examined : snapshot -> float
+(** PCBs examined per lookup — the paper's metric.  [nan] if no
+    lookups happened. *)
+
+val hit_rate : snapshot -> float
+(** Cache hits per lookup; [nan] if no lookups happened. *)
+
+val reset : t -> unit
+(** Zero all counters (e.g. after simulation warm-up). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

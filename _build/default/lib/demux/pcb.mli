@@ -1,0 +1,24 @@
+(** Protocol control blocks.
+
+    A PCB holds "state information for one endpoint of a given
+    connection" (paper Section 1).  The lookup algorithms never
+    inspect the carried state — they only compare flows — so the state
+    is a type parameter and higher layers (e.g. {!Tcpcore}) attach
+    whatever they need. *)
+
+type 'a t = private {
+  id : int;            (** Unique per-demultiplexer instance. *)
+  flow : Packet.Flow.t;
+  data : 'a;
+  mutable rx_packets : int;  (** Segments delivered to this PCB. *)
+  mutable tx_packets : int;  (** Segments sent on this PCB. *)
+}
+
+val make : id:int -> flow:Packet.Flow.t -> 'a -> 'a t
+val note_rx : 'a t -> unit
+val note_tx : 'a t -> unit
+
+val matches : 'a t -> Packet.Flow.t -> bool
+(** Full 96-bit comparison — the per-PCB work every scan performs. *)
+
+val pp : Format.formatter -> 'a t -> unit

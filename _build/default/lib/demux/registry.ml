@@ -1,0 +1,156 @@
+type spec =
+  | Linear
+  | Bsd
+  | Mtf
+  | Sr_cache
+  | Sequent of { chains : int; hasher : Hashing.Hashers.t }
+  | Hashed_mtf of { chains : int; hasher : Hashing.Hashers.t }
+  | Conn_id of { capacity : int }
+  | Resizing_hash
+  | Splay
+  | Lru_cache of { entries : int }
+
+let default_specs =
+  [ Bsd; Mtf; Sr_cache;
+    Sequent
+      { chains = Sequent.default_chains;
+        hasher = Hashing.Hashers.multiplicative } ]
+
+let spec_name = function
+  | Linear -> "linear"
+  | Bsd -> "bsd"
+  | Mtf -> "mtf"
+  | Sr_cache -> "sr-cache"
+  | Sequent { chains; _ } -> Printf.sprintf "sequent-%d" chains
+  | Hashed_mtf { chains; _ } -> Printf.sprintf "hashed-mtf-%d" chains
+  | Conn_id _ -> "conn-id"
+  | Resizing_hash -> "resizing-hash"
+  | Splay -> "splay"
+  | Lru_cache { entries } -> Printf.sprintf "lru-cache-%d" entries
+
+let spec_of_string s =
+  let chains_suffix ~prefix s =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      int_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "linear" -> Ok Linear
+  | "bsd" -> Ok Bsd
+  | "mtf" -> Ok Mtf
+  | "sr-cache" -> Ok Sr_cache
+  | "conn-id" -> Ok (Conn_id { capacity = 65536 })
+  | "resizing-hash" -> Ok Resizing_hash
+  | "splay" -> Ok Splay
+  | "lru-cache" -> Ok (Lru_cache { entries = 8 })
+  | "sequent" ->
+    Ok
+      (Sequent
+         { chains = Sequent.default_chains;
+           hasher = Hashing.Hashers.multiplicative })
+  | "hashed-mtf" ->
+    Ok
+      (Hashed_mtf
+         { chains = Sequent.default_chains;
+           hasher = Hashing.Hashers.multiplicative })
+  | s -> (
+    match chains_suffix ~prefix:"lru-cache-" s with
+    | Some entries when entries > 0 -> Ok (Lru_cache { entries })
+    | Some _ | None ->
+    match chains_suffix ~prefix:"sequent-" s with
+    | Some chains when chains > 0 ->
+      Ok (Sequent { chains; hasher = Hashing.Hashers.multiplicative })
+    | Some _ | None -> (
+      match chains_suffix ~prefix:"hashed-mtf-" s with
+      | Some chains when chains > 0 ->
+        Ok (Hashed_mtf { chains; hasher = Hashing.Hashers.multiplicative })
+      | Some _ | None ->
+        Error
+          (Printf.sprintf
+             "unknown algorithm %S (try: linear, bsd, mtf, sr-cache, \
+              sequent[-H], hashed-mtf[-H], conn-id, resizing-hash, splay, \
+              lru-cache[-K])"
+             s)))
+
+type 'a t = {
+  name : string;
+  insert : Packet.Flow.t -> 'a -> 'a Pcb.t;
+  remove : Packet.Flow.t -> 'a Pcb.t option;
+  lookup : ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option;
+  note_send : Packet.Flow.t -> unit;
+  stats : Lookup_stats.t;
+  length : unit -> int;
+  iter : ('a Pcb.t -> unit) -> unit;
+}
+
+let create spec =
+  let name = spec_name spec in
+  match spec with
+  | Linear ->
+    let d = Linear.create () in
+    { name; insert = Linear.insert d; remove = Linear.remove d;
+      lookup = (fun ?kind flow -> Linear.lookup d ?kind flow);
+      note_send = Linear.note_send d; stats = Linear.stats d;
+      length = (fun () -> Linear.length d);
+      iter = (fun f -> Linear.iter f d) }
+  | Bsd ->
+    let d = Bsd.create () in
+    { name; insert = Bsd.insert d; remove = Bsd.remove d;
+      lookup = (fun ?kind flow -> Bsd.lookup d ?kind flow);
+      note_send = Bsd.note_send d; stats = Bsd.stats d;
+      length = (fun () -> Bsd.length d); iter = (fun f -> Bsd.iter f d) }
+  | Mtf ->
+    let d = Mtf.create () in
+    { name; insert = Mtf.insert d; remove = Mtf.remove d;
+      lookup = (fun ?kind flow -> Mtf.lookup d ?kind flow);
+      note_send = Mtf.note_send d; stats = Mtf.stats d;
+      length = (fun () -> Mtf.length d); iter = (fun f -> Mtf.iter f d) }
+  | Sr_cache ->
+    let d = Sr_cache.create () in
+    { name; insert = Sr_cache.insert d; remove = Sr_cache.remove d;
+      lookup = (fun ?kind flow -> Sr_cache.lookup d ?kind flow);
+      note_send = Sr_cache.note_send d; stats = Sr_cache.stats d;
+      length = (fun () -> Sr_cache.length d);
+      iter = (fun f -> Sr_cache.iter f d) }
+  | Sequent { chains; hasher } ->
+    let d = Sequent.create ~chains ~hasher () in
+    { name; insert = Sequent.insert d; remove = Sequent.remove d;
+      lookup = (fun ?kind flow -> Sequent.lookup d ?kind flow);
+      note_send = Sequent.note_send d; stats = Sequent.stats d;
+      length = (fun () -> Sequent.length d);
+      iter = (fun f -> Sequent.iter f d) }
+  | Hashed_mtf { chains; hasher } ->
+    let d = Hashed_mtf.create ~chains ~hasher () in
+    { name; insert = Hashed_mtf.insert d; remove = Hashed_mtf.remove d;
+      lookup = (fun ?kind flow -> Hashed_mtf.lookup d ?kind flow);
+      note_send = Hashed_mtf.note_send d; stats = Hashed_mtf.stats d;
+      length = (fun () -> Hashed_mtf.length d);
+      iter = (fun f -> Hashed_mtf.iter f d) }
+  | Conn_id { capacity } ->
+    let d = Conn_id.create ~capacity () in
+    { name; insert = Conn_id.insert d; remove = Conn_id.remove d;
+      lookup = (fun ?kind flow -> Conn_id.lookup d ?kind flow);
+      note_send = Conn_id.note_send d; stats = Conn_id.stats d;
+      length = (fun () -> Conn_id.length d);
+      iter = (fun f -> Conn_id.iter f d) }
+  | Resizing_hash ->
+    let d = Resizing_hash.create () in
+    { name; insert = Resizing_hash.insert d; remove = Resizing_hash.remove d;
+      lookup = (fun ?kind flow -> Resizing_hash.lookup d ?kind flow);
+      note_send = Resizing_hash.note_send d; stats = Resizing_hash.stats d;
+      length = (fun () -> Resizing_hash.length d);
+      iter = (fun f -> Resizing_hash.iter f d) }
+  | Splay ->
+    let d = Splay.create () in
+    { name; insert = Splay.insert d; remove = Splay.remove d;
+      lookup = (fun ?kind flow -> Splay.lookup d ?kind flow);
+      note_send = Splay.note_send d; stats = Splay.stats d;
+      length = (fun () -> Splay.length d); iter = (fun f -> Splay.iter f d) }
+  | Lru_cache { entries } ->
+    let d = Lru_cache.create ~entries () in
+    { name; insert = Lru_cache.insert d; remove = Lru_cache.remove d;
+      lookup = (fun ?kind flow -> Lru_cache.lookup d ?kind flow);
+      note_send = Lru_cache.note_send d; stats = Lru_cache.stats d;
+      length = (fun () -> Lru_cache.length d);
+      iter = (fun f -> Lru_cache.iter f d) }

@@ -1,0 +1,47 @@
+(** Uniform access to every lookup algorithm.
+
+    The simulator, benchmarks and CLI treat algorithms
+    interchangeably; this module erases each implementation's concrete
+    state behind a record of operations. *)
+
+type spec =
+  | Linear
+  | Bsd
+  | Mtf
+  | Sr_cache
+  | Sequent of { chains : int; hasher : Hashing.Hashers.t }
+  | Hashed_mtf of { chains : int; hasher : Hashing.Hashers.t }
+  | Conn_id of { capacity : int }
+  | Resizing_hash
+  | Splay
+  | Lru_cache of { entries : int }
+      (** Which algorithm, with its configuration. *)
+
+val default_specs : spec list
+(** The paper's four algorithms in presentation order: BSD, MTF,
+    SR-cache, Sequent (19 chains, multiplicative hash). *)
+
+val spec_name : spec -> string
+(** Short stable name, e.g. ["sequent-19"]. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse names like ["bsd"], ["mtf"], ["sequent-19"], ["sequent-100"],
+    ["hashed-mtf-19"], ["conn-id"], ["resizing-hash"], ["splay"], ["lru-cache-K"],
+    ["linear"], ["sr-cache"]. *)
+
+type 'a t = {
+  name : string;
+  insert : Packet.Flow.t -> 'a -> 'a Pcb.t;
+  remove : Packet.Flow.t -> 'a Pcb.t option;
+  lookup : ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option;
+  note_send : Packet.Flow.t -> unit;
+  stats : Lookup_stats.t;
+  length : unit -> int;
+  iter : ('a Pcb.t -> unit) -> unit;
+}
+(** One instantiated demultiplexer. *)
+
+val create : spec -> 'a t
+(** Instantiate an algorithm.
+    @raise Invalid_argument on a nonsensical configuration (zero
+    chains etc.). *)

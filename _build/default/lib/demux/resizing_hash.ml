@@ -1,0 +1,79 @@
+type 'a t = {
+  mutable chains : 'a Chain.t array;
+  hasher : Hashing.Hashers.t;
+  index : 'a Chain.node Flow_table.t;
+  stats : Lookup_stats.t;
+  mutable next_id : int;
+  mutable population : int;
+}
+
+let name = "resizing-hash"
+
+let create ?(initial_buckets = 16) ?(hasher = Hashing.Hashers.multiplicative)
+    () =
+  if initial_buckets <= 0 then
+    invalid_arg "Resizing_hash.create: initial_buckets <= 0";
+  { chains = Array.init initial_buckets (fun _ -> Chain.create ()); hasher;
+    index = Flow_table.create 64; stats = Lookup_stats.create ();
+    next_id = 0; population = 0 }
+
+let buckets t = Array.length t.chains
+
+let chain_of_flow t flow =
+  t.chains.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.chains)
+               (Packet.Flow.to_key_bytes flow))
+
+let grow t =
+  let old = t.chains in
+  t.chains <- Array.init (2 * Array.length old) (fun _ -> Chain.create ());
+  Array.iter
+    (fun chain ->
+      Chain.iter
+        (fun pcb ->
+          let node = Chain.push_front (chain_of_flow t pcb.Pcb.flow) pcb in
+          Flow_table.replace t.index pcb.Pcb.flow node)
+        chain)
+    old
+
+let insert t flow data =
+  if Flow_table.mem t.index flow then
+    invalid_arg "Resizing_hash.insert: duplicate flow";
+  if t.population >= Array.length t.chains then grow t;
+  let pcb = Pcb.make ~id:t.next_id ~flow data in
+  t.next_id <- t.next_id + 1;
+  let node = Chain.push_front (chain_of_flow t flow) pcb in
+  Flow_table.replace t.index flow node;
+  t.population <- t.population + 1;
+  Lookup_stats.note_insert t.stats;
+  pcb
+
+let remove t flow =
+  match Flow_table.find_opt t.index flow with
+  | None -> None
+  | Some node ->
+    Chain.remove (chain_of_flow t flow) node;
+    Flow_table.remove t.index flow;
+    t.population <- t.population - 1;
+    Lookup_stats.note_remove t.stats;
+    Some (Chain.pcb node)
+
+let lookup t ?kind:_ flow =
+  Lookup_stats.begin_lookup t.stats;
+  match Chain.scan (chain_of_flow t flow) ~stats:t.stats flow with
+  | Some node ->
+    let pcb = Chain.pcb node in
+    Pcb.note_rx pcb;
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
+    Some pcb
+  | None ->
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+    None
+
+let note_send t flow =
+  match Flow_table.find_opt t.index flow with
+  | Some node -> Pcb.note_tx (Chain.pcb node)
+  | None -> ()
+
+let stats t = t.stats
+let length t = t.population
+let iter f t = Array.iter (fun chain -> Chain.iter f chain) t.chains

@@ -1,0 +1,26 @@
+(** A modern resizing hash table, no per-chain cache — what production
+    stacks converged on after this paper's era.  Doubles the bucket
+    array when the load factor crosses 1, so expected lookup cost
+    stays O(1) regardless of connection count.  Included as the
+    "future work validated by history" baseline. *)
+
+type 'a t
+
+val name : string
+
+val create : ?initial_buckets:int -> ?hasher:Hashing.Hashers.t -> unit -> 'a t
+(** Defaults: 16 buckets, multiplicative hashing.
+    @raise Invalid_argument if [initial_buckets <= 0]. *)
+
+val buckets : 'a t -> int
+(** Current bucket-array size (changes as the table grows). *)
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Pcb.t option
+val lookup : 'a t -> ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option
+val note_send : 'a t -> Packet.Flow.t -> unit
+val stats : 'a t -> Lookup_stats.t
+val length : 'a t -> int
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit

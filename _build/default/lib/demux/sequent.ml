@@ -1,0 +1,95 @@
+type 'a bucket = {
+  chain : 'a Chain.t;
+  mutable cache : 'a Chain.node option;
+}
+
+type 'a t = {
+  buckets : 'a bucket array;
+  hasher : Hashing.Hashers.t;
+  index : 'a Chain.node Flow_table.t;
+  stats : Lookup_stats.t;
+  mutable next_id : int;
+}
+
+let name = "sequent"
+let default_chains = 19
+
+let create ?(chains = default_chains) ?(hasher = Hashing.Hashers.multiplicative)
+    () =
+  if chains <= 0 then invalid_arg "Sequent.create: chains <= 0";
+  { buckets =
+      Array.init chains (fun _ -> { chain = Chain.create (); cache = None });
+    hasher; index = Flow_table.create 64; stats = Lookup_stats.create ();
+    next_id = 0 }
+
+let chains t = Array.length t.buckets
+
+let bucket_of_flow t flow =
+  t.buckets.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.buckets)
+                (Packet.Flow.to_key_bytes flow))
+
+let insert t flow data =
+  if Flow_table.mem t.index flow then
+    invalid_arg "Sequent.insert: duplicate flow";
+  let pcb = Pcb.make ~id:t.next_id ~flow data in
+  t.next_id <- t.next_id + 1;
+  let bucket = bucket_of_flow t flow in
+  let node = Chain.push_front bucket.chain pcb in
+  Flow_table.replace t.index flow node;
+  Lookup_stats.note_insert t.stats;
+  pcb
+
+let remove t flow =
+  match Flow_table.find_opt t.index flow with
+  | None -> None
+  | Some node ->
+    let bucket = bucket_of_flow t flow in
+    (match bucket.cache with
+    | Some cached when cached == node -> bucket.cache <- None
+    | Some _ | None -> ());
+    Chain.remove bucket.chain node;
+    Flow_table.remove t.index flow;
+    Lookup_stats.note_remove t.stats;
+    Some (Chain.pcb node)
+
+let cache_probe t bucket flow =
+  match bucket.cache with
+  | None -> None
+  | Some node ->
+    Lookup_stats.examine t.stats ();
+    if Pcb.matches (Chain.pcb node) flow then Some node else None
+
+let lookup t ?kind:_ flow =
+  Lookup_stats.begin_lookup t.stats;
+  let bucket = bucket_of_flow t flow in
+  match cache_probe t bucket flow with
+  | Some node ->
+    let pcb = Chain.pcb node in
+    Pcb.note_rx pcb;
+    Lookup_stats.end_lookup t.stats ~hit_cache:true ~found:true;
+    Some pcb
+  | None -> (
+    match Chain.scan bucket.chain ~stats:t.stats flow with
+    | Some node ->
+      bucket.cache <- Some node;
+      let pcb = Chain.pcb node in
+      Pcb.note_rx pcb;
+      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
+      Some pcb
+    | None ->
+      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+      None)
+
+let note_send t flow =
+  match Flow_table.find_opt t.index flow with
+  | Some node -> Pcb.note_tx (Chain.pcb node)
+  | None -> ()
+
+let stats t = t.stats
+let length t = Flow_table.length t.index
+
+let iter f t =
+  Array.iter (fun bucket -> Chain.iter f bucket.chain) t.buckets
+
+let chain_lengths t =
+  Array.map (fun bucket -> Chain.length bucket.chain) t.buckets

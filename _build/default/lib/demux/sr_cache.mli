@@ -1,0 +1,37 @@
+(** Partridge and Pink's last-sent/last-received cache (paper
+    Section 3.3).
+
+    BSD's list is augmented with {e two} one-entry caches: the PCB of
+    the last packet received and of the last packet sent.  Data
+    segments probe the receive-side cache first, pure acknowledgements
+    the send-side first (paper footnote 5).  A hit costs 1-2
+    examinations; a full miss costs both probes plus the list scan,
+    the paper's [(N+5)/2].  The scheme leans on packet trains, so it
+    shines for few users and converges to BSD as N grows
+    (Equation 17). *)
+
+type 'a t
+
+val name : string
+val create : unit -> 'a t
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Pcb.t option
+(** Removing a cached PCB invalidates that cache side. *)
+
+val lookup : 'a t -> ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option
+(** Default [kind] is [Data].  A successful lookup installs the PCB in
+    the receive-side cache. *)
+
+val note_send : 'a t -> Packet.Flow.t -> unit
+(** Transmit-side bookkeeping: installs the flow's PCB in the
+    send-side cache.  Uncharged — the sender already holds its PCB. *)
+
+val stats : 'a t -> Lookup_stats.t
+val length : 'a t -> int
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit
+
+val cached_received_flow : 'a t -> Packet.Flow.t option
+val cached_sent_flow : 'a t -> Packet.Flow.t option

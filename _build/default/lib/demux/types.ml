@@ -1,0 +1,5 @@
+type packet_kind = Data | Pure_ack
+
+let pp_packet_kind ppf = function
+  | Data -> Format.pp_print_string ppf "data"
+  | Pure_ack -> Format.pp_print_string ppf "ack"

@@ -1,0 +1,9 @@
+(** Shared types for the lookup algorithms. *)
+
+type packet_kind = Data | Pure_ack
+(** What kind of segment a lookup is for.  Only the Partridge/Pink
+    send/receive cache distinguishes them: its receive-side cache is
+    probed first for data segments and its send-side cache first for
+    pure acknowledgements (paper footnote 5). *)
+
+val pp_packet_kind : Format.formatter -> packet_kind -> unit

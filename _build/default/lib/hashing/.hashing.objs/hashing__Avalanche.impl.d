@@ -1,0 +1,1 @@
+lib/hashing/avalanche.ml: Array Bytes Char Float Format Hashers Int64

@@ -1,0 +1,1 @@
+lib/hashing/avalanche.mli: Format Hashers

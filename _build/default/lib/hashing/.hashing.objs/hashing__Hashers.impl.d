@@ -1,0 +1,1 @@
+lib/hashing/hashers.ml: Array Bytes Char Fun Int32 Int64 Lazy List Packet Printf String

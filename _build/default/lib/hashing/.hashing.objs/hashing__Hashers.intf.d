@@ -1,0 +1,1 @@
+lib/hashing/hashers.mli: Packet

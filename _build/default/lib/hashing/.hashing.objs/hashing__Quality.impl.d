@@ -1,0 +1,1 @@
+lib/hashing/quality.ml: Array Float Format Hashers List Packet

@@ -1,0 +1,1 @@
+lib/hashing/quality.mli: Format Hashers Packet

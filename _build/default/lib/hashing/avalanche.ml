@@ -1,0 +1,66 @@
+type report = {
+  output_bits : int;
+  trials : int;
+  mean_flip_rate : float;
+  worst_bit_rate : float;
+}
+
+(* Small deterministic generator; keeping this library free of a
+   numerics dependency. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount bits =
+  let count = ref 0 in
+  let v = ref bits in
+  while !v <> 0 do
+    count := !count + (!v land 1);
+    v := !v lsr 1
+  done;
+  !count
+
+let measure ?(keys = 64) ?(key_length = 12) ?(output_bits = 16) hasher =
+  if keys <= 0 || key_length <= 0 || output_bits <= 0 || output_bits > 30 then
+    invalid_arg "Avalanche.measure: bad sizes";
+  let state = ref 0x1234_5678L in
+  let mask = (1 lsl output_bits) - 1 in
+  let input_bits = key_length * 8 in
+  (* flip counts per input-bit position, accumulated over keys *)
+  let per_input_bit = Array.make input_bits 0 in
+  let total_flips = ref 0 in
+  for _ = 1 to keys do
+    let key =
+      Bytes.init key_length (fun _ ->
+          Char.chr (Int64.to_int (Int64.logand (splitmix state) 0xFFL)))
+    in
+    let base = Hashers.hash hasher key land mask in
+    for bit = 0 to input_bits - 1 do
+      let byte_index = bit / 8 and bit_index = bit mod 8 in
+      let flipped = Bytes.copy key in
+      Bytes.set_uint8 flipped byte_index
+        (Bytes.get_uint8 flipped byte_index lxor (1 lsl bit_index));
+      let delta = Hashers.hash hasher flipped land mask lxor base in
+      let flips = popcount delta in
+      per_input_bit.(bit) <- per_input_bit.(bit) + flips;
+      total_flips := !total_flips + flips
+    done
+  done;
+  let trials = keys * input_bits in
+  let denominator = float_of_int (keys * output_bits) in
+  let worst =
+    Array.fold_left
+      (fun acc flips -> Float.min acc (float_of_int flips /. denominator))
+      Float.infinity per_input_bit
+  in
+  { output_bits; trials;
+    mean_flip_rate =
+      float_of_int !total_flips /. float_of_int (trials * output_bits);
+    worst_bit_rate = worst }
+
+let pp_report ppf r =
+  Format.fprintf ppf "mean flip rate %.3f (ideal 0.5), worst input bit %.3f"
+    r.mean_flip_rate r.worst_bit_rate

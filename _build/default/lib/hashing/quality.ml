@@ -1,0 +1,64 @@
+type report = {
+  buckets : int;
+  keys : int;
+  max_load : int;
+  min_load : int;
+  mean_load : float;
+  coefficient_of_variation : float;
+  chi_square : float;
+  expected_search_cost : float;
+}
+
+let evaluate ~buckets assignments =
+  if buckets <= 0 then invalid_arg "Quality.evaluate: buckets <= 0";
+  let loads = Array.make buckets 0 in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= buckets then
+        invalid_arg "Quality.evaluate: bucket index out of range";
+      loads.(b) <- loads.(b) + 1)
+    assignments;
+  let keys = List.length assignments in
+  let mean_load = float_of_int keys /. float_of_int buckets in
+  let max_load = Array.fold_left max 0 loads in
+  let min_load = Array.fold_left min max_int loads in
+  let sum_sq_dev = ref 0.0 in
+  Array.iter
+    (fun l ->
+      let d = float_of_int l -. mean_load in
+      sum_sq_dev := !sum_sq_dev +. (d *. d))
+    loads;
+  let variance = !sum_sq_dev /. float_of_int buckets in
+  let coefficient_of_variation =
+    if mean_load = 0.0 then 0.0 else Float.sqrt variance /. mean_load
+  in
+  let chi_square =
+    if mean_load = 0.0 then 0.0 else !sum_sq_dev /. mean_load
+  in
+  let expected_search_cost =
+    if keys = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc l ->
+          let lf = float_of_int l in
+          acc +. (lf /. float_of_int keys *. ((lf +. 1.0) /. 2.0)))
+        0.0 loads
+  in
+  { buckets; keys; max_load; min_load; mean_load; coefficient_of_variation;
+    chi_square; expected_search_cost }
+
+let evaluate_hash hasher ~buckets flows =
+  let assignments =
+    List.map
+      (fun flow -> Hashers.bucket hasher ~buckets (Packet.Flow.to_key_bytes flow))
+      flows
+  in
+  evaluate ~buckets assignments
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>buckets=%d keys=%d@,load: mean=%.2f min=%d max=%d cv=%.3f@,\
+     chi2=%.1f (df=%d)@,expected search cost=%.2f@]"
+    r.buckets r.keys r.mean_load r.min_load r.max_load
+    r.coefficient_of_variation r.chi_square (r.buckets - 1)
+    r.expected_search_cost

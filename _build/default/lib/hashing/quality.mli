@@ -1,0 +1,37 @@
+(** Chain-balance metrics for hash-function evaluation.
+
+    The Sequent algorithm's cost scales with the length of the chain a
+    packet hashes to, so a skewed hash silently erodes the paper's
+    [N/2H] result.  These metrics quantify skew the way Jain's report
+    did: occupancy counts, chi-square against uniform, and the
+    worst-case chain. *)
+
+type report = {
+  buckets : int;
+  keys : int;
+  max_load : int;
+  min_load : int;
+  mean_load : float;
+  coefficient_of_variation : float;
+    (** stddev of loads / mean load; 0 = perfectly even. *)
+  chi_square : float;
+    (** Pearson statistic vs the uniform expectation; for a good hash
+        this is near the degrees of freedom [buckets - 1]. *)
+  expected_search_cost : float;
+    (** Expected PCBs examined for a uniformly chosen {e stored} key
+        scanning its own chain to the midpoint:
+        [sum_b load_b/keys * (load_b + 1)/2].  Equals the paper's
+        [(N/H + 1)/2] only when chains are even. *)
+}
+
+val evaluate : buckets:int -> int list -> report
+(** [evaluate ~buckets assignments] summarises a list of bucket
+    indices (one per key).
+    @raise Invalid_argument if [buckets <= 0] or an index is out of
+    range. *)
+
+val evaluate_hash :
+  Hashers.t -> buckets:int -> Packet.Flow.t list -> report
+(** Hash every flow and evaluate the resulting assignment. *)
+
+val pp_report : Format.formatter -> report -> unit

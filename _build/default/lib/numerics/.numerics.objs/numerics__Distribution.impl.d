@@ -1,0 +1,1 @@
+lib/numerics/distribution.ml: Float Printf Rng

@@ -1,0 +1,1 @@
+lib/numerics/distribution.mli: Rng

@@ -1,0 +1,1 @@
+lib/numerics/kahan.ml: Array Float List

@@ -1,0 +1,94 @@
+type spec =
+  | Exponential of { rate : float }
+  | Truncated_exponential of { rate : float; cutoff : float }
+  | Uniform of { min : float; max : float }
+  | Deterministic of float
+  | Geometric of { p : float }
+
+type t = spec
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Distribution.exponential: rate <= 0";
+  Exponential { rate }
+
+let truncated_exponential ~rate ~cutoff =
+  if rate <= 0.0 then
+    invalid_arg "Distribution.truncated_exponential: rate <= 0";
+  if cutoff <= 0.0 then
+    invalid_arg "Distribution.truncated_exponential: cutoff <= 0";
+  Truncated_exponential { rate; cutoff }
+
+let uniform ~min ~max =
+  if min >= max then invalid_arg "Distribution.uniform: min >= max";
+  Uniform { min; max }
+
+let deterministic v = Deterministic v
+
+let geometric ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Distribution.geometric: p not in (0,1]";
+  Geometric { p }
+
+let sample t rng =
+  match t with
+  | Exponential { rate } ->
+    (* Inverse CDF; 1 - u rather than u so the argument is never 0. *)
+    -.Float.log (1.0 -. Rng.float rng) /. rate
+  | Truncated_exponential { rate; cutoff } ->
+    (* Inverse CDF of the conditional law X | X <= cutoff. *)
+    let mass = -.Float.expm1 (-.rate *. cutoff) in
+    -.Float.log1p (-.(Rng.float rng *. mass)) /. rate
+  | Uniform { min; max } -> Rng.float_range rng ~min ~max
+  | Deterministic v -> v
+  | Geometric { p } ->
+    if p = 1.0 then 0.0
+    else
+      let u = 1.0 -. Rng.float rng in
+      Float.of_int (int_of_float (Float.log u /. Float.log1p (-.p)))
+
+let mean = function
+  | Exponential { rate } -> 1.0 /. rate
+  | Truncated_exponential { rate; cutoff } ->
+    (* E[X | X <= c] = 1/rate - c * e^{-rate c} / (1 - e^{-rate c}) *)
+    let ec = Float.exp (-.rate *. cutoff) in
+    (1.0 /. rate) -. (cutoff *. ec /. (1.0 -. ec))
+  | Uniform { min; max } -> 0.5 *. (min +. max)
+  | Deterministic v -> v
+  | Geometric { p } -> (1.0 -. p) /. p
+
+let pdf t x =
+  match t with
+  | Exponential { rate } ->
+    if x < 0.0 then 0.0 else rate *. Float.exp (-.rate *. x)
+  | Truncated_exponential { rate; cutoff } ->
+    if x < 0.0 || x > cutoff then 0.0
+    else rate *. Float.exp (-.rate *. x) /. (1.0 -. Float.exp (-.rate *. cutoff))
+  | Uniform { min; max } ->
+    if x < min || x >= max then 0.0 else 1.0 /. (max -. min)
+  | Deterministic v -> if x = v then Float.infinity else 0.0
+  | Geometric { p } ->
+    let k = int_of_float x in
+    if x < 0.0 || Float.of_int k <> x then 0.0
+    else p *. ((1.0 -. p) ** Float.of_int k)
+
+let cdf t x =
+  match t with
+  | Exponential { rate } ->
+    if x < 0.0 then 0.0 else -.Float.expm1 (-.rate *. x)
+  | Truncated_exponential { rate; cutoff } ->
+    if x < 0.0 then 0.0
+    else if x >= cutoff then 1.0
+    else Float.expm1 (-.rate *. x) /. Float.expm1 (-.rate *. cutoff)
+  | Uniform { min; max } ->
+    if x < min then 0.0 else if x >= max then 1.0 else (x -. min) /. (max -. min)
+  | Deterministic v -> if x >= v then 1.0 else 0.0
+  | Geometric { p } ->
+    if x < 0.0 then 0.0
+    else 1.0 -. ((1.0 -. p) ** Float.of_int (int_of_float x + 1))
+
+let description = function
+  | Exponential { rate } -> Printf.sprintf "exp(rate=%g)" rate
+  | Truncated_exponential { rate; cutoff } ->
+    Printf.sprintf "truncexp(rate=%g, cutoff=%g)" rate cutoff
+  | Uniform { min; max } -> Printf.sprintf "uniform[%g, %g)" min max
+  | Deterministic v -> Printf.sprintf "const(%g)" v
+  | Geometric { p } -> Printf.sprintf "geometric(p=%g)" p

@@ -1,0 +1,50 @@
+(** Probability distributions for workload modelling.
+
+    The TPC/A benchmark (paper Section 2) specifies think times drawn
+    from a {e truncated} negative-exponential distribution with mean at
+    least 10 s and truncation point at least 10 times the mean.  The
+    paper's analysis approximates it by the untruncated exponential;
+    the simulator uses the real thing, which is exactly the
+    cross-validation the paper performed against production runs. *)
+
+type t
+(** A distribution: sampling plus density/cumulative functions. *)
+
+val exponential : rate:float -> t
+(** Negative-exponential with the given rate (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val truncated_exponential : rate:float -> cutoff:float -> t
+(** Negative-exponential conditioned on being [<= cutoff], sampled by
+    inverse CDF (no rejection loop).  TPC/A think time is
+    [truncated_exponential ~rate:0.1 ~cutoff:100.0].
+    @raise Invalid_argument if [rate <= 0] or [cutoff <= 0]. *)
+
+val uniform : min:float -> max:float -> t
+(** Uniform on [[min, max)].
+    @raise Invalid_argument if [min >= max]. *)
+
+val deterministic : float -> t
+(** Point mass: always returns the given value.  Models the paper's
+    central-server polling scenario ("think times ... exactly 10
+    seconds always"), the stated worst case for move-to-front. *)
+
+val geometric : p:float -> t
+(** Number of Bernoulli(p) failures before the first success, as a
+    float — the paper's die-rolling illustration of memorylessness.
+    @raise Invalid_argument if [p] is outside (0, 1]. *)
+
+val sample : t -> Rng.t -> float
+(** Draw one value. *)
+
+val mean : t -> float
+(** Exact (analytic) mean. *)
+
+val pdf : t -> float -> float
+(** Probability density (or mass, for {!geometric}) at a point. *)
+
+val cdf : t -> float -> float
+(** Cumulative distribution function. *)
+
+val description : t -> string
+(** Human-readable summary, e.g. ["exp(rate=0.1)"]. *)

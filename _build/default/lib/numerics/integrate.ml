@@ -1,0 +1,89 @@
+let adaptive_simpson ?(tolerance = 1e-10) ?(max_depth = 60) f a b =
+  if a = b then 0.0
+  else
+    (* Standard adaptive Simpson with the Richardson correction: a split
+       is accepted when the two half-panels differ from the parent panel
+       by at most 15 * eps. *)
+    let simpson a fa b fb =
+      let c = 0.5 *. (a +. b) in
+      let fc = f c in
+      (c, fc, (b -. a) /. 6.0 *. (fa +. (4.0 *. fc) +. fb))
+    in
+    let rec refine a fa b fb c fc whole eps depth =
+      let lc, flc, left = simpson a fa c fc in
+      let rc, frc, right = simpson c fc b fb in
+      let delta = left +. right -. whole in
+      if depth >= max_depth || Float.abs delta <= 15.0 *. eps then
+        left +. right +. (delta /. 15.0)
+      else
+        let half = eps /. 2.0 in
+        refine a fa c fc lc flc left half (depth + 1)
+        +. refine c fc b fb rc frc right half (depth + 1)
+    in
+    let fa = f a and fb = f b in
+    let c, fc, whole = simpson a fa b fb in
+    refine a fa b fb c fc whole tolerance 0
+
+(* Abscissae/weights for the positive half of the symmetric rules. *)
+let gl_nodes_weights = function
+  | 4 ->
+    ( [| 0.3399810435848563; 0.8611363115940526 |],
+      [| 0.6521451548625461; 0.3478548451374538 |] )
+  | 8 ->
+    ( [| 0.1834346424956498; 0.5255324099163290; 0.7966664774136267;
+         0.9602898564975363 |],
+      [| 0.3626837833783620; 0.3137066458778873; 0.2223810344533745;
+         0.1012285362903763 |] )
+  | 16 ->
+    ( [| 0.0950125098376374; 0.2816035507792589; 0.4580167776572274;
+         0.6178762444026438; 0.7554044083550030; 0.8656312023878318;
+         0.9445750230732326; 0.9894009349916499 |],
+      [| 0.1894506104550685; 0.1826034150449236; 0.1691565193950025;
+         0.1495959888165767; 0.1246289712555339; 0.0951585116824928;
+         0.0622535239386479; 0.0271524594117541 |] )
+  | n ->
+    invalid_arg
+      (Printf.sprintf "Integrate.gauss_legendre: unsupported node count %d" n)
+
+let gauss_legendre ?(nodes = 16) f a b =
+  let xs, ws = gl_nodes_weights nodes in
+  let mid = 0.5 *. (a +. b) and half = 0.5 *. (b -. a) in
+  let acc = Kahan.create () in
+  Array.iteri
+    (fun i x ->
+      let w = ws.(i) in
+      Kahan.add acc (w *. f (mid +. (half *. x)));
+      Kahan.add acc (w *. f (mid -. (half *. x))))
+    xs;
+  half *. Kahan.sum acc
+
+let to_infinity ?(tolerance = 1e-10) f a =
+  (* Map [a, inf) onto [0, 1) via x = a + t/(1-t); dx = dt/(1-t)^2. *)
+  let g t =
+    if t >= 1.0 then 0.0
+    else
+      let u = 1.0 -. t in
+      f (a +. (t /. u)) /. (u *. u)
+  in
+  adaptive_simpson ~tolerance g 0.0 1.0
+
+let expectation_exponential ?(tolerance = 1e-10) ~rate g =
+  if rate <= 0.0 then
+    invalid_arg "Integrate.expectation_exponential: rate must be positive";
+  let weighted x = rate *. Float.exp (-.rate *. x) *. g x in
+  to_infinity ~tolerance weighted 0.0
+
+let expectation_exponential_piecewise ?(tolerance = 1e-10) ~rate ~breakpoints g
+    =
+  if rate <= 0.0 then
+    invalid_arg "Integrate.expectation_exponential_piecewise: rate <= 0";
+  let weighted x = rate *. Float.exp (-.rate *. x) *. g x in
+  let points =
+    List.sort_uniq Float.compare
+      (List.filter (fun x -> x > 0.0 && x < Float.infinity) breakpoints)
+  in
+  let rec pieces lo = function
+    | [] -> [ to_infinity ~tolerance weighted lo ]
+    | hi :: rest -> adaptive_simpson ~tolerance weighted lo hi :: pieces hi rest
+  in
+  Kahan.sum_list (pieces 0.0 points)

@@ -1,0 +1,43 @@
+(** One-dimensional numerical quadrature.
+
+    The paper's move-to-front and send/receive-cache models (Equations
+    5, 6, 10 and 13) are expectations over an exponentially distributed
+    think time: integrals of smooth integrands over [[0, R]] and
+    [[R, infinity)].  Adaptive Simpson handles the finite pieces;
+    semi-infinite tails are folded onto [[0, 1)] with the substitution
+    [t = x / (1 - x)]. *)
+
+val adaptive_simpson :
+  ?tolerance:float -> ?max_depth:int -> (float -> float) -> float -> float ->
+  float
+(** [adaptive_simpson f a b] integrates [f] over [[a, b]] by recursive
+    Simpson bisection with Richardson error control.
+    @param tolerance absolute error target (default [1e-10]).
+    @param max_depth recursion limit (default [60]); beyond it the
+    current panel estimate is accepted. *)
+
+val gauss_legendre : ?nodes:int -> (float -> float) -> float -> float -> float
+(** [gauss_legendre f a b] integrates with a fixed-order composite
+    Gauss-Legendre rule ([nodes] must be 4, 8 or 16; default 16, a
+    single panel).  Used as an independent cross-check of
+    {!adaptive_simpson} in the test suite.
+    @raise Invalid_argument on an unsupported node count. *)
+
+val to_infinity : ?tolerance:float -> (float -> float) -> float -> float
+(** [to_infinity f a] integrates [f] over [[a, infinity)].  [f] must
+    decay at least exponentially (all our integrands carry a factor
+    [exp (-a*T)]). *)
+
+val expectation_exponential :
+  ?tolerance:float -> rate:float -> (float -> float) -> float
+(** [expectation_exponential ~rate g] is [E(g X)] for
+    [X ~ Exponential rate], i.e. [integral_0^inf rate*exp(-rate x) g x dx].
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val expectation_exponential_piecewise :
+  ?tolerance:float -> rate:float -> breakpoints:float list ->
+  (float -> float) -> float
+(** Same as {!expectation_exponential} but splitting the domain at the
+    given breakpoints so integrands with kinks (the [T < R+D] vs
+    [T > R+D] cases of the paper's Section 3.3) are integrated piecewise
+    smoothly.  Breakpoints outside [(0, infinity)] are ignored. *)

@@ -1,0 +1,33 @@
+type t = { mutable total : float; mutable compensation : float }
+
+let create () = { total = 0.0; compensation = 0.0 }
+
+(* Neumaier's variant: works even when the addend is larger in magnitude
+   than the running total, which plain Kahan mishandles. *)
+let add t x =
+  let sum = t.total +. x in
+  let correction =
+    if Float.abs t.total >= Float.abs x then (t.total -. sum) +. x
+    else (x -. sum) +. t.total
+  in
+  t.compensation <- t.compensation +. correction;
+  t.total <- sum
+
+let sum t = t.total +. t.compensation
+
+let sum_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  sum t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  sum t
+
+let sum_fn n f =
+  let t = create () in
+  for i = 0 to n - 1 do
+    add t (f i)
+  done;
+  sum t

@@ -1,0 +1,28 @@
+(** Compensated (Kahan-Babuska-Neumaier) floating-point summation.
+
+    Summing thousands of terms of widely varying magnitude — as the
+    binomial sums of Equation 3 of the paper require at [n = 2000] —
+    loses precision with naive accumulation.  This accumulator keeps a
+    running compensation term so the result is correct to within a few
+    ulps regardless of term ordering. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add t x] accumulates [x] into [t]. *)
+
+val sum : t -> float
+(** Current compensated total. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_list : float list -> float
+(** One-shot compensated sum of a list. *)
+
+val sum_fn : int -> (int -> float) -> float
+(** [sum_fn n f] is the compensated sum of [f 0 + ... + f (n-1)]. *)

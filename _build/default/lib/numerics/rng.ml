@@ -1,0 +1,95 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: used only to expand a small seed into the 256-bit xoshiro
+   state, as its own weak points do not survive the expansion. *)
+let splitmix64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_state64 seed64 =
+  let sm = ref seed64 in
+  let s0 = splitmix64_next sm in
+  let s1 = splitmix64_next sm in
+  let s2 = splitmix64_next sm in
+  let s3 = splitmix64_next sm in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_state64 (Int64.of_int seed)
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_state64 (bits64 t)
+
+let float t =
+  (* Top 53 bits give a uniform dyadic rational in [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t ~min ~max =
+  if min > max then invalid_arg "Rng.float_range: min > max";
+  min +. ((max -. min) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  (* Rejection sampling over the low 62 bits avoids modulo bias. *)
+  let mask = Int64.max_int in
+  let rec draw () =
+    let candidate = Int64.logand (bits64 t) mask in
+    let limit = Int64.sub mask (Int64.rem mask bound64) in
+    if candidate >= limit then draw ()
+    else Int64.to_int (Int64.rem candidate bound64)
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let jump_polynomial =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL;
+     0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for bit = 0 to 63 do
+        if Int64.logand word (Int64.shift_left 1L bit) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (bits64 t)
+      done)
+    jump_polynomial;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3

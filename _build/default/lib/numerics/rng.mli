@@ -1,0 +1,43 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The simulator must be reproducible run-to-run (the paper's analytic
+    results are compared against simulated means, so benchmark tables
+    have to be stable), and each simulated user needs an independent
+    stream.  This is xoshiro256++ seeded through splitmix64, the
+    combination recommended by Blackman & Vigna. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed.  Equal seeds
+    yield identical streams. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Used to give each simulated user its own stream so
+    adding users does not perturb existing ones. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [[0, 1)], using the top 53 bits. *)
+
+val float_range : t -> min:float -> max:float -> float
+(** Uniform float in [[min, max)].
+    @raise Invalid_argument if [min > max]. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [[0, bound)] by rejection (no modulo bias).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val jump : t -> unit
+(** Advance [t] by 2^128 steps (the xoshiro jump polynomial); an
+    alternative to {!split} for carving non-overlapping substreams. *)

@@ -1,0 +1,68 @@
+let lanczos_g = 7.0
+
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: requires x > 0"
+  else if x < 0.5 then
+    (* Reflection formula keeps the Lanczos series in its sweet spot. *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else
+    let x = x -. 1.0 in
+    let series = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      series := !series +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. Float.log (2.0 *. Float.pi))
+    +. (((x +. 0.5) *. Float.log t) -. t)
+    +. Float.log !series
+
+let log_factorial_table =
+  let table = Array.make 256 0.0 in
+  for n = 2 to 255 do
+    table.(n) <- table.(n - 1) +. Float.log (float_of_int n)
+  done;
+  table
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument"
+  else if n < 256 then log_factorial_table.(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+let log_binomial n k =
+  if n < 0 then invalid_arg "Special.log_binomial: negative n"
+  else if k < 0 || k > n then Float.neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let binomial_pmf ~n ~p k =
+  if n < 0 then invalid_arg "Special.binomial_pmf: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Special.binomial_pmf: p not in [0,1]";
+  if k < 0 || k > n then 0.0
+  else if p = 0.0 then if k = 0 then 1.0 else 0.0
+  else if p = 1.0 then if k = n then 1.0 else 0.0
+  else
+    let log_pmf =
+      log_binomial n k
+      +. (float_of_int k *. Float.log p)
+      +. (float_of_int (n - k) *. Float.log1p (-.p))
+    in
+    Float.exp log_pmf
+
+let binomial_mean_direct ~n ~p =
+  Kahan.sum_fn (n + 1) (fun k -> float_of_int k *. binomial_pmf ~n ~p k)
+
+let log_sum_exp a =
+  if Array.length a = 0 then Float.neg_infinity
+  else
+    let m = Array.fold_left Float.max Float.neg_infinity a in
+    if m = Float.neg_infinity then Float.neg_infinity
+    else
+      let s = Kahan.sum_fn (Array.length a) (fun i -> Float.exp (a.(i) -. m)) in
+      m +. Float.log s
+
+let expm1 = Float.expm1
+let log1p = Float.log1p

@@ -1,0 +1,41 @@
+(** Special functions needed by the paper's analytic models.
+
+    Equation 3 of the paper is a binomial expectation over up to
+    [n = 10,000] users; its terms involve binomial coefficients far
+    beyond the range of [float], so everything here works in log
+    space. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0], via the Lanczos
+    approximation (g = 7, n = 9), accurate to ~1e-13 relative error. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln n!].  Values up to [n = 255] are served
+    from a precomputed table; larger ones via {!log_gamma}.
+    @raise Invalid_argument if [n < 0]. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is [ln (n choose k)].  Returns [neg_infinity]
+    when [k < 0] or [k > n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+(** [binomial_pmf ~n ~p k] is the probability of exactly [k] successes
+    in [n] Bernoulli trials of success probability [p], computed in log
+    space so it never overflows.
+    @raise Invalid_argument if [p] is outside [0, 1] or [n < 0]. *)
+
+val binomial_mean_direct : n:int -> p:float -> float
+(** The mean [sum_k k * pmf k] computed by explicit compensated
+    summation — deliberately {e not} the closed form [n *. p], so tests
+    can confirm the paper's Equation 3 sum equals its closed form. *)
+
+val log_sum_exp : float array -> float
+(** [log_sum_exp a] is [ln (sum_i exp a.(i))], computed stably.
+    Returns [neg_infinity] on an empty array. *)
+
+val expm1 : float -> float
+(** [expm1 x] is [exp x - 1.] without cancellation for small [x]. *)
+
+val log1p : float -> float
+(** [log1p x] is [ln (1. + x)] without cancellation for small [x]. *)

@@ -1,0 +1,90 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min_v = Float.infinity; max_v = Float.neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then Float.nan else t.mean
+let variance t = if t.n < 2 then Float.nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = Float.sqrt (variance t)
+let min_value t = if t.n = 0 then Float.nan else t.min_v
+let max_value t = if t.n = 0 then Float.nan else t.max_v
+
+let confidence_95 t =
+  if t.n < 2 then Float.nan
+  else 1.96 *. stddev t /. Float.sqrt (float_of_int t.n)
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let fn = float_of_int n in
+    let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
+    in
+    { n; mean; m2; min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v }
+
+let quantile data q =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Stats.quantile: empty data";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy data in
+  Array.sort Float.compare sorted;
+  let position = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor position) in
+  let hi = int_of_float (Float.ceil position) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = position -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+module Histogram = struct
+  type h = {
+    min : float;
+    width : float;
+    buckets : int array;
+    mutable under : int;
+    mutable over : int;
+  }
+
+  let create ~min ~max ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
+    if min >= max then invalid_arg "Histogram.create: min >= max";
+    { min; width = (max -. min) /. float_of_int buckets;
+      buckets = Array.make buckets 0; under = 0; over = 0 }
+
+  let add h x =
+    let i = int_of_float (Float.floor ((x -. h.min) /. h.width)) in
+    if x < h.min then h.under <- h.under + 1
+    else if i >= Array.length h.buckets then h.over <- h.over + 1
+    else h.buckets.(i) <- h.buckets.(i) + 1
+
+  let total h = h.under + h.over + Array.fold_left ( + ) 0 h.buckets
+
+  let counts h =
+    Array.mapi
+      (fun i c -> (h.min +. (float_of_int i *. h.width), c))
+      h.buckets
+
+  let underflow h = h.under
+  let overflow h = h.over
+end

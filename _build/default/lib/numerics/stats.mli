@@ -1,0 +1,59 @@
+(** Streaming and batch statistics for simulation output.
+
+    The simulator's figure of merit — PCBs examined per packet — is a
+    long stream of small integers; we accumulate it with Welford's
+    online algorithm so means and variances are exact in one pass, and
+    offer histograms for distribution-shaped reporting. *)
+
+(** {1 Online accumulator} *)
+
+type t
+(** Welford online mean/variance accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val confidence_95 : t -> float
+(** Half-width of the normal-approximation 95 % confidence interval for
+    the mean ([1.96 * stddev / sqrt count]); [nan] when undefined. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford / Chan's formula). *)
+
+(** {1 Batch helpers} *)
+
+val quantile : float array -> float -> float
+(** [quantile data q] for [q] in [[0, 1]], linear interpolation between
+    order statistics.  Sorts a copy.
+    @raise Invalid_argument on empty data or [q] outside [0, 1]. *)
+
+(** {1 Histogram} *)
+
+module Histogram : sig
+  type h
+
+  val create : min:float -> max:float -> buckets:int -> h
+  (** Fixed-width buckets over [[min, max)]; out-of-range samples land
+      in saturated edge counters.
+      @raise Invalid_argument if [buckets <= 0] or [min >= max]. *)
+
+  val add : h -> float -> unit
+  val total : h -> int
+
+  val counts : h -> (float * int) array
+  (** [(lower_bound, count)] per bucket, in order. *)
+
+  val underflow : h -> int
+  val overflow : h -> int
+end

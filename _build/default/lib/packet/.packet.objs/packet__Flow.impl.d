@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Bytes Format Int Ipv4 Tcp_header

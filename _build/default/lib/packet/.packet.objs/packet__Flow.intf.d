@@ -1,0 +1,1 @@
+lib/packet/flow.mli: Format Ipv4 Tcp_header

@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes Checksum Format Int32 Printf String

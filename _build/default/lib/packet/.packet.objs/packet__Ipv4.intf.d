@@ -1,0 +1,1 @@
+lib/packet/ipv4.mli: Format

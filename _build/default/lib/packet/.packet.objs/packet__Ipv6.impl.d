@@ -1,0 +1,1 @@
+lib/packet/ipv6.ml: Array Bytes Char Format Int32 Ipv4 List Option Printf String

@@ -1,0 +1,1 @@
+lib/packet/ipv6.mli: Format Ipv4

@@ -1,0 +1,1 @@
+lib/packet/pcap.ml: Bytes Float Int32 List

@@ -1,0 +1,1 @@
+lib/packet/reassembly.ml: Bytes Hashtbl Ipv4 List String

@@ -1,0 +1,1 @@
+lib/packet/reassembly.mli: Ipv4

@@ -1,0 +1,1 @@
+lib/packet/segment.ml: Bytes Flow Format Ipv4 String Tcp_header

@@ -1,0 +1,1 @@
+lib/packet/segment.mli: Flow Format Ipv4 Tcp_header

@@ -1,0 +1,1 @@
+lib/packet/tcp_header.ml: Bytes Checksum Format List Printf String

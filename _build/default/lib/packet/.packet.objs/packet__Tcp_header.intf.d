@@ -1,0 +1,1 @@
+lib/packet/tcp_header.mli: Format

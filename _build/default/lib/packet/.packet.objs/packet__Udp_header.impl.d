@@ -1,0 +1,1 @@
+lib/packet/udp_header.ml: Bytes Checksum Flow Format Ipv4 Printf String

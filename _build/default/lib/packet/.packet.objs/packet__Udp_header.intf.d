@@ -1,0 +1,1 @@
+lib/packet/udp_header.mli: Flow Format Ipv4

@@ -1,0 +1,25 @@
+let ones_complement_sum ?(initial = 0) buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.ones_complement_sum: region out of range";
+  let sum = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be buf !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes.get_uint8 buf !i lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let compute ?initial buf ~off ~len =
+  finish (ones_complement_sum ?initial buf ~off ~len)
+
+let verify ?initial buf ~off ~len =
+  finish (ones_complement_sum ?initial buf ~off ~len) = 0

@@ -1,0 +1,19 @@
+(** RFC 1071 Internet checksum (16-bit one's-complement sum). *)
+
+val ones_complement_sum : ?initial:int -> bytes -> off:int -> len:int -> int
+(** Running 16-bit one's-complement sum (not yet complemented) of
+    [len] bytes starting at [off]; odd trailing byte is padded with
+    zero, per RFC 1071.  [initial] chains partial sums (e.g. a
+    pseudo-header).
+    @raise Invalid_argument on out-of-range [off]/[len]. *)
+
+val finish : int -> int
+(** Fold carries and complement a running sum into the on-wire 16-bit
+    checksum value. *)
+
+val compute : ?initial:int -> bytes -> off:int -> len:int -> int
+(** [finish (ones_complement_sum ...)]. *)
+
+val verify : ?initial:int -> bytes -> off:int -> len:int -> bool
+(** True when the region (which must include its embedded checksum
+    field) sums to the all-ones pattern, i.e. the checksum is valid. *)

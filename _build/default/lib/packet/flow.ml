@@ -1,0 +1,43 @@
+type endpoint = { addr : Ipv4.addr; port : int }
+
+let endpoint addr port =
+  if port < 0 || port > 0xFFFF then invalid_arg "Flow.endpoint: bad port";
+  { addr; port }
+
+let pp_endpoint ppf e = Format.fprintf ppf "%a:%d" Ipv4.pp_addr e.addr e.port
+
+type t = { local : endpoint; remote : endpoint }
+
+let v ~local ~remote = { local; remote }
+
+let of_headers (ip : Ipv4.t) (tcp : Tcp_header.t) =
+  { local = { addr = ip.Ipv4.dst; port = tcp.Tcp_header.dst_port };
+    remote = { addr = ip.Ipv4.src; port = tcp.Tcp_header.src_port } }
+
+let equal_endpoint a b = Ipv4.equal_addr a.addr b.addr && a.port = b.port
+let equal a b = equal_endpoint a.local b.local && equal_endpoint a.remote b.remote
+
+let compare_endpoint a b =
+  match Ipv4.compare_addr a.addr b.addr with
+  | 0 -> Int.compare a.port b.port
+  | c -> c
+
+let compare a b =
+  match compare_endpoint a.local b.local with
+  | 0 -> compare_endpoint a.remote b.remote
+  | c -> c
+
+let reverse t = { local = t.remote; remote = t.local }
+
+let to_key_bytes t =
+  let buf = Bytes.create 12 in
+  Bytes.set_int32_be buf 0 (Ipv4.addr_to_int32 t.local.addr);
+  Bytes.set_int32_be buf 4 (Ipv4.addr_to_int32 t.remote.addr);
+  Bytes.set_uint16_be buf 8 t.local.port;
+  Bytes.set_uint16_be buf 10 t.remote.port;
+  buf
+
+let pp ppf t =
+  Format.fprintf ppf "%a <- %a" pp_endpoint t.local pp_endpoint t.remote
+
+let to_string t = Format.asprintf "%a" pp t

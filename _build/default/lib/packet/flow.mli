@@ -1,0 +1,38 @@
+(** Connection identity: the 96-bit demultiplexing key.
+
+    A flow names one TCP connection {e from the receiving host's point
+    of view}: [local] is this host's address/port, [remote] the peer's.
+    Every PCB-lookup algorithm in the library maps an inbound
+    segment's flow to a PCB using exactly this key, which is the
+    "source and destination Internet Protocol addresses and TCP ports
+    [totalling] 96 bits" of the paper's introduction. *)
+
+type endpoint = { addr : Ipv4.addr; port : int }
+
+val endpoint : Ipv4.addr -> int -> endpoint
+(** @raise Invalid_argument if the port is outside [0, 65535]. *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type t = { local : endpoint; remote : endpoint }
+
+val v : local:endpoint -> remote:endpoint -> t
+
+val of_headers : Ipv4.t -> Tcp_header.t -> t
+(** The flow of a {e received} segment: local = (dst addr, dst port),
+    remote = (src addr, src port). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val reverse : t -> t
+(** Swap local and remote — the flow of traffic in the other
+    direction. *)
+
+val to_key_bytes : t -> bytes
+(** The canonical 12-byte (96-bit) wire-order key: local addr, remote
+    addr, local port, remote port.  This is the byte string the
+    {!Hashing} functions consume. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,82 @@
+(** IPv6 addresses and fixed headers (RFC 8200) — a forward-looking
+    extension.
+
+    The paper's 96-bit key becomes 288 bits under IPv6, making "simple
+    indexing schemes" even less feasible and hashing even more clearly
+    the answer.  This module provides addresses (RFC 4291 parsing,
+    RFC 5952 canonical printing), the 40-byte fixed header, the
+    upper-layer pseudo-header sum (so {!Tcp_header} checksums work
+    over IPv6 unchanged), and the widened flow key, which every hash
+    in {!Hashing} accepts as-is. *)
+
+(** {1 Addresses} *)
+
+type addr
+(** A 128-bit address. *)
+
+val addr_of_groups : int array -> addr
+(** From eight 16-bit groups.
+    @raise Invalid_argument unless exactly 8 values in [0, 0xFFFF]. *)
+
+val addr_to_groups : addr -> int array
+
+val addr_of_string : string -> (addr, string) result
+(** RFC 4291 text forms: full, leading-zero-free, and ["::"]
+    compression.  (Embedded IPv4 dotted suffixes are not accepted.) *)
+
+val addr_to_string : addr -> string
+(** RFC 5952 canonical form: lowercase, no leading zeros, the longest
+    (leftmost, length >= 2) zero run compressed to ["::"]. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+val equal_addr : addr -> addr -> bool
+val compare_addr : addr -> addr -> int
+
+val unspecified : addr
+(** The all-zeros address [::]. *)
+
+val loopback : addr
+(** [::1]. *)
+
+(** {1 Header} *)
+
+type t = {
+  traffic_class : int;
+  flow_label : int;      (** 20 bits. *)
+  payload_length : int;
+  next_header : Ipv4.protocol;  (** Same registry as IPv4's protocol. *)
+  hop_limit : int;
+  src : addr;
+  dst : addr;
+}
+
+val header_length : int
+(** 40 bytes (the fixed header; extension headers unmodelled). *)
+
+val make :
+  ?traffic_class:int -> ?flow_label:int -> ?hop_limit:int -> src:addr ->
+  dst:addr -> next_header:Ipv4.protocol -> payload_length:int -> unit -> t
+(** Defaults: class 0, label 0, hop limit 64.
+    @raise Invalid_argument on out-of-range fields. *)
+
+val serialize : t -> bytes -> off:int -> unit
+(** Write 40 bytes at [off] (IPv6 has no header checksum).
+    @raise Invalid_argument if the buffer is too small. *)
+
+val parse : bytes -> off:int -> (t * int, string) result
+(** Parse a fixed header; returns it and the payload offset. *)
+
+val pseudo_header_sum : t -> int
+(** RFC 8200 upper-layer pseudo-header running sum, compatible with
+    {!Tcp_header.serialize}'s [pseudo_sum]. *)
+
+(** {1 Demultiplexing key} *)
+
+val flow_key : src:addr -> src_port:int -> dst:addr -> dst_port:int -> bytes
+(** The receiver-side 36-byte (288-bit) connection key: local address,
+    remote address, local port, remote port — same layout discipline
+    as {!Flow.to_key_bytes}, consumable by every {!Hashing.Hashers}
+    function.
+    @raise Invalid_argument on out-of-range ports. *)
+
+val pp : Format.formatter -> t -> unit

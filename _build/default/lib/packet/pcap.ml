@@ -1,0 +1,70 @@
+type writer = { channel : out_channel; mutable count : int }
+
+let magic = 0xA1B2C3D4l
+let linktype_raw = 101l
+
+let write_int32_le oc v =
+  output_byte oc (Int32.to_int (Int32.logand v 0xFFl));
+  output_byte oc (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl));
+  output_byte oc (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xFFl));
+  output_byte oc (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xFFl))
+
+let write_int16_le oc v =
+  output_byte oc (v land 0xFF);
+  output_byte oc ((v lsr 8) land 0xFF)
+
+let create_writer channel =
+  write_int32_le channel magic;
+  write_int16_le channel 2 (* version major *);
+  write_int16_le channel 4 (* version minor *);
+  write_int32_le channel 0l (* thiszone *);
+  write_int32_le channel 0l (* sigfigs *);
+  write_int32_le channel 0x40000l (* snaplen *);
+  write_int32_le channel linktype_raw;
+  { channel; count = 0 }
+
+let write_packet w ~time data =
+  let seconds = int_of_float (Float.floor time) in
+  let micros = int_of_float ((time -. Float.floor time) *. 1e6) in
+  let len = Bytes.length data in
+  write_int32_le w.channel (Int32.of_int seconds);
+  write_int32_le w.channel (Int32.of_int micros);
+  write_int32_le w.channel (Int32.of_int len);
+  write_int32_le w.channel (Int32.of_int len);
+  output_bytes w.channel data;
+  w.count <- w.count + 1
+
+let packet_count w = w.count
+
+type record = { time : float; data : bytes }
+
+let read_exactly ic n =
+  let buf = Bytes.create n in
+  really_input ic buf 0 n;
+  buf
+
+let int32_le buf off =
+  let b i = Int32.of_int (Bytes.get_uint8 buf (off + i)) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let read_all ic =
+  try
+    let header = read_exactly ic 24 in
+    if int32_le header 0 <> magic then Error "pcap: bad magic"
+    else
+      let rec records acc =
+        match read_exactly ic 16 with
+        | record_header ->
+          let seconds = Int32.to_int (int32_le record_header 0) in
+          let micros = Int32.to_int (int32_le record_header 4) in
+          let caplen = Int32.to_int (int32_le record_header 8) in
+          let data = read_exactly ic caplen in
+          let time = float_of_int seconds +. (float_of_int micros /. 1e6) in
+          records ({ time; data } :: acc)
+        | exception End_of_file -> Ok (List.rev acc)
+      in
+      records []
+  with End_of_file -> Error "pcap: truncated file"

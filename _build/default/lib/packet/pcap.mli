@@ -1,0 +1,24 @@
+(** Minimal libpcap-format trace writer and reader.
+
+    Lets the examples dump generated workloads to [.pcap] files that
+    tcpdump/wireshark can open, and lets tests round-trip traces.  Uses
+    the classic little-endian format (magic [0xA1B2C3D4], version 2.4)
+    with link type 101 (LINKTYPE_RAW: packets begin with the IPv4
+    header, so no synthetic Ethernet frames are needed). *)
+
+type writer
+
+val create_writer : out_channel -> writer
+(** Write the global header and return a writer.  The caller retains
+    ownership of the channel (close it yourself). *)
+
+val write_packet : writer -> time:float -> bytes -> unit
+(** Append one record with the given capture time (seconds, fractional
+    part becomes microseconds). *)
+
+val packet_count : writer -> int
+
+type record = { time : float; data : bytes }
+
+val read_all : in_channel -> (record list, string) result
+(** Read every record of a file written by this module. *)

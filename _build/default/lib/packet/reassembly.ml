@@ -1,0 +1,188 @@
+(* ------------------------------------------------------------------ *)
+(* Fragmentation                                                       *)
+
+let fragment (header : Ipv4.t) ~payload ~mtu =
+  if String.length payload <> header.Ipv4.payload_length then
+    invalid_arg "Reassembly.fragment: payload length disagrees with header";
+  let capacity = mtu - Ipv4.header_length in
+  if capacity < 8 then invalid_arg "Reassembly.fragment: mtu too small";
+  if String.length payload <= capacity then [ (header, payload) ]
+  else if header.Ipv4.dont_fragment then
+    invalid_arg "Reassembly.fragment: DF set and datagram exceeds mtu"
+  else begin
+    (* Non-final pieces must be multiples of 8 bytes. *)
+    let piece = capacity land lnot 7 in
+    let total = String.length payload in
+    let rec split offset acc =
+      if offset >= total then List.rev acc
+      else
+        let len = min piece (total - offset) in
+        let last = offset + len >= total in
+        let fragment_header =
+          { header with
+            Ipv4.more_fragments = (not last);
+            fragment_offset = offset / 8;
+            payload_length = len;
+            dont_fragment = false }
+        in
+        split (offset + len)
+          ((fragment_header, String.sub payload offset len) :: acc)
+    in
+    split 0 []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reassembly: RFC 815 hole list                                       *)
+
+type key = {
+  src : Ipv4.addr;
+  dst : Ipv4.addr;
+  protocol : int;
+  identification : int;
+}
+
+type hole = { first : int; last : int } (* inclusive byte range *)
+
+type partial = {
+  key : key;
+  buffer : Bytes.t;                 (* 64 KiB worst case, grown lazily *)
+  mutable holes : hole list;        (* sorted, disjoint *)
+  mutable total_length : int option; (* known once the final fragment is seen *)
+  mutable first_header : Ipv4.t option;
+  mutable arrived_at : float;
+}
+
+type t = {
+  table : (key, partial) Hashtbl.t;
+  timeout : float;
+  max_pending : int;
+}
+
+type outcome =
+  | Complete of Ipv4.t * string
+  | Pending
+  | Duplicate
+
+let create ?(timeout = 30.0) ?(max_pending = 64) () =
+  if timeout <= 0.0 then invalid_arg "Reassembly.create: timeout <= 0";
+  if max_pending <= 0 then invalid_arg "Reassembly.create: max_pending <= 0";
+  { table = Hashtbl.create 16; timeout; max_pending }
+
+let key_of_header (h : Ipv4.t) =
+  { src = h.Ipv4.src; dst = h.Ipv4.dst;
+    protocol = Ipv4.protocol_to_int h.Ipv4.protocol;
+    identification = h.Ipv4.identification }
+
+let max_datagram = 65535 - Ipv4.header_length
+
+let fresh_partial key now =
+  { key; buffer = Bytes.create max_datagram; holes = [ { first = 0; last = max_datagram - 1 } ];
+    total_length = None; first_header = None; arrived_at = now }
+
+(* Subtract [first, last] from the hole list, per RFC 815. *)
+let fill_holes holes ~first ~last =
+  let filled_anything = ref false in
+  let rec go = function
+    | [] -> []
+    | hole :: rest ->
+      if last < hole.first || first > hole.last then hole :: go rest
+      else begin
+        filled_anything := true;
+        let before =
+          if hole.first < first then [ { first = hole.first; last = first - 1 } ]
+          else []
+        in
+        let after =
+          if hole.last > last then [ { first = last + 1; last = hole.last } ]
+          else []
+        in
+        before @ after @ go rest
+      end
+  in
+  let holes = go holes in
+  (holes, !filled_anything)
+
+let truncate_holes holes ~total =
+  (* Once the total length is known, holes beyond it disappear. *)
+  List.filter_map
+    (fun hole ->
+      if hole.first >= total then None
+      else if hole.last >= total then Some { hole with last = total - 1 }
+      else Some hole)
+    holes
+
+let evict_oldest t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun _ partial ->
+      match !oldest with
+      | None -> oldest := Some partial
+      | Some p -> if partial.arrived_at < p.arrived_at then oldest := Some partial)
+    t.table;
+  match !oldest with
+  | Some partial -> Hashtbl.remove t.table partial.key
+  | None -> ()
+
+let push t ~now (header : Ipv4.t) payload =
+  if String.length payload <> header.Ipv4.payload_length then
+    Error "reassembly: payload length disagrees with header"
+  else
+    let offset = header.Ipv4.fragment_offset * 8 in
+    let len = String.length payload in
+    if header.Ipv4.more_fragments && len mod 8 <> 0 then
+      Error "reassembly: non-final fragment not a multiple of 8 bytes"
+    else if offset + len > max_datagram then
+      Error "reassembly: fragment beyond maximum datagram size"
+    else if (not header.Ipv4.more_fragments) && offset = 0 then
+      (* Unfragmented datagram: nothing to do. *)
+      Ok (Complete (header, payload))
+    else begin
+      let key = key_of_header header in
+      let partial =
+        match Hashtbl.find_opt t.table key with
+        | Some p -> p
+        | None ->
+          if Hashtbl.length t.table >= t.max_pending then evict_oldest t;
+          let p = fresh_partial key now in
+          Hashtbl.replace t.table key p;
+          p
+      in
+      if len > 0 then Bytes.blit_string payload 0 partial.buffer offset len;
+      if offset = 0 then partial.first_header <- Some header;
+      if not header.Ipv4.more_fragments then
+        partial.total_length <- Some (offset + len);
+      let holes, filled =
+        if len > 0 then
+          fill_holes partial.holes ~first:offset ~last:(offset + len - 1)
+        else (partial.holes, false)
+      in
+      let holes =
+        match partial.total_length with
+        | Some total -> truncate_holes holes ~total
+        | None -> holes
+      in
+      partial.holes <- holes;
+      match (holes, partial.total_length, partial.first_header) with
+      | [], Some total, Some first_header ->
+        Hashtbl.remove t.table key;
+        let whole =
+          { first_header with
+            Ipv4.more_fragments = false;
+            fragment_offset = 0;
+            payload_length = total }
+        in
+        Ok (Complete (whole, Bytes.sub_string partial.buffer 0 total))
+      | _ -> if filled then Ok Pending else Ok Duplicate
+    end
+
+let expire t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun key partial acc ->
+        if now -. partial.arrived_at > t.timeout then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  List.length stale
+
+let pending t = Hashtbl.length t.table

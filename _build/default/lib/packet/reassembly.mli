@@ -1,0 +1,54 @@
+(** IPv4 fragmentation and reassembly (RFC 791 / RFC 815).
+
+    Demultiplexing needs the TCP header, and the TCP header is only in
+    the first fragment — so a receiving system reassembles before it
+    demultiplexes.  This module provides both directions: splitting a
+    datagram to fit an MTU, and the hole-filling reassembly algorithm
+    of RFC 815 keyed by (source, destination, protocol,
+    identification).
+
+    Overlapping fragments are accepted with later data overwriting
+    earlier (the classic BSD behaviour). *)
+
+(** {1 Fragmentation} *)
+
+val fragment : Ipv4.t -> payload:string -> mtu:int -> (Ipv4.t * string) list
+(** Split a datagram so every fragment's total size (20-byte header +
+    piece) is at most [mtu].  Fragment payload sizes are multiples of
+    8 except the last; all fragments carry the original header's
+    identification.  A datagram that already fits is returned intact.
+    @raise Invalid_argument if [mtu < 28] (no room for even one
+    8-byte piece), if the header has [dont_fragment] set and the
+    payload does not fit, or if [payload] length disagrees with the
+    header. *)
+
+(** {1 Reassembly} *)
+
+type t
+
+val create : ?timeout:float -> ?max_pending:int -> unit -> t
+(** [timeout] is the reassembly-timer lifetime in seconds (default
+    30, cf. the classic 15-60 s range); [max_pending] bounds
+    simultaneous partial datagrams (default 64) — beyond it the oldest
+    partial datagram is dropped.
+    @raise Invalid_argument on non-positive arguments. *)
+
+type outcome =
+  | Complete of Ipv4.t * string
+      (** Fully reassembled: a header with fragmentation cleared and
+          the whole payload. *)
+  | Pending                     (** More fragments needed. *)
+  | Duplicate                   (** Datagram already fully delivered or
+                                    fragment adds nothing new. *)
+
+val push : t -> now:float -> Ipv4.t -> string -> (outcome, string) result
+(** Feed one fragment (or whole datagram) observed at time [now].
+    Errors are malformed fragments: payload length mismatch,
+    non-multiple-of-8 offset on a non-final piece, total size
+    overflowing 65535 bytes. *)
+
+val expire : t -> now:float -> int
+(** Drop partial datagrams older than the timeout; returns how many. *)
+
+val pending : t -> int
+(** Partial datagrams currently buffered. *)

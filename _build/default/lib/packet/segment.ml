@@ -1,0 +1,55 @@
+type t = { ip : Ipv4.t; tcp : Tcp_header.t; payload : string }
+
+let make ?seq ?ack_number ?flags ?window ?options ?(payload = "") ?ttl
+    ?identification ~(src : Flow.endpoint) ~(dst : Flow.endpoint) () =
+  let tcp =
+    Tcp_header.make ?seq ?ack_number ?flags ?window ?options
+      ~src_port:src.Flow.port ~dst_port:dst.Flow.port ()
+  in
+  let tcp_len = Tcp_header.header_length tcp + String.length payload in
+  let ip =
+    Ipv4.make ?ttl ?identification ~src:src.Flow.addr ~dst:dst.Flow.addr
+      ~protocol:Ipv4.Tcp ~payload_length:tcp_len ()
+  in
+  { ip; tcp; payload }
+
+let flow t = Flow.of_headers t.ip t.tcp
+let length t = Ipv4.header_length + t.ip.Ipv4.payload_length
+
+let write t buf ~off =
+  Ipv4.serialize t.ip buf ~off;
+  let pseudo_sum = Ipv4.pseudo_header_sum t.ip in
+  let tcp_len =
+    Tcp_header.serialize t.tcp ~pseudo_sum ~payload:t.payload buf
+      ~off:(off + Ipv4.header_length)
+  in
+  Ipv4.header_length + tcp_len
+
+let to_bytes t =
+  let buf = Bytes.create (length t) in
+  let written = write t buf ~off:0 in
+  assert (written = Bytes.length buf);
+  buf
+
+let parse ?(verify_checksum = true) buf ~off =
+  match Ipv4.parse buf ~off with
+  | Error _ as e -> e
+  | Ok (ip, tcp_off) ->
+    if ip.Ipv4.protocol <> Ipv4.Tcp then Error "segment: not TCP"
+    else if ip.Ipv4.more_fragments || ip.Ipv4.fragment_offset <> 0 then
+      Error "segment: fragmented datagram"
+    else
+      let pseudo_sum =
+        if verify_checksum then Some (Ipv4.pseudo_header_sum ip) else None
+      in
+      let tcp_len = ip.Ipv4.payload_length in
+      (match Tcp_header.parse ?pseudo_sum ~len:tcp_len buf ~off:tcp_off with
+      | Error _ as e -> e
+      | Ok (tcp, payload_off) ->
+        let payload_len = tcp_off + tcp_len - payload_off in
+        let payload = Bytes.sub_string buf payload_off payload_len in
+        Ok { ip; tcp; payload })
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a payload=%d bytes@]" Ipv4.pp t.ip
+    Tcp_header.pp t.tcp (String.length t.payload)

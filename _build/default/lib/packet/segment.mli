@@ -1,0 +1,32 @@
+(** Whole TCP/IPv4 segments: build and parse headers + payload as one
+    datagram, with both checksums correct on the wire. *)
+
+type t = { ip : Ipv4.t; tcp : Tcp_header.t; payload : string }
+
+val make :
+  ?seq:int32 -> ?ack_number:int32 -> ?flags:Tcp_header.flags -> ?window:int ->
+  ?options:Tcp_header.option_ list -> ?payload:string -> ?ttl:int ->
+  ?identification:int -> src:Flow.endpoint -> dst:Flow.endpoint -> unit -> t
+(** A segment travelling from [src] to [dst].
+    @raise Invalid_argument on out-of-range fields (see
+    {!Tcp_header.make}, {!Ipv4.make}). *)
+
+val flow : t -> Flow.t
+(** The demultiplexing key {e at the receiver} of this segment. *)
+
+val length : t -> int
+(** Total datagram size in bytes. *)
+
+val to_bytes : t -> bytes
+(** Serialize to a fresh buffer with valid IP and TCP checksums. *)
+
+val write : t -> bytes -> off:int -> int
+(** Serialize at [off]; returns bytes written.
+    @raise Invalid_argument if the buffer is too small. *)
+
+val parse : ?verify_checksum:bool -> bytes -> off:int -> (t, string) result
+(** Parse an IPv4+TCP datagram.  With [verify_checksum] (default true)
+    both checksums must be valid.  Rejects non-TCP protocols and
+    fragments. *)
+
+val pp : Format.formatter -> t -> unit

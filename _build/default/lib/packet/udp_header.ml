@@ -1,0 +1,71 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  payload_length : int;
+}
+
+let header_length = 8
+
+let make ~src_port ~dst_port ~payload_length =
+  let check_port name p =
+    if p < 0 || p > 0xFFFF then
+      invalid_arg (Printf.sprintf "Udp_header.make: %s out of range" name)
+  in
+  check_port "src_port" src_port;
+  check_port "dst_port" dst_port;
+  if payload_length < 0 || payload_length + header_length > 0xFFFF then
+    invalid_arg "Udp_header.make: payload_length out of range";
+  { src_port; dst_port; payload_length }
+
+let serialize t ?pseudo_sum ?(payload = "") buf ~off =
+  if String.length payload <> t.payload_length then
+    invalid_arg "Udp_header.serialize: payload length mismatch";
+  let total = header_length + t.payload_length in
+  if off < 0 || off + total > Bytes.length buf then
+    invalid_arg "Udp_header.serialize: buffer too small";
+  Bytes.set_uint16_be buf off t.src_port;
+  Bytes.set_uint16_be buf (off + 2) t.dst_port;
+  Bytes.set_uint16_be buf (off + 4) total;
+  Bytes.set_uint16_be buf (off + 6) 0;
+  Bytes.blit_string payload 0 buf (off + header_length) t.payload_length;
+  (match pseudo_sum with
+  | None -> ()
+  | Some initial ->
+    let csum = Checksum.compute ~initial buf ~off ~len:total in
+    (* RFC 768: a computed zero is sent as all-ones; on-wire zero is
+       reserved for "no checksum". *)
+    Bytes.set_uint16_be buf (off + 6) (if csum = 0 then 0xFFFF else csum));
+  total
+
+let parse ?pseudo_sum buf ~off =
+  let buf_len = Bytes.length buf in
+  if off < 0 || off + header_length > buf_len then
+    Error "udp: truncated header"
+  else
+    let total = Bytes.get_uint16_be buf (off + 4) in
+    if total < header_length then Error "udp: length below header size"
+    else if off + total > buf_len then Error "udp: truncated payload"
+    else
+      let wire_checksum = Bytes.get_uint16_be buf (off + 6) in
+      let checksum_ok =
+        match pseudo_sum with
+        | None -> true
+        | Some _ when wire_checksum = 0 -> true (* sender disabled it *)
+        | Some initial -> Checksum.verify ~initial buf ~off ~len:total
+      in
+      if not checksum_ok then Error "udp: checksum mismatch"
+      else
+        Ok
+          ( { src_port = Bytes.get_uint16_be buf off;
+              dst_port = Bytes.get_uint16_be buf (off + 2);
+              payload_length = total - header_length },
+            off + header_length )
+
+let flow (ip : Ipv4.t) t =
+  Flow.v
+    ~local:(Flow.endpoint ip.Ipv4.dst t.dst_port)
+    ~remote:(Flow.endpoint ip.Ipv4.src t.src_port)
+
+let pp ppf t =
+  Format.fprintf ppf "udp %d > %d len=%d" t.src_port t.dst_port
+    t.payload_length

@@ -1,0 +1,40 @@
+(** UDP headers (RFC 768).
+
+    Partridge and Pink's send/receive cache was proposed for UDP ("A
+    faster UDP"); demultiplexing UDP uses the same 96-bit key, so the
+    lookup algorithms apply unchanged.  The checksum is optional in
+    UDP: an on-wire zero means "not computed", and a computed checksum
+    that comes out zero is transmitted as 0xFFFF. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  payload_length : int;  (** Bytes following the 8-byte header. *)
+}
+
+val header_length : int
+(** 8 bytes. *)
+
+val make : src_port:int -> dst_port:int -> payload_length:int -> t
+(** @raise Invalid_argument if a port is out of range or the length
+    exceeds what the 16-bit length field can carry. *)
+
+val serialize :
+  t -> ?pseudo_sum:int -> ?payload:string -> bytes -> off:int -> int
+(** Write the header then [payload] at [off]; returns bytes written.
+    With [pseudo_sum] (from {!Ipv4.pseudo_header_sum}) the checksum is
+    computed (zero result transmitted as 0xFFFF, per RFC 768);
+    without it the checksum field is zero ("not computed").
+    @raise Invalid_argument if the buffer is too small or [payload]
+    length disagrees with [t.payload_length]. *)
+
+val parse : ?pseudo_sum:int -> bytes -> off:int -> (t * int, string) result
+(** Parse at [off]; returns the header and the payload offset.  When
+    [pseudo_sum] is given, the checksum is verified unless the wire
+    field is zero (checksum disabled by the sender). *)
+
+val flow : Ipv4.t -> t -> Flow.t
+(** The receiver-side flow key of a UDP datagram, same convention as
+    {!Flow.of_headers}. *)
+
+val pp : Format.formatter -> t -> unit

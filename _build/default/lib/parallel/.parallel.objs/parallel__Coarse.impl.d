@@ -1,0 +1,1 @@
+lib/parallel/coarse.ml: Demux Fun Mutex

@@ -1,0 +1,1 @@
+lib/parallel/coarse.mli: Demux Packet

@@ -1,0 +1,1 @@
+lib/parallel/striped.ml: Array Atomic Demux Fun Hashing Mutex Packet

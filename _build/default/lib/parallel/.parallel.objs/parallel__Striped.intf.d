@@ -1,0 +1,1 @@
+lib/parallel/striped.mli: Demux Hashing Packet

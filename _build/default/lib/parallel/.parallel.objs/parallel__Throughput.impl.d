@@ -1,0 +1,1 @@
+lib/parallel/throughput.ml: Array Coarse Demux Domain Format Hashing List Packet Printf Striped Unix Worker_rng

@@ -1,0 +1,1 @@
+lib/parallel/throughput.mli: Format

@@ -1,0 +1,1 @@
+lib/parallel/worker_rng.ml: Int64

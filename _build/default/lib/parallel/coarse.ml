@@ -1,0 +1,20 @@
+type 'a t = { mutex : Mutex.t; demux : 'a Demux.Registry.t }
+
+let create spec = { mutex = Mutex.create (); demux = Demux.Registry.create spec }
+let name t = "coarse:" ^ t.demux.Demux.Registry.name
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let insert t flow data = locked t (fun () -> t.demux.Demux.Registry.insert flow data)
+let remove t flow = locked t (fun () -> t.demux.Demux.Registry.remove flow)
+
+let lookup t ?kind flow =
+  locked t (fun () -> t.demux.Demux.Registry.lookup ?kind flow)
+
+let note_send t flow = locked t (fun () -> t.demux.Demux.Registry.note_send flow)
+let length t = locked t (fun () -> t.demux.Demux.Registry.length ())
+
+let stats t =
+  locked t (fun () -> Demux.Lookup_stats.snapshot t.demux.Demux.Registry.stats)

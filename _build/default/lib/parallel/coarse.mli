@@ -1,0 +1,27 @@
+(** Single-global-lock demultiplexer — the baseline the lock striping
+    of {!Striped} is measured against.
+
+    Wraps any algorithm from {!Demux.Registry} in one mutex, the way a
+    first parallel port of a uniprocessor stack would: correct, and a
+    serialisation point for every inbound packet regardless of the
+    underlying structure's speed. *)
+
+type 'a t
+
+val create : Demux.Registry.spec -> 'a t
+
+val name : 'a t -> string
+(** ["coarse:<algorithm>"]. *)
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Demux.Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Demux.Pcb.t option
+
+val lookup :
+  'a t -> ?kind:Demux.Types.packet_kind -> Packet.Flow.t ->
+  'a Demux.Pcb.t option
+
+val note_send : 'a t -> Packet.Flow.t -> unit
+val length : 'a t -> int
+val stats : 'a t -> Demux.Lookup_stats.snapshot

@@ -1,0 +1,111 @@
+type 'a stripe = {
+  mutex : Mutex.t;
+  chain : 'a Demux.Chain.t;
+  index : 'a Demux.Chain.node Demux.Flow_table.t;
+  mutable cache : 'a Demux.Chain.node option;
+  stats : Demux.Lookup_stats.t;
+}
+
+type 'a t = {
+  stripes : 'a stripe array;
+  hasher : Hashing.Hashers.t;
+  next_id : int Atomic.t;
+  population : int Atomic.t;
+}
+
+let create ?(chains = Demux.Sequent.default_chains)
+    ?(hasher = Hashing.Hashers.multiplicative) () =
+  if chains <= 0 then invalid_arg "Striped.create: chains <= 0";
+  { stripes =
+      Array.init chains (fun _ ->
+          { mutex = Mutex.create (); chain = Demux.Chain.create ();
+            index = Demux.Flow_table.create 16; cache = None;
+            stats = Demux.Lookup_stats.create () });
+    hasher; next_id = Atomic.make 0; population = Atomic.make 0 }
+
+let chains t = Array.length t.stripes
+
+let stripe_of_flow t flow =
+  t.stripes.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.stripes)
+                (Packet.Flow.to_key_bytes flow))
+
+let with_stripe stripe f =
+  Mutex.lock stripe.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stripe.mutex) f
+
+let insert t flow data =
+  let stripe = stripe_of_flow t flow in
+  with_stripe stripe (fun () ->
+      if Demux.Flow_table.mem stripe.index flow then
+        invalid_arg "Striped.insert: duplicate flow";
+      let id = Atomic.fetch_and_add t.next_id 1 in
+      let pcb = Demux.Pcb.make ~id ~flow data in
+      let node = Demux.Chain.push_front stripe.chain pcb in
+      Demux.Flow_table.replace stripe.index flow node;
+      Demux.Lookup_stats.note_insert stripe.stats;
+      Atomic.incr t.population;
+      pcb)
+
+let remove t flow =
+  let stripe = stripe_of_flow t flow in
+  with_stripe stripe (fun () ->
+      match Demux.Flow_table.find_opt stripe.index flow with
+      | None -> None
+      | Some node ->
+        (match stripe.cache with
+        | Some cached when cached == node -> stripe.cache <- None
+        | Some _ | None -> ());
+        Demux.Chain.remove stripe.chain node;
+        Demux.Flow_table.remove stripe.index flow;
+        Demux.Lookup_stats.note_remove stripe.stats;
+        Atomic.decr t.population;
+        Some (Demux.Chain.pcb node))
+
+let cache_probe stripe flow =
+  match stripe.cache with
+  | None -> None
+  | Some node ->
+    Demux.Lookup_stats.examine stripe.stats ();
+    if Demux.Pcb.matches (Demux.Chain.pcb node) flow then Some node else None
+
+let lookup t ?kind:_ flow =
+  let stripe = stripe_of_flow t flow in
+  with_stripe stripe (fun () ->
+      Demux.Lookup_stats.begin_lookup stripe.stats;
+      match cache_probe stripe flow with
+      | Some node ->
+        let pcb = Demux.Chain.pcb node in
+        Demux.Pcb.note_rx pcb;
+        Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:true ~found:true;
+        Some pcb
+      | None -> (
+        match Demux.Chain.scan stripe.chain ~stats:stripe.stats flow with
+        | Some node ->
+          stripe.cache <- Some node;
+          let pcb = Demux.Chain.pcb node in
+          Demux.Pcb.note_rx pcb;
+          Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false
+            ~found:true;
+          Some pcb
+        | None ->
+          Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false
+            ~found:false;
+          None))
+
+let note_send t flow =
+  let stripe = stripe_of_flow t flow in
+  with_stripe stripe (fun () ->
+      match Demux.Flow_table.find_opt stripe.index flow with
+      | Some node -> Demux.Pcb.note_tx (Demux.Chain.pcb node)
+      | None -> ())
+
+let length t = Atomic.get t.population
+
+let stats t =
+  Demux.Lookup_stats.merge_snapshots
+    (Array.to_list
+       (Array.map
+          (fun stripe ->
+            with_stripe stripe (fun () ->
+                Demux.Lookup_stats.snapshot stripe.stats))
+          t.stripes))

@@ -1,0 +1,43 @@
+(** Lock-striped Sequent demultiplexer for multicore receivers.
+
+    The paper's context was Sequent's {e parallel} TCP for the PTX
+    operating system [Dov90, Gar90]: many processors service inbound
+    packets concurrently, so the PCB structure needs locking — and a
+    single list under a single lock serialises everything.  Hash
+    chains give more than short scans: each chain (plus its one-entry
+    cache) can carry {e its own lock}, and packets for different
+    connections proceed in parallel with probability [1 - 1/H].  This
+    module is that design: the Sequent algorithm with one mutex per
+    chain.
+
+    All operations are safe to call from any domain.  Statistics are
+    kept per stripe and merged on read, so the hot path never shares a
+    counter across stripes. *)
+
+type 'a t
+
+val create : ?chains:int -> ?hasher:Hashing.Hashers.t -> unit -> 'a t
+(** Defaults: 19 chains, multiplicative hashing (matching
+    {!Demux.Sequent.create}).
+    @raise Invalid_argument if [chains <= 0]. *)
+
+val chains : 'a t -> int
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Demux.Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val remove : 'a t -> Packet.Flow.t -> 'a Demux.Pcb.t option
+
+val lookup :
+  'a t -> ?kind:Demux.Types.packet_kind -> Packet.Flow.t ->
+  'a Demux.Pcb.t option
+(** Receive-path lookup under the stripe's lock, charging one PCB
+    examined per cache probe / chain node compared, as everywhere in
+    this library. *)
+
+val note_send : 'a t -> Packet.Flow.t -> unit
+val length : 'a t -> int
+
+val stats : 'a t -> Demux.Lookup_stats.snapshot
+(** Merged across stripes.  Consistent only when quiescent (reading
+    while other domains mutate gives an approximate snapshot). *)

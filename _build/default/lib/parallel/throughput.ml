@@ -1,0 +1,90 @@
+type target = Coarse_bsd | Coarse_sequent of int | Striped_sequent of int
+
+let target_name = function
+  | Coarse_bsd -> "coarse:bsd"
+  | Coarse_sequent chains -> Printf.sprintf "coarse:sequent-%d" chains
+  | Striped_sequent chains -> Printf.sprintf "striped:sequent-%d" chains
+
+type result = {
+  target : string;
+  domains : int;
+  total_lookups : int;
+  elapsed_seconds : float;
+  lookups_per_second : float;
+}
+
+(* A uniform lookup driver over an opaque thread-safe lookup
+   function. *)
+let drive ~flows ~lookups ~seed lookup =
+  let rng = Worker_rng.create seed in
+  let bound = Array.length flows in
+  for _ = 1 to lookups do
+    let flow = flows.(Worker_rng.next rng mod bound) in
+    ignore (lookup flow)
+  done
+
+let run ?(connections = 2000) ?(lookups_per_domain = 200_000) ?(seed = 42)
+    ~domains target =
+  if domains <= 0 then invalid_arg "Throughput.run: domains <= 0";
+  let flows =
+    Array.init connections (fun i ->
+        let addr =
+          Packet.Ipv4.addr_of_octets 10
+            ((i lsr 16) land 0xFF)
+            ((i lsr 8) land 0xFF)
+            (i land 0xFF)
+        in
+        Packet.Flow.v
+          ~local:(Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets 192 168 1 1) 8888)
+          ~remote:(Packet.Flow.endpoint addr (1024 + (i * 7 mod 60000))))
+  in
+  let lookup =
+    match target with
+    | Coarse_bsd ->
+      let d = Coarse.create Demux.Registry.Bsd in
+      Array.iter (fun flow -> ignore (Coarse.insert d flow ())) flows;
+      fun flow -> Coarse.lookup d flow <> None
+    | Coarse_sequent chains ->
+      let d =
+        Coarse.create
+          (Demux.Registry.Sequent
+             { chains; hasher = Hashing.Hashers.multiplicative })
+      in
+      Array.iter (fun flow -> ignore (Coarse.insert d flow ())) flows;
+      fun flow -> Coarse.lookup d flow <> None
+    | Striped_sequent chains ->
+      let d = Striped.create ~chains () in
+      Array.iter (fun flow -> ignore (Striped.insert d flow ())) flows;
+      fun flow -> Striped.lookup d flow <> None
+  in
+  let started = Unix.gettimeofday () in
+  let workers =
+    List.init domains (fun worker ->
+        Domain.spawn (fun () ->
+            drive ~flows ~lookups:lookups_per_domain ~seed:(seed + worker)
+              lookup))
+  in
+  List.iter Domain.join workers;
+  let elapsed = Unix.gettimeofday () -. started in
+  let total = domains * lookups_per_domain in
+  { target = target_name target; domains; total_lookups = total;
+    elapsed_seconds = elapsed;
+    lookups_per_second = float_of_int total /. elapsed }
+
+let scaling_table ?connections ?lookups_per_domain ~domains targets =
+  List.concat_map
+    (fun target ->
+      List.map
+        (fun domain_count ->
+          run ?connections ?lookups_per_domain ~domains:domain_count target)
+        domains)
+    targets
+
+let pp_results ppf results =
+  Format.fprintf ppf "%-22s %8s %14s %12s@." "target" "domains" "lookups/s"
+    "elapsed";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %8d %14.0f %11.2fs@." r.target r.domains
+        r.lookups_per_second r.elapsed_seconds)
+    results

@@ -1,0 +1,11 @@
+(** Minimal per-domain PRNG (splitmix64).
+
+    Each benchmark domain owns one instance, so no generator state is
+    ever shared across domains.  Kept local to this library to avoid a
+    dependency edge just for a stream of indices. *)
+
+type t
+
+val create : int -> t
+val next : t -> int
+(** Next non-negative pseudo-random int (62 bits). *)

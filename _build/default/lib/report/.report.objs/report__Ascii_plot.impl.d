@@ -1,0 +1,1 @@
+lib/report/ascii_plot.ml: Analysis Array Buffer Float List Printf String

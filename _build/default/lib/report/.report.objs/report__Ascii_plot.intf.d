@@ -1,0 +1,1 @@
+lib/report/ascii_plot.mli: Analysis

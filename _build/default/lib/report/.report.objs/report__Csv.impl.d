@@ -1,0 +1,1 @@
+lib/report/csv.ml: Analysis Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/report/table.ml: Float List Printf String

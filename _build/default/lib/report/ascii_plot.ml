@@ -1,0 +1,93 @@
+type config = { width : int; height : int }
+
+let default_config = { width = 72; height = 20 }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let bounds series =
+  let xmin = ref Float.infinity and xmax = ref Float.neg_infinity in
+  let ymin = ref Float.infinity and ymax = ref Float.neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        s.Analysis.Comparison.points)
+    series;
+  (!xmin, !xmax, !ymin, !ymax)
+
+let render ?(config = default_config) ?title series =
+  let has_points =
+    List.exists (fun s -> Array.length s.Analysis.Comparison.points > 0) series
+  in
+  if not has_points then "(no data to plot)\n"
+  else begin
+    let xmin, xmax, ymin, ymax = bounds series in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix config.height config.width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let column =
+              int_of_float
+                ((x -. xmin) /. xspan *. float_of_int (config.width - 1))
+            in
+            let row =
+              config.height - 1
+              - int_of_float
+                  ((y -. ymin) /. yspan *. float_of_int (config.height - 1))
+            in
+            if row >= 0 && row < config.height && column >= 0
+               && column < config.width
+            then grid.(row).(column) <- glyph)
+          s.Analysis.Comparison.points)
+      series;
+    let buf = Buffer.create 4096 in
+    (match title with
+    | Some text ->
+      Buffer.add_string buf text;
+      Buffer.add_char buf '\n'
+    | None -> ());
+    let ylabel_width = 10 in
+    Array.iteri
+      (fun i row ->
+        let label =
+          if i = 0 then Printf.sprintf "%*.4g" ylabel_width ymax
+          else if i = config.height - 1 then
+            Printf.sprintf "%*.4g" ylabel_width ymin
+          else String.make ylabel_width ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf " |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make ylabel_width ' ');
+    Buffer.add_string buf " +";
+    Buffer.add_string buf (String.make config.width '-');
+    Buffer.add_char buf '\n';
+    let xmin_label = Printf.sprintf "%.4g" xmin in
+    let xmax_label = Printf.sprintf "%.4g" xmax in
+    let gap =
+      max 1 (config.width - String.length xmin_label - String.length xmax_label)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s %s%s%s\n" ylabel_width "" xmin_label
+         (String.make gap ' ') xmax_label);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n"
+             glyphs.(si mod Array.length glyphs)
+             s.Analysis.Comparison.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?config ?title series = print_string (render ?config ?title series)

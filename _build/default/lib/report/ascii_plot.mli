@@ -1,0 +1,19 @@
+(** Terminal line plots, for eyeballing the paper's figures without
+    leaving the shell.  Each series gets a distinct glyph; axes are
+    labelled with min/max; overlapping points show the
+    last-plotted series' glyph. *)
+
+type config = {
+  width : int;    (** Plot-area columns (default 72). *)
+  height : int;   (** Plot-area rows (default 20). *)
+}
+
+val default_config : config
+
+val render :
+  ?config:config -> ?title:string -> Analysis.Comparison.series list -> string
+(** Render series to a multi-line string with legend.  Empty input or
+    empty series produce a short placeholder message. *)
+
+val print :
+  ?config:config -> ?title:string -> Analysis.Comparison.series list -> unit

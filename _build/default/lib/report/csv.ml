@@ -1,0 +1,59 @@
+let escape field =
+  let needs_quoting =
+    String.exists (function '"' | ',' | '\n' | '\r' -> true | _ -> false) field
+  in
+  if not needs_quoting then field
+  else
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let write_rows oc rows =
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," (List.map escape row));
+      output_char oc '\n')
+    rows
+
+let series_rows (series : Analysis.Comparison.series list) =
+  match series with
+  | [] -> []
+  | first :: rest ->
+    let n = Array.length first.Analysis.Comparison.points in
+    List.iter
+      (fun s ->
+        if Array.length s.Analysis.Comparison.points <> n then
+          invalid_arg "Csv.write_series: series lengths differ";
+        Array.iteri
+          (fun i (x, _) ->
+            if fst first.Analysis.Comparison.points.(i) <> x then
+              invalid_arg "Csv.write_series: series x grids differ")
+          s.Analysis.Comparison.points)
+      rest;
+    let header =
+      "x" :: List.map (fun s -> s.Analysis.Comparison.label) series
+    in
+    let rows =
+      List.init n (fun i ->
+          let x = fst first.Analysis.Comparison.points.(i) in
+          Printf.sprintf "%g" x
+          :: List.map
+               (fun s ->
+                 Printf.sprintf "%g" (snd s.Analysis.Comparison.points.(i)))
+               series)
+    in
+    header :: rows
+
+let write_series oc series = write_rows oc (series_rows series)
+
+let series_to_string series =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map escape row))
+       (series_rows series))
+  ^ "\n"

@@ -1,0 +1,13 @@
+(** CSV output for figure series and tables (RFC 4180 quoting). *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val write_rows : out_channel -> string list list -> unit
+
+val write_series : out_channel -> Analysis.Comparison.series list -> unit
+(** Column layout: x, then one column per series label.  All series
+    must share the same x grid.
+    @raise Invalid_argument if the grids differ. *)
+
+val series_to_string : Analysis.Comparison.series list -> string

@@ -1,0 +1,45 @@
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Right) title = { title; align }
+
+let pad align width cell =
+  let gap = width - String.length cell in
+  if gap <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+
+let render ~columns rows =
+  let ncols = List.length columns in
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Table.render: row wider than header"
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c.title) rows)
+      columns
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.map2
+         (fun (c, w) cell -> pad c.align w cell)
+         (List.combine columns widths)
+         cells)
+  in
+  let header = render_row (List.map (fun c -> c.title) columns) in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row rows) ^ "\n"
+
+let print ~columns rows = print_string (render ~columns rows)
+
+let float_cell ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v

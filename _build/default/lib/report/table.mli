@@ -1,0 +1,21 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val column : ?align:align -> string -> column
+(** Default alignment: [Right] (numbers dominate our tables). *)
+
+val render : columns:column list -> string list list -> string
+(** Lay out rows under the given headers; column widths fit the widest
+    cell.  Rows shorter than the header list are padded with empty
+    cells; longer rows raise.
+    @raise Invalid_argument if a row has more cells than columns. *)
+
+val print : columns:column list -> string list list -> unit
+(** [render] to stdout. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float for a table cell (default 2 decimals; NaN prints
+    as ["-"]). *)

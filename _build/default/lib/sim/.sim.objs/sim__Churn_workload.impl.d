@@ -1,0 +1,1 @@
+lib/sim/churn_workload.ml: Demux Engine Meter Numerics Report Topology

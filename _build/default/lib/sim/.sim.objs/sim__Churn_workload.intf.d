@@ -1,0 +1,1 @@
+lib/sim/churn_workload.mli: Demux Numerics Report

@@ -1,0 +1,1 @@
+lib/sim/locality_workload.ml: Array Demux Meter Numerics Report Topology

@@ -1,0 +1,1 @@
+lib/sim/locality_workload.mli: Demux Numerics Report

@@ -1,0 +1,1 @@
+lib/sim/meter.ml: Demux Numerics Packet Printf

@@ -1,0 +1,1 @@
+lib/sim/meter.mli: Demux Numerics Packet

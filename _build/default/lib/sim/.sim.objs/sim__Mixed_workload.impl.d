@@ -1,0 +1,1 @@
+lib/sim/mixed_workload.ml: Array Demux Engine Format List Meter Numerics Report Topology

@@ -1,0 +1,1 @@
+lib/sim/mixed_workload.mli: Demux Format Report

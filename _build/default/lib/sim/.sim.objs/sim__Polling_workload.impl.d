@@ -1,0 +1,1 @@
+lib/sim/polling_workload.ml: Numerics Report Tpca_workload

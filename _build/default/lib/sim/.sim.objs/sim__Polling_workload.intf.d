@@ -1,0 +1,1 @@
+lib/sim/polling_workload.mli: Demux Report

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Demux Format List Meter Numerics

@@ -1,0 +1,1 @@
+lib/sim/report.mli: Format Meter

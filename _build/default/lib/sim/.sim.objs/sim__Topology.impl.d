@@ -1,0 +1,1 @@
+lib/sim/topology.ml: Array Packet

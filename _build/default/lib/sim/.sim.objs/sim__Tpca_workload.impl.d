@@ -1,0 +1,1 @@
+lib/sim/tpca_workload.ml: Analysis Array Demux Engine Meter Numerics Report Topology

@@ -1,0 +1,1 @@
+lib/sim/tpca_workload.mli: Analysis Demux Numerics Report

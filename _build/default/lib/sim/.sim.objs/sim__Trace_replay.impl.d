@@ -1,0 +1,1 @@
+lib/sim/trace_replay.ml: Demux Float Fun List Meter Packet Report String

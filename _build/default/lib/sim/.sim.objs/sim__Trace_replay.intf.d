@@ -1,0 +1,1 @@
+lib/sim/trace_replay.mli: Demux Packet Report Stdlib

@@ -1,0 +1,1 @@
+lib/sim/trains_workload.ml: Array Demux Meter Numerics Report Topology

@@ -1,0 +1,1 @@
+lib/sim/trains_workload.mli: Demux Numerics Report

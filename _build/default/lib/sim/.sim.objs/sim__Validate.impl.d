@@ -1,0 +1,1 @@
+lib/sim/validate.ml: Analysis Demux Float Format List Report Tpca_workload

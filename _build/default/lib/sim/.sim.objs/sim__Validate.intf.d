@@ -1,0 +1,1 @@
+lib/sim/validate.mli: Analysis Demux Format Tpca_workload

@@ -1,0 +1,66 @@
+type config = {
+  arrival_rate : float;
+  packets_per_connection : Numerics.Distribution.t;
+  packet_gap : float;
+  warmup : float;
+  duration : float;
+  seed : int;
+}
+
+let default_config ?(arrival_rate = 50.0) ?(duration = 60.0) () =
+  { arrival_rate;
+    packets_per_connection = Numerics.Distribution.geometric ~p:(1.0 /. 8.0);
+    packet_gap = 0.05; warmup = 10.0; duration; seed = 42 }
+
+let mean_lifetime config =
+  (* Mean packet count is 1 + the distribution's mean (see run), each
+     occupying one gap of lifetime. *)
+  (1.0 +. Numerics.Distribution.mean config.packets_per_connection)
+  *. config.packet_gap
+
+let steady_state_population config = config.arrival_rate *. mean_lifetime config
+
+let run config spec =
+  if config.arrival_rate <= 0.0 then
+    invalid_arg "Churn_workload.run: arrival_rate <= 0";
+  if config.duration <= 0.0 then invalid_arg "Churn_workload.run: duration <= 0";
+  let rng = Numerics.Rng.create ~seed:config.seed in
+  let demux = Demux.Registry.create spec in
+  let meter = Meter.create demux in
+  let engine = Engine.create () in
+  let interarrival = Numerics.Distribution.exponential ~rate:config.arrival_rate in
+  let next_client = ref 0 in
+  (* One connection's life: insert, receive its packets, remove. *)
+  let start_connection engine =
+    let client = !next_client in
+    incr next_client;
+    let flow = Topology.flow_of_client client in
+    ignore (demux.Demux.Registry.insert flow ());
+    let packets =
+      1
+      + int_of_float
+          (Numerics.Distribution.sample config.packets_per_connection rng)
+    in
+    let rec deliver remaining engine =
+      Meter.lookup meter ~kind:Demux.Types.Data flow;
+      Meter.note_send meter flow (* the response/ack traffic *);
+      if remaining > 1 then
+        Engine.schedule engine ~delay:config.packet_gap (deliver (remaining - 1))
+      else ignore (demux.Demux.Registry.remove flow)
+    in
+    deliver packets engine
+  in
+  let rec arrivals engine =
+    start_connection engine;
+    Engine.schedule engine
+      ~delay:(Numerics.Distribution.sample interarrival rng)
+      arrivals
+  in
+  Engine.schedule engine
+    ~delay:(Numerics.Distribution.sample interarrival rng)
+    arrivals;
+  Meter.set_measuring meter false;
+  Engine.run ~until:config.warmup engine;
+  Meter.start_measuring meter;
+  Engine.run ~until:(config.warmup +. config.duration) engine;
+  Report.of_meter ~workload:"churn" meter

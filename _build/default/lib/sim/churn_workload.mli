@@ -1,0 +1,33 @@
+(** Connection-churn workload: short-lived connections arriving and
+    departing continuously.
+
+    The paper's OLTP terminals hold their connections for the whole
+    session, so its analysis never charges for insertion or removal.
+    Web-style traffic is the opposite: connections live for a handful
+    of packets.  This workload measures the lookup algorithms when the
+    PCB population itself is in flux — new PCBs enter at the head
+    (fresh connections are the likeliest to receive packets, which is
+    why BSD inserts at the head), dead ones are unlinked, and the
+    steady-state population is Little's-law bound
+    [arrival_rate * lifetime]. *)
+
+type config = {
+  arrival_rate : float;     (** New connections per second (Poisson). *)
+  packets_per_connection : Numerics.Distribution.t;
+      (** Inbound packets over a connection's life (values < 1
+          become 1). *)
+  packet_gap : float;       (** Seconds between a connection's packets. *)
+  warmup : float;
+  duration : float;         (** Measured seconds. *)
+  seed : int;
+}
+
+val default_config : ?arrival_rate:float -> ?duration:float -> unit -> config
+(** Defaults: 50 connections/s, geometric packets (mean 8), 50 ms
+    gaps, warm-up 10 s, 60 measured seconds, seed 42 — a steady-state
+    population of ~20 live connections. *)
+
+val run : config -> Demux.Registry.spec -> Report.t
+
+val steady_state_population : config -> float
+(** Little's law: [arrival_rate * mean_lifetime]. *)

@@ -1,0 +1,42 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable processed : int;
+  mutable stopped : bool;
+}
+
+let create () =
+  { queue = Event_queue.create (); clock = 0.0; processed = 0;
+    stopped = false }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time callback
+
+let schedule t ~delay callback =
+  if Float.is_nan delay || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or NaN delay";
+  Event_queue.add t.queue ~time:(t.clock +. delay) callback
+
+let run ?(until = Float.infinity) ?(max_events = max_int) t =
+  t.stopped <- false;
+  let rec step () =
+    if (not t.stopped) && t.processed < max_events then
+      match Event_queue.peek_time t.queue with
+      | Some time when time <= until -> (
+        match Event_queue.pop t.queue with
+        | Some (time, callback) ->
+          t.clock <- time;
+          t.processed <- t.processed + 1;
+          callback t;
+          step ()
+        | None -> ())
+      | Some _ | None -> ()
+  in
+  step ()
+
+let events_processed t = t.processed
+let stop t = t.stopped <- true

@@ -1,0 +1,31 @@
+(** Discrete-event simulation core: a clock and an agenda of
+    callbacks.
+
+    Callbacks may schedule further events; time never flows backwards.
+    The engine is single-threaded and deterministic given a
+    deterministic workload. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Schedule a callback [delay] seconds from now.
+    @raise Invalid_argument if [delay] is negative or NaN. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Schedule at an absolute time.
+    @raise Invalid_argument if [time] is in the past or NaN. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events in time order until the agenda is empty, the clock
+    would pass [until], or [max_events] callbacks have run.  Events
+    scheduled exactly at [until] still fire. *)
+
+val events_processed : t -> int
+
+val stop : t -> unit
+(** Request that {!run} return after the current callback. *)

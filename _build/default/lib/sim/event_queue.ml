@@ -1,0 +1,80 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ensure_capacity t =
+  let capacity = Array.length t.heap in
+  if t.size >= capacity then begin
+    let dummy = t.heap.(0) in
+    let grown = Array.make (max 16 (2 * capacity)) dummy in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && earlier t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.size && earlier t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then begin
+    t.heap <- Array.make 16 entry;
+    t.size <- 1
+  end
+  else begin
+    ensure_capacity t;
+    t.heap.(t.size) <- entry;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  t.heap <- [||];
+  t.size <- 0

@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion order so simulations are
+    deterministic: two events scheduled for the same instant fire in
+    the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument if [time] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

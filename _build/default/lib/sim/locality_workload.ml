@@ -1,0 +1,79 @@
+type config = {
+  connections : int;
+  packets : int;
+  zipf_exponent : float;
+  burst_length : Numerics.Distribution.t;
+  ack_fraction : float;
+  seed : int;
+}
+
+let default_config ?(connections = 256) ?(packets = 50_000) () =
+  { connections; packets; zipf_exponent = 1.0;
+    burst_length = Numerics.Distribution.geometric ~p:0.25;
+    ack_fraction = 0.3; seed = 42 }
+
+(* Zipf sampling by inverse CDF over the precomputed cumulative mass. *)
+let zipf_cdf ~connections ~exponent =
+  let weights =
+    Array.init connections (fun i ->
+        1.0 /. (float_of_int (i + 1) ** exponent))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make connections 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf
+
+let sample_zipf cdf rng =
+  let u = Numerics.Rng.float rng in
+  (* First index whose cumulative mass exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length cdf - 1)
+
+let run config spec =
+  if config.connections <= 0 then
+    invalid_arg "Locality_workload.run: connections <= 0";
+  if config.packets <= 0 then invalid_arg "Locality_workload.run: packets <= 0";
+  if config.ack_fraction < 0.0 || config.ack_fraction > 1.0 then
+    invalid_arg "Locality_workload.run: ack_fraction outside [0,1]";
+  let rng = Numerics.Rng.create ~seed:config.seed in
+  let demux = Demux.Registry.create spec in
+  let meter = Meter.create demux in
+  let flows = Topology.flows config.connections in
+  Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
+  let cdf = zipf_cdf ~connections:config.connections
+      ~exponent:config.zipf_exponent
+  in
+  (* Popular flows should not all sit at the front of insertion-ordered
+     lists, so shuffle rank -> flow. *)
+  let rank_to_flow = Array.copy flows in
+  Numerics.Rng.shuffle rng rank_to_flow;
+  Meter.start_measuring meter;
+  let delivered = ref 0 in
+  while !delivered < config.packets do
+    let rank = sample_zipf cdf rng in
+    let flow = rank_to_flow.(rank) in
+    let burst =
+      1 + int_of_float (Numerics.Distribution.sample config.burst_length rng)
+    in
+    let remaining = config.packets - !delivered in
+    let burst = min burst remaining in
+    for _ = 1 to burst do
+      if Numerics.Rng.float rng < config.ack_fraction then begin
+        Meter.note_send meter flow;
+        Meter.lookup meter ~kind:Demux.Types.Pure_ack flow
+      end
+      else Meter.lookup meter ~kind:Demux.Types.Data flow
+    done;
+    delivered := !delivered + burst
+  done;
+  Report.of_meter ~workload:"locality" meter

@@ -1,0 +1,21 @@
+(** Mogul-style locality traffic (paper Section 3.3's motivation):
+    connection popularity follows a Zipf law and packets arrive in
+    short bursts, so there is locality — but spread over many flows,
+    not one.  Sits between the packet-train and OLTP extremes. *)
+
+type config = {
+  connections : int;
+  packets : int;           (** Total metered packets. *)
+  zipf_exponent : float;   (** 0 = uniform; ~1 = classic Zipf. *)
+  burst_length : Numerics.Distribution.t;
+      (** Packets delivered per burst (values < 1 become 1). *)
+  ack_fraction : float;    (** Fraction of packets that are pure acks
+                               (preceded by a transmit on that flow). *)
+  seed : int;
+}
+
+val default_config : ?connections:int -> ?packets:int -> unit -> config
+(** Defaults: 256 connections, 50_000 packets, exponent 1.0, geometric
+    bursts of mean 4, 30 % acks. *)
+
+val run : config -> Demux.Registry.spec -> Report.t

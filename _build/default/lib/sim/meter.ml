@@ -1,0 +1,43 @@
+type t = {
+  demux : unit Demux.Registry.t;
+  mutable entry : Numerics.Stats.t;
+  mutable ack : Numerics.Stats.t;
+  mutable measuring : bool;
+}
+
+let create demux =
+  { demux; entry = Numerics.Stats.create (); ack = Numerics.Stats.create ();
+    measuring = true }
+
+let demux t = t.demux
+let set_measuring t flag = t.measuring <- flag
+
+let start_measuring t =
+  Demux.Lookup_stats.reset t.demux.Demux.Registry.stats;
+  t.entry <- Numerics.Stats.create ();
+  t.ack <- Numerics.Stats.create ();
+  t.measuring <- true
+
+let accumulator t = function
+  | Demux.Types.Data -> t.entry
+  | Demux.Types.Pure_ack -> t.ack
+
+let examined_so_far t =
+  (Demux.Lookup_stats.snapshot t.demux.Demux.Registry.stats)
+    .Demux.Lookup_stats.pcbs_examined
+
+let lookup t ~kind flow =
+  let before = examined_so_far t in
+  match t.demux.Demux.Registry.lookup ~kind flow with
+  | None ->
+    failwith
+      (Printf.sprintf "Meter.lookup: no PCB for flow %s"
+         (Packet.Flow.to_string flow))
+  | Some _ ->
+    if t.measuring then
+      Numerics.Stats.add (accumulator t kind)
+        (float_of_int (examined_so_far t - before))
+
+let note_send t flow = t.demux.Demux.Registry.note_send flow
+let entry_examined t = t.entry
+let ack_examined t = t.ack

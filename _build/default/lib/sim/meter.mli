@@ -1,0 +1,35 @@
+(** Per-packet-kind measurement wrapper around a demultiplexer.
+
+    {!Demux.Lookup_stats} aggregates over all lookups; the paper's
+    analysis distinguishes transaction entries from response
+    acknowledgements, so this wrapper additionally records each
+    lookup's examined count into a per-kind accumulator by diffing the
+    aggregate counter around the call.  Measurement can be switched
+    off during simulation warm-up. *)
+
+type t
+
+val create : unit Demux.Registry.t -> t
+val demux : t -> unit Demux.Registry.t
+
+val set_measuring : t -> bool -> unit
+(** Lookups still happen while off (the data structure must stay
+    warm); they are just not recorded. *)
+
+val start_measuring : t -> unit
+(** Reset the demultiplexer's aggregate statistics and the per-kind
+    accumulators, then switch measurement on — the end-of-warm-up
+    action. *)
+
+val lookup : t -> kind:Demux.Types.packet_kind -> Packet.Flow.t -> unit
+(** Perform a metered receive-path lookup.
+    @raise Failure if the flow has no PCB (a simulation bug: OLTP
+    connections are long-lived). *)
+
+val note_send : t -> Packet.Flow.t -> unit
+
+val entry_examined : t -> Numerics.Stats.t
+(** Per-lookup examined counts for {!Demux.Types.Data} packets. *)
+
+val ack_examined : t -> Numerics.Stats.t
+(** Same for {!Demux.Types.Pure_ack} packets. *)

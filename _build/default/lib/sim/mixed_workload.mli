@@ -1,0 +1,35 @@
+(** Mixed OLTP + bulk-transfer traffic.
+
+    The abstract's full claim: the Sequent scheme "work[s] an order of
+    magnitude better for OLTP traffic than the one-PCB cache approach
+    while still maintaining good performance for packet-train
+    traffic."  Real servers carry both at once — thousands of
+    terminals {e and} a few bulk transfers — and a scheme must not buy
+    one regime by selling the other.  This workload runs TPC/A users
+    and continuous bulk streams through one demultiplexer and reports
+    each traffic class separately. *)
+
+type config = {
+  oltp_users : int;
+  bulk_streams : int;        (** Concurrent bulk-transfer connections. *)
+  bulk_rate : float;         (** Data segments per second per stream. *)
+  response_time : float;
+  rtt : float;
+  warmup : float;
+  duration : float;
+  seed : int;
+}
+
+val default_config : ?oltp_users:int -> ?bulk_streams:int -> unit -> config
+(** Defaults: 1000 OLTP users, 4 bulk streams at 400 segments/s each,
+    R = 0.2 s, D = 1 ms, 10 s warm-up, 60 measured seconds. *)
+
+type result = {
+  combined : Report.t;
+  oltp_mean : float;  (** PCBs examined per OLTP packet. *)
+  bulk_mean : float;  (** PCBs examined per bulk segment. *)
+}
+
+val run : config -> Demux.Registry.spec -> result
+
+val pp_results : Format.formatter -> result list -> unit

@@ -1,0 +1,28 @@
+type config = {
+  users : int;
+  poll_interval : float;
+  response_time : float;
+  rtt : float;
+  rounds : int;
+  seed : int;
+}
+
+let default_config ?(users = 2000) ?(rounds = 20) () =
+  { users; poll_interval = 10.0; response_time = 0.2; rtt = 0.001; rounds;
+    seed = 42 }
+
+let run config spec =
+  if config.rounds <= 0 then invalid_arg "Polling_workload.run: rounds <= 0";
+  let tpca_config =
+    { Tpca_workload.users = config.users;
+      think = Numerics.Distribution.deterministic config.poll_interval;
+      response_time = config.response_time; rtt = config.rtt;
+      (* One full staggered sweep of warm-up, then the requested number
+         of measured sweeps. *)
+      warmup = config.poll_interval;
+      duration = config.poll_interval *. float_of_int config.rounds;
+      stagger = Tpca_workload.Even; seed = config.seed; delayed_acks = false;
+      extra_query_packets = 0 }
+  in
+  let report = Tpca_workload.run tpca_config spec in
+  { report with Report.workload = "polling" }

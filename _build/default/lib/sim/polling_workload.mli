@@ -1,0 +1,20 @@
+(** Deterministic central-server polling — the paper's worst case for
+    move-to-front (Section 3.2): "if the think times were
+    deterministic (exactly 10 seconds always), Crowcroft's algorithm
+    would look through all 2,000 PCBs on each transaction entry", the
+    pattern of point-of-sale terminals polled in rotation. *)
+
+type config = {
+  users : int;
+  poll_interval : float;  (** Fixed think time, seconds. *)
+  response_time : float;
+  rtt : float;
+  rounds : int;           (** Measured polling sweeps. *)
+  seed : int;
+}
+
+val default_config : ?users:int -> ?rounds:int -> unit -> config
+(** Defaults: 2000 users, 10 s interval, R = 0.2, D = 1 ms,
+    20 rounds. *)
+
+val run : config -> Demux.Registry.spec -> Report.t

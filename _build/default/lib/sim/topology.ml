@@ -1,0 +1,17 @@
+let server =
+  Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets 192 168 1 1) 8888
+
+let client i =
+  if i < 0 || i >= 1 lsl 24 then
+    invalid_arg "Topology.client: index out of range";
+  let addr =
+    Packet.Ipv4.addr_of_octets 10
+      ((i lsr 16) land 0xFF)
+      ((i lsr 8) land 0xFF)
+      (i land 0xFF)
+  in
+  (* Vary the port too so keys exercise all 96 bits. *)
+  Packet.Flow.endpoint addr (1024 + (i * 7 mod 60000))
+
+let flow_of_client i = Packet.Flow.v ~local:server ~remote:(client i)
+let flows n = Array.init n flow_of_client

@@ -1,0 +1,19 @@
+(** Address assignment for simulated client populations.
+
+    One server endpoint; client [i] gets a unique address derived from
+    its index, so all flows are distinct and deterministic across
+    runs. *)
+
+val server : Packet.Flow.endpoint
+(** 192.168.1.1:8888 — the OLTP database server. *)
+
+val client : int -> Packet.Flow.endpoint
+(** [client i] for [i >= 0]; injective for [i < 2^24].
+    @raise Invalid_argument outside that range. *)
+
+val flow_of_client : int -> Packet.Flow.t
+(** The server-side flow for client [i]'s connection
+    (local = {!server}, remote = [client i]). *)
+
+val flows : int -> Packet.Flow.t array
+(** [flows n] is [Array.init n flow_of_client]. *)

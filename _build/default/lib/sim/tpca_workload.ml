@@ -1,0 +1,81 @@
+type stagger = Sampled | Even
+
+type config = {
+  users : int;
+  think : Numerics.Distribution.t;
+  response_time : float;
+  rtt : float;
+  warmup : float;
+  duration : float;
+  stagger : stagger;
+  seed : int;
+  delayed_acks : bool;
+  extra_query_packets : int;
+}
+
+let default_config ?warmup ?(duration = 120.0) ?(seed = 42)
+    (params : Analysis.Tpca_params.t) =
+  let mean_think = Analysis.Tpca_params.think_time_mean params in
+  let warmup = match warmup with Some w -> w | None -> mean_think in
+  { users = params.Analysis.Tpca_params.users;
+    think =
+      Numerics.Distribution.truncated_exponential
+        ~rate:params.Analysis.Tpca_params.rate
+        ~cutoff:(Analysis.Tpca_params.think_time_cutoff params);
+    response_time = params.Analysis.Tpca_params.response_time;
+    rtt = params.Analysis.Tpca_params.rtt; warmup; duration;
+    stagger = Sampled; seed; delayed_acks = false; extra_query_packets = 0 }
+
+let run config spec =
+  if config.users <= 0 then invalid_arg "Tpca_workload.run: users <= 0";
+  if config.duration <= 0.0 then invalid_arg "Tpca_workload.run: duration <= 0";
+  let root_rng = Numerics.Rng.create ~seed:config.seed in
+  let user_rngs =
+    Array.init config.users (fun _ -> Numerics.Rng.split root_rng)
+  in
+  let demux = Demux.Registry.create spec in
+  let meter = Meter.create demux in
+  let flows = Topology.flows config.users in
+  Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
+  let engine = Engine.create () in
+  (* One user's unending transaction cycle.  All four packets of the
+     paper's exchange appear: the query (metered Data lookup), the
+     query's transport-level ack and the response (transmit events),
+     and the response's transport-level ack (metered Pure_ack lookup)
+     arriving one RTT after the response goes out. *)
+  if config.extra_query_packets < 0 then
+    invalid_arg "Tpca_workload.run: extra_query_packets < 0";
+  let rec enter_transaction user engine =
+    let flow = flows.(user) in
+    Meter.lookup meter ~kind:Demux.Types.Data flow;
+    (* Chatty clients (Section 3.4): redundant segments arrive
+       back-to-back with the query, forming a micro-train. *)
+    for _ = 1 to config.extra_query_packets do
+      Meter.lookup meter ~kind:Demux.Types.Data flow
+    done;
+    if not config.delayed_acks then
+      Meter.note_send meter flow (* transport-level ack of the query *);
+    Engine.schedule engine ~delay:config.response_time (fun engine ->
+        Meter.note_send meter flow (* the response *);
+        Engine.schedule engine ~delay:config.rtt (fun engine ->
+            Meter.lookup meter ~kind:Demux.Types.Pure_ack flow;
+            let think =
+              Numerics.Distribution.sample config.think user_rngs.(user)
+            in
+            Engine.schedule engine ~delay:think (enter_transaction user)))
+  in
+  let mean_think = Numerics.Distribution.mean config.think in
+  for user = 0 to config.users - 1 do
+    let start =
+      match config.stagger with
+      | Sampled -> Numerics.Distribution.sample config.think user_rngs.(user)
+      | Even ->
+        mean_think *. float_of_int (user + 1) /. float_of_int config.users
+    in
+    Engine.schedule engine ~delay:start (enter_transaction user)
+  done;
+  Meter.set_measuring meter false;
+  Engine.run ~until:config.warmup engine;
+  Meter.start_measuring meter;
+  Engine.run ~until:(config.warmup +. config.duration) engine;
+  Report.of_meter ~workload:"tpca" meter

@@ -1,0 +1,39 @@
+type config = {
+  connections : int;
+  trains : int;
+  train_length : Numerics.Distribution.t;
+  ack_every : int;
+  seed : int;
+}
+
+let default_config ?(connections = 64) ?(trains = 2000) () =
+  { connections; trains;
+    (* Geometric failures-before-success with p = 1/16 has mean 15;
+       the +1 below for the mandatory first segment makes 16. *)
+    train_length = Numerics.Distribution.geometric ~p:(1.0 /. 16.0);
+    ack_every = 2; seed = 42 }
+
+let run config spec =
+  if config.connections <= 0 then
+    invalid_arg "Trains_workload.run: connections <= 0";
+  if config.trains <= 0 then invalid_arg "Trains_workload.run: trains <= 0";
+  let rng = Numerics.Rng.create ~seed:config.seed in
+  let demux = Demux.Registry.create spec in
+  let meter = Meter.create demux in
+  let flows = Topology.flows config.connections in
+  Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
+  Meter.start_measuring meter;
+  for _ = 1 to config.trains do
+    let connection = Numerics.Rng.int rng ~bound:config.connections in
+    let flow = flows.(connection) in
+    let length =
+      1
+      + int_of_float (Numerics.Distribution.sample config.train_length rng)
+    in
+    for segment = 1 to length do
+      Meter.lookup meter ~kind:Demux.Types.Data flow;
+      if config.ack_every > 0 && segment mod config.ack_every = 0 then
+        Meter.note_send meter flow
+    done
+  done;
+  Report.of_meter ~workload:"trains" meter

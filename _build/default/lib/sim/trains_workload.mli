@@ -1,0 +1,27 @@
+(** Bulk-transfer packet trains (Jain & Routhier [JR86]; paper
+    Section 1).
+
+    Traffic arrives as back-to-back runs of segments on one
+    connection before switching to another — the regime the BSD
+    one-entry cache was built for: a train of length [k] gives it
+    [k-1] hits.  Used for experiment E16, confirming the paper's
+    claim that BSD performs well outside OLTP. *)
+
+type config = {
+  connections : int;
+  trains : int;              (** Number of trains to deliver. *)
+  train_length : Numerics.Distribution.t;
+      (** Segments per train (values < 1 are treated as 1). *)
+  ack_every : int;
+      (** A transmit-side event fires after every [ack_every] data
+          segments, modelling the acks a receiver returns mid-train;
+          0 disables. *)
+  seed : int;
+}
+
+val default_config : ?connections:int -> ?trains:int -> unit -> config
+(** Defaults: 64 connections, 2000 trains, geometric train length with
+    mean 16 segments (matching packet-train measurements), ack every
+    2 segments. *)
+
+val run : config -> Demux.Registry.spec -> Report.t

@@ -1,0 +1,29 @@
+(** Simulation-vs-analysis cross-validation (experiment E14).
+
+    The paper says its approximations "have been qualitatively
+    confirmed by benchmarks"; here the benchmark is the discrete-event
+    simulator driving the real data structures, and the comparison is
+    quantitative. *)
+
+type row = {
+  algorithm : string;
+  predicted : float;   (** Analytic expected PCBs examined per packet. *)
+  simulated : float;   (** Simulated mean. *)
+  ci95 : float;        (** Simulation confidence half-width. *)
+  ratio : float;       (** simulated / predicted. *)
+}
+
+val predicted_cost :
+  Analysis.Tpca_params.t -> Demux.Registry.spec -> float option
+(** The paper's model for a spec, when one exists (BSD, linear, MTF,
+    SR-cache, Sequent, conn-id); [None] for algorithms the paper does
+    not model analytically. *)
+
+val compare :
+  ?config:Tpca_workload.config -> Analysis.Tpca_params.t ->
+  Demux.Registry.spec list -> row list
+(** Run the TPC/A simulation for each spec and pair it with the
+    analytic prediction.  [config] overrides the simulation settings
+    derived from the parameters. *)
+
+val pp_rows : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/tcpcore/conn_table.ml: Demux Hashtbl Packet

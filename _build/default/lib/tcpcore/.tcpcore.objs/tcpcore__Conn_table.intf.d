@@ -1,0 +1,1 @@
+lib/tcpcore/conn_table.mli: Demux Packet

@@ -1,0 +1,1 @@
+lib/tcpcore/stack.ml: Conn_table Demux Hashing Int32 List Logs Packet Printf State String Timer_wheel

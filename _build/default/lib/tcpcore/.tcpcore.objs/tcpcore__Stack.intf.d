@@ -1,0 +1,1 @@
+lib/tcpcore/stack.mli: Demux Logs Packet State

@@ -1,0 +1,1 @@
+lib/tcpcore/state.ml: Format List

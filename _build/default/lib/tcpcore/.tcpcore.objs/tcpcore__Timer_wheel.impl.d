@@ -1,0 +1,1 @@
+lib/tcpcore/timer_wheel.ml: Array Float Hashtbl Int List

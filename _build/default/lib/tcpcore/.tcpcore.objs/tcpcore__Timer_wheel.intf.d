@@ -1,0 +1,1 @@
+lib/tcpcore/timer_wheel.mli:

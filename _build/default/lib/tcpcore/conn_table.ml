@@ -1,0 +1,61 @@
+type binding = Wildcard of int | Specific of Packet.Ipv4.addr * int
+
+type ('conn, 'listener) t = {
+  demux : 'conn Demux.Registry.t;
+  listeners : (binding, 'listener) Hashtbl.t;
+}
+
+let create spec =
+  { demux = Demux.Registry.create spec; listeners = Hashtbl.create 16 }
+
+let demux t = t.demux
+
+let binding_of ?addr port =
+  match addr with
+  | Some addr -> Specific (addr, port)
+  | None -> Wildcard port
+
+let listen ?addr t ~port listener =
+  if port < 0 || port > 0xFFFF then invalid_arg "Conn_table.listen: bad port";
+  let binding = binding_of ?addr port in
+  if Hashtbl.mem t.listeners binding then
+    invalid_arg "Conn_table.listen: port already has a listener";
+  Hashtbl.replace t.listeners binding listener
+
+let unlisten ?addr t ~port = Hashtbl.remove t.listeners (binding_of ?addr port)
+
+let listener ?addr t ~port =
+  let specific =
+    match addr with
+    | Some addr -> Hashtbl.find_opt t.listeners (Specific (addr, port))
+    | None -> None
+  in
+  match specific with
+  | Some _ as found -> found
+  | None -> Hashtbl.find_opt t.listeners (Wildcard port)
+
+let add_connection t flow conn = t.demux.Demux.Registry.insert flow conn
+
+let remove_connection t flow =
+  match t.demux.Demux.Registry.remove flow with
+  | Some _ -> true
+  | None -> false
+
+type ('conn, 'listener) result =
+  | Connection of 'conn Demux.Pcb.t
+  | Listener of 'listener
+  | No_match
+
+let lookup t ?kind flow =
+  match t.demux.Demux.Registry.lookup ?kind flow with
+  | Some pcb -> Connection pcb
+  | None -> (
+    let local = flow.Packet.Flow.local in
+    match
+      listener ~addr:local.Packet.Flow.addr t ~port:local.Packet.Flow.port
+    with
+    | Some listener -> Listener listener
+    | None -> No_match)
+
+let note_send t flow = t.demux.Demux.Registry.note_send flow
+let connections t = t.demux.Demux.Registry.length ()

@@ -1,0 +1,457 @@
+(* Event logging: quiet by default; enable with
+   Logs.Src.set_level Stack.log_src (Some Logs.Debug). *)
+let log_src = Logs.Src.create "tcpdemux.stack" ~doc:"TCP stack events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type connection = {
+  flow : Packet.Flow.t;
+  mutable state : State.t;
+  mutable snd_nxt : int32;
+  mutable rcv_nxt : int32;
+  mutable snd_una : int32;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable unacked : (int32 * Packet.Segment.t) list;
+      (* retransmission queue: (first sequence number, segment),
+         oldest first *)
+  mutable ack_pending : bool;
+}
+
+type listener = { on_data : t -> connection -> string -> unit }
+
+and timer_event =
+  | Reap_time_wait of connection
+  | Retransmit of connection * int32
+  | Delayed_ack of connection
+
+and t = {
+  local_addr : Packet.Ipv4.addr;
+  table : (connection, listener) Conn_table.t;
+  mutable outbox : Packet.Segment.t list;  (* newest first; reversed on drain *)
+  mutable next_iss : int32;
+  mutable segments_sent : int;
+  mutable rsts_sent : int;
+  mutable retransmissions : int;
+  time_wait_timeout : float;
+  retransmit_timeout : float;
+  max_retransmits : int;
+  delayed_acks : bool;
+  delayed_ack_timeout : float;
+  wheel : timer_event Timer_wheel.t;
+  time_wait_timers : Timer_wheel.timer Demux.Flow_table.t;
+}
+
+(* Sequence-number comparison with wraparound: a < b iff the signed
+   32-bit difference is negative (RFC 793 window arithmetic). *)
+let seq_lt a b = Int32.compare (Int32.sub a b) 0l < 0
+let seq_leq a b = Int32.compare (Int32.sub a b) 0l <= 0
+
+let create ?(demux =
+             Demux.Registry.Sequent
+               { chains = Demux.Sequent.default_chains;
+                 hasher = Hashing.Hashers.multiplicative })
+    ?(time_wait_timeout = 60.0) ?(retransmit_timeout = 1.0)
+    ?(max_retransmits = 12) ?(delayed_acks = false)
+    ?(delayed_ack_timeout = 0.2) ~local_addr () =
+  if time_wait_timeout <= 0.0 then
+    invalid_arg "Stack.create: time_wait_timeout <= 0";
+  if retransmit_timeout <= 0.0 then
+    invalid_arg "Stack.create: retransmit_timeout <= 0";
+  if delayed_ack_timeout <= 0.0 then
+    invalid_arg "Stack.create: delayed_ack_timeout <= 0";
+  { local_addr; table = Conn_table.create demux; outbox = [];
+    next_iss = 1000l; segments_sent = 0; rsts_sent = 0; retransmissions = 0;
+    time_wait_timeout; retransmit_timeout; max_retransmits; delayed_acks;
+    delayed_ack_timeout;
+    wheel = Timer_wheel.create ~tick:0.25 ();
+    time_wait_timers = Demux.Flow_table.create 16 }
+
+let local_addr t = t.local_addr
+
+let fresh_iss t =
+  let iss = t.next_iss in
+  (* Deterministic, well-spaced initial sequence numbers. *)
+  t.next_iss <- Int32.add t.next_iss 64000l;
+  iss
+
+let transmit t segment flow =
+  t.outbox <- segment :: t.outbox;
+  t.segments_sent <- t.segments_sent + 1;
+  Conn_table.note_send t.table flow
+
+let emit t ?(payload = "") ~flow ~flags ~seq ~ack_number () =
+  let segment =
+    Packet.Segment.make ~seq ~ack_number ~flags ~payload
+      ~src:flow.Packet.Flow.local ~dst:flow.Packet.Flow.remote ()
+  in
+  transmit t segment flow;
+  segment
+
+(* Queue a sequence-space-consuming segment (SYN, FIN or data) for
+   retransmission and arm its RTO timer. *)
+let emit_reliable t conn ?payload ~flags ~seq ~ack_number () =
+  let segment = emit t ?payload ~flow:conn.flow ~flags ~seq ~ack_number () in
+  conn.unacked <- conn.unacked @ [ (seq, segment) ];
+  ignore
+    (Timer_wheel.schedule t.wheel ~delay:t.retransmit_timeout
+       (Retransmit (conn, seq)))
+
+let emit_rst t ~flow ~seq ~ack_number =
+  (* No PCB exists for this flow, so no transmit-side bookkeeping. *)
+  let segment =
+    Packet.Segment.make ~seq ~ack_number ~flags:Packet.Tcp_header.flag_rst
+      ~src:flow.Packet.Flow.local ~dst:flow.Packet.Flow.remote ()
+  in
+  t.outbox <- segment :: t.outbox;
+  t.segments_sent <- t.segments_sent + 1;
+  t.rsts_sent <- t.rsts_sent + 1
+
+let ack_now t conn =
+  conn.ack_pending <- false;
+  ignore
+    (emit t ~flow:conn.flow ~flags:Packet.Tcp_header.flag_ack ~seq:conn.snd_nxt
+       ~ack_number:conn.rcv_nxt ())
+
+(* RFC 1122 delayed acknowledgement: ack every second data segment, or
+   after delayed_ack_timeout, whichever comes first.  Sending data
+   also piggybacks the ack (emit always carries rcv_nxt), which is the
+   case the paper's footnote 2 describes. *)
+let ack_data t conn =
+  if not t.delayed_acks then ack_now t conn
+  else if conn.ack_pending then ack_now t conn (* second segment: ack now *)
+  else begin
+    conn.ack_pending <- true;
+    ignore
+      (Timer_wheel.schedule t.wheel ~delay:t.delayed_ack_timeout
+         (Delayed_ack conn))
+  end
+
+let listen t ~port ~on_data = Conn_table.listen t.table ~port { on_data }
+
+let connect t ~local_port ~remote =
+  let local = Packet.Flow.endpoint t.local_addr local_port in
+  let flow = Packet.Flow.v ~local ~remote in
+  let iss = fresh_iss t in
+  let conn =
+    { flow; state = State.Syn_sent; snd_nxt = Int32.add iss 1l;
+      rcv_nxt = 0l; snd_una = iss; bytes_in = 0; bytes_out = 0; unacked = [];
+      ack_pending = false }
+  in
+  ignore (Conn_table.add_connection t.table flow conn);
+  emit_reliable t conn ~flags:Packet.Tcp_header.flag_syn ~seq:iss
+    ~ack_number:0l ();
+  conn
+
+let send t conn payload =
+  (match conn.state with
+  | State.Established | State.Close_wait -> ()
+  | state ->
+    invalid_arg
+      (Printf.sprintf "Stack.send: cannot send in %s" (State.to_string state)));
+  conn.ack_pending <- false (* the data segment carries the ack *);
+  emit_reliable t conn ~payload ~flags:Packet.Tcp_header.flag_psh_ack
+    ~seq:conn.snd_nxt ~ack_number:conn.rcv_nxt ();
+  conn.snd_nxt <- Int32.add conn.snd_nxt (Int32.of_int (String.length payload));
+  conn.bytes_out <- conn.bytes_out + String.length payload
+
+let close t conn =
+  match State.transition conn.state State.Close with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Stack.close: cannot close from %s"
+         (State.to_string conn.state))
+  | Some next ->
+    emit_reliable t conn ~flags:Packet.Tcp_header.flag_fin_ack
+      ~seq:conn.snd_nxt ~ack_number:conn.rcv_nxt ();
+    conn.snd_nxt <- Int32.add conn.snd_nxt 1l (* FIN occupies a sequence slot *);
+    conn.state <- next
+
+let drop_connection t conn =
+  Log.debug (fun m -> m "drop %s" (Packet.Flow.to_string conn.flow));
+  conn.state <- State.Closed;
+  conn.unacked <- [];
+  (match Demux.Flow_table.find_opt t.time_wait_timers conn.flow with
+  | Some timer ->
+    ignore (Timer_wheel.cancel t.wheel timer);
+    Demux.Flow_table.remove t.time_wait_timers conn.flow
+  | None -> ());
+  ignore (Conn_table.remove_connection t.table conn.flow)
+
+(* Arm the 2MSL timer the first time a connection is seen in
+   TIME-WAIT; re-arming on retransmitted FINs is harmless but
+   wasteful, so membership is checked. *)
+let maybe_arm_time_wait t conn =
+  if
+    State.equal conn.state State.Time_wait
+    && not (Demux.Flow_table.mem t.time_wait_timers conn.flow)
+  then begin
+    let timer =
+      Timer_wheel.schedule t.wheel ~delay:t.time_wait_timeout
+        (Reap_time_wait conn)
+    in
+    Demux.Flow_table.replace t.time_wait_timers conn.flow timer
+  end
+
+(* Retransmission bookkeeping.  An arriving ACK advances snd_una and
+   releases fully acknowledged segments from the queue; an expired RTO
+   re-emits the oldest unacknowledged segment and re-arms. *)
+let note_ack conn ack_number =
+  if seq_lt conn.snd_una ack_number && seq_leq ack_number conn.snd_nxt then begin
+    conn.snd_una <- ack_number;
+    conn.unacked <-
+      List.filter
+        (fun (seq, segment) ->
+          let consumed =
+            let tcp = segment.Packet.Segment.tcp in
+            String.length segment.Packet.Segment.payload
+            + (if tcp.Packet.Tcp_header.flags.Packet.Tcp_header.syn then 1 else 0)
+            + if tcp.Packet.Tcp_header.flags.Packet.Tcp_header.fin then 1 else 0
+          in
+          seq_lt ack_number (Int32.add seq (Int32.of_int consumed)))
+        conn.unacked
+  end
+
+let handle_retransmit t conn seq =
+  if
+    (not (State.equal conn.state State.Closed))
+    && List.mem_assoc seq conn.unacked
+    && t.retransmissions < t.max_retransmits * 64
+    (* circuit breaker against pathological never-acked loops *)
+  then begin
+    let segment = List.assoc seq conn.unacked in
+    Log.debug (fun m ->
+        m "retransmit seq=%ld on %s" seq (Packet.Flow.to_string conn.flow));
+    t.retransmissions <- t.retransmissions + 1;
+    transmit t segment conn.flow;
+    ignore
+      (Timer_wheel.schedule t.wheel ~delay:t.retransmit_timeout
+         (Retransmit (conn, seq)));
+    true
+  end
+  else false
+
+let advance_clock t ~now =
+  let fired = Timer_wheel.advance t.wheel ~now in
+  List.fold_left
+    (fun actions (_, event) ->
+      match event with
+      | Reap_time_wait conn ->
+        Demux.Flow_table.remove t.time_wait_timers conn.flow;
+        if State.equal conn.state State.Time_wait then begin
+          drop_connection t conn;
+          actions + 1
+        end
+        else actions
+      | Retransmit (conn, seq) ->
+        if handle_retransmit t conn seq then actions + 1 else actions
+      | Delayed_ack conn ->
+        if conn.ack_pending && not (State.equal conn.state State.Closed)
+        then begin
+          ack_now t conn;
+          actions + 1
+        end
+        else actions)
+    0 fired
+
+let pending_time_wait t = Demux.Flow_table.length t.time_wait_timers
+
+let expire_time_wait t conn =
+  match State.transition conn.state State.Time_wait_expired with
+  | Some State.Closed -> drop_connection t conn
+  | Some _ | None ->
+    invalid_arg "Stack.expire_time_wait: connection not in TIME-WAIT"
+
+let connection_of_flow t flow =
+  (* Maintenance-path lookup: walk the unmetered application view. *)
+  let found = ref None in
+  (Conn_table.demux t.table).Demux.Registry.iter (fun pcb ->
+      if Packet.Flow.equal pcb.Demux.Pcb.flow flow then
+        found := Some pcb.Demux.Pcb.data);
+  !found
+
+let connection_count t = Conn_table.connections t.table
+let demux_stats t = (Conn_table.demux t.table).Demux.Registry.stats
+let segments_sent t = t.segments_sent
+let rsts_sent t = t.rsts_sent
+let retransmissions t = t.retransmissions
+
+let poll_output t =
+  let queued = List.rev t.outbox in
+  t.outbox <- [];
+  queued
+
+let classify_kind (tcp : Packet.Tcp_header.t) payload =
+  if
+    String.length payload = 0
+    && tcp.Packet.Tcp_header.flags.Packet.Tcp_header.ack
+    && (not tcp.Packet.Tcp_header.flags.Packet.Tcp_header.syn)
+    && not tcp.Packet.Tcp_header.flags.Packet.Tcp_header.fin
+  then Demux.Types.Pure_ack
+  else Demux.Types.Data
+
+let apply_transition conn event =
+  match State.transition conn.state event with
+  | Some next ->
+    conn.state <- next;
+    true
+  | None -> false
+
+let deliver_data t conn (segment : Packet.Segment.t) =
+  let payload = segment.Packet.Segment.payload in
+  let seq = segment.Packet.Segment.tcp.Packet.Tcp_header.seq in
+  if String.length payload > 0 then
+    if Int32.equal seq conn.rcv_nxt then begin
+      conn.rcv_nxt <-
+        Int32.add conn.rcv_nxt (Int32.of_int (String.length payload));
+      conn.bytes_in <- conn.bytes_in + String.length payload;
+      ack_data t conn;
+      match
+        Conn_table.listener ~addr:conn.flow.Packet.Flow.local.Packet.Flow.addr
+          t.table ~port:conn.flow.Packet.Flow.local.Packet.Flow.port
+      with
+      | Some { on_data } -> on_data t conn payload
+      | None -> ()
+    end
+    else
+      (* Out of order: re-assert what we expect (duplicate ACK). *)
+      ack_now t conn
+
+let handle_established t conn (segment : Packet.Segment.t) =
+  let flags = segment.Packet.Segment.tcp.Packet.Tcp_header.flags in
+  deliver_data t conn segment;
+  if flags.Packet.Tcp_header.fin then begin
+    conn.rcv_nxt <- Int32.add conn.rcv_nxt 1l;
+    ignore (apply_transition conn State.Rcv_fin);
+    ack_now t conn
+  end
+
+let acks_our_fin conn (tcp : Packet.Tcp_header.t) =
+  tcp.Packet.Tcp_header.flags.Packet.Tcp_header.ack
+  && Int32.equal tcp.Packet.Tcp_header.ack_number conn.snd_nxt
+
+let handle_closing_states t conn (segment : Packet.Segment.t) =
+  let tcp = segment.Packet.Segment.tcp in
+  let flags = tcp.Packet.Tcp_header.flags in
+  match conn.state with
+  | State.Fin_wait_1 ->
+    if flags.Packet.Tcp_header.fin && acks_our_fin conn tcp then begin
+      conn.rcv_nxt <- Int32.add conn.rcv_nxt 1l;
+      ignore (apply_transition conn State.Rcv_fin_ack);
+      ack_now t conn
+    end
+    else if flags.Packet.Tcp_header.fin then begin
+      conn.rcv_nxt <- Int32.add conn.rcv_nxt 1l;
+      ignore (apply_transition conn State.Rcv_fin);
+      ack_now t conn
+    end
+    else if acks_our_fin conn tcp then
+      ignore (apply_transition conn State.Rcv_ack)
+    else deliver_data t conn segment
+  | State.Fin_wait_2 ->
+    if flags.Packet.Tcp_header.fin then begin
+      conn.rcv_nxt <- Int32.add conn.rcv_nxt 1l;
+      ignore (apply_transition conn State.Rcv_fin);
+      ack_now t conn
+    end
+    else deliver_data t conn segment
+  | State.Closing ->
+    if acks_our_fin conn tcp then ignore (apply_transition conn State.Rcv_ack)
+  | State.Last_ack ->
+    if acks_our_fin conn tcp then begin
+      ignore (apply_transition conn State.Rcv_ack);
+      drop_connection t conn
+    end
+  | State.Time_wait ->
+    (* Retransmitted FIN: re-acknowledge. *)
+    if flags.Packet.Tcp_header.fin then ack_now t conn
+  | State.Closed | State.Listen | State.Syn_sent | State.Syn_received
+  | State.Established | State.Close_wait ->
+    ()
+
+let handle_connection t conn (segment : Packet.Segment.t) =
+  let tcp = segment.Packet.Segment.tcp in
+  let flags = tcp.Packet.Tcp_header.flags in
+  if flags.Packet.Tcp_header.ack && not flags.Packet.Tcp_header.rst then
+    note_ack conn tcp.Packet.Tcp_header.ack_number;
+  if flags.Packet.Tcp_header.rst then begin
+    ignore (apply_transition conn State.Rcv_rst);
+    drop_connection t conn
+  end
+  else
+    match conn.state with
+    | State.Syn_sent ->
+      if flags.Packet.Tcp_header.syn && flags.Packet.Tcp_header.ack then begin
+        conn.rcv_nxt <- Int32.add tcp.Packet.Tcp_header.seq 1l;
+        ignore (apply_transition conn State.Rcv_syn_ack);
+        ack_now t conn
+      end
+      else if flags.Packet.Tcp_header.syn then begin
+        (* Simultaneous open. *)
+        conn.rcv_nxt <- Int32.add tcp.Packet.Tcp_header.seq 1l;
+        ignore (apply_transition conn State.Rcv_syn);
+        ignore
+          (emit t ~flow:conn.flow ~flags:Packet.Tcp_header.flag_syn_ack
+             ~seq:(Int32.sub conn.snd_nxt 1l) ~ack_number:conn.rcv_nxt ())
+      end
+    | State.Syn_received ->
+      if
+        flags.Packet.Tcp_header.ack
+        && Int32.equal tcp.Packet.Tcp_header.ack_number conn.snd_nxt
+      then begin
+        ignore (apply_transition conn State.Rcv_ack);
+        (* The handshake ACK may carry data. *)
+        handle_established t conn segment
+      end
+    | State.Established | State.Close_wait -> handle_established t conn segment
+    | State.Fin_wait_1 | State.Fin_wait_2 | State.Closing | State.Last_ack
+    | State.Time_wait ->
+      handle_closing_states t conn segment
+    | State.Closed | State.Listen -> ()
+
+let accept t flow (tcp : Packet.Tcp_header.t) =
+  let iss = fresh_iss t in
+  let conn =
+    { flow; state = State.Syn_received;
+      snd_nxt = Int32.add iss 1l;
+      rcv_nxt = Int32.add tcp.Packet.Tcp_header.seq 1l;
+      snd_una = iss; bytes_in = 0; bytes_out = 0; unacked = [];
+      ack_pending = false }
+  in
+  ignore (Conn_table.add_connection t.table flow conn);
+  Log.debug (fun m -> m "accept %s" (Packet.Flow.to_string flow));
+  emit_reliable t conn ~flags:Packet.Tcp_header.flag_syn_ack ~seq:iss
+    ~ack_number:conn.rcv_nxt ()
+
+let handle_segment t (segment : Packet.Segment.t) =
+  let tcp = segment.Packet.Segment.tcp in
+  let flags = tcp.Packet.Tcp_header.flags in
+  let flow = Packet.Segment.flow segment in
+  let kind = classify_kind tcp segment.Packet.Segment.payload in
+  match Conn_table.lookup t.table ~kind flow with
+  | Conn_table.Connection pcb ->
+    let conn = pcb.Demux.Pcb.data in
+    handle_connection t conn segment;
+    maybe_arm_time_wait t conn
+  | Conn_table.Listener _ when flags.Packet.Tcp_header.syn
+                               && not flags.Packet.Tcp_header.ack ->
+    accept t flow tcp
+  | Conn_table.Listener _ ->
+    if not flags.Packet.Tcp_header.rst then
+      emit_rst t ~flow ~seq:0l
+        ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l)
+  | Conn_table.No_match ->
+    if not flags.Packet.Tcp_header.rst then
+      emit_rst t ~flow ~seq:0l
+        ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l)
+
+let handle_bytes t buf =
+  match Packet.Segment.parse buf ~off:0 with
+  | Error _ as e -> e
+  | Ok segment ->
+    if Packet.Ipv4.equal_addr segment.Packet.Segment.ip.Packet.Ipv4.dst t.local_addr
+    then begin
+      handle_segment t segment;
+      Ok ()
+    end
+    else Error "stack: datagram not addressed to this host"

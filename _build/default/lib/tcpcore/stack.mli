@@ -1,0 +1,112 @@
+(** A minimal TCP segment-processing engine.
+
+    Enough of a stack to drive every demultiplexing algorithm with
+    real wire-format segments: passive and active opens, in-order data
+    delivery with cumulative acknowledgements, fixed-RTO
+    retransmission of SYN/FIN/data via a timing wheel, TIME-WAIT
+    reaping, orderly close, and RST for segments that match no socket.
+    Out of scope (documented in DESIGN.md): adaptive RTO estimation,
+    congestion control, flow-control windows, urgent data — none of
+    which affect PCB lookup, which is what this library studies.
+
+    The stack is push-driven and owns no I/O: callers feed segments in
+    with {!handle_segment} / {!handle_bytes} and drain replies with
+    {!poll_output}. *)
+
+type t
+
+val log_src : Logs.src
+(** Log source ["tcpdemux.stack"]; connection events at debug level. *)
+
+type connection = {
+  flow : Packet.Flow.t;
+  mutable state : State.t;
+  mutable snd_nxt : int32;   (** Next sequence number we will send. *)
+  mutable rcv_nxt : int32;   (** Next sequence number we expect. *)
+  mutable snd_una : int32;   (** Oldest unacknowledged sequence number. *)
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable unacked : (int32 * Packet.Segment.t) list;
+      (** Retransmission queue, oldest first: sequence-space-consuming
+          segments (SYN, FIN, data) not yet covered by [snd_una]. *)
+  mutable ack_pending : bool;
+      (** A delayed acknowledgement is owed (see [delayed_acks]). *)
+}
+
+val create :
+  ?demux:Demux.Registry.spec -> ?time_wait_timeout:float ->
+  ?retransmit_timeout:float -> ?max_retransmits:int ->
+  ?delayed_acks:bool -> ?delayed_ack_timeout:float ->
+  local_addr:Packet.Ipv4.addr -> unit -> t
+(** A host at [local_addr].  Default demultiplexer: the Sequent
+    algorithm with 19 chains.  [time_wait_timeout] is the 2MSL reaping
+    delay used by {!advance_clock} (default 60 s);
+    [retransmit_timeout] is the (fixed) RTO for SYN/FIN/data segments
+    (default 1 s, no adaptive estimation — out of scope per
+    DESIGN.md).  With [delayed_acks] (default false) data is
+    acknowledged RFC 1122-style: every second segment, after
+    [delayed_ack_timeout] (default 200 ms, fired by
+    {!advance_clock}), or piggybacked on outbound data — the
+    mechanism the paper's footnote 2 appeals to.
+    @raise Invalid_argument on non-positive timeouts. *)
+
+val local_addr : t -> Packet.Ipv4.addr
+
+val listen : t -> port:int -> on_data:(t -> connection -> string -> unit) -> unit
+(** Accept connections on [port]; [on_data] fires for each in-order
+    data segment delivered on an accepted connection.
+    @raise Invalid_argument if the port is busy. *)
+
+val connect : t -> local_port:int -> remote:Packet.Flow.endpoint -> connection
+(** Active open: emits a SYN and returns the new connection in
+    [Syn_sent].
+    @raise Invalid_argument if the flow already exists. *)
+
+val send : t -> connection -> string -> unit
+(** Queue a data segment on an established connection.
+    @raise Invalid_argument unless the connection can carry data
+    ([Established] or [Close_wait]). *)
+
+val close : t -> connection -> unit
+(** Orderly close: emits FIN.
+    @raise Invalid_argument if the connection cannot close from its
+    current state. *)
+
+val handle_segment : t -> Packet.Segment.t -> unit
+(** Process one received segment: demultiplex (metered), advance the
+    state machine, queue any replies. *)
+
+val handle_bytes : t -> bytes -> (unit, string) result
+(** Parse a raw datagram (checksums verified) and process it. *)
+
+val poll_output : t -> Packet.Segment.t list
+(** Drain queued outbound segments, oldest first.  Transmit-side demux
+    bookkeeping ({!Demux.Registry.t.note_send}) has already run. *)
+
+val expire_time_wait : t -> connection -> unit
+(** Fire the 2MSL timer by hand: a [Time_wait] connection is removed.
+    @raise Invalid_argument if the connection is not in TIME-WAIT. *)
+
+val advance_clock : t -> now:float -> int
+(** Drive the stack's {!Timer_wheel}: connections that entered
+    TIME-WAIT more than the 2MSL timeout before [now] are reaped, and
+    unacknowledged SYN/FIN/data segments whose RTO has elapsed are
+    retransmitted (and re-armed).  Returns the number of effective
+    actions (reaps + retransmissions); timers made moot by later acks
+    fire silently.  The caller owns the clock (wall time, simulated
+    time, ...); time starts at 0.
+    @raise Invalid_argument if [now] moves backwards. *)
+
+val pending_time_wait : t -> int
+(** TIME-WAIT connections currently awaiting reaping. *)
+
+val retransmissions : t -> int
+(** Segments re-sent by the RTO timer since the stack was created. *)
+
+val connection_of_flow : t -> Packet.Flow.t -> connection option
+(** Uncharged lookup for applications that track their peers. *)
+
+val connection_count : t -> int
+val demux_stats : t -> Demux.Lookup_stats.t
+val segments_sent : t -> int
+val rsts_sent : t -> int

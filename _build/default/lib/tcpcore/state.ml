@@ -1,0 +1,105 @@
+type t =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN-SENT"
+  | Syn_received -> "SYN-RECEIVED"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN-WAIT-1"
+  | Fin_wait_2 -> "FIN-WAIT-2"
+  | Close_wait -> "CLOSE-WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST-ACK"
+  | Time_wait -> "TIME-WAIT"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b
+
+let all =
+  [ Closed; Listen; Syn_sent; Syn_received; Established; Fin_wait_1;
+    Fin_wait_2; Close_wait; Closing; Last_ack; Time_wait ]
+
+type event =
+  | Passive_open
+  | Active_open
+  | Close
+  | Rcv_syn
+  | Rcv_syn_ack
+  | Rcv_ack
+  | Rcv_fin
+  | Rcv_fin_ack
+  | Rcv_rst
+  | Time_wait_expired
+
+let pp_event ppf event =
+  Format.pp_print_string ppf
+    (match event with
+    | Passive_open -> "passive-open"
+    | Active_open -> "active-open"
+    | Close -> "close"
+    | Rcv_syn -> "rcv-syn"
+    | Rcv_syn_ack -> "rcv-syn-ack"
+    | Rcv_ack -> "rcv-ack"
+    | Rcv_fin -> "rcv-fin"
+    | Rcv_fin_ack -> "rcv-fin-ack"
+    | Rcv_rst -> "rcv-rst"
+    | Time_wait_expired -> "time-wait-expired")
+
+(* The RFC 793 state diagram (Figure 6 of the RFC).  A reset tears any
+   non-CLOSED state down; undefined pairs return None. *)
+let transition state event =
+  match (state, event) with
+  | Closed, Passive_open -> Some Listen
+  | Closed, Active_open -> Some Syn_sent
+  | Listen, Rcv_syn -> Some Syn_received
+  | Listen, Close -> Some Closed
+  | Syn_sent, Rcv_syn_ack -> Some Established
+  | Syn_sent, Rcv_syn -> Some Syn_received (* simultaneous open *)
+  | Syn_sent, Close -> Some Closed
+  | Syn_received, Rcv_ack -> Some Established
+  | Syn_received, Close -> Some Fin_wait_1
+  | Established, Close -> Some Fin_wait_1
+  | Established, Rcv_fin -> Some Close_wait
+  | Fin_wait_1, Rcv_ack -> Some Fin_wait_2
+  | Fin_wait_1, Rcv_fin -> Some Closing (* simultaneous close *)
+  | Fin_wait_1, Rcv_fin_ack -> Some Time_wait
+  | Fin_wait_2, Rcv_fin -> Some Time_wait
+  | Close_wait, Close -> Some Last_ack
+  | Closing, Rcv_ack -> Some Time_wait
+  | Last_ack, Rcv_ack -> Some Closed
+  | Time_wait, Time_wait_expired -> Some Closed
+  | Closed, Rcv_rst -> None
+  | ( ( Listen | Syn_sent | Syn_received | Established | Fin_wait_1
+      | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ),
+      Rcv_rst ) ->
+    Some Closed
+  | ( ( Closed | Listen | Syn_sent | Syn_received | Established | Fin_wait_1
+      | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ),
+      ( Passive_open | Active_open | Close | Rcv_syn | Rcv_syn_ack | Rcv_ack
+      | Rcv_fin | Rcv_fin_ack | Time_wait_expired ) ) ->
+    None
+
+let is_synchronized = function
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+  | Time_wait ->
+    true
+  | Closed | Listen | Syn_sent | Syn_received -> false
+
+let all_events =
+  [ Passive_open; Active_open; Close; Rcv_syn; Rcv_syn_ack; Rcv_ack; Rcv_fin;
+    Rcv_fin_ack; Rcv_rst; Time_wait_expired ]
+
+let valid_events state =
+  List.filter (fun event -> transition state event <> None) all_events

@@ -1,0 +1,54 @@
+(** The RFC 793 TCP connection state machine.
+
+    Only state-transition logic lives here — no buffers, timers or
+    sequence numbers — so it can be tested exhaustively as a pure
+    function.  Retransmission and congestion control are out of scope
+    for this library (the paper's demultiplexing question is upstream
+    of both). *)
+
+type t =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val all : t list
+(** Every state, for exhaustive tests. *)
+
+(** Stimuli that drive transitions: segment arrivals (classified by
+    flags) and local application calls. *)
+type event =
+  | Passive_open          (** Application listens. *)
+  | Active_open           (** Application connects (sends SYN). *)
+  | Close                 (** Application closes (sends FIN). *)
+  | Rcv_syn
+  | Rcv_syn_ack
+  | Rcv_ack               (** Acceptable ACK of our SYN or FIN. *)
+  | Rcv_fin
+  | Rcv_fin_ack           (** FIN carrying the ACK of our FIN. *)
+  | Rcv_rst
+  | Time_wait_expired
+
+val pp_event : Format.formatter -> event -> unit
+
+val transition : t -> event -> t option
+(** [transition state event] is the successor state, or [None] when
+    RFC 793 defines no transition (the segment would be dropped or
+    answered with RST at the segment layer). *)
+
+val is_synchronized : t -> bool
+(** True from [Established] onward — states where data may flow. *)
+
+val valid_events : t -> event list
+(** Events with a defined transition out of [t], for property tests. *)

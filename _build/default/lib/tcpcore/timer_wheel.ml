@@ -1,0 +1,89 @@
+type 'a entry = {
+  id : int;
+  deadline : float;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  slots : 'a entry list array; (* unordered within a slot *)
+  tick : float;
+  mutable clock : float;
+  mutable cursor : int;        (* slot the clock currently sits in *)
+  mutable next_id : int;
+  mutable live : int;
+  by_id : (int, 'a entry) Hashtbl.t;
+}
+
+type timer = int
+
+let create ?(slot_count = 256) ~tick () =
+  if tick <= 0.0 then invalid_arg "Timer_wheel.create: tick <= 0";
+  if slot_count <= 0 then invalid_arg "Timer_wheel.create: slot_count <= 0";
+  { slots = Array.make slot_count []; tick; clock = 0.0; cursor = 0;
+    next_id = 0; live = 0; by_id = Hashtbl.create 64 }
+
+let now t = t.clock
+
+let slot_of t deadline =
+  int_of_float (Float.floor (deadline /. t.tick)) mod Array.length t.slots
+
+let schedule t ~delay payload =
+  if Float.is_nan delay || delay < 0.0 then
+    invalid_arg "Timer_wheel.schedule: negative or NaN delay";
+  let deadline = t.clock +. delay in
+  let entry = { id = t.next_id; deadline; payload; cancelled = false } in
+  t.next_id <- t.next_id + 1;
+  let slot = slot_of t deadline in
+  t.slots.(slot) <- entry :: t.slots.(slot);
+  Hashtbl.replace t.by_id entry.id entry;
+  t.live <- t.live + 1;
+  entry.id
+
+let cancel t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some entry when not entry.cancelled ->
+    entry.cancelled <- true;
+    Hashtbl.remove t.by_id id;
+    t.live <- t.live - 1;
+    true
+  | Some _ | None -> false
+
+let advance t ~now =
+  if Float.is_nan now || now < t.clock then
+    invalid_arg "Timer_wheel.advance: clock cannot move backwards";
+  let slot_count = Array.length t.slots in
+  let target_index = int_of_float (Float.floor (now /. t.tick)) in
+  let current_index = int_of_float (Float.floor (t.clock /. t.tick)) in
+  (* Visit every slot the clock passes; a full revolution visits each
+     slot once. *)
+  let steps = min (target_index - current_index) slot_count in
+  let fired = ref [] in
+  let visit slot =
+    let due, remaining =
+      List.partition (fun e -> (not e.cancelled) && e.deadline <= now)
+        t.slots.(slot)
+    in
+    (* Drop cancelled entries while we are here. *)
+    let remaining = List.filter (fun e -> not e.cancelled) remaining in
+    t.slots.(slot) <- remaining;
+    List.iter
+      (fun e ->
+        Hashtbl.remove t.by_id e.id;
+        t.live <- t.live - 1;
+        fired := e :: !fired)
+      due
+  in
+  for i = 0 to steps do
+    visit ((current_index + i) mod slot_count)
+  done;
+  t.clock <- now;
+  t.cursor <- target_index mod slot_count;
+  !fired
+  |> List.sort (fun a b ->
+         match Float.compare a.deadline b.deadline with
+         | 0 -> Int.compare a.id b.id
+         | c -> c)
+  |> List.map (fun e -> (e.deadline, e.payload))
+
+let pending t = t.live

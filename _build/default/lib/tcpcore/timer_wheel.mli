@@ -1,0 +1,37 @@
+(** Hashed timing wheel (Varghese & Lauck 1987) — the timer substrate
+    a real TCP needs for 2MSL, retransmission and delayed-ack timers.
+    Here it drives TIME-WAIT reaping in {!Stack}, keeping PCB removal
+    on the same unmetered maintenance path the paper assumes.
+
+    Timers hash into [slot_count] buckets of width [tick] seconds;
+    {!advance} walks the buckets the clock has passed and fires due
+    timers in deadline order.  Schedule and cancel are O(1); advance
+    is O(buckets passed + timers fired). *)
+
+type 'a t
+
+type timer
+(** Handle for cancellation.  Never reused. *)
+
+val create : ?slot_count:int -> tick:float -> unit -> 'a t
+(** A wheel starting at time 0.  Defaults: 256 slots.
+    @raise Invalid_argument if [tick <= 0] or [slot_count <= 0]. *)
+
+val now : 'a t -> float
+(** The wheel's clock: the last time passed to {!advance}. *)
+
+val schedule : 'a t -> delay:float -> 'a -> timer
+(** Fire [delay] seconds from {!now} (delays shorter than one tick
+    fire on the next advance).
+    @raise Invalid_argument if [delay] is negative or NaN. *)
+
+val cancel : 'a t -> timer -> bool
+(** True if the timer was still pending (and is now cancelled). *)
+
+val advance : 'a t -> now:float -> (float * 'a) list
+(** Move the clock forward and return fired timers as
+    [(deadline, payload)] in deadline order.
+    @raise Invalid_argument if [now] is behind the wheel's clock. *)
+
+val pending : 'a t -> int
+(** Timers scheduled and not yet fired or cancelled. *)

@@ -1,0 +1,1 @@
+test/test_demux.ml: Alcotest Array Demux Float Hashing Int List Numerics Packet Printf QCheck QCheck_alcotest Set Sim String

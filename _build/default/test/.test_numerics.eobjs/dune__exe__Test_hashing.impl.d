@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Bytes Gen Hashing Int64 List QCheck QCheck_alcotest Sim

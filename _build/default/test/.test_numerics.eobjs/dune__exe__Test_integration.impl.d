@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Array Demux Filename Float Fun Hashing Int32 List Numerics Packet Printf QCheck QCheck_alcotest Report Sim String Sys Tcpcore

@@ -1,0 +1,1 @@
+test/test_ipv6.ml: Alcotest Array Bytes Gen Hashing List Numerics Packet Printf QCheck QCheck_alcotest Set String

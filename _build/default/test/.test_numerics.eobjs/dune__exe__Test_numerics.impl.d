@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun Gen List Numerics Printf QCheck QCheck_alcotest

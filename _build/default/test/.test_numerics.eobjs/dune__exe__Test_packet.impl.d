@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Array Buffer Bytes Char Demux Filename Fun Gen Hashing Int32 List Numerics Packet Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Demux Domain Hashing List Numerics Packet Parallel Sim

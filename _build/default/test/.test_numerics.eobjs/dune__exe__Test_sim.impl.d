@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Analysis Array Bytes Demux Float Fun Gen Hashing List Numerics Packet Printf QCheck QCheck_alcotest Set Sim

@@ -1,0 +1,1 @@
+test/test_tcpcore.ml: Alcotest Array Buffer Bytes Demux Format Gen Int32 List Packet Printf QCheck QCheck_alcotest String Tcpcore

@@ -1,0 +1,835 @@
+(* Tests for the PCB lookup algorithms: correctness (finds exactly
+   what is inserted), the paper's cost-accounting discipline, and the
+   behavioural signatures each algorithm is defined by. *)
+
+let flow i = Sim.Topology.flow_of_client i
+let flows n = Array.to_list (Sim.Topology.flows n)
+
+let mean_examined demux =
+  Demux.Lookup_stats.mean_examined
+    (Demux.Lookup_stats.snapshot demux.Demux.Registry.stats)
+
+let last_cost demux f =
+  (* Cost of a single lookup = examined-counter delta around it. *)
+  let before =
+    (Demux.Lookup_stats.snapshot demux.Demux.Registry.stats)
+      .Demux.Lookup_stats.pcbs_examined
+  in
+  let result = demux.Demux.Registry.lookup f in
+  let after =
+    (Demux.Lookup_stats.snapshot demux.Demux.Registry.stats)
+      .Demux.Lookup_stats.pcbs_examined
+  in
+  (result, after - before)
+
+let all_specs =
+  Demux.Registry.
+    [ Linear; Bsd; Mtf; Sr_cache;
+      Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative };
+      Hashed_mtf { chains = 19; hasher = Hashing.Hashers.multiplicative };
+      Conn_id { capacity = 4096 }; Resizing_hash; Splay;
+      Lru_cache { entries = 4 } ]
+
+(* ------------------------------------------------------------------ *)
+(* Generic correctness, every algorithm                                *)
+
+let test_insert_lookup_remove spec () =
+  let demux = Demux.Registry.create spec in
+  let population = flows 50 in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) population;
+  Alcotest.(check int) "population" 50 (demux.Demux.Registry.length ());
+  (* Every inserted flow is found. *)
+  List.iter
+    (fun f ->
+      match demux.Demux.Registry.lookup f with
+      | Some pcb ->
+        Alcotest.(check bool) "right pcb" true
+          (Packet.Flow.equal pcb.Demux.Pcb.flow f)
+      | None -> Alcotest.failf "%s lost a flow" demux.Demux.Registry.name)
+    population;
+  (* A stranger is not. *)
+  Alcotest.(check bool) "stranger absent" true
+    (demux.Demux.Registry.lookup (flow 999) = None);
+  (* Remove half, check the partition. *)
+  List.iteri
+    (fun i f ->
+      if i mod 2 = 0 then
+        match demux.Demux.Registry.remove f with
+        | Some _ -> ()
+        | None -> Alcotest.fail "remove failed")
+    population;
+  Alcotest.(check int) "population halved" 25 (demux.Demux.Registry.length ());
+  List.iteri
+    (fun i f ->
+      let found = demux.Demux.Registry.lookup f <> None in
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d presence" i)
+        (i mod 2 = 1) found)
+    population
+
+let test_duplicate_insert_rejected spec () =
+  let demux = Demux.Registry.create spec in
+  ignore (demux.Demux.Registry.insert (flow 1) ());
+  match demux.Demux.Registry.insert (flow 1) () with
+  | _ -> Alcotest.fail "duplicate insert accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_remove_absent spec () =
+  let demux = Demux.Registry.create spec in
+  Alcotest.(check bool) "remove absent" true
+    (demux.Demux.Registry.remove (flow 3) = None)
+
+let test_stats_discipline spec () =
+  (* lookups/found/not_found counters add up; examined grows. *)
+  let demux = Demux.Registry.create spec in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  for i = 0 to 14 do
+    ignore (demux.Demux.Registry.lookup (flow i))
+  done;
+  let s = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "lookups" 15 s.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "found" 10 s.Demux.Lookup_stats.found;
+  Alcotest.(check int) "not found" 5 s.Demux.Lookup_stats.not_found;
+  Alcotest.(check int) "inserts" 10 s.Demux.Lookup_stats.inserts;
+  Alcotest.(check bool) "examined positive" true
+    (s.Demux.Lookup_stats.pcbs_examined > 0);
+  Alcotest.(check bool) "max <= total" true
+    (s.Demux.Lookup_stats.max_examined <= s.Demux.Lookup_stats.pcbs_examined)
+
+let test_iter_covers_population spec () =
+  let demux = Demux.Registry.create spec in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 30);
+  let seen = ref 0 in
+  demux.Demux.Registry.iter (fun _ -> incr seen);
+  Alcotest.(check int) "iter count" 30 !seen
+
+let generic_cases =
+  List.concat_map
+    (fun spec ->
+      let name = Demux.Registry.spec_name spec in
+      [ Alcotest.test_case
+          (name ^ ": insert/lookup/remove")
+          `Quick (test_insert_lookup_remove spec);
+        Alcotest.test_case (name ^ ": duplicate insert") `Quick
+          (test_duplicate_insert_rejected spec);
+        Alcotest.test_case (name ^ ": remove absent") `Quick
+          (test_remove_absent spec);
+        Alcotest.test_case (name ^ ": stats discipline") `Quick
+          (test_stats_discipline spec);
+        Alcotest.test_case (name ^ ": iter") `Quick
+          (test_iter_covers_population spec) ])
+    all_specs
+
+(* ------------------------------------------------------------------ *)
+(* Linear: cost = scan position from the head                          *)
+
+let test_linear_cost_is_position () =
+  let demux = Demux.Registry.create Demux.Registry.Linear in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  (* Insertion at head means flow 9 is first, flow 0 last. *)
+  let _, cost_head = last_cost demux (flow 9) in
+  Alcotest.(check int) "head costs 1" 1 cost_head;
+  let _, cost_tail = last_cost demux (flow 0) in
+  Alcotest.(check int) "tail costs 10" 10 cost_tail;
+  let _, cost_mid = last_cost demux (flow 4) in
+  Alcotest.(check int) "middle costs 6" 6 cost_mid;
+  (* A miss scans everything. *)
+  let result, cost_miss = last_cost demux (flow 77) in
+  Alcotest.(check bool) "miss" true (result = None);
+  Alcotest.(check int) "miss scans all" 10 cost_miss
+
+(* ------------------------------------------------------------------ *)
+(* BSD: one-entry cache in front of the same list                      *)
+
+let test_bsd_cache_hit_costs_one () =
+  let demux = Demux.Registry.create Demux.Registry.Bsd in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  let _, first = last_cost demux (flow 0) in
+  (* Cache empty: probe skipped (no PCB yet cached), scan to tail. *)
+  Alcotest.(check int) "cold lookup scans to position" 10 first;
+  let _, second = last_cost demux (flow 0) in
+  Alcotest.(check int) "cached repeat costs 1" 1 second;
+  (* A different flow now pays cache probe + scan. *)
+  let _, third = last_cost demux (flow 9) in
+  Alcotest.(check int) "cache miss pays probe + scan" 2 third
+
+let test_bsd_cache_invalidated_on_remove () =
+  let demux = Demux.Bsd.create () in
+  let population = flows 5 in
+  List.iter (fun f -> ignore (Demux.Bsd.insert demux f ())) population;
+  ignore (Demux.Bsd.lookup demux (flow 2));
+  Alcotest.(check bool) "cached" true
+    (match Demux.Bsd.cached_flow demux with
+    | Some f -> Packet.Flow.equal f (flow 2)
+    | None -> false);
+  ignore (Demux.Bsd.remove demux (flow 2));
+  Alcotest.(check bool) "cache cleared" true
+    (Demux.Bsd.cached_flow demux = None);
+  (* And the removed flow is really gone. *)
+  Alcotest.(check bool) "gone" true (Demux.Bsd.lookup demux (flow 2) = None)
+
+let test_bsd_hit_rate_on_trains () =
+  (* Packet train of length 100 on one connection: 99 hits. *)
+  let demux = Demux.Registry.create Demux.Registry.Bsd in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  for _ = 1 to 100 do
+    ignore (demux.Demux.Registry.lookup (flow 5))
+  done;
+  let s = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "99 cache hits" 99 s.Demux.Lookup_stats.cache_hits
+
+(* ------------------------------------------------------------------ *)
+(* MTF: found PCB moves to the head                                    *)
+
+let test_mtf_moves_to_front () =
+  let demux = Demux.Mtf.create () in
+  List.iter (fun f -> ignore (Demux.Mtf.insert demux f ())) (flows 10);
+  ignore (Demux.Mtf.lookup demux (flow 0));
+  Alcotest.(check bool) "front is flow 0" true
+    (match Demux.Mtf.front_flow demux with
+    | Some f -> Packet.Flow.equal f (flow 0)
+    | None -> false)
+
+let test_mtf_repeat_costs_one () =
+  let demux = Demux.Registry.create Demux.Registry.Mtf in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  let _, first = last_cost demux (flow 0) in
+  Alcotest.(check int) "cold cost = position" 10 first;
+  let _, second = last_cost demux (flow 0) in
+  Alcotest.(check int) "repeat costs 1" 1 second
+
+let test_mtf_lru_order () =
+  (* After touching 2,1,0 the list reads 0,1,2,... *)
+  let demux = Demux.Registry.create Demux.Registry.Mtf in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 5);
+  List.iter
+    (fun i -> ignore (demux.Demux.Registry.lookup (flow i)))
+    [ 2; 1; 0 ];
+  let _, c0 = last_cost demux (flow 0) in
+  let _, c1 = last_cost demux (flow 1) in
+  Alcotest.(check int) "most recent costs 1" 1 c0;
+  (* After looking up 0 again, 1 is second. *)
+  Alcotest.(check int) "second most recent costs 2" 2 c1
+
+(* ------------------------------------------------------------------ *)
+(* SR cache: two one-entry caches, probe order by packet kind          *)
+
+let test_sr_probe_order () =
+  let demux = Demux.Sr_cache.create () in
+  List.iter (fun f -> ignore (Demux.Sr_cache.insert demux f ())) (flows 10);
+  (* Receive on flow 3 -> receive cache; send on flow 7 -> send cache. *)
+  ignore (Demux.Sr_cache.lookup demux (flow 3));
+  Demux.Sr_cache.note_send demux (flow 7);
+  Alcotest.(check bool) "recv cache" true
+    (match Demux.Sr_cache.cached_received_flow demux with
+    | Some f -> Packet.Flow.equal f (flow 3)
+    | None -> false);
+  Alcotest.(check bool) "send cache" true
+    (match Demux.Sr_cache.cached_sent_flow demux with
+    | Some f -> Packet.Flow.equal f (flow 7)
+    | None -> false);
+  let stats = Demux.Sr_cache.stats demux in
+  let probe kind f =
+    let before =
+      (Demux.Lookup_stats.snapshot stats).Demux.Lookup_stats.pcbs_examined
+    in
+    ignore (Demux.Sr_cache.lookup demux ~kind f);
+    (Demux.Lookup_stats.snapshot stats).Demux.Lookup_stats.pcbs_examined
+    - before
+  in
+  (* A data packet for flow 3 hits the receive cache first: cost 1. *)
+  Alcotest.(check int) "data hits recv first" 1 (probe Demux.Types.Data (flow 3));
+  (* An ack for flow 7 hits the send cache first: cost 1. *)
+  Alcotest.(check int) "ack hits send first" 1
+    (probe Demux.Types.Pure_ack (flow 7));
+  (* A data packet for flow 7 (in the send cache) pays 2 probes.
+     Note the previous ack lookup moved flow 7 into the receive cache
+     too, so re-seed the receive cache with flow 3 first. *)
+  ignore (Demux.Sr_cache.lookup demux ~kind:Demux.Types.Data (flow 3));
+  Alcotest.(check int) "data finds send cache second" 2
+    (probe Demux.Types.Data (flow 7))
+
+let test_sr_full_miss_cost () =
+  let demux = Demux.Registry.create Demux.Registry.Sr_cache in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  (* Warm both caches with flows other than the target. *)
+  ignore (demux.Demux.Registry.lookup (flow 9));
+  demux.Demux.Registry.note_send (flow 8);
+  (* Flow 0 is at the tail (inserted first): 2 cache probes + scan 10. *)
+  let _, cost = last_cost demux (flow 0) in
+  Alcotest.(check int) "full miss = 2 + scan" 12 cost
+
+let test_sr_remove_invalidates_caches () =
+  let demux = Demux.Sr_cache.create () in
+  List.iter (fun f -> ignore (Demux.Sr_cache.insert demux f ())) (flows 4);
+  ignore (Demux.Sr_cache.lookup demux (flow 1));
+  Demux.Sr_cache.note_send demux (flow 1);
+  ignore (Demux.Sr_cache.remove demux (flow 1));
+  Alcotest.(check bool) "recv cleared" true
+    (Demux.Sr_cache.cached_received_flow demux = None);
+  Alcotest.(check bool) "send cleared" true
+    (Demux.Sr_cache.cached_sent_flow demux = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sequent: per-chain caches, scans confined to the home chain         *)
+
+let test_sequent_chain_confinement () =
+  let chains = 19 in
+  let demux =
+    Demux.Sequent.create ~chains ~hasher:Hashing.Hashers.multiplicative ()
+  in
+  let population = flows 200 in
+  List.iter (fun f -> ignore (Demux.Sequent.insert demux f ())) population;
+  let lengths = Demux.Sequent.chain_lengths demux in
+  Alcotest.(check int) "chains" chains (Array.length lengths);
+  Alcotest.(check int) "population preserved" 200
+    (Array.fold_left ( + ) 0 lengths);
+  let longest = Array.fold_left max 0 lengths in
+  (* No lookup may ever examine more than cache + longest chain. *)
+  let stats = Demux.Sequent.stats demux in
+  List.iter (fun f -> ignore (Demux.Sequent.lookup demux f)) population;
+  let s = Demux.Lookup_stats.snapshot stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d <= 1 + longest %d" s.Demux.Lookup_stats.max_examined
+       longest)
+    true
+    (s.Demux.Lookup_stats.max_examined <= longest + 1)
+
+let test_sequent_cache_per_chain () =
+  let demux = Demux.Registry.create
+      (Demux.Registry.Sequent
+         { chains = 19; hasher = Hashing.Hashers.multiplicative })
+  in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 100);
+  ignore (demux.Demux.Registry.lookup (flow 42));
+  let _, repeat = last_cost demux (flow 42) in
+  Alcotest.(check int) "chain cache hit costs 1" 1 repeat
+
+let test_sequent_beats_bsd_on_oltp_shape () =
+  (* Uniform-random lookups over 500 flows: hashed chains must examine
+     far fewer PCBs than the single BSD list. *)
+  let population = flows 500 in
+  let run spec =
+    let demux = Demux.Registry.create spec in
+    List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) population;
+    let rng = Numerics.Rng.create ~seed:4 in
+    for _ = 1 to 2000 do
+      ignore
+        (demux.Demux.Registry.lookup
+           (List.nth population (Numerics.Rng.int rng ~bound:500)))
+    done;
+    mean_examined demux
+  in
+  let bsd = run Demux.Registry.Bsd in
+  let sequent =
+    run
+      (Demux.Registry.Sequent
+         { chains = 19; hasher = Hashing.Hashers.multiplicative })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequent %.1f at least 5x better than bsd %.1f" sequent bsd)
+    true
+    (sequent *. 5.0 < bsd)
+
+let test_sequent_validation () =
+  Alcotest.check_raises "chains 0"
+    (Invalid_argument "Sequent.create: chains <= 0") (fun () ->
+      ignore (Demux.Sequent.create ~chains:0 () : unit Demux.Sequent.t))
+
+(* ------------------------------------------------------------------ *)
+(* Hashed MTF                                                          *)
+
+let test_hashed_mtf_repeat_costs_one () =
+  let demux =
+    Demux.Registry.create
+      (Demux.Registry.Hashed_mtf
+         { chains = 7; hasher = Hashing.Hashers.multiplicative })
+  in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 100);
+  ignore (demux.Demux.Registry.lookup (flow 31));
+  let _, repeat = last_cost demux (flow 31) in
+  Alcotest.(check int) "moved to chain front" 1 repeat
+
+(* ------------------------------------------------------------------ *)
+(* Connection IDs                                                      *)
+
+let test_conn_id_always_one () =
+  let demux = Demux.Registry.create (Demux.Registry.Conn_id { capacity = 64 }) in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 50);
+  let rng = Numerics.Rng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let _, cost = last_cost demux (flow (Numerics.Rng.int rng ~bound:50)) in
+    Alcotest.(check int) "direct index costs 1" 1 cost
+  done
+
+let test_conn_id_recycling () =
+  let demux = Demux.Conn_id.create ~capacity:2 () in
+  ignore (Demux.Conn_id.insert demux (flow 0) ());
+  ignore (Demux.Conn_id.insert demux (flow 1) ());
+  (match Demux.Conn_id.insert demux (flow 2) () with
+  | _ -> Alcotest.fail "over capacity"
+  | exception Failure _ -> ());
+  let id0 =
+    match Demux.Conn_id.connection_id demux (flow 0) with
+    | Some id -> id
+    | None -> Alcotest.fail "no id"
+  in
+  ignore (Demux.Conn_id.remove demux (flow 0));
+  ignore (Demux.Conn_id.insert demux (flow 2) ());
+  Alcotest.(check (option int)) "id recycled" (Some id0)
+    (Demux.Conn_id.connection_id demux (flow 2))
+
+let test_conn_id_lookup_by_id () =
+  let demux = Demux.Conn_id.create ~capacity:8 () in
+  let pcb = Demux.Conn_id.insert demux (flow 3) () in
+  (match Demux.Conn_id.lookup_by_id demux pcb.Demux.Pcb.id with
+  | Some found -> Alcotest.(check int) "same pcb" pcb.Demux.Pcb.id found.Demux.Pcb.id
+  | None -> Alcotest.fail "id lookup failed");
+  Alcotest.(check bool) "bad id" true
+    (Demux.Conn_id.lookup_by_id demux 99999 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Resizing hash                                                       *)
+
+let test_resizing_grows_and_stays_correct () =
+  let demux = Demux.Resizing_hash.create ~initial_buckets:2 () in
+  let population = flows 300 in
+  List.iter (fun f -> ignore (Demux.Resizing_hash.insert demux f ())) population;
+  Alcotest.(check bool) "grew" true (Demux.Resizing_hash.buckets demux >= 256);
+  List.iter
+    (fun f ->
+      match Demux.Resizing_hash.lookup demux f with
+      | Some _ -> ()
+      | None -> Alcotest.fail "lost a flow across resizes")
+    population;
+  (* Load factor <= 1 keeps scans short. *)
+  let stats = Demux.Resizing_hash.stats demux in
+  let s = Demux.Lookup_stats.snapshot stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "max scan small (%d)" s.Demux.Lookup_stats.max_examined)
+    true
+    (s.Demux.Lookup_stats.max_examined <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Splay tree                                                          *)
+
+let test_splay_repeat_costs_one () =
+  let demux = Demux.Registry.create Demux.Registry.Splay in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 200);
+  ignore (demux.Demux.Registry.lookup (flow 57));
+  (* The splayed node is at the root: one comparison. *)
+  let _, repeat = last_cost demux (flow 57) in
+  Alcotest.(check int) "root hit" 1 repeat
+
+let test_splay_logarithmic_uniform () =
+  (* Uniform-random lookups over 2000 keys must stay near O(log N) on
+     average — far below any list scheme's N/2. *)
+  let demux = Demux.Registry.create Demux.Registry.Splay in
+  let flows = Sim.Topology.flows 2000 in
+  Array.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) flows;
+  let rng = Numerics.Rng.create ~seed:2 in
+  for _ = 1 to 5000 do
+    ignore (demux.Demux.Registry.lookup flows.(Numerics.Rng.int rng ~bound:2000))
+  done;
+  let mean = mean_examined demux in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f within ~4x log2(2000)=11" mean)
+    true (mean < 45.0)
+
+let test_splay_iter_in_key_order () =
+  let demux = Demux.Splay.create () in
+  let population = flows 50 in
+  List.iter (fun f -> ignore (Demux.Splay.insert demux f ())) population;
+  let collected = ref [] in
+  Demux.Splay.iter (fun pcb -> collected := pcb.Demux.Pcb.flow :: !collected) demux;
+  let collected = List.rev !collected in
+  Alcotest.(check int) "all present" 50 (List.length collected);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Packet.Flow.compare a b < 0 && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "in-order traversal" true (sorted collected)
+
+let test_splay_depth_shrinks_under_locality () =
+  (* Hammering one key splays it to the root; depth statistics stay
+     bounded by the population. *)
+  let demux = Demux.Splay.create () in
+  let population = flows 128 in
+  List.iter (fun f -> ignore (Demux.Splay.insert demux f ())) population;
+  let depth_before = Demux.Splay.depth demux in
+  Alcotest.(check bool) "depth positive" true (depth_before >= 7);
+  for _ = 1 to 50 do
+    ignore (Demux.Splay.lookup demux (flow 100))
+  done;
+  Alcotest.(check bool) "depth bounded by population" true
+    (Demux.Splay.depth demux <= 128)
+
+let test_splay_remove_rejoins () =
+  let demux = Demux.Splay.create () in
+  let population = flows 64 in
+  List.iter (fun f -> ignore (Demux.Splay.insert demux f ())) population;
+  (* Remove every third key, confirm the rest survive in order. *)
+  List.iteri
+    (fun i f -> if i mod 3 = 0 then ignore (Demux.Splay.remove demux f))
+    population;
+  Alcotest.(check int) "population" (64 - 22) (Demux.Splay.length demux);
+  List.iteri
+    (fun i f ->
+      let found = Demux.Splay.lookup demux f <> None in
+      Alcotest.(check bool) (Printf.sprintf "key %d" i) (i mod 3 <> 0) found)
+    population
+
+(* ------------------------------------------------------------------ *)
+(* LRU-K cache                                                         *)
+
+let test_lru_hit_position_cost () =
+  let demux = Demux.Registry.create (Demux.Registry.Lru_cache { entries = 4 }) in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 20);
+  (* Touch 0,1,2,3: cache is [3;2;1;0]. *)
+  List.iter (fun i -> ignore (demux.Demux.Registry.lookup (flow i))) [ 0; 1; 2; 3 ];
+  let _, c3 = last_cost demux (flow 3) in
+  Alcotest.(check int) "front of cache costs 1" 1 c3;
+  (* After touching 3 again the LRU order is [3;2;1;0]; 0 is deepest. *)
+  let _, c0 = last_cost demux (flow 0) in
+  Alcotest.(check int) "back of cache costs 4" 4 c0
+
+let test_lru_eviction () =
+  let demux = Demux.Lru_cache.create ~entries:2 () in
+  let population = flows 10 in
+  List.iter (fun f -> ignore (Demux.Lru_cache.insert demux f ())) population;
+  (* Fill the cache with 0 and 1, then touch 2: 0 must be evicted. *)
+  List.iter (fun i -> ignore (Demux.Lru_cache.lookup demux (flow i))) [ 0; 1; 2 ];
+  let stats = Demux.Lru_cache.stats demux in
+  let probe f =
+    let before =
+      (Demux.Lookup_stats.snapshot stats).Demux.Lookup_stats.pcbs_examined
+    in
+    ignore (Demux.Lru_cache.lookup demux f);
+    (Demux.Lookup_stats.snapshot stats).Demux.Lookup_stats.pcbs_examined - before
+  in
+  (* 2 is at cache front (1 probe); 0 was evicted, so it pays the two
+     cache probes plus its list position. *)
+  Alcotest.(check int) "2 cached" 1 (probe (flow 2));
+  Alcotest.(check bool) "0 evicted" true (probe (flow 0) > 2)
+
+let test_lru_remove_purges_cache () =
+  let demux = Demux.Lru_cache.create ~entries:4 () in
+  List.iter (fun f -> ignore (Demux.Lru_cache.insert demux f ())) (flows 5);
+  ignore (Demux.Lru_cache.lookup demux (flow 1));
+  ignore (Demux.Lru_cache.remove demux (flow 1));
+  Alcotest.(check bool) "gone" true (Demux.Lru_cache.lookup demux (flow 1) = None);
+  (* Re-inserting must not resurrect a stale cache entry pointing at
+     the old PCB. *)
+  ignore (Demux.Lru_cache.insert demux (flow 1) ());
+  match Demux.Lru_cache.lookup demux (flow 1) with
+  | Some pcb ->
+    Alcotest.(check bool) "fresh pcb" true
+      (Packet.Flow.equal pcb.Demux.Pcb.flow (flow 1))
+  | None -> Alcotest.fail "lost after reinsert"
+
+let test_lru_k1_equals_bsd_costs () =
+  (* K = 1 must reproduce BSD's cost sequence on any access pattern. *)
+  let lru = Demux.Registry.create (Demux.Registry.Lru_cache { entries = 1 }) in
+  let bsd = Demux.Registry.create Demux.Registry.Bsd in
+  let population = flows 30 in
+  List.iter
+    (fun f ->
+      ignore (lru.Demux.Registry.insert f ());
+      ignore (bsd.Demux.Registry.insert f ()))
+    population;
+  let rng = Numerics.Rng.create ~seed:21 in
+  for _ = 1 to 500 do
+    let f = flow (Numerics.Rng.int rng ~bound:30) in
+    ignore (lru.Demux.Registry.lookup f);
+    ignore (bsd.Demux.Registry.lookup f)
+  done;
+  Alcotest.(check int)
+    "identical examined totals"
+    (Demux.Lookup_stats.snapshot bsd.Demux.Registry.stats)
+      .Demux.Lookup_stats.pcbs_examined
+    (Demux.Lookup_stats.snapshot lru.Demux.Registry.stats)
+      .Demux.Lookup_stats.pcbs_examined
+
+(* ------------------------------------------------------------------ *)
+(* Registry spec parsing                                               *)
+
+let test_spec_of_string () =
+  List.iter
+    (fun (name, expect) ->
+      match Demux.Registry.spec_of_string name with
+      | Ok spec ->
+        Alcotest.(check string) name expect (Demux.Registry.spec_name spec)
+      | Error e -> Alcotest.fail e)
+    [ ("bsd", "bsd"); ("mtf", "mtf"); ("linear", "linear");
+      ("sr-cache", "sr-cache"); ("sequent", "sequent-19");
+      ("sequent-100", "sequent-100"); ("hashed-mtf", "hashed-mtf-19");
+      ("hashed-mtf-7", "hashed-mtf-7"); ("conn-id", "conn-id");
+      ("resizing-hash", "resizing-hash"); ("splay", "splay");
+      ("lru-cache", "lru-cache-8"); ("lru-cache-64", "lru-cache-64") ];
+  List.iter
+    (fun bad ->
+      match Demux.Registry.spec_of_string bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "nonsense"; "sequent-0"; "sequent--3"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Lookup_stats and Pcb primitives                                     *)
+
+let test_lookup_stats_lifecycle () =
+  let stats = Demux.Lookup_stats.create () in
+  Demux.Lookup_stats.begin_lookup stats;
+  Demux.Lookup_stats.examine stats ();
+  Demux.Lookup_stats.examine stats ~count:3 ();
+  Demux.Lookup_stats.end_lookup stats ~hit_cache:false ~found:true;
+  Demux.Lookup_stats.begin_lookup stats;
+  Demux.Lookup_stats.examine stats ();
+  Demux.Lookup_stats.end_lookup stats ~hit_cache:true ~found:true;
+  Demux.Lookup_stats.note_insert stats;
+  Demux.Lookup_stats.note_remove stats;
+  let s = Demux.Lookup_stats.snapshot stats in
+  Alcotest.(check int) "lookups" 2 s.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "examined" 5 s.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int) "max" 4 s.Demux.Lookup_stats.max_examined;
+  Alcotest.(check int) "hits" 1 s.Demux.Lookup_stats.cache_hits;
+  Alcotest.(check int) "inserts" 1 s.Demux.Lookup_stats.inserts;
+  Alcotest.(check int) "removes" 1 s.Demux.Lookup_stats.removes;
+  Alcotest.(check (float 1e-9)) "mean" 2.5
+    (Demux.Lookup_stats.mean_examined s);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Demux.Lookup_stats.hit_rate s);
+  Demux.Lookup_stats.reset stats;
+  let s = Demux.Lookup_stats.snapshot stats in
+  Alcotest.(check int) "reset lookups" 0 s.Demux.Lookup_stats.lookups;
+  Alcotest.(check bool) "reset mean is nan" true
+    (Float.is_nan (Demux.Lookup_stats.mean_examined s))
+
+let test_lookup_stats_merge () =
+  let make lookups examined =
+    let stats = Demux.Lookup_stats.create () in
+    for _ = 1 to lookups do
+      Demux.Lookup_stats.begin_lookup stats;
+      Demux.Lookup_stats.examine stats ~count:examined ();
+      Demux.Lookup_stats.end_lookup stats ~hit_cache:false ~found:true
+    done;
+    Demux.Lookup_stats.snapshot stats
+  in
+  let merged = Demux.Lookup_stats.merge_snapshots [ make 2 10; make 3 4 ] in
+  Alcotest.(check int) "lookups" 5 merged.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "examined" 32 merged.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int) "max" 10 merged.Demux.Lookup_stats.max_examined;
+  let empty = Demux.Lookup_stats.merge_snapshots [] in
+  Alcotest.(check int) "empty merge" 0 empty.Demux.Lookup_stats.lookups
+
+let test_pcb_counters () =
+  let pcb = Demux.Pcb.make ~id:7 ~flow:(flow 7) () in
+  Alcotest.(check int) "fresh rx" 0 pcb.Demux.Pcb.rx_packets;
+  Demux.Pcb.note_rx pcb;
+  Demux.Pcb.note_rx pcb;
+  Demux.Pcb.note_tx pcb;
+  Alcotest.(check int) "rx" 2 pcb.Demux.Pcb.rx_packets;
+  Alcotest.(check int) "tx" 1 pcb.Demux.Pcb.tx_packets;
+  Alcotest.(check bool) "matches own flow" true (Demux.Pcb.matches pcb (flow 7));
+  Alcotest.(check bool) "rejects other" false (Demux.Pcb.matches pcb (flow 8))
+
+(* ------------------------------------------------------------------ *)
+(* Chain primitive                                                     *)
+
+let test_chain_operations () =
+  let chain = Demux.Chain.create () in
+  Alcotest.(check bool) "empty" true (Demux.Chain.is_empty chain);
+  let pcbs =
+    List.map
+      (fun i -> Demux.Pcb.make ~id:i ~flow:(flow i) ())
+      [ 0; 1; 2; 3 ]
+  in
+  let nodes = List.map (Demux.Chain.push_front chain) pcbs in
+  Alcotest.(check int) "length" 4 (Demux.Chain.length chain);
+  (* push_front order: 3,2,1,0. *)
+  let order = List.map (fun p -> p.Demux.Pcb.id) (Demux.Chain.to_list chain) in
+  Alcotest.(check (list int)) "order" [ 3; 2; 1; 0 ] order;
+  (* Move 0 (pushed first, hence at the tail) to the front. *)
+  (match nodes with
+  | tail_node :: _ -> Demux.Chain.move_to_front chain tail_node
+  | [] -> assert false);
+  let order = List.map (fun p -> p.Demux.Pcb.id) (Demux.Chain.to_list chain) in
+  Alcotest.(check (list int)) "after mtf" [ 0; 3; 2; 1 ] order;
+  (* Remove the middle. *)
+  (match nodes with
+  | _ :: _ :: n2 :: _ ->
+    Demux.Chain.remove chain n2;
+    Alcotest.check_raises "double remove"
+      (Invalid_argument "Chain.remove: node not linked") (fun () ->
+        Demux.Chain.remove chain n2)
+  | _ -> assert false);
+  let order = List.map (fun p -> p.Demux.Pcb.id) (Demux.Chain.to_list chain) in
+  Alcotest.(check (list int)) "after remove" [ 0; 3; 1 ] order
+
+let test_chain_scan_counts () =
+  let chain = Demux.Chain.create () in
+  let stats = Demux.Lookup_stats.create () in
+  List.iter
+    (fun i -> ignore (Demux.Chain.push_front chain (Demux.Pcb.make ~id:i ~flow:(flow i) ())))
+    [ 0; 1; 2 ];
+  Demux.Lookup_stats.begin_lookup stats;
+  (* List is 2,1,0 — finding 0 examines 3 PCBs. *)
+  (match Demux.Chain.scan chain ~stats (flow 0) with
+  | Some node -> Alcotest.(check int) "found 0" 0 (Demux.Chain.pcb node).Demux.Pcb.id
+  | None -> Alcotest.fail "scan failed");
+  Demux.Lookup_stats.end_lookup stats ~hit_cache:false ~found:true;
+  let s = Demux.Lookup_stats.snapshot stats in
+  Alcotest.(check int) "examined 3" 3 s.Demux.Lookup_stats.pcbs_examined
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: every algorithm agrees with a reference model               *)
+
+type op = Insert of int | Remove of int | Lookup of int | Note_send of int
+
+let arbitrary_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [ (4, map (fun i -> Insert i) (int_bound 40));
+        (2, map (fun i -> Remove i) (int_bound 40));
+        (6, map (fun i -> Lookup i) (int_bound 40));
+        (1, map (fun i -> Note_send i) (int_bound 40)) ]
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert i -> Printf.sprintf "I%d" i
+             | Remove i -> Printf.sprintf "R%d" i
+             | Lookup i -> Printf.sprintf "L%d" i
+             | Note_send i -> Printf.sprintf "S%d" i)
+           ops))
+    (list_size (int_range 1 200) op)
+
+module Int_set = Set.Make (Int)
+
+let model_agreement spec ops =
+  let demux = Demux.Registry.create spec in
+  let model = ref Int_set.empty in
+  List.for_all
+    (fun op ->
+      match op with
+      | Insert i ->
+        if Int_set.mem i !model then (
+          match demux.Demux.Registry.insert (flow i) () with
+          | _ -> false (* duplicate must be rejected *)
+          | exception Invalid_argument _ -> true)
+        else begin
+          ignore (demux.Demux.Registry.insert (flow i) ());
+          model := Int_set.add i !model;
+          true
+        end
+      | Remove i ->
+        let removed = demux.Demux.Registry.remove (flow i) <> None in
+        let expected = Int_set.mem i !model in
+        model := Int_set.remove i !model;
+        removed = expected
+      | Lookup i ->
+        let found = demux.Demux.Registry.lookup (flow i) <> None in
+        found = Int_set.mem i !model
+      | Note_send i ->
+        demux.Demux.Registry.note_send (flow i);
+        (* note_send never changes membership. *)
+        demux.Demux.Registry.length () = Int_set.cardinal !model)
+    ops
+  && demux.Demux.Registry.length () = Int_set.cardinal !model
+
+let model_tests =
+  List.map
+    (fun spec ->
+      QCheck.Test.make ~count:150
+        ~name:
+          (Printf.sprintf "%s agrees with set model"
+             (Demux.Registry.spec_name spec))
+        arbitrary_ops (model_agreement spec))
+    all_specs
+
+let prop_lookup_count_invariant =
+  QCheck.Test.make ~count:100 ~name:"stats.lookups counts every lookup"
+    arbitrary_ops (fun ops ->
+      let demux = Demux.Registry.create Demux.Registry.Bsd in
+      let expected = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert i -> (
+            try ignore (demux.Demux.Registry.insert (flow i) ())
+            with Invalid_argument _ -> ())
+          | Remove i -> ignore (demux.Demux.Registry.remove (flow i))
+          | Lookup i ->
+            incr expected;
+            ignore (demux.Demux.Registry.lookup (flow i))
+          | Note_send i -> demux.Demux.Registry.note_send (flow i))
+        ops;
+      (Demux.Lookup_stats.snapshot demux.Demux.Registry.stats)
+        .Demux.Lookup_stats.lookups
+      = !expected)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest (prop_lookup_count_invariant :: model_tests)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "demux"
+    [ ("generic", generic_cases);
+      ( "linear",
+        [ Alcotest.test_case "cost = position" `Quick test_linear_cost_is_position ] );
+      ( "bsd",
+        [ Alcotest.test_case "cache hit costs 1" `Quick test_bsd_cache_hit_costs_one;
+          Alcotest.test_case "cache invalidated on remove" `Quick
+            test_bsd_cache_invalidated_on_remove;
+          Alcotest.test_case "trains hit the cache" `Quick test_bsd_hit_rate_on_trains ] );
+      ( "mtf",
+        [ Alcotest.test_case "moves to front" `Quick test_mtf_moves_to_front;
+          Alcotest.test_case "repeat costs 1" `Quick test_mtf_repeat_costs_one;
+          Alcotest.test_case "LRU order" `Quick test_mtf_lru_order ] );
+      ( "sr-cache",
+        [ Alcotest.test_case "probe order by kind" `Quick test_sr_probe_order;
+          Alcotest.test_case "full miss cost" `Quick test_sr_full_miss_cost;
+          Alcotest.test_case "remove invalidates" `Quick
+            test_sr_remove_invalidates_caches ] );
+      ( "sequent",
+        [ Alcotest.test_case "chain confinement" `Quick test_sequent_chain_confinement;
+          Alcotest.test_case "per-chain cache" `Quick test_sequent_cache_per_chain;
+          Alcotest.test_case "beats bsd on OLTP shape" `Quick
+            test_sequent_beats_bsd_on_oltp_shape;
+          Alcotest.test_case "validation" `Quick test_sequent_validation ] );
+      ( "hashed-mtf",
+        [ Alcotest.test_case "repeat costs 1" `Quick test_hashed_mtf_repeat_costs_one ] );
+      ( "conn-id",
+        [ Alcotest.test_case "always 1" `Quick test_conn_id_always_one;
+          Alcotest.test_case "id recycling" `Quick test_conn_id_recycling;
+          Alcotest.test_case "lookup by id" `Quick test_conn_id_lookup_by_id ] );
+      ( "resizing-hash",
+        [ Alcotest.test_case "grows, stays correct" `Quick
+            test_resizing_grows_and_stays_correct ] );
+      ( "lru-cache",
+        [ Alcotest.test_case "hit position cost" `Quick test_lru_hit_position_cost;
+          Alcotest.test_case "eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "remove purges cache" `Quick
+            test_lru_remove_purges_cache;
+          Alcotest.test_case "K=1 equals BSD" `Quick test_lru_k1_equals_bsd_costs ] );
+      ( "splay",
+        [ Alcotest.test_case "repeat costs 1" `Quick test_splay_repeat_costs_one;
+          Alcotest.test_case "logarithmic on uniform" `Quick
+            test_splay_logarithmic_uniform;
+          Alcotest.test_case "in-order iteration" `Quick test_splay_iter_in_key_order;
+          Alcotest.test_case "depth under locality" `Quick
+            test_splay_depth_shrinks_under_locality;
+          Alcotest.test_case "remove rejoins" `Quick test_splay_remove_rejoins ] );
+      ( "registry",
+        [ Alcotest.test_case "spec_of_string" `Quick test_spec_of_string ] );
+      ( "primitives",
+        [ Alcotest.test_case "lookup_stats lifecycle" `Quick
+            test_lookup_stats_lifecycle;
+          Alcotest.test_case "lookup_stats merge" `Quick test_lookup_stats_merge;
+          Alcotest.test_case "pcb counters" `Quick test_pcb_counters ] );
+      ( "chain",
+        [ Alcotest.test_case "operations" `Quick test_chain_operations;
+          Alcotest.test_case "scan counts" `Quick test_chain_scan_counts ] );
+      ("properties", qcheck_cases) ]

@@ -1,0 +1,260 @@
+(* Tests for the IPv6 extension: address text forms, headers,
+   upper-layer checksums and the widened demultiplexing key. *)
+
+let groups = Packet.Ipv6.addr_of_groups
+
+(* ------------------------------------------------------------------ *)
+(* Address parsing and printing                                        *)
+
+let test_addr_parse_full_form () =
+  match Packet.Ipv6.addr_of_string "2001:0db8:0000:0000:0008:0800:200c:417a" with
+  | Ok addr ->
+    Alcotest.(check (array int))
+      "groups"
+      [| 0x2001; 0x0db8; 0; 0; 0x8; 0x800; 0x200c; 0x417a |]
+      (Packet.Ipv6.addr_to_groups addr)
+  | Error e -> Alcotest.fail e
+
+let test_addr_parse_compressed () =
+  List.iter
+    (fun (text, expected) ->
+      match Packet.Ipv6.addr_of_string text with
+      | Ok addr ->
+        Alcotest.(check (array int)) text expected
+          (Packet.Ipv6.addr_to_groups addr)
+      | Error e -> Alcotest.fail e)
+    [ ("::", [| 0; 0; 0; 0; 0; 0; 0; 0 |]);
+      ("::1", [| 0; 0; 0; 0; 0; 0; 0; 1 |]);
+      ("fe80::", [| 0xFE80; 0; 0; 0; 0; 0; 0; 0 |]);
+      ("2001:db8::8:800:200c:417a",
+       [| 0x2001; 0xDB8; 0; 0; 0x8; 0x800; 0x200C; 0x417A |]);
+      ("ff01::101", [| 0xFF01; 0; 0; 0; 0; 0; 0; 0x101 |]) ]
+
+let test_addr_parse_invalid () =
+  List.iter
+    (fun text ->
+      match Packet.Ipv6.addr_of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; ":"; ":::"; "1::2::3"; "12345::"; "g::1"; "1:2:3:4:5:6:7";
+      "1:2:3:4:5:6:7:8:9"; "1:2:3:4:5:6:7:8::" ]
+
+let test_addr_print_rfc5952 () =
+  (* Canonical printing: lowercase, longest leftmost >= 2 zero run
+     compressed, single zero group not compressed. *)
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        expected expected
+        (Packet.Ipv6.addr_to_string (groups input)))
+    [ ([| 0x2001; 0xDB8; 0; 0; 1; 0; 0; 1 |], "2001:db8::1:0:0:1");
+      ([| 0; 0; 0; 0; 0; 0; 0; 0 |], "::");
+      ([| 0; 0; 0; 0; 0; 0; 0; 1 |], "::1");
+      ([| 0x2001; 0xDB8; 0; 1; 1; 1; 1; 1 |], "2001:db8:0:1:1:1:1:1");
+      ([| 0xFE80; 0; 0; 0; 0; 0; 0; 0x42 |], "fe80::42");
+      ([| 1; 2; 3; 4; 5; 6; 7; 8 |], "1:2:3:4:5:6:7:8") ]
+
+let test_addr_roundtrip () =
+  let rng = Numerics.Rng.create ~seed:6 in
+  for _ = 1 to 500 do
+    let addr =
+      groups (Array.init 8 (fun _ ->
+          (* Bias toward zeros so compression paths are exercised. *)
+          if Numerics.Rng.bool rng then 0
+          else Numerics.Rng.int rng ~bound:0x10000))
+    in
+    match Packet.Ipv6.addr_of_string (Packet.Ipv6.addr_to_string addr) with
+    | Ok reparsed ->
+      if not (Packet.Ipv6.equal_addr addr reparsed) then
+        Alcotest.failf "roundtrip failed for %s" (Packet.Ipv6.addr_to_string addr)
+    | Error e -> Alcotest.fail e
+  done
+
+let test_well_known () =
+  Alcotest.(check string) "unspecified" "::"
+    (Packet.Ipv6.addr_to_string Packet.Ipv6.unspecified);
+  Alcotest.(check string) "loopback" "::1"
+    (Packet.Ipv6.addr_to_string Packet.Ipv6.loopback);
+  Alcotest.(check bool) "distinct" false
+    (Packet.Ipv6.equal_addr Packet.Ipv6.unspecified Packet.Ipv6.loopback)
+
+(* ------------------------------------------------------------------ *)
+(* Header                                                              *)
+
+let sample_src = groups [| 0x2001; 0xDB8; 0; 0; 0; 0; 0; 1 |]
+let sample_dst = groups [| 0x2001; 0xDB8; 0; 0; 0; 0; 0; 2 |]
+
+let test_header_roundtrip () =
+  let header =
+    Packet.Ipv6.make ~traffic_class:0x2E ~flow_label:0xBEEF ~hop_limit:47
+      ~src:sample_src ~dst:sample_dst ~next_header:Packet.Ipv4.Tcp
+      ~payload_length:123 ()
+  in
+  let buf = Bytes.create (40 + 123) in
+  Packet.Ipv6.serialize header buf ~off:0;
+  match Packet.Ipv6.parse buf ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, payload_off) ->
+    Alcotest.(check int) "payload offset" 40 payload_off;
+    Alcotest.(check int) "traffic class" 0x2E parsed.Packet.Ipv6.traffic_class;
+    Alcotest.(check int) "flow label" 0xBEEF parsed.Packet.Ipv6.flow_label;
+    Alcotest.(check int) "hop limit" 47 parsed.Packet.Ipv6.hop_limit;
+    Alcotest.(check int) "payload length" 123 parsed.Packet.Ipv6.payload_length;
+    Alcotest.(check bool) "src" true
+      (Packet.Ipv6.equal_addr parsed.Packet.Ipv6.src sample_src);
+    Alcotest.(check bool) "dst" true
+      (Packet.Ipv6.equal_addr parsed.Packet.Ipv6.dst sample_dst)
+
+let test_header_rejects () =
+  (match Packet.Ipv6.parse (Bytes.create 39) ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted truncation"
+  | Error e -> Alcotest.(check string) "truncated" "ipv6: truncated header" e);
+  let buf = Bytes.make 40 '\x00' in
+  Bytes.set_uint8 buf 0 0x45 (* version 4 *);
+  (match Packet.Ipv6.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted version 4"
+  | Error e -> Alcotest.(check string) "bad version" "ipv6: bad version 4" e);
+  Alcotest.check_raises "flow label range"
+    (Invalid_argument "Ipv6.make: flow_label out of range") (fun () ->
+      ignore
+        (Packet.Ipv6.make ~flow_label:0x100000 ~src:sample_src ~dst:sample_dst
+           ~next_header:Packet.Ipv4.Tcp ~payload_length:0 ()))
+
+let test_tcp_over_ipv6_checksum () =
+  (* The existing TCP serializer works over the IPv6 pseudo-header. *)
+  let tcp = Packet.Tcp_header.make ~src_port:443 ~dst_port:55000 () in
+  let payload = "tls bytes" in
+  let tcp_len = Packet.Tcp_header.header_length tcp + String.length payload in
+  let ip =
+    Packet.Ipv6.make ~src:sample_src ~dst:sample_dst
+      ~next_header:Packet.Ipv4.Tcp ~payload_length:tcp_len ()
+  in
+  let pseudo_sum = Packet.Ipv6.pseudo_header_sum ip in
+  let buf = Bytes.create 128 in
+  let written = Packet.Tcp_header.serialize tcp ~pseudo_sum ~payload buf ~off:0 in
+  (match Packet.Tcp_header.parse ~pseudo_sum ~len:written buf ~off:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Corruption must be caught. *)
+  Bytes.set_uint8 buf 25 (Bytes.get_uint8 buf 25 lxor 1);
+  match Packet.Tcp_header.parse ~pseudo_sum ~len:written buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted corruption"
+  | Error e -> Alcotest.(check string) "caught" "tcp: checksum mismatch" e
+
+(* ------------------------------------------------------------------ *)
+(* Flow keys and hashing                                               *)
+
+let v6_population n =
+  List.init n (fun i ->
+      let client =
+        groups [| 0x2001; 0xDB8; 0; 0; 0; 0; i lsr 16; i land 0xFFFF |]
+      in
+      Packet.Ipv6.flow_key ~src:client ~src_port:(1024 + (i mod 60000))
+        ~dst:sample_dst ~dst_port:8888)
+
+let test_flow_key_shape () =
+  let key =
+    Packet.Ipv6.flow_key ~src:sample_src ~src_port:0x1234 ~dst:sample_dst
+      ~dst_port:0x5678
+  in
+  Alcotest.(check int) "288 bits" 36 (Bytes.length key);
+  (* Local (dst) address leads, mirroring the IPv4 key layout. *)
+  Alcotest.(check string) "local first"
+    (Packet.Ipv6.addr_to_string sample_dst)
+    (Packet.Ipv6.addr_to_string
+       (Packet.Ipv6.addr_of_groups
+          (Array.init 8 (fun i -> Bytes.get_uint16_be key (2 * i)))));
+  Alcotest.check_raises "port range"
+    (Invalid_argument "Ipv6.flow_key: port out of range") (fun () ->
+      ignore
+        (Packet.Ipv6.flow_key ~src:sample_src ~src_port:(-1) ~dst:sample_dst
+           ~dst_port:0))
+
+let test_v6_keys_hash_evenly () =
+  (* Mixing hashes spread 2000 structured v6 keys across 19 chains
+     about as well as v4 keys — the widened key needs no new
+     machinery.  xor-fold, however, collapses: the only two varying
+     16-bit words (interface id and port) are correlated, so their XOR
+     concentrates — exactly the structured-key weakness Jain's study
+     warned about, asserted below as expected behaviour. *)
+  let keys = v6_population 2000 in
+  let report_for hasher =
+    Hashing.Quality.evaluate ~buckets:19
+      (List.map (fun key -> Hashing.Hashers.bucket hasher ~buckets:19 key) keys)
+  in
+  (* Byte-serial hashes are immune to the correlation. *)
+  List.iter
+    (fun hasher ->
+      let report = report_for hasher in
+      if report.Hashing.Quality.max_load > 220 then
+        Alcotest.failf "%s skewed on v6 keys: max %d"
+          (Hashing.Hashers.name hasher)
+          report.Hashing.Quality.max_load)
+    Hashing.Hashers.[ fnv1a; jenkins_oaat; crc32; crc16_ccitt; pearson ];
+  (* XOR-prefolding hashes collapse — including multiplicative, whose
+     32-bit XOR fold cancels the correlated words before the multiply
+     can mix them.  (The reason production v6 stacks hash the whole
+     tuple byte-serially.) *)
+  List.iter
+    (fun hasher ->
+      let report = report_for hasher in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s collapses as predicted (max %d)"
+           (Hashing.Hashers.name hasher)
+           report.Hashing.Quality.max_load)
+        true
+        (report.Hashing.Quality.max_load > 400))
+    Hashing.Hashers.[ xor_fold; multiplicative ]
+
+let test_v6_keys_distinct () =
+  let keys = v6_population 1000 in
+  let module SS = Set.Make (String) in
+  let set =
+    List.fold_left (fun s k -> SS.add (Bytes.to_string k) s) SS.empty keys
+  in
+  Alcotest.(check int) "all distinct" 1000 (SS.cardinal set)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck                                                              *)
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"v6 address print/parse roundtrip"
+    QCheck.(array_of_size (Gen.return 8) (int_bound 0xFFFF))
+    (fun gs ->
+      let addr = groups gs in
+      match Packet.Ipv6.addr_of_string (Packet.Ipv6.addr_to_string addr) with
+      | Ok reparsed -> Packet.Ipv6.equal_addr addr reparsed
+      | Error _ -> false)
+
+let prop_parse_total =
+  QCheck.Test.make ~count:1000 ~name:"v6 address parser never raises"
+    QCheck.(string_of_size (Gen.int_range 0 50))
+    (fun text ->
+      match Packet.Ipv6.addr_of_string text with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_addr_roundtrip; prop_parse_total ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ipv6"
+    [ ( "addresses",
+        [ Alcotest.test_case "full form" `Quick test_addr_parse_full_form;
+          Alcotest.test_case "compressed forms" `Quick test_addr_parse_compressed;
+          Alcotest.test_case "invalid forms" `Quick test_addr_parse_invalid;
+          Alcotest.test_case "RFC 5952 printing" `Quick test_addr_print_rfc5952;
+          Alcotest.test_case "roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "well-known" `Quick test_well_known ] );
+      ( "header",
+        [ Alcotest.test_case "roundtrip" `Quick test_header_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_header_rejects;
+          Alcotest.test_case "TCP-over-IPv6 checksum" `Quick
+            test_tcp_over_ipv6_checksum ] );
+      ( "flow-keys",
+        [ Alcotest.test_case "shape" `Quick test_flow_key_shape;
+          Alcotest.test_case "hash evenly" `Quick test_v6_keys_hash_evenly;
+          Alcotest.test_case "distinct" `Quick test_v6_keys_distinct ] );
+      ("properties", qcheck_cases) ]

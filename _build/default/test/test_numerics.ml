@@ -1,0 +1,536 @@
+(* Tests for the numerics substrate: compensated summation, special
+   functions, quadrature, RNG, distributions and statistics. *)
+
+let check_close ?(eps = 1e-9) what expected actual =
+  Alcotest.(check (float eps)) what expected actual
+
+let check_rel ?(tol = 1e-9) what expected actual =
+  let err =
+    if expected = 0.0 then Float.abs actual
+    else Float.abs ((actual -. expected) /. expected)
+  in
+  if err > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (rel err %.3g > %.3g)" what
+      expected actual err tol
+
+(* ------------------------------------------------------------------ *)
+(* Kahan                                                               *)
+
+let test_kahan_simple () =
+  check_close "sum of 1..100" 5050.0
+    (Numerics.Kahan.sum_fn 100 (fun i -> float_of_int (i + 1)))
+
+let test_kahan_cancellation () =
+  (* 1 + 1e16 - 1e16 loses the 1 with naive float addition in this
+     order; Neumaier keeps it. *)
+  let acc = Numerics.Kahan.create () in
+  Numerics.Kahan.add acc 1.0;
+  Numerics.Kahan.add acc 1e16;
+  Numerics.Kahan.add acc (-1e16);
+  check_close "compensated cancellation" 1.0 (Numerics.Kahan.sum acc)
+
+let test_kahan_many_small () =
+  (* 10^7 copies of 0.1: naive sum drifts by ~1e-2 more than Kahan. *)
+  let n = 10_000_000 in
+  let kahan = Numerics.Kahan.sum_fn n (fun _ -> 0.1) in
+  check_close ~eps:1e-6 "1e7 * 0.1" (float_of_int n *. 0.1) kahan
+
+let test_kahan_list_array () =
+  check_close "sum_list" 6.6 (Numerics.Kahan.sum_list [ 1.1; 2.2; 3.3 ]);
+  check_close "sum_array" 6.6 (Numerics.Kahan.sum_array [| 1.1; 2.2; 3.3 |]);
+  check_close "empty list" 0.0 (Numerics.Kahan.sum_list [])
+
+(* ------------------------------------------------------------------ *)
+(* Special                                                             *)
+
+let test_log_gamma_known () =
+  (* Gamma(n) = (n-1)! *)
+  check_rel "lgamma 1" 0.0 (Float.exp (Numerics.Special.log_gamma 1.0) -. 1.0)
+    ~tol:1e-12;
+  check_rel "lgamma 5 = ln 24" (Float.log 24.0)
+    (Numerics.Special.log_gamma 5.0);
+  check_rel "lgamma 0.5 = ln sqrt(pi)"
+    (0.5 *. Float.log Float.pi)
+    (Numerics.Special.log_gamma 0.5);
+  check_rel "lgamma 10.5" 13.940625219403763
+    (Numerics.Special.log_gamma 10.5)
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "lgamma 0" (Invalid_argument
+    "Special.log_gamma: requires x > 0") (fun () ->
+      ignore (Numerics.Special.log_gamma 0.0))
+
+let test_log_factorial () =
+  check_close "0!" 0.0 (Numerics.Special.log_factorial 0);
+  check_close "1!" 0.0 (Numerics.Special.log_factorial 1);
+  check_rel "10!" (Float.log 3628800.0) (Numerics.Special.log_factorial 10);
+  (* Table/gamma boundary agreement. *)
+  check_rel "255! vs gamma" (Numerics.Special.log_gamma 256.0)
+    (Numerics.Special.log_factorial 255);
+  check_rel "300!" (Numerics.Special.log_gamma 301.0)
+    (Numerics.Special.log_factorial 300)
+
+let test_log_binomial () =
+  check_rel "C(5,2)=10" (Float.log 10.0) (Numerics.Special.log_binomial 5 2);
+  check_rel "C(2000,1000) finite" 1382.26799353748
+    (Numerics.Special.log_binomial 2000 1000) ~tol:1e-9;
+  Alcotest.(check (float 0.0))
+    "C(5,6) = 0 mass" Float.neg_infinity
+    (Numerics.Special.log_binomial 5 6);
+  Alcotest.(check (float 0.0))
+    "C(5,-1)" Float.neg_infinity
+    (Numerics.Special.log_binomial 5 (-1))
+
+let test_binomial_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total =
+        Numerics.Kahan.sum_fn (n + 1) (fun k ->
+            Numerics.Special.binomial_pmf ~n ~p k)
+      in
+      check_rel (Printf.sprintf "pmf sums to 1 (n=%d p=%g)" n p) 1.0 total
+        ~tol:1e-10)
+    [ (10, 0.5); (100, 0.01); (1999, 0.3); (2000, 0.999) ]
+
+let test_binomial_edge_cases () =
+  check_close "p=0, k=0" 1.0 (Numerics.Special.binomial_pmf ~n:10 ~p:0.0 0);
+  check_close "p=0, k=1" 0.0 (Numerics.Special.binomial_pmf ~n:10 ~p:0.0 1);
+  check_close "p=1, k=n" 1.0 (Numerics.Special.binomial_pmf ~n:10 ~p:1.0 10);
+  check_close "k out of range" 0.0
+    (Numerics.Special.binomial_pmf ~n:10 ~p:0.5 11)
+
+let test_binomial_mean_direct () =
+  (* The identity the MTF model leans on: the explicit Equation 3 sum
+     equals (N-1) * p. *)
+  List.iter
+    (fun (n, p) ->
+      check_rel
+        (Printf.sprintf "mean = np (n=%d p=%g)" n p)
+        (float_of_int n *. p)
+        (Numerics.Special.binomial_mean_direct ~n ~p)
+        ~tol:1e-9)
+    [ (1, 0.5); (100, 0.123); (1999, 0.6321); (5000, 0.01) ]
+
+let test_log_sum_exp () =
+  check_rel "lse of equal terms" (Float.log 3.0 +. 10.0)
+    (Numerics.Special.log_sum_exp [| 10.0; 10.0; 10.0 |]);
+  Alcotest.(check (float 0.0))
+    "lse empty" Float.neg_infinity
+    (Numerics.Special.log_sum_exp [||]);
+  check_rel "lse dominated" 1000.0
+    (Numerics.Special.log_sum_exp [| 1000.0; -1000.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Integrate                                                           *)
+
+let test_simpson_polynomial () =
+  (* Simpson is exact on cubics. *)
+  let f x = (2.0 *. x *. x *. x) -. (x *. x) +. 4.0 in
+  check_rel "cubic over [0,3]"
+    ((2.0 *. 81.0 /. 4.0) -. 9.0 +. 12.0)
+    (Numerics.Integrate.adaptive_simpson f 0.0 3.0)
+
+let test_simpson_transcendental () =
+  check_rel "int_0^pi sin = 2" 2.0
+    (Numerics.Integrate.adaptive_simpson Float.sin 0.0 Float.pi) ~tol:1e-9;
+  check_rel "int_1^e 1/x = 1" 1.0
+    (Numerics.Integrate.adaptive_simpson (fun x -> 1.0 /. x) 1.0 (Float.exp 1.0))
+    ~tol:1e-9
+
+let test_simpson_degenerate () =
+  check_close "empty interval" 0.0
+    (Numerics.Integrate.adaptive_simpson Float.sin 2.0 2.0)
+
+let test_gauss_legendre () =
+  List.iter
+    (fun nodes ->
+      check_rel
+        (Printf.sprintf "GL-%d sin over [0,pi]" nodes)
+        2.0
+        (Numerics.Integrate.gauss_legendre ~nodes Float.sin 0.0 Float.pi)
+        ~tol:1e-6)
+    [ 8; 16 ];
+  Alcotest.check_raises "GL-5 unsupported"
+    (Invalid_argument "Integrate.gauss_legendre: unsupported node count 5")
+    (fun () ->
+      ignore (Numerics.Integrate.gauss_legendre ~nodes:5 Float.sin 0.0 1.0))
+
+let test_gl_matches_simpson () =
+  let f x = Float.exp (-.x) *. Float.cos (3.0 *. x) in
+  check_rel "GL vs Simpson"
+    (Numerics.Integrate.adaptive_simpson f 0.0 2.0)
+    (Numerics.Integrate.gauss_legendre ~nodes:16 f 0.0 2.0)
+    ~tol:1e-9
+
+let test_to_infinity () =
+  check_rel "int_0^inf e^-x = 1" 1.0
+    (Numerics.Integrate.to_infinity (fun x -> Float.exp (-.x)) 0.0) ~tol:1e-8;
+  check_rel "int_2^inf e^-x" (Float.exp (-2.0))
+    (Numerics.Integrate.to_infinity (fun x -> Float.exp (-.x)) 2.0) ~tol:1e-8
+
+let test_expectation_exponential () =
+  (* E[X] = 1/rate, E[X^2] = 2/rate^2 *)
+  check_rel "E[X] rate=0.1" 10.0
+    (Numerics.Integrate.expectation_exponential ~rate:0.1 Fun.id) ~tol:1e-7;
+  check_rel "E[X^2] rate=2" 0.5
+    (Numerics.Integrate.expectation_exponential ~rate:2.0 (fun x -> x *. x))
+    ~tol:1e-7;
+  Alcotest.check_raises "rate <= 0"
+    (Invalid_argument "Integrate.expectation_exponential: rate must be positive")
+    (fun () ->
+      ignore (Numerics.Integrate.expectation_exponential ~rate:0.0 Fun.id))
+
+let test_expectation_piecewise () =
+  (* A kinked function: E[max(X - c, 0)] = e^{-rate c}/rate. *)
+  let rate = 0.5 and c = 1.7 in
+  check_rel "piecewise kink"
+    (Float.exp (-.rate *. c) /. rate)
+    (Numerics.Integrate.expectation_exponential_piecewise ~rate
+       ~breakpoints:[ c ]
+       (fun x -> Float.max 0.0 (x -. c)))
+    ~tol:1e-7
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Numerics.Rng.create ~seed:123 in
+  let b = Numerics.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Numerics.Rng.bits64 a) (Numerics.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Numerics.Rng.create ~seed:1 in
+  let b = Numerics.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.bits64 a = Numerics.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_float_range () =
+  let rng = Numerics.Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Numerics.Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_rng_float_mean () =
+  let rng = Numerics.Rng.create ~seed:11 in
+  let stats = Numerics.Stats.create () in
+  for _ = 1 to 100_000 do
+    Numerics.Stats.add stats (Numerics.Rng.float rng)
+  done;
+  check_close ~eps:0.01 "uniform mean ~0.5" 0.5 (Numerics.Stats.mean stats)
+
+let test_rng_int_bounds () =
+  let rng = Numerics.Rng.create ~seed:3 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    let v = Numerics.Rng.int rng ~bound:7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v;
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Numerics.Rng.int rng ~bound:0))
+
+let test_rng_shuffle_permutation () =
+  let rng = Numerics.Rng.create ~seed:5 in
+  let a = Array.init 100 Fun.id in
+  Numerics.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 Fun.id)
+    sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_rng_split_independent () =
+  let parent = Numerics.Rng.create ~seed:99 in
+  let child1 = Numerics.Rng.split parent in
+  let child2 = Numerics.Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.bits64 child1 = Numerics.Rng.bits64 child2 then
+      incr matches
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!matches < 4)
+
+let test_rng_jump () =
+  let a = Numerics.Rng.create ~seed:42 in
+  let b = Numerics.Rng.create ~seed:42 in
+  Numerics.Rng.jump b;
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.bits64 a = Numerics.Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "jumped stream differs" true (!matches < 4)
+
+(* ------------------------------------------------------------------ *)
+(* Distribution                                                        *)
+
+let sample_mean dist seed n =
+  let rng = Numerics.Rng.create ~seed in
+  let stats = Numerics.Stats.create () in
+  for _ = 1 to n do
+    Numerics.Stats.add stats (Numerics.Distribution.sample dist rng)
+  done;
+  Numerics.Stats.mean stats
+
+let test_exponential_mean () =
+  let dist = Numerics.Distribution.exponential ~rate:0.1 in
+  check_close "analytic mean" 10.0 (Numerics.Distribution.mean dist);
+  check_close ~eps:0.3 "sampled mean" 10.0 (sample_mean dist 1 200_000)
+
+let test_truncated_exponential () =
+  let dist =
+    Numerics.Distribution.truncated_exponential ~rate:0.1 ~cutoff:100.0
+  in
+  let analytic = Numerics.Distribution.mean dist in
+  (* E[X | X <= 100] with rate 0.1: 10 - 100 e^-10 / (1 - e^-10). *)
+  check_rel "truncated mean formula"
+    (10.0 -. (100.0 *. Float.exp (-10.0) /. (1.0 -. Float.exp (-10.0))))
+    analytic;
+  check_close ~eps:0.3 "sampled mean" analytic (sample_mean dist 2 200_000);
+  (* Samples never exceed the cutoff. *)
+  let rng = Numerics.Rng.create ~seed:3 in
+  for _ = 1 to 50_000 do
+    let x = Numerics.Distribution.sample dist rng in
+    if x > 100.0 || x < 0.0 then Alcotest.failf "truncation violated: %f" x
+  done
+
+let test_uniform () =
+  let dist = Numerics.Distribution.uniform ~min:2.0 ~max:6.0 in
+  check_close "mean" 4.0 (Numerics.Distribution.mean dist);
+  check_close "cdf mid" 0.5 (Numerics.Distribution.cdf dist 4.0);
+  check_close "pdf inside" 0.25 (Numerics.Distribution.pdf dist 3.0);
+  check_close "pdf outside" 0.0 (Numerics.Distribution.pdf dist 7.0)
+
+let test_deterministic () =
+  let dist = Numerics.Distribution.deterministic 10.0 in
+  let rng = Numerics.Rng.create ~seed:1 in
+  check_close "sample" 10.0 (Numerics.Distribution.sample dist rng);
+  check_close "mean" 10.0 (Numerics.Distribution.mean dist);
+  check_close "cdf below" 0.0 (Numerics.Distribution.cdf dist 9.9);
+  check_close "cdf at" 1.0 (Numerics.Distribution.cdf dist 10.0)
+
+let test_geometric () =
+  let p = 0.25 in
+  let dist = Numerics.Distribution.geometric ~p in
+  check_close "mean" 3.0 (Numerics.Distribution.mean dist);
+  check_close ~eps:0.05 "sampled mean" 3.0 (sample_mean dist 4 200_000);
+  check_close "pmf 0" p (Numerics.Distribution.pdf dist 0.0);
+  check_close "pmf 2" (p *. 0.75 *. 0.75) (Numerics.Distribution.pdf dist 2.0);
+  check_close "pmf non-integer" 0.0 (Numerics.Distribution.pdf dist 1.5)
+
+let test_cdf_pdf_consistency () =
+  (* CDF is the integral of the PDF for the continuous laws. *)
+  List.iter
+    (fun dist ->
+      let integral =
+        Numerics.Integrate.adaptive_simpson
+          (Numerics.Distribution.pdf dist) 0.0 5.0
+      in
+      check_rel
+        (Printf.sprintf "cdf(5) for %s" (Numerics.Distribution.description dist))
+        (Numerics.Distribution.cdf dist 5.0)
+        integral ~tol:1e-6)
+    [ Numerics.Distribution.exponential ~rate:0.7;
+      Numerics.Distribution.truncated_exponential ~rate:0.7 ~cutoff:4.0;
+      Numerics.Distribution.uniform ~min:1.0 ~max:4.5 ]
+
+let test_distribution_validation () =
+  Alcotest.check_raises "exp rate 0"
+    (Invalid_argument "Distribution.exponential: rate <= 0") (fun () ->
+      ignore (Numerics.Distribution.exponential ~rate:0.0));
+  Alcotest.check_raises "uniform empty"
+    (Invalid_argument "Distribution.uniform: min >= max") (fun () ->
+      ignore (Numerics.Distribution.uniform ~min:1.0 ~max:1.0));
+  Alcotest.check_raises "geometric p>1"
+    (Invalid_argument "Distribution.geometric: p not in (0,1]") (fun () ->
+      ignore (Numerics.Distribution.geometric ~p:1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_mean_variance () =
+  let stats = Numerics.Stats.create () in
+  List.iter (Numerics.Stats.add stats) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_close "mean" 5.0 (Numerics.Stats.mean stats);
+  check_rel "variance (unbiased)" (32.0 /. 7.0) (Numerics.Stats.variance stats);
+  check_close "min" 2.0 (Numerics.Stats.min_value stats);
+  check_close "max" 9.0 (Numerics.Stats.max_value stats);
+  Alcotest.(check int) "count" 8 (Numerics.Stats.count stats)
+
+let test_stats_empty () =
+  let stats = Numerics.Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Numerics.Stats.mean stats));
+  Alcotest.(check bool) "variance nan" true
+    (Float.is_nan (Numerics.Stats.variance stats))
+
+let test_stats_merge () =
+  let all = Numerics.Stats.create () in
+  let left = Numerics.Stats.create () in
+  let right = Numerics.Stats.create () in
+  let rng = Numerics.Rng.create ~seed:8 in
+  for i = 1 to 1000 do
+    let x = Numerics.Rng.float rng *. 100.0 in
+    Numerics.Stats.add all x;
+    Numerics.Stats.add (if i mod 3 = 0 then left else right) x
+  done;
+  let merged = Numerics.Stats.merge left right in
+  check_rel "merged mean" (Numerics.Stats.mean all) (Numerics.Stats.mean merged);
+  check_rel "merged variance" (Numerics.Stats.variance all)
+    (Numerics.Stats.variance merged) ~tol:1e-9;
+  Alcotest.(check int) "merged count" 1000 (Numerics.Stats.count merged)
+
+let test_stats_merge_empty () =
+  let empty = Numerics.Stats.create () in
+  let other = Numerics.Stats.create () in
+  Numerics.Stats.add other 5.0;
+  let merged = Numerics.Stats.merge empty other in
+  check_close "merge with empty" 5.0 (Numerics.Stats.mean merged)
+
+let test_quantile () =
+  let data = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  check_close "median" 35.0 (Numerics.Stats.quantile data 0.5);
+  check_close "min" 15.0 (Numerics.Stats.quantile data 0.0);
+  check_close "max" 50.0 (Numerics.Stats.quantile data 1.0);
+  check_close "p25 interpolated" 20.0 (Numerics.Stats.quantile data 0.25);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.quantile: empty data")
+    (fun () -> ignore (Numerics.Stats.quantile [||] 0.5))
+
+let test_histogram () =
+  let h = Numerics.Stats.Histogram.create ~min:0.0 ~max:10.0 ~buckets:5 in
+  List.iter (Numerics.Stats.Histogram.add h)
+    [ -1.0; 0.0; 1.9; 2.0; 5.5; 9.99; 10.0; 42.0 ];
+  Alcotest.(check int) "total" 8 (Numerics.Stats.Histogram.total h);
+  Alcotest.(check int) "underflow" 1 (Numerics.Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Numerics.Stats.Histogram.overflow h);
+  let counts = Numerics.Stats.Histogram.counts h in
+  Alcotest.(check int) "bucket 0 count" 2 (snd counts.(0));
+  Alcotest.(check int) "bucket 1 count" 1 (snd counts.(1));
+  Alcotest.(check int) "bucket 2 count" 1 (snd counts.(2));
+  Alcotest.(check int) "bucket 4 count" 1 (snd counts.(4))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+
+let prop_binomial_mean =
+  QCheck.Test.make ~count:200 ~name:"binomial_mean_direct = n*p"
+    QCheck.(pair (int_range 1 500) (float_range 0.001 0.999))
+    (fun (n, p) ->
+      let direct = Numerics.Special.binomial_mean_direct ~n ~p in
+      Float.abs (direct -. (float_of_int n *. p)) < 1e-6 *. float_of_int n)
+
+let prop_kahan_order_independent =
+  QCheck.Test.make ~count:100 ~name:"kahan sum is order-insensitive"
+    QCheck.(list_of_size (Gen.int_range 1 200) (float_range (-1e6) 1e6))
+    (fun values ->
+      let forward = Numerics.Kahan.sum_list values in
+      let backward = Numerics.Kahan.sum_list (List.rev values) in
+      Float.abs (forward -. backward)
+      <= 1e-9 *. (1.0 +. Float.abs forward))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:100 ~name:"quantile is monotone in q"
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+        (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (data, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Numerics.Stats.quantile data lo <= Numerics.Stats.quantile data hi +. 1e-12)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~count:200 ~name:"Rng.int stays in range"
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Numerics.Rng.create ~seed in
+      let v = Numerics.Rng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prop_truncated_exp_within_cutoff =
+  QCheck.Test.make ~count:200 ~name:"truncated exponential respects cutoff"
+    QCheck.(pair small_int (pair (float_range 0.01 2.0) (float_range 0.5 50.0)))
+    (fun (seed, (rate, cutoff)) ->
+      let dist = Numerics.Distribution.truncated_exponential ~rate ~cutoff in
+      let rng = Numerics.Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Numerics.Distribution.sample dist rng in
+        if x < 0.0 || x > cutoff then ok := false
+      done;
+      !ok)
+
+let prop_cdf_bounds =
+  QCheck.Test.make ~count:200 ~name:"cdf stays within [0,1]"
+    QCheck.(pair (float_range 0.01 5.0) (float_range (-10.0) 200.0))
+    (fun (rate, x) ->
+      let dist = Numerics.Distribution.exponential ~rate in
+      let c = Numerics.Distribution.cdf dist x in
+      c >= 0.0 && c <= 1.0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_binomial_mean; prop_kahan_order_independent; prop_quantile_monotone;
+      prop_rng_int_in_range; prop_truncated_exp_within_cutoff; prop_cdf_bounds ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "numerics"
+    [ ( "kahan",
+        [ Alcotest.test_case "simple sum" `Quick test_kahan_simple;
+          Alcotest.test_case "cancellation" `Quick test_kahan_cancellation;
+          Alcotest.test_case "many small terms" `Slow test_kahan_many_small;
+          Alcotest.test_case "list/array" `Quick test_kahan_list_array ] );
+      ( "special",
+        [ Alcotest.test_case "log_gamma known values" `Quick test_log_gamma_known;
+          Alcotest.test_case "log_gamma invalid" `Quick test_log_gamma_invalid;
+          Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+          Alcotest.test_case "log_binomial" `Quick test_log_binomial;
+          Alcotest.test_case "pmf sums to 1" `Quick test_binomial_pmf_sums_to_one;
+          Alcotest.test_case "pmf edge cases" `Quick test_binomial_edge_cases;
+          Alcotest.test_case "mean = np" `Quick test_binomial_mean_direct;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp ] );
+      ( "integrate",
+        [ Alcotest.test_case "cubic exact" `Quick test_simpson_polynomial;
+          Alcotest.test_case "transcendental" `Quick test_simpson_transcendental;
+          Alcotest.test_case "degenerate interval" `Quick test_simpson_degenerate;
+          Alcotest.test_case "gauss-legendre" `Quick test_gauss_legendre;
+          Alcotest.test_case "GL vs Simpson" `Quick test_gl_matches_simpson;
+          Alcotest.test_case "to infinity" `Quick test_to_infinity;
+          Alcotest.test_case "exponential expectation" `Quick
+            test_expectation_exponential;
+          Alcotest.test_case "piecewise kink" `Quick test_expectation_piecewise ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Slow test_rng_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "jump" `Quick test_rng_jump ] );
+      ( "distribution",
+        [ Alcotest.test_case "exponential" `Slow test_exponential_mean;
+          Alcotest.test_case "truncated exponential" `Slow
+            test_truncated_exponential;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "geometric" `Slow test_geometric;
+          Alcotest.test_case "cdf = integral of pdf" `Quick
+            test_cdf_pdf_consistency;
+          Alcotest.test_case "validation" `Quick test_distribution_validation ] );
+      ( "stats",
+        [ Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "merge empty" `Quick test_stats_merge_empty;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "histogram" `Quick test_histogram ] );
+      ("properties", qcheck_cases) ]

@@ -1,0 +1,889 @@
+(* Tests for the packet substrate: checksums, IPv4 and TCP headers,
+   flows, whole segments and pcap traces. *)
+
+let addr = Packet.Ipv4.addr_of_octets
+
+let endpoint a b c d port = Packet.Flow.endpoint (addr a b c d) port
+
+(* ------------------------------------------------------------------ *)
+(* Checksum                                                            *)
+
+let test_checksum_rfc1071_example () =
+  (* The worked example from RFC 1071 section 3: bytes 00 01 f2 03 f4
+     f5 f6 f7 sum to ddf2 before complementing. *)
+  let data = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  let sum = Packet.Checksum.ones_complement_sum data ~off:0 ~len:8 in
+  let folded = lnot (Packet.Checksum.finish sum) land 0xFFFF in
+  Alcotest.(check int) "running sum" 0xDDF2 folded
+
+let test_checksum_odd_length () =
+  (* A trailing odd byte is padded with zero on the right. *)
+  let data = Bytes.of_string "\xAB" in
+  Alcotest.(check int)
+    "odd byte padded" (lnot 0xAB00 land 0xFFFF)
+    (Packet.Checksum.compute data ~off:0 ~len:1)
+
+let test_checksum_verify_roundtrip () =
+  let data = Bytes.of_string "\x45\x00\x00\x1cdata with stuff \x00\x00" in
+  let csum = Packet.Checksum.compute data ~off:0 ~len:(Bytes.length data) in
+  (* Stuff the checksum into the last two bytes and re-verify. *)
+  Bytes.set_uint16_be data (Bytes.length data - 2) csum;
+  Alcotest.(check bool)
+    "verifies" true
+    (Packet.Checksum.verify data ~off:0 ~len:(Bytes.length data))
+
+let test_checksum_bounds () =
+  let data = Bytes.create 4 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Checksum.ones_complement_sum: region out of range")
+    (fun () -> ignore (Packet.Checksum.compute data ~off:2 ~len:4))
+
+let test_checksum_zero_region () =
+  let data = Bytes.make 8 '\x00' in
+  Alcotest.(check int) "all-zero checksum" 0xFFFF
+    (Packet.Checksum.compute data ~off:0 ~len:8)
+
+(* ------------------------------------------------------------------ *)
+(* IPv4 addresses                                                      *)
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun text ->
+      match Packet.Ipv4.addr_of_string text with
+      | Ok a -> Alcotest.(check string) text text (Packet.Ipv4.addr_to_string a)
+      | Error e -> Alcotest.fail e)
+    [ "0.0.0.0"; "255.255.255.255"; "10.1.2.3"; "192.168.1.1"; "127.0.0.1" ]
+
+let test_addr_invalid () =
+  List.iter
+    (fun text ->
+      match Packet.Ipv4.addr_of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "1..2.3" ]
+
+let test_addr_octets_invalid () =
+  Alcotest.check_raises "octet 256"
+    (Invalid_argument "Ipv4.addr_of_octets: octet out of range") (fun () ->
+      ignore (addr 256 0 0 1))
+
+let test_addr_compare () =
+  let a = addr 10 0 0 1 and b = addr 10 0 0 2 in
+  Alcotest.(check bool) "equal self" true (Packet.Ipv4.equal_addr a a);
+  Alcotest.(check bool) "not equal" false (Packet.Ipv4.equal_addr a b);
+  Alcotest.(check bool) "ordered" true (Packet.Ipv4.compare_addr a b < 0)
+
+(* ------------------------------------------------------------------ *)
+(* IPv4 header                                                         *)
+
+let test_ipv4_roundtrip () =
+  let header =
+    Packet.Ipv4.make ~tos:0x10 ~identification:777 ~ttl:33 ~src:(addr 10 0 0 1)
+      ~dst:(addr 192 168 1 1) ~protocol:Packet.Ipv4.Tcp ~payload_length:100 ()
+  in
+  let buf = Bytes.create (Packet.Ipv4.header_length + 100) in
+  Packet.Ipv4.serialize header buf ~off:0;
+  match Packet.Ipv4.parse buf ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, payload_off) ->
+    Alcotest.(check int) "payload offset" 20 payload_off;
+    Alcotest.(check int) "tos" 0x10 parsed.Packet.Ipv4.tos;
+    Alcotest.(check int) "id" 777 parsed.Packet.Ipv4.identification;
+    Alcotest.(check int) "ttl" 33 parsed.Packet.Ipv4.ttl;
+    Alcotest.(check int) "payload length" 100 parsed.Packet.Ipv4.payload_length;
+    Alcotest.(check bool) "df" true parsed.Packet.Ipv4.dont_fragment;
+    Alcotest.(check bool)
+      "src" true
+      (Packet.Ipv4.equal_addr parsed.Packet.Ipv4.src (addr 10 0 0 1));
+    Alcotest.(check bool)
+      "dst" true
+      (Packet.Ipv4.equal_addr parsed.Packet.Ipv4.dst (addr 192 168 1 1))
+
+let test_ipv4_rejects_corruption () =
+  let header =
+    Packet.Ipv4.make ~src:(addr 1 2 3 4) ~dst:(addr 5 6 7 8)
+      ~protocol:Packet.Ipv4.Tcp ~payload_length:0 ()
+  in
+  let buf = Bytes.create Packet.Ipv4.header_length in
+  Packet.Ipv4.serialize header buf ~off:0;
+  Bytes.set_uint8 buf 8 (Bytes.get_uint8 buf 8 lxor 0xFF) (* flip TTL *);
+  (match Packet.Ipv4.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted corrupted header"
+  | Error e ->
+    Alcotest.(check string) "checksum error" "ipv4: header checksum mismatch" e)
+
+let test_ipv4_rejects_truncation () =
+  match Packet.Ipv4.parse (Bytes.create 10) ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted truncated header"
+  | Error e -> Alcotest.(check string) "error" "ipv4: truncated header" e
+
+let test_ipv4_rejects_bad_version () =
+  let buf = Bytes.make 20 '\x00' in
+  Bytes.set_uint8 buf 0 0x65 (* version 6 *);
+  match Packet.Ipv4.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted version 6"
+  | Error e -> Alcotest.(check string) "error" "ipv4: bad version 6" e
+
+let test_ipv4_validation () =
+  Alcotest.check_raises "ttl range"
+    (Invalid_argument "Ipv4.make: ttl out of range") (fun () ->
+      ignore
+        (Packet.Ipv4.make ~ttl:300 ~src:(addr 1 1 1 1) ~dst:(addr 2 2 2 2)
+           ~protocol:Packet.Ipv4.Tcp ~payload_length:0 ()))
+
+let test_protocol_codes () =
+  Alcotest.(check int) "tcp" 6 (Packet.Ipv4.protocol_to_int Packet.Ipv4.Tcp);
+  Alcotest.(check int) "udp" 17 (Packet.Ipv4.protocol_to_int Packet.Ipv4.Udp);
+  Alcotest.(check bool)
+    "roundtrip other" true
+    (Packet.Ipv4.protocol_of_int 89 = Packet.Ipv4.Other 89)
+
+(* ------------------------------------------------------------------ *)
+(* TCP header                                                          *)
+
+let test_tcp_roundtrip_plain () =
+  let header =
+    Packet.Tcp_header.make ~seq:0x01020304l ~ack_number:0x0A0B0C0Dl
+      ~flags:Packet.Tcp_header.flag_psh_ack ~window:4096 ~src_port:1234
+      ~dst_port:80 ()
+  in
+  let buf = Bytes.create 64 in
+  let written = Packet.Tcp_header.serialize header buf ~off:0 in
+  Alcotest.(check int) "plain header is 20 bytes" 20 written;
+  match Packet.Tcp_header.parse buf ~off:0 ~len:written with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, payload_off) ->
+    Alcotest.(check int) "payload offset" 20 payload_off;
+    Alcotest.(check int) "src port" 1234 parsed.Packet.Tcp_header.src_port;
+    Alcotest.(check int) "dst port" 80 parsed.Packet.Tcp_header.dst_port;
+    Alcotest.(check int32) "seq" 0x01020304l parsed.Packet.Tcp_header.seq;
+    Alcotest.(check int32) "ack" 0x0A0B0C0Dl parsed.Packet.Tcp_header.ack_number;
+    Alcotest.(check bool) "psh" true parsed.Packet.Tcp_header.flags.Packet.Tcp_header.psh;
+    Alcotest.(check bool) "ack flag" true parsed.Packet.Tcp_header.flags.Packet.Tcp_header.ack;
+    Alcotest.(check bool) "syn" false parsed.Packet.Tcp_header.flags.Packet.Tcp_header.syn;
+    Alcotest.(check int) "window" 4096 parsed.Packet.Tcp_header.window
+
+let test_tcp_roundtrip_options () =
+  let options =
+    Packet.Tcp_header.
+      [ Mss 1460; Nop; Window_scale 7; Sack_permitted;
+        Timestamps { value = 123456l; echo = 654321l } ]
+  in
+  let header =
+    Packet.Tcp_header.make ~flags:Packet.Tcp_header.flag_syn ~options
+      ~src_port:5555 ~dst_port:8888 ()
+  in
+  let buf = Bytes.create 64 in
+  let written = Packet.Tcp_header.serialize header buf ~off:0 in
+  Alcotest.(check int)
+    "header length = 20 + padded options"
+    (Packet.Tcp_header.header_length header)
+    written;
+  Alcotest.(check int) "4-byte aligned" 0 (written mod 4);
+  match Packet.Tcp_header.parse buf ~off:0 ~len:written with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, _) ->
+    let opts = parsed.Packet.Tcp_header.options in
+    Alcotest.(check int) "option count" 5 (List.length opts);
+    (match opts with
+    | [ Packet.Tcp_header.Mss 1460; Packet.Tcp_header.Nop;
+        Packet.Tcp_header.Window_scale 7; Packet.Tcp_header.Sack_permitted;
+        Packet.Tcp_header.Timestamps { value = 123456l; echo = 654321l } ] ->
+      ()
+    | _ -> Alcotest.fail "options did not round-trip in order")
+
+let test_tcp_unknown_option () =
+  let header =
+    Packet.Tcp_header.make
+      ~options:[ Packet.Tcp_header.Unknown { kind = 42; payload = "xy" } ]
+      ~src_port:1 ~dst_port:2 ()
+  in
+  let buf = Bytes.create 64 in
+  let written = Packet.Tcp_header.serialize header buf ~off:0 in
+  match Packet.Tcp_header.parse buf ~off:0 ~len:written with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, _) -> (
+    match parsed.Packet.Tcp_header.options with
+    | [ Packet.Tcp_header.Unknown { kind = 42; payload = "xy" } ] -> ()
+    | _ -> Alcotest.fail "unknown option mangled")
+
+let test_tcp_checksum_with_pseudo_header () =
+  let ip =
+    Packet.Ipv4.make ~src:(addr 10 0 0 1) ~dst:(addr 10 0 0 2)
+      ~protocol:Packet.Ipv4.Tcp ~payload_length:25 ()
+  in
+  let pseudo_sum = Packet.Ipv4.pseudo_header_sum ip in
+  let header = Packet.Tcp_header.make ~src_port:1 ~dst_port:2 () in
+  let buf = Bytes.create 64 in
+  let written =
+    Packet.Tcp_header.serialize header ~pseudo_sum ~payload:"hello" buf ~off:0
+  in
+  Alcotest.(check int) "20 + 5" 25 written;
+  (match Packet.Tcp_header.parse ~pseudo_sum ~len:written buf ~off:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Flip a payload byte: checksum must catch it. *)
+  Bytes.set_uint8 buf 22 (Bytes.get_uint8 buf 22 lxor 1);
+  match Packet.Tcp_header.parse ~pseudo_sum ~len:written buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted corrupt payload"
+  | Error e -> Alcotest.(check string) "checksum error" "tcp: checksum mismatch" e
+
+let test_tcp_rejects_bad_offset () =
+  let buf = Bytes.make 20 '\x00' in
+  Bytes.set_uint8 buf 12 (3 lsl 4) (* data offset 12 bytes < 20 *);
+  (match Packet.Tcp_header.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted offset 3"
+  | Error e -> Alcotest.(check string) "error" "tcp: data offset below 20" e);
+  Bytes.set_uint8 buf 12 (15 lsl 4) (* 60 bytes > segment *);
+  match Packet.Tcp_header.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted oversized offset"
+  | Error e -> Alcotest.(check string) "error" "tcp: data offset beyond segment" e
+
+let test_tcp_validation () =
+  Alcotest.check_raises "port range"
+    (Invalid_argument "Tcp_header.make: src_port out of range") (fun () ->
+      ignore (Packet.Tcp_header.make ~src_port:70000 ~dst_port:1 ()));
+  let too_many =
+    List.init 11 (fun _ -> Packet.Tcp_header.Mss 1460)
+  in
+  Alcotest.check_raises "options too long"
+    (Invalid_argument "Tcp_header.make: options exceed 40 bytes") (fun () ->
+      ignore (Packet.Tcp_header.make ~options:too_many ~src_port:1 ~dst_port:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+
+let test_flow_of_headers () =
+  let ip =
+    Packet.Ipv4.make ~src:(addr 10 0 0 9) ~dst:(addr 192 168 1 1)
+      ~protocol:Packet.Ipv4.Tcp ~payload_length:20 ()
+  in
+  let tcp = Packet.Tcp_header.make ~src_port:4000 ~dst_port:80 () in
+  let flow = Packet.Flow.of_headers ip tcp in
+  (* Receiver's view: local = destination of the packet. *)
+  Alcotest.(check int) "local port" 80 flow.Packet.Flow.local.Packet.Flow.port;
+  Alcotest.(check int) "remote port" 4000 flow.Packet.Flow.remote.Packet.Flow.port;
+  Alcotest.(check bool)
+    "local addr" true
+    (Packet.Ipv4.equal_addr flow.Packet.Flow.local.Packet.Flow.addr
+       (addr 192 168 1 1))
+
+let test_flow_reverse_involution () =
+  let flow =
+    Packet.Flow.v ~local:(endpoint 1 2 3 4 80) ~remote:(endpoint 5 6 7 8 4000)
+  in
+  Alcotest.(check bool)
+    "reverse . reverse = id" true
+    (Packet.Flow.equal flow (Packet.Flow.reverse (Packet.Flow.reverse flow)));
+  Alcotest.(check bool)
+    "reverse differs" false
+    (Packet.Flow.equal flow (Packet.Flow.reverse flow))
+
+let test_flow_key_bytes_layout () =
+  let flow =
+    Packet.Flow.v ~local:(endpoint 1 2 3 4 0x1234)
+      ~remote:(endpoint 5 6 7 8 0x5678)
+  in
+  let key = Packet.Flow.to_key_bytes flow in
+  Alcotest.(check int) "96 bits" 12 (Bytes.length key);
+  Alcotest.(check string) "layout"
+    "\x01\x02\x03\x04\x05\x06\x07\x08\x12\x34\x56\x78"
+    (Bytes.to_string key)
+
+let test_flow_compare_total_order () =
+  let flows =
+    [ Packet.Flow.v ~local:(endpoint 1 1 1 1 1) ~remote:(endpoint 2 2 2 2 2);
+      Packet.Flow.v ~local:(endpoint 1 1 1 1 1) ~remote:(endpoint 2 2 2 2 3);
+      Packet.Flow.v ~local:(endpoint 1 1 1 1 2) ~remote:(endpoint 2 2 2 2 2) ]
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check int) "compare self" 0 (Packet.Flow.compare f f))
+    flows;
+  let sorted = List.sort Packet.Flow.compare flows in
+  Alcotest.(check int) "stable size" 3 (List.length sorted)
+
+let test_endpoint_validation () =
+  Alcotest.check_raises "port out of range"
+    (Invalid_argument "Flow.endpoint: bad port") (fun () ->
+      ignore (Packet.Flow.endpoint (addr 1 2 3 4) 65536))
+
+(* ------------------------------------------------------------------ *)
+(* Segment                                                             *)
+
+let test_segment_roundtrip () =
+  let segment =
+    Packet.Segment.make ~seq:42l ~ack_number:77l
+      ~flags:Packet.Tcp_header.flag_psh_ack ~payload:"SELECT * FROM accounts"
+      ~src:(endpoint 10 0 0 1 4000) ~dst:(endpoint 192 168 1 1 8888) ()
+  in
+  let wire = Packet.Segment.to_bytes segment in
+  Alcotest.(check int) "wire length" (Packet.Segment.length segment)
+    (Bytes.length wire);
+  match Packet.Segment.parse wire ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check string) "payload" "SELECT * FROM accounts"
+      parsed.Packet.Segment.payload;
+    Alcotest.(check int32) "seq" 42l parsed.Packet.Segment.tcp.Packet.Tcp_header.seq;
+    Alcotest.(check bool)
+      "flow" true
+      (Packet.Flow.equal (Packet.Segment.flow segment)
+         (Packet.Segment.flow parsed))
+
+let test_segment_detects_any_corruption () =
+  let segment =
+    Packet.Segment.make ~payload:"payload under test"
+      ~src:(endpoint 10 0 0 1 4000) ~dst:(endpoint 192 168 1 1 8888) ()
+  in
+  let wire = Packet.Segment.to_bytes segment in
+  let rejected = ref 0 in
+  for i = 0 to Bytes.length wire - 1 do
+    let copy = Bytes.copy wire in
+    Bytes.set_uint8 copy i (Bytes.get_uint8 copy i lxor 0x01);
+    match Packet.Segment.parse copy ~off:0 with
+    | Error _ -> incr rejected
+    | Ok reparsed ->
+      (* A flip in the checksum-covered region must not parse equal. *)
+      if
+        reparsed.Packet.Segment.payload = segment.Packet.Segment.payload
+        && Packet.Flow.equal
+             (Packet.Segment.flow reparsed)
+             (Packet.Segment.flow segment)
+      then Alcotest.failf "undetected corruption at byte %d" i
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "most flips rejected (%d)" !rejected)
+    true
+    (!rejected >= Bytes.length wire - 2)
+
+let test_segment_rejects_fragment () =
+  let segment =
+    Packet.Segment.make ~src:(endpoint 1 1 1 1 1) ~dst:(endpoint 2 2 2 2 2) ()
+  in
+  let wire = Packet.Segment.to_bytes segment in
+  (* Set MF bit and fix the IP checksum by recomputing it. *)
+  let flags = Bytes.get_uint16_be wire 6 in
+  Bytes.set_uint16_be wire 6 (flags lor 0x2000);
+  Bytes.set_uint16_be wire 10 0;
+  let csum = Packet.Checksum.compute wire ~off:0 ~len:20 in
+  Bytes.set_uint16_be wire 10 csum;
+  match Packet.Segment.parse wire ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted fragment"
+  | Error e -> Alcotest.(check string) "error" "segment: fragmented datagram" e
+
+let test_segment_skip_checksum () =
+  let segment =
+    Packet.Segment.make ~payload:"x" ~src:(endpoint 1 1 1 1 1)
+      ~dst:(endpoint 2 2 2 2 2) ()
+  in
+  let wire = Packet.Segment.to_bytes segment in
+  (* Corrupt the TCP checksum itself; parse with verification off. *)
+  Bytes.set_uint16_be wire (20 + 16) 0xDEAD;
+  match Packet.Segment.parse ~verify_checksum:false wire ~off:0 with
+  | Ok parsed ->
+    Alcotest.(check string) "payload still there" "x"
+      parsed.Packet.Segment.payload
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                 *)
+
+let udp_pseudo_sum payload_length =
+  let ip =
+    Packet.Ipv4.make ~src:(addr 10 0 0 1) ~dst:(addr 10 0 0 2)
+      ~protocol:Packet.Ipv4.Udp
+      ~payload_length:(Packet.Udp_header.header_length + payload_length) ()
+  in
+  Packet.Ipv4.pseudo_header_sum ip
+
+let test_udp_roundtrip () =
+  let header =
+    Packet.Udp_header.make ~src_port:5353 ~dst_port:53 ~payload_length:9
+  in
+  let pseudo_sum = udp_pseudo_sum 9 in
+  let buf = Bytes.create 32 in
+  let written =
+    Packet.Udp_header.serialize header ~pseudo_sum ~payload:"dns query" buf
+      ~off:0
+  in
+  Alcotest.(check int) "8 + 9" 17 written;
+  match Packet.Udp_header.parse ~pseudo_sum buf ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, payload_off) ->
+    Alcotest.(check int) "src" 5353 parsed.Packet.Udp_header.src_port;
+    Alcotest.(check int) "dst" 53 parsed.Packet.Udp_header.dst_port;
+    Alcotest.(check int) "payload offset" 8 payload_off;
+    Alcotest.(check string) "payload" "dns query"
+      (Bytes.sub_string buf payload_off parsed.Packet.Udp_header.payload_length)
+
+let test_udp_checksum_detects_corruption () =
+  let header = Packet.Udp_header.make ~src_port:1 ~dst_port:2 ~payload_length:4 in
+  let pseudo_sum = udp_pseudo_sum 4 in
+  let buf = Bytes.create 16 in
+  ignore (Packet.Udp_header.serialize header ~pseudo_sum ~payload:"data" buf ~off:0);
+  Bytes.set_uint8 buf 9 (Bytes.get_uint8 buf 9 lxor 0x10);
+  match Packet.Udp_header.parse ~pseudo_sum buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted corrupt payload"
+  | Error e -> Alcotest.(check string) "error" "udp: checksum mismatch" e
+
+let test_udp_optional_checksum () =
+  (* Serialized without pseudo_sum -> wire checksum 0 -> parser must
+     accept it even when verifying. *)
+  let header = Packet.Udp_header.make ~src_port:1 ~dst_port:2 ~payload_length:2 in
+  let buf = Bytes.create 16 in
+  ignore (Packet.Udp_header.serialize header ~payload:"ok" buf ~off:0);
+  Alcotest.(check int) "wire checksum zero" 0 (Bytes.get_uint16_be buf 6);
+  match Packet.Udp_header.parse ~pseudo_sum:(udp_pseudo_sum 2) buf ~off:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_udp_flow_key () =
+  let ip =
+    Packet.Ipv4.make ~src:(addr 10 0 0 9) ~dst:(addr 192 168 1 1)
+      ~protocol:Packet.Ipv4.Udp ~payload_length:8 ()
+  in
+  let header = Packet.Udp_header.make ~src_port:4000 ~dst_port:53 ~payload_length:0 in
+  let flow = Packet.Udp_header.flow ip header in
+  Alcotest.(check int) "local port" 53 flow.Packet.Flow.local.Packet.Flow.port;
+  Alcotest.(check int) "remote port" 4000 flow.Packet.Flow.remote.Packet.Flow.port
+
+let test_udp_validation () =
+  Alcotest.check_raises "payload mismatch"
+    (Invalid_argument "Udp_header.serialize: payload length mismatch")
+    (fun () ->
+      let header = Packet.Udp_header.make ~src_port:1 ~dst_port:2 ~payload_length:3 in
+      ignore (Packet.Udp_header.serialize header ~payload:"xx" (Bytes.create 16) ~off:0));
+  (match Packet.Udp_header.parse (Bytes.create 4) ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted truncation"
+  | Error e -> Alcotest.(check string) "truncated" "udp: truncated header" e);
+  (* Length field smaller than the header itself. *)
+  let buf = Bytes.make 8 '\x00' in
+  Bytes.set_uint16_be buf 4 5;
+  match Packet.Udp_header.parse buf ~off:0 with
+  | Ok _ -> Alcotest.fail "accepted bad length"
+  | Error e -> Alcotest.(check string) "bad length" "udp: length below header size" e
+
+(* A UDP flow drives the demux algorithms exactly like a TCP one. *)
+let test_udp_demultiplexes () =
+  let demux =
+    Demux.Registry.create
+      (Demux.Registry.Sequent
+         { chains = 19; hasher = Hashing.Hashers.multiplicative })
+  in
+  let ip =
+    Packet.Ipv4.make ~src:(addr 10 0 0 9) ~dst:(addr 192 168 1 1)
+      ~protocol:Packet.Ipv4.Udp ~payload_length:8 ()
+  in
+  let header = Packet.Udp_header.make ~src_port:4000 ~dst_port:53 ~payload_length:0 in
+  let flow = Packet.Udp_header.flow ip header in
+  ignore (demux.Demux.Registry.insert flow ());
+  match demux.Demux.Registry.lookup flow with
+  | Some _ -> ()
+  | None -> Alcotest.fail "udp flow not found"
+
+(* ------------------------------------------------------------------ *)
+(* Fragmentation and reassembly                                        *)
+
+let datagram_header payload =
+  Packet.Ipv4.make ~identification:4242 ~dont_fragment:false
+    ~src:(addr 10 0 0 1) ~dst:(addr 192 168 1 1) ~protocol:Packet.Ipv4.Tcp
+    ~payload_length:(String.length payload) ()
+
+let reassemble_all ?(now = 0.0) reassembler pieces =
+  List.fold_left
+    (fun acc (header, piece) ->
+      match Packet.Reassembly.push reassembler ~now header piece with
+      | Ok (Packet.Reassembly.Complete (h, p)) -> Some (h, p)
+      | Ok (Packet.Reassembly.Pending | Packet.Reassembly.Duplicate) -> acc
+      | Error e -> Alcotest.fail e)
+    None pieces
+
+let test_fragment_shapes () =
+  let payload = String.init 2000 (fun i -> Char.chr (i mod 256)) in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:576
+  in
+  Alcotest.(check int) "four pieces" 4 (List.length pieces);
+  List.iteri
+    (fun i (h, piece) ->
+      let last = i = List.length pieces - 1 in
+      Alcotest.(check bool) "MF" (not last) h.Packet.Ipv4.more_fragments;
+      if not last then
+        Alcotest.(check int) "multiple of 8" 0 (String.length piece mod 8);
+      Alcotest.(check bool) "fits mtu" true
+        (Packet.Ipv4.header_length + String.length piece <= 576))
+    pieces;
+  (* Offsets and pieces cover the payload exactly. *)
+  let rebuilt = Buffer.create 2000 in
+  List.iter (fun (_, piece) -> Buffer.add_string rebuilt piece) pieces;
+  Alcotest.(check string) "cover" payload (Buffer.contents rebuilt)
+
+let test_fragment_df_raises () =
+  let payload = String.make 2000 'x' in
+  let header =
+    Packet.Ipv4.make ~dont_fragment:true ~src:(addr 1 1 1 1) ~dst:(addr 2 2 2 2)
+      ~protocol:Packet.Ipv4.Tcp ~payload_length:2000 ()
+  in
+  Alcotest.check_raises "DF"
+    (Invalid_argument "Reassembly.fragment: DF set and datagram exceeds mtu")
+    (fun () -> ignore (Packet.Reassembly.fragment header ~payload ~mtu:576))
+
+let test_fragment_small_passthrough () =
+  let payload = "tiny" in
+  match Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:576 with
+  | [ (h, p) ] ->
+    Alcotest.(check string) "unchanged" payload p;
+    Alcotest.(check bool) "no MF" false h.Packet.Ipv4.more_fragments
+  | _ -> Alcotest.fail "should not fragment"
+
+let test_reassemble_in_order () =
+  let payload = String.init 5000 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:1500
+  in
+  let r = Packet.Reassembly.create () in
+  (match reassemble_all r pieces with
+  | Some (h, p) ->
+    Alcotest.(check string) "payload restored" payload p;
+    Alcotest.(check int) "length" 5000 h.Packet.Ipv4.payload_length;
+    Alcotest.(check bool) "MF cleared" false h.Packet.Ipv4.more_fragments
+  | None -> Alcotest.fail "incomplete");
+  Alcotest.(check int) "nothing pending" 0 (Packet.Reassembly.pending r)
+
+let test_reassemble_out_of_order () =
+  let payload = String.init 3000 (fun i -> Char.chr ((i * 13) mod 256)) in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:576
+  in
+  let shuffled =
+    let arr = Array.of_list pieces in
+    let rng = Numerics.Rng.create ~seed:5 in
+    Numerics.Rng.shuffle rng arr;
+    Array.to_list arr
+  in
+  let r = Packet.Reassembly.create () in
+  match reassemble_all r shuffled with
+  | Some (_, p) -> Alcotest.(check string) "restored from shuffle" payload p
+  | None -> Alcotest.fail "incomplete"
+
+let test_reassemble_missing_fragment_pends () =
+  let payload = String.make 4000 'q' in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:1500
+  in
+  let r = Packet.Reassembly.create () in
+  (* Drop the middle piece. *)
+  let holey = [ List.nth pieces 0; List.nth pieces 2 ] in
+  (match reassemble_all r holey with
+  | None -> ()
+  | Some _ -> Alcotest.fail "completed with a hole");
+  Alcotest.(check int) "one pending" 1 (Packet.Reassembly.pending r);
+  (* Delivering the missing piece completes it. *)
+  match reassemble_all r [ List.nth pieces 1 ] with
+  | Some (_, p) -> Alcotest.(check string) "completed" payload p
+  | None -> Alcotest.fail "still incomplete"
+
+let test_reassemble_duplicate_and_overlap () =
+  let payload = String.init 2900 (fun i -> Char.chr (i mod 251)) in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:1500
+  in
+  let r = Packet.Reassembly.create () in
+  (* Deliver the first fragment twice. *)
+  let first = List.hd pieces in
+  (match Packet.Reassembly.push r ~now:0.0 (fst first) (snd first) with
+  | Ok Packet.Reassembly.Pending -> ()
+  | _ -> Alcotest.fail "expected pending");
+  (match Packet.Reassembly.push r ~now:0.0 (fst first) (snd first) with
+  | Ok Packet.Reassembly.Duplicate -> ()
+  | _ -> Alcotest.fail "expected duplicate");
+  match reassemble_all r (List.tl pieces) with
+  | Some (_, p) -> Alcotest.(check string) "unaffected" payload p
+  | None -> Alcotest.fail "incomplete"
+
+let test_reassembly_expiry () =
+  let payload = String.make 4000 'z' in
+  let pieces =
+    Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu:1500
+  in
+  let r = Packet.Reassembly.create ~timeout:10.0 () in
+  (match Packet.Reassembly.push r ~now:0.0 (fst (List.hd pieces))
+           (snd (List.hd pieces))
+   with
+  | Ok Packet.Reassembly.Pending -> ()
+  | _ -> Alcotest.fail "expected pending");
+  Alcotest.(check int) "not expired yet" 0 (Packet.Reassembly.expire r ~now:5.0);
+  Alcotest.(check int) "expired" 1 (Packet.Reassembly.expire r ~now:20.0);
+  Alcotest.(check int) "empty" 0 (Packet.Reassembly.pending r)
+
+let test_reassembly_rejects_malformed () =
+  let r = Packet.Reassembly.create () in
+  let header = datagram_header "0123456789" in
+  (* Length mismatch. *)
+  (match Packet.Reassembly.push r ~now:0.0 header "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted length mismatch");
+  (* Non-final fragment not a multiple of 8. *)
+  let bad = { header with Packet.Ipv4.more_fragments = true } in
+  match Packet.Reassembly.push r ~now:0.0 bad "0123456789" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted ragged non-final fragment"
+
+let prop_fragment_reassemble_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"fragment -> shuffle -> reassemble = id"
+    QCheck.(
+      pair
+        (string_of_size (Gen.int_range 1 8000))
+        (pair (int_range 68 1500) small_int))
+    (fun (payload, (mtu, seed)) ->
+      let pieces =
+        Packet.Reassembly.fragment (datagram_header payload) ~payload ~mtu
+      in
+      let arr = Array.of_list pieces in
+      let rng = Numerics.Rng.create ~seed in
+      Numerics.Rng.shuffle rng arr;
+      let r = Packet.Reassembly.create () in
+      let final =
+        Array.fold_left
+          (fun acc (h, piece) ->
+            match Packet.Reassembly.push r ~now:0.0 h piece with
+            | Ok (Packet.Reassembly.Complete (_, p)) -> Some p
+            | Ok _ -> acc
+            | Error _ -> Some "ERROR")
+          None arr
+      in
+      final = Some payload)
+
+(* ------------------------------------------------------------------ *)
+(* Pcap                                                                *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "tcpdemux_test" ".pcap" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_pcap_roundtrip () =
+  with_temp_file (fun path ->
+      let segments =
+        List.init 5 (fun i ->
+            Packet.Segment.make
+              ~payload:(Printf.sprintf "packet %d" i)
+              ~src:(endpoint 10 0 0 (i + 1) (1000 + i))
+              ~dst:(endpoint 192 168 1 1 8888) ())
+      in
+      let oc = open_out_bin path in
+      let writer = Packet.Pcap.create_writer oc in
+      List.iteri
+        (fun i s ->
+          Packet.Pcap.write_packet writer
+            ~time:(1000.0 +. (float_of_int i *. 0.5))
+            (Packet.Segment.to_bytes s))
+        segments;
+      close_out oc;
+      Alcotest.(check int) "count" 5 (Packet.Pcap.packet_count writer);
+      let ic = open_in_bin path in
+      let records =
+        match Packet.Pcap.read_all ic with
+        | Ok records -> records
+        | Error e -> Alcotest.fail e
+      in
+      close_in ic;
+      Alcotest.(check int) "read back" 5 (List.length records);
+      List.iteri
+        (fun i record ->
+          Alcotest.(check (float 1e-5))
+            "timestamp"
+            (1000.0 +. (float_of_int i *. 0.5))
+            record.Packet.Pcap.time;
+          match Packet.Segment.parse record.Packet.Pcap.data ~off:0 with
+          | Ok parsed ->
+            Alcotest.(check string)
+              "payload"
+              (Printf.sprintf "packet %d" i)
+              parsed.Packet.Segment.payload
+          | Error e -> Alcotest.fail e)
+        records)
+
+let test_pcap_bad_magic () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a pcap file at all.........";
+      close_out oc;
+      let ic = open_in_bin path in
+      (match Packet.Pcap.read_all ic with
+      | Ok _ -> Alcotest.fail "accepted garbage"
+      | Error e -> Alcotest.(check string) "error" "pcap: bad magic" e);
+      close_in ic)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+
+let arbitrary_endpoint =
+  QCheck.Gen.(
+    map2
+      (fun ip port ->
+        Packet.Flow.endpoint
+          (Packet.Ipv4.addr_of_int32 (Int32.of_int ip))
+          port)
+      (int_bound 0xFFFFFF) (int_bound 0xFFFF))
+
+let arbitrary_segment =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun (src, dst) (payload, (seq, window)) ->
+          Packet.Segment.make
+            ~seq:(Int32.of_int seq)
+            ~flags:Packet.Tcp_header.flag_psh_ack ~window ~payload ~src ~dst ())
+        (pair arbitrary_endpoint arbitrary_endpoint)
+        (pair (string_size (int_bound 100)) (pair nat (int_bound 0xFFFF))))
+  in
+  QCheck.make gen
+
+let prop_segment_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"segment serialize/parse round-trips"
+    arbitrary_segment (fun segment ->
+      match Packet.Segment.parse (Packet.Segment.to_bytes segment) ~off:0 with
+      | Error _ -> false
+      | Ok parsed ->
+        parsed.Packet.Segment.payload = segment.Packet.Segment.payload
+        && Packet.Flow.equal
+             (Packet.Segment.flow parsed)
+             (Packet.Segment.flow segment)
+        && Int32.equal parsed.Packet.Segment.tcp.Packet.Tcp_header.seq
+             segment.Packet.Segment.tcp.Packet.Tcp_header.seq)
+
+let prop_flow_key_injective_on_reverse =
+  QCheck.Test.make ~count:300 ~name:"flow key distinguishes flow from reverse"
+    (QCheck.make QCheck.Gen.(pair arbitrary_endpoint arbitrary_endpoint))
+    (fun (a, b) ->
+      let flow = Packet.Flow.v ~local:a ~remote:b in
+      let same_endpoints =
+        Packet.Ipv4.equal_addr a.Packet.Flow.addr b.Packet.Flow.addr
+        && a.Packet.Flow.port = b.Packet.Flow.port
+      in
+      same_endpoints
+      || Bytes.compare
+           (Packet.Flow.to_key_bytes flow)
+           (Packet.Flow.to_key_bytes (Packet.Flow.reverse flow))
+         <> 0)
+
+(* Fuzzing: parsers must totalise — any byte string yields Ok or Error,
+   never an exception. *)
+
+let arbitrary_bytes =
+  QCheck.map Bytes.of_string QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+
+let no_exception f =
+  match f () with
+  | (_ : (_, string) result) -> true
+  | exception _ -> false
+
+let prop_ipv4_parse_total =
+  QCheck.Test.make ~count:1000 ~name:"Ipv4.parse never raises on garbage"
+    arbitrary_bytes (fun bytes ->
+      no_exception (fun () -> Packet.Ipv4.parse bytes ~off:0))
+
+let prop_tcp_parse_total =
+  QCheck.Test.make ~count:1000 ~name:"Tcp_header.parse never raises on garbage"
+    arbitrary_bytes (fun bytes ->
+      no_exception (fun () -> Packet.Tcp_header.parse bytes ~off:0))
+
+let prop_udp_parse_total =
+  QCheck.Test.make ~count:1000 ~name:"Udp_header.parse never raises on garbage"
+    arbitrary_bytes (fun bytes ->
+      no_exception (fun () -> Packet.Udp_header.parse bytes ~off:0))
+
+let prop_segment_parse_total =
+  QCheck.Test.make ~count:1000 ~name:"Segment.parse never raises on garbage"
+    arbitrary_bytes (fun bytes ->
+      no_exception (fun () -> Packet.Segment.parse bytes ~off:0))
+
+let prop_segment_parse_total_on_mutated_valid =
+  (* Mutation fuzzing: start from a valid datagram, flip a few bytes. *)
+  QCheck.Test.make ~count:500 ~name:"Segment.parse never raises on mutations"
+    QCheck.(pair arbitrary_segment (list_of_size (Gen.int_range 1 8) (pair small_nat small_nat)))
+    (fun (segment, flips) ->
+      let wire = Packet.Segment.to_bytes segment in
+      List.iter
+        (fun (position, value) ->
+          let i = position mod Bytes.length wire in
+          Bytes.set_uint8 wire i (value land 0xFF))
+        flips;
+      no_exception (fun () -> Packet.Segment.parse wire ~off:0))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_segment_roundtrip; prop_flow_key_injective_on_reverse;
+      prop_fragment_reassemble_roundtrip; prop_ipv4_parse_total;
+      prop_tcp_parse_total; prop_udp_parse_total; prop_segment_parse_total;
+      prop_segment_parse_total_on_mutated_valid ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "packet"
+    [ ( "checksum",
+        [ Alcotest.test_case "rfc1071 example" `Quick test_checksum_rfc1071_example;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+          Alcotest.test_case "verify roundtrip" `Quick test_checksum_verify_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_checksum_bounds;
+          Alcotest.test_case "all zero" `Quick test_checksum_zero_region ] );
+      ( "ipv4-addr",
+        [ Alcotest.test_case "roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "invalid strings" `Quick test_addr_invalid;
+          Alcotest.test_case "invalid octets" `Quick test_addr_octets_invalid;
+          Alcotest.test_case "compare" `Quick test_addr_compare ] );
+      ( "ipv4-header",
+        [ Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "rejects corruption" `Quick test_ipv4_rejects_corruption;
+          Alcotest.test_case "rejects truncation" `Quick test_ipv4_rejects_truncation;
+          Alcotest.test_case "rejects bad version" `Quick test_ipv4_rejects_bad_version;
+          Alcotest.test_case "validation" `Quick test_ipv4_validation;
+          Alcotest.test_case "protocol codes" `Quick test_protocol_codes ] );
+      ( "tcp-header",
+        [ Alcotest.test_case "roundtrip plain" `Quick test_tcp_roundtrip_plain;
+          Alcotest.test_case "roundtrip options" `Quick test_tcp_roundtrip_options;
+          Alcotest.test_case "unknown option" `Quick test_tcp_unknown_option;
+          Alcotest.test_case "pseudo-header checksum" `Quick
+            test_tcp_checksum_with_pseudo_header;
+          Alcotest.test_case "bad data offset" `Quick test_tcp_rejects_bad_offset;
+          Alcotest.test_case "validation" `Quick test_tcp_validation ] );
+      ( "flow",
+        [ Alcotest.test_case "of_headers" `Quick test_flow_of_headers;
+          Alcotest.test_case "reverse involution" `Quick test_flow_reverse_involution;
+          Alcotest.test_case "key layout" `Quick test_flow_key_bytes_layout;
+          Alcotest.test_case "total order" `Quick test_flow_compare_total_order;
+          Alcotest.test_case "endpoint validation" `Quick test_endpoint_validation ] );
+      ( "segment",
+        [ Alcotest.test_case "roundtrip" `Quick test_segment_roundtrip;
+          Alcotest.test_case "detects corruption" `Quick
+            test_segment_detects_any_corruption;
+          Alcotest.test_case "rejects fragments" `Quick test_segment_rejects_fragment;
+          Alcotest.test_case "skip checksum option" `Quick test_segment_skip_checksum ] );
+      ( "udp",
+        [ Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "checksum detects corruption" `Quick
+            test_udp_checksum_detects_corruption;
+          Alcotest.test_case "optional checksum" `Quick test_udp_optional_checksum;
+          Alcotest.test_case "flow key" `Quick test_udp_flow_key;
+          Alcotest.test_case "validation" `Quick test_udp_validation;
+          Alcotest.test_case "demultiplexes" `Quick test_udp_demultiplexes ] );
+      ( "reassembly",
+        [ Alcotest.test_case "fragment shapes" `Quick test_fragment_shapes;
+          Alcotest.test_case "DF raises" `Quick test_fragment_df_raises;
+          Alcotest.test_case "small passthrough" `Quick
+            test_fragment_small_passthrough;
+          Alcotest.test_case "in order" `Quick test_reassemble_in_order;
+          Alcotest.test_case "out of order" `Quick test_reassemble_out_of_order;
+          Alcotest.test_case "missing fragment pends" `Quick
+            test_reassemble_missing_fragment_pends;
+          Alcotest.test_case "duplicate and overlap" `Quick
+            test_reassemble_duplicate_and_overlap;
+          Alcotest.test_case "expiry" `Quick test_reassembly_expiry;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_reassembly_rejects_malformed ] );
+      ( "pcap",
+        [ Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic ] );
+      ("properties", qcheck_cases) ]

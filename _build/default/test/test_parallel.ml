@@ -1,0 +1,213 @@
+(* Tests for the multicore demultiplexers: functional agreement with
+   the sequential algorithms, and safety under concurrent use. *)
+
+let flow i = Sim.Topology.flow_of_client i
+let flows n = Array.init n flow
+
+(* ------------------------------------------------------------------ *)
+(* Single-domain functional behaviour                                  *)
+
+let test_striped_agrees_with_sequent () =
+  (* Same algorithm, same accounting: a fixed lookup sequence produces
+     identical examined counts on Striped and on Demux.Sequent. *)
+  let population = flows 300 in
+  let striped = Parallel.Striped.create ~chains:19 () in
+  let sequential =
+    Demux.Sequent.create ~chains:19 ~hasher:Hashing.Hashers.multiplicative ()
+  in
+  Array.iter
+    (fun f ->
+      ignore (Parallel.Striped.insert striped f ());
+      ignore (Demux.Sequent.insert sequential f ()))
+    population;
+  let rng = Numerics.Rng.create ~seed:7 in
+  for _ = 1 to 3000 do
+    let f = population.(Numerics.Rng.int rng ~bound:300) in
+    (match (Parallel.Striped.lookup striped f, Demux.Sequent.lookup sequential f) with
+    | Some a, Some b ->
+      if not (Packet.Flow.equal a.Demux.Pcb.flow b.Demux.Pcb.flow) then
+        Alcotest.fail "diverged"
+    | _ -> Alcotest.fail "lookup failed")
+  done;
+  let striped_stats = Parallel.Striped.stats striped in
+  let sequential_stats =
+    Demux.Lookup_stats.snapshot (Demux.Sequent.stats sequential)
+  in
+  Alcotest.(check int)
+    "identical examined counts"
+    sequential_stats.Demux.Lookup_stats.pcbs_examined
+    striped_stats.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int)
+    "identical cache hits" sequential_stats.Demux.Lookup_stats.cache_hits
+    striped_stats.Demux.Lookup_stats.cache_hits
+
+let test_striped_basics () =
+  let d = Parallel.Striped.create ~chains:7 () in
+  Alcotest.(check int) "chains" 7 (Parallel.Striped.chains d);
+  ignore (Parallel.Striped.insert d (flow 1) ());
+  (match Parallel.Striped.insert d (flow 1) () with
+  | _ -> Alcotest.fail "duplicate accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "length" 1 (Parallel.Striped.length d);
+  Alcotest.(check bool) "found" true (Parallel.Striped.lookup d (flow 1) <> None);
+  Alcotest.(check bool) "absent" true (Parallel.Striped.lookup d (flow 2) = None);
+  Parallel.Striped.note_send d (flow 1);
+  Alcotest.(check bool) "removed" true (Parallel.Striped.remove d (flow 1) <> None);
+  Alcotest.(check bool) "remove absent" true (Parallel.Striped.remove d (flow 1) = None);
+  Alcotest.(check int) "empty" 0 (Parallel.Striped.length d)
+
+let test_coarse_wrapper () =
+  let d = Parallel.Coarse.create Demux.Registry.Bsd in
+  Alcotest.(check string) "name" "coarse:bsd" (Parallel.Coarse.name d);
+  ignore (Parallel.Coarse.insert d (flow 3) ());
+  Alcotest.(check bool) "found" true (Parallel.Coarse.lookup d (flow 3) <> None);
+  Parallel.Coarse.note_send d (flow 3);
+  let stats = Parallel.Coarse.stats d in
+  Alcotest.(check int) "lookups" 1 stats.Demux.Lookup_stats.lookups;
+  Alcotest.(check bool) "removed" true (Parallel.Coarse.remove d (flow 3) <> None);
+  Alcotest.(check int) "length" 0 (Parallel.Coarse.length d)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency                                                         *)
+
+let test_concurrent_disjoint_writers () =
+  (* Each domain owns a disjoint key range and hammers insert/remove;
+     a shared read-only range is looked up by everyone.  Afterwards
+     the table must contain exactly the shared range plus whatever
+     each domain left behind. *)
+  let d = Parallel.Striped.create ~chains:19 () in
+  let shared = 100 in
+  for i = 0 to shared - 1 do
+    ignore (Parallel.Striped.insert d (flow i) ())
+  done;
+  let writers = 4 in
+  let keys_per_writer = 50 in
+  let iterations = 500 in
+  let workers =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            let base = shared + (w * keys_per_writer) in
+            let rng = Numerics.Rng.create ~seed:(100 + w) in
+            for _ = 1 to iterations do
+              (* Private churn. *)
+              let k = base + Numerics.Rng.int rng ~bound:keys_per_writer in
+              (match Parallel.Striped.lookup d (flow k) with
+              | Some _ -> ignore (Parallel.Striped.remove d (flow k))
+              | None -> (
+                try ignore (Parallel.Striped.insert d (flow k) ())
+                with Invalid_argument _ ->
+                  (* Impossible: the range is private. *)
+                  Alcotest.fail "phantom duplicate"));
+              (* Shared reads. *)
+              let s = Numerics.Rng.int rng ~bound:shared in
+              if Parallel.Striped.lookup d (flow s) = None then
+                Alcotest.fail "shared key vanished"
+            done;
+            (* Leave the private range in a known state: all present. *)
+            for k = base to base + keys_per_writer - 1 do
+              if Parallel.Striped.lookup d (flow k) = None then
+                ignore (Parallel.Striped.insert d (flow k) ())
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int)
+    "final population" (shared + (writers * keys_per_writer))
+    (Parallel.Striped.length d);
+  for i = 0 to shared + (writers * keys_per_writer) - 1 do
+    if Parallel.Striped.lookup d (flow i) = None then
+      Alcotest.failf "key %d missing after join" i
+  done
+
+let test_concurrent_lookups_return_right_pcb () =
+  (* Pure readers from several domains must always get the PCB whose
+     flow matches the query — no torn reads through the caches. *)
+  let d = Parallel.Striped.create ~chains:19 () in
+  let population = flows 500 in
+  Array.iter (fun f -> ignore (Parallel.Striped.insert d f ())) population;
+  let failures = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let rng = Numerics.Rng.create ~seed:(w + 1) in
+            for _ = 1 to 20_000 do
+              let f = population.(Numerics.Rng.int rng ~bound:500) in
+              match Parallel.Striped.lookup d f with
+              | Some pcb ->
+                if not (Packet.Flow.equal pcb.Demux.Pcb.flow f) then
+                  Atomic.incr failures
+              | None -> Atomic.incr failures
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no wrong answers" 0 (Atomic.get failures);
+  let stats = Parallel.Striped.stats d in
+  Alcotest.(check int) "all lookups counted" 80_000
+    stats.Demux.Lookup_stats.lookups
+
+let test_coarse_concurrent_safety () =
+  let d = Parallel.Coarse.create Demux.Registry.Bsd in
+  let population = flows 200 in
+  Array.iter (fun f -> ignore (Parallel.Coarse.insert d f ())) population;
+  let failures = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let rng = Numerics.Rng.create ~seed:(w + 9) in
+            for _ = 1 to 5_000 do
+              let f = population.(Numerics.Rng.int rng ~bound:200) in
+              match Parallel.Coarse.lookup d f with
+              | Some pcb ->
+                if not (Packet.Flow.equal pcb.Demux.Pcb.flow f) then
+                  Atomic.incr failures
+              | None -> Atomic.incr failures
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no wrong answers" 0 (Atomic.get failures);
+  Alcotest.(check int) "all lookups counted" 20_000
+    (Parallel.Coarse.stats d).Demux.Lookup_stats.lookups
+
+(* ------------------------------------------------------------------ *)
+(* Throughput harness                                                  *)
+
+let test_throughput_smoke () =
+  let result =
+    Parallel.Throughput.run ~connections:200 ~lookups_per_domain:20_000
+      ~domains:2 (Parallel.Throughput.Striped_sequent 19)
+  in
+  Alcotest.(check string) "target" "striped:sequent-19" result.Parallel.Throughput.target;
+  Alcotest.(check int) "total" 40_000 result.Parallel.Throughput.total_lookups;
+  Alcotest.(check bool) "positive rate" true
+    (result.Parallel.Throughput.lookups_per_second > 0.0);
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Throughput.run: domains <= 0") (fun () ->
+      ignore
+        (Parallel.Throughput.run ~domains:0 Parallel.Throughput.Coarse_bsd))
+
+let test_worker_rng () =
+  let a = Parallel.Worker_rng.create 5 in
+  let b = Parallel.Worker_rng.create 5 in
+  for _ = 1 to 50 do
+    let x = Parallel.Worker_rng.next a in
+    Alcotest.(check int) "deterministic" x (Parallel.Worker_rng.next b);
+    Alcotest.(check bool) "non-negative" true (x >= 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "functional",
+        [ Alcotest.test_case "striped = sequent" `Quick
+            test_striped_agrees_with_sequent;
+          Alcotest.test_case "striped basics" `Quick test_striped_basics;
+          Alcotest.test_case "coarse wrapper" `Quick test_coarse_wrapper ] );
+      ( "concurrency",
+        [ Alcotest.test_case "disjoint writers" `Quick
+            test_concurrent_disjoint_writers;
+          Alcotest.test_case "reader correctness" `Quick
+            test_concurrent_lookups_return_right_pcb;
+          Alcotest.test_case "coarse safety" `Quick test_coarse_concurrent_safety ] );
+      ( "throughput",
+        [ Alcotest.test_case "smoke" `Quick test_throughput_smoke;
+          Alcotest.test_case "worker rng" `Quick test_worker_rng ] ) ]

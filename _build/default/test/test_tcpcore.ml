@@ -1,0 +1,773 @@
+(* Tests for the TCP substrate: the RFC 793 state machine, the
+   two-level connection table, and the segment-processing stack. *)
+
+let addr = Packet.Ipv4.addr_of_octets
+let server_addr = addr 192 168 1 1
+let client_addr = addr 10 0 0 1
+let server_ep = Packet.Flow.endpoint server_addr 8888
+let client_ep port = Packet.Flow.endpoint client_addr port
+
+(* ------------------------------------------------------------------ *)
+(* State machine                                                       *)
+
+let state = Alcotest.testable Tcpcore.State.pp Tcpcore.State.equal
+
+let check_transition from event expected =
+  Alcotest.(check (option state))
+    (Format.asprintf "%a --%a-->" Tcpcore.State.pp from Tcpcore.State.pp_event
+       event)
+    expected
+    (Tcpcore.State.transition from event)
+
+let test_three_way_handshake_server () =
+  check_transition Tcpcore.State.Closed Tcpcore.State.Passive_open
+    (Some Tcpcore.State.Listen);
+  check_transition Tcpcore.State.Listen Tcpcore.State.Rcv_syn
+    (Some Tcpcore.State.Syn_received);
+  check_transition Tcpcore.State.Syn_received Tcpcore.State.Rcv_ack
+    (Some Tcpcore.State.Established)
+
+let test_three_way_handshake_client () =
+  check_transition Tcpcore.State.Closed Tcpcore.State.Active_open
+    (Some Tcpcore.State.Syn_sent);
+  check_transition Tcpcore.State.Syn_sent Tcpcore.State.Rcv_syn_ack
+    (Some Tcpcore.State.Established)
+
+let test_simultaneous_open () =
+  check_transition Tcpcore.State.Syn_sent Tcpcore.State.Rcv_syn
+    (Some Tcpcore.State.Syn_received)
+
+let test_active_close_path () =
+  check_transition Tcpcore.State.Established Tcpcore.State.Close
+    (Some Tcpcore.State.Fin_wait_1);
+  check_transition Tcpcore.State.Fin_wait_1 Tcpcore.State.Rcv_ack
+    (Some Tcpcore.State.Fin_wait_2);
+  check_transition Tcpcore.State.Fin_wait_2 Tcpcore.State.Rcv_fin
+    (Some Tcpcore.State.Time_wait);
+  check_transition Tcpcore.State.Time_wait Tcpcore.State.Time_wait_expired
+    (Some Tcpcore.State.Closed)
+
+let test_passive_close_path () =
+  check_transition Tcpcore.State.Established Tcpcore.State.Rcv_fin
+    (Some Tcpcore.State.Close_wait);
+  check_transition Tcpcore.State.Close_wait Tcpcore.State.Close
+    (Some Tcpcore.State.Last_ack);
+  check_transition Tcpcore.State.Last_ack Tcpcore.State.Rcv_ack
+    (Some Tcpcore.State.Closed)
+
+let test_simultaneous_close () =
+  check_transition Tcpcore.State.Fin_wait_1 Tcpcore.State.Rcv_fin
+    (Some Tcpcore.State.Closing);
+  check_transition Tcpcore.State.Closing Tcpcore.State.Rcv_ack
+    (Some Tcpcore.State.Time_wait);
+  check_transition Tcpcore.State.Fin_wait_1 Tcpcore.State.Rcv_fin_ack
+    (Some Tcpcore.State.Time_wait)
+
+let test_rst_tears_down () =
+  List.iter
+    (fun s ->
+      if not (Tcpcore.State.equal s Tcpcore.State.Closed) then
+        check_transition s Tcpcore.State.Rcv_rst (Some Tcpcore.State.Closed))
+    Tcpcore.State.all;
+  check_transition Tcpcore.State.Closed Tcpcore.State.Rcv_rst None
+
+let test_undefined_transitions () =
+  check_transition Tcpcore.State.Closed Tcpcore.State.Rcv_fin None;
+  check_transition Tcpcore.State.Established Tcpcore.State.Rcv_syn None;
+  check_transition Tcpcore.State.Listen Tcpcore.State.Rcv_ack None;
+  check_transition Tcpcore.State.Time_wait Tcpcore.State.Close None
+
+let test_synchronized_states () =
+  Alcotest.(check bool) "established" true
+    (Tcpcore.State.is_synchronized Tcpcore.State.Established);
+  Alcotest.(check bool) "time-wait" true
+    (Tcpcore.State.is_synchronized Tcpcore.State.Time_wait);
+  Alcotest.(check bool) "listen" false
+    (Tcpcore.State.is_synchronized Tcpcore.State.Listen);
+  Alcotest.(check bool) "syn-sent" false
+    (Tcpcore.State.is_synchronized Tcpcore.State.Syn_sent)
+
+let test_valid_events_consistency () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun event ->
+          if Tcpcore.State.transition s event = None then
+            Alcotest.failf "valid_events lied for %s" (Tcpcore.State.to_string s))
+        (Tcpcore.State.valid_events s))
+    Tcpcore.State.all
+
+let prop_transitions_closed_world =
+  QCheck.Test.make ~count:500 ~name:"random event walks stay in the state set"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_bound 9))
+    (fun walk ->
+      let events =
+        Tcpcore.State.
+          [| Passive_open; Active_open; Close; Rcv_syn; Rcv_syn_ack; Rcv_ack;
+             Rcv_fin; Rcv_fin_ack; Rcv_rst; Time_wait_expired |]
+      in
+      let state = ref Tcpcore.State.Closed in
+      List.iter
+        (fun i ->
+          match Tcpcore.State.transition !state events.(i) with
+          | Some next -> state := next
+          | None -> ())
+        walk;
+      List.exists (Tcpcore.State.equal !state) Tcpcore.State.all)
+
+(* ------------------------------------------------------------------ *)
+(* Connection table                                                    *)
+
+let flow port = Packet.Flow.v ~local:server_ep ~remote:(client_ep port)
+
+let test_conn_table_lookup_priority () =
+  let table = Tcpcore.Conn_table.create Demux.Registry.Bsd in
+  Tcpcore.Conn_table.listen table ~port:8888 "listener-payload";
+  (* SYN to the listening port with no connection: listener. *)
+  (match Tcpcore.Conn_table.lookup table (flow 5000) with
+  | Tcpcore.Conn_table.Listener payload ->
+    Alcotest.(check string) "listener" "listener-payload" payload
+  | _ -> Alcotest.fail "expected listener");
+  (* Establish a connection: 4-tuple match wins over the listener. *)
+  ignore (Tcpcore.Conn_table.add_connection table (flow 5000) "conn-payload");
+  (match Tcpcore.Conn_table.lookup table (flow 5000) with
+  | Tcpcore.Conn_table.Connection pcb ->
+    Alcotest.(check string) "connection" "conn-payload" pcb.Demux.Pcb.data
+  | _ -> Alcotest.fail "expected connection");
+  (* A different remote port still reaches the listener. *)
+  (match Tcpcore.Conn_table.lookup table (flow 5001) with
+  | Tcpcore.Conn_table.Listener _ -> ()
+  | _ -> Alcotest.fail "expected listener for new peer");
+  (* Port without listener: no match. *)
+  let other_local =
+    Packet.Flow.v
+      ~local:(Packet.Flow.endpoint server_addr 9999)
+      ~remote:(client_ep 5000)
+  in
+  (match Tcpcore.Conn_table.lookup table other_local with
+  | Tcpcore.Conn_table.No_match -> ()
+  | _ -> Alcotest.fail "expected no match")
+
+let test_conn_table_listen_validation () =
+  let table = Tcpcore.Conn_table.create Demux.Registry.Bsd in
+  Tcpcore.Conn_table.listen table ~port:80 ();
+  Alcotest.check_raises "duplicate listener"
+    (Invalid_argument "Conn_table.listen: port already has a listener")
+    (fun () -> Tcpcore.Conn_table.listen table ~port:80 ());
+  Tcpcore.Conn_table.unlisten table ~port:80;
+  Tcpcore.Conn_table.listen table ~port:80 ();
+  Alcotest.check_raises "bad port" (Invalid_argument "Conn_table.listen: bad port")
+    (fun () -> Tcpcore.Conn_table.listen table ~port:(-1) ())
+
+let test_conn_table_wildcard_vs_specific () =
+  (* BSD in_pcblookup rules: an address-specific bind beats the
+     wildcard bind on the same port. *)
+  let table = Tcpcore.Conn_table.create Demux.Registry.Bsd in
+  Tcpcore.Conn_table.listen table ~port:80 "wildcard";
+  Tcpcore.Conn_table.listen ~addr:server_addr table ~port:80 "specific";
+  (match Tcpcore.Conn_table.listener ~addr:server_addr table ~port:80 with
+  | Some which -> Alcotest.(check string) "specific wins" "specific" which
+  | None -> Alcotest.fail "no listener");
+  (* A different local address falls back to the wildcard. *)
+  (match Tcpcore.Conn_table.listener ~addr:(addr 10 9 9 9) table ~port:80 with
+  | Some which -> Alcotest.(check string) "wildcard fallback" "wildcard" which
+  | None -> Alcotest.fail "no wildcard");
+  (* Removing the specific bind re-exposes the wildcard. *)
+  Tcpcore.Conn_table.unlisten ~addr:server_addr table ~port:80;
+  (match Tcpcore.Conn_table.listener ~addr:server_addr table ~port:80 with
+  | Some which -> Alcotest.(check string) "back to wildcard" "wildcard" which
+  | None -> Alcotest.fail "lost wildcard");
+  (* lookup () consults the packet's destination address. *)
+  Tcpcore.Conn_table.listen ~addr:(addr 10 9 9 9) table ~port:81 "only-specific";
+  (match
+     Tcpcore.Conn_table.lookup table
+       (Packet.Flow.v
+          ~local:(Packet.Flow.endpoint (addr 10 9 9 9) 81)
+          ~remote:(client_ep 777))
+   with
+  | Tcpcore.Conn_table.Listener which ->
+    Alcotest.(check string) "routed by dst addr" "only-specific" which
+  | _ -> Alcotest.fail "expected the specific listener");
+  match
+    Tcpcore.Conn_table.lookup table
+      (Packet.Flow.v
+         ~local:(Packet.Flow.endpoint server_addr 81)
+         ~remote:(client_ep 778))
+  with
+  | Tcpcore.Conn_table.No_match -> ()
+  | _ -> Alcotest.fail "specific bind must not catch other addresses"
+
+let test_conn_table_remove () =
+  let table = Tcpcore.Conn_table.create Demux.Registry.Bsd in
+  ignore (Tcpcore.Conn_table.add_connection table (flow 1) ());
+  Alcotest.(check int) "one connection" 1 (Tcpcore.Conn_table.connections table);
+  Alcotest.(check bool) "removed" true
+    (Tcpcore.Conn_table.remove_connection table (flow 1));
+  Alcotest.(check bool) "already gone" false
+    (Tcpcore.Conn_table.remove_connection table (flow 1));
+  Alcotest.(check int) "empty" 0 (Tcpcore.Conn_table.connections table)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                         *)
+
+let test_wheel_fires_in_order () =
+  let wheel = Tcpcore.Timer_wheel.create ~tick:1.0 () in
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:5.0 "b");
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:2.0 "a");
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:9.0 "c");
+  Alcotest.(check int) "pending" 3 (Tcpcore.Timer_wheel.pending wheel);
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:6.0 in
+  Alcotest.(check (list string)) "a then b" [ "a"; "b" ] (List.map snd fired);
+  Alcotest.(check int) "one left" 1 (Tcpcore.Timer_wheel.pending wheel);
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:100.0 in
+  Alcotest.(check (list string)) "c" [ "c" ] (List.map snd fired)
+
+let test_wheel_cancel () =
+  let wheel = Tcpcore.Timer_wheel.create ~tick:0.5 () in
+  let t1 = Tcpcore.Timer_wheel.schedule wheel ~delay:1.0 1 in
+  let _t2 = Tcpcore.Timer_wheel.schedule wheel ~delay:1.0 2 in
+  Alcotest.(check bool) "cancelled" true (Tcpcore.Timer_wheel.cancel wheel t1);
+  Alcotest.(check bool) "double cancel" false (Tcpcore.Timer_wheel.cancel wheel t1);
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:2.0 in
+  Alcotest.(check (list int)) "only t2" [ 2 ] (List.map snd fired)
+
+let test_wheel_wraparound () =
+  (* Deadlines several revolutions out must not fire early. *)
+  let wheel = Tcpcore.Timer_wheel.create ~slot_count:8 ~tick:1.0 () in
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:100.0 "far");
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:3.0 "near");
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:50.0 in
+  Alcotest.(check (list string)) "only near" [ "near" ] (List.map snd fired);
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:101.0 in
+  Alcotest.(check (list string)) "far eventually" [ "far" ] (List.map snd fired)
+
+let test_wheel_many_small_steps () =
+  (* Advancing in sub-tick steps must still fire everything exactly
+     once. *)
+  let wheel = Tcpcore.Timer_wheel.create ~slot_count:16 ~tick:1.0 () in
+  for i = 1 to 50 do
+    ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:(float_of_int i /. 3.0) i)
+  done;
+  let fired = ref 0 in
+  let clock = ref 0.0 in
+  while !clock < 20.0 do
+    clock := !clock +. 0.1;
+    fired := !fired + List.length (Tcpcore.Timer_wheel.advance wheel ~now:!clock)
+  done;
+  Alcotest.(check int) "all fired once" 50 !fired;
+  Alcotest.(check int) "none pending" 0 (Tcpcore.Timer_wheel.pending wheel)
+
+let test_wheel_validation () =
+  let wheel = Tcpcore.Timer_wheel.create ~tick:1.0 () in
+  ignore (Tcpcore.Timer_wheel.advance wheel ~now:5.0);
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timer_wheel.advance: clock cannot move backwards")
+    (fun () -> ignore (Tcpcore.Timer_wheel.advance wheel ~now:1.0));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Timer_wheel.schedule: negative or NaN delay") (fun () ->
+      ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:(-1.0) ()));
+  Alcotest.check_raises "bad tick"
+    (Invalid_argument "Timer_wheel.create: tick <= 0") (fun () ->
+      ignore (Tcpcore.Timer_wheel.create ~tick:0.0 () : unit Tcpcore.Timer_wheel.t))
+
+let prop_wheel_fires_everything =
+  QCheck.Test.make ~count:200 ~name:"wheel fires every uncancelled timer once"
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0.0 500.0))
+    (fun delays ->
+      let wheel = Tcpcore.Timer_wheel.create ~slot_count:32 ~tick:2.0 () in
+      List.iter (fun d -> ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:d ())) delays;
+      let fired = Tcpcore.Timer_wheel.advance wheel ~now:1000.0 in
+      List.length fired = List.length delays
+      && Tcpcore.Timer_wheel.pending wheel = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stack: full segment exchanges between two instances                 *)
+
+let make_pair () =
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  let client = Tcpcore.Stack.create ~local_addr:client_addr () in
+  (server, client)
+
+let pump server client =
+  let rec go n =
+    if n > 100 then Alcotest.fail "stacks never went quiescent";
+    let client_out = Tcpcore.Stack.poll_output client in
+    let server_out = Tcpcore.Stack.poll_output server in
+    List.iter (Tcpcore.Stack.handle_segment server) client_out;
+    List.iter (Tcpcore.Stack.handle_segment client) server_out;
+    if client_out <> [] || server_out <> [] then go (n + 1)
+  in
+  go 0
+
+let establish ?(port = 4000) server client =
+  let received = Buffer.create 64 in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun t conn payload ->
+      Buffer.add_string received payload;
+      Tcpcore.Stack.send t conn ("echo:" ^ payload));
+  let conn = Tcpcore.Stack.connect client ~local_port:port ~remote:server_ep in
+  pump server client;
+  (conn, received)
+
+let test_stack_handshake () =
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Alcotest.(check state) "client established" Tcpcore.State.Established
+    conn.Tcpcore.Stack.state;
+  Alcotest.(check int) "server has the connection" 1
+    (Tcpcore.Stack.connection_count server);
+  match
+    Tcpcore.Stack.connection_of_flow server
+      (Packet.Flow.v ~local:server_ep ~remote:(client_ep 4000))
+  with
+  | Some sconn ->
+    Alcotest.(check state) "server established" Tcpcore.State.Established
+      sconn.Tcpcore.Stack.state
+  | None -> Alcotest.fail "server lost the connection"
+
+let test_stack_data_echo () =
+  let server, client = make_pair () in
+  let conn, received = establish server client in
+  Tcpcore.Stack.send client conn "hello";
+  pump server client;
+  Tcpcore.Stack.send client conn " world";
+  pump server client;
+  Alcotest.(check string) "server got both" "hello world"
+    (Buffer.contents received);
+  Alcotest.(check int) "client counted bytes in" (String.length "echo:hello" + String.length "echo: world")
+    conn.Tcpcore.Stack.bytes_in;
+  Alcotest.(check int) "client counted bytes out" 11 conn.Tcpcore.Stack.bytes_out
+
+let test_stack_duplicate_data_reacked_once () =
+  (* Retransmission of an already-delivered segment must not deliver
+     twice: the stale sequence number draws a duplicate ACK only. *)
+  let server, client = make_pair () in
+  let conn, received = establish server client in
+  Tcpcore.Stack.send client conn "once";
+  (* Capture the data segment so we can replay it. *)
+  let outgoing = Tcpcore.Stack.poll_output client in
+  List.iter (Tcpcore.Stack.handle_segment server) outgoing;
+  pump server client;
+  let data_segment =
+    match outgoing with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "expected one data segment"
+  in
+  Tcpcore.Stack.handle_segment server data_segment (* replay *);
+  pump server client;
+  Alcotest.(check string) "delivered once" "once" (Buffer.contents received)
+
+let test_stack_full_close () =
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.close client conn;
+  pump server client;
+  Alcotest.(check state) "client FIN-WAIT-2" Tcpcore.State.Fin_wait_2
+    conn.Tcpcore.Stack.state;
+  let sconn =
+    match
+      Tcpcore.Stack.connection_of_flow server
+        (Packet.Flow.v ~local:server_ep ~remote:(client_ep 4000))
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "server connection missing"
+  in
+  Alcotest.(check state) "server CLOSE-WAIT" Tcpcore.State.Close_wait
+    sconn.Tcpcore.Stack.state;
+  Tcpcore.Stack.close server sconn;
+  pump server client;
+  Alcotest.(check state) "client TIME-WAIT" Tcpcore.State.Time_wait
+    conn.Tcpcore.Stack.state;
+  (* Server reached CLOSED and removed the PCB. *)
+  Alcotest.(check int) "server cleaned up" 0
+    (Tcpcore.Stack.connection_count server);
+  (* 2MSL expiry cleans the client too. *)
+  Tcpcore.Stack.expire_time_wait client conn;
+  Alcotest.(check int) "client cleaned up" 0
+    (Tcpcore.Stack.connection_count client)
+
+let test_stack_rst_on_unknown () =
+  let server, _client = make_pair () in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> ());
+  (* Data segment for a connection that does not exist, to a port that
+     is listening: RST. *)
+  let stray =
+    Packet.Segment.make ~src:(client_ep 1234) ~dst:server_ep
+      ~flags:Packet.Tcp_header.flag_psh_ack ~seq:10l ~payload:"?" ()
+  in
+  Tcpcore.Stack.handle_segment server stray;
+  Alcotest.(check int) "one RST" 1 (Tcpcore.Stack.rsts_sent server);
+  (match Tcpcore.Stack.poll_output server with
+  | [ segment ] ->
+    Alcotest.(check bool) "rst flag" true
+      segment.Packet.Segment.tcp.Packet.Tcp_header.flags.Packet.Tcp_header.rst
+  | _ -> Alcotest.fail "expected exactly the RST");
+  (* And to a port nobody listens on. *)
+  let cold =
+    Packet.Segment.make ~src:(client_ep 1235)
+      ~dst:(Packet.Flow.endpoint server_addr 7)
+      ~flags:Packet.Tcp_header.flag_syn ()
+  in
+  Tcpcore.Stack.handle_segment server cold;
+  Alcotest.(check int) "second RST" 2 (Tcpcore.Stack.rsts_sent server)
+
+let test_stack_rst_teardown () =
+  let server, client = make_pair () in
+  let _conn, _ = establish server client in
+  let rst =
+    Packet.Segment.make ~src:(client_ep 4000) ~dst:server_ep
+      ~flags:Packet.Tcp_header.flag_rst ()
+  in
+  Tcpcore.Stack.handle_segment server rst;
+  Alcotest.(check int) "connection dropped" 0
+    (Tcpcore.Stack.connection_count server)
+
+let test_stack_send_validation () =
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.close client conn;
+  pump server client;
+  Alcotest.check_raises "send after close"
+    (Invalid_argument "Stack.send: cannot send in FIN-WAIT-2") (fun () ->
+      Tcpcore.Stack.send client conn "too late")
+
+let test_stack_handle_bytes () =
+  let server, _client = make_pair () in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> ());
+  let syn =
+    Packet.Segment.make ~src:(client_ep 6000) ~dst:server_ep
+      ~flags:Packet.Tcp_header.flag_syn ~seq:5l ()
+  in
+  (match Tcpcore.Stack.handle_bytes server (Packet.Segment.to_bytes syn) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "accepted" 1 (Tcpcore.Stack.connection_count server);
+  (* Wrong destination host. *)
+  let misdelivered =
+    Packet.Segment.make ~src:(client_ep 6001)
+      ~dst:(Packet.Flow.endpoint (addr 9 9 9 9) 8888)
+      ~flags:Packet.Tcp_header.flag_syn ()
+  in
+  (match
+     Tcpcore.Stack.handle_bytes server (Packet.Segment.to_bytes misdelivered)
+   with
+  | Ok () -> Alcotest.fail "accepted a misdelivered datagram"
+  | Error _ -> ());
+  (* Garbage bytes. *)
+  match Tcpcore.Stack.handle_bytes server (Bytes.make 10 'x') with
+  | Ok () -> Alcotest.fail "accepted garbage"
+  | Error _ -> ()
+
+let test_stack_demux_metering () =
+  (* The receive path is metered: handshake + 2 data segments from an
+     established peer produce lookups in the demux stats. *)
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.send client conn "q1";
+  pump server client;
+  let s = Demux.Lookup_stats.snapshot (Tcpcore.Stack.demux_stats server) in
+  Alcotest.(check bool)
+    (Printf.sprintf "lookups %d >= 3" s.Demux.Lookup_stats.lookups)
+    true
+    (s.Demux.Lookup_stats.lookups >= 3);
+  Alcotest.(check int) "one insert" 1 s.Demux.Lookup_stats.inserts
+
+let test_stack_time_wait_reaping () =
+  (* A full close leaves the client in TIME-WAIT; the stack's timer
+     wheel reaps it after the 2MSL timeout via advance_clock. *)
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  let client =
+    Tcpcore.Stack.create ~time_wait_timeout:30.0 ~local_addr:client_addr ()
+  in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.close client conn;
+  pump server client;
+  let sconn =
+    match
+      Tcpcore.Stack.connection_of_flow server
+        (Packet.Flow.v ~local:server_ep ~remote:(client_ep 4000))
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "server connection missing"
+  in
+  Tcpcore.Stack.close server sconn;
+  pump server client;
+  Alcotest.(check state) "TIME-WAIT" Tcpcore.State.Time_wait
+    conn.Tcpcore.Stack.state;
+  Alcotest.(check int) "timer armed" 1 (Tcpcore.Stack.pending_time_wait client);
+  (* Too early: nothing reaped. *)
+  Alcotest.(check int) "not yet" 0 (Tcpcore.Stack.advance_clock client ~now:10.0);
+  Alcotest.(check int) "still there" 1 (Tcpcore.Stack.connection_count client);
+  (* Past 2MSL: reaped. *)
+  Alcotest.(check int) "reaped" 1 (Tcpcore.Stack.advance_clock client ~now:31.5);
+  Alcotest.(check int) "gone" 0 (Tcpcore.Stack.connection_count client);
+  Alcotest.(check state) "closed" Tcpcore.State.Closed conn.Tcpcore.Stack.state
+
+let test_stack_retransmission_recovers_loss () =
+  (* Drop a data segment on the floor; after the RTO the client
+     re-sends it and the exchange completes. *)
+  let server, client = make_pair () in
+  let conn, received = establish server client in
+  Tcpcore.Stack.send client conn "precious";
+  (* The segment is "lost": drain and discard the client's outbox. *)
+  (match Tcpcore.Stack.poll_output client with
+  | [ _lost ] -> ()
+  | _ -> Alcotest.fail "expected one data segment");
+  Alcotest.(check string) "not delivered" "" (Buffer.contents received);
+  (* Before the RTO nothing happens. *)
+  Alcotest.(check int) "no premature retransmit" 0
+    (Tcpcore.Stack.advance_clock client ~now:0.5);
+  (* After the RTO the segment is retransmitted. *)
+  Alcotest.(check int) "one retransmit" 1
+    (Tcpcore.Stack.advance_clock client ~now:2.5);
+  Alcotest.(check int) "counter" 1 (Tcpcore.Stack.retransmissions client);
+  pump server client;
+  Alcotest.(check string) "recovered" "precious" (Buffer.contents received);
+  (* Once acknowledged, later clock advances retransmit nothing. *)
+  Alcotest.(check int) "quiet after ack" 0
+    (Tcpcore.Stack.advance_clock client ~now:10.0)
+
+let test_stack_ack_cancels_retransmission () =
+  (* Normal delivery: the ACK comes back before the RTO, so advancing
+     the clock produces no retransmissions at all. *)
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.send client conn "swift";
+  pump server client;
+  Alcotest.(check int) "nothing to do" 0
+    (Tcpcore.Stack.advance_clock client ~now:50.0);
+  Alcotest.(check int) "no retransmissions" 0
+    (Tcpcore.Stack.retransmissions client)
+
+let test_stack_syn_retransmission () =
+  (* A SYN into the void is retried, and the handshake still completes
+     when the peer finally hears one. *)
+  let server, client = make_pair () in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> ());
+  let conn = Tcpcore.Stack.connect client ~local_port:4000 ~remote:server_ep in
+  (match Tcpcore.Stack.poll_output client with
+  | [ _lost_syn ] -> ()
+  | _ -> Alcotest.fail "expected the SYN");
+  Alcotest.(check int) "syn retransmitted" 1
+    (Tcpcore.Stack.advance_clock client ~now:1.5);
+  pump server client;
+  Alcotest.(check state) "established anyway" Tcpcore.State.Established
+    conn.Tcpcore.Stack.state
+
+let test_stack_delayed_acks () =
+  (* With delayed acks on, one data segment produces no immediate ack;
+     a second one triggers it; a lone segment is acked by the 200 ms
+     timer. *)
+  let server = Tcpcore.Stack.create ~delayed_acks:true ~local_addr:server_addr () in
+  let client = Tcpcore.Stack.create ~local_addr:client_addr () in
+  let conn, _ =
+    let received = Buffer.create 16 in
+    Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ payload ->
+        Buffer.add_string received payload);
+    let conn = Tcpcore.Stack.connect client ~local_port:4000 ~remote:server_ep in
+    pump server client;
+    (conn, received)
+  in
+  Alcotest.(check state) "established" Tcpcore.State.Established
+    conn.Tcpcore.Stack.state;
+  (* First data segment: server stays quiet. *)
+  Tcpcore.Stack.send client conn "one";
+  List.iter (Tcpcore.Stack.handle_segment server) (Tcpcore.Stack.poll_output client);
+  Alcotest.(check (list pass)) "no immediate ack" []
+    (Tcpcore.Stack.poll_output server);
+  (* Second data segment: ack comes out at once. *)
+  Tcpcore.Stack.send client conn "two";
+  List.iter (Tcpcore.Stack.handle_segment server) (Tcpcore.Stack.poll_output client);
+  (match Tcpcore.Stack.poll_output server with
+  | [ ack ] ->
+    Alcotest.(check bool) "is an ack" true
+      ack.Packet.Segment.tcp.Packet.Tcp_header.flags.Packet.Tcp_header.ack;
+    Tcpcore.Stack.handle_segment client ack
+  | _ -> Alcotest.fail "expected exactly one ack for two segments");
+  (* Third, lone segment: the delack timer delivers the ack. *)
+  Tcpcore.Stack.send client conn "three";
+  List.iter (Tcpcore.Stack.handle_segment server) (Tcpcore.Stack.poll_output client);
+  Alcotest.(check (list pass)) "still quiet" [] (Tcpcore.Stack.poll_output server);
+  Alcotest.(check int) "timer fires" 1
+    (Tcpcore.Stack.advance_clock server ~now:1.0);
+  (match Tcpcore.Stack.poll_output server with
+  | [ ack ] -> Tcpcore.Stack.handle_segment client ack
+  | _ -> Alcotest.fail "expected the delayed ack");
+  (* The client's retransmission queue must now be clear. *)
+  Alcotest.(check int) "client quiescent" 0
+    (Tcpcore.Stack.advance_clock client ~now:50.0)
+
+let test_stack_simultaneous_open () =
+  (* Both ends actively connect to each other; the crossing SYNs drive
+     both through SYN-RECEIVED to ESTABLISHED (RFC 793 figure 8). *)
+  let a = Tcpcore.Stack.create ~local_addr:server_addr () in
+  let b = Tcpcore.Stack.create ~local_addr:client_addr () in
+  let conn_a =
+    Tcpcore.Stack.connect a ~local_port:8888 ~remote:(client_ep 7000)
+  in
+  let conn_b =
+    Tcpcore.Stack.connect b ~local_port:7000 ~remote:server_ep
+  in
+  (* Exchange the crossing SYNs, then pump to quiescence. *)
+  let a_out = Tcpcore.Stack.poll_output a in
+  let b_out = Tcpcore.Stack.poll_output b in
+  List.iter (Tcpcore.Stack.handle_segment b) a_out;
+  List.iter (Tcpcore.Stack.handle_segment a) b_out;
+  pump a b;
+  Alcotest.(check state) "a established" Tcpcore.State.Established
+    conn_a.Tcpcore.Stack.state;
+  Alcotest.(check state) "b established" Tcpcore.State.Established
+    conn_b.Tcpcore.Stack.state
+
+let test_stack_many_clients () =
+  (* 100 concurrent connections through one server stack, then data on
+     each in an interleaved order. *)
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  let received = ref 0 in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> incr received);
+  let clients =
+    Array.init 100 (fun i ->
+        let c =
+          Tcpcore.Stack.create ~local_addr:(addr 10 1 (i / 250) (1 + (i mod 250))) ()
+        in
+        (c, Tcpcore.Stack.connect c ~local_port:(5000 + i) ~remote:server_ep))
+  in
+  let pump_all () =
+    let rec go n =
+      if n > 200 then Alcotest.fail "no quiescence";
+      let moved = ref false in
+      Array.iter
+        (fun (c, _) ->
+          let out = Tcpcore.Stack.poll_output c in
+          if out <> [] then moved := true;
+          List.iter (Tcpcore.Stack.handle_segment server) out)
+        clients;
+      let server_out = Tcpcore.Stack.poll_output server in
+      if server_out <> [] then moved := true;
+      List.iter
+        (fun segment ->
+          let dst = segment.Packet.Segment.ip.Packet.Ipv4.dst in
+          Array.iter
+            (fun (c, _) ->
+              if Packet.Ipv4.equal_addr (Tcpcore.Stack.local_addr c) dst then
+                Tcpcore.Stack.handle_segment c segment)
+            clients)
+        server_out;
+      if !moved then go (n + 1)
+    in
+    go 0
+  in
+  pump_all ();
+  Alcotest.(check int) "all connected" 100 (Tcpcore.Stack.connection_count server);
+  Array.iteri
+    (fun i (_, conn) ->
+      Alcotest.(check state)
+        (Printf.sprintf "client %d established" i)
+        Tcpcore.State.Established conn.Tcpcore.Stack.state)
+    clients;
+  (* Interleave data across all connections — the OLTP pattern. *)
+  Array.iter
+    (fun (c, conn) -> Tcpcore.Stack.send c conn "txn")
+    clients;
+  pump_all ();
+  Alcotest.(check int) "all queries delivered" 100 !received
+
+(* ------------------------------------------------------------------ *)
+
+let prop_stack_survives_arbitrary_segments =
+  (* Robustness: a listening stack fed any sequence of syntactically
+     valid segments (random flags, seqs, acks, ports, payloads) must
+     never raise, and its connection count must stay sane. *)
+  let arbitrary_segment_spec =
+    QCheck.Gen.(
+      map3
+        (fun (sport, dport) (flag_bits, payload) (seq, ack) ->
+          (sport, dport, flag_bits, payload, seq, ack))
+        (pair (int_range 1 8) (int_range 8887 8890))
+        (pair (int_bound 63) (string_size (int_bound 20)))
+        (pair (int_bound 100000) (int_bound 100000)))
+  in
+  QCheck.Test.make ~count:200 ~name:"stack survives arbitrary segment streams"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) arbitrary_segment_spec))
+    (fun specs ->
+      let stack = Tcpcore.Stack.create ~local_addr:server_addr () in
+      Tcpcore.Stack.listen stack ~port:8888 ~on_data:(fun t conn payload ->
+          (* An application that answers; exercises send paths too. *)
+          if String.length payload > 0 && conn.Tcpcore.Stack.state = Tcpcore.State.Established
+          then Tcpcore.Stack.send t conn "r");
+      List.iter
+        (fun (sport, dport, flag_bits, payload, seq, ack) ->
+          let flags =
+            { Packet.Tcp_header.fin = flag_bits land 1 <> 0;
+              syn = flag_bits land 2 <> 0;
+              rst = flag_bits land 4 <> 0;
+              psh = flag_bits land 8 <> 0;
+              ack = flag_bits land 16 <> 0;
+              urg = flag_bits land 32 <> 0 }
+          in
+          let segment =
+            Packet.Segment.make
+              ~src:(client_ep (1000 + sport))
+              ~dst:(Packet.Flow.endpoint server_addr dport)
+              ~flags ~payload
+              ~seq:(Int32.of_int seq)
+              ~ack_number:(Int32.of_int ack) ()
+          in
+          Tcpcore.Stack.handle_segment stack segment;
+          ignore (Tcpcore.Stack.poll_output stack))
+        specs;
+      ignore (Tcpcore.Stack.advance_clock stack ~now:100.0);
+      ignore (Tcpcore.Stack.poll_output stack);
+      Tcpcore.Stack.connection_count stack <= 8)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_transitions_closed_world; prop_wheel_fires_everything;
+      prop_stack_survives_arbitrary_segments ]
+
+let () =
+  Alcotest.run "tcpcore"
+    [ ( "state-machine",
+        [ Alcotest.test_case "server handshake" `Quick test_three_way_handshake_server;
+          Alcotest.test_case "client handshake" `Quick test_three_way_handshake_client;
+          Alcotest.test_case "simultaneous open" `Quick test_simultaneous_open;
+          Alcotest.test_case "active close" `Quick test_active_close_path;
+          Alcotest.test_case "passive close" `Quick test_passive_close_path;
+          Alcotest.test_case "simultaneous close" `Quick test_simultaneous_close;
+          Alcotest.test_case "RST teardown" `Quick test_rst_tears_down;
+          Alcotest.test_case "undefined transitions" `Quick test_undefined_transitions;
+          Alcotest.test_case "synchronized states" `Quick test_synchronized_states;
+          Alcotest.test_case "valid_events" `Quick test_valid_events_consistency ] );
+      ( "conn-table",
+        [ Alcotest.test_case "lookup priority" `Quick test_conn_table_lookup_priority;
+          Alcotest.test_case "listen validation" `Quick test_conn_table_listen_validation;
+          Alcotest.test_case "wildcard vs specific" `Quick
+            test_conn_table_wildcard_vs_specific;
+          Alcotest.test_case "remove" `Quick test_conn_table_remove ] );
+      ( "stack",
+        [ Alcotest.test_case "handshake" `Quick test_stack_handshake;
+          Alcotest.test_case "data echo" `Quick test_stack_data_echo;
+          Alcotest.test_case "duplicate data" `Quick
+            test_stack_duplicate_data_reacked_once;
+          Alcotest.test_case "full close" `Quick test_stack_full_close;
+          Alcotest.test_case "RST on unknown" `Quick test_stack_rst_on_unknown;
+          Alcotest.test_case "RST teardown" `Quick test_stack_rst_teardown;
+          Alcotest.test_case "send validation" `Quick test_stack_send_validation;
+          Alcotest.test_case "handle_bytes" `Quick test_stack_handle_bytes;
+          Alcotest.test_case "demux metering" `Quick test_stack_demux_metering;
+          Alcotest.test_case "TIME-WAIT reaping" `Quick test_stack_time_wait_reaping;
+          Alcotest.test_case "retransmission recovers loss" `Quick
+            test_stack_retransmission_recovers_loss;
+          Alcotest.test_case "ack cancels retransmission" `Quick
+            test_stack_ack_cancels_retransmission;
+          Alcotest.test_case "SYN retransmission" `Quick
+            test_stack_syn_retransmission;
+          Alcotest.test_case "delayed acks" `Quick test_stack_delayed_acks;
+          Alcotest.test_case "simultaneous open" `Quick test_stack_simultaneous_open;
+          Alcotest.test_case "many clients" `Quick test_stack_many_clients ] );
+      ( "timer-wheel",
+        [ Alcotest.test_case "fires in order" `Quick test_wheel_fires_in_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "wraparound" `Quick test_wheel_wraparound;
+          Alcotest.test_case "small steps" `Quick test_wheel_many_small_steps;
+          Alcotest.test_case "validation" `Quick test_wheel_validation ] );
+      ("properties", qcheck_cases) ]
