@@ -551,6 +551,49 @@ let replay_cmd =
     Term.(ret (const run_replay $ path $ algorithms_arg $ no_checksum))
 
 (* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+
+let run_attack algorithms seed smoke =
+  match parse_specs algorithms with
+  | Error message -> `Error (false, message)
+  | Ok specs ->
+    let config =
+      if smoke then Sim.Attack_workload.smoke_config ~seed ()
+      else Sim.Attack_workload.default_config ~seed ()
+    in
+    let results = Sim.Attack_workload.run_all config specs in
+    Format.printf "Adversarial resilience (seed %d%s)@.@." seed
+      (if smoke then ", smoke" else "");
+    Format.printf "%a" Sim.Attack_workload.pp_table results;
+    `Ok ()
+
+let attack_cmd =
+  let doc =
+    "Drive adversarial workloads (collision flood, SYN flood, \
+     malformed-segment storm) against the lookup algorithms and print a \
+     resilience table."
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Small packet counts for quick CI runs.")
+  in
+  let attack_algorithms =
+    let doc =
+      "Comma-separated algorithms; guarded-$(i,ALGO) wraps an algorithm in \
+       the overload guard."
+    in
+    Arg.(
+      value
+      & opt (list string)
+          [ "bsd"; "mtf"; "sr-cache"; "sequent-19"; "guarded-sequent-19" ]
+      & info [ "a"; "algorithms" ] ~docv:"ALGOS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc)
+    Term.(ret (const run_attack $ attack_algorithms $ seed_arg $ smoke))
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -560,6 +603,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tcpdemux" ~version:"1.0.0" ~doc)
     [ analyze_cmd; figure_cmd; simulate_cmd; validate_cmd; sweep_cmd;
-      sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd ]
+      sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd; attack_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,118 @@
+type policy = Evict_lru | Reject_new
+
+type config = {
+  max_chain : int;
+  max_total : int;
+  chains : int;
+  hasher : Hashing.Hashers.t;
+  policy : policy;
+}
+
+let default_max_chain = 32
+let default_max_total = 2048
+
+let config ?(policy = Evict_lru) ?(max_chain = default_max_chain)
+    ?(max_total = default_max_total) ?(chains = 1)
+    ?(hasher = Hashing.Hashers.multiplicative) () =
+  if max_chain <= 0 then invalid_arg "Guarded.config: max_chain <= 0";
+  if max_total <= 0 then invalid_arg "Guarded.config: max_total <= 0";
+  if chains <= 0 then invalid_arg "Guarded.config: chains <= 0";
+  { max_chain; max_total; chains; hasher; policy }
+
+(* Recency metadata carried in the guard's shadow chains: a logical
+   timestamp bumped on every insert and every successful lookup. *)
+type meta = { mutable tick : int }
+
+type t = {
+  cfg : config;
+  buckets : meta Chain.t array;          (* front = most recent *)
+  index : meta Chain.node Flow_table.t;
+  mutable clock : int;
+}
+
+let create cfg =
+  { cfg;
+    buckets = Array.init cfg.chains (fun _ -> Chain.create ());
+    index = Flow_table.create 64;
+    clock = 0 }
+
+let bucket_index t flow =
+  Hashing.Hashers.bucket t.cfg.hasher ~buckets:t.cfg.chains
+    (Packet.Flow.to_key_bytes flow)
+
+let tracked t = Flow_table.length t.index
+
+let occupancy t = Array.map Chain.length t.buckets
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let unlink t flow =
+  match Flow_table.find_opt t.index flow with
+  | None -> ()
+  | Some node ->
+    Chain.remove t.buckets.(bucket_index t flow) node;
+    Flow_table.remove t.index flow
+
+(* The least recently touched flow across all shadow chains.  Each
+   chain keeps recency order, so only the tails compete: O(chains). *)
+let global_lru t =
+  Array.fold_left
+    (fun best chain ->
+      match Chain.tail_pcb chain with
+      | None -> best
+      | Some pcb -> (
+        let age = pcb.Pcb.data.tick in
+        match best with
+        | Some (_, best_age) when best_age <= age -> best
+        | Some _ | None -> Some (pcb.Pcb.flow, age)))
+    None t.buckets
+
+let chain_lru t bucket =
+  match Chain.tail_pcb t.buckets.(bucket) with
+  | None -> None
+  | Some pcb -> Some pcb.Pcb.flow
+
+(* Decide the fate of an insertion: [`Admit victims] means the caller
+   must first evict [victims] from the underlying table (the guard has
+   already forgotten them), [`Reject] means the insertion itself must
+   be shed.  Mutates the guard state. *)
+let admit t flow =
+  if Flow_table.mem t.index flow then `Admit [] (* duplicate: inner decides *)
+  else
+    let bucket = bucket_index t flow in
+    let chain_full = Chain.length t.buckets.(bucket) >= t.cfg.max_chain in
+    let total_full = tracked t >= t.cfg.max_total in
+    match t.cfg.policy with
+    | Reject_new when chain_full || total_full -> `Reject
+    | Reject_new | Evict_lru ->
+      let victims = ref [] in
+      let evict flow =
+        unlink t flow;
+        victims := flow :: !victims
+      in
+      if chain_full then
+        Option.iter evict (chain_lru t bucket);
+      while tracked t >= t.cfg.max_total do
+        match global_lru t with
+        | Some (flow, _) -> evict flow
+        | None -> assert false (* max_total > 0 and the table is non-empty *)
+      done;
+      `Admit (List.rev !victims)
+
+let note_inserted t flow =
+  if not (Flow_table.mem t.index flow) then begin
+    let pcb = Pcb.make ~id:0 ~flow { tick = tick t } in
+    let node = Chain.push_front t.buckets.(bucket_index t flow) pcb in
+    Flow_table.replace t.index flow node
+  end
+
+let note_touched t flow =
+  match Flow_table.find_opt t.index flow with
+  | None -> ()
+  | Some node ->
+    (Chain.pcb node).Pcb.data.tick <- tick t;
+    Chain.move_to_front t.buckets.(bucket_index t flow) node
+
+let note_removed t flow = unlink t flow

@@ -1,0 +1,64 @@
+(** Overload guard for PCB tables: bounded chains with LRU shedding.
+
+    A hash-chained table degrades to the BSD linear scan when an
+    adversary drives every flow into one chain (an
+    algorithmic-complexity attack; cf. Cuckoo++, Le Scouarnec 2018).
+    This module tracks recency per chain and decides, for each
+    insertion, which resident flows must be shed so that no chain
+    exceeds [max_chain] and the table never exceeds [max_total] —
+    overload then costs throughput (evicted connections) instead of
+    unbounded lookup time.
+
+    The guard holds no PCBs itself; it shadows the population and
+    plans evictions.  {!Registry.guard} wires it around any
+    instantiated demultiplexer and charges the shed work to
+    {!Lookup_stats} ([evictions] / [rejections]). *)
+
+type policy =
+  | Evict_lru    (** Shed the least-recently-seen flow to admit the new one. *)
+  | Reject_new   (** Refuse the new flow (classic SYN-flood drop). *)
+
+type config = {
+  max_chain : int;            (** Bound on any one chain's population. *)
+  max_total : int;            (** Bound on the whole table. *)
+  chains : int;               (** Chain count mirrored from the guarded
+                                  algorithm (1 for single-list tables). *)
+  hasher : Hashing.Hashers.t; (** Hash mirrored from the guarded algorithm. *)
+  policy : policy;
+}
+
+val default_max_chain : int
+val default_max_total : int
+
+val config :
+  ?policy:policy -> ?max_chain:int -> ?max_total:int -> ?chains:int ->
+  ?hasher:Hashing.Hashers.t -> unit -> config
+(** Defaults: [Evict_lru], {!default_max_chain}, {!default_max_total},
+    one chain, multiplicative hash.
+    @raise Invalid_argument on non-positive bounds or chain count. *)
+
+type t
+
+val create : config -> t
+
+val admit : t -> Packet.Flow.t -> [ `Admit of Packet.Flow.t list | `Reject ]
+(** Plan the insertion of a new flow.  [`Admit victims] admits it
+    provided the caller evicts [victims] from the underlying table
+    first (the guard has already forgotten them); [`Reject] refuses
+    the insertion ([Reject_new] policy at a bound).  Already-tracked
+    flows are admitted with no victims. *)
+
+val note_inserted : t -> Packet.Flow.t -> unit
+(** The flow was inserted into the underlying table. *)
+
+val note_touched : t -> Packet.Flow.t -> unit
+(** The flow was found by a lookup: refresh its recency. *)
+
+val note_removed : t -> Packet.Flow.t -> unit
+(** The flow left the underlying table (protocol removal). *)
+
+val tracked : t -> int
+(** Flows currently shadowed. *)
+
+val occupancy : t -> int array
+(** Per-chain shadow population, for tests and reports. *)

@@ -6,6 +6,8 @@ type t = {
   mutable not_found : int;
   mutable inserts : int;
   mutable removes : int;
+  mutable evictions : int;
+  mutable rejections : int;
   mutable max_examined : int;
   mutable current : int;      (* examinations charged to the open lookup *)
   mutable in_lookup : bool;
@@ -13,8 +15,8 @@ type t = {
 
 let create () =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
-    inserts = 0; removes = 0; max_examined = 0; current = 0;
-    in_lookup = false }
+    inserts = 0; removes = 0; evictions = 0; rejections = 0; max_examined = 0;
+    current = 0; in_lookup = false }
 
 let begin_lookup t =
   assert (not t.in_lookup);
@@ -36,6 +38,8 @@ let end_lookup t ~hit_cache ~found =
 
 let note_insert t = t.inserts <- t.inserts + 1
 let note_remove t = t.removes <- t.removes + 1
+let note_eviction t = t.evictions <- t.evictions + 1
+let note_rejection t = t.rejections <- t.rejections + 1
 
 type snapshot = {
   lookups : int;
@@ -45,17 +49,20 @@ type snapshot = {
   not_found : int;
   inserts : int;
   removes : int;
+  evictions : int;
+  rejections : int;
   max_examined : int;
 }
 
 let snapshot (t : t) =
   { lookups = t.lookups; pcbs_examined = t.pcbs_examined;
     cache_hits = t.cache_hits; found = t.found; not_found = t.not_found;
-    inserts = t.inserts; removes = t.removes; max_examined = t.max_examined }
+    inserts = t.inserts; removes = t.removes; evictions = t.evictions;
+    rejections = t.rejections; max_examined = t.max_examined }
 
 let empty_snapshot =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
-    inserts = 0; removes = 0; max_examined = 0 }
+    inserts = 0; removes = 0; evictions = 0; rejections = 0; max_examined = 0 }
 
 let merge_snapshots snapshots =
   List.fold_left
@@ -67,6 +74,8 @@ let merge_snapshots snapshots =
         not_found = acc.not_found + s.not_found;
         inserts = acc.inserts + s.inserts;
         removes = acc.removes + s.removes;
+        evictions = acc.evictions + s.evictions;
+        rejections = acc.rejections + s.rejections;
         max_examined = max acc.max_examined s.max_examined })
     empty_snapshot snapshots
 
@@ -86,6 +95,8 @@ let reset (t : t) =
   t.not_found <- 0;
   t.inserts <- 0;
   t.removes <- 0;
+  t.evictions <- 0;
+  t.rejections <- 0;
   t.max_examined <- 0;
   t.current <- 0;
   t.in_lookup <- false
@@ -94,6 +105,7 @@ let pp_snapshot ppf s =
   Format.fprintf ppf
     "@[<v>lookups=%d examined=%d (mean %.2f, max %d)@,\
      cache hits=%d (rate %.4f) found=%d not-found=%d@,\
-     inserts=%d removes=%d@]"
+     inserts=%d removes=%d evictions=%d rejections=%d@]"
     s.lookups s.pcbs_examined (mean_examined s) s.max_examined s.cache_hits
-    (hit_rate s) s.found s.not_found s.inserts s.removes
+    (hit_rate s) s.found s.not_found s.inserts s.removes s.evictions
+    s.rejections

@@ -23,6 +23,13 @@ val end_lookup : t -> hit_cache:bool -> found:bool -> unit
 val note_insert : t -> unit
 val note_remove : t -> unit
 
+val note_eviction : t -> unit
+(** A PCB was shed by an overload guard (see {!Guarded}), not removed
+    by the protocol. *)
+
+val note_rejection : t -> unit
+(** An insertion was refused outright by an overload guard. *)
+
 (** {1 Reading} *)
 
 type snapshot = {
@@ -33,6 +40,8 @@ type snapshot = {
   not_found : int;
   inserts : int;
   removes : int;
+  evictions : int;           (** PCBs shed by an overload guard. *)
+  rejections : int;          (** Insertions refused by an overload guard. *)
   max_examined : int;        (** Worst single lookup. *)
 }
 

@@ -9,6 +9,7 @@ type spec =
   | Resizing_hash
   | Splay
   | Lru_cache of { entries : int }
+  | Guarded of { spec : spec; max_chain : int; max_total : int }
 
 let default_specs =
   [ Bsd; Mtf; Sr_cache;
@@ -16,7 +17,7 @@ let default_specs =
       { chains = Sequent.default_chains;
         hasher = Hashing.Hashers.multiplicative } ]
 
-let spec_name = function
+let rec spec_name = function
   | Linear -> "linear"
   | Bsd -> "bsd"
   | Mtf -> "mtf"
@@ -27,12 +28,22 @@ let spec_name = function
   | Resizing_hash -> "resizing-hash"
   | Splay -> "splay"
   | Lru_cache { entries } -> Printf.sprintf "lru-cache-%d" entries
+  | Guarded { spec; _ } -> "guarded-" ^ spec_name spec
 
-let spec_of_string s =
-  let chains_suffix ~prefix s =
+let rec spec_of_string s =
+  (* [Some (Ok spec)] on "<prefix><positive int>", [Some (Error _)] on
+     a non-positive count (a misconfiguration worth naming, not an
+     unknown algorithm), [None] when the prefix does not apply. *)
+  let counted ~prefix ~what make =
     let plen = String.length prefix in
     if String.length s > plen && String.sub s 0 plen = prefix then
-      int_of_string_opt (String.sub s plen (String.length s - plen))
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some n when n > 0 -> Some (Ok (make n))
+      | Some n ->
+        Some
+          (Error
+             (Printf.sprintf "%s: %s must be positive (got %d)" s what n))
+      | None -> None
     else None
   in
   match s with
@@ -54,24 +65,32 @@ let spec_of_string s =
       (Hashed_mtf
          { chains = Sequent.default_chains;
            hasher = Hashing.Hashers.multiplicative })
+  | s when String.length s > 8 && String.sub s 0 8 = "guarded-" -> (
+    match spec_of_string (String.sub s 8 (String.length s - 8)) with
+    | Ok spec ->
+      Ok
+        (Guarded
+           { spec; max_chain = Guarded.default_max_chain;
+             max_total = Guarded.default_max_total })
+    | Error _ as e -> e)
   | s -> (
-    match chains_suffix ~prefix:"lru-cache-" s with
-    | Some entries when entries > 0 -> Ok (Lru_cache { entries })
-    | Some _ | None ->
-    match chains_suffix ~prefix:"sequent-" s with
-    | Some chains when chains > 0 ->
-      Ok (Sequent { chains; hasher = Hashing.Hashers.multiplicative })
-    | Some _ | None -> (
-      match chains_suffix ~prefix:"hashed-mtf-" s with
-      | Some chains when chains > 0 ->
-        Ok (Hashed_mtf { chains; hasher = Hashing.Hashers.multiplicative })
-      | Some _ | None ->
-        Error
-          (Printf.sprintf
-             "unknown algorithm %S (try: linear, bsd, mtf, sr-cache, \
-              sequent[-H], hashed-mtf[-H], conn-id, resizing-hash, splay, \
-              lru-cache[-K])"
-             s)))
+    let attempts =
+      [ counted ~prefix:"lru-cache-" ~what:"cache entry count" (fun entries ->
+            Lru_cache { entries });
+        counted ~prefix:"sequent-" ~what:"chain count" (fun chains ->
+            Sequent { chains; hasher = Hashing.Hashers.multiplicative });
+        counted ~prefix:"hashed-mtf-" ~what:"chain count" (fun chains ->
+            Hashed_mtf { chains; hasher = Hashing.Hashers.multiplicative }) ]
+    in
+    match List.find_map Fun.id attempts with
+    | Some outcome -> outcome
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown algorithm %S (try: linear, bsd, mtf, sr-cache, \
+            sequent[-H], hashed-mtf[-H], conn-id, resizing-hash, splay, \
+            lru-cache[-K], guarded-<algorithm>)"
+           s))
 
 type 'a t = {
   name : string;
@@ -84,7 +103,59 @@ type 'a t = {
   iter : ('a Pcb.t -> unit) -> unit;
 }
 
-let create spec =
+(* Chain geometry the guard must mirror so its shadow chains agree
+   with the guarded algorithm's real ones; list-shaped tables are one
+   big chain. *)
+let rec chain_geometry = function
+  | Sequent { chains; hasher } | Hashed_mtf { chains; hasher } ->
+    (chains, hasher)
+  | Guarded { spec; _ } -> chain_geometry spec
+  | Linear | Bsd | Mtf | Sr_cache | Conn_id _ | Resizing_hash | Splay
+  | Lru_cache _ ->
+    (1, Hashing.Hashers.multiplicative)
+
+let guard config inner =
+  let g = Guarded.create config in
+  let stats = inner.stats in
+  let evict flow =
+    match inner.remove flow with
+    | Some _ -> Lookup_stats.note_eviction stats
+    | None -> ()
+  in
+  { name = "guarded-" ^ inner.name;
+    insert =
+      (fun flow data ->
+        match Guarded.admit g flow with
+        | `Reject ->
+          Lookup_stats.note_rejection stats;
+          (* The caller gets a PCB, but the table never admits the
+             flow: the overloaded server sheds the new connection. *)
+          Pcb.make ~id:(-1) ~flow data
+        | `Admit victims ->
+          List.iter evict victims;
+          let pcb = inner.insert flow data in
+          Guarded.note_inserted g flow;
+          pcb);
+    remove =
+      (fun flow ->
+        match inner.remove flow with
+        | Some _ as removed ->
+          Guarded.note_removed g flow;
+          removed
+        | None -> None);
+    lookup =
+      (fun ?kind flow ->
+        match inner.lookup ?kind flow with
+        | Some _ as found ->
+          Guarded.note_touched g flow;
+          found
+        | None -> None);
+    note_send = inner.note_send;
+    stats;
+    length = inner.length;
+    iter = inner.iter }
+
+let rec create spec =
   let name = spec_name spec in
   match spec with
   | Linear ->
@@ -154,3 +225,8 @@ let create spec =
       note_send = Lru_cache.note_send d; stats = Lru_cache.stats d;
       length = (fun () -> Lru_cache.length d);
       iter = (fun f -> Lru_cache.iter f d) }
+  | Guarded { spec = inner_spec; max_chain; max_total } ->
+    let chains, hasher = chain_geometry inner_spec in
+    guard
+      (Guarded.config ~max_chain ~max_total ~chains ~hasher ())
+      (create inner_spec)

@@ -15,7 +15,17 @@ type spec =
   | Resizing_hash
   | Splay
   | Lru_cache of { entries : int }
-      (** Which algorithm, with its configuration. *)
+  | Guarded of { spec : spec; max_chain : int; max_total : int }
+      (** Which algorithm, with its configuration.  [Guarded] wraps
+          another algorithm in an overload guard (see {!Guarded} and
+          {!guard}) with LRU shedding at the given bounds. *)
+
+val chain_geometry : spec -> int * Hashing.Hashers.t
+(** The hash-chain structure a spec demultiplexes with: chain count
+    and hasher for the chained algorithms (through [Guarded]
+    wrappers), [(1, multiplicative)] for single-list tables.  This is
+    what an algorithmic-complexity attacker needs to know to
+    synthesize colliding flows. *)
 
 val default_specs : spec list
 (** The paper's four algorithms in presentation order: BSD, MTF,
@@ -27,7 +37,10 @@ val spec_name : spec -> string
 val spec_of_string : string -> (spec, string) result
 (** Parse names like ["bsd"], ["mtf"], ["sequent-19"], ["sequent-100"],
     ["hashed-mtf-19"], ["conn-id"], ["resizing-hash"], ["splay"], ["lru-cache-K"],
-    ["linear"], ["sr-cache"]. *)
+    ["linear"], ["sr-cache"], and ["guarded-<algorithm>"] (default
+    bounds).  Inverse of {!spec_name} up to configuration that the
+    name does not encode (hashers, guard bounds, non-positive counts
+    are rejected with a specific message). *)
 
 type 'a t = {
   name : string;
@@ -45,3 +58,14 @@ val create : spec -> 'a t
 (** Instantiate an algorithm.
     @raise Invalid_argument on a nonsensical configuration (zero
     chains etc.). *)
+
+val guard : Guarded.config -> 'a t -> 'a t
+(** [guard config inner] bounds [inner]'s population: insertions that
+    would push a chain past [config.max_chain] or the table past
+    [config.max_total] shed the least-recently-seen flow
+    ([Evict_lru], counted in [stats] as evictions) or are refused
+    ([Reject_new], counted as rejections; the returned PCB is not
+    retained, so later lookups miss).  Lookup cost accounting is
+    unchanged — the guard charges nothing.  [config.chains] /
+    [config.hasher] should mirror [inner]'s chain geometry so the
+    per-chain bound tracks the real chains. *)

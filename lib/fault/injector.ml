@@ -1,0 +1,157 @@
+type counters = {
+  mutable fed : int;
+  mutable emitted : int;
+  mutable corrupted : int;
+  mutable truncated : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable dropped : int;
+  mutable tuple_flipped : int;
+}
+
+let zero_counters () =
+  { fed = 0; emitted = 0; corrupted = 0; truncated = 0; duplicated = 0;
+    reordered = 0; dropped = 0; tuple_flipped = 0 }
+
+type t = {
+  plan : Plan.t;
+  rng : Numerics.Rng.t;
+  counters : counters;
+  mutable held : bytes option;   (* packet delayed one slot by reorder *)
+}
+
+let create ?(seed = 42) plan =
+  { plan; rng = Numerics.Rng.create ~seed; counters = zero_counters ();
+    held = None }
+
+let counters t = t.counters
+
+let chance t p = p > 0.0 && Numerics.Rng.float t.rng < p
+
+(* Recompute both checksums of an IPv4+TCP datagram in place, so a
+   rewritten 4-tuple still parses as a well-formed segment.  A buffer
+   that no longer looks like IPv4+TCP is left alone — the parser will
+   reject it, which is also a valid adversarial outcome. *)
+let fix_checksums buf =
+  let len = Bytes.length buf in
+  if len >= 20 && Bytes.get_uint8 buf 0 lsr 4 = 4 then begin
+    let hlen = (Bytes.get_uint8 buf 0 land 0xF) * 4 in
+    if hlen >= 20 && hlen <= len then begin
+      Bytes.set_uint16_be buf 10 0;
+      Bytes.set_uint16_be buf 10 (Packet.Checksum.compute buf ~off:0 ~len:hlen);
+      let total = Bytes.get_uint16_be buf 2 in
+      let tcp_len = total - hlen in
+      if Bytes.get_uint8 buf 9 = 6 (* TCP *) && tcp_len >= 20 && total <= len
+      then begin
+        let word off = Bytes.get_uint16_be buf off in
+        let pseudo = word 12 + word 14 + word 16 + word 18 + 6 + tcp_len in
+        Bytes.set_uint16_be buf (hlen + 16) 0;
+        Bytes.set_uint16_be buf (hlen + 16)
+          (Packet.Checksum.compute ~initial:pseudo buf ~off:hlen ~len:tcp_len)
+      end
+    end
+  end
+
+let flip_bit buf byte bit =
+  Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor (1 lsl bit))
+
+(* The 4-tuple on the wire: IPv4 source and destination addresses
+   (bytes 12..19) and the TCP ports (first four bytes past the IP
+   header). *)
+let tuple_flip t buf =
+  let len = Bytes.length buf in
+  if len >= 20 then begin
+    let hlen = (Bytes.get_uint8 buf 0 land 0xF) * 4 in
+    let port_bytes = if hlen >= 20 && hlen + 4 <= len then 4 else 0 in
+    let pick = Numerics.Rng.int t.rng ~bound:(8 + port_bytes) in
+    let byte = if pick < 8 then 12 + pick else hlen + (pick - 8) in
+    flip_bit buf byte (Numerics.Rng.int t.rng ~bound:8);
+    fix_checksums buf;
+    t.counters.tuple_flipped <- t.counters.tuple_flipped + 1
+  end
+
+let corrupt t buf =
+  if Bytes.length buf > 0 then begin
+    flip_bit buf
+      (Numerics.Rng.int t.rng ~bound:(Bytes.length buf))
+      (Numerics.Rng.int t.rng ~bound:8);
+    t.counters.corrupted <- t.counters.corrupted + 1
+  end
+
+let truncate t buf =
+  if Bytes.length buf > 0 then begin
+    t.counters.truncated <- t.counters.truncated + 1;
+    Bytes.sub buf 0 (Numerics.Rng.int t.rng ~bound:(Bytes.length buf))
+  end
+  else buf
+
+(* Per-packet rewrites, in a fixed order so streams are reproducible:
+   drop, tuple-flip (checksums re-fixed), corrupt, truncate,
+   duplicate.  Corruption lands after the tuple flip so a packet can
+   be both re-targeted and damaged. *)
+let rewrite t buf =
+  if chance t t.plan.Plan.drop then begin
+    t.counters.dropped <- t.counters.dropped + 1;
+    []
+  end
+  else begin
+    let buf = Bytes.copy buf in
+    if chance t t.plan.Plan.tuple_flip then tuple_flip t buf;
+    if chance t t.plan.Plan.corrupt then corrupt t buf;
+    let buf =
+      if chance t t.plan.Plan.truncate then truncate t buf else buf
+    in
+    if chance t t.plan.Plan.duplicate then begin
+      t.counters.duplicated <- t.counters.duplicated + 1;
+      [ buf; Bytes.copy buf ]
+    end
+    else [ buf ]
+  end
+
+let feed t buf =
+  t.counters.fed <- t.counters.fed + 1;
+  let emit =
+    List.concat_map
+      (fun packet ->
+        if chance t t.plan.Plan.reorder then begin
+          t.counters.reordered <- t.counters.reordered + 1;
+          match t.held with
+          | None ->
+            t.held <- Some packet;
+            []
+          | Some previous ->
+            (* Two holds in a row: the older one emerges. *)
+            t.held <- Some packet;
+            [ previous ]
+        end
+        else
+          match t.held with
+          | Some previous ->
+            t.held <- None;
+            [ packet; previous ]
+          | None -> [ packet ])
+      (rewrite t buf)
+  in
+  t.counters.emitted <- t.counters.emitted + List.length emit;
+  emit
+
+let flush t =
+  match t.held with
+  | None -> []
+  | Some packet ->
+    t.held <- None;
+    t.counters.emitted <- t.counters.emitted + 1;
+    [ packet ]
+
+(* Evaluation order matters: [feed] everything before flushing the
+   reorder slot ([@] would evaluate its right operand first). *)
+let feed_all t bufs =
+  let delivered = List.concat_map (feed t) bufs in
+  delivered @ flush t
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "@[<h>fed=%d emitted=%d corrupt=%d truncate=%d duplicate=%d reorder=%d \
+     drop=%d tuple-flip=%d@]"
+    c.fed c.emitted c.corrupted c.truncated c.duplicated c.reordered c.dropped
+    c.tuple_flipped

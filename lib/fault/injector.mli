@@ -1,0 +1,40 @@
+(** Deterministic fault injection on a raw-datagram stream.
+
+    Given a {!Plan} and a seed, rewrites a stream of serialized
+    IPv4+TCP datagrams the way a hostile or lossy network would —
+    corrupting, truncating, duplicating, reordering, dropping, or
+    re-targeting them — before they reach [Tcpcore.Stack].  The same
+    seed and input stream always yield the same output stream, so
+    hostile scenarios are replayable. *)
+
+type counters = {
+  mutable fed : int;           (** Input datagrams. *)
+  mutable emitted : int;       (** Output datagrams. *)
+  mutable corrupted : int;
+  mutable truncated : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable dropped : int;
+  mutable tuple_flipped : int;
+}
+
+type t
+
+val create : ?seed:int -> Plan.t -> t
+(** A fresh injector; [seed] defaults to 42. *)
+
+val feed : t -> bytes -> bytes list
+(** Push one datagram through; returns what the network delivers, in
+    order (possibly empty: dropped or held back for reordering).  The
+    input buffer is never mutated. *)
+
+val flush : t -> bytes list
+(** Release a datagram still held back by reordering, if any. *)
+
+val feed_all : t -> bytes list -> bytes list
+(** [feed] every datagram, then [flush]. *)
+
+val counters : t -> counters
+(** Live counts of each fault applied so far. *)
+
+val pp_counters : Format.formatter -> counters -> unit

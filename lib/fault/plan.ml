@@ -1,0 +1,40 @@
+type t = {
+  corrupt : float;
+  truncate : float;
+  duplicate : float;
+  reorder : float;
+  drop : float;
+  tuple_flip : float;
+}
+
+let none =
+  { corrupt = 0.0; truncate = 0.0; duplicate = 0.0; reorder = 0.0; drop = 0.0;
+    tuple_flip = 0.0 }
+
+let v ?(corrupt = 0.0) ?(truncate = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(drop = 0.0) ?(tuple_flip = 0.0) () =
+  let check name p =
+    if Float.is_nan p || p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Plan.v: %s not a probability (%g)" name p)
+  in
+  check "corrupt" corrupt;
+  check "truncate" truncate;
+  check "duplicate" duplicate;
+  check "reorder" reorder;
+  check "drop" drop;
+  check "tuple_flip" tuple_flip;
+  { corrupt; truncate; duplicate; reorder; drop; tuple_flip }
+
+let is_none t = t = none
+
+let pp ppf t =
+  let parts =
+    List.filter_map
+      (fun (name, p) ->
+        if p > 0.0 then Some (Printf.sprintf "%s=%g" name p) else None)
+      [ ("corrupt", t.corrupt); ("truncate", t.truncate);
+        ("duplicate", t.duplicate); ("reorder", t.reorder); ("drop", t.drop);
+        ("tuple-flip", t.tuple_flip) ]
+  in
+  if parts = [] then Format.pp_print_string ppf "none"
+  else Format.pp_print_string ppf (String.concat " " parts)

@@ -1,0 +1,29 @@
+(** A fault plan: per-packet rates for each adversarial rewrite the
+    {!Injector} applies to a segment stream before it reaches the
+    stack.  All rates are independent probabilities in [[0, 1]]. *)
+
+type t = {
+  corrupt : float;     (** Flip one random bit anywhere in the datagram. *)
+  truncate : float;    (** Cut the datagram at a random earlier byte. *)
+  duplicate : float;   (** Deliver the datagram twice. *)
+  reorder : float;     (** Hold the datagram back one slot in the stream. *)
+  drop : float;        (** Lose the datagram. *)
+  tuple_flip : float;
+      (** Flip one random bit inside the TCP 4-tuple (addresses or
+          ports) and re-fix both checksums: a well-formed segment for
+          the {e wrong} connection — the demultiplexer, not the
+          checksum, has to cope. *)
+}
+
+val none : t
+(** Every rate zero: the identity plan. *)
+
+val v :
+  ?corrupt:float -> ?truncate:float -> ?duplicate:float -> ?reorder:float ->
+  ?drop:float -> ?tuple_flip:float -> unit -> t
+(** Build a plan; omitted rates are zero.
+    @raise Invalid_argument if any rate is NaN or outside [[0, 1]]. *)
+
+val is_none : t -> bool
+
+val pp : Format.formatter -> t -> unit

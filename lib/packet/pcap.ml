@@ -38,10 +38,19 @@ let packet_count w = w.count
 
 type record = { time : float; data : bytes }
 
-let read_exactly ic n =
+(* Read up to [n] bytes; returns the buffer and how many bytes were
+   actually available, so truncation is reportable rather than an
+   [End_of_file] escaping mid-list. *)
+let read_up_to ic n =
   let buf = Bytes.create n in
-  really_input ic buf 0 n;
-  buf
+  let rec fill off =
+    if off >= n then off
+    else
+      match input ic buf off (n - off) with
+      | 0 -> off
+      | k -> fill (off + k)
+  in
+  (buf, fill 0)
 
 let int32_le buf off =
   let b i = Int32.of_int (Bytes.get_uint8 buf (off + i)) in
@@ -50,21 +59,42 @@ let int32_le buf off =
        (Int32.shift_left (b 1) 8)
        (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
 
+(* No capture link we model produces records anywhere near this big; a
+   larger incl_len is a corrupt or hostile file, and honouring it
+   would make a 16-byte header allocate gigabytes. *)
+let max_record_length = 0x1000000 (* 16 MiB *)
+
 let read_all ic =
-  try
-    let header = read_exactly ic 24 in
-    if int32_le header 0 <> magic then Error "pcap: bad magic"
-    else
-      let rec records acc =
-        match read_exactly ic 16 with
-        | record_header ->
-          let seconds = Int32.to_int (int32_le record_header 0) in
-          let micros = Int32.to_int (int32_le record_header 4) in
-          let caplen = Int32.to_int (int32_le record_header 8) in
-          let data = read_exactly ic caplen in
-          let time = float_of_int seconds +. (float_of_int micros /. 1e6) in
-          records ({ time; data } :: acc)
-        | exception End_of_file -> Ok (List.rev acc)
-      in
-      records []
-  with End_of_file -> Error "pcap: truncated file"
+  let header, got = read_up_to ic 24 in
+  if got < 24 then
+    Error (Printf.sprintf "pcap: truncated global header (%d of 24 bytes)" got)
+  else if int32_le header 0 <> magic then Error "pcap: bad magic"
+  else
+    let rec records acc ~offset =
+      let record_header, got = read_up_to ic 16 in
+      if got = 0 then Ok (List.rev acc)
+      else if got < 16 then
+        Error
+          (Printf.sprintf
+             "pcap: truncated record header at byte %d (%d of 16 bytes)"
+             offset got)
+      else
+        let seconds = Int32.to_int (int32_le record_header 0) in
+        let micros = Int32.to_int (int32_le record_header 4) in
+        let caplen = Int32.to_int (int32_le record_header 8) in
+        if caplen < 0 || caplen > max_record_length then
+          Error
+            (Printf.sprintf "pcap: absurd record length %ld at byte %d"
+               (int32_le record_header 8) offset)
+        else
+          let data, got = read_up_to ic caplen in
+          if got < caplen then
+            Error
+              (Printf.sprintf
+                 "pcap: truncated record body at byte %d (%d of %d bytes)"
+                 (offset + 16) got caplen)
+          else
+            let time = float_of_int seconds +. (float_of_int micros /. 1e6) in
+            records ({ time; data } :: acc) ~offset:(offset + 16 + caplen)
+    in
+    records [] ~offset:24

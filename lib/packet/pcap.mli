@@ -21,4 +21,7 @@ val packet_count : writer -> int
 type record = { time : float; data : bytes }
 
 val read_all : in_channel -> (record list, string) result
-(** Read every record of a file written by this module. *)
+(** Read every record of a file written by this module.  Never raises
+    on a damaged file: a truncated global header, a record header or
+    body cut short, and an absurd [incl_len] (negative or over 16 MiB)
+    all return [Error] naming the byte offset of the damage. *)

@@ -1,0 +1,60 @@
+(** Adversarial workloads: what an attacker does to a demultiplexer.
+
+    Three deterministic hostile scenarios, each replayable from a
+    seed:
+
+    - {b collision flood} — flows synthesized to collide in one hash
+      chain of the target's geometry ({!Demux.Registry.chain_geometry}),
+      degrading chained algorithms to linear search;
+    - {b SYN flood} — spoofed connection attempts that never complete,
+      bloating the PCB table and exercising SYN-ACK retransmission
+      backoff;
+    - {b malformed-segment storm} — valid traffic pushed through
+      {!Fault.Injector} plus raw junk, exercising the hardened ingest
+      path ([Stack.handle_bytes] drop accounting).
+
+    Pit them against guarded and unguarded {!Demux.Registry.spec}s to
+    measure graceful degradation. *)
+
+type config = {
+  seed : int;
+  flood_flows : int;    (** Colliding flows inserted by the flood. *)
+  flood_lookups : int;  (** Lookups driven against the flooded table. *)
+  syn_attempts : int;   (** Spoofed SYNs sent. *)
+  storm_packets : int;  (** Datagrams synthesized for the storm. *)
+}
+
+val default_config : ?seed:int -> unit -> config
+(** Full-size scenarios; [seed] defaults to 42. *)
+
+val smoke_config : ?seed:int -> unit -> config
+(** Small counts for CI smoke runs. *)
+
+type result = {
+  algorithm : string;
+  scenario : string;
+  packets : int;          (** Hostile packets / lookups driven. *)
+  mean_examined : float;  (** Mean PCBs examined per lookup. *)
+  max_examined : int;
+  table_length : int;     (** PCBs retained when the attack ended. *)
+  evictions : int;        (** Flows shed by a {!Demux.Guarded} wrapper. *)
+  rejections : int;       (** Insertions refused by a guard. *)
+  drops : int;            (** Datagrams shed by [Stack.handle_bytes]. *)
+  parse_errors : int;     (** Drops attributed to parsing. *)
+  notes : string;         (** Scenario-specific detail. *)
+}
+
+val colliding_flows :
+  hasher:Hashing.Hashers.t -> chains:int -> count:int -> Packet.Flow.t list
+(** [count] distinct flows that all hash to chain 0 of the given
+    geometry — the attacker's ammunition. *)
+
+val run_collision_flood : config -> Demux.Registry.spec -> result
+val run_syn_flood : config -> Demux.Registry.spec -> result
+val run_malformed_storm : config -> Demux.Registry.spec -> result
+
+val run_all : config -> Demux.Registry.spec list -> result list
+(** Every scenario against every spec, grouped by scenario. *)
+
+val pp_table : Format.formatter -> result list -> unit
+(** The resilience table the [tcpdemux attack] subcommand prints. *)

@@ -22,6 +22,9 @@ let schedule t ~delay callback =
   Event_queue.add t.queue ~time:(t.clock +. delay) callback
 
 let run ?(until = Float.infinity) ?(max_events = max_int) t =
+  if Float.is_nan until then invalid_arg "Engine.run: NaN until";
+  if until < 0.0 then invalid_arg "Engine.run: negative until";
+  if max_events <= 0 then invalid_arg "Engine.run: max_events <= 0";
   t.stopped <- false;
   let rec step () =
     if (not t.stopped) && t.processed < max_events then

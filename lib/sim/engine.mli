@@ -23,7 +23,15 @@ val schedule_at : t -> time:float -> (t -> unit) -> unit
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Process events in time order until the agenda is empty, the clock
     would pass [until], or [max_events] callbacks have run.  Events
-    scheduled exactly at [until] still fire. *)
+    scheduled exactly at [until] still fire.
+
+    If a callback raises, the exception propagates but the engine
+    stays consistent: the clock and processed count reflect the
+    faulting event, the rest of the agenda is intact, and a later
+    {!run} resumes where the failure happened.  ([max_events] counts
+    {e cumulative} processed events across runs.)
+    @raise Invalid_argument if [until] is NaN or negative, or
+    [max_events] is not positive. *)
 
 val events_processed : t -> int
 

@@ -22,7 +22,7 @@ let predicted_cost params (spec : Demux.Registry.spec) =
   | Demux.Registry.Lru_cache { entries } ->
     Some (Analysis.Lru_model.cost params ~entries)
   | Demux.Registry.Hashed_mtf _ | Demux.Registry.Resizing_hash
-  | Demux.Registry.Splay ->
+  | Demux.Registry.Splay | Demux.Registry.Guarded _ ->
     None
 
 let compare ?config params specs =

@@ -22,8 +22,14 @@ type listener = { on_data : t -> connection -> string -> unit }
 
 and timer_event =
   | Reap_time_wait of connection
-  | Retransmit of connection * int32
+  | Retransmit of connection * int32 * int  (* attempt number, from 1 *)
   | Delayed_ack of connection
+
+and drop_counters = {
+  mutable parse_error : int;    (* malformed or checksum-failing bytes *)
+  mutable wrong_destination : int;  (* well-formed but not addressed to us *)
+  mutable handler_error : int;  (* segment processing raised; datagram shed *)
+}
 
 and t = {
   local_addr : Packet.Ipv4.addr;
@@ -33,6 +39,7 @@ and t = {
   mutable segments_sent : int;
   mutable rsts_sent : int;
   mutable retransmissions : int;
+  drops : drop_counters;
   time_wait_timeout : float;
   retransmit_timeout : float;
   max_retransmits : int;
@@ -62,6 +69,7 @@ let create ?(demux =
     invalid_arg "Stack.create: delayed_ack_timeout <= 0";
   { local_addr; table = Conn_table.create demux; outbox = [];
     next_iss = 1000l; segments_sent = 0; rsts_sent = 0; retransmissions = 0;
+    drops = { parse_error = 0; wrong_destination = 0; handler_error = 0 };
     time_wait_timeout; retransmit_timeout; max_retransmits; delayed_acks;
     delayed_ack_timeout;
     wheel = Timer_wheel.create ~tick:0.25 ();
@@ -88,14 +96,21 @@ let emit t ?(payload = "") ~flow ~flags ~seq ~ack_number () =
   transmit t segment flow;
   segment
 
+(* Exponential RTO backoff: attempt [n] waits [2^(n-1)] base timeouts,
+   capped at 64x (RFC 6298's doubling with BSD's traditional cap), so
+   a peer that never acknowledges — or an induced-loss fault plan —
+   cannot make the stack hammer the network at a constant rate. *)
+let rto_for_attempt t attempt =
+  t.retransmit_timeout *. Float.of_int (1 lsl min 6 (attempt - 1))
+
 (* Queue a sequence-space-consuming segment (SYN, FIN or data) for
    retransmission and arm its RTO timer. *)
 let emit_reliable t conn ?payload ~flags ~seq ~ack_number () =
   let segment = emit t ?payload ~flow:conn.flow ~flags ~seq ~ack_number () in
   conn.unacked <- conn.unacked @ [ (seq, segment) ];
   ignore
-    (Timer_wheel.schedule t.wheel ~delay:t.retransmit_timeout
-       (Retransmit (conn, seq)))
+    (Timer_wheel.schedule t.wheel ~delay:(rto_for_attempt t 1)
+       (Retransmit (conn, seq, 1)))
 
 let emit_rst t ~flow ~seq ~ack_number =
   (* No PCB exists for this flow, so no transmit-side bookkeeping. *)
@@ -212,21 +227,24 @@ let note_ack conn ack_number =
         conn.unacked
   end
 
-let handle_retransmit t conn seq =
+let handle_retransmit t conn seq attempt =
   if
     (not (State.equal conn.state State.Closed))
     && List.mem_assoc seq conn.unacked
+    && attempt <= t.max_retransmits
     && t.retransmissions < t.max_retransmits * 64
     (* circuit breaker against pathological never-acked loops *)
   then begin
     let segment = List.assoc seq conn.unacked in
     Log.debug (fun m ->
-        m "retransmit seq=%ld on %s" seq (Packet.Flow.to_string conn.flow));
+        m "retransmit seq=%ld attempt=%d on %s" seq attempt
+          (Packet.Flow.to_string conn.flow));
     t.retransmissions <- t.retransmissions + 1;
     transmit t segment conn.flow;
     ignore
-      (Timer_wheel.schedule t.wheel ~delay:t.retransmit_timeout
-         (Retransmit (conn, seq)));
+      (Timer_wheel.schedule t.wheel
+         ~delay:(rto_for_attempt t (attempt + 1))
+         (Retransmit (conn, seq, attempt + 1)));
     true
   end
   else false
@@ -243,8 +261,8 @@ let advance_clock t ~now =
           actions + 1
         end
         else actions
-      | Retransmit (conn, seq) ->
-        if handle_retransmit t conn seq then actions + 1 else actions
+      | Retransmit (conn, seq, attempt) ->
+        if handle_retransmit t conn seq attempt then actions + 1 else actions
       | Delayed_ack conn ->
         if conn.ack_pending && not (State.equal conn.state State.Closed)
         then begin
@@ -445,13 +463,33 @@ let handle_segment t (segment : Packet.Segment.t) =
       emit_rst t ~flow ~seq:0l
         ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l)
 
+(* Attacker-controlled bytes: never raise.  Anything that cannot be
+   processed is shed and attributed to a named counter. *)
 let handle_bytes t buf =
   match Packet.Segment.parse buf ~off:0 with
-  | Error _ as e -> e
+  | Error reason ->
+    t.drops.parse_error <- t.drops.parse_error + 1;
+    Error reason
   | Ok segment ->
     if Packet.Ipv4.equal_addr segment.Packet.Segment.ip.Packet.Ipv4.dst t.local_addr
-    then begin
-      handle_segment t segment;
-      Ok ()
+    then
+      match handle_segment t segment with
+      | () -> Ok ()
+      | exception exn ->
+        t.drops.handler_error <- t.drops.handler_error + 1;
+        Log.debug (fun m ->
+            m "segment handler raised %s; datagram shed"
+              (Printexc.to_string exn));
+        Error ("stack: segment handler failed: " ^ Printexc.to_string exn)
+    else begin
+      t.drops.wrong_destination <- t.drops.wrong_destination + 1;
+      Error "stack: datagram not addressed to this host"
     end
-    else Error "stack: datagram not addressed to this host"
+
+let drop_counts t =
+  [ ("parse-error", t.drops.parse_error);
+    ("wrong-destination", t.drops.wrong_destination);
+    ("handler-error", t.drops.handler_error) ]
+
+let drops_total t =
+  t.drops.parse_error + t.drops.wrong_destination + t.drops.handler_error

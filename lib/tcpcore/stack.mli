@@ -2,9 +2,10 @@
 
     Enough of a stack to drive every demultiplexing algorithm with
     real wire-format segments: passive and active opens, in-order data
-    delivery with cumulative acknowledgements, fixed-RTO
-    retransmission of SYN/FIN/data via a timing wheel, TIME-WAIT
-    reaping, orderly close, and RST for segments that match no socket.
+    delivery with cumulative acknowledgements, RTO retransmission of
+    SYN/FIN/data via a timing wheel with exponential backoff,
+    TIME-WAIT reaping, orderly close, and RST for segments that match
+    no socket.
     Out of scope (documented in DESIGN.md): adaptive RTO estimation,
     congestion control, flow-control windows, urgent data — none of
     which affect PCB lookup, which is what this library studies.
@@ -41,9 +42,11 @@ val create :
 (** A host at [local_addr].  Default demultiplexer: the Sequent
     algorithm with 19 chains.  [time_wait_timeout] is the 2MSL reaping
     delay used by {!advance_clock} (default 60 s);
-    [retransmit_timeout] is the (fixed) RTO for SYN/FIN/data segments
-    (default 1 s, no adaptive estimation — out of scope per
-    DESIGN.md).  With [delayed_acks] (default false) data is
+    [retransmit_timeout] is the base RTO for SYN/FIN/data segments
+    (default 1 s; no adaptive estimation — out of scope per DESIGN.md
+    — but each unanswered retransmission doubles the wait, capped at
+    64x, and a segment is abandoned after [max_retransmits]
+    attempts).  With [delayed_acks] (default false) data is
     acknowledged RFC 1122-style: every second segment, after
     [delayed_ack_timeout] (default 200 ms, fired by
     {!advance_clock}), or piggybacked on outbound data — the
@@ -77,7 +80,17 @@ val handle_segment : t -> Packet.Segment.t -> unit
     state machine, queue any replies. *)
 
 val handle_bytes : t -> bytes -> (unit, string) result
-(** Parse a raw datagram (checksums verified) and process it. *)
+(** Parse a raw datagram (checksums verified) and process it.  Never
+    raises, whatever the bytes: malformed input, datagrams for other
+    hosts, and segments whose processing fails are shed, counted under
+    a named counter ({!drop_counts}), and reported as [Error]. *)
+
+val drop_counts : t -> (string * int) list
+(** Datagrams shed by {!handle_bytes} since creation, by reason:
+    ["parse-error"], ["wrong-destination"], ["handler-error"]. *)
+
+val drops_total : t -> int
+(** Sum of {!drop_counts}. *)
 
 val poll_output : t -> Packet.Segment.t list
 (** Drain queued outbound segments, oldest first.  Transmit-side demux
@@ -91,7 +104,8 @@ val advance_clock : t -> now:float -> int
 (** Drive the stack's {!Timer_wheel}: connections that entered
     TIME-WAIT more than the 2MSL timeout before [now] are reaped, and
     unacknowledged SYN/FIN/data segments whose RTO has elapsed are
-    retransmitted (and re-armed).  Returns the number of effective
+    retransmitted (and re-armed with exponentially longer timeouts,
+    up to [max_retransmits] attempts).  Returns the number of effective
     actions (reaps + retransmissions); timers made moot by later acks
     fire silently.  The caller owns the clock (wall time, simulated
     time, ...); time starts at 0.

@@ -28,7 +28,12 @@ let all_specs =
       Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative };
       Hashed_mtf { chains = 19; hasher = Hashing.Hashers.multiplicative };
       Conn_id { capacity = 4096 }; Resizing_hash; Splay;
-      Lru_cache { entries = 4 } ]
+      Lru_cache { entries = 4 };
+      (* Bounds high enough that the guard never sheds in these tests:
+         the wrapper must then be behaviourally invisible. *)
+      Guarded
+        { spec = Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative };
+          max_chain = 512; max_total = 65536 } ]
 
 (* ------------------------------------------------------------------ *)
 (* Generic correctness, every algorithm                                *)
@@ -565,13 +570,157 @@ let test_spec_of_string () =
       ("sequent-100", "sequent-100"); ("hashed-mtf", "hashed-mtf-19");
       ("hashed-mtf-7", "hashed-mtf-7"); ("conn-id", "conn-id");
       ("resizing-hash", "resizing-hash"); ("splay", "splay");
-      ("lru-cache", "lru-cache-8"); ("lru-cache-64", "lru-cache-64") ];
+      ("lru-cache", "lru-cache-8"); ("lru-cache-64", "lru-cache-64");
+      ("guarded-bsd", "guarded-bsd");
+      ("guarded-sequent-7", "guarded-sequent-7");
+      ("guarded-guarded-mtf", "guarded-guarded-mtf") ];
   List.iter
     (fun bad ->
       match Demux.Registry.spec_of_string bad with
       | Ok _ -> Alcotest.failf "accepted %S" bad
       | Error _ -> ())
-    [ "nonsense"; "sequent-0"; "sequent--3"; "" ]
+    [ "nonsense"; "sequent-0"; "sequent--3"; ""; "guarded-"; "guarded-nonsense";
+      "guarded-sequent-0"; "lru-cache-0" ];
+  (* Rejections come with a message naming the offence. *)
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  (match Demux.Registry.spec_of_string "sequent-0" with
+  | Error message ->
+    Alcotest.(check bool)
+      "error names the bad count" true
+      (contains message "positive" && contains message "0")
+  | Ok _ -> Alcotest.fail "accepted sequent-0")
+
+(* Name-level round trip over every constructor: printing a spec and
+   re-parsing it must succeed and print the same.  (Names do not
+   encode hashers or guard bounds, so equality is on names, not on
+   specs.) *)
+let spec_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [ oneofl
+          Demux.Registry.
+            [ Linear; Bsd; Mtf; Sr_cache; Resizing_hash; Splay ];
+        map
+          (fun chains ->
+            Demux.Registry.Sequent
+              { chains; hasher = Hashing.Hashers.multiplicative })
+          (int_range 1 512);
+        map
+          (fun chains ->
+            Demux.Registry.Hashed_mtf
+              { chains; hasher = Hashing.Hashers.multiplicative })
+          (int_range 1 512);
+        map
+          (fun capacity -> Demux.Registry.Conn_id { capacity })
+          (int_range 1 8192);
+        map
+          (fun entries -> Demux.Registry.Lru_cache { entries })
+          (int_range 1 256) ]
+  in
+  base >>= fun spec ->
+  oneof
+    [ return spec;
+      map2
+        (fun max_chain max_total ->
+          Demux.Registry.Guarded { spec; max_chain; max_total })
+        (int_range 1 128) (int_range 1 4096) ]
+
+let prop_spec_name_round_trip =
+  QCheck.Test.make ~count:500 ~name:"spec_name/spec_of_string round trip"
+    (QCheck.make ~print:Demux.Registry.spec_name spec_gen) (fun spec ->
+      let name = Demux.Registry.spec_name spec in
+      match Demux.Registry.spec_of_string name with
+      | Ok reparsed -> String.equal name (Demux.Registry.spec_name reparsed)
+      | Error message ->
+        QCheck.Test.fail_reportf "%S did not re-parse: %s" name message)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded: graceful degradation under overload                        *)
+
+let guarded_sequent ~max_chain ~max_total =
+  Demux.Registry.Guarded
+    { spec = Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative };
+      max_chain; max_total }
+
+let test_guarded_caps_chain () =
+  let max_chain = 8 in
+  let demux = Demux.Registry.create (guarded_sequent ~max_chain ~max_total:2048) in
+  let colliders =
+    Sim.Attack_workload.colliding_flows
+      ~hasher:Hashing.Hashers.multiplicative ~chains:19 ~count:30
+  in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) colliders;
+  Alcotest.(check int) "chain capped" max_chain (demux.Demux.Registry.length ());
+  let snap = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "evictions counted" (30 - max_chain)
+    snap.Demux.Lookup_stats.evictions;
+  (* The LRU shed the oldest flows: early inserts miss, recent hit. *)
+  let hit f = demux.Demux.Registry.lookup f <> None in
+  List.iteri
+    (fun i f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d %s" i (if i < 30 - max_chain then "shed" else "kept"))
+        (i >= 30 - max_chain) (hit f))
+    colliders
+
+let test_guarded_caps_total () =
+  let demux = Demux.Registry.create (guarded_sequent ~max_chain:32 ~max_total:10) in
+  List.iter
+    (fun f -> ignore (demux.Demux.Registry.insert f ()))
+    (flows 40);
+  Alcotest.(check int) "total capped" 10 (demux.Demux.Registry.length ());
+  let snap = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "evictions counted" 30 snap.Demux.Lookup_stats.evictions
+
+let test_guarded_reject_new () =
+  let config =
+    Demux.Guarded.config ~policy:Demux.Guarded.Reject_new ~max_chain:4
+      ~max_total:16 ~chains:1 ~hasher:Hashing.Hashers.multiplicative ()
+  in
+  let demux = Demux.Registry.guard config (Demux.Registry.create Demux.Registry.Bsd) in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 10);
+  Alcotest.(check int) "first-come kept" 4 (demux.Demux.Registry.length ());
+  let snap = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "rejections counted" 6 snap.Demux.Lookup_stats.rejections;
+  Alcotest.(check int) "no evictions" 0 snap.Demux.Lookup_stats.evictions;
+  (* Admitted flows stay reachable; rejected ones were never retained. *)
+  List.iteri
+    (fun i f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d" i)
+        (i < 4)
+        (demux.Demux.Registry.lookup f <> None))
+    (flows 10)
+
+let test_guarded_lookup_refreshes_lru () =
+  let demux = Demux.Registry.create (guarded_sequent ~max_chain:32 ~max_total:3) in
+  let f0, f1, f2, f3 =
+    (flow 0, flow 1, flow 2, flow 3)
+  in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) [ f0; f1; f2 ];
+  (* Touch f0 so f1 becomes the least recently seen, then overflow. *)
+  ignore (demux.Demux.Registry.lookup f0);
+  ignore (demux.Demux.Registry.insert f3 ());
+  Alcotest.(check bool) "f0 refreshed, kept" true
+    (demux.Demux.Registry.lookup f0 <> None);
+  Alcotest.(check bool) "f1 was LRU, shed" true
+    (demux.Demux.Registry.lookup f1 = None);
+  Alcotest.(check bool) "f3 admitted" true
+    (demux.Demux.Registry.lookup f3 <> None)
+
+let test_guarded_remove_untracks () =
+  let demux = Demux.Registry.create (guarded_sequent ~max_chain:32 ~max_total:4) in
+  List.iter (fun f -> ignore (demux.Demux.Registry.insert f ())) (flows 4);
+  ignore (demux.Demux.Registry.remove (flow 0));
+  Alcotest.(check int) "slot freed" 3 (demux.Demux.Registry.length ());
+  ignore (demux.Demux.Registry.insert (flow 9) ());
+  let snap = Demux.Lookup_stats.snapshot demux.Demux.Registry.stats in
+  Alcotest.(check int) "no eviction needed" 0 snap.Demux.Lookup_stats.evictions
 
 (* ------------------------------------------------------------------ *)
 (* Lookup_stats and Pcb primitives                                     *)
@@ -823,7 +972,17 @@ let () =
             test_splay_depth_shrinks_under_locality;
           Alcotest.test_case "remove rejoins" `Quick test_splay_remove_rejoins ] );
       ( "registry",
-        [ Alcotest.test_case "spec_of_string" `Quick test_spec_of_string ] );
+        [ Alcotest.test_case "spec_of_string" `Quick test_spec_of_string;
+          QCheck_alcotest.to_alcotest prop_spec_name_round_trip ] );
+      ( "guarded",
+        [ Alcotest.test_case "caps chain length" `Quick test_guarded_caps_chain;
+          Alcotest.test_case "caps total population" `Quick
+            test_guarded_caps_total;
+          Alcotest.test_case "reject-new policy" `Quick test_guarded_reject_new;
+          Alcotest.test_case "lookup refreshes LRU" `Quick
+            test_guarded_lookup_refreshes_lru;
+          Alcotest.test_case "remove frees slot" `Quick
+            test_guarded_remove_untracks ] );
       ( "primitives",
         [ Alcotest.test_case "lookup_stats lifecycle" `Quick
             test_lookup_stats_lifecycle;

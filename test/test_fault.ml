@@ -1,0 +1,201 @@
+(* Tests for the fault-injection layer: plan validation, per-fault
+   behaviour, and stream-level determinism. *)
+
+let endpoint a b c d port =
+  Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets a b c d) port
+
+let server = endpoint 192 168 1 1 8888
+let client i = endpoint 10 0 (i / 256) (i mod 256) (40000 + i)
+
+let segment ?(payload = "hello, fault layer") i =
+  Packet.Segment.make ~src:(client i) ~dst:server
+    ~flags:Packet.Tcp_header.flag_psh_ack ~seq:(Int32.of_int (1000 + i))
+    ~payload ()
+
+let wire ?payload i = Packet.Segment.to_bytes (segment ?payload i)
+let stream n = List.init n (fun i -> wire i)
+
+let hamming a b =
+  if Bytes.length a <> Bytes.length b then max_int
+  else begin
+    let bits = ref 0 in
+    Bytes.iteri
+      (fun i byte ->
+        let x = Char.code byte lxor Bytes.get_uint8 b i in
+        for bit = 0 to 7 do
+          if x land (1 lsl bit) <> 0 then incr bits
+        done)
+      a;
+    !bits
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plan                                                                *)
+
+let test_plan_validation () =
+  List.iter
+    (fun make ->
+      Alcotest.check_raises "rejects bad probability"
+        (Invalid_argument "") (fun () ->
+          try ignore (make ()) with Invalid_argument _ ->
+            raise (Invalid_argument "")))
+    [ (fun () -> Fault.Plan.v ~corrupt:(-0.1) ());
+      (fun () -> Fault.Plan.v ~drop:1.5 ());
+      (fun () -> Fault.Plan.v ~reorder:Float.nan ());
+      (fun () -> Fault.Plan.v ~tuple_flip:Float.infinity ()) ];
+  Alcotest.(check bool) "none is none" true (Fault.Plan.is_none Fault.Plan.none);
+  Alcotest.(check bool) "zero rates are none" true
+    (Fault.Plan.is_none (Fault.Plan.v ()));
+  Alcotest.(check bool) "non-zero is not none" false
+    (Fault.Plan.is_none (Fault.Plan.v ~drop:0.5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Single-fault behaviour                                              *)
+
+let test_none_is_identity () =
+  let injector = Fault.Injector.create Fault.Plan.none in
+  let input = stream 20 in
+  let output = Fault.Injector.feed_all injector input in
+  Alcotest.(check int) "same count" 20 (List.length output);
+  List.iter2
+    (fun a b -> Alcotest.(check bytes) "unchanged" a b)
+    input output;
+  let c = Fault.Injector.counters injector in
+  Alcotest.(check int) "fed" 20 c.Fault.Injector.fed;
+  Alcotest.(check int) "emitted" 20 c.Fault.Injector.emitted
+
+let test_drop_all () =
+  let injector = Fault.Injector.create (Fault.Plan.v ~drop:1.0 ()) in
+  let output = Fault.Injector.feed_all injector (stream 50) in
+  Alcotest.(check int) "nothing delivered" 0 (List.length output);
+  let c = Fault.Injector.counters injector in
+  Alcotest.(check int) "all dropped" 50 c.Fault.Injector.dropped;
+  Alcotest.(check int) "emitted" 0 c.Fault.Injector.emitted
+
+let test_duplicate_all () =
+  let injector = Fault.Injector.create (Fault.Plan.v ~duplicate:1.0 ()) in
+  let input = wire 3 in
+  let output = Fault.Injector.feed injector input in
+  Alcotest.(check int) "two copies" 2 (List.length output);
+  List.iter
+    (fun copy -> Alcotest.(check bytes) "copy equals original" input copy)
+    output
+
+let test_truncate_all () =
+  let injector = Fault.Injector.create (Fault.Plan.v ~truncate:1.0 ()) in
+  List.iter
+    (fun input ->
+      match Fault.Injector.feed injector input with
+      | [ out ] ->
+        Alcotest.(check bool) "strictly shorter" true
+          (Bytes.length out < Bytes.length input)
+      | other -> Alcotest.failf "expected one packet, got %d" (List.length other))
+    (stream 30)
+
+let test_corrupt_flips_one_bit () =
+  let injector = Fault.Injector.create (Fault.Plan.v ~corrupt:1.0 ()) in
+  List.iter
+    (fun input ->
+      match Fault.Injector.feed injector input with
+      | [ out ] ->
+        Alcotest.(check int) "Hamming distance 1" 1 (hamming input out)
+      | other -> Alcotest.failf "expected one packet, got %d" (List.length other))
+    (stream 30)
+
+let test_corrupt_never_mutates_input () =
+  let injector =
+    Fault.Injector.create (Fault.Plan.v ~corrupt:1.0 ~tuple_flip:1.0 ())
+  in
+  let input = wire 7 in
+  let pristine = Bytes.copy input in
+  ignore (Fault.Injector.feed injector input);
+  Alcotest.(check bytes) "caller's buffer untouched" pristine input
+
+let test_tuple_flip_stays_well_formed () =
+  let injector = Fault.Injector.create (Fault.Plan.v ~tuple_flip:1.0 ()) in
+  let originals = List.init 30 (fun i -> segment i) in
+  List.iter
+    (fun original ->
+      let input = Packet.Segment.to_bytes original in
+      match Fault.Injector.feed injector input with
+      | [ out ] -> (
+        match Packet.Segment.parse out ~off:0 with
+        | Ok reparsed ->
+          Alcotest.(check bool) "flow re-targeted" false
+            (Packet.Flow.equal
+               (Packet.Segment.flow original)
+               (Packet.Segment.flow reparsed))
+        | Error e -> Alcotest.failf "flipped segment no longer parses: %s" e)
+      | other -> Alcotest.failf "expected one packet, got %d" (List.length other))
+    originals
+
+let test_reorder_swaps_neighbours () =
+  (* A held packet is overtaken by the next packet that is not itself
+     reordered, so at p=0.5 some neighbours swap.  (At p=1.0 the hold
+     slot degenerates to a pure one-packet delay line and order is
+     preserved.)  Nothing is lost once the stream is flushed. *)
+  let injector = Fault.Injector.create ~seed:3 (Fault.Plan.v ~reorder:0.5 ()) in
+  let input = stream 10 in
+  let output = Fault.Injector.feed_all injector input in
+  Alcotest.(check int) "conservation" 10 (List.length output);
+  let key buf = Bytes.to_string buf in
+  let sorted l = List.sort compare (List.map key l) in
+  Alcotest.(check (list string)) "same multiset" (sorted input) (sorted output);
+  Alcotest.(check bool) "order actually changed" true
+    (List.map key input <> List.map key output)
+
+(* ------------------------------------------------------------------ *)
+(* Stream-level properties                                             *)
+
+let mixed_plan =
+  Fault.Plan.v ~corrupt:0.3 ~truncate:0.2 ~duplicate:0.2 ~reorder:0.2
+    ~drop:0.15 ~tuple_flip:0.25 ()
+
+let test_deterministic_per_seed () =
+  let run seed =
+    let injector = Fault.Injector.create ~seed mixed_plan in
+    List.map Bytes.to_string (Fault.Injector.feed_all injector (stream 200))
+  in
+  Alcotest.(check (list string)) "same seed, same stream" (run 1) (run 1);
+  Alcotest.(check bool) "different seed, different stream" true
+    (run 1 <> run 2)
+
+let test_counters_account_for_stream () =
+  let injector = Fault.Injector.create ~seed:5 mixed_plan in
+  let output = Fault.Injector.feed_all injector (stream 300) in
+  let c = Fault.Injector.counters injector in
+  Alcotest.(check int) "fed" 300 c.Fault.Injector.fed;
+  Alcotest.(check int) "emitted matches output" (List.length output)
+    c.Fault.Injector.emitted;
+  (* Every non-dropped packet comes out exactly once, plus one per
+     duplication. *)
+  Alcotest.(check int) "conservation law"
+    (300 - c.Fault.Injector.dropped + c.Fault.Injector.duplicated)
+    c.Fault.Injector.emitted;
+  Alcotest.(check bool) "all faults exercised" true
+    (c.Fault.Injector.corrupted > 0 && c.Fault.Injector.truncated > 0
+   && c.Fault.Injector.duplicated > 0 && c.Fault.Injector.reordered > 0
+   && c.Fault.Injector.dropped > 0 && c.Fault.Injector.tuple_flipped > 0)
+
+let () =
+  Alcotest.run "fault"
+    [ ( "plan",
+        [ Alcotest.test_case "validation" `Quick test_plan_validation ] );
+      ( "faults",
+        [ Alcotest.test_case "none is identity" `Quick test_none_is_identity;
+          Alcotest.test_case "drop all" `Quick test_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
+          Alcotest.test_case "truncate all" `Quick test_truncate_all;
+          Alcotest.test_case "corrupt flips one bit" `Quick
+            test_corrupt_flips_one_bit;
+          Alcotest.test_case "input never mutated" `Quick
+            test_corrupt_never_mutates_input;
+          Alcotest.test_case "tuple flip stays well-formed" `Quick
+            test_tuple_flip_stays_well_formed;
+          Alcotest.test_case "reorder conserves packets" `Quick
+            test_reorder_swaps_neighbours ] );
+      ( "stream",
+        [ Alcotest.test_case "deterministic per seed" `Quick
+            test_deterministic_per_seed;
+          Alcotest.test_case "counters account for stream" `Quick
+            test_counters_account_for_stream ] ) ]

@@ -715,6 +715,145 @@ let test_pcap_bad_magic () =
       | Error e -> Alcotest.(check string) "error" "pcap: bad magic" e);
       close_in ic)
 
+(* Corrupted-fixture tests: write a valid capture, damage it at a
+   known byte, and check [read_all] reports the damage (with its
+   offset) instead of raising. *)
+
+let valid_capture_bytes ?(packets = 2) () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let writer = Packet.Pcap.create_writer oc in
+      for i = 1 to packets do
+        Packet.Pcap.write_packet writer ~time:(float_of_int i)
+          (Packet.Segment.to_bytes
+             (Packet.Segment.make ~payload:"payload"
+                ~src:(endpoint 10 0 0 i (1000 + i))
+                ~dst:(endpoint 192 168 1 1 8888) ()))
+      done;
+      close_out oc;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      close_in ic;
+      buf)
+
+let read_all_of_bytes buf =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_bytes oc buf;
+      close_out oc;
+      let ic = open_in_bin path in
+      let result = Packet.Pcap.read_all ic in
+      close_in ic;
+      result)
+
+let expect_error ~substrings buf =
+  match read_all_of_bytes buf with
+  | Ok records ->
+    Alcotest.failf "damaged capture read back as %d records"
+      (List.length records)
+  | Error message ->
+    List.iter
+      (fun affix ->
+        let nh = String.length message and nn = String.length affix in
+        let rec at i =
+          i + nn <= nh && (String.sub message i nn = affix || at (i + 1))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" message affix)
+          true (at 0))
+      substrings
+
+let test_pcap_truncated_global_header () =
+  let buf = valid_capture_bytes () in
+  expect_error
+    ~substrings:[ "truncated global header"; "10 of 24" ]
+    (Bytes.sub buf 0 10);
+  expect_error ~substrings:[ "truncated global header"; "0 of 24" ]
+    Bytes.empty
+
+let test_pcap_truncated_record_header () =
+  let buf = valid_capture_bytes ~packets:1 () in
+  (* Cut inside the (only) record header: 24-byte global header plus 7
+     of the 16 record-header bytes. *)
+  expect_error
+    ~substrings:[ "truncated record header at byte 24"; "7 of 16" ]
+    (Bytes.sub buf 0 31)
+
+let test_pcap_absurd_record_length () =
+  let buf = valid_capture_bytes ~packets:1 () in
+  (* incl_len lives at record offset 8 (byte 32 of the file),
+     little-endian.  Claim 2 GiB. *)
+  let damaged = Bytes.copy buf in
+  Bytes.set_uint8 damaged 32 0xFF;
+  Bytes.set_uint8 damaged 33 0xFF;
+  Bytes.set_uint8 damaged 34 0xFF;
+  Bytes.set_uint8 damaged 35 0x7F;
+  expect_error ~substrings:[ "absurd record length"; "at byte 24" ] damaged;
+  (* A negative incl_len is equally absurd. *)
+  Bytes.set_uint8 damaged 35 0xFF;
+  expect_error ~substrings:[ "absurd record length"; "at byte 24" ] damaged
+
+let test_pcap_truncated_record_body () =
+  let buf = valid_capture_bytes ~packets:2 () in
+  (* Keep record 1 intact, cut record 2's body short by 5 bytes.  The
+     error names the body's own offset. *)
+  let record_bytes = (Bytes.length buf - 24) / 2 in
+  let second_body = 24 + record_bytes + 16 in
+  expect_error
+    ~substrings:
+      [ Printf.sprintf "truncated record body at byte %d" second_body ]
+    (Bytes.sub buf 0 (Bytes.length buf - 5))
+
+let test_pcap_empty_capture_is_ok () =
+  let buf = valid_capture_bytes ~packets:1 () in
+  (* Just the global header: zero records is a fine capture. *)
+  match read_all_of_bytes (Bytes.sub buf 0 24) with
+  | Ok [] -> ()
+  | Ok records -> Alcotest.failf "read %d records" (List.length records)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Checksum coverage of the whole datagram                             *)
+
+(* Every byte of a serialized segment is covered by a checksum: the IP
+   header by the header checksum, everything past it by the TCP
+   checksum (whose pseudo-header also re-covers the addresses).  A
+   one's-complement sum changes whenever a single bit of a summand
+   changes, so {e every} single-bit flip must make [parse] fail —
+   there is no uncovered byte for an attacker (or a flaky NIC) to
+   twiddle undetected.  Exhaustive over all bits of the datagram. *)
+let test_every_single_bit_flip_rejected () =
+  let wire =
+    Packet.Segment.to_bytes
+      (Packet.Segment.make ~payload:"covered by the TCP checksum"
+         ~seq:7l ~flags:Packet.Tcp_header.flag_psh_ack
+         ~src:(endpoint 10 0 0 1 1234)
+         ~dst:(endpoint 192 168 1 1 8888) ())
+  in
+  (match Packet.Segment.parse wire ~off:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pristine segment rejected: %s" e);
+  let flips = ref 0 in
+  for byte = 0 to Bytes.length wire - 1 do
+    for bit = 0 to 7 do
+      let flip () =
+        Bytes.set_uint8 wire byte (Bytes.get_uint8 wire byte lxor (1 lsl bit))
+      in
+      flip ();
+      (match Packet.Segment.parse wire ~off:0 with
+      | Ok _ -> Alcotest.failf "accepted flip of byte %d bit %d" byte bit
+      | Error _ -> incr flips);
+      flip ()
+    done
+  done;
+  Alcotest.(check int) "every flip tried" (8 * Bytes.length wire) !flips;
+  (* The buffer was restored after each flip: it still parses. *)
+  match Packet.Segment.parse wire ~off:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "restoration failed: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 
@@ -885,5 +1024,18 @@ let () =
             test_reassembly_rejects_malformed ] );
       ( "pcap",
         [ Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
-          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic ] );
+          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
+          Alcotest.test_case "truncated global header" `Quick
+            test_pcap_truncated_global_header;
+          Alcotest.test_case "truncated record header" `Quick
+            test_pcap_truncated_record_header;
+          Alcotest.test_case "absurd record length" `Quick
+            test_pcap_absurd_record_length;
+          Alcotest.test_case "truncated record body" `Quick
+            test_pcap_truncated_record_body;
+          Alcotest.test_case "empty capture" `Quick
+            test_pcap_empty_capture_is_ok ] );
+      ( "hardening",
+        [ Alcotest.test_case "every single-bit flip rejected" `Quick
+            test_every_single_bit_flip_rejected ] );
       ("properties", qcheck_cases) ]

@@ -139,6 +139,45 @@ let test_engine_validation () =
     (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
       Sim.Engine.schedule_at engine ~time:1.0 (fun _ -> ()))
 
+let test_engine_run_validation () =
+  List.iter
+    (fun (name, message, run) ->
+      Alcotest.check_raises name (Invalid_argument message) (fun () ->
+          run (Sim.Engine.create ())))
+    [ ( "NaN until", "Engine.run: NaN until",
+        fun e -> Sim.Engine.run ~until:Float.nan e );
+      ( "negative until", "Engine.run: negative until",
+        fun e -> Sim.Engine.run ~until:(-1.0) e );
+      ( "zero max_events", "Engine.run: max_events <= 0",
+        fun e -> Sim.Engine.run ~max_events:0 e );
+      ( "negative max_events", "Engine.run: max_events <= 0",
+        fun e -> Sim.Engine.run ~max_events:(-3) e ) ]
+
+exception Boom
+
+let test_engine_resumable_after_raise () =
+  let engine = Sim.Engine.create () in
+  let trace = ref [] in
+  let note label e = trace := (label, Sim.Engine.now e) :: !trace in
+  Sim.Engine.schedule engine ~delay:1.0 (note "a");
+  Sim.Engine.schedule engine ~delay:2.0 (fun e ->
+      note "boom" e;
+      raise Boom);
+  Sim.Engine.schedule engine ~delay:3.0 (note "c");
+  (match Sim.Engine.run engine with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Boom -> ());
+  (* The faulting event is reflected in clock and count... *)
+  Alcotest.(check (float 0.0)) "clock at fault" 2.0 (Sim.Engine.now engine);
+  Alcotest.(check int) "fault counted" 2 (Sim.Engine.events_processed engine);
+  (* ...and the rest of the agenda survives a later run. *)
+  Sim.Engine.run engine;
+  Alcotest.(check (float 0.0)) "resumed to the end" 3.0 (Sim.Engine.now engine);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "every event fired once"
+    [ ("a", 1.0); ("boom", 2.0); ("c", 3.0) ]
+    (List.rev !trace)
+
 (* ------------------------------------------------------------------ *)
 (* Topology                                                            *)
 
@@ -475,6 +514,94 @@ let test_predicted_cost_coverage () =
 
 let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_queue_sorted ]
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial workloads                                               *)
+
+let sequent_spec =
+  Demux.Registry.Sequent { chains = 19; hasher = Hashing.Hashers.multiplicative }
+
+let guarded_spec ~max_chain ~max_total =
+  Demux.Registry.Guarded { spec = sequent_spec; max_chain; max_total }
+
+let test_attack_deterministic () =
+  let specs = [ sequent_spec; guarded_spec ~max_chain:8 ~max_total:64 ] in
+  let run () =
+    Sim.Attack_workload.run_all (Sim.Attack_workload.smoke_config ~seed:11 ())
+      specs
+  in
+  let first = run () and second = run () in
+  Alcotest.(check int) "same shape" (List.length first) (List.length second);
+  List.iter2
+    (fun (a : Sim.Attack_workload.result) b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s replays identically" a.Sim.Attack_workload.scenario
+           a.Sim.Attack_workload.algorithm)
+        true (a = b))
+    first second
+
+let test_attack_collision_degrades_to_linear () =
+  (* The whole point of the flood: with every flow in one chain, the
+     hashed algorithm's mean lookup cost collapses to the linear
+     list's (same flow count, same lookup sequence). *)
+  let config = Sim.Attack_workload.smoke_config () in
+  let hashed = Sim.Attack_workload.run_collision_flood config sequent_spec in
+  let linear =
+    Sim.Attack_workload.run_collision_flood config Demux.Registry.Linear
+  in
+  let deviation =
+    abs_float
+      (hashed.Sim.Attack_workload.mean_examined
+      -. linear.Sim.Attack_workload.mean_examined)
+    /. linear.Sim.Attack_workload.mean_examined
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f within 10%% of linear's %.2f"
+       hashed.Sim.Attack_workload.mean_examined
+       linear.Sim.Attack_workload.mean_examined)
+    true (deviation < 0.10)
+
+let test_attack_guard_caps_collision_flood () =
+  let config = Sim.Attack_workload.smoke_config () in
+  let max_chain = 8 in
+  let result =
+    Sim.Attack_workload.run_collision_flood config
+      (guarded_spec ~max_chain ~max_total:2048)
+  in
+  Alcotest.(check int) "population capped at the chain bound" max_chain
+    result.Sim.Attack_workload.table_length;
+  Alcotest.(check int) "overflow shed as evictions"
+    (config.Sim.Attack_workload.flood_flows - max_chain)
+    result.Sim.Attack_workload.evictions;
+  Alcotest.(check bool) "bounded worst case" true
+    (result.Sim.Attack_workload.max_examined <= max_chain + 1)
+
+let test_attack_guard_bounds_syn_flood () =
+  let config = Sim.Attack_workload.smoke_config () in
+  let unguarded = Sim.Attack_workload.run_syn_flood config sequent_spec in
+  let guarded =
+    Sim.Attack_workload.run_syn_flood config
+      (guarded_spec ~max_chain:8 ~max_total:100)
+  in
+  Alcotest.(check int) "unguarded table bloats to every spoofed SYN"
+    config.Sim.Attack_workload.syn_attempts
+    unguarded.Sim.Attack_workload.table_length;
+  Alcotest.(check bool) "guarded table bounded" true
+    (guarded.Sim.Attack_workload.table_length <= 100);
+  Alcotest.(check bool) "shedding reported" true
+    (guarded.Sim.Attack_workload.evictions
+     >= config.Sim.Attack_workload.syn_attempts - 100)
+
+let test_attack_storm_attributes_drops () =
+  let config = Sim.Attack_workload.smoke_config () in
+  let result = Sim.Attack_workload.run_malformed_storm config sequent_spec in
+  Alcotest.(check bool) "some datagrams shed" true
+    (result.Sim.Attack_workload.drops > 0);
+  Alcotest.(check bool) "parse errors attributed" true
+    (result.Sim.Attack_workload.parse_errors > 0);
+  Alcotest.(check bool) "parse errors are a subset of drops" true
+    (result.Sim.Attack_workload.parse_errors
+    <= result.Sim.Attack_workload.drops)
+
 let () =
   Alcotest.run "sim"
     [ ( "event-queue",
@@ -487,7 +614,21 @@ let () =
           Alcotest.test_case "until + resume" `Quick test_engine_until;
           Alcotest.test_case "max events and stop" `Quick
             test_engine_max_events_and_stop;
-          Alcotest.test_case "validation" `Quick test_engine_validation ] );
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "run validation" `Quick test_engine_run_validation;
+          Alcotest.test_case "resumable after raise" `Quick
+            test_engine_resumable_after_raise ] );
+      ( "attack",
+        [ Alcotest.test_case "deterministic per seed" `Quick
+            test_attack_deterministic;
+          Alcotest.test_case "collision flood degrades to linear" `Quick
+            test_attack_collision_degrades_to_linear;
+          Alcotest.test_case "guard caps collision flood" `Quick
+            test_attack_guard_caps_collision_flood;
+          Alcotest.test_case "guard bounds SYN flood" `Quick
+            test_attack_guard_bounds_syn_flood;
+          Alcotest.test_case "storm attributes drops" `Quick
+            test_attack_storm_attributes_drops ] );
       ( "topology",
         [ Alcotest.test_case "distinct flows" `Quick test_topology_distinct_flows;
           Alcotest.test_case "server side" `Quick test_topology_server_side ] );

@@ -526,6 +526,104 @@ let test_stack_retransmission_recovers_loss () =
   Alcotest.(check int) "quiet after ack" 0
     (Tcpcore.Stack.advance_clock client ~now:10.0)
 
+let test_stack_rto_backoff () =
+  (* Each unanswered retransmission doubles the wait: with a 1 s base
+     RTO the re-sends land near 1, 3, 7 and 15 s.  A fixed-RTO
+     implementation would fire again by 2.5 s; the quiet windows below
+     prove the doubling (with slack for the 0.25 s timer-wheel
+     tick). *)
+  let server, client = make_pair () in
+  let conn, _ = establish server client in
+  Tcpcore.Stack.send client conn "into the void";
+  ignore (Tcpcore.Stack.poll_output client);
+  let advance now = Tcpcore.Stack.advance_clock client ~now in
+  Alcotest.(check int) "first retransmit ~1s" 1 (advance 1.5);
+  Alcotest.(check int) "quiet before 3s" 0 (advance 2.9);
+  Alcotest.(check int) "second ~3s" 1 (advance 3.6);
+  Alcotest.(check int) "quiet before 7s" 0 (advance 6.9);
+  Alcotest.(check int) "third ~7s" 1 (advance 7.7);
+  Alcotest.(check int) "quiet before 15s" 0 (advance 14.9);
+  Alcotest.(check int) "fourth ~15s" 1 (advance 15.8);
+  Alcotest.(check int) "counter" 4 (Tcpcore.Stack.retransmissions client);
+  (* The segment is still deliverable after all that. *)
+  ignore (Tcpcore.Stack.poll_output client);
+  Alcotest.(check bool) "still queued" true
+    (conn.Tcpcore.Stack.unacked <> [])
+
+let test_stack_retransmit_attempts_bounded () =
+  let client =
+    Tcpcore.Stack.create ~max_retransmits:3 ~local_addr:client_addr ()
+  in
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> ());
+  ignore (Tcpcore.Stack.connect client ~local_port:4000 ~remote:server_ep);
+  ignore (Tcpcore.Stack.poll_output client);
+  (* The SYN vanishes; drive the clock far past every backoff stage. *)
+  for i = 1 to 10 do
+    ignore (Tcpcore.Stack.advance_clock client ~now:(float_of_int i *. 100.0));
+    ignore (Tcpcore.Stack.poll_output client)
+  done;
+  Alcotest.(check int) "abandoned after max_retransmits" 3
+    (Tcpcore.Stack.retransmissions client)
+
+let test_stack_fuzz_never_raises () =
+  (* 10k hostile buffers: pure junk, bit-flipped real segments,
+     truncated real segments and misdelivered ones.  [handle_bytes]
+     must never raise, and every [Error] must be attributed to a named
+     drop counter. *)
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  Tcpcore.Stack.listen server ~port:8888 ~on_data:(fun _ _ _ -> ());
+  let rng = Numerics.Rng.create ~seed:99 in
+  let byte () = Char.chr (Numerics.Rng.int rng ~bound:256) in
+  let template i =
+    Packet.Segment.to_bytes
+      (Packet.Segment.make
+         ~src:(client_ep (1024 + (i mod 60000)))
+         ~dst:server_ep ~flags:Packet.Tcp_header.flag_syn
+         ~seq:(Int32.of_int i) ())
+  in
+  let misdelivered =
+    Packet.Segment.to_bytes
+      (Packet.Segment.make ~src:(client_ep 5000)
+         ~dst:(Packet.Flow.endpoint (addr 172 16 0 9) 80)
+         ~flags:Packet.Tcp_header.flag_syn ~seq:1l ())
+  in
+  let errors = ref 0 in
+  for i = 1 to 10_000 do
+    let buf =
+      match i mod 4 with
+      | 0 -> Bytes.init (Numerics.Rng.int rng ~bound:120) (fun _ -> byte ())
+      | 1 ->
+        let buf = template i in
+        for _ = 1 to 1 + Numerics.Rng.int rng ~bound:4 do
+          Bytes.set buf (Numerics.Rng.int rng ~bound:(Bytes.length buf)) (byte ())
+        done;
+        buf
+      | 2 ->
+        let buf = template i in
+        Bytes.sub buf 0 (Numerics.Rng.int rng ~bound:(Bytes.length buf))
+      | _ -> misdelivered
+    in
+    match Tcpcore.Stack.handle_bytes server buf with
+    | Ok () -> ()
+    | Error _ -> incr errors
+    | exception exn ->
+      Alcotest.failf "handle_bytes raised on buffer %d: %s" i
+        (Printexc.to_string exn)
+  done;
+  ignore (Tcpcore.Stack.poll_output server);
+  Alcotest.(check bool) "hostile stream mostly shed" true (!errors > 5000);
+  Alcotest.(check int) "every error attributed to a named counter" !errors
+    (Tcpcore.Stack.drops_total server);
+  let counts = Tcpcore.Stack.drop_counts server in
+  Alcotest.(check int) "counters sum to the total"
+    (Tcpcore.Stack.drops_total server)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 counts);
+  Alcotest.(check bool) "parse errors seen" true
+    (List.assoc "parse-error" counts > 0);
+  Alcotest.(check bool) "misdeliveries seen" true
+    (List.assoc "wrong-destination" counts > 0)
+
 let test_stack_ack_cancels_retransmission () =
   (* Normal delivery: the ACK comes back before the RTO, so advancing
      the clock produces no retransmissions at all. *)
@@ -757,6 +855,12 @@ let () =
           Alcotest.test_case "TIME-WAIT reaping" `Quick test_stack_time_wait_reaping;
           Alcotest.test_case "retransmission recovers loss" `Quick
             test_stack_retransmission_recovers_loss;
+          Alcotest.test_case "RTO exponential backoff" `Quick
+            test_stack_rto_backoff;
+          Alcotest.test_case "retransmit attempts bounded" `Quick
+            test_stack_retransmit_attempts_bounded;
+          Alcotest.test_case "fuzzed bytes never raise" `Quick
+            test_stack_fuzz_never_raises;
           Alcotest.test_case "ack cancels retransmission" `Quick
             test_stack_ack_cancels_retransmission;
           Alcotest.test_case "SYN retransmission" `Quick
