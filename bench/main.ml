@@ -345,6 +345,115 @@ let print_hash_ablation () =
     Hashing.Hashers.all
 
 (* ------------------------------------------------------------------ *)
+(* JSON record layer (BENCH_demux.json, schema tcpdemux-bench/1)       *)
+
+let bench_seed = 42
+
+let records : Obs.Json.t list ref = ref []
+
+let emit ~id ~metric ?(units = "") value =
+  records :=
+    Obs.Json.Obj
+      [ ("id", Obs.Json.String id); ("metric", Obs.Json.String metric);
+        ("value", Obs.Json.Float value); ("units", Obs.Json.String units);
+        ("seed", Obs.Json.Int bench_seed) ]
+    :: !records
+
+(* The figures of merit a regression checker wants, one record each:
+   the analytic headline numbers (instant) and a simulation pass over
+   the paper's four algorithms with an obs registry attached, so
+   examined-count percentiles ride along.  [smoke] shrinks the
+   simulated population and window for CI. *)
+let collect_records ~smoke =
+  let p = default_params in
+  emit ~id:"E2" ~metric:"analysis.bsd.cost" ~units:"pcbs"
+    (Analysis.Bsd_model.cost p);
+  emit ~id:"E3" ~metric:"analysis.bsd.train_probability"
+    (Analysis.Bsd_model.train_probability p);
+  emit ~id:"E7" ~metric:"analysis.sr-cache.cost" ~units:"pcbs"
+    (Analysis.Srcache_model.overall_cost p);
+  emit ~id:"E10" ~metric:"analysis.sequent-19.cost" ~units:"pcbs"
+    (Analysis.Sequent_model.cost p ~chains:19);
+  emit ~id:"E11" ~metric:"analysis.sequent-100.cost" ~units:"pcbs"
+    (Analysis.Sequent_model.cost p ~chains:100);
+  let users = if smoke then 200 else 1000 in
+  let duration = if smoke then 20.0 else 150.0 in
+  let sim_params = Analysis.Tpca_params.v ~users () in
+  let config =
+    Sim.Tpca_workload.default_config ~duration ~seed:bench_seed sim_params
+  in
+  let obs = Obs.Registry.create () in
+  List.iter
+    (fun spec ->
+      let name = Demux.Registry.spec_name spec in
+      let report = Sim.Tpca_workload.run ~obs config spec in
+      emit ~id:"E14" ~metric:("sim.tpca." ^ name ^ ".overall_mean")
+        ~units:"pcbs" report.Sim.Report.overall_mean)
+    Demux.Registry.default_specs;
+  List.iter
+    (fun metric ->
+      match metric.Obs.Registry.data with
+      | Obs.Registry.Histogram (summary, _) ->
+        emit ~id:"E27" ~metric:(metric.Obs.Registry.name ^ ".p50")
+          ~units:metric.Obs.Registry.units
+          (float_of_int summary.Obs.Histogram.p50);
+        emit ~id:"E27" ~metric:(metric.Obs.Registry.name ^ ".p99")
+          ~units:metric.Obs.Registry.units
+          (float_of_int summary.Obs.Histogram.p99)
+      | Obs.Registry.Counter _ | Obs.Registry.Gauge _ -> ())
+    (Obs.Registry.snapshot obs)
+
+let write_records path =
+  Obs.Json.write_file path
+    (Obs.Json.Obj
+       [ ("schema", Obs.Json.String "tcpdemux-bench/1");
+         ("records", Obs.Json.List (List.rev !records)) ]);
+  Printf.printf "wrote %d benchmark records to %s\n" (List.length !records)
+    path
+
+(* Schema sanity for --check: fail loudly (exit 1) on anything a
+   regression dashboard could not ingest. *)
+let check_records path =
+  let fail message =
+    Printf.eprintf "%s: %s\n" path message;
+    exit 1
+  in
+  let field name json reader = Option.bind (Obs.Json.member name json) reader in
+  match Obs.Json.of_file path with
+  | Error message -> fail message
+  | Ok json ->
+    (match field "schema" json Obs.Json.to_string_opt with
+    | Some "tcpdemux-bench/1" -> ()
+    | Some other ->
+      fail (Printf.sprintf "schema %S, want tcpdemux-bench/1" other)
+    | None -> fail "missing schema field");
+    (match field "records" json Obs.Json.to_list_opt with
+    | None -> fail "records is not a list"
+    | Some [] -> fail "records is empty"
+    | Some items ->
+      List.iteri
+        (fun index item ->
+          let where name =
+            Printf.sprintf "record %d: bad or missing %s" index name
+          in
+          let str name =
+            match field name item Obs.Json.to_string_opt with
+            | Some s -> s
+            | None -> fail (where name)
+          in
+          if str "id" = "" then fail (where "id");
+          if str "metric" = "" then fail (where "metric");
+          ignore (str "units");
+          (match field "value" item Obs.Json.to_float_opt with
+          | Some value when Float.is_finite value -> ()
+          | Some _ | None -> fail (where "value"));
+          match field "seed" item Obs.Json.to_int_opt with
+          | Some _ -> ()
+          | None -> fail (where "seed"))
+        items;
+      Printf.printf "%s: %d records, schema ok\n" path (List.length items))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel layer                                                      *)
 
 open Bechamel
@@ -449,14 +558,57 @@ let lookup_tests =
 let hash_tests =
   Test.make_grouped ~name:"hash" (List.map hash_test Hashing.Hashers.all)
 
-let run_bechamel () =
+(* Observability overhead: the acceptance bar is that a sequent-19
+   lookup with the examined-count histogram attached stays well under
+   2x the bare lookup, and that a disabled tracer is free. *)
+let obs_lookup_test ~name ~with_histogram =
+  let demux =
+    Demux.Registry.create
+      (Demux.Registry.Sequent
+         { chains = 19; hasher = Hashing.Hashers.multiplicative })
+  in
+  let flows = Sim.Topology.flows 2000 in
+  Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
+  if with_histogram then
+    Demux.Lookup_stats.set_histogram demux.Demux.Registry.stats
+      (Some (Obs.Histogram.create ()));
+  let order = Array.init 65536 (fun _ -> 0) in
+  let rng = Numerics.Rng.create ~seed:9 in
+  Array.iteri (fun i _ -> order.(i) <- Numerics.Rng.int rng ~bound:2000) order;
+  let cursor = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let i = !cursor in
+         cursor := (i + 1) land 65535;
+         ignore (demux.Demux.Registry.lookup flows.(order.(i)))))
+
+let obs_tests =
+  let histogram = Obs.Histogram.create () in
+  let ring = Obs.Trace.create ~capacity:4096 () in
+  Test.make_grouped ~name:"obs"
+    [ obs_lookup_test ~name:"sequent-19-bare" ~with_histogram:false;
+      obs_lookup_test ~name:"sequent-19+histogram" ~with_histogram:true;
+      Test.make ~name:"histogram-record"
+        (Staged.stage (fun () -> Obs.Histogram.record histogram 17));
+      Test.make ~name:"trace-disabled"
+        (Staged.stage (fun () ->
+             Obs.Trace.record Obs.Trace.disabled Obs.Trace.Cache_hit 1 2));
+      Test.make ~name:"trace-enabled"
+        (Staged.stage (fun () ->
+             Obs.Trace.record ring Obs.Trace.Cache_hit 1 2)) ]
+
+let run_bechamel ~smoke () =
   section "bechamel wall-clock microbenchmarks";
   let tests =
     Test.make_grouped ~name:"tcpdemux"
-      [ lookup_tests; churn_tests; hash_tests; wire_test (); regen_tests ]
+      (if smoke then [ obs_tests ]
+       else
+         [ lookup_tests; churn_tests; hash_tests; wire_test (); regen_tests;
+           obs_tests ])
   in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+    if smoke then Benchmark.cfg ~limit:500 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
@@ -483,27 +635,54 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  prerr_endline
+    "usage: bench [--smoke] [--json FILE] [--check FILE]\n\
+     \  --smoke      small populations and windows (CI)\n\
+     \  --json FILE  write tcpdemux-bench/1 records to FILE\n\
+     \  --check FILE validate a records file and exit";
+  exit 2
+
 let () =
-  print_endline
-    "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
-  print_e1 ();
-  print_e2_e3 ();
-  print_e4_e6 ();
-  print_e7 ();
-  print_e8_e11 ();
-  print_e12_e13 ();
-  print_e14 ();
-  print_e15 ();
-  print_e16 ();
-  print_e17 ();
-  print_e18 ();
-  print_e19 ();
-  print_e20 ();
-  print_e21 ();
-  print_e22 ();
-  print_e23 ();
-  print_e24 ();
-  print_e25 ();
-  print_hash_ablation ();
-  run_bechamel ();
-  print_endline "\ndone."
+  let smoke = ref false and json = ref None and check = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | "--json" :: path :: rest -> json := Some path; parse rest
+    | "--check" :: path :: rest -> check := Some path; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !check with
+  | Some path -> check_records path
+  | None ->
+    print_endline
+      "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
+    if not !smoke then begin
+      print_e1 ();
+      print_e2_e3 ();
+      print_e4_e6 ();
+      print_e7 ();
+      print_e8_e11 ();
+      print_e12_e13 ();
+      print_e14 ();
+      print_e15 ();
+      print_e16 ();
+      print_e17 ();
+      print_e18 ();
+      print_e19 ();
+      print_e20 ();
+      print_e21 ();
+      print_e22 ();
+      print_e23 ();
+      print_e24 ();
+      print_e25 ();
+      print_hash_ablation ()
+    end;
+    (match !json with
+    | Some path ->
+      collect_records ~smoke:!smoke;
+      write_records path
+    | None -> ());
+    run_bechamel ~smoke:!smoke ();
+    print_endline "\ndone."

@@ -65,6 +65,71 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 (* ------------------------------------------------------------------ *)
+(* Observability output (shared by simulate / attack / parallel)       *)
+
+let obs_json_arg =
+  let doc =
+    "Write a $(i,tcpdemux-obs/1) metric snapshot — every counter, gauge \
+     and histogram the run registered — as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-json" ] ~docv:"FILE" ~doc)
+
+let trace_file_arg =
+  let doc =
+    "Record hot-path events (lookups, cache hits, chain walks, drops, \
+     phase markers) into a ring buffer and dump it in binary form to \
+     $(docv) (readable with Obs.Trace.read_file)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_capacity_arg =
+  let doc = "Trace ring capacity: the last $(docv) events are kept." in
+  Arg.(
+    value & opt int 65536 & info [ "trace-capacity" ] ~docv:"EVENTS" ~doc)
+
+(* Build the optional registry/tracer the flags ask for, run the body,
+   then write the requested files.  [label] tags the JSON snapshot. *)
+let with_obs ~label obs_json trace_file trace_capacity body =
+  if trace_capacity <= 0 then
+    `Error (false, "--trace-capacity must be positive")
+  else
+    let obs = Option.map (fun _ -> Obs.Registry.create ()) obs_json in
+    let tracer =
+      Option.map
+        (fun _ -> Obs.Trace.create ~capacity:trace_capacity ())
+        trace_file
+    in
+    match body obs tracer with
+    | `Ok () -> (
+      try
+        Option.iter
+          (fun path ->
+            Obs.Registry.write_json ~label (Option.get obs) path;
+            Format.printf "wrote metric snapshot to %s@." path)
+          obs_json;
+        Option.iter
+          (fun path ->
+            let tracer = Option.get tracer in
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Obs.Trace.dump tracer oc);
+            Format.printf
+              "wrote %d trace events to %s (%d lost to ring wrap)@."
+              (Obs.Trace.length tracer) path (Obs.Trace.dropped tracer))
+          trace_file;
+        `Ok ()
+      with Sys_error message -> `Error (false, message))
+    | outcome -> outcome
+
+(* A Phase marker before each algorithm's run, so one trace file can
+   carry several algorithms back to back. *)
+let phase tracer index =
+  match tracer with
+  | Some tracer -> Obs.Trace.record tracer Obs.Trace.Phase index 0
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* analyze: the paper's quoted results                                 *)
 
 let run_analyze users response_time rtt =
@@ -182,74 +247,79 @@ let figure_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate: drive the real data structures                            *)
 
-let run_simulate workload algorithms users response_time rtt duration seed =
+let run_simulate workload algorithms users response_time rtt duration seed
+    obs_json trace_file trace_capacity =
   match parse_specs algorithms with
   | Error message -> `Error (false, message)
-  | Ok specs -> (
-    match workload with
-    | "tpca" ->
-      let p = params ~users ~response_time ~rtt in
-      let config =
-        Sim.Tpca_workload.default_config ~duration ~seed p
-      in
-      let rows = Sim.Validate.compare ~config p specs in
-      Format.printf "TPC/A simulation (%a, %g s measured):@.@."
-        Analysis.Tpca_params.pp p duration;
-      Format.printf "%a@." Sim.Validate.pp_rows rows;
-      `Ok ()
-    | "trains" ->
-      let config = Sim.Trains_workload.default_config () in
-      let reports =
-        List.map (fun spec -> Sim.Trains_workload.run { config with seed } spec) specs
-      in
-      Format.printf "%a@." Sim.Report.pp_table reports;
-      `Ok ()
-    | "polling" ->
-      let config = Sim.Polling_workload.default_config ~users () in
-      let reports =
-        List.map
-          (fun spec -> Sim.Polling_workload.run { config with seed } spec)
-          specs
-      in
-      Format.printf "%a@." Sim.Report.pp_table reports;
-      `Ok ()
-    | "locality" ->
-      let config = Sim.Locality_workload.default_config () in
-      let reports =
-        List.map
-          (fun spec -> Sim.Locality_workload.run { config with seed } spec)
-          specs
-      in
-      Format.printf "%a@." Sim.Report.pp_table reports;
-      `Ok ()
-    | "mixed" ->
-      let config = Sim.Mixed_workload.default_config ~oltp_users:users () in
-      let results =
-        List.map
-          (fun spec ->
-            Sim.Mixed_workload.run { config with Sim.Mixed_workload.seed } spec)
-          specs
-      in
-      Format.printf "%a@." Sim.Mixed_workload.pp_results results;
-      `Ok ()
-    | "churn" ->
-      let config = Sim.Churn_workload.default_config () in
-      let reports =
-        List.map
-          (fun spec ->
-            Sim.Churn_workload.run { config with Sim.Churn_workload.seed } spec)
-          specs
-      in
-      Format.printf "steady-state population ~%.0f connections@.@."
-        (Sim.Churn_workload.steady_state_population config);
-      Format.printf "%a@." Sim.Report.pp_table reports;
-      `Ok ()
-    | other ->
-      `Error
-        ( false,
-          Printf.sprintf
-            "unknown workload %S (try: tpca, trains, polling, locality, churn, mixed)"
-            other ))
+  | Ok specs ->
+    with_obs ~label:("simulate-" ^ workload) obs_json trace_file
+      trace_capacity (fun obs tracer ->
+        let over_specs run =
+          List.mapi
+            (fun index spec ->
+              phase tracer index;
+              run spec)
+            specs
+        in
+        match workload with
+        | "tpca" ->
+          let p = params ~users ~response_time ~rtt in
+          let config = Sim.Tpca_workload.default_config ~duration ~seed p in
+          let rows = Sim.Validate.compare ?obs ?tracer ~config p specs in
+          Format.printf "TPC/A simulation (%a, %g s measured):@.@."
+            Analysis.Tpca_params.pp p duration;
+          Format.printf "%a@." Sim.Validate.pp_rows rows;
+          `Ok ()
+        | "trains" ->
+          let config = Sim.Trains_workload.default_config () in
+          let reports =
+            over_specs (Sim.Trains_workload.run ?obs ?tracer { config with seed })
+          in
+          Format.printf "%a@." Sim.Report.pp_table reports;
+          `Ok ()
+        | "polling" ->
+          let config = Sim.Polling_workload.default_config ~users () in
+          let reports =
+            over_specs
+              (Sim.Polling_workload.run ?obs ?tracer { config with seed })
+          in
+          Format.printf "%a@." Sim.Report.pp_table reports;
+          `Ok ()
+        | "locality" ->
+          let config = Sim.Locality_workload.default_config () in
+          let reports =
+            over_specs
+              (Sim.Locality_workload.run ?obs ?tracer { config with seed })
+          in
+          Format.printf "%a@." Sim.Report.pp_table reports;
+          `Ok ()
+        | "mixed" ->
+          let config = Sim.Mixed_workload.default_config ~oltp_users:users () in
+          let results =
+            over_specs
+              (Sim.Mixed_workload.run ?obs ?tracer
+                 { config with Sim.Mixed_workload.seed })
+          in
+          Format.printf "%a@." Sim.Mixed_workload.pp_results results;
+          `Ok ()
+        | "churn" ->
+          let config = Sim.Churn_workload.default_config () in
+          let reports =
+            over_specs
+              (Sim.Churn_workload.run ?obs ?tracer
+                 { config with Sim.Churn_workload.seed })
+          in
+          Format.printf "steady-state population ~%.0f connections@.@."
+            (Sim.Churn_workload.steady_state_population config);
+          Format.printf "%a@." Sim.Report.pp_table reports;
+          `Ok ()
+        | other ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "unknown workload %S (try: tpca, trains, polling, locality, \
+                 churn, mixed)"
+                other ))
 
 let simulate_cmd =
   let doc =
@@ -267,7 +337,8 @@ let simulate_cmd =
     Term.(
       ret
         (const run_simulate $ workload $ algorithms_arg $ users_arg
-        $ response_time_arg $ rtt_arg $ duration_arg $ seed_arg))
+        $ response_time_arg $ rtt_arg $ duration_arg $ seed_arg
+        $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sweep: Sequent chain-count sweep                                    *)
@@ -553,19 +624,21 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
 
-let run_attack algorithms seed smoke =
+let run_attack algorithms seed smoke obs_json trace_file trace_capacity =
   match parse_specs algorithms with
   | Error message -> `Error (false, message)
   | Ok specs ->
-    let config =
-      if smoke then Sim.Attack_workload.smoke_config ~seed ()
-      else Sim.Attack_workload.default_config ~seed ()
-    in
-    let results = Sim.Attack_workload.run_all config specs in
-    Format.printf "Adversarial resilience (seed %d%s)@.@." seed
-      (if smoke then ", smoke" else "");
-    Format.printf "%a" Sim.Attack_workload.pp_table results;
-    `Ok ()
+    with_obs ~label:"attack" obs_json trace_file trace_capacity
+      (fun obs tracer ->
+        let config =
+          if smoke then Sim.Attack_workload.smoke_config ~seed ()
+          else Sim.Attack_workload.default_config ~seed ()
+        in
+        let results = Sim.Attack_workload.run_all ?obs ?tracer config specs in
+        Format.printf "Adversarial resilience (seed %d%s)@.@." seed
+          (if smoke then ", smoke" else "");
+        Format.printf "%a" Sim.Attack_workload.pp_table results;
+        `Ok ())
 
 let attack_cmd =
   let doc =
@@ -591,7 +664,133 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc)
-    Term.(ret (const run_attack $ attack_algorithms $ seed_arg $ smoke))
+    Term.(
+      ret
+        (const run_attack $ attack_algorithms $ seed_arg $ smoke
+        $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
+
+(* ------------------------------------------------------------------ *)
+(* parallel: multicore lookup throughput                               *)
+
+let parse_target name =
+  let sequent_chains s =
+    if s = "sequent" then Some 19
+    else if String.length s > 8 && String.sub s 0 8 = "sequent-" then
+      int_of_string_opt (String.sub s 8 (String.length s - 8))
+    else None
+  in
+  match String.split_on_char ':' name with
+  | [ "coarse"; "bsd" ] -> Ok Parallel.Throughput.Coarse_bsd
+  | [ "coarse"; rest ] -> (
+    match sequent_chains rest with
+    | Some chains when chains > 0 ->
+      Ok (Parallel.Throughput.Coarse_sequent chains)
+    | _ -> Error (Printf.sprintf "unknown coarse target %S" name))
+  | [ "striped"; rest ] -> (
+    match sequent_chains rest with
+    | Some chains when chains > 0 ->
+      Ok (Parallel.Throughput.Striped_sequent chains)
+    | _ -> Error (Printf.sprintf "unknown striped target %S" name))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown target %S (try: coarse:bsd, coarse:sequent-19, \
+          striped:sequent-19)"
+         name)
+
+let run_parallel targets domains connections lookups seed obs_json trace_file
+    trace_capacity =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match parse_target name with
+      | Ok target -> parse (target :: acc) rest
+      | Error _ as e -> e)
+  in
+  match parse [] targets with
+  | Error message -> `Error (false, message)
+  | Ok targets ->
+    if List.exists (fun d -> d <= 0) domains then
+      `Error (false, "--domains must all be positive")
+    else if trace_capacity <= 0 then
+      `Error (false, "--trace-capacity must be positive")
+    else
+      let obs = Option.map (fun _ -> Obs.Registry.create ()) obs_json in
+      let results =
+        Parallel.Throughput.scaling_table ?obs
+          ?trace_capacity:(Option.map (fun _ -> trace_capacity) trace_file)
+          ~connections ~lookups_per_domain:lookups ~seed ~domains targets
+      in
+      Format.printf "%a" Parallel.Throughput.pp_results results;
+      List.iter
+        (fun (r : Parallel.Throughput.result) ->
+          match r.Parallel.Throughput.latency with
+          | Some histogram ->
+            Format.printf "%s x%d lookup latency: %a@."
+              r.Parallel.Throughput.target r.Parallel.Throughput.domains
+              Obs.Histogram.pp histogram
+          | None -> ())
+        results;
+      (try
+         (match (obs_json, obs) with
+         | Some path, Some obs ->
+           Obs.Registry.write_json ~label:"parallel" obs path;
+           Format.printf "wrote metric snapshot to %s@." path
+         | _ -> ());
+         (match trace_file with
+         | Some path ->
+           let oc = open_out_bin path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               List.iter
+                 (fun (r : Parallel.Throughput.result) ->
+                   List.iter
+                     (fun tracer -> Obs.Trace.dump tracer oc)
+                     r.Parallel.Throughput.traces)
+                 results);
+           Format.printf "wrote per-domain trace segments to %s@." path
+         | None -> ());
+         `Ok ()
+       with Sys_error message -> `Error (false, message))
+
+let parallel_cmd =
+  let doc =
+    "Measure multicore lookup throughput (and, with --obs-json, \
+     per-lookup latency histograms merged across domains) for \
+     coarse-locked and striped demultiplexers."
+  in
+  let targets =
+    Arg.(
+      value
+      & opt (list string) [ "coarse:sequent-19"; "striped:sequent-19" ]
+      & info [ "t"; "targets" ] ~docv:"TARGETS"
+          ~doc:
+            "Comma-separated targets: coarse:bsd, coarse:sequent[-H], \
+             striped:sequent[-H].")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "domains" ] ~docv:"N,N,..." ~doc:"Domain counts to run.")
+  in
+  let connections =
+    Arg.(
+      value & opt int 2000
+      & info [ "connections" ] ~docv:"N" ~doc:"Resident flows.")
+  in
+  let lookups =
+    Arg.(
+      value & opt int 200_000
+      & info [ "lookups" ] ~docv:"N" ~doc:"Lookups per domain.")
+  in
+  Cmd.v
+    (Cmd.info "parallel" ~doc)
+    Term.(
+      ret
+        (const run_parallel $ targets $ domains $ connections $ lookups
+        $ seed_arg $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -603,6 +802,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tcpdemux" ~version:"1.0.0" ~doc)
     [ analyze_cmd; figure_cmd; simulate_cmd; validate_cmd; sweep_cmd;
-      sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd; attack_cmd ]
+      sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd; attack_cmd;
+      parallel_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -11,17 +11,30 @@ type t = {
   mutable max_examined : int;
   mutable current : int;      (* examinations charged to the open lookup *)
   mutable in_lookup : bool;
+  (* Observability hooks, both opt-in: a [None] histogram and the
+     shared disabled tracer cost one branch each per lookup, so
+     counting discipline is identical with and without them (asserted
+     in test_obs.ml, timed in bench's "obs" group). *)
+  mutable histogram : Obs.Histogram.t option;
+  mutable tracer : Obs.Trace.t;
 }
 
 let create () =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
     inserts = 0; removes = 0; evictions = 0; rejections = 0; max_examined = 0;
-    current = 0; in_lookup = false }
+    current = 0; in_lookup = false; histogram = None;
+    tracer = Obs.Trace.disabled }
+
+let set_histogram t histogram = t.histogram <- histogram
+let histogram t = t.histogram
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
 
 let begin_lookup t =
   assert (not t.in_lookup);
   t.in_lookup <- true;
-  t.current <- 0
+  t.current <- 0;
+  Obs.Trace.record t.tracer Obs.Trace.Lookup_begin 0 0
 
 let examine t ?(count = 1) () =
   assert t.in_lookup;
@@ -34,12 +47,31 @@ let end_lookup t ~hit_cache ~found =
   t.pcbs_examined <- t.pcbs_examined + t.current;
   if t.current > t.max_examined then t.max_examined <- t.current;
   if hit_cache then t.cache_hits <- t.cache_hits + 1;
-  if found then t.found <- t.found + 1 else t.not_found <- t.not_found + 1
+  if found then t.found <- t.found + 1 else t.not_found <- t.not_found + 1;
+  (match t.histogram with
+  | Some h -> Obs.Histogram.record h t.current
+  | None -> ());
+  Obs.Trace.record t.tracer Obs.Trace.Lookup_end t.current
+    ((if found then 1 else 0) lor if hit_cache then 2 else 0);
+  if hit_cache then Obs.Trace.record t.tracer Obs.Trace.Cache_hit t.current 0
+  else if t.current > 1 then
+    Obs.Trace.record t.tracer Obs.Trace.Chain_walk t.current 0
 
-let note_insert t = t.inserts <- t.inserts + 1
-let note_remove t = t.removes <- t.removes + 1
-let note_eviction t = t.evictions <- t.evictions + 1
-let note_rejection t = t.rejections <- t.rejections + 1
+let note_insert t =
+  t.inserts <- t.inserts + 1;
+  Obs.Trace.record t.tracer Obs.Trace.Insert 0 0
+
+let note_remove t =
+  t.removes <- t.removes + 1;
+  Obs.Trace.record t.tracer Obs.Trace.Remove 0 0
+
+let note_eviction t =
+  t.evictions <- t.evictions + 1;
+  Obs.Trace.record t.tracer Obs.Trace.Eviction 0 0
+
+let note_rejection t =
+  t.rejections <- t.rejections + 1;
+  Obs.Trace.record t.tracer Obs.Trace.Rejection 0 0
 
 type snapshot = {
   lookups : int;
@@ -99,7 +131,12 @@ let reset (t : t) =
   t.rejections <- 0;
   t.max_examined <- 0;
   t.current <- 0;
-  t.in_lookup <- false
+  t.in_lookup <- false;
+  (* The histogram follows the counters (a post-warm-up reset must
+     clear both); the tracer is a rolling log and keeps its events. *)
+  match t.histogram with
+  | Some h -> Obs.Histogram.clear h
+  | None -> ()
 
 let pp_snapshot ppf s =
   Format.fprintf ppf

@@ -30,6 +30,25 @@ val note_eviction : t -> unit
 val note_rejection : t -> unit
 (** An insertion was refused outright by an overload guard. *)
 
+(** {1 Observability (opt-in)}
+
+    Both hooks are off by default and cost one branch per lookup when
+    off, so plain accounting is bit-identical with or without them. *)
+
+val set_histogram : t -> Obs.Histogram.t option -> unit
+(** Attach a histogram that receives each lookup's examined count at
+    [end_lookup] time.  {!reset} clears it along with the counters. *)
+
+val histogram : t -> Obs.Histogram.t option
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Attach a tracer; lookups emit [Lookup_begin] / [Lookup_end]
+    (payload: examined count; flag bits: found, cache hit) plus
+    [Cache_hit] / [Chain_walk] / [Insert] / [Remove] / [Eviction] /
+    [Rejection] events.  Pass {!Obs.Trace.disabled} to detach. *)
+
+val tracer : t -> Obs.Trace.t
+
 (** {1 Reading} *)
 
 type snapshot = {

@@ -230,3 +230,35 @@ let rec create spec =
     guard
       (Guarded.config ~max_chain ~max_total ~chains ~hasher ())
       (create inner_spec)
+
+let observe ?prefix obs t =
+  let prefix =
+    match prefix with Some p -> p | None -> "demux." ^ t.name
+  in
+  let snap field = fun () -> field (Lookup_stats.snapshot t.stats) in
+  let counter name help field =
+    Obs.Registry.register_counter obs ~help ~name:(prefix ^ "." ^ name)
+      (snap field)
+  in
+  counter "lookups" "receive-path lookups" (fun s -> s.Lookup_stats.lookups);
+  counter "pcbs_examined" "total PCBs examined across all lookups"
+    (fun s -> s.Lookup_stats.pcbs_examined);
+  counter "cache_hits" "lookups satisfied by a one-entry cache"
+    (fun s -> s.Lookup_stats.cache_hits);
+  counter "found" "lookups that matched a PCB" (fun s -> s.Lookup_stats.found);
+  counter "not_found" "lookups that matched nothing"
+    (fun s -> s.Lookup_stats.not_found);
+  counter "inserts" "PCB insertions" (fun s -> s.Lookup_stats.inserts);
+  counter "removes" "protocol PCB removals" (fun s -> s.Lookup_stats.removes);
+  counter "evictions" "PCBs shed by an overload guard"
+    (fun s -> s.Lookup_stats.evictions);
+  counter "rejections" "insertions refused by an overload guard"
+    (fun s -> s.Lookup_stats.rejections);
+  Obs.Registry.register_gauge obs ~help:"PCBs resident in the table"
+    ~name:(prefix ^ ".pcbs") (fun () -> float_of_int (t.length ()));
+  let histogram =
+    Obs.Registry.histogram obs ~units:"pcbs"
+      ~help:"per-lookup examined-count distribution"
+      (prefix ^ ".examined")
+  in
+  Lookup_stats.set_histogram t.stats (Some histogram)

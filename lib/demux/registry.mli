@@ -59,6 +59,15 @@ val create : spec -> 'a t
     @raise Invalid_argument on a nonsensical configuration (zero
     chains etc.). *)
 
+val observe : ?prefix:string -> Obs.Registry.t -> 'a t -> unit
+(** Register this demultiplexer's accounting into an observability
+    registry under ["<prefix>."] (default ["demux.<name>."]): every
+    {!Lookup_stats} counter as a polled counter, the resident PCB
+    count as a gauge, and a ["<prefix>.examined"] histogram attached
+    via {!Lookup_stats.set_histogram} so each lookup's examined count
+    is recorded as a distribution (the paper's figure of merit, per
+    packet instead of in aggregate). *)
+
 val guard : Guarded.config -> 'a t -> 'a t
 (** [guard config inner] bounds [inner]'s population: insertions that
     would push a chain past [config.max_chain] or the table past

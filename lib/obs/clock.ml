@@ -1,0 +1,25 @@
+type t = unit -> float
+
+let now t = t ()
+let wall () = Unix.gettimeofday
+let of_fun f = f
+let fixed instant () = instant
+
+type virtual_ = { mutable instant : float }
+
+let create_virtual ?(start = 0.0) () =
+  if Float.is_nan start || start < 0.0 then
+    invalid_arg "Clock.create_virtual: negative or NaN start";
+  { instant = start }
+
+let read v () = v.instant
+
+let set v time =
+  if Float.is_nan time then invalid_arg "Clock.set: NaN time";
+  if time < v.instant then invalid_arg "Clock.set: time in the past";
+  v.instant <- time
+
+let advance v delta =
+  if Float.is_nan delta || delta < 0.0 then
+    invalid_arg "Clock.advance: negative or NaN delta";
+  v.instant <- v.instant +. delta

@@ -1,0 +1,46 @@
+(** Monotonic time sources behind one interface.
+
+    Everything in [Obs] that timestamps (tracers, latency histograms)
+    reads time through a {!t}, so wall-clock code and simulated-time
+    code share one instrumentation path: a benchmark passes {!wall},
+    a discrete-event simulation passes a clock wrapping its engine's
+    virtual [now] (see [Sim.Engine.clock]), and tests pass a
+    {!virtual_} clock they advance by hand. *)
+
+type t
+
+val now : t -> float
+(** Current time in seconds.  The epoch is the source's own: wall
+    clocks use the Unix epoch, virtual clocks start wherever they were
+    created. *)
+
+val wall : unit -> t
+(** The process wall clock ([Unix.gettimeofday]). *)
+
+val of_fun : (unit -> float) -> t
+(** Wrap any time source — e.g. a simulation engine's clock. *)
+
+val fixed : float -> t
+(** A clock frozen at the given instant (tests, headers). *)
+
+(** {1 Virtual clocks}
+
+    A hand-advanced source, for tests and replays.  Time never moves
+    backwards. *)
+
+type virtual_
+
+val create_virtual : ?start:float -> unit -> virtual_
+(** Starts at [start] (default 0).
+    @raise Invalid_argument if [start] is negative or NaN. *)
+
+val read : virtual_ -> t
+(** The virtual clock as a {!t}. *)
+
+val set : virtual_ -> float -> unit
+(** Jump to an absolute time.
+    @raise Invalid_argument if the time is in the past or NaN. *)
+
+val advance : virtual_ -> float -> unit
+(** Move forward by a delta.
+    @raise Invalid_argument if the delta is negative or NaN. *)

@@ -1,0 +1,173 @@
+(* HDR-style bucketing.  With [sub = 2^sub_bits]:
+   - values in [0, sub) get one exact bucket each (octave 0);
+   - values with most-significant bit m >= sub_bits fall in octave
+     [b = m - sub_bits + 1]; dropping their low [m - sub_bits] bits
+     yields [u] in [sub, 2*sub), and the bucket index is
+     [b*sub + (u - sub)].
+   Every octave therefore holds [sub] buckets whose width is
+   [2^(b-1)], i.e. a fixed relative resolution of [2^-sub_bits].
+   OCaml ints have 62 value bits, so octaves run to [62 - sub_bits + 1]
+   and the whole table is [(62 - sub_bits + 2) * sub] cells. *)
+
+type t = {
+  sub_bits : int;
+  sub : int;
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;   (* max_int when empty *)
+  mutable max_v : int;   (* 0 when empty *)
+}
+
+let max_msb = 62
+
+let create ?(sub_bits = 5) () =
+  if sub_bits < 1 || sub_bits > 10 then
+    invalid_arg "Histogram.create: sub_bits outside 1-10";
+  let sub = 1 lsl sub_bits in
+  { sub_bits; sub;
+    counts = Array.make ((max_msb - sub_bits + 2) * sub) 0;
+    count = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let sub_bits t = t.sub_bits
+
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index t v =
+  if v < t.sub then v
+  else
+    let m = msb v in
+    let b = m - t.sub_bits + 1 in
+    (b * t.sub) + ((v lsr (m - t.sub_bits)) - t.sub)
+
+(* Inclusive value range covered by bucket [i] — the inverse of
+   [index] up to quantisation. *)
+let bucket_bounds t i =
+  let b = i / t.sub and s = i mod t.sub in
+  if b = 0 then (s, s)
+  else ((t.sub + s) lsl (b - 1), (((t.sub + s + 1) lsl (b - 1)) - 1))
+
+let add t v ~count =
+  if count < 0 then invalid_arg "Histogram.add: negative count";
+  if count > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.counts.(index t v) <- t.counts.(index t v) + count;
+    t.count <- t.count + count;
+    t.sum <- t.sum + (v * count);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let is_empty t = t.count = 0
+
+let mean (t : t) =
+  if t.count = 0 then Float.nan
+  else float_of_int t.sum /. float_of_int t.count
+
+let percentile (t : t) p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Histogram.percentile: p outside 0-100";
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let n = Array.length t.counts in
+    let rec walk i seen =
+      if i >= n then t.max_v
+      else
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then
+          let _, hi = bucket_bounds t i in
+          (* The bucket's upper bound, clamped to the exact max: p100
+             is always the true maximum. *)
+          if hi > t.max_v then t.max_v else hi
+        else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let p50 t = percentile t 50.0
+let p90 t = percentile t 90.0
+let p99 t = percentile t 99.0
+let p999 t = percentile t 99.9
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds t i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+let summary (t : t) =
+  { count = t.count; sum = t.sum; min = min_value t; max = t.max_v;
+    mean = mean t; p50 = p50 t; p90 = p90 t; p99 = p99 t; p999 = p999 t }
+
+let merge_into ~into src =
+  if into.sub_bits <> src.sub_bits then
+    invalid_arg "Histogram.merge_into: sub_bits mismatch";
+  Array.iteri
+    (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let merge a b =
+  let t = create ~sub_bits:a.sub_bits () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let merge_all ?(sub_bits = 5) hists =
+  let t = create ~sub_bits () in
+  List.iter (fun h -> merge_into ~into:t h) hists;
+  t
+
+let pp ppf (t : t) =
+  if t.count = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2f p50=%d p90=%d p99=%d p999=%d max=%d" t.count (mean t)
+      (p50 t) (p90 t) (p99 t) (p999 t) t.max_v

@@ -1,0 +1,97 @@
+(** Log-bucketed HDR-style histogram over non-negative integers.
+
+    Values below [2^sub_bits] are recorded exactly; above that, each
+    power-of-two octave is split into [2^sub_bits] sub-buckets, so any
+    reported quantile is within a relative error of [2^-sub_bits] of
+    the true value (3.125 % at the default [sub_bits = 5]).  Storage
+    is a fixed flat array (~1.9 k buckets at the default resolution)
+    allocated once at creation: {!record} touches one cell and four
+    scalar fields — cheap enough to leave on in a packet hot path.
+
+    Two histograms with the same [sub_bits] merge bucket-wise, which
+    is exact: merging any partition of a value stream equals the
+    histogram of the whole stream.  That is what lets per-domain or
+    per-stripe recorders aggregate without coordination. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [sub_bits] trades resolution for memory (default 5; 1–10).
+    @raise Invalid_argument outside that range. *)
+
+val sub_bits : t -> int
+
+val record : t -> int -> unit
+(** Record one value.  Negative values clamp to 0. *)
+
+val add : t -> int -> count:int -> unit
+(** Record a value [count] times (bucket restore / batched charge).
+    @raise Invalid_argument if [count] is negative. *)
+
+val clear : t -> unit
+
+(** {1 Reading} *)
+
+val count : t -> int
+(** Values recorded. *)
+
+val sum : t -> int
+(** Exact sum of recorded values (not bucket-quantised). *)
+
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** Exact mean ([sum/count]); [nan] when empty. *)
+
+val is_empty : t -> bool
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0, 100]: an upper bound on the value
+    at rank [ceil (p/100 * count)], exact below [2^sub_bits] and
+    within [2^-sub_bits] relative error above; 0 when empty.
+    @raise Invalid_argument if [p] is outside [0, 100] or NaN. *)
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+val buckets : t -> (int * int * int) list
+(** Occupied buckets as [(lo, hi, count)], ascending; both bounds
+    inclusive.  Suitable for re-{!add}ing into a fresh histogram (use
+    [hi] as the representative, matching {!percentile}'s convention). *)
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val summary : t -> summary
+(** The fixed quantile set every exporter ships. *)
+
+(** {1 Merging} *)
+
+val merge_into : into:t -> t -> unit
+(** Bucket-wise add.  @raise Invalid_argument on [sub_bits] mismatch. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both operands' data.
+    @raise Invalid_argument on [sub_bits] mismatch. *)
+
+val merge_all : ?sub_bits:int -> t list -> t
+(** Fold {!merge_into} over the list into a fresh histogram
+    ([sub_bits] defaults to 5, which must match every operand). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, quantiles, max. *)

@@ -1,0 +1,375 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emitting                                                            *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  (* %.17g round-trips every finite double; trim the common case where
+     fewer digits suffice by trying %.12g first. *)
+  let shortest = Printf.sprintf "%.12g" f in
+  let s =
+    if float_of_string shortest = f then shortest
+    else Printf.sprintf "%.17g" f
+  in
+  (* "1e3" and "13." are not JSON numbers without adjustment; ensure a
+     digit follows any '.' and that plain integers keep a marker of
+     floatness so they round-trip as Float. *)
+  if
+    String.exists (function '.' | 'e' | 'E' | 'n' -> true | _ -> false) s
+  then s
+  else s ^ ".0"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (float_to_string f)
+    else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf key;
+        Buffer.add_char buf ':';
+        to_buffer buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let rec pretty_to buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as atom -> to_buffer buf atom
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    let inner = indent ^ "  " in
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf inner;
+        pretty_to buf inner item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf indent;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    let inner = indent ^ "  " in
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf inner;
+        escape_to buf key;
+        Buffer.add_string buf ": ";
+        pretty_to buf inner value)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf indent;
+    Buffer.add_char buf '}'
+
+let to_string_pretty t =
+  let buf = Buffer.create 1024 in
+  pretty_to buf "" t;
+  Buffer.contents buf
+
+let to_channel oc t =
+  output_string oc (to_string_pretty t);
+  output_char oc '\n'
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of int * string
+
+let max_depth = 512
+
+let of_string input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail message = raise (Parse_error (!pos, message)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail (Printf.sprintf "expected %C, found %C" c got)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub input !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let add_utf8 buf code =
+    (* Encode a Unicode scalar value as UTF-8. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match input.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail (Printf.sprintf "bad hex digit %C in \\u escape" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match input.[!pos] with
+      | '"' ->
+        advance ();
+        Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (if !pos >= len then fail "unterminated escape";
+         match input.[!pos] with
+         | '"' -> advance (); Buffer.add_char buf '"'
+         | '\\' -> advance (); Buffer.add_char buf '\\'
+         | '/' -> advance (); Buffer.add_char buf '/'
+         | 'n' -> advance (); Buffer.add_char buf '\n'
+         | 't' -> advance (); Buffer.add_char buf '\t'
+         | 'r' -> advance (); Buffer.add_char buf '\r'
+         | 'b' -> advance (); Buffer.add_char buf '\b'
+         | 'f' -> advance (); Buffer.add_char buf '\012'
+         | 'u' ->
+           advance ();
+           let code = hex4 () in
+           if code >= 0xD800 && code <= 0xDBFF then begin
+             (* High surrogate: require the low half. *)
+             if
+               !pos + 2 <= len && input.[!pos] = '\\'
+               && input.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let low = hex4 () in
+               if low < 0xDC00 || low > 0xDFFF then
+                 fail "invalid low surrogate"
+               else
+                 add_utf8 buf
+                   (0x10000
+                   + ((code - 0xD800) lsl 10)
+                   + (low - 0xDC00))
+             end
+             else fail "lone high surrogate"
+           end
+           else if code >= 0xDC00 && code <= 0xDFFF then
+             fail "lone low surrogate"
+           else add_utf8 buf code
+         | c -> fail (Printf.sprintf "bad escape \\%C" c));
+        go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < len && match input.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub input start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, value) :: acc))
+          | _ -> fail "expected ',' or '}' in object"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (value :: acc))
+          | _ -> fail "expected ',' or ']' in array"
+        in
+        items []
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let value = parse_value 0 in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage after value";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error (at, message) ->
+    Error (Printf.sprintf "json: byte %d: %s" at message)
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error message -> Error ("json: " ^ message)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list_opt = function List items -> Some items | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | Null -> Some Float.nan
+  | _ -> None

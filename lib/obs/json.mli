@@ -1,0 +1,54 @@
+(** Dependency-free JSON: a value type, an emitter and a parser.
+
+    Just enough for machine-readable metric export — no streaming, no
+    number-preservation subtleties beyond int/float, UTF-8 passed
+    through as-is.  Ints and floats are distinct constructors and
+    survive a round-trip; non-finite floats emit as [null] (JSON has
+    no spelling for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Emitting} *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact (no insignificant whitespace). *)
+
+val to_string_pretty : t -> string
+(** Two-space indentation — for files humans will diff. *)
+
+val to_channel : out_channel -> t -> unit
+(** Pretty, with a trailing newline. *)
+
+val write_file : string -> t -> unit
+(** [to_channel] to a fresh file. *)
+
+(** {1 Parsing} *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 subset: rejects trailing garbage, unterminated
+    literals, and nesting deeper than 512.  Escapes including
+    [\uXXXX] (with surrogate pairs) are decoded to UTF-8.  Numbers
+    with a fraction or exponent parse as [Float], others as [Int]
+    ([Float] on overflow).  Errors name the byte offset. *)
+
+val of_file : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing key. *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] and [Float] both read as float; [Null] reads as [nan] (the
+    emitter's encoding of non-finite values). *)

@@ -1,0 +1,204 @@
+type source =
+  | Counter_src of (unit -> int)
+  | Owned_counter of int ref
+  | Gauge_src of (unit -> float)
+  | Histogram_src of Histogram.t
+
+type entry = { mutable help : string; mutable units : string;
+               mutable source : source }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+}
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let register t ~name ~help ~units source =
+  match Hashtbl.find_opt t.table name with
+  | Some entry ->
+    entry.source <- source;
+    if help <> "" then entry.help <- help;
+    if units <> "" then entry.units <- units
+  | None ->
+    Hashtbl.add t.table name { help; units; source };
+    t.order <- name :: t.order
+
+let register_counter t ?(help = "") ~name read =
+  register t ~name ~help ~units:"" (Counter_src read)
+
+let register_gauge t ?(help = "") ?(units = "") ~name read =
+  register t ~name ~help ~units (Gauge_src read)
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.table name with
+  | Some { source = Owned_counter r; _ } -> r
+  | _ ->
+    let r = ref 0 in
+    register t ~name ~help ~units:"" (Owned_counter r);
+    r
+
+let histogram t ?(help = "") ?(units = "") ?sub_bits name =
+  match Hashtbl.find_opt t.table name with
+  | Some { source = Histogram_src h; _ } -> h
+  | _ ->
+    let h = Histogram.create ?sub_bits () in
+    register t ~name ~help ~units (Histogram_src h);
+    h
+
+let size t = Hashtbl.length t.table
+
+type data =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.summary * (int * int * int) list
+
+type metric = { name : string; help : string; units : string; data : data }
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      let entry = Hashtbl.find t.table name in
+      let data =
+        match entry.source with
+        | Counter_src read -> Counter (read ())
+        | Owned_counter r -> Counter !r
+        | Gauge_src read -> Gauge (read ())
+        | Histogram_src h -> Histogram (Histogram.summary h, Histogram.buckets h)
+      in
+      { name; help = entry.help; units = entry.units; data })
+    t.order
+
+let find metrics name = List.find_opt (fun m -> m.name = name) metrics
+
+(* ------------------------------------------------------------------ *)
+(* JSON export: the tcpdemux-obs/1 schema (DESIGN.md section 8).       *)
+
+let schema_id = "tcpdemux-obs/1"
+
+let metric_to_json m =
+  let base = [ ("name", Json.String m.name) ] in
+  let annotations =
+    (if m.help = "" then [] else [ ("help", Json.String m.help) ])
+    @ if m.units = "" then [] else [ ("units", Json.String m.units) ]
+  in
+  match m.data with
+  | Counter v ->
+    Json.Obj (base @ [ ("type", Json.String "counter") ] @ annotations
+              @ [ ("value", Json.Int v) ])
+  | Gauge v ->
+    Json.Obj (base @ [ ("type", Json.String "gauge") ] @ annotations
+              @ [ ("value", Json.Float v) ])
+  | Histogram (s, buckets) ->
+    Json.Obj
+      (base
+      @ [ ("type", Json.String "histogram") ]
+      @ annotations
+      @ [ ("count", Json.Int s.Histogram.count);
+          ("sum", Json.Int s.Histogram.sum);
+          ("min", Json.Int s.Histogram.min);
+          ("max", Json.Int s.Histogram.max);
+          ("mean", Json.Float s.Histogram.mean);
+          ("p50", Json.Int s.Histogram.p50);
+          ("p90", Json.Int s.Histogram.p90);
+          ("p99", Json.Int s.Histogram.p99);
+          ("p999", Json.Int s.Histogram.p999);
+          ("buckets",
+           Json.List
+             (List.map
+                (fun (lo, hi, c) ->
+                  Json.List [ Json.Int lo; Json.Int hi; Json.Int c ])
+                buckets)) ])
+
+let to_json ?label t =
+  Json.Obj
+    ([ ("schema", Json.String schema_id) ]
+    @ (match label with
+      | Some l -> [ ("label", Json.String l) ]
+      | None -> [])
+    @ [ ("metrics", Json.List (List.map metric_to_json (snapshot t))) ])
+
+let write_json ?label t path = Json.write_file path (to_json ?label t)
+
+(* ------------------------------------------------------------------ *)
+(* Reading a snapshot back                                             *)
+
+let ( let* ) r f = Result.bind r f
+
+let field_int json key =
+  match Json.member key json with
+  | Some (Json.Int v) -> Ok v
+  | _ -> Error (Printf.sprintf "metric missing int field %S" key)
+
+let field_float json key =
+  match Option.bind (Json.member key json) Json.to_float_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "metric missing numeric field %S" key)
+
+let field_string ?default json key =
+  match (Json.member key json, default) with
+  | Some (Json.String s), _ -> Ok s
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "metric missing string field %S" key)
+
+let metric_of_json json =
+  let* name = field_string json "name" in
+  let* help = field_string ~default:"" json "help" in
+  let* units = field_string ~default:"" json "units" in
+  let* kind = field_string json "type" in
+  let* data =
+    match kind with
+    | "counter" ->
+      let* v = field_int json "value" in
+      Ok (Counter v)
+    | "gauge" ->
+      let* v = field_float json "value" in
+      Ok (Gauge v)
+    | "histogram" ->
+      let* count = field_int json "count" in
+      let* sum = field_int json "sum" in
+      let* min = field_int json "min" in
+      let* max = field_int json "max" in
+      let* mean = field_float json "mean" in
+      let* p50 = field_int json "p50" in
+      let* p90 = field_int json "p90" in
+      let* p99 = field_int json "p99" in
+      let* p999 = field_int json "p999" in
+      let* buckets =
+        match Json.member "buckets" json with
+        | Some (Json.List items) ->
+          let rec convert acc = function
+            | [] -> Ok (List.rev acc)
+            | Json.List [ Json.Int lo; Json.Int hi; Json.Int c ] :: rest ->
+              convert ((lo, hi, c) :: acc) rest
+            | _ -> Error "histogram bucket is not [lo, hi, count]"
+          in
+          convert [] items
+        | _ -> Error "histogram missing buckets array"
+      in
+      Ok
+        (Histogram
+           ( { Histogram.count; sum; min; max; mean; p50; p90; p99; p999 },
+             buckets ))
+    | other -> Error (Printf.sprintf "unknown metric type %S" other)
+  in
+  Ok { name; help; units; data }
+
+let of_json json =
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.String s) when s = schema_id -> Ok ()
+    | Some (Json.String s) ->
+      Error (Printf.sprintf "unexpected schema %S (want %S)" s schema_id)
+    | _ -> Error "missing schema field"
+  in
+  match Json.member "metrics" json with
+  | Some (Json.List items) ->
+    let rec convert acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* m = metric_of_json item in
+        convert (m :: acc) rest
+    in
+    convert [] items
+  | _ -> Error "missing metrics array"

@@ -1,0 +1,74 @@
+(** A named-metric registry: counters, gauges, histograms.
+
+    Registration and lookup are O(1) (hash table); snapshotting walks
+    metrics in registration order.  Counters and gauges are {e polled}
+    — the registry stores a closure and reads it at snapshot time — so
+    existing mutable counters ([Demux.Lookup_stats], the TCP stack's
+    drop counters) register without changing their own representation
+    and without paying anything on their hot paths.  Histograms are
+    owned: {!histogram} creates (or returns) the instance, and
+    recorders write into it directly.
+
+    Re-registering a name replaces its source but keeps its position —
+    idempotent wiring for code paths that run more than once.
+
+    {!to_json} emits the [tcpdemux-obs/1] snapshot schema documented
+    in DESIGN.md §8; {!of_json} reads it back. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+val register_counter :
+  t -> ?help:string -> name:string -> (unit -> int) -> unit
+(** A monotonic count, read at snapshot time. *)
+
+val register_gauge :
+  t -> ?help:string -> ?units:string -> name:string -> (unit -> float) -> unit
+(** An instantaneous level, read at snapshot time. *)
+
+val counter : t -> ?help:string -> string -> int ref
+(** An owned counter for new code: registered under the name, returned
+    for direct [incr].  If the name is already an owned counter, the
+    existing ref is returned. *)
+
+val histogram :
+  t -> ?help:string -> ?units:string -> ?sub_bits:int -> string ->
+  Histogram.t
+(** Create-or-get a registered histogram.  An existing histogram under
+    the name is returned as-is (its [sub_bits] wins); a non-histogram
+    under the name is replaced. *)
+
+val size : t -> int
+(** Registered metric count. *)
+
+(** {1 Snapshots} *)
+
+type data =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.summary * (int * int * int) list
+      (** Summary plus occupied buckets [(lo, hi, count)]. *)
+
+type metric = { name : string; help : string; units : string; data : data }
+
+val snapshot : t -> metric list
+(** In registration order. *)
+
+val find : metric list -> string -> metric option
+
+val to_json : ?label:string -> t -> Json.t
+(** The [tcpdemux-obs/1] schema:
+    [{"schema": "tcpdemux-obs/1", "label": ..., "metrics": [...]}] —
+    each metric carries [name]/[type]/[help]/[units] plus [value]
+    (counter, gauge) or the summary fields and [buckets] (histogram). *)
+
+val write_json : ?label:string -> t -> string -> unit
+(** [to_json] pretty-printed to a file. *)
+
+val of_json : Json.t -> (metric list, string) result
+(** Read a snapshot back (the round-trip reader used by tests and the
+    CI schema check).  Histogram summaries are reconstructed from the
+    emitted fields; buckets are preserved. *)

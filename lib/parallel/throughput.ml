@@ -11,20 +11,39 @@ type result = {
   total_lookups : int;
   elapsed_seconds : float;
   lookups_per_second : float;
+  latency : Obs.Histogram.t option;
+  traces : Obs.Trace.t list;
 }
 
 (* A uniform lookup driver over an opaque thread-safe lookup
-   function. *)
-let drive ~flows ~lookups ~seed lookup =
+   function.  With [histogram], each lookup is additionally timed and
+   its latency recorded in nanoseconds; the histogram is domain-local,
+   so recording needs no synchronisation. *)
+let drive ?histogram ?(tracer = Obs.Trace.disabled) ~flows ~lookups ~seed
+    lookup =
   let rng = Worker_rng.create seed in
   let bound = Array.length flows in
-  for _ = 1 to lookups do
-    let flow = flows.(Worker_rng.next rng mod bound) in
-    ignore (lookup flow)
-  done
+  match (histogram, Obs.Trace.enabled tracer) with
+  | None, false ->
+    for _ = 1 to lookups do
+      let flow = flows.(Worker_rng.next rng mod bound) in
+      ignore (lookup flow)
+    done
+  | _ ->
+    for _ = 1 to lookups do
+      let flow = flows.(Worker_rng.next rng mod bound) in
+      let entered = Unix.gettimeofday () in
+      ignore (lookup flow);
+      let left = Unix.gettimeofday () in
+      let nanoseconds = int_of_float ((left -. entered) *. 1e9) in
+      (match histogram with
+      | Some histogram -> Obs.Histogram.record histogram nanoseconds
+      | None -> ());
+      Obs.Trace.record tracer Obs.Trace.Latency nanoseconds 0
+    done
 
-let run ?(connections = 2000) ?(lookups_per_domain = 200_000) ?(seed = 42)
-    ~domains target =
+let run ?obs ?trace_capacity ?(connections = 2000)
+    ?(lookups_per_domain = 200_000) ?(seed = 42) ~domains target =
   if domains <= 0 then invalid_arg "Throughput.run: domains <= 0";
   let flows =
     Array.init connections (fun i ->
@@ -57,26 +76,66 @@ let run ?(connections = 2000) ?(lookups_per_domain = 200_000) ?(seed = 42)
       Array.iter (fun flow -> ignore (Striped.insert d flow ())) flows;
       fun flow -> Striped.lookup d flow <> None
   in
+  (* One histogram per domain, merged after the join: recording stays
+     allocation- and contention-free on the measurement path. *)
+  let histograms =
+    Option.map
+      (fun _ -> Array.init domains (fun _ -> Obs.Histogram.create ()))
+      obs
+  in
+  (* Tracers are single-domain: one ring per worker, tagged with the
+     domain index, dumped as consecutive segments by the caller. *)
+  let tracers =
+    Option.map
+      (fun capacity ->
+        Array.init domains (fun worker ->
+            Obs.Trace.create ~id:worker ~capacity ()))
+      trace_capacity
+  in
   let started = Unix.gettimeofday () in
   let workers =
     List.init domains (fun worker ->
         Domain.spawn (fun () ->
-            drive ~flows ~lookups:lookups_per_domain ~seed:(seed + worker)
+            drive
+              ?histogram:(Option.map (fun hs -> hs.(worker)) histograms)
+              ?tracer:(Option.map (fun ts -> ts.(worker)) tracers)
+              ~flows ~lookups:lookups_per_domain ~seed:(seed + worker)
               lookup))
   in
   List.iter Domain.join workers;
   let elapsed = Unix.gettimeofday () -. started in
   let total = domains * lookups_per_domain in
+  let latency =
+    match (obs, histograms) with
+    | Some obs, Some per_domain ->
+      let merged =
+        Obs.Registry.histogram obs ~units:"ns"
+          ~help:"per-lookup wall latency, merged across domains"
+          (Printf.sprintf "parallel.%s.d%d.lookup_ns" (target_name target)
+             domains)
+      in
+      Array.iter
+        (fun histogram -> Obs.Histogram.merge_into ~into:merged histogram)
+        per_domain;
+      Some merged
+    | _ -> None
+  in
   { target = target_name target; domains; total_lookups = total;
     elapsed_seconds = elapsed;
-    lookups_per_second = float_of_int total /. elapsed }
+    lookups_per_second = float_of_int total /. elapsed; latency;
+    traces =
+      (match tracers with
+      | Some tracers -> Array.to_list tracers
+      | None -> []) }
 
-let scaling_table ?connections ?lookups_per_domain ~domains targets =
+let scaling_table ?obs ?trace_capacity ?connections ?lookups_per_domain
+    ?seed ~domains targets =
   List.concat_map
     (fun target ->
       List.map
         (fun domain_count ->
-          run ?connections ?lookups_per_domain ~domains:domain_count target)
+          run ?obs ?trace_capacity ?connections ?lookups_per_domain ?seed
+            ~domains:domain_count target)
         domains)
     targets
 

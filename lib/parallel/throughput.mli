@@ -18,17 +18,31 @@ type result = {
   total_lookups : int;
   elapsed_seconds : float;
   lookups_per_second : float;
+  latency : Obs.Histogram.t option;
+      (** Per-lookup wall latency in nanoseconds, merged across
+          domains — present iff [?obs] was passed to {!run}. *)
+  traces : Obs.Trace.t list;
+      (** One per domain (tagged with the domain index), each holding
+          the last [?trace_capacity] [Latency] events — empty unless
+          [?trace_capacity] was passed to {!run}. *)
 }
 
 val run :
-  ?connections:int -> ?lookups_per_domain:int -> ?seed:int -> domains:int ->
-  target -> result
+  ?obs:Obs.Registry.t -> ?trace_capacity:int -> ?connections:int ->
+  ?lookups_per_domain:int -> ?seed:int -> domains:int -> target -> result
 (** Defaults: 2000 connections, 200_000 lookups per domain, seed 42.
+    With [?obs], every lookup is timed into a domain-local histogram
+    (no cross-domain synchronisation); after the join the histograms
+    are merged ({!Obs.Histogram.merge_into} is exact bucket-wise) and
+    registered as ["parallel.<target>.d<domains>.lookup_ns"].  Timing
+    costs two clock reads per lookup, so throughput numbers with
+    [?obs] are not comparable to numbers without.
     @raise Invalid_argument if [domains <= 0]. *)
 
 val scaling_table :
-  ?connections:int -> ?lookups_per_domain:int -> domains:int list ->
-  target list -> result list
+  ?obs:Obs.Registry.t -> ?trace_capacity:int -> ?connections:int ->
+  ?lookups_per_domain:int -> ?seed:int -> domains:int list -> target list ->
+  result list
 (** Run every (target, domain-count) pair, in order. *)
 
 val pp_results : Format.formatter -> result list -> unit

@@ -59,12 +59,39 @@ let colliding_flows ~hasher ~chains ~count =
   in
   collect 0 [] 0
 
-let run_collision_flood config spec =
+let observe_demux ~scenario obs tracer demux =
+  (match obs with
+  | Some obs ->
+    Demux.Registry.observe
+      ~prefix:
+        (Printf.sprintf "attack.%s.%s" scenario demux.Demux.Registry.name)
+      obs demux
+  | None -> ());
+  match tracer with
+  | Some tracer ->
+    Demux.Lookup_stats.set_tracer demux.Demux.Registry.stats tracer
+  | None -> ()
+
+let observe_stack ~scenario ~spec obs tracer stack =
+  (match obs with
+  | Some obs ->
+    Tcpcore.Stack.register_obs
+      ~prefix:
+        (Printf.sprintf "attack.%s.%s" scenario
+           (Demux.Registry.spec_name spec))
+      stack obs
+  | None -> ());
+  match tracer with
+  | Some tracer -> Tcpcore.Stack.set_tracer stack tracer
+  | None -> ()
+
+let run_collision_flood ?obs ?tracer config spec =
   let chains, hasher = Demux.Registry.chain_geometry spec in
   let flows =
     Array.of_list (colliding_flows ~hasher ~chains ~count:config.flood_flows)
   in
   let demux = Demux.Registry.create spec in
+  observe_demux ~scenario:"collision-flood" obs tracer demux;
   Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
   let rng = Numerics.Rng.create ~seed:config.seed in
   for _ = 1 to config.flood_lookups do
@@ -90,11 +117,12 @@ let run_collision_flood config spec =
 let server_addr = Packet.Ipv4.addr_of_octets 192 168 1 1
 let server_port = 8888
 
-let run_syn_flood config spec =
+let run_syn_flood ?obs ?tracer config spec =
   let stack =
     Tcpcore.Stack.create ~demux:spec ~retransmit_timeout:0.5
       ~local_addr:server_addr ()
   in
+  observe_stack ~scenario:"syn-flood" ~spec obs tracer stack;
   Tcpcore.Stack.listen stack ~port:server_port ~on_data:(fun _ _ _ -> ());
   let server_ep = Packet.Flow.endpoint server_addr server_port in
   let rng = Numerics.Rng.create ~seed:config.seed in
@@ -141,8 +169,9 @@ let storm_plan =
   Fault.Plan.v ~corrupt:0.35 ~truncate:0.2 ~duplicate:0.15 ~reorder:0.15
     ~drop:0.1 ~tuple_flip:0.25 ()
 
-let run_malformed_storm config spec =
+let run_malformed_storm ?obs ?tracer config spec =
   let stack = Tcpcore.Stack.create ~demux:spec ~local_addr:server_addr () in
+  observe_stack ~scenario:"malformed-storm" ~spec obs tracer stack;
   Tcpcore.Stack.listen stack ~port:server_port ~on_data:(fun t conn payload ->
       Tcpcore.Stack.send t conn payload);
   let server_ep = Packet.Flow.endpoint server_addr server_port in
@@ -197,10 +226,22 @@ let scenarios =
   [ ("collision-flood", run_collision_flood); ("syn-flood", run_syn_flood);
     ("malformed-storm", run_malformed_storm) ]
 
-let run_all config specs =
-  List.concat_map
-    (fun (_, run) -> List.map (fun spec -> run config spec) specs)
-    scenarios
+let run_all ?obs ?tracer config specs =
+  List.concat
+    (List.mapi
+       (fun scenario_index (_, run) ->
+         List.mapi
+           (fun algorithm_index spec ->
+             (* A Phase event brackets each (scenario, algorithm) run so
+                a trace reader can attribute what follows. *)
+             (match tracer with
+             | Some tracer ->
+               Obs.Trace.record tracer Obs.Trace.Phase scenario_index
+                 algorithm_index
+             | None -> ());
+             run ?obs ?tracer config spec)
+           specs)
+       scenarios)
 
 let pp_table ppf results =
   Format.fprintf ppf "%-16s %-24s %8s %8s %6s %7s %7s %6s %6s %6s@."

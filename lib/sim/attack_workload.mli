@@ -49,12 +49,26 @@ val colliding_flows :
 (** [count] distinct flows that all hash to chain 0 of the given
     geometry — the attacker's ammunition. *)
 
-val run_collision_flood : config -> Demux.Registry.spec -> result
-val run_syn_flood : config -> Demux.Registry.spec -> result
-val run_malformed_storm : config -> Demux.Registry.spec -> result
+val run_collision_flood :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> result
 
-val run_all : config -> Demux.Registry.spec list -> result list
-(** Every scenario against every spec, grouped by scenario. *)
+val run_syn_flood :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> result
+
+val run_malformed_storm :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> result
+
+val run_all :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec list -> result list
+(** Every scenario against every spec, grouped by scenario.  [?obs]
+    registers each run's accounting under
+    ["attack.<scenario>.<algorithm>."]; [?tracer] receives the runs'
+    hot-path events, with a [Phase] event (payload: scenario index,
+    algorithm index) bracketing each run. *)
 
 val pp_table : Format.formatter -> result list -> unit
 (** The resilience table the [tcpdemux attack] subcommand prints. *)

@@ -20,13 +20,13 @@ let mean_lifetime config =
 
 let steady_state_population config = config.arrival_rate *. mean_lifetime config
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.arrival_rate <= 0.0 then
     invalid_arg "Churn_workload.run: arrival_rate <= 0";
   if config.duration <= 0.0 then invalid_arg "Churn_workload.run: duration <= 0";
   let rng = Numerics.Rng.create ~seed:config.seed in
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   let engine = Engine.create () in
   let interarrival = Numerics.Distribution.exponential ~rate:config.arrival_rate in
   let next_client = ref 0 in

@@ -27,7 +27,11 @@ val default_config : ?arrival_rate:float -> ?duration:float -> unit -> config
     gaps, warm-up 10 s, 60 measured seconds, seed 42 — a steady-state
     population of ~20 live connections. *)
 
-val run : config -> Demux.Registry.spec -> Report.t
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> Report.t
+(** [?obs] and [?tracer] instrument the demultiplexer as in
+    {!Meter.create}. *)
 
 val steady_state_population : config -> float
 (** Little's law: [arrival_rate * mean_lifetime]. *)

@@ -43,3 +43,5 @@ let run ?(until = Float.infinity) ?(max_events = max_int) t =
 
 let events_processed t = t.processed
 let stop t = t.stopped <- true
+
+let clock t = Obs.Clock.of_fun (fun () -> t.clock)

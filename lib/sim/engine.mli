@@ -37,3 +37,8 @@ val events_processed : t -> int
 
 val stop : t -> unit
 (** Request that {!run} return after the current callback. *)
+
+val clock : t -> Obs.Clock.t
+(** The simulation clock as an observability clock: reading it returns
+    {!now}.  Attach to a tracer ({!Obs.Trace.set_clock}) so events are
+    stamped in virtual seconds instead of wall time. *)

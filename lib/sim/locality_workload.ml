@@ -39,7 +39,7 @@ let sample_zipf cdf rng =
   in
   search 0 (Array.length cdf - 1)
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.connections <= 0 then
     invalid_arg "Locality_workload.run: connections <= 0";
   if config.packets <= 0 then invalid_arg "Locality_workload.run: packets <= 0";
@@ -47,7 +47,7 @@ let run config spec =
     invalid_arg "Locality_workload.run: ack_fraction outside [0,1]";
   let rng = Numerics.Rng.create ~seed:config.seed in
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   let flows = Topology.flows config.connections in
   Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
   let cdf = zipf_cdf ~connections:config.connections

@@ -18,4 +18,8 @@ val default_config : ?connections:int -> ?packets:int -> unit -> config
 (** Defaults: 256 connections, 50_000 packets, exponent 1.0, geometric
     bursts of mean 4, 30 % acks. *)
 
-val run : config -> Demux.Registry.spec -> Report.t
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> Report.t
+(** [?obs] and [?tracer] instrument the demultiplexer as in
+    {!Meter.create}. *)

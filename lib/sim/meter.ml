@@ -5,12 +5,20 @@ type t = {
   mutable measuring : bool;
 }
 
-let create demux =
+let create ?obs ?tracer demux =
+  (match obs with
+  | Some obs -> Demux.Registry.observe obs demux
+  | None -> ());
+  (match tracer with
+  | Some tracer ->
+    Demux.Lookup_stats.set_tracer demux.Demux.Registry.stats tracer
+  | None -> ());
   { demux; entry = Numerics.Stats.create (); ack = Numerics.Stats.create ();
     measuring = true }
 
 let demux t = t.demux
 let set_measuring t flag = t.measuring <- flag
+let measuring t = t.measuring
 
 let start_measuring t =
   Demux.Lookup_stats.reset t.demux.Demux.Registry.stats;

@@ -9,10 +9,19 @@
 
 type t
 
-val create : unit Demux.Registry.t -> t
+val create :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> unit Demux.Registry.t -> t
+(** Wrap a demultiplexer.  [?obs] registers its accounting via
+    {!Demux.Registry.observe} (counters, PCB gauge, examined-count
+    histogram); [?tracer] attaches a hot-path tracer via
+    {!Demux.Lookup_stats.set_tracer}.  Both default to off, leaving
+    the demultiplexer untouched — every simulation workload funnels
+    through here, so these two hooks instrument them all. *)
+
 val demux : t -> unit Demux.Registry.t
 
 val set_measuring : t -> bool -> unit
+val measuring : t -> bool
 (** Lookups still happen while off (the data structure must stay
     warm); they are just not recorded. *)
 

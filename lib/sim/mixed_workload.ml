@@ -19,14 +19,14 @@ type result = {
   bulk_mean : float;
 }
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.oltp_users <= 0 then invalid_arg "Mixed_workload.run: no OLTP users";
   if config.bulk_streams < 0 then
     invalid_arg "Mixed_workload.run: negative bulk_streams";
   if config.bulk_rate <= 0.0 then invalid_arg "Mixed_workload.run: bulk_rate <= 0";
   let root_rng = Numerics.Rng.create ~seed:config.seed in
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   (* Per-traffic-class accounting on top of the meter: diff the
      aggregate examined counter around each lookup. *)
   let oltp_stats = ref (Numerics.Stats.create ()) in

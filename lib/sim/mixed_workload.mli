@@ -30,6 +30,10 @@ type result = {
   bulk_mean : float;  (** PCBs examined per bulk segment. *)
 }
 
-val run : config -> Demux.Registry.spec -> result
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> result
+(** [?obs] and [?tracer] instrument the demultiplexer as in
+    {!Meter.create}. *)
 
 val pp_results : Format.formatter -> result list -> unit

@@ -11,7 +11,7 @@ let default_config ?(users = 2000) ?(rounds = 20) () =
   { users; poll_interval = 10.0; response_time = 0.2; rtt = 0.001; rounds;
     seed = 42 }
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.rounds <= 0 then invalid_arg "Polling_workload.run: rounds <= 0";
   let tpca_config =
     { Tpca_workload.users = config.users;
@@ -24,5 +24,5 @@ let run config spec =
       stagger = Tpca_workload.Even; seed = config.seed; delayed_acks = false;
       extra_query_packets = 0 }
   in
-  let report = Tpca_workload.run tpca_config spec in
+  let report = Tpca_workload.run ?obs ?tracer tpca_config spec in
   { report with Report.workload = "polling" }

@@ -17,4 +17,8 @@ val default_config : ?users:int -> ?rounds:int -> unit -> config
 (** Defaults: 2000 users, 10 s interval, R = 0.2, D = 1 ms,
     20 rounds. *)
 
-val run : config -> Demux.Registry.spec -> Report.t
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> Report.t
+(** [?obs] and [?tracer] instrument the demultiplexer as in
+    {!Meter.create}. *)

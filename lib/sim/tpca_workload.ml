@@ -26,7 +26,7 @@ let default_config ?warmup ?(duration = 120.0) ?(seed = 42)
     rtt = params.Analysis.Tpca_params.rtt; warmup; duration;
     stagger = Sampled; seed; delayed_acks = false; extra_query_packets = 0 }
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.users <= 0 then invalid_arg "Tpca_workload.run: users <= 0";
   if config.duration <= 0.0 then invalid_arg "Tpca_workload.run: duration <= 0";
   let root_rng = Numerics.Rng.create ~seed:config.seed in
@@ -34,10 +34,31 @@ let run config spec =
     Array.init config.users (fun _ -> Numerics.Rng.split root_rng)
   in
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   let flows = Topology.flows config.users in
   Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
   let engine = Engine.create () in
+  (* Traced events and latencies are stamped in virtual time. *)
+  (match tracer with
+  | Some tracer -> Obs.Trace.set_clock tracer (Engine.clock engine)
+  | None -> ());
+  let latency =
+    Option.map
+      (fun obs ->
+        Obs.Registry.histogram obs ~units:"us"
+          ~help:
+            "query arrival to response-ack delivery, virtual time, \
+             measured window only"
+          ("sim.tpca." ^ demux.Demux.Registry.name ^ ".txn_latency"))
+      obs
+  in
+  let record_latency started =
+    match latency with
+    | Some histogram when Meter.measuring meter ->
+      Obs.Histogram.record histogram
+        (int_of_float ((Engine.now engine -. started) *. 1e6))
+    | Some _ | None -> ()
+  in
   (* One user's unending transaction cycle.  All four packets of the
      paper's exchange appear: the query (metered Data lookup), the
      query's transport-level ack and the response (transmit events),
@@ -47,6 +68,7 @@ let run config spec =
     invalid_arg "Tpca_workload.run: extra_query_packets < 0";
   let rec enter_transaction user engine =
     let flow = flows.(user) in
+    let started = Engine.now engine in
     Meter.lookup meter ~kind:Demux.Types.Data flow;
     (* Chatty clients (Section 3.4): redundant segments arrive
        back-to-back with the query, forming a micro-train. *)
@@ -59,6 +81,7 @@ let run config spec =
         Meter.note_send meter flow (* the response *);
         Engine.schedule engine ~delay:config.rtt (fun engine ->
             Meter.lookup meter ~kind:Demux.Types.Pure_ack flow;
+            record_latency started;
             let think =
               Numerics.Distribution.sample config.think user_rngs.(user)
             in

@@ -51,7 +51,14 @@ val default_config : ?warmup:float -> ?duration:float -> ?seed:int ->
     that), [Sampled] stagger.  Defaults: warmup one mean think time,
     duration 120 simulated seconds, seed 42. *)
 
-val run : config -> Demux.Registry.spec -> Report.t
-(** Simulate and report.
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> Report.t
+(** Simulate and report.  [?obs] registers the demultiplexer's
+    counters and examined-count histogram ({!Meter.create}) plus a
+    ["sim.tpca.<algorithm>.txn_latency"] histogram of per-transaction virtual
+    latency in microseconds over the measured window; [?tracer]
+    receives the demultiplexer's hot-path events stamped in virtual
+    seconds ({!Engine.clock}).
     @raise Invalid_argument on a non-positive user count or
     duration. *)

@@ -17,9 +17,9 @@ let classify_kind (segment : Packet.Segment.t) =
   then Demux.Types.Pure_ack
   else Demux.Types.Data
 
-let replay_records ?(verify_checksum = true) records spec =
+let replay_records ?obs ?tracer ?(verify_checksum = true) records spec =
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   Meter.start_measuring meter;
   let replayed = ref 0 and skipped = ref 0 in
   List.iter
@@ -52,7 +52,7 @@ let replay_records ?(verify_checksum = true) records spec =
   { report; packets_total = List.length records; packets_replayed = !replayed;
     packets_skipped = !skipped; flows_seen = demux.Demux.Registry.length () }
 
-let replay_file ?verify_checksum path spec =
+let replay_file ?obs ?tracer ?verify_checksum path spec =
   match open_in_bin path with
   | exception Sys_error message -> Error message
   | ic ->
@@ -61,4 +61,4 @@ let replay_file ?verify_checksum path spec =
       (fun () ->
         match Packet.Pcap.read_all ic with
         | Error _ as e -> e
-        | Ok records -> Ok (replay_records ?verify_checksum records spec))
+        | Ok records -> Ok (replay_records ?obs ?tracer ?verify_checksum records spec))

@@ -16,11 +16,11 @@ type result = {
 }
 
 val replay_records :
-  ?verify_checksum:bool -> Packet.Pcap.record list -> Demux.Registry.spec ->
-  result
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> ?verify_checksum:bool ->
+  Packet.Pcap.record list -> Demux.Registry.spec -> result
 (** Replay already-read records. *)
 
 val replay_file :
-  ?verify_checksum:bool -> string -> Demux.Registry.spec ->
-  (result, string) Stdlib.result
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> ?verify_checksum:bool ->
+  string -> Demux.Registry.spec -> (result, string) Stdlib.result
 (** Open, read and replay a pcap file. *)

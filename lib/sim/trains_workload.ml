@@ -13,13 +13,13 @@ let default_config ?(connections = 64) ?(trains = 2000) () =
     train_length = Numerics.Distribution.geometric ~p:(1.0 /. 16.0);
     ack_every = 2; seed = 42 }
 
-let run config spec =
+let run ?obs ?tracer config spec =
   if config.connections <= 0 then
     invalid_arg "Trains_workload.run: connections <= 0";
   if config.trains <= 0 then invalid_arg "Trains_workload.run: trains <= 0";
   let rng = Numerics.Rng.create ~seed:config.seed in
   let demux = Demux.Registry.create spec in
-  let meter = Meter.create demux in
+  let meter = Meter.create ?obs ?tracer demux in
   let flows = Topology.flows config.connections in
   Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
   Meter.start_measuring meter;

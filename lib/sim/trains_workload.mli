@@ -24,4 +24,8 @@ val default_config : ?connections:int -> ?trains:int -> unit -> config
     mean 16 segments (matching packet-train measurements), ack every
     2 segments. *)
 
-val run : config -> Demux.Registry.spec -> Report.t
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
+  Demux.Registry.spec -> Report.t
+(** [?obs] and [?tracer] instrument the demultiplexer as in
+    {!Meter.create}. *)

@@ -25,7 +25,7 @@ let predicted_cost params (spec : Demux.Registry.spec) =
   | Demux.Registry.Splay | Demux.Registry.Guarded _ ->
     None
 
-let compare ?config params specs =
+let compare ?obs ?tracer ?config params specs =
   let config =
     match config with
     | Some c -> c
@@ -33,7 +33,7 @@ let compare ?config params specs =
   in
   List.map
     (fun spec ->
-      let report = Tpca_workload.run config spec in
+      let report = Tpca_workload.run ?obs ?tracer config spec in
       let predicted =
         match predicted_cost params spec with
         | Some v -> v

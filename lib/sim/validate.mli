@@ -20,6 +20,7 @@ val predicted_cost :
     not model analytically. *)
 
 val compare :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t ->
   ?config:Tpca_workload.config -> Analysis.Tpca_params.t ->
   Demux.Registry.spec list -> row list
 (** Run the TPC/A simulation for each spec and pair it with the

@@ -33,6 +33,7 @@ and drop_counters = {
 
 and t = {
   local_addr : Packet.Ipv4.addr;
+  mutable tracer : Obs.Trace.t;  (* Drop events; disabled by default. *)
   table : (connection, listener) Conn_table.t;
   mutable outbox : Packet.Segment.t list;  (* newest first; reversed on drain *)
   mutable next_iss : int32;
@@ -67,7 +68,8 @@ let create ?(demux =
     invalid_arg "Stack.create: retransmit_timeout <= 0";
   if delayed_ack_timeout <= 0.0 then
     invalid_arg "Stack.create: delayed_ack_timeout <= 0";
-  { local_addr; table = Conn_table.create demux; outbox = [];
+  { local_addr; tracer = Obs.Trace.disabled;
+    table = Conn_table.create demux; outbox = [];
     next_iss = 1000l; segments_sent = 0; rsts_sent = 0; retransmissions = 0;
     drops = { parse_error = 0; wrong_destination = 0; handler_error = 0 };
     time_wait_timeout; retransmit_timeout; max_retransmits; delayed_acks;
@@ -469,6 +471,7 @@ let handle_bytes t buf =
   match Packet.Segment.parse buf ~off:0 with
   | Error reason ->
     t.drops.parse_error <- t.drops.parse_error + 1;
+    Obs.Trace.record t.tracer Obs.Trace.Drop 0 (Bytes.length buf);
     Error reason
   | Ok segment ->
     if Packet.Ipv4.equal_addr segment.Packet.Segment.ip.Packet.Ipv4.dst t.local_addr
@@ -477,14 +480,20 @@ let handle_bytes t buf =
       | () -> Ok ()
       | exception exn ->
         t.drops.handler_error <- t.drops.handler_error + 1;
+        Obs.Trace.record t.tracer Obs.Trace.Drop 2 (Bytes.length buf);
         Log.debug (fun m ->
             m "segment handler raised %s; datagram shed"
               (Printexc.to_string exn));
         Error ("stack: segment handler failed: " ^ Printexc.to_string exn)
     else begin
       t.drops.wrong_destination <- t.drops.wrong_destination + 1;
+      Obs.Trace.record t.tracer Obs.Trace.Drop 1 (Bytes.length buf);
       Error "stack: datagram not addressed to this host"
     end
+
+let drop_reasons = [ "parse-error"; "wrong-destination"; "handler-error" ]
+
+let drop_reason_of_code code = List.nth_opt drop_reasons code
 
 let drop_counts t =
   [ ("parse-error", t.drops.parse_error);
@@ -493,3 +502,37 @@ let drop_counts t =
 
 let drops_total t =
   t.drops.parse_error + t.drops.wrong_destination + t.drops.handler_error
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  Demux.Lookup_stats.set_tracer (demux_stats t) tracer
+
+let register_obs ?(prefix = "stack") t obs =
+  let name suffix = prefix ^ "." ^ suffix in
+  List.iter
+    (fun reason ->
+      Obs.Registry.register_counter obs
+        ~help:("datagrams shed by handle_bytes: " ^ reason)
+        ~name:(name ("drops." ^ reason))
+        (fun () -> List.assoc reason (drop_counts t)))
+    drop_reasons;
+  Obs.Registry.register_counter obs ~help:"datagrams shed by handle_bytes"
+    ~name:(name "drops.total") (fun () -> drops_total t);
+  Obs.Registry.register_counter obs ~help:"segments transmitted"
+    ~name:(name "segments_sent") (fun () -> t.segments_sent);
+  Obs.Registry.register_counter obs ~help:"RST segments transmitted"
+    ~name:(name "rsts_sent") (fun () -> t.rsts_sent);
+  Obs.Registry.register_counter obs
+    ~help:"segments re-sent by the RTO timer"
+    ~name:(name "retransmissions") (fun () -> t.retransmissions);
+  Obs.Registry.register_gauge obs ~help:"connections resident"
+    ~name:(name "connections")
+    (fun () -> float_of_int (connection_count t));
+  Obs.Registry.register_gauge obs
+    ~help:"TIME-WAIT connections awaiting reaping"
+    ~name:(name "time_wait_pending")
+    (fun () -> float_of_int (pending_time_wait t));
+  Demux.Registry.observe ~prefix:(name "demux") obs (Conn_table.demux t.table)

@@ -92,6 +92,27 @@ val drop_counts : t -> (string * int) list
 val drops_total : t -> int
 (** Sum of {!drop_counts}. *)
 
+val drop_reasons : string list
+(** The {!drop_counts} keys, in drop-code order: code [i] in a traced
+    [Drop] event names reason [List.nth drop_reasons i]. *)
+
+val drop_reason_of_code : int -> string option
+(** Decode a traced [Drop] event's payload [a] back to its reason. *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Attach a tracer to both the stack ([Drop] events, payload: reason
+    code and datagram length) and its demultiplexer's
+    {!Demux.Lookup_stats}, so one event stream interleaves drops with
+    lookups.  Pass {!Obs.Trace.disabled} to detach. *)
+
+val register_obs : ?prefix:string -> t -> Obs.Registry.t -> unit
+(** Register the stack's accounting into an observability registry
+    under ["<prefix>."] (default ["stack"]): per-reason and total drop
+    counters, [segments_sent] / [rsts_sent] / [retransmissions],
+    connection-population gauges, and — via {!Demux.Registry.observe}
+    under ["<prefix>.demux"] — the demultiplexer's lookup counters and
+    examined-count histogram. *)
+
 val poll_output : t -> Packet.Segment.t list
 (** Drain queued outbound segments, oldest first.  Transmit-side demux
     bookkeeping ({!Demux.Registry.t.note_send}) has already run. *)

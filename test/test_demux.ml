@@ -918,8 +918,60 @@ let prop_lookup_count_invariant =
         .Demux.Lookup_stats.lookups
       = !expected)
 
+(* Per-stripe accounting (snapshot merge) and per-stripe histograms
+   must both aggregate to exactly the whole-stream result: the
+   parallel demultiplexers rely on the former, the observability
+   export on the latter. *)
+let prop_merge_snapshots_with_histograms =
+  QCheck.Test.make ~count:200
+    ~name:"merge_snapshots + histogram merge = whole stream"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 100) (int_bound 500))
+        (int_bound 3))
+    (fun (examined_counts, stripes) ->
+      let stripes = stripes + 1 in
+      let make_striped () =
+        Array.init stripes (fun _ ->
+            let stats = Demux.Lookup_stats.create () in
+            let histogram = Obs.Histogram.create () in
+            Demux.Lookup_stats.set_histogram stats (Some histogram);
+            (stats, histogram))
+      in
+      let striped = make_striped () in
+      let whole_stats = Demux.Lookup_stats.create () in
+      let whole_histogram = Obs.Histogram.create () in
+      Demux.Lookup_stats.set_histogram whole_stats (Some whole_histogram);
+      let drive stats examined =
+        Demux.Lookup_stats.begin_lookup stats;
+        Demux.Lookup_stats.examine stats ~count:examined ();
+        Demux.Lookup_stats.end_lookup stats ~hit_cache:(examined = 0)
+          ~found:(examined land 1 = 0)
+      in
+      List.iteri
+        (fun i examined ->
+          drive (fst striped.(i mod stripes)) examined;
+          drive whole_stats examined)
+        examined_counts;
+      let merged =
+        Demux.Lookup_stats.merge_snapshots
+          (Array.to_list
+             (Array.map (fun (s, _) -> Demux.Lookup_stats.snapshot s) striped))
+      in
+      let merged_histogram =
+        Obs.Histogram.merge_all
+          (Array.to_list (Array.map snd striped))
+      in
+      merged = Demux.Lookup_stats.snapshot whole_stats
+      && Obs.Histogram.buckets merged_histogram
+         = Obs.Histogram.buckets whole_histogram
+      && Obs.Histogram.summary merged_histogram
+         = Obs.Histogram.summary whole_histogram)
+
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest (prop_lookup_count_invariant :: model_tests)
+  List.map QCheck_alcotest.to_alcotest
+    (prop_lookup_count_invariant :: prop_merge_snapshots_with_histograms
+     :: model_tests)
 
 (* ------------------------------------------------------------------ *)
 

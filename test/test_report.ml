@@ -1,0 +1,168 @@
+(* Tests for the report layer: CSV quoting, series output, ASCII
+   plots and aligned tables. *)
+
+let series label points = { Analysis.Comparison.label; points }
+
+(* ------------------------------------------------------------------ *)
+(* Csv                                                                 *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain untouched" "bsd" (Report.Csv.escape "bsd");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Report.Csv.escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Report.Csv.escape "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Report.Csv.escape "a\nb");
+  Alcotest.(check string) "empty untouched" "" (Report.Csv.escape "")
+
+let capture write =
+  let path = Filename.temp_file "report" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      write oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      contents)
+
+let test_csv_write_rows () =
+  let out =
+    capture (fun oc ->
+        Report.Csv.write_rows oc
+          [ [ "algorithm"; "mean" ]; [ "bsd"; "24.9" ]; [ "a,b"; "1" ] ])
+  in
+  Alcotest.(check string) "rows" "algorithm,mean\nbsd,24.9\n\"a,b\",1\n" out
+
+let test_csv_series () =
+  let s =
+    Report.Csv.series_to_string
+      [ series "bsd" [| (1.0, 2.0); (2.0, 4.0) |];
+        series "mtf" [| (1.0, 3.0); (2.0, 5.0) |] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: row1 :: _ ->
+    Alcotest.(check string) "header" "x,bsd,mtf" header;
+    Alcotest.(check bool) "first row starts with x" true
+      (String.length row1 > 0 && row1.[0] = '1')
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.check_raises "mismatched grids rejected"
+    (Invalid_argument "Csv.write_series: series x grids differ") (fun () ->
+      ignore
+        (Report.Csv.series_to_string
+           [ series "a" [| (1.0, 2.0) |]; series "b" [| (9.0, 2.0) |] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot                                                          *)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  n = 0 || go 0
+
+let test_plot_render () =
+  let rendered =
+    Report.Ascii_plot.render ~title:"PCBs searched"
+      [ series "bsd" [| (0.0, 1.0); (50.0, 25.0); (100.0, 50.0) |];
+        series "sequent" [| (0.0, 1.0); (50.0, 2.0); (100.0, 3.0) |] ]
+  in
+  Alcotest.(check bool) "title shown" true (contains rendered "PCBs searched");
+  Alcotest.(check bool) "legend: bsd" true (contains rendered "bsd");
+  Alcotest.(check bool) "legend: sequent" true (contains rendered "sequent");
+  Alcotest.(check bool) "multi-line" true
+    (List.length (String.split_on_char '\n' rendered) > 5)
+
+let test_plot_empty_placeholder () =
+  let empty_input = Report.Ascii_plot.render [] in
+  let empty_series = Report.Ascii_plot.render [ series "bsd" [||] ] in
+  Alcotest.(check bool) "short placeholder for no series" true
+    (String.length empty_input < 80);
+  Alcotest.(check bool) "short placeholder for empty series" true
+    (String.length empty_series < 80)
+
+let test_plot_custom_size () =
+  let rendered =
+    Report.Ascii_plot.render
+      ~config:{ Report.Ascii_plot.width = 20; height = 5 }
+      [ series "s" [| (0.0, 0.0); (1.0, 1.0) |] ]
+  in
+  Alcotest.(check bool) "renders at small size" true
+    (String.length rendered > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_render () =
+  let rendered =
+    Report.Table.render
+      ~columns:
+        [ Report.Table.column ~align:Report.Table.Left "algorithm";
+          Report.Table.column "mean" ]
+      [ [ "bsd"; "24.9" ]; [ "sequent-19"; "3.0" ] ]
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' rendered)
+  in
+  (match lines with
+  | header :: _ :: bsd_row :: sequent_row :: _ ->
+    Alcotest.(check bool) "left-aligned header" true
+      (String.length header >= 9 && String.sub header 0 9 = "algorithm");
+    Alcotest.(check bool) "left cell at left edge" true
+      (String.sub bsd_row 0 3 = "bsd");
+    Alcotest.(check bool) "right column right-aligned" true
+      (let w = String.length sequent_row in
+       String.sub sequent_row (w - 3) 3 = "3.0")
+  | _ -> Alcotest.failf "unexpected layout:\n%s" rendered);
+  Alcotest.(check bool) "widths consistent" true
+    (match lines with
+    | a :: rest -> List.for_all (fun l -> String.length l <= String.length a + 2) rest
+    | [] -> false)
+
+let test_table_short_rows_padded () =
+  let rendered =
+    Report.Table.render
+      ~columns:[ Report.Table.column "a"; Report.Table.column "b" ]
+      [ [ "1" ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_table_long_rows_raise () =
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.render: row wider than header")
+    (fun () ->
+      ignore
+        (Report.Table.render
+           ~columns:[ Report.Table.column "a" ]
+           [ [ "1"; "2" ] ]))
+
+let test_table_float_cell () =
+  Alcotest.(check string) "default decimals" "24.90" (Report.Table.float_cell 24.9);
+  Alcotest.(check string) "custom decimals" "25" (Report.Table.float_cell ~decimals:0 24.9);
+  Alcotest.(check string) "nan prints dash" "-" (Report.Table.float_cell Float.nan)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "report"
+    [ ( "csv",
+        [ Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "write_rows" `Quick test_csv_write_rows;
+          Alcotest.test_case "series" `Quick test_csv_series ] );
+      ( "ascii-plot",
+        [ Alcotest.test_case "render" `Quick test_plot_render;
+          Alcotest.test_case "empty placeholder" `Quick
+            test_plot_empty_placeholder;
+          Alcotest.test_case "custom size" `Quick test_plot_custom_size ] );
+      ( "table",
+        [ Alcotest.test_case "render and align" `Quick test_table_render;
+          Alcotest.test_case "short rows padded" `Quick
+            test_table_short_rows_padded;
+          Alcotest.test_case "long rows raise" `Quick
+            test_table_long_rows_raise;
+          Alcotest.test_case "float_cell" `Quick test_table_float_cell ] ) ]
