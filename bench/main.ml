@@ -332,6 +332,21 @@ let print_e25 () =
      credits when dismissing move-to-front.\n"
     (Analysis.Bsd_model.cost validation_params)
 
+let e28 () =
+  Parallel.Throughput.scaling_table ~lookups_per_domain:20_000
+    ~domains:[ 1; 2; 4; 8 ] ~batches:[ 1; 8; 64 ]
+    Parallel.Throughput.[ Striped_sequent 19 ]
+
+let print_e28 () =
+  section "E28 (extension): batched demultiplexing amortises the stripe locks";
+  Format.printf "%a" Parallel.Throughput.pp_results (e28 ());
+  row
+    "Per-packet lookup pays one mutex acquisition per packet; grouping\n\
+     a burst by stripe and taking each stripe's lock once per batch\n\
+     spreads that cost over the batch, so batched throughput pulls\n\
+     ahead as domains (lock traffic) grow.  Timing is the monotonic\n\
+     ns clock; per-lookup latencies are batch-amortised.\n"
+
 let print_hash_ablation () =
   section "Ablation: hash-function chain balance (DESIGN.md section 6)";
   let flows = Array.to_list (Sim.Topology.flows 2000) in
@@ -401,7 +416,22 @@ let collect_records ~smoke =
           ~units:metric.Obs.Registry.units
           (float_of_int summary.Obs.Histogram.p99)
       | Obs.Registry.Counter _ | Obs.Registry.Gauge _ -> ())
-    (Obs.Registry.snapshot obs)
+    (Obs.Registry.snapshot obs);
+  (* E28: batched vs per-packet parallel lookup throughput, striped
+     table at 4 domains — the regression bar is that batch 64 beats
+     batch 1. *)
+  let lookups_per_domain = if smoke then 20_000 else 100_000 in
+  List.iter
+    (fun (r : Parallel.Throughput.result) ->
+      emit ~id:"E28"
+        ~metric:
+          (Printf.sprintf "parallel.%s.d%d.b%d.lookups_per_s"
+             r.Parallel.Throughput.target r.Parallel.Throughput.domains
+             r.Parallel.Throughput.batch)
+        ~units:"lookups/s" r.Parallel.Throughput.lookups_per_second)
+    (Parallel.Throughput.scaling_table ~lookups_per_domain ~seed:bench_seed
+       ~domains:[ 4 ] ~batches:[ 1; 64 ]
+       Parallel.Throughput.[ Striped_sequent 19 ])
 
 let write_records path =
   Obs.Json.write_file path
@@ -597,14 +627,40 @@ let obs_tests =
         (Staged.stage (fun () ->
              Obs.Trace.record ring Obs.Trace.Cache_hit 1 2)) ]
 
+(* Batched-pipeline hot pieces, single-domain so bechamel sees the
+   per-call cost: 64 per-packet lookups vs one 64-flow lookup_batch
+   over the same striped table, and a ring push+pop round trip. *)
+let batch_tests =
+  let striped = Parallel.Striped.create ~chains:19 () in
+  let flows = Sim.Topology.flows 2000 in
+  Array.iter (fun flow -> ignore (Parallel.Striped.insert striped flow ())) flows;
+  let rng = Numerics.Rng.create ~seed:9 in
+  let burst =
+    Array.init 64 (fun _ -> flows.(Numerics.Rng.int rng ~bound:2000))
+  in
+  let ring = Parallel.Ring.create ~capacity:8 in
+  Test.make_grouped ~name:"batch"
+    [ Test.make ~name:"striped-lookup-x64"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun flow -> ignore (Parallel.Striped.lookup striped flow))
+               burst));
+      Test.make ~name:"striped-lookup_batch-64"
+        (Staged.stage (fun () ->
+             ignore (Parallel.Striped.lookup_batch striped burst)));
+      Test.make ~name:"ring-push+pop"
+        (Staged.stage (fun () ->
+             ignore (Parallel.Ring.try_push ring burst);
+             ignore (Parallel.Ring.try_pop ring))) ]
+
 let run_bechamel ~smoke () =
   section "bechamel wall-clock microbenchmarks";
   let tests =
     Test.make_grouped ~name:"tcpdemux"
-      (if smoke then [ obs_tests ]
+      (if smoke then [ obs_tests; batch_tests ]
        else
          [ lookup_tests; churn_tests; hash_tests; wire_test (); regen_tests;
-           obs_tests ])
+           obs_tests; batch_tests ])
   in
   let cfg =
     if smoke then Benchmark.cfg ~limit:500 ~quota:(Time.second 0.05) ~kde:None ()
@@ -677,6 +733,7 @@ let () =
       print_e23 ();
       print_e24 ();
       print_e25 ();
+      print_e28 ();
       print_hash_ablation ()
     end;
     (match !json with

@@ -698,8 +698,35 @@ let parse_target name =
           striped:sequent-19)"
          name)
 
-let run_parallel targets domains connections lookups seed obs_json trace_file
-    trace_capacity =
+(* The same synthetic flow population Throughput builds internally,
+   reused here to feed the dispatcher pipeline a packet stream. *)
+let parallel_flows connections =
+  Array.init connections (fun i ->
+      let addr =
+        Packet.Ipv4.addr_of_octets 10
+          ((i lsr 16) land 0xFF)
+          ((i lsr 8) land 0xFF)
+          (i land 0xFF)
+      in
+      Packet.Flow.v
+        ~local:(Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets 192 168 1 1) 8888)
+        ~remote:(Packet.Flow.endpoint addr (1024 + (i * 7 mod 60000))))
+
+let run_pipeline ?obs ?tracer ~workers ~batch ~connections ~packets ~seed () =
+  let flows = parallel_flows connections in
+  let table = Parallel.Striped.create ~chains:19 () in
+  Array.iter (fun flow -> ignore (Parallel.Striped.insert table flow ())) flows;
+  let rng = Parallel.Worker_rng.create seed in
+  let stream =
+    Array.init packets (fun _ ->
+        flows.(Parallel.Worker_rng.int rng ~bound:(Array.length flows)))
+  in
+  Parallel.Dispatcher.run ?obs ?tracer ~workers ~batch
+    ~lookup_batch:(fun flows -> Parallel.Striped.lookup_batch table flows)
+    stream
+
+let run_parallel targets domains batches connections lookups pipeline smoke
+    seed obs_json trace_file trace_capacity =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
@@ -707,11 +734,19 @@ let run_parallel targets domains connections lookups seed obs_json trace_file
       | Ok target -> parse (target :: acc) rest
       | Error _ as e -> e)
   in
+  (* --smoke: a CI-sized run that still exercises every path — two
+     domains, per-packet vs a small batch, plus the ring pipeline. *)
+  let domains, batches, connections, lookups, pipeline =
+    if smoke then ([ 2 ], [ 1; 8 ], 200, 20_000, true)
+    else (domains, batches, connections, lookups, pipeline)
+  in
   match parse [] targets with
   | Error message -> `Error (false, message)
   | Ok targets ->
     if List.exists (fun d -> d <= 0) domains then
       `Error (false, "--domains must all be positive")
+    else if List.exists (fun b -> b <= 0) batches then
+      `Error (false, "--batch sizes must all be positive")
     else if trace_capacity <= 0 then
       `Error (false, "--trace-capacity must be positive")
     else
@@ -719,18 +754,57 @@ let run_parallel targets domains connections lookups seed obs_json trace_file
       let results =
         Parallel.Throughput.scaling_table ?obs
           ?trace_capacity:(Option.map (fun _ -> trace_capacity) trace_file)
-          ~connections ~lookups_per_domain:lookups ~seed ~domains targets
+          ~connections ~lookups_per_domain:lookups ~seed ~batches ~domains
+          targets
       in
       Format.printf "%a" Parallel.Throughput.pp_results results;
+      let clamped =
+        List.fold_left
+          (fun a (r : Parallel.Throughput.result) ->
+            a + r.Parallel.Throughput.clock_went_backwards)
+          0 results
+      in
+      if clamped > 0 then
+        Format.printf
+          "warning: %d lookup intervals clamped to zero (clock went \
+           backwards)@."
+          clamped;
       List.iter
         (fun (r : Parallel.Throughput.result) ->
           match r.Parallel.Throughput.latency with
           | Some histogram ->
-            Format.printf "%s x%d lookup latency: %a@."
+            Format.printf "%s x%d b%d lookup latency: %a@."
               r.Parallel.Throughput.target r.Parallel.Throughput.domains
-              Obs.Histogram.pp histogram
+              r.Parallel.Throughput.batch Obs.Histogram.pp histogram
           | None -> ())
         results;
+      let pipeline_tracers = ref [] in
+      if pipeline then begin
+        Format.printf
+          "@.pipeline: dispatcher -> SPSC rings -> striped workers@.";
+        List.iter
+          (fun workers ->
+            List.iter
+              (fun batch ->
+                let tracer =
+                  Option.map
+                    (fun _ ->
+                      let tracer =
+                        Obs.Trace.create ~id:(1000 + workers)
+                          ~capacity:trace_capacity ()
+                      in
+                      pipeline_tracers := tracer :: !pipeline_tracers;
+                      tracer)
+                    trace_file
+                in
+                let r =
+                  run_pipeline ?obs ?tracer ~workers ~batch ~connections
+                    ~packets:lookups ~seed ()
+                in
+                Format.printf "%a@." Parallel.Dispatcher.pp r)
+              batches)
+          domains
+      end;
       (try
          (match (obs_json, obs) with
          | Some path, Some obs ->
@@ -748,7 +822,10 @@ let run_parallel targets domains connections lookups seed obs_json trace_file
                    List.iter
                      (fun tracer -> Obs.Trace.dump tracer oc)
                      r.Parallel.Throughput.traces)
-                 results);
+                 results;
+               List.iter
+                 (fun tracer -> Obs.Trace.dump tracer oc)
+                 (List.rev !pipeline_tracers));
            Format.printf "wrote per-domain trace segments to %s@." path
          | None -> ());
          `Ok ()
@@ -785,12 +862,41 @@ let parallel_cmd =
       value & opt int 200_000
       & info [ "lookups" ] ~docv:"N" ~doc:"Lookups per domain.")
   in
+  let batches =
+    Arg.(
+      value
+      & opt (list int) [ 1 ]
+      & info [ "batch" ] ~docv:"N,N,..."
+          ~doc:
+            "Batch sizes to run; 1 is the per-packet baseline, larger \
+             values demultiplex through lookup_batch (one mutex \
+             acquisition per stripe per batch).")
+  in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Also run the dispatcher pipeline (flow-hash sharding into \
+             bounded SPSC rings feeding striped workers) for each \
+             (domains, batch) pair.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI-sized run: 2 domains, batches 1 and 8, small counts, \
+             pipeline included.  Overrides --domains, --batch, \
+             --connections, --lookups.")
+  in
   Cmd.v
     (Cmd.info "parallel" ~doc)
     Term.(
       ret
-        (const run_parallel $ targets $ domains $ connections $ lookups
-        $ seed_arg $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
+        (const run_parallel $ targets $ domains $ batches $ connections
+        $ lookups $ pipeline $ smoke $ seed_arg $ obs_json_arg
+        $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 

@@ -8,6 +8,7 @@ type t = {
   mutable removes : int;
   mutable evictions : int;
   mutable rejections : int;
+  mutable batches : int;
   mutable max_examined : int;
   mutable current : int;      (* examinations charged to the open lookup *)
   mutable in_lookup : bool;
@@ -21,8 +22,8 @@ type t = {
 
 let create () =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
-    inserts = 0; removes = 0; evictions = 0; rejections = 0; max_examined = 0;
-    current = 0; in_lookup = false; histogram = None;
+    inserts = 0; removes = 0; evictions = 0; rejections = 0; batches = 0;
+    max_examined = 0; current = 0; in_lookup = false; histogram = None;
     tracer = Obs.Trace.disabled }
 
 let set_histogram t histogram = t.histogram <- histogram
@@ -73,6 +74,11 @@ let note_rejection t =
   t.rejections <- t.rejections + 1;
   Obs.Trace.record t.tracer Obs.Trace.Rejection 0 0
 
+let note_batch t ~size =
+  if size < 0 then invalid_arg "Lookup_stats.note_batch: size < 0";
+  t.batches <- t.batches + 1;
+  Obs.Trace.record t.tracer Obs.Trace.Batch size 0
+
 type snapshot = {
   lookups : int;
   pcbs_examined : int;
@@ -83,6 +89,7 @@ type snapshot = {
   removes : int;
   evictions : int;
   rejections : int;
+  batches : int;
   max_examined : int;
 }
 
@@ -90,11 +97,13 @@ let snapshot (t : t) =
   { lookups = t.lookups; pcbs_examined = t.pcbs_examined;
     cache_hits = t.cache_hits; found = t.found; not_found = t.not_found;
     inserts = t.inserts; removes = t.removes; evictions = t.evictions;
-    rejections = t.rejections; max_examined = t.max_examined }
+    rejections = t.rejections; batches = t.batches;
+    max_examined = t.max_examined }
 
 let empty_snapshot =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
-    inserts = 0; removes = 0; evictions = 0; rejections = 0; max_examined = 0 }
+    inserts = 0; removes = 0; evictions = 0; rejections = 0; batches = 0;
+    max_examined = 0 }
 
 let merge_snapshots snapshots =
   List.fold_left
@@ -108,6 +117,7 @@ let merge_snapshots snapshots =
         removes = acc.removes + s.removes;
         evictions = acc.evictions + s.evictions;
         rejections = acc.rejections + s.rejections;
+        batches = acc.batches + s.batches;
         max_examined = max acc.max_examined s.max_examined })
     empty_snapshot snapshots
 
@@ -129,6 +139,7 @@ let reset (t : t) =
   t.removes <- 0;
   t.evictions <- 0;
   t.rejections <- 0;
+  t.batches <- 0;
   t.max_examined <- 0;
   t.current <- 0;
   t.in_lookup <- false;
@@ -142,7 +153,7 @@ let pp_snapshot ppf s =
   Format.fprintf ppf
     "@[<v>lookups=%d examined=%d (mean %.2f, max %d)@,\
      cache hits=%d (rate %.4f) found=%d not-found=%d@,\
-     inserts=%d removes=%d evictions=%d rejections=%d@]"
+     inserts=%d removes=%d evictions=%d rejections=%d batches=%d@]"
     s.lookups s.pcbs_examined (mean_examined s) s.max_examined s.cache_hits
     (hit_rate s) s.found s.not_found s.inserts s.removes s.evictions
-    s.rejections
+    s.rejections s.batches

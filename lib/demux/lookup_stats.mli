@@ -30,6 +30,13 @@ val note_eviction : t -> unit
 val note_rejection : t -> unit
 (** An insertion was refused outright by an overload guard. *)
 
+val note_batch : t -> size:int -> unit
+(** A batched operation of [size] packets was issued against the
+    structure under one lock acquisition (see [Parallel.Coarse] /
+    [Parallel.Striped] [lookup_batch]).  Emits a [Batch] trace event
+    carrying the size.
+    @raise Invalid_argument if [size] is negative. *)
+
 (** {1 Observability (opt-in)}
 
     Both hooks are off by default and cost one branch per lookup when
@@ -61,6 +68,7 @@ type snapshot = {
   removes : int;
   evictions : int;           (** PCBs shed by an overload guard. *)
   rejections : int;          (** Insertions refused by an overload guard. *)
+  batches : int;             (** Batched operations issued ({!note_batch}). *)
   max_examined : int;        (** Worst single lookup. *)
 }
 

@@ -1,4 +1,12 @@
-type t = { name : string; run : bytes -> int }
+type t = {
+  name : string;
+  run : bytes -> int;
+  (* Allocation-free specialisation over a flow's fields, for hashers
+     whose byte-serial definition folds cleanly over the 96-bit key.
+     Must agree exactly with [run (Flow.to_key_bytes flow)] (asserted
+     by a qcheck property in test_hashing.ml). *)
+  run_flow : (Packet.Flow.t -> int) option;
+}
 
 let name t = t.name
 let hash t key = t.run key
@@ -7,7 +15,26 @@ let bucket t ~buckets key =
   if buckets <= 0 then invalid_arg "Hashers.bucket: buckets <= 0";
   hash t key mod buckets
 
-let hash_flow t flow = hash t (Packet.Flow.to_key_bytes flow)
+let hash_flow t flow =
+  match t.run_flow with
+  | Some run -> run flow
+  | None -> hash t (Packet.Flow.to_key_bytes flow)
+
+let bucket_flow t ~buckets flow =
+  if buckets <= 0 then invalid_arg "Hashers.bucket_flow: buckets <= 0";
+  hash_flow t flow mod buckets
+
+(* [fold32 (Flow.to_key_bytes flow)] without the 12-byte allocation:
+   the key's three big-endian 32-bit words are (local addr), (remote
+   addr), (local port << 16 | remote port). *)
+let fold32_flow (flow : Packet.Flow.t) =
+  Int32.logxor
+    (Int32.logxor
+       (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.local.Packet.Flow.addr)
+       (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.remote.Packet.Flow.addr))
+    (Int32.of_int
+       ((flow.Packet.Flow.local.Packet.Flow.port lsl 16)
+       lor flow.Packet.Flow.remote.Packet.Flow.port))
 
 let fold_words16 key combine init =
   let acc = ref init in
@@ -20,11 +47,25 @@ let fold_words16 key combine init =
   if !i < len then acc := combine !acc (Bytes.get_uint8 key !i);
   !acc
 
-let xor_fold = { name = "xor-fold"; run = (fun k -> fold_words16 k ( lxor ) 0) }
+(* The 16-bit words of the flow key, in order. *)
+let fold_words16_flow (flow : Packet.Flow.t) combine init =
+  let local = Int32.to_int (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.local.Packet.Flow.addr) land 0xFFFFFFFF in
+  let remote = Int32.to_int (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.remote.Packet.Flow.addr) land 0xFFFFFFFF in
+  let acc = combine init ((local lsr 16) land 0xFFFF) in
+  let acc = combine acc (local land 0xFFFF) in
+  let acc = combine acc ((remote lsr 16) land 0xFFFF) in
+  let acc = combine acc (remote land 0xFFFF) in
+  let acc = combine acc flow.Packet.Flow.local.Packet.Flow.port in
+  combine acc flow.Packet.Flow.remote.Packet.Flow.port
+
+let xor_fold =
+  { name = "xor-fold"; run = (fun k -> fold_words16 k ( lxor ) 0);
+    run_flow = Some (fun flow -> fold_words16_flow flow ( lxor ) 0) }
 
 let add_fold =
-  { name = "add-fold";
-    run = (fun k -> fold_words16 k (fun a w -> (a + w) land 0x3FFFFFFF) 0) }
+  let step a w = (a + w) land 0x3FFFFFFF in
+  { name = "add-fold"; run = (fun k -> fold_words16 k step 0);
+    run_flow = Some (fun flow -> fold_words16_flow flow step 0) }
 
 let fold32 key =
   (* Fold the key into 32 bits by XOR of big-endian 32-bit words. *)
@@ -51,11 +92,16 @@ let multiplicative =
         let product = Int32.mul (fold32 k) golden in
         (* Take the high 30 bits: multiplicative hashing concentrates
            its mixing in the high half of the product. *)
-        Int32.to_int (Int32.shift_right_logical product 2)) }
+        Int32.to_int (Int32.shift_right_logical product 2));
+    run_flow =
+      Some
+        (fun flow ->
+          Int32.to_int
+            (Int32.shift_right_logical (Int32.mul (fold32_flow flow) golden) 2)) }
 
 let fnv1a =
   let offset_basis = 0xCBF29CE484222325L and prime = 0x100000001B3L in
-  { name = "fnv1a";
+  { name = "fnv1a"; run_flow = None;
     run =
       (fun k ->
         let h = ref offset_basis in
@@ -67,7 +113,7 @@ let fnv1a =
         Int64.to_int (Int64.shift_right_logical !h 2)) }
 
 let jenkins_oaat =
-  { name = "jenkins-oaat";
+  { name = "jenkins-oaat"; run_flow = None;
     run =
       (fun k ->
         let h = ref 0l in
@@ -106,7 +152,7 @@ let crc32_digest ?(initial = 0l) key =
   Int32.logxor !crc 0xFFFFFFFFl
 
 let crc32 =
-  { name = "crc32";
+  { name = "crc32"; run_flow = None;
     run = (fun k -> Int32.to_int (Int32.shift_right_logical (crc32_digest k) 2)) }
 
 let crc16_ccitt_table =
@@ -120,7 +166,7 @@ let crc16_ccitt_table =
          !c))
 
 let crc16_ccitt =
-  { name = "crc16-ccitt";
+  { name = "crc16-ccitt"; run_flow = None;
     run =
       (fun k ->
         let table = Lazy.force crc16_ccitt_table in
@@ -154,7 +200,7 @@ let pearson_table =
      table)
 
 let pearson =
-  { name = "pearson";
+  { name = "pearson"; run_flow = None;
     run =
       (fun k ->
         let table = Lazy.force pearson_table in

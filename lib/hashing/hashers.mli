@@ -21,7 +21,17 @@ val bucket : t -> buckets:int -> bytes -> int
     @raise Invalid_argument if [buckets <= 0]. *)
 
 val hash_flow : t -> Packet.Flow.t -> int
-(** Hash a flow's canonical 96-bit key. *)
+(** Hash a flow's canonical 96-bit key.  Equal to
+    [hash t (Packet.Flow.to_key_bytes flow)], but hashers whose
+    definition folds cleanly over the key's words (xor-fold, add-fold,
+    multiplicative) compute it straight from the flow's fields without
+    building the 12-byte key — the receive path of the parallel
+    demultiplexers calls this per packet, so it must not allocate. *)
+
+val bucket_flow : t -> buckets:int -> Packet.Flow.t -> int
+(** [bucket_flow t ~buckets flow] is [hash_flow t flow mod buckets]
+    (allocation-free where {!hash_flow} is).
+    @raise Invalid_argument if [buckets <= 0]. *)
 
 val xor_fold : t
 (** XOR the key's 16-bit words together — the cheapest scheme and the

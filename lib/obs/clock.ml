@@ -5,6 +5,11 @@ let wall () = Unix.gettimeofday
 let of_fun f = f
 let fixed instant () = instant
 
+(* CLOCK_MONOTONIC via bechamel's stub: never steps backwards and is
+   unaffected by NTP slews, unlike [Unix.gettimeofday]. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let monotonic () () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 type virtual_ = { mutable instant : float }
 
 let create_virtual ?(start = 0.0) () =

@@ -15,7 +15,21 @@ val now : t -> float
     created. *)
 
 val wall : unit -> t
-(** The process wall clock ([Unix.gettimeofday]). *)
+(** The process wall clock ([Unix.gettimeofday]).  Not monotonic: NTP
+    steps can move it backwards, so never subtract two reads of it to
+    measure a latency — use {!monotonic} / {!now_ns}. *)
+
+val monotonic : unit -> t
+(** The OS monotonic clock ([CLOCK_MONOTONIC]) in seconds since an
+    arbitrary epoch (boot, not 1970).  Strictly non-decreasing; the
+    right source for latency measurement and tracer timestamps that
+    must order correctly. *)
+
+val now_ns : unit -> int
+(** One raw monotonic reading in integer nanoseconds — the hot-path
+    form of {!monotonic} for interval timing ([stop - start] is always
+    [>= 0]).  The integer resolution is the OS tick, typically coarser
+    than 1 ns; treat values as ns {e units}, not ns {e precision}. *)
 
 val of_fun : (unit -> float) -> t
 (** Wrap any time source — e.g. a simulation engine's clock. *)

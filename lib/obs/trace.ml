@@ -10,6 +10,7 @@ type kind =
   | Drop
   | Phase
   | Latency
+  | Batch
 
 let kind_name = function
   | Lookup_begin -> "lookup-begin"
@@ -23,6 +24,7 @@ let kind_name = function
   | Drop -> "drop"
   | Phase -> "phase"
   | Latency -> "latency"
+  | Batch -> "batch"
 
 let kind_code = function
   | Lookup_begin -> 0
@@ -36,6 +38,7 @@ let kind_code = function
   | Drop -> 8
   | Phase -> 9
   | Latency -> 10
+  | Batch -> 11
 
 let kind_of_code = function
   | 0 -> Some Lookup_begin
@@ -49,6 +52,7 @@ let kind_of_code = function
   | 8 -> Some Drop
   | 9 -> Some Phase
   | 10 -> Some Latency
+  | 11 -> Some Batch
   | _ -> None
 
 type record = { time : float; kind : kind; a : int; b : int }

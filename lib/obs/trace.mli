@@ -28,7 +28,10 @@
     - [Phase] — a marker injected between runs ([a] = phase index), so
       one dump can carry several algorithms' traces.
     - [Latency] — [a] = measured latency (unit chosen by the
-      recorder; the CLI uses nanoseconds). *)
+      recorder; the CLI uses nanoseconds).
+    - [Batch] — a batched operation was issued ([a] = batch size,
+      [b] = recorder-chosen tag: the parallel pipeline uses the worker
+      shard index). *)
 type kind =
   | Lookup_begin
   | Lookup_end
@@ -41,6 +44,7 @@ type kind =
   | Drop
   | Phase
   | Latency
+  | Batch
 
 val kind_name : kind -> string
 val kind_code : kind -> int

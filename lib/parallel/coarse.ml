@@ -13,6 +13,29 @@ let remove t flow = locked t (fun () -> t.demux.Demux.Registry.remove flow)
 let lookup t ?kind flow =
   locked t (fun () -> t.demux.Demux.Registry.lookup ?kind flow)
 
+let lookup_batch t ?kind flows =
+  if Array.length flows = 0 then 0
+  else
+    locked t (fun () ->
+        Demux.Lookup_stats.note_batch t.demux.Demux.Registry.stats
+          ~size:(Array.length flows);
+        Array.fold_left
+          (fun found flow ->
+            match t.demux.Demux.Registry.lookup ?kind flow with
+            | Some _ -> found + 1
+            | None -> found)
+          0 flows)
+
+let insert_batch t entries =
+  if Array.length entries = 0 then [||]
+  else
+    locked t (fun () ->
+        Demux.Lookup_stats.note_batch t.demux.Demux.Registry.stats
+          ~size:(Array.length entries);
+        Array.map
+          (fun (flow, data) -> t.demux.Demux.Registry.insert flow data)
+          entries)
+
 let note_send t flow = locked t (fun () -> t.demux.Demux.Registry.note_send flow)
 let length t = locked t (fun () -> t.demux.Demux.Registry.length ())
 

@@ -22,6 +22,21 @@ val lookup :
   'a t -> ?kind:Demux.Types.packet_kind -> Packet.Flow.t ->
   'a Demux.Pcb.t option
 
+val lookup_batch :
+  'a t -> ?kind:Demux.Types.packet_kind -> Packet.Flow.t array -> int
+(** Look up every flow under {e one} acquisition of the global lock;
+    returns how many were found.  Charges one
+    {!Demux.Lookup_stats.note_batch} plus the usual per-lookup
+    accounting.  Amortises the mutex but not the serialisation: other
+    domains still wait out the whole batch. *)
+
+val insert_batch :
+  'a t -> (Packet.Flow.t * 'a) array -> 'a Demux.Pcb.t array
+(** Insert every entry under one lock acquisition; PCBs in input
+    order.
+    @raise Invalid_argument on a duplicate flow — earlier entries of
+    the batch remain inserted. *)
+
 val note_send : 'a t -> Packet.Flow.t -> unit
 val length : 'a t -> int
 val stats : 'a t -> Demux.Lookup_stats.snapshot

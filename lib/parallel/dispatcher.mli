@@ -1,0 +1,59 @@
+(** Batched, sharded demux pipeline: one dispatcher domain feeding N
+    worker domains through bounded SPSC rings.
+
+    This is the software shape of hardware RSS (receive-side scaling):
+    the dispatcher hashes each inbound packet's flow and sends it to
+    the worker that owns that hash shard, so all of a connection's
+    packets meet the same worker — per-chain caches stay warm and no
+    two workers ever contend on one connection.  Packets travel in
+    {e batches}: the dispatcher accumulates up to [batch] packets per
+    worker before pushing, and workers demultiplex each batch through
+    a [lookup_batch] closure ({!Striped.lookup_batch} /
+    {!Coarse.lookup_batch}), which takes each stripe mutex once per
+    batch rather than once per packet — batching is what amortises the
+    synchronisation and memory traffic that dominate per-packet lookup
+    cost.
+
+    The rings are bounded, so a slow worker surfaces as backpressure:
+    by default the dispatcher spins until space frees (lossless); with
+    [drop_on_full] it sheds the batch and counts the packets dropped,
+    the way a NIC rx queue overflows. *)
+
+type result = {
+  workers : int;
+  batch : int;
+  packets : int;              (** Packets offered to the dispatcher. *)
+  found : int;                (** Lookups that found their PCB. *)
+  batches : int;              (** Batches actually pushed. *)
+  dropped_packets : int;      (** Shed on full rings ([drop_on_full]). *)
+  max_ring_depth : int;       (** Deepest ring occupancy observed. *)
+  elapsed_seconds : float;    (** Monotonic, dispatch start to last join. *)
+  packets_per_second : float;
+  per_worker_packets : int array;  (** Delivered per shard — shows hash balance. *)
+}
+
+val run :
+  ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t ->
+  ?hasher:Hashing.Hashers.t -> ?ring_capacity:int -> ?drop_on_full:bool ->
+  workers:int -> batch:int ->
+  lookup_batch:(Packet.Flow.t array -> int) -> Packet.Flow.t array -> result
+(** [run ~workers ~batch ~lookup_batch packets] spawns [workers]
+    domains, shards [packets] across them in batches of [batch], joins
+    them all, and reports.  [lookup_batch] must be safe to call from
+    any domain (the parallel demultiplexers' batch APIs are).
+
+    Defaults: multiplicative hash (allocation-free per packet),
+    [ring_capacity = 64] batches per worker (rounded up to a power of
+    two), blocking backpressure.
+
+    With [?obs], registers [pipeline.batch_size] and
+    [pipeline.ring_depth] histograms, the
+    [pipeline.backpressure_drops] counter and the
+    [pipeline.ring_depth_max] gauge.  With [?tracer], records one
+    [Batch] event per push ([a] = size, [b] = worker shard); the
+    tracer is touched only by the dispatching domain.
+
+    @raise Invalid_argument if [workers], [batch] or [ring_capacity]
+    is non-positive, or [packets] is empty. *)
+
+val pp : Format.formatter -> result -> unit

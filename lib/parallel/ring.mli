@@ -1,0 +1,44 @@
+(** Bounded single-producer / single-consumer ring.
+
+    The queue between the demux pipeline's dispatcher and each worker
+    domain ({!Dispatcher}): the dispatcher is the only pusher, the
+    worker the only popper, so neither side ever takes a lock — one
+    atomic read and one atomic write per operation, and the bounded
+    capacity is the pipeline's backpressure signal (a full ring means
+    the worker is behind).
+
+    Safety relies on the SPSC contract: concurrent {!try_push} from
+    two domains (or {!try_pop} from two) is a race.  {!length},
+    {!is_closed} and {!capacity} may be read from anywhere. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to the next power of two.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+(** The rounded capacity actually in force. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side.  [false] means full — the caller decides whether to
+    spin (backpressure) or drop.
+    @raise Invalid_argument if the ring has been {!close}d. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side.  [None] means currently empty, not finished: check
+    {!is_closed}, and after observing it closed, pop again until empty
+    (a push may land between a failed pop and the close check). *)
+
+val length : 'a t -> int
+(** Current depth.  Approximate under concurrency (the two ends move
+    independently) but always within [0, capacity] — good enough for
+    the pipeline's ring-depth gauge. *)
+
+val is_empty : 'a t -> bool
+
+val close : 'a t -> unit
+(** Producer signals end-of-stream.  Elements already queued remain
+    poppable; further pushes raise. *)
+
+val is_closed : 'a t -> bool

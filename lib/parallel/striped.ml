@@ -25,26 +25,31 @@ let create ?(chains = Demux.Sequent.default_chains)
 
 let chains t = Array.length t.stripes
 
-let stripe_of_flow t flow =
-  t.stripes.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.stripes)
-                (Packet.Flow.to_key_bytes flow))
+(* [bucket_flow] hashes straight from the flow's fields: the receive
+   path must not allocate a 12-byte key per packet. *)
+let stripe_index t flow =
+  Hashing.Hashers.bucket_flow t.hasher ~buckets:(Array.length t.stripes) flow
+
+let stripe_of_flow t flow = t.stripes.(stripe_index t flow)
 
 let with_stripe stripe f =
   Mutex.lock stripe.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock stripe.mutex) f
 
+let insert_locked t stripe flow data =
+  if Demux.Flow_table.mem stripe.index flow then
+    invalid_arg "Striped.insert: duplicate flow";
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let pcb = Demux.Pcb.make ~id ~flow data in
+  let node = Demux.Chain.push_front stripe.chain pcb in
+  Demux.Flow_table.replace stripe.index flow node;
+  Demux.Lookup_stats.note_insert stripe.stats;
+  Atomic.incr t.population;
+  pcb
+
 let insert t flow data =
   let stripe = stripe_of_flow t flow in
-  with_stripe stripe (fun () ->
-      if Demux.Flow_table.mem stripe.index flow then
-        invalid_arg "Striped.insert: duplicate flow";
-      let id = Atomic.fetch_and_add t.next_id 1 in
-      let pcb = Demux.Pcb.make ~id ~flow data in
-      let node = Demux.Chain.push_front stripe.chain pcb in
-      Demux.Flow_table.replace stripe.index flow node;
-      Demux.Lookup_stats.note_insert stripe.stats;
-      Atomic.incr t.population;
-      pcb)
+  with_stripe stripe (fun () -> insert_locked t stripe flow data)
 
 let remove t flow =
   let stripe = stripe_of_flow t flow in
@@ -68,29 +73,104 @@ let cache_probe stripe flow =
     Demux.Lookup_stats.examine stripe.stats ();
     if Demux.Pcb.matches (Demux.Chain.pcb node) flow then Some node else None
 
+(* The receive-path lookup body; caller holds the stripe lock. *)
+let lookup_locked stripe flow =
+  Demux.Lookup_stats.begin_lookup stripe.stats;
+  match cache_probe stripe flow with
+  | Some node ->
+    let pcb = Demux.Chain.pcb node in
+    Demux.Pcb.note_rx pcb;
+    Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:true ~found:true;
+    Some pcb
+  | None -> (
+    match Demux.Chain.scan stripe.chain ~stats:stripe.stats flow with
+    | Some node ->
+      stripe.cache <- Some node;
+      let pcb = Demux.Chain.pcb node in
+      Demux.Pcb.note_rx pcb;
+      Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false ~found:true;
+      Some pcb
+    | None ->
+      Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false ~found:false;
+      None)
+
 let lookup t ?kind:_ flow =
   let stripe = stripe_of_flow t flow in
-  with_stripe stripe (fun () ->
-      Demux.Lookup_stats.begin_lookup stripe.stats;
-      match cache_probe stripe flow with
-      | Some node ->
-        let pcb = Demux.Chain.pcb node in
-        Demux.Pcb.note_rx pcb;
-        Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:true ~found:true;
-        Some pcb
-      | None -> (
-        match Demux.Chain.scan stripe.chain ~stats:stripe.stats flow with
-        | Some node ->
-          stripe.cache <- Some node;
-          let pcb = Demux.Chain.pcb node in
-          Demux.Pcb.note_rx pcb;
-          Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false
-            ~found:true;
-          Some pcb
-        | None ->
-          Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false
-            ~found:false;
-          None))
+  with_stripe stripe (fun () -> lookup_locked stripe flow)
+
+(* Batched operations visit each stripe once: a counting sort groups
+   the batch's indices by stripe (O(batch + chains), no comparisons),
+   then each occupied stripe's mutex is taken once for all its
+   packets, instead of once per packet. *)
+let group_by_stripe t flows =
+  let n = Array.length flows in
+  let chains = Array.length t.stripes in
+  let stripe_of = Array.make n 0 in
+  let first = Array.make (chains + 1) 0 in
+  for i = 0 to n - 1 do
+    let s = stripe_index t flows.(i) in
+    stripe_of.(i) <- s;
+    first.(s + 1) <- first.(s + 1) + 1
+  done;
+  for s = 1 to chains do
+    first.(s) <- first.(s) + first.(s - 1)
+  done;
+  let cursor = Array.sub first 0 chains in
+  let order = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let s = stripe_of.(i) in
+    order.(cursor.(s)) <- i;
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  (* [order.(first.(s) .. first.(s+1) - 1)] are stripe [s]'s indices. *)
+  (first, order)
+
+let lookup_batch t ?kind:_ flows =
+  let n = Array.length flows in
+  if n = 0 then 0
+  else begin
+    let first, order = group_by_stripe t flows in
+    let found = ref 0 in
+    for s = 0 to Array.length t.stripes - 1 do
+      let lo = first.(s) and hi = first.(s + 1) in
+      if hi > lo then begin
+        let stripe = t.stripes.(s) in
+        with_stripe stripe (fun () ->
+            Demux.Lookup_stats.note_batch stripe.stats ~size:(hi - lo);
+            for k = lo to hi - 1 do
+              match lookup_locked stripe flows.(order.(k)) with
+              | Some _ -> incr found
+              | None -> ()
+            done)
+      end
+    done;
+    !found
+  end
+
+let insert_batch t entries =
+  let n = Array.length entries in
+  if n = 0 then [||]
+  else begin
+    let flows = Array.map fst entries in
+    let first, order = group_by_stripe t flows in
+    let pcbs = Array.make n None in
+    for s = 0 to Array.length t.stripes - 1 do
+      let lo = first.(s) and hi = first.(s + 1) in
+      if hi > lo then begin
+        let stripe = t.stripes.(s) in
+        with_stripe stripe (fun () ->
+            Demux.Lookup_stats.note_batch stripe.stats ~size:(hi - lo);
+            for k = lo to hi - 1 do
+              let i = order.(k) in
+              let flow, data = entries.(i) in
+              pcbs.(i) <- Some (insert_locked t stripe flow data)
+            done)
+      end
+    done;
+    Array.map
+      (function Some pcb -> pcb | None -> assert false (* every index visited *))
+      pcbs
+  end
 
 let note_send t flow =
   let stripe = stripe_of_flow t flow in

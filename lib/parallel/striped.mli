@@ -35,9 +35,39 @@ val lookup :
     examined per cache probe / chain node compared, as everywhere in
     this library. *)
 
+(** {1 Batched operations}
+
+    A packet train arriving as one burst need not take a mutex per
+    packet: the batch is grouped by stripe (counting sort, no flow-key
+    allocation), and each occupied stripe's lock is taken {e once} for
+    all of its packets.  Per-lookup accounting is unchanged — the same
+    [begin_lookup]/[end_lookup] charges as {!lookup} — plus one
+    {!Demux.Lookup_stats.note_batch} per stripe visit, so the batched
+    and per-packet paths stay comparable on the paper's metric. *)
+
+val lookup_batch :
+  'a t -> ?kind:Demux.Types.packet_kind -> Packet.Flow.t array -> int
+(** Look up every flow in the batch; returns how many were found.
+    Within a stripe, lookups happen in batch order, so intra-batch
+    cache locality (packet trains) is preserved. *)
+
+val insert_batch :
+  'a t -> (Packet.Flow.t * 'a) array -> 'a Demux.Pcb.t array
+(** Insert every entry, one lock acquisition per occupied stripe;
+    returns the PCBs in input order.
+    @raise Invalid_argument on a duplicate flow — entries already
+    inserted (including later ones on other stripes) remain. *)
+
 val note_send : 'a t -> Packet.Flow.t -> unit
 val length : 'a t -> int
 
 val stats : 'a t -> Demux.Lookup_stats.snapshot
-(** Merged across stripes.  Consistent only when quiescent (reading
-    while other domains mutate gives an approximate snapshot). *)
+(** Merged across stripes.  {b Point-in-time caveat}: each stripe's
+    snapshot is taken under that stripe's lock, one stripe after
+    another — there is no global lock, so the merged result is not an
+    instantaneous cut of the whole table.  Per-stripe consistency
+    still holds, and sums preserve it: [lookups = found + not_found]
+    and [cache_hits <= lookups] are true of every merge, even while
+    other domains mutate (asserted under 4-domain churn in
+    test_parallel.ml).  Cross-counter identities that span a mutation
+    ([inserts - removes = length]) hold only when quiescent. *)

@@ -8,4 +8,25 @@ let next t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* [shift_right_logical _ 2] leaves 62 bits, so [Int64.to_int] never
+     wraps into OCaml's sign bit: the result is always in [0, 2^62). *)
   Int64.to_int (Int64.shift_right_logical z 2)
+
+(* [next] draws uniformly from [0, 2^62); a plain [mod bound] would
+   over-weight the low residues whenever bound does not divide 2^62.
+   Reject the partial final block instead: accept only draws below the
+   largest multiple of [bound], which makes every residue exactly
+   equally likely.  The rejection probability is < bound / 2^62, so in
+   practice the loop runs once. *)
+let max_draw = 0x3FFFFFFFFFFFFFFF (* 2^62 - 1, the top of [next]'s range *)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Worker_rng.int: bound must be positive";
+  (* 2^62 mod bound, computed without overflowing the 63-bit int. *)
+  let range_mod = ((max_draw mod bound) + 1) mod bound in
+  let limit = max_draw - range_mod in
+  let rec draw () =
+    let candidate = next t in
+    if candidate <= limit then candidate mod bound else draw ()
+  in
+  draw ()

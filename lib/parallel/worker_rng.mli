@@ -7,5 +7,15 @@
 type t
 
 val create : int -> t
+
 val next : t -> int
-(** Next non-negative pseudo-random int (62 bits). *)
+(** Next pseudo-random int, uniform on [0, 2^62).  Always
+    non-negative.  Do {e not} reduce this with [mod] when a bounded
+    draw is needed — use {!int}, which is bias-free. *)
+
+val int : t -> bound:int -> int
+(** Uniform draw from [0, bound), by rejection sampling over {!next}
+    (the partial final block of [2^62 / bound] is re-drawn, so every
+    residue is exactly equally likely; expected extra draws
+    < bound / 2^62).
+    @raise Invalid_argument if [bound <= 0]. *)

@@ -55,9 +55,14 @@ let advance t ~now =
   let slot_count = Array.length t.slots in
   let target_index = int_of_float (Float.floor (now /. t.tick)) in
   let current_index = int_of_float (Float.floor (t.clock /. t.tick)) in
-  (* Visit every slot the clock passes; a full revolution visits each
-     slot once. *)
-  let steps = min (target_index - current_index) slot_count in
+  (* Visit every slot the clock passes, inclusive of both endpoints:
+     the loop below runs [steps + 1] iterations, covering the current
+     slot (entries due within the tick the clock sits in) through the
+     target slot.  An advance of a full revolution or more must visit
+     each of the [slot_count] slots exactly once, so the clamp is
+     [slot_count - 1] — clamping to [slot_count] would revisit the
+     starting slot a second time. *)
+  let steps = min (target_index - current_index) (slot_count - 1) in
   let fired = ref [] in
   let visit slot =
     let due, remaining =

@@ -91,6 +91,31 @@ let test_deterministic () =
         (Hashing.Hashers.hash_flow hasher flow))
     Hashing.Hashers.all
 
+let test_flow_fast_path_matches_bytes () =
+  (* The allocation-free flow hash must be bit-identical to hashing
+     the flow's 12-byte key, for every hasher — with or without a
+     direct [run_flow] path — and [bucket_flow] must agree with
+     [bucket] over the key bytes. *)
+  let flows = Sim.Topology.flows 500 in
+  List.iter
+    (fun hasher ->
+      Array.iter
+        (fun flow ->
+          let via_bytes =
+            Hashing.Hashers.hash hasher (Packet.Flow.to_key_bytes flow)
+          in
+          Alcotest.(check int)
+            (Hashing.Hashers.name hasher ^ " flow = bytes")
+            via_bytes
+            (Hashing.Hashers.hash_flow hasher flow);
+          Alcotest.(check int)
+            (Hashing.Hashers.name hasher ^ " bucket_flow = bucket")
+            (Hashing.Hashers.bucket hasher ~buckets:19
+               (Packet.Flow.to_key_bytes flow))
+            (Hashing.Hashers.bucket_flow hasher ~buckets:19 flow))
+        flows)
+    Hashing.Hashers.all
+
 let test_bucket_range_and_validation () =
   let k = key "any key" in
   List.iter
@@ -267,6 +292,8 @@ let () =
       ( "behaviour",
         [ Alcotest.test_case "non-negative" `Quick test_all_non_negative;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "flow fast path = key bytes" `Quick
+            test_flow_fast_path_matches_bytes;
           Alcotest.test_case "bucket range" `Quick test_bucket_range_and_validation;
           Alcotest.test_case "of_name" `Quick test_of_name;
           Alcotest.test_case "spreads real flows" `Quick test_spreads_real_flows ] );

@@ -36,6 +36,21 @@ let test_clock_wall_moves_forward () =
   let b = Obs.Clock.now clock in
   Alcotest.(check bool) "monotone enough" true (b >= a)
 
+let test_clock_monotonic () =
+  (* The monotonic source can never run backwards — unlike wall time,
+     consecutive reads are ordered by contract, not by luck. *)
+  let clock = Obs.Clock.monotonic () in
+  let previous = ref (Obs.Clock.now clock) in
+  for _ = 1 to 1_000 do
+    let t = Obs.Clock.now clock in
+    if t < !previous then Alcotest.fail "monotonic clock went backwards";
+    previous := t
+  done;
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "ns reads ordered" true (b >= a);
+  Alcotest.(check bool) "ns reads positive" true (a > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram                                                           *)
 
@@ -255,7 +270,7 @@ let test_trace_kind_codes_round_trip () =
       | None -> Alcotest.failf "kind %s lost" (Obs.Trace.kind_name kind))
     Obs.Trace.
       [ Lookup_begin; Lookup_end; Cache_hit; Chain_walk; Insert; Remove;
-        Eviction; Rejection; Drop; Phase; Latency ];
+        Eviction; Rejection; Drop; Phase; Latency; Batch ];
   Alcotest.(check bool) "unknown code" true (Obs.Trace.kind_of_code 99 = None)
 
 let test_trace_binary_round_trip () =
@@ -498,7 +513,8 @@ let () =
     [ ( "clock",
         [ Alcotest.test_case "fixed and of_fun" `Quick test_clock_fixed_and_fun;
           Alcotest.test_case "virtual" `Quick test_clock_virtual;
-          Alcotest.test_case "wall" `Quick test_clock_wall_moves_forward ] );
+          Alcotest.test_case "wall" `Quick test_clock_wall_moves_forward;
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
       ( "histogram",
         [ Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "small values exact" `Quick

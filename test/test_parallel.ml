@@ -168,6 +168,219 @@ let test_coarse_concurrent_safety () =
     (Parallel.Coarse.stats d).Demux.Lookup_stats.lookups
 
 (* ------------------------------------------------------------------ *)
+(* Batched operations                                                  *)
+
+let test_lookup_batch_matches_per_packet () =
+  (* Same flows, same order: the batch API must find exactly what
+     per-packet lookups find, and charge identical examined counts
+     (plus the batch counters). *)
+  let population = flows 300 in
+  let batched = Parallel.Striped.create ~chains:19 () in
+  let plain = Parallel.Striped.create ~chains:19 () in
+  Array.iter
+    (fun f ->
+      ignore (Parallel.Striped.insert batched f ());
+      ignore (Parallel.Striped.insert plain f ()))
+    population;
+  let rng = Numerics.Rng.create ~seed:11 in
+  let burst =
+    Array.init 256 (fun _ ->
+        (* Mix hits and guaranteed misses. *)
+        let i = Numerics.Rng.int rng ~bound:400 in
+        flow i)
+  in
+  let found_batch = Parallel.Striped.lookup_batch batched burst in
+  let found_plain =
+    Array.fold_left
+      (fun n f ->
+        if Parallel.Striped.lookup plain f <> None then n + 1 else n)
+      0 burst
+  in
+  Alcotest.(check int) "same found count" found_plain found_batch;
+  let sb = Parallel.Striped.stats batched in
+  let sp = Parallel.Striped.stats plain in
+  Alcotest.(check int) "same lookups" sp.Demux.Lookup_stats.lookups
+    sb.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "same examined" sp.Demux.Lookup_stats.pcbs_examined
+    sb.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int) "same found" sp.Demux.Lookup_stats.found
+    sb.Demux.Lookup_stats.found;
+  Alcotest.(check bool) "batches counted" true
+    (sb.Demux.Lookup_stats.batches > 0);
+  Alcotest.(check int) "plain saw no batches" 0 sp.Demux.Lookup_stats.batches;
+  Alcotest.(check int) "empty batch" 0
+    (Parallel.Striped.lookup_batch batched [||])
+
+let test_insert_batch () =
+  let d = Parallel.Striped.create ~chains:7 () in
+  let entries = Array.init 50 (fun i -> (flow i, i)) in
+  let pcbs = Parallel.Striped.insert_batch d entries in
+  Alcotest.(check int) "all inserted" 50 (Parallel.Striped.length d);
+  Array.iteri
+    (fun i pcb ->
+      if not (Packet.Flow.equal pcb.Demux.Pcb.flow (flow i)) then
+        Alcotest.failf "pcb %d out of order" i)
+    pcbs;
+  (match Parallel.Striped.insert_batch d [| (flow 0, 99) |] with
+  | _ -> Alcotest.fail "duplicate accepted"
+  | exception Invalid_argument _ -> ());
+  let found = Parallel.Striped.lookup_batch d (Array.map fst entries) in
+  Alcotest.(check int) "all findable" 50 found
+
+let test_coarse_batch () =
+  let d = Parallel.Coarse.create Demux.Registry.Bsd in
+  let entries = Array.init 40 (fun i -> (flow i, ())) in
+  ignore (Parallel.Coarse.insert_batch d entries);
+  Alcotest.(check int) "inserted" 40 (Parallel.Coarse.length d);
+  let burst = Array.init 80 (fun i -> flow i) in
+  Alcotest.(check int) "half found" 40 (Parallel.Coarse.lookup_batch d burst);
+  Alcotest.(check bool) "batches counted" true
+    ((Parallel.Coarse.stats d).Demux.Lookup_stats.batches >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* SPSC ring                                                           *)
+
+let test_ring_basics () =
+  let ring = Parallel.Ring.create ~capacity:3 in
+  (* Capacity rounds up to a power of two. *)
+  Alcotest.(check int) "capacity" 4 (Parallel.Ring.capacity ring);
+  Alcotest.(check bool) "empty" true (Parallel.Ring.is_empty ring);
+  Alcotest.(check bool) "pop empty" true (Parallel.Ring.try_pop ring = None);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "push" true (Parallel.Ring.try_push ring i)
+  done;
+  Alcotest.(check bool) "full" false (Parallel.Ring.try_push ring 5);
+  Alcotest.(check int) "length" 4 (Parallel.Ring.length ring);
+  Alcotest.(check bool) "fifo" true (Parallel.Ring.try_pop ring = Some 1);
+  Alcotest.(check bool) "room again" true (Parallel.Ring.try_push ring 5);
+  (* Close: pushes refused, pops drain what is left. *)
+  Parallel.Ring.close ring;
+  Alcotest.(check bool) "closed" true (Parallel.Ring.is_closed ring);
+  (match Parallel.Ring.try_push ring 6 with
+  | _ -> Alcotest.fail "push after close accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list int)) "drains in order" [ 2; 3; 4; 5 ]
+    (List.filter_map
+       (fun _ -> Parallel.Ring.try_pop ring)
+       [ (); (); (); () ]);
+  Alcotest.(check bool) "drained" true (Parallel.Ring.try_pop ring = None);
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Ring.create: capacity <= 0") (fun () ->
+      ignore (Parallel.Ring.create ~capacity:0))
+
+let test_ring_spsc_transfer () =
+  (* One producer domain, one consumer domain, every value delivered
+     exactly once and in order — including values pushed right before
+     close (the drain-after-close protocol). *)
+  let ring = Parallel.Ring.create ~capacity:8 in
+  let total = 50_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let received = ref [] and count = ref 0 and expected = ref 0 in
+        let consume v =
+          if v <> !expected then received := v :: !received;
+          incr expected;
+          incr count
+        in
+        let rec drain () =
+          match Parallel.Ring.try_pop ring with
+          | Some v -> consume v; drain ()
+          | None -> ()
+        in
+        let rec loop () =
+          match Parallel.Ring.try_pop ring with
+          | Some v -> consume v; loop ()
+          | None ->
+            if Parallel.Ring.is_closed ring then drain ()
+            else begin
+              Domain.cpu_relax ();
+              loop ()
+            end
+        in
+        loop ();
+        (!count, !received))
+  in
+  for i = 0 to total - 1 do
+    while not (Parallel.Ring.try_push ring i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Parallel.Ring.close ring;
+  let count, out_of_order = Domain.join consumer in
+  Alcotest.(check int) "every push popped" total count;
+  Alcotest.(check (list int)) "in order" [] out_of_order
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher pipeline                                                 *)
+
+let test_dispatcher_pipeline () =
+  let population = flows 200 in
+  let d = Parallel.Striped.create ~chains:19 () in
+  Array.iter (fun f -> ignore (Parallel.Striped.insert d f ())) population;
+  (* 5000 packets over 250 flows: 1/5 of the stream misses. *)
+  let rng = Numerics.Rng.create ~seed:3 in
+  let stream = Array.init 5_000 (fun _ -> flow (Numerics.Rng.int rng ~bound:250)) in
+  let expected_found =
+    Array.fold_left
+      (fun n f -> if Parallel.Striped.lookup d f <> None then n + 1 else n)
+      0 stream
+  in
+  let obs = Obs.Registry.create () in
+  let result =
+    Parallel.Dispatcher.run ~obs ~workers:3 ~batch:16
+      ~lookup_batch:(fun batch -> Parallel.Striped.lookup_batch d batch)
+      stream
+  in
+  Alcotest.(check int) "all packets offered" 5_000
+    result.Parallel.Dispatcher.packets;
+  Alcotest.(check int) "all packets delivered" 5_000
+    (Array.fold_left ( + ) 0 result.Parallel.Dispatcher.per_worker_packets);
+  Alcotest.(check int) "found matches sequential" expected_found
+    result.Parallel.Dispatcher.found;
+  Alcotest.(check int) "lossless by default" 0
+    result.Parallel.Dispatcher.dropped_packets;
+  Alcotest.(check bool) "batches sized" true
+    (result.Parallel.Dispatcher.batches
+     >= 5_000 / 16 (* at least ceil per worker *));
+  (* The obs hooks registered and saw every push. *)
+  let metrics = Obs.Registry.snapshot obs in
+  (match Obs.Registry.find metrics "pipeline.batch_size" with
+  | Some { Obs.Registry.data = Obs.Registry.Histogram (summary, _); _ } ->
+    Alcotest.(check int) "one histogram sample per batch"
+      result.Parallel.Dispatcher.batches summary.Obs.Histogram.count
+  | _ -> Alcotest.fail "pipeline.batch_size missing");
+  (match Obs.Registry.find metrics "pipeline.backpressure_drops" with
+  | Some { Obs.Registry.data = Obs.Registry.Counter 0; _ } -> ()
+  | _ -> Alcotest.fail "pipeline.backpressure_drops missing or nonzero");
+  Alcotest.check_raises "workers 0"
+    (Invalid_argument "Dispatcher.run: workers <= 0") (fun () ->
+      ignore
+        (Parallel.Dispatcher.run ~workers:0 ~batch:1
+           ~lookup_batch:(fun _ -> 0) stream))
+
+let test_dispatcher_sharding_is_by_flow () =
+  (* Every packet of one flow must land on the same worker: feed a
+     stream where each flow appears many times and check the per-worker
+     totals equal the sum over flows assigned to that worker. *)
+  let hasher = Hashing.Hashers.multiplicative in
+  let workers = 4 in
+  let population = flows 40 in
+  let repeats = 25 in
+  let stream = Array.concat (List.init repeats (fun _ -> population)) in
+  let expected = Array.make workers 0 in
+  Array.iter
+    (fun f ->
+      let w = Hashing.Hashers.bucket_flow hasher ~buckets:workers f in
+      expected.(w) <- expected.(w) + repeats)
+    population;
+  let result =
+    Parallel.Dispatcher.run ~hasher ~workers ~batch:8
+      ~lookup_batch:Array.length stream
+  in
+  Alcotest.(check (array int)) "per-worker counts follow the flow hash"
+    expected result.Parallel.Dispatcher.per_worker_packets
+
+(* ------------------------------------------------------------------ *)
 (* Throughput harness                                                  *)
 
 let test_throughput_smoke () =
@@ -177,12 +390,47 @@ let test_throughput_smoke () =
   in
   Alcotest.(check string) "target" "striped:sequent-19" result.Parallel.Throughput.target;
   Alcotest.(check int) "total" 40_000 result.Parallel.Throughput.total_lookups;
+  Alcotest.(check int) "per-packet mode" 1 result.Parallel.Throughput.batch;
   Alcotest.(check bool) "positive rate" true
     (result.Parallel.Throughput.lookups_per_second > 0.0);
+  Alcotest.(check bool) "elapsed is positive" true
+    (result.Parallel.Throughput.elapsed_seconds > 0.0);
   Alcotest.check_raises "domains 0"
     (Invalid_argument "Throughput.run: domains <= 0") (fun () ->
       ignore
-        (Parallel.Throughput.run ~domains:0 Parallel.Throughput.Coarse_bsd))
+        (Parallel.Throughput.run ~domains:0 Parallel.Throughput.Coarse_bsd));
+  Alcotest.check_raises "batch 0"
+    (Invalid_argument "Throughput.run: batch <= 0") (fun () ->
+      ignore
+        (Parallel.Throughput.run ~domains:1 ~batch:0
+           Parallel.Throughput.Coarse_bsd))
+
+let test_throughput_batched () =
+  (* Batched mode with the monotonic clock: every lookup accounted,
+     every latency sample non-negative, no backwards clock reads. *)
+  let obs = Obs.Registry.create () in
+  let result =
+    Parallel.Throughput.run ~obs ~connections:200 ~lookups_per_domain:10_000
+      ~batch:8 ~domains:2 (Parallel.Throughput.Striped_sequent 19)
+  in
+  Alcotest.(check int) "total" 20_000 result.Parallel.Throughput.total_lookups;
+  Alcotest.(check int) "batch recorded" 8 result.Parallel.Throughput.batch;
+  Alcotest.(check int) "no backwards clock reads" 0
+    result.Parallel.Throughput.clock_went_backwards;
+  (match result.Parallel.Throughput.latency with
+  | None -> Alcotest.fail "no latency histogram with ?obs"
+  | Some histogram ->
+    Alcotest.(check int) "every lookup has a latency sample" 20_000
+      (Obs.Histogram.count histogram);
+    Alcotest.(check bool) "no negative samples" true
+      (Obs.Histogram.min_value histogram >= 0));
+  match
+    Obs.Registry.find
+      (Obs.Registry.snapshot obs)
+      "parallel.clock_went_backwards"
+  with
+  | Some { Obs.Registry.data = Obs.Registry.Counter 0; _ } -> ()
+  | _ -> Alcotest.fail "clock_went_backwards counter missing or nonzero"
 
 let test_worker_rng () =
   let a = Parallel.Worker_rng.create 5 in
@@ -191,7 +439,104 @@ let test_worker_rng () =
     let x = Parallel.Worker_rng.next a in
     Alcotest.(check int) "deterministic" x (Parallel.Worker_rng.next b);
     Alcotest.(check bool) "non-negative" true (x >= 0)
+  done;
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Worker_rng.int: bound must be positive") (fun () ->
+      ignore (Parallel.Worker_rng.int a ~bound:0))
+
+(* Rejection sampling: 10^6 draws across qcheck-chosen (seed, bound)
+   pairs, every one in [0, bound). *)
+let worker_rng_in_bounds =
+  QCheck.Test.make ~count:100 ~name:"Worker_rng.int stays in [0, bound)"
+    QCheck.(pair small_nat (int_range 1 (1 lsl 30)))
+    (fun (seed, bound) ->
+      let rng = Parallel.Worker_rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 10_000 do
+        let x = Parallel.Worker_rng.int rng ~bound in
+        if x < 0 || x >= bound then ok := false
+      done;
+      !ok)
+
+let test_worker_rng_uniform () =
+  (* Chi-squared uniformity smoke test: 160_000 draws into 16 cells.
+     The old [next mod bound] path is bias-free only when the bound
+     divides 2^62; rejection sampling must pass for any bound.  15
+     degrees of freedom: critical value 37.7 at p = 0.001; the seed is
+     fixed, so this cannot flake. *)
+  let bound = 16 in
+  let draws = 160_000 in
+  let cells = Array.make bound 0 in
+  let rng = Parallel.Worker_rng.create 77 in
+  for _ = 1 to draws do
+    let x = Parallel.Worker_rng.int rng ~bound in
+    cells.(x) <- cells.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc observed ->
+        let d = float_of_int observed -. expected in
+        acc +. (d *. d /. expected))
+      0.0 cells
+  in
+  if chi2 > 37.7 then
+    Alcotest.failf "chi-squared %.1f exceeds the p=0.001 critical value" chi2;
+  (* An odd bound near 2^62 / k maximises the old method's bias; make
+     sure rejection sampling still covers the whole range. *)
+  let rng = Parallel.Worker_rng.create 78 in
+  let big_bound = (0x3FFFFFFFFFFFFFFF / 3 * 2) + 1 in
+  for _ = 1 to 1_000 do
+    let x = Parallel.Worker_rng.int rng ~bound:big_bound in
+    if x < 0 || x >= big_bound then Alcotest.fail "out of range"
   done
+
+(* ------------------------------------------------------------------ *)
+(* Merged-snapshot invariants under churn (striped.mli's caveat)       *)
+
+let test_striped_stats_under_churn () =
+  (* Four domains mutate while the main domain keeps merging stripe
+     snapshots.  Per-stripe consistency survives the merge: every
+     snapshot must satisfy lookups = found + not_found and
+     cache_hits <= lookups.  After the join, the population-dependent
+     identity holds too. *)
+  let d = Parallel.Striped.create ~chains:19 () in
+  let stable = 100 in
+  for i = 0 to stable - 1 do
+    ignore (Parallel.Striped.insert d (flow i) ())
+  done;
+  let stop = Atomic.make false in
+  let workers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let base = stable + (w * 50) in
+            let rng = Numerics.Rng.create ~seed:(w + 40) in
+            while not (Atomic.get stop) do
+              let k = base + Numerics.Rng.int rng ~bound:50 in
+              (match Parallel.Striped.lookup d (flow k) with
+              | Some _ -> ignore (Parallel.Striped.remove d (flow k))
+              | None -> ignore (Parallel.Striped.insert d (flow k) ()));
+              ignore
+                (Parallel.Striped.lookup_batch d
+                   [| flow (Numerics.Rng.int rng ~bound:stable);
+                      flow (Numerics.Rng.int rng ~bound:stable) |])
+            done))
+  in
+  for _ = 1 to 200 do
+    let s = Parallel.Striped.stats d in
+    if
+      s.Demux.Lookup_stats.lookups
+      <> s.Demux.Lookup_stats.found + s.Demux.Lookup_stats.not_found
+    then Alcotest.fail "lookups <> found + not_found in a live merge";
+    if s.Demux.Lookup_stats.cache_hits > s.Demux.Lookup_stats.lookups then
+      Alcotest.fail "cache_hits > lookups in a live merge"
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  let s = Parallel.Striped.stats d in
+  Alcotest.(check int) "quiescent: inserts - removes = population"
+    (Parallel.Striped.length d)
+    (s.Demux.Lookup_stats.inserts - s.Demux.Lookup_stats.removes)
 
 (* ------------------------------------------------------------------ *)
 
@@ -208,6 +553,24 @@ let () =
           Alcotest.test_case "reader correctness" `Quick
             test_concurrent_lookups_return_right_pcb;
           Alcotest.test_case "coarse safety" `Quick test_coarse_concurrent_safety ] );
+      ( "batched",
+        [ Alcotest.test_case "lookup_batch = per-packet" `Quick
+            test_lookup_batch_matches_per_packet;
+          Alcotest.test_case "insert_batch" `Quick test_insert_batch;
+          Alcotest.test_case "coarse batch" `Quick test_coarse_batch ] );
+      ( "ring",
+        [ Alcotest.test_case "basics" `Quick test_ring_basics;
+          Alcotest.test_case "spsc transfer" `Quick test_ring_spsc_transfer ] );
+      ( "dispatcher",
+        [ Alcotest.test_case "pipeline" `Quick test_dispatcher_pipeline;
+          Alcotest.test_case "sharding by flow" `Quick
+            test_dispatcher_sharding_is_by_flow ] );
       ( "throughput",
         [ Alcotest.test_case "smoke" `Quick test_throughput_smoke;
-          Alcotest.test_case "worker rng" `Quick test_worker_rng ] ) ]
+          Alcotest.test_case "batched mode" `Quick test_throughput_batched;
+          Alcotest.test_case "worker rng" `Quick test_worker_rng;
+          QCheck_alcotest.to_alcotest worker_rng_in_bounds;
+          Alcotest.test_case "rng uniformity" `Quick test_worker_rng_uniform ] );
+      ( "stats",
+        [ Alcotest.test_case "merged snapshots under churn" `Quick
+            test_striped_stats_under_churn ] ) ]

@@ -257,6 +257,47 @@ let test_wheel_many_small_steps () =
   Alcotest.(check int) "all fired once" 50 !fired;
   Alcotest.(check int) "none pending" 0 (Tcpcore.Timer_wheel.pending wheel)
 
+let test_wheel_full_revolution () =
+  (* Regression: an advance of exactly one revolution must cover every
+     slot once — the old step bound visited [slot_count + 1] slots,
+     re-scanning the starting slot.  Entries in every slot, including
+     both endpoints of the sweep, fire exactly once. *)
+  let wheel = Tcpcore.Timer_wheel.create ~slot_count:8 ~tick:1.0 () in
+  for i = 0 to 7 do
+    ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:(float_of_int i) i)
+  done;
+  let fired = Tcpcore.Timer_wheel.advance wheel ~now:8.0 in
+  Alcotest.(check (list int)) "all 8 fire, each once" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map snd fired);
+  Alcotest.(check int) "none pending" 0 (Tcpcore.Timer_wheel.pending wheel)
+
+let test_wheel_multi_revolution_delay () =
+  (* A delay of more than one revolution must survive intermediate
+     full-revolution advances and fire only when its deadline passes. *)
+  let wheel = Tcpcore.Timer_wheel.create ~slot_count:8 ~tick:1.0 () in
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:20.0 "late");
+  Alcotest.(check (list string)) "revolution 1: nothing" []
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:8.0));
+  Alcotest.(check (list string)) "revolution 2: nothing" []
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:16.0));
+  Alcotest.(check int) "still pending" 1 (Tcpcore.Timer_wheel.pending wheel);
+  Alcotest.(check (list string)) "fires in revolution 3" [ "late" ]
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:20.0));
+  Alcotest.(check int) "none pending" 0 (Tcpcore.Timer_wheel.pending wheel)
+
+let test_wheel_boundary_landing () =
+  (* The sweep is endpoint-inclusive: a deadline exactly on the slot
+     boundary the advance lands on fires in that same advance, not the
+     next one. *)
+  let wheel = Tcpcore.Timer_wheel.create ~slot_count:16 ~tick:0.5 () in
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:3.0 "edge");
+  Alcotest.(check (list string)) "fires on the boundary" [ "edge" ]
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:3.0));
+  (* And again when the advance starts on a boundary too. *)
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:1.5 "next");
+  Alcotest.(check (list string)) "boundary to boundary" [ "next" ]
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:4.5))
+
 let test_wheel_validation () =
   let wheel = Tcpcore.Timer_wheel.create ~tick:1.0 () in
   ignore (Tcpcore.Timer_wheel.advance wheel ~now:5.0);
@@ -873,5 +914,11 @@ let () =
           Alcotest.test_case "cancel" `Quick test_wheel_cancel;
           Alcotest.test_case "wraparound" `Quick test_wheel_wraparound;
           Alcotest.test_case "small steps" `Quick test_wheel_many_small_steps;
+          Alcotest.test_case "full revolution" `Quick
+            test_wheel_full_revolution;
+          Alcotest.test_case "multi-revolution delay" `Quick
+            test_wheel_multi_revolution_delay;
+          Alcotest.test_case "boundary landing" `Quick
+            test_wheel_boundary_landing;
           Alcotest.test_case "validation" `Quick test_wheel_validation ] );
       ("properties", qcheck_cases) ]
