@@ -722,7 +722,8 @@ let run_pipeline ?obs ?tracer ~workers ~batch ~connections ~packets ~seed () =
         flows.(Parallel.Worker_rng.int rng ~bound:(Array.length flows)))
   in
   Parallel.Dispatcher.run ?obs ?tracer ~workers ~batch
-    ~lookup_batch:(fun flows -> Parallel.Striped.lookup_batch table flows)
+    ~lookup_batch:(fun flows ~hashes ->
+      Parallel.Striped.lookup_batch_keyed table flows ~hashes)
     stream
 
 let run_parallel targets domains batches connections lookups pipeline smoke

@@ -53,14 +53,16 @@ let move_to_front t node =
     t.length <- t.length + 1
   end
 
-let scan t ~stats flow =
-  let rec walk = function
-    | None -> None
-    | Some node ->
-      Lookup_stats.examine stats ();
-      if Pcb.matches node.pcb flow then Some node else walk node.next
-  in
-  walk t.head
+(* Top-level recursion with explicit arguments (not a closure over
+   [stats]/[flow]) and reuse of the chain's own option cells, so a
+   scan allocates nothing. *)
+let rec scan_nodes stats flow = function
+  | None -> None
+  | Some node as found ->
+    Lookup_stats.examine stats ();
+    if Pcb.matches node.pcb flow then found else scan_nodes stats flow node.next
+
+let scan t ~stats flow = scan_nodes stats flow t.head
 
 let iter f t =
   let rec walk = function

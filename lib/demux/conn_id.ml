@@ -1,6 +1,6 @@
 type 'a t = {
   slots : 'a Pcb.t option array;
-  ids : int Flow_table.t;
+  ids : int Flat_table.t;
   mutable free : int list;
   stats : Lookup_stats.t;
   mutable population : int;
@@ -10,24 +10,29 @@ let name = "conn-id"
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Conn_id.create: capacity <= 0";
-  { slots = Array.make capacity None; ids = Flow_table.create 64;
+  { slots = Array.make capacity None;
+    ids = Flat_table.create ~initial_capacity:64 ();
     free = List.init capacity Fun.id; stats = Lookup_stats.create ();
     population = 0 }
 
 let insert t flow data =
-  if Flow_table.mem t.ids flow then invalid_arg "Conn_id.insert: duplicate flow";
+  let w0 = Flow_key.w0_of_flow flow and w1 = Flow_key.w1_of_flow flow in
+  if Flat_table.mem t.ids ~w0 ~w1 then
+    invalid_arg "Conn_id.insert: duplicate flow";
   match t.free with
   | [] -> failwith "Conn_id.insert: connection-ID space exhausted"
   | id :: rest ->
     t.free <- rest;
     let pcb = Pcb.make ~id ~flow data in
     t.slots.(id) <- Some pcb;
-    Flow_table.replace t.ids flow id;
+    Flat_table.replace t.ids ~w0 ~w1 id;
     t.population <- t.population + 1;
     Lookup_stats.note_insert t.stats;
     pcb
 
-let connection_id t flow = Flow_table.find_opt t.ids flow
+let connection_id t flow =
+  Flat_table.find_opt t.ids ~w0:(Flow_key.w0_of_flow flow)
+    ~w1:(Flow_key.w1_of_flow flow)
 
 let lookup_by_id t ?kind:_ id =
   Lookup_stats.begin_lookup t.stats;
@@ -48,12 +53,13 @@ let lookup_by_id t ?kind:_ id =
   end
 
 let remove t flow =
-  match Flow_table.find_opt t.ids flow with
+  let w0 = Flow_key.w0_of_flow flow and w1 = Flow_key.w1_of_flow flow in
+  match Flat_table.find_opt t.ids ~w0 ~w1 with
   | None -> None
   | Some id ->
     let pcb = t.slots.(id) in
     t.slots.(id) <- None;
-    Flow_table.remove t.ids flow;
+    Flat_table.remove t.ids ~w0 ~w1;
     t.free <- id :: t.free;
     t.population <- t.population - 1;
     Lookup_stats.note_remove t.stats;
@@ -62,15 +68,21 @@ let remove t flow =
 let lookup t ?kind flow =
   (* The ID travels in the packet header; translating flow -> ID here
      stands in for reading those header bits and is not charged. *)
-  match Flow_table.find_opt t.ids flow with
-  | Some id -> lookup_by_id t ?kind id
-  | None ->
+  match
+    Flat_table.find t.ids ~w0:(Flow_key.w0_of_flow flow)
+      ~w1:(Flow_key.w1_of_flow flow)
+  with
+  | id -> lookup_by_id t ?kind id
+  | exception Not_found ->
     Lookup_stats.begin_lookup t.stats;
     Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
     None
 
 let note_send t flow =
-  match Flow_table.find_opt t.ids flow with
+  match
+    Flat_table.find_opt t.ids ~w0:(Flow_key.w0_of_flow flow)
+      ~w1:(Flow_key.w1_of_flow flow)
+  with
   | Some id -> (
     match t.slots.(id) with Some pcb -> Pcb.note_tx pcb | None -> ())
   | None -> ()

@@ -1,0 +1,223 @@
+(* Open-addressing index keyed by packed flow words.
+
+   Layout is struct-of-arrays so a probe touches cache-dense flat
+   storage instead of pointer-chasing boxed buckets:
+
+   - [tags]  : one byte per slot.  0 means empty; otherwise a non-zero
+     8-bit digest of the hash ([(h lsr 16) land 0xFF], remapped 0->1).
+     A probe compares the tag byte before the two key words, so almost
+     every non-matching slot is rejected on a single byte load.
+   - [hs]    : the full stored hash per occupied slot (so probe
+     distances and resize need no re-hashing).
+   - [w0s]/[w1s] : the inline packed key words ([Flow_key] layout).
+   - [vals]  : the bindings.
+
+   Collision policy is Robin-Hood displacement: an inserted entry
+   steals the slot of any resident that is closer to its home bucket,
+   which bounds probe-length variance and lets lookups stop early once
+   they out-distance the resident.  Deletion is backward-shift (move
+   displaced successors one slot back), so the table never holds
+   tombstones and probe lengths do not degrade with churn.  Capacity
+   is a power of two and doubles at 7/8 load. *)
+
+type 'a t = {
+  mutable tags : Bytes.t;
+  mutable hs : int array;
+  mutable w0s : int array;
+  mutable w1s : int array;
+  mutable vals : 'a option array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+  hash : int -> int -> int;
+}
+
+let default_hash = Flow_key.hash_words
+
+let min_capacity = 8
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+let create ?(hash = default_hash) ?(initial_capacity = min_capacity) () =
+  if initial_capacity < 0 then
+    invalid_arg "Flat_table.create: initial_capacity < 0";
+  let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+  { tags = Bytes.make cap '\000';
+    hs = Array.make cap 0;
+    w0s = Array.make cap 0;
+    w1s = Array.make cap 0;
+    vals = Array.make cap None;
+    mask = cap - 1;
+    size = 0;
+    hash }
+
+let length t = t.size
+let capacity t = t.mask + 1
+
+let tag_of_hash h =
+  let tag = (h lsr 16) land 0xFF in
+  if tag = 0 then 1 else tag
+
+(* Distance of the entry resident at [slot] from its home bucket. *)
+let distance t slot = (slot - (t.hs.(slot) land t.mask)) land t.mask
+
+(* Probe loop shared by [find]/[find_opt]/[mem]: returns the slot
+   holding the key, or -1.  A top-level [rec] with explicit arguments
+   (not a closure, not [ref] cells) so the hit path allocates
+   nothing. *)
+let rec probe t tag w0 w1 slot dist =
+  let resident = Bytes.get_uint8 t.tags slot in
+  if resident = 0 then -1
+  else if resident = tag && t.w0s.(slot) = w0 && t.w1s.(slot) = w1 then slot
+  else if distance t slot < dist then
+    (* Robin-Hood invariant: had the key been present, it would have
+       displaced this closer-to-home resident. *)
+    -1
+  else probe t tag w0 w1 ((slot + 1) land t.mask) (dist + 1)
+
+let find_slot t w0 w1 =
+  let h = t.hash w0 w1 in
+  probe t (tag_of_hash h) w0 w1 (h land t.mask) 0
+
+let find t ~w0 ~w1 =
+  let slot = find_slot t w0 w1 in
+  if slot < 0 then raise Not_found
+  else
+    match t.vals.(slot) with
+    | Some v -> v
+    | None -> assert false (* occupied slots always carry a binding *)
+
+let find_opt t ~w0 ~w1 =
+  let slot = find_slot t w0 w1 in
+  if slot < 0 then None else t.vals.(slot)
+
+let mem t ~w0 ~w1 = find_slot t w0 w1 >= 0
+
+(* Robin-Hood insertion of a key known to be absent: walk from the
+   home slot, swapping the carried entry with any resident closer to
+   its own home, until an empty slot absorbs the carry. *)
+let insert_fresh t h w0 w1 v =
+  let tag = ref (tag_of_hash h) in
+  let h = ref h and w0 = ref w0 and w1 = ref w1 and v = ref v in
+  let slot = ref (!h land t.mask) in
+  let dist = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let resident = Bytes.get_uint8 t.tags !slot in
+    if resident = 0 then begin
+      Bytes.set_uint8 t.tags !slot !tag;
+      t.hs.(!slot) <- !h;
+      t.w0s.(!slot) <- !w0;
+      t.w1s.(!slot) <- !w1;
+      t.vals.(!slot) <- Some !v;
+      continue := false
+    end
+    else begin
+      let resident_dist = distance t !slot in
+      if resident_dist < !dist then begin
+        (* Swap: the resident is richer (closer to home); it yields
+           the slot and we carry it onward. *)
+        let h' = t.hs.(!slot) and w0' = t.w0s.(!slot)
+        and w1' = t.w1s.(!slot) in
+        let v' =
+          match t.vals.(!slot) with Some v -> v | None -> assert false
+        in
+        Bytes.set_uint8 t.tags !slot !tag;
+        t.hs.(!slot) <- !h;
+        t.w0s.(!slot) <- !w0;
+        t.w1s.(!slot) <- !w1;
+        t.vals.(!slot) <- Some !v;
+        tag := tag_of_hash h';
+        h := h';
+        w0 := w0';
+        w1 := w1';
+        v := v';
+        dist := resident_dist
+      end;
+      slot := (!slot + 1) land t.mask;
+      incr dist
+    end
+  done;
+  t.size <- t.size + 1
+
+let grow t =
+  let old_tags = t.tags and old_hs = t.hs and old_w0s = t.w0s
+  and old_w1s = t.w1s and old_vals = t.vals in
+  let old_cap = t.mask + 1 in
+  let cap = old_cap * 2 in
+  t.tags <- Bytes.make cap '\000';
+  t.hs <- Array.make cap 0;
+  t.w0s <- Array.make cap 0;
+  t.w1s <- Array.make cap 0;
+  t.vals <- Array.make cap None;
+  t.mask <- cap - 1;
+  t.size <- 0;
+  for slot = 0 to old_cap - 1 do
+    if Bytes.get_uint8 old_tags slot <> 0 then
+      let v = match old_vals.(slot) with Some v -> v | None -> assert false in
+      insert_fresh t old_hs.(slot) old_w0s.(slot) old_w1s.(slot) v
+  done
+
+let replace t ~w0 ~w1 v =
+  let slot = find_slot t w0 w1 in
+  if slot >= 0 then t.vals.(slot) <- Some v
+  else begin
+    (* Double at 7/8 load. *)
+    if (t.size + 1) * 8 > (t.mask + 1) * 7 then grow t;
+    insert_fresh t (t.hash w0 w1) w0 w1 v
+  end
+
+let remove t ~w0 ~w1 =
+  let slot = find_slot t w0 w1 in
+  if slot >= 0 then begin
+    (* Backward-shift deletion: pull each displaced successor one slot
+       towards its home until a slot is empty or home (distance 0), so
+       no tombstone is left behind. *)
+    let i = ref slot in
+    let continue = ref true in
+    while !continue do
+      let next = (!i + 1) land t.mask in
+      if Bytes.get_uint8 t.tags next = 0 || distance t next = 0 then begin
+        Bytes.set_uint8 t.tags !i 0;
+        t.vals.(!i) <- None;
+        continue := false
+      end
+      else begin
+        Bytes.set_uint8 t.tags !i (Bytes.get_uint8 t.tags next);
+        t.hs.(!i) <- t.hs.(next);
+        t.w0s.(!i) <- t.w0s.(next);
+        t.w1s.(!i) <- t.w1s.(next);
+        t.vals.(!i) <- t.vals.(next);
+        i := next
+      end
+    done;
+    t.size <- t.size - 1
+  end
+
+let iter f t =
+  for slot = 0 to t.mask do
+    if Bytes.get_uint8 t.tags slot <> 0 then
+      match t.vals.(slot) with
+      | Some v -> f ~w0:t.w0s.(slot) ~w1:t.w1s.(slot) v
+      | None -> assert false
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun ~w0 ~w1 v -> acc := f ~w0 ~w1 v !acc) t;
+  !acc
+
+let clear t =
+  Bytes.fill t.tags 0 (Bytes.length t.tags) '\000';
+  Array.fill t.vals 0 (Array.length t.vals) None;
+  t.size <- 0
+
+(* Longest probe sequence currently in the table — exposed for tests
+   and diagnostics (Robin Hood keeps this small and low-variance). *)
+let max_probe_length t =
+  let worst = ref 0 in
+  for slot = 0 to t.mask do
+    if Bytes.get_uint8 t.tags slot <> 0 then
+      let d = distance t slot in
+      if d > !worst then worst := d
+  done;
+  !worst

@@ -1,0 +1,52 @@
+(** Flat open-addressing index over packed flow keys.
+
+    A cache-friendly replacement for the [Hashtbl]-backed
+    {!Flow_table}: keys are the two packed words of {!Flow_key} stored
+    inline in flat arrays (struct-of-arrays), with a one-byte tag per
+    slot that rejects almost every non-matching probe on a single byte
+    compare before the key words are touched.  Collisions use
+    Robin-Hood displacement (bounded probe variance, early lookup
+    termination); deletion is backward-shift, so the table is
+    tombstone-free and probe lengths do not rot under churn.  Capacity
+    is a power of two and doubles at 7/8 load.
+
+    [find] on a present key performs zero minor-heap allocations —
+    this is the index the demultiplexers' hot paths sit on
+    (DESIGN.md section 10). *)
+
+type 'a t
+
+val create : ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+(** [create ()] makes an empty table.  [hash] defaults to
+    {!Flow_key.hash_words}; override only in tests (it must be fixed
+    for the table's lifetime).  [initial_capacity] is rounded up to a
+    power of two, minimum 8.
+    @raise Invalid_argument if [initial_capacity < 0]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val find : 'a t -> w0:int -> w1:int -> 'a
+(** Allocation-free lookup by packed key words.
+    @raise Not_found if the key is absent. *)
+
+val find_opt : 'a t -> w0:int -> w1:int -> 'a option
+
+val mem : 'a t -> w0:int -> w1:int -> bool
+
+val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
+(** Insert, or overwrite the existing binding. *)
+
+val remove : 'a t -> w0:int -> w1:int -> unit
+(** Remove the binding if present (backward-shift; no tombstones). *)
+
+val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
+
+val fold : (w0:int -> w1:int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+val clear : 'a t -> unit
+(** Empty the table, keeping its current capacity. *)
+
+val max_probe_length : 'a t -> int
+(** Longest probe distance of any resident entry — a diagnostic for
+    tests; Robin Hood keeps it small. *)

@@ -1,0 +1,52 @@
+(* Packed immediate representation of the 96-bit flow key.
+
+   Each half of the key — (addr, port) for one endpoint — is 48 bits,
+   which fits comfortably in a 63-bit OCaml immediate int:
+
+     word = addr (32 bits) lsl 16  lor  port (16 bits)
+
+   so the whole 4-tuple is two unboxed ints and every operation below
+   is straight-line integer arithmetic: no minor-heap traffic on the
+   per-packet receive path (DESIGN.md section 10). *)
+
+type t = { w0 : int; w1 : int }
+
+let addr_int a = Int32.to_int (Packet.Ipv4.addr_to_int32 a) land 0xFFFFFFFF
+
+let word_of_endpoint (e : Packet.Flow.endpoint) =
+  (addr_int e.Packet.Flow.addr lsl 16) lor e.Packet.Flow.port
+
+let w0_of_flow (flow : Packet.Flow.t) = word_of_endpoint flow.Packet.Flow.local
+let w1_of_flow (flow : Packet.Flow.t) = word_of_endpoint flow.Packet.Flow.remote
+
+let of_flow flow = { w0 = w0_of_flow flow; w1 = w1_of_flow flow }
+
+let endpoint_of_word w =
+  Packet.Flow.endpoint
+    (Packet.Ipv4.addr_of_int32 (Int32.of_int (w lsr 16)))
+    (w land 0xFFFF)
+
+let to_flow t =
+  Packet.Flow.v ~local:(endpoint_of_word t.w0) ~remote:(endpoint_of_word t.w1)
+
+let w0 t = t.w0
+let w1 t = t.w1
+let make ~w0 ~w1 = { w0; w1 }
+
+let equal a b = a.w0 = b.w0 && a.w1 = b.w1
+
+let equal_words a ~w0 ~w1 = a.w0 = w0 && a.w1 = w1
+
+(* A total order consistent with [equal].  Note this is the unsigned
+   packed-word order, {e not} the same order as [Flow.compare] (which
+   compares addresses as signed [Int32]s); only equality agrees. *)
+let compare a b =
+  let c = Int.compare a.w0 b.w0 in
+  if c <> 0 then c else Int.compare a.w1 b.w1
+
+let hash_words w0 w1 =
+  Hashing.Hashers.hash_words Hashing.Hashers.multiplicative w0 w1
+
+let hash t = hash_words t.w0 t.w1
+
+let pp ppf t = Packet.Flow.pp ppf (to_flow t)

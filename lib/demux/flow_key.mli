@@ -1,0 +1,61 @@
+(** Packed immediate flow keys.
+
+    The paper's 96-bit demultiplexing key — (local addr, local port,
+    remote addr, remote port) — packed into two OCaml immediate ints:
+
+    {v
+      w0 = local  addr (32 bits) lsl 16  lor  local  port (16 bits)
+      w1 = remote addr (32 bits) lsl 16  lor  remote port (16 bits)
+    v}
+
+    48 significant bits per word, so both fit unboxed in 63-bit ints.
+    Equality, comparison and hashing are O(1) integer arithmetic with
+    no allocation, unlike {!Packet.Flow.to_key_bytes} which builds a
+    fresh 12-byte string per call.  Hashing is bit-identical to
+    hashing the canonical key bytes (asserted by qcheck in
+    test_demux.ml). *)
+
+type t = private { w0 : int; w1 : int }
+(** The packed key.  The record itself is boxed — cold paths (table
+    snapshots, debugging) may hold one; the hot path passes [w0]/[w1]
+    as bare ints via {!w0_of_flow}/{!w1_of_flow} and never builds
+    a [t]. *)
+
+val w0_of_flow : Packet.Flow.t -> int
+(** Local endpoint packed word.  Allocation-free. *)
+
+val w1_of_flow : Packet.Flow.t -> int
+(** Remote endpoint packed word.  Allocation-free. *)
+
+val of_flow : Packet.Flow.t -> t
+
+val to_flow : t -> Packet.Flow.t
+(** Round-trips: [to_flow (of_flow f)] is [Flow.equal] to [f]. *)
+
+val w0 : t -> int
+val w1 : t -> int
+
+val make : w0:int -> w1:int -> t
+(** Rebuild a key from packed words (as produced by
+    {!w0_of_flow}/{!w1_of_flow}; bits above 48 must be zero). *)
+
+val equal : t -> t -> bool
+
+val equal_words : t -> w0:int -> w1:int -> bool
+(** [equal_words t ~w0 ~w1] without building a second [t]. *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}.  This is the unsigned
+    packed-word order — {e not} the same order as
+    {!Packet.Flow.compare}, which compares addresses as signed
+    [Int32]s; only equality agrees between the two. *)
+
+val hash : t -> int
+
+val hash_words : int -> int -> int
+(** [hash_words w0 w1] = [hash (make ~w0 ~w1)] without the box:
+    the multiplicative hash of the packed words, bit-identical to
+    [Hashers.hash multiplicative (Flow.to_key_bytes flow)] for the
+    corresponding flow.  Allocation-free. *)
+
+val pp : Format.formatter -> t -> unit

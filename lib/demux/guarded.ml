@@ -37,8 +37,7 @@ let create cfg =
     clock = 0 }
 
 let bucket_index t flow =
-  Hashing.Hashers.bucket t.cfg.hasher ~buckets:t.cfg.chains
-    (Packet.Flow.to_key_bytes flow)
+  Hashing.Hashers.bucket_flow t.cfg.hasher ~buckets:t.cfg.chains flow
 
 let tracked t = Flow_table.length t.index
 

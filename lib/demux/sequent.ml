@@ -3,10 +3,15 @@ type 'a bucket = {
   mutable cache : 'a Chain.node option;
 }
 
+(* Index entry: the chain node plus the bucket it lives in, so
+   [remove] never re-hashes the flow the index already proved
+   present. *)
+type 'a entry = { node : 'a Chain.node; home : int }
+
 type 'a t = {
   buckets : 'a bucket array;
   hasher : Hashing.Hashers.t;
-  index : 'a Chain.node Flow_table.t;
+  index : 'a entry Flat_table.t;
   stats : Lookup_stats.t;
   mutable next_id : int;
 }
@@ -19,74 +24,88 @@ let create ?(chains = default_chains) ?(hasher = Hashing.Hashers.multiplicative)
   if chains <= 0 then invalid_arg "Sequent.create: chains <= 0";
   { buckets =
       Array.init chains (fun _ -> { chain = Chain.create (); cache = None });
-    hasher; index = Flow_table.create 64; stats = Lookup_stats.create ();
-    next_id = 0 }
+    hasher; index = Flat_table.create ~initial_capacity:64 ();
+    stats = Lookup_stats.create (); next_id = 0 }
 
 let chains t = Array.length t.buckets
 
-let bucket_of_flow t flow =
-  t.buckets.(Hashing.Hashers.bucket t.hasher ~buckets:(Array.length t.buckets)
-                (Packet.Flow.to_key_bytes flow))
+(* Allocation-free: hashes the flow's fields directly instead of
+   serialising a fresh 12-byte key per packet. *)
+let bucket_index t flow =
+  Hashing.Hashers.bucket_flow t.hasher ~buckets:(Array.length t.buckets) flow
 
 let insert t flow data =
-  if Flow_table.mem t.index flow then
+  let w0 = Flow_key.w0_of_flow flow and w1 = Flow_key.w1_of_flow flow in
+  if Flat_table.mem t.index ~w0 ~w1 then
     invalid_arg "Sequent.insert: duplicate flow";
   let pcb = Pcb.make ~id:t.next_id ~flow data in
   t.next_id <- t.next_id + 1;
-  let bucket = bucket_of_flow t flow in
+  let home = bucket_index t flow in
+  let bucket = t.buckets.(home) in
   let node = Chain.push_front bucket.chain pcb in
-  Flow_table.replace t.index flow node;
+  Flat_table.replace t.index ~w0 ~w1 { node; home };
   Lookup_stats.note_insert t.stats;
   pcb
 
 let remove t flow =
-  match Flow_table.find_opt t.index flow with
+  let w0 = Flow_key.w0_of_flow flow and w1 = Flow_key.w1_of_flow flow in
+  match Flat_table.find_opt t.index ~w0 ~w1 with
   | None -> None
-  | Some node ->
-    let bucket = bucket_of_flow t flow in
+  | Some { node; home } ->
+    let bucket = t.buckets.(home) in
     (match bucket.cache with
     | Some cached when cached == node -> bucket.cache <- None
     | Some _ | None -> ());
     Chain.remove bucket.chain node;
-    Flow_table.remove t.index flow;
+    Flat_table.remove t.index ~w0 ~w1;
     Lookup_stats.note_remove t.stats;
     Some (Chain.pcb node)
 
-let cache_probe t bucket flow =
-  match bucket.cache with
-  | None -> None
-  | Some node ->
-    Lookup_stats.examine t.stats ();
-    if Pcb.matches (Chain.pcb node) flow then Some node else None
-
-let lookup t ?kind:_ flow =
-  Lookup_stats.begin_lookup t.stats;
-  let bucket = bucket_of_flow t flow in
-  match cache_probe t bucket flow with
-  | Some node ->
+(* Cache missed (or was cold): scan the chain.  Shared miss
+   continuation for [lookup_pcb]. *)
+let scan_chain t bucket flow =
+  match Chain.scan bucket.chain ~stats:t.stats flow with
+  | Some node as found ->
+    (* Store the scan's own option cell rather than a fresh [Some]. *)
+    bucket.cache <- found;
     let pcb = Chain.pcb node in
     Pcb.note_rx pcb;
-    Lookup_stats.end_lookup t.stats ~hit_cache:true ~found:true;
-    Some pcb
-  | None -> (
-    match Chain.scan bucket.chain ~stats:t.stats flow with
-    | Some node ->
-      bucket.cache <- Some node;
-      let pcb = Chain.pcb node in
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
+    pcb
+  | None ->
+    Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
+    raise Not_found
+
+let lookup_pcb t flow =
+  Lookup_stats.begin_lookup t.stats;
+  let bucket = t.buckets.(bucket_index t flow) in
+  match bucket.cache with
+  | Some node ->
+    Lookup_stats.examine t.stats ();
+    let pcb = Chain.pcb node in
+    if Pcb.matches pcb flow then begin
       Pcb.note_rx pcb;
-      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:true;
-      Some pcb
-    | None ->
-      Lookup_stats.end_lookup t.stats ~hit_cache:false ~found:false;
-      None)
+      Lookup_stats.end_lookup t.stats ~hit_cache:true ~found:true;
+      pcb
+    end
+    else scan_chain t bucket flow
+  | None -> scan_chain t bucket flow
+
+let lookup t ?kind:_ flow =
+  match lookup_pcb t flow with
+  | pcb -> Some pcb
+  | exception Not_found -> None
 
 let note_send t flow =
-  match Flow_table.find_opt t.index flow with
-  | Some node -> Pcb.note_tx (Chain.pcb node)
+  match
+    Flat_table.find_opt t.index ~w0:(Flow_key.w0_of_flow flow)
+      ~w1:(Flow_key.w1_of_flow flow)
+  with
+  | Some { node; _ } -> Pcb.note_tx (Chain.pcb node)
   | None -> ()
 
 let stats t = t.stats
-let length t = Flow_table.length t.index
+let length t = Flat_table.length t.index
 
 let iter f t =
   Array.iter (fun bucket -> Chain.iter f bucket.chain) t.buckets

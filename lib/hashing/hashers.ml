@@ -6,6 +6,11 @@ type t = {
      Must agree exactly with [run (Flow.to_key_bytes flow)] (asserted
      by a qcheck property in test_hashing.ml). *)
   run_flow : (Packet.Flow.t -> int) option;
+  (* Same specialisation over the packed key words of
+     [Demux.Flow_key]: w0 = local addr lsl 16 lor local port,
+     w1 = remote addr lsl 16 lor remote port.  Must agree exactly with
+     [run] over the corresponding 12-byte key. *)
+  run_words : (int -> int -> int) option;
 }
 
 let name t = t.name
@@ -24,17 +29,42 @@ let bucket_flow t ~buckets flow =
   if buckets <= 0 then invalid_arg "Hashers.bucket_flow: buckets <= 0";
   hash_flow t flow mod buckets
 
+(* The canonical 12-byte key carrying the packed words, for hashers
+   whose byte-serial definition has no word-folded shortcut. *)
+let bytes_of_words w0 w1 =
+  let buf = Bytes.create 12 in
+  Bytes.set_int32_be buf 0 (Int32.of_int (w0 lsr 16));
+  Bytes.set_int32_be buf 4 (Int32.of_int (w1 lsr 16));
+  Bytes.set_uint16_be buf 8 (w0 land 0xFFFF);
+  Bytes.set_uint16_be buf 10 (w1 land 0xFFFF);
+  buf
+
+let hash_words t w0 w1 =
+  match t.run_words with
+  | Some run -> run w0 w1
+  | None -> hash t (bytes_of_words w0 w1)
+
+let bucket_words t ~buckets w0 w1 =
+  if buckets <= 0 then invalid_arg "Hashers.bucket_words: buckets <= 0";
+  hash_words t w0 w1 mod buckets
+
 (* [fold32 (Flow.to_key_bytes flow)] without the 12-byte allocation:
    the key's three big-endian 32-bit words are (local addr), (remote
-   addr), (local port << 16 | remote port). *)
+   addr), (local port << 16 | remote port).  Pure int arithmetic on
+   purpose — boxed [Int32] intermediates would allocate on the
+   per-packet receive path (the zero-allocation bar of DESIGN.md
+   section 10). *)
+let addr_int a = Int32.to_int (Packet.Ipv4.addr_to_int32 a) land 0xFFFFFFFF
+
 let fold32_flow (flow : Packet.Flow.t) =
-  Int32.logxor
-    (Int32.logxor
-       (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.local.Packet.Flow.addr)
-       (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.remote.Packet.Flow.addr))
-    (Int32.of_int
-       ((flow.Packet.Flow.local.Packet.Flow.port lsl 16)
-       lor flow.Packet.Flow.remote.Packet.Flow.port))
+  addr_int flow.Packet.Flow.local.Packet.Flow.addr
+  lxor addr_int flow.Packet.Flow.remote.Packet.Flow.addr
+  lxor ((flow.Packet.Flow.local.Packet.Flow.port lsl 16)
+       lor flow.Packet.Flow.remote.Packet.Flow.port)
+
+let fold32_words w0 w1 =
+  (w0 lsr 16) lxor (w1 lsr 16)
+  lxor (((w0 land 0xFFFF) lsl 16) lor (w1 land 0xFFFF))
 
 let fold_words16 key combine init =
   let acc = ref init in
@@ -49,8 +79,8 @@ let fold_words16 key combine init =
 
 (* The 16-bit words of the flow key, in order. *)
 let fold_words16_flow (flow : Packet.Flow.t) combine init =
-  let local = Int32.to_int (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.local.Packet.Flow.addr) land 0xFFFFFFFF in
-  let remote = Int32.to_int (Packet.Ipv4.addr_to_int32 flow.Packet.Flow.remote.Packet.Flow.addr) land 0xFFFFFFFF in
+  let local = addr_int flow.Packet.Flow.local.Packet.Flow.addr in
+  let remote = addr_int flow.Packet.Flow.remote.Packet.Flow.addr in
   let acc = combine init ((local lsr 16) land 0xFFFF) in
   let acc = combine acc (local land 0xFFFF) in
   let acc = combine acc ((remote lsr 16) land 0xFFFF) in
@@ -58,14 +88,26 @@ let fold_words16_flow (flow : Packet.Flow.t) combine init =
   let acc = combine acc flow.Packet.Flow.local.Packet.Flow.port in
   combine acc flow.Packet.Flow.remote.Packet.Flow.port
 
+(* Same words, from the packed representation: the canonical key-byte
+   order is local addr, remote addr, local port, remote port. *)
+let fold_words16_words w0 w1 combine init =
+  let acc = combine init (w0 lsr 32) in
+  let acc = combine acc ((w0 lsr 16) land 0xFFFF) in
+  let acc = combine acc (w1 lsr 32) in
+  let acc = combine acc ((w1 lsr 16) land 0xFFFF) in
+  let acc = combine acc (w0 land 0xFFFF) in
+  combine acc (w1 land 0xFFFF)
+
 let xor_fold =
   { name = "xor-fold"; run = (fun k -> fold_words16 k ( lxor ) 0);
-    run_flow = Some (fun flow -> fold_words16_flow flow ( lxor ) 0) }
+    run_flow = Some (fun flow -> fold_words16_flow flow ( lxor ) 0);
+    run_words = Some (fun w0 w1 -> fold_words16_words w0 w1 ( lxor ) 0) }
 
 let add_fold =
   let step a w = (a + w) land 0x3FFFFFFF in
   { name = "add-fold"; run = (fun k -> fold_words16 k step 0);
-    run_flow = Some (fun flow -> fold_words16_flow flow step 0) }
+    run_flow = Some (fun flow -> fold_words16_flow flow step 0);
+    run_words = Some (fun w0 w1 -> fold_words16_words w0 w1 step 0) }
 
 let fold32 key =
   (* Fold the key into 32 bits by XOR of big-endian 32-bit words. *)
@@ -84,8 +126,15 @@ let fold32 key =
   done;
   !acc
 
+(* The pure-int equivalent of [Int32.mul] then logical shift right by
+   2: the product is taken mod 2^32 (OCaml int multiplication wraps
+   mod 2^63 and 2^32 divides 2^63, so the low 32 bits agree), matching
+   the boxed Int32 byte path bit for bit. *)
+let golden_int = 0x9E3779B1 (* 2654435761 = 2^32 / phi *)
+let multiply_golden f32 = ((f32 * golden_int) land 0xFFFFFFFF) lsr 2
+
 let multiplicative =
-  let golden = 0x9E3779B1l (* 2654435761 = 2^32 / phi *) in
+  let golden = 0x9E3779B1l in
   { name = "multiplicative";
     run =
       (fun k ->
@@ -93,15 +142,12 @@ let multiplicative =
         (* Take the high 30 bits: multiplicative hashing concentrates
            its mixing in the high half of the product. *)
         Int32.to_int (Int32.shift_right_logical product 2));
-    run_flow =
-      Some
-        (fun flow ->
-          Int32.to_int
-            (Int32.shift_right_logical (Int32.mul (fold32_flow flow) golden) 2)) }
+    run_flow = Some (fun flow -> multiply_golden (fold32_flow flow));
+    run_words = Some (fun w0 w1 -> multiply_golden (fold32_words w0 w1)) }
 
 let fnv1a =
   let offset_basis = 0xCBF29CE484222325L and prime = 0x100000001B3L in
-  { name = "fnv1a"; run_flow = None;
+  { name = "fnv1a"; run_flow = None; run_words = None;
     run =
       (fun k ->
         let h = ref offset_basis in
@@ -113,7 +159,7 @@ let fnv1a =
         Int64.to_int (Int64.shift_right_logical !h 2)) }
 
 let jenkins_oaat =
-  { name = "jenkins-oaat"; run_flow = None;
+  { name = "jenkins-oaat"; run_flow = None; run_words = None;
     run =
       (fun k ->
         let h = ref 0l in
@@ -152,7 +198,7 @@ let crc32_digest ?(initial = 0l) key =
   Int32.logxor !crc 0xFFFFFFFFl
 
 let crc32 =
-  { name = "crc32"; run_flow = None;
+  { name = "crc32"; run_flow = None; run_words = None;
     run = (fun k -> Int32.to_int (Int32.shift_right_logical (crc32_digest k) 2)) }
 
 let crc16_ccitt_table =
@@ -166,7 +212,7 @@ let crc16_ccitt_table =
          !c))
 
 let crc16_ccitt =
-  { name = "crc16-ccitt"; run_flow = None;
+  { name = "crc16-ccitt"; run_flow = None; run_words = None;
     run =
       (fun k ->
         let table = Lazy.force crc16_ccitt_table in
@@ -200,7 +246,7 @@ let pearson_table =
      table)
 
 let pearson =
-  { name = "pearson"; run_flow = None;
+  { name = "pearson"; run_flow = None; run_words = None;
     run =
       (fun k ->
         let table = Lazy.force pearson_table in

@@ -33,6 +33,19 @@ val bucket_flow : t -> buckets:int -> Packet.Flow.t -> int
     (allocation-free where {!hash_flow} is).
     @raise Invalid_argument if [buckets <= 0]. *)
 
+val hash_words : t -> int -> int -> int
+(** [hash_words t w0 w1] hashes a flow key packed as two immediate
+    ints in the convention of [Demux.Flow_key]:
+    [w0 = local addr lsl 16 lor local port] and
+    [w1 = remote addr lsl 16 lor remote port] (48 significant bits
+    each).  Equal to [hash t key] for the corresponding canonical
+    12-byte key; allocation-free for the word-folding hashers
+    (xor-fold, add-fold, multiplicative). *)
+
+val bucket_words : t -> buckets:int -> int -> int -> int
+(** [bucket_words t ~buckets w0 w1] is [hash_words t w0 w1 mod buckets].
+    @raise Invalid_argument if [buckets <= 0]. *)
+
 val xor_fold : t
 (** XOR the key's 16-bit words together — the cheapest scheme and the
     one early stacks used. *)

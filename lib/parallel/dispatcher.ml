@@ -17,9 +17,9 @@ type result = {
    [is_closed] one more drain pass sees everything. *)
 let worker_loop ring lookup_batch =
   let found = ref 0 and packets = ref 0 in
-  let consume batch =
+  let consume (batch, hashes) =
     packets := !packets + Array.length batch;
-    found := !found + lookup_batch batch
+    found := !found + lookup_batch batch ~hashes
   in
   let rec drain () =
     match Ring.try_pop ring with
@@ -85,6 +85,10 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
         Domain.spawn (fun () -> counts.(w) <- worker_loop rings.(w) lookup_batch))
   in
   let buffers = Array.init workers (fun _ -> Array.make batch packets.(0)) in
+  (* Each packet's full flow hash, computed once at dispatch and
+     shipped with the batch so downstream stages (stripe grouping in
+     [Striped.lookup_batch_keyed]) never re-derive it. *)
+  let hash_buffers = Array.init workers (fun _ -> Array.make batch 0) in
   let fills = Array.make workers 0 in
   let started = Obs.Clock.now_ns () in
   (* Ship worker [w]'s partial buffer as one immutable batch. *)
@@ -93,8 +97,9 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
     if fill > 0 then begin
       fills.(w) <- 0;
       let batch_array =
-        if fill = batch then Array.copy buffers.(w)
-        else Array.sub buffers.(w) 0 fill
+        if fill = batch then
+          (Array.copy buffers.(w), Array.copy hash_buffers.(w))
+        else (Array.sub buffers.(w) 0 fill, Array.sub hash_buffers.(w) 0 fill)
       in
       let ring = rings.(w) in
       let depth = Ring.length ring in
@@ -119,11 +124,16 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
   in
   (* RSS: shard every packet by flow hash, so one connection's packets
      always reach the same worker (per-stripe caches stay warm and no
-     two workers contend on one connection's stripe). *)
+     two workers contend on one connection's stripe).  The hash is
+     computed exactly once per packet, here; the worker index is its
+     reduction mod workers (identical sharding to [bucket_flow]) and
+     the full value ships with the batch. *)
   for i = 0 to total - 1 do
     let flow = packets.(i) in
-    let w = Hashing.Hashers.bucket_flow hasher ~buckets:workers flow in
+    let h = Hashing.Hashers.hash_flow hasher flow in
+    let w = h mod workers in
     buffers.(w).(fills.(w)) <- flow;
+    hash_buffers.(w).(fills.(w)) <- h;
     fills.(w) <- fills.(w) + 1;
     if fills.(w) = batch then flush w
   done;

@@ -36,11 +36,19 @@ val run :
   ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t ->
   ?hasher:Hashing.Hashers.t -> ?ring_capacity:int -> ?drop_on_full:bool ->
   workers:int -> batch:int ->
-  lookup_batch:(Packet.Flow.t array -> int) -> Packet.Flow.t array -> result
+  lookup_batch:(Packet.Flow.t array -> hashes:int array -> int) ->
+  Packet.Flow.t array -> result
 (** [run ~workers ~batch ~lookup_batch packets] spawns [workers]
     domains, shards [packets] across them in batches of [batch], joins
     them all, and reports.  [lookup_batch] must be safe to call from
     any domain (the parallel demultiplexers' batch APIs are).
+
+    Each batch arrives with [hashes], the flows' full hash values
+    under [hasher], computed {e once} per packet when the dispatcher
+    sharded it.  Pass them to {!Striped.lookup_batch_keyed} (created
+    with the same hasher) so the stripe-grouping stage does not
+    re-derive per-packet keys; callers that do not want them can
+    ignore the argument.
 
     Defaults: multiplicative hash (allocation-free per packet),
     [ring_capacity = 64] batches per worker (rounded up to a power of

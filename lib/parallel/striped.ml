@@ -1,7 +1,7 @@
 type 'a stripe = {
   mutex : Mutex.t;
   chain : 'a Demux.Chain.t;
-  index : 'a Demux.Chain.node Demux.Flow_table.t;
+  index : 'a Demux.Chain.node Demux.Flat_table.t;
   mutable cache : 'a Demux.Chain.node option;
   stats : Demux.Lookup_stats.t;
 }
@@ -19,7 +19,8 @@ let create ?(chains = Demux.Sequent.default_chains)
   { stripes =
       Array.init chains (fun _ ->
           { mutex = Mutex.create (); chain = Demux.Chain.create ();
-            index = Demux.Flow_table.create 16; cache = None;
+            index = Demux.Flat_table.create ~initial_capacity:16 ();
+            cache = None;
             stats = Demux.Lookup_stats.create () });
     hasher; next_id = Atomic.make 0; population = Atomic.make 0 }
 
@@ -32,17 +33,24 @@ let stripe_index t flow =
 
 let stripe_of_flow t flow = t.stripes.(stripe_index t flow)
 
+(* The full (un-reduced) flow hash, for callers that want to compute
+   it once and reuse it across pipeline stages (see
+   [lookup_batch_keyed] and [Dispatcher]). *)
+let hash_flow t flow = Hashing.Hashers.hash_flow t.hasher flow
+
 let with_stripe stripe f =
   Mutex.lock stripe.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock stripe.mutex) f
 
 let insert_locked t stripe flow data =
-  if Demux.Flow_table.mem stripe.index flow then
+  let w0 = Demux.Flow_key.w0_of_flow flow
+  and w1 = Demux.Flow_key.w1_of_flow flow in
+  if Demux.Flat_table.mem stripe.index ~w0 ~w1 then
     invalid_arg "Striped.insert: duplicate flow";
   let id = Atomic.fetch_and_add t.next_id 1 in
   let pcb = Demux.Pcb.make ~id ~flow data in
   let node = Demux.Chain.push_front stripe.chain pcb in
-  Demux.Flow_table.replace stripe.index flow node;
+  Demux.Flat_table.replace stripe.index ~w0 ~w1 node;
   Demux.Lookup_stats.note_insert stripe.stats;
   Atomic.incr t.population;
   pcb
@@ -53,15 +61,17 @@ let insert t flow data =
 
 let remove t flow =
   let stripe = stripe_of_flow t flow in
+  let w0 = Demux.Flow_key.w0_of_flow flow
+  and w1 = Demux.Flow_key.w1_of_flow flow in
   with_stripe stripe (fun () ->
-      match Demux.Flow_table.find_opt stripe.index flow with
+      match Demux.Flat_table.find_opt stripe.index ~w0 ~w1 with
       | None -> None
       | Some node ->
         (match stripe.cache with
         | Some cached when cached == node -> stripe.cache <- None
         | Some _ | None -> ());
         Demux.Chain.remove stripe.chain node;
-        Demux.Flow_table.remove stripe.index flow;
+        Demux.Flat_table.remove stripe.index ~w0 ~w1;
         Demux.Lookup_stats.note_remove stripe.stats;
         Atomic.decr t.population;
         Some (Demux.Chain.pcb node))
@@ -84,8 +94,9 @@ let lookup_locked stripe flow =
     Some pcb
   | None -> (
     match Demux.Chain.scan stripe.chain ~stats:stripe.stats flow with
-    | Some node ->
-      stripe.cache <- Some node;
+    | Some node as found ->
+      (* Reuse the scan's option cell instead of a fresh [Some]. *)
+      stripe.cache <- found;
       let pcb = Demux.Chain.pcb node in
       Demux.Pcb.note_rx pcb;
       Demux.Lookup_stats.end_lookup stripe.stats ~hit_cache:false ~found:true;
@@ -102,13 +113,11 @@ let lookup t ?kind:_ flow =
    the batch's indices by stripe (O(batch + chains), no comparisons),
    then each occupied stripe's mutex is taken once for all its
    packets, instead of once per packet. *)
-let group_by_stripe t flows =
-  let n = Array.length flows in
-  let chains = Array.length t.stripes in
+let group_indices ~chains ~stripe_of_index n =
   let stripe_of = Array.make n 0 in
   let first = Array.make (chains + 1) 0 in
   for i = 0 to n - 1 do
-    let s = stripe_index t flows.(i) in
+    let s = stripe_of_index i in
     stripe_of.(i) <- s;
     first.(s + 1) <- first.(s + 1) + 1
   done;
@@ -125,26 +134,44 @@ let group_by_stripe t flows =
   (* [order.(first.(s) .. first.(s+1) - 1)] are stripe [s]'s indices. *)
   (first, order)
 
+let group_by_stripe t flows =
+  group_indices ~chains:(Array.length t.stripes)
+    ~stripe_of_index:(fun i -> stripe_index t flows.(i))
+    (Array.length flows)
+
+let run_lookup_batch t flows (first, order) =
+  let found = ref 0 in
+  for s = 0 to Array.length t.stripes - 1 do
+    let lo = first.(s) and hi = first.(s + 1) in
+    if hi > lo then begin
+      let stripe = t.stripes.(s) in
+      with_stripe stripe (fun () ->
+          Demux.Lookup_stats.note_batch stripe.stats ~size:(hi - lo);
+          for k = lo to hi - 1 do
+            match lookup_locked stripe flows.(order.(k)) with
+            | Some _ -> incr found
+            | None -> ()
+          done)
+    end
+  done;
+  !found
+
 let lookup_batch t ?kind:_ flows =
+  if Array.length flows = 0 then 0
+  else run_lookup_batch t flows (group_by_stripe t flows)
+
+let lookup_batch_keyed t ?kind:_ flows ~hashes =
   let n = Array.length flows in
+  if n <> Array.length hashes then
+    invalid_arg "Striped.lookup_batch_keyed: flows/hashes length mismatch";
   if n = 0 then 0
   else begin
-    let first, order = group_by_stripe t flows in
-    let found = ref 0 in
-    for s = 0 to Array.length t.stripes - 1 do
-      let lo = first.(s) and hi = first.(s + 1) in
-      if hi > lo then begin
-        let stripe = t.stripes.(s) in
-        with_stripe stripe (fun () ->
-            Demux.Lookup_stats.note_batch stripe.stats ~size:(hi - lo);
-            for k = lo to hi - 1 do
-              match lookup_locked stripe flows.(order.(k)) with
-              | Some _ -> incr found
-              | None -> ()
-            done)
-      end
-    done;
-    !found
+    (* The caller computed [hash_flow] once per packet (at dispatch);
+       reducing it mod chains here gives exactly [stripe_index], so
+       grouping skips re-hashing every flow. *)
+    let chains = Array.length t.stripes in
+    run_lookup_batch t flows
+      (group_indices ~chains ~stripe_of_index:(fun i -> hashes.(i) mod chains) n)
   end
 
 let insert_batch t entries =
@@ -174,8 +201,10 @@ let insert_batch t entries =
 
 let note_send t flow =
   let stripe = stripe_of_flow t flow in
+  let w0 = Demux.Flow_key.w0_of_flow flow
+  and w1 = Demux.Flow_key.w1_of_flow flow in
   with_stripe stripe (fun () ->
-      match Demux.Flow_table.find_opt stripe.index flow with
+      match Demux.Flat_table.find_opt stripe.index ~w0 ~w1 with
       | Some node -> Demux.Pcb.note_tx (Demux.Chain.pcb node)
       | None -> ())
 

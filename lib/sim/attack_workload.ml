@@ -50,11 +50,8 @@ let colliding_flows ~hasher ~chains ~count =
     if found >= count then List.rev acc
     else
       let flow = Topology.flow_of_client i in
-      if
-        Hashing.Hashers.bucket hasher ~buckets:chains
-          (Packet.Flow.to_key_bytes flow)
-        = 0
-      then collect (i + 1) (flow :: acc) (found + 1)
+      if Hashing.Hashers.bucket_flow hasher ~buckets:chains flow = 0 then
+        collect (i + 1) (flow :: acc) (found + 1)
       else collect (i + 1) acc found
   in
   collect 0 [] 0

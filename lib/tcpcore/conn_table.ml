@@ -1,4 +1,12 @@
-type binding = Wildcard of int | Specific of Packet.Ipv4.addr * int
+(* A listener binding packed as one immediate int, so probing for a
+   listener on the receive path allocates no constructor:
+
+     wildcard (port only)  : port                      (bits 0-15)
+     specific (addr, port) : 1 lsl 48 | addr lsl 16 | port
+
+   The bit-48 discriminant keeps the two namespaces disjoint; 49
+   significant bits fit an OCaml immediate int. *)
+type binding = int
 
 type ('conn, 'listener) t = {
   demux : 'conn Demux.Registry.t;
@@ -10,10 +18,15 @@ let create spec =
 
 let demux t = t.demux
 
+let specific_binding addr port =
+  (1 lsl 48)
+  lor ((Int32.to_int (Packet.Ipv4.addr_to_int32 addr) land 0xFFFFFFFF) lsl 16)
+  lor port
+
 let binding_of ?addr port =
   match addr with
-  | Some addr -> Specific (addr, port)
-  | None -> Wildcard port
+  | Some addr -> specific_binding addr port
+  | None -> port
 
 let listen ?addr t ~port listener =
   if port < 0 || port > 0xFFFF then invalid_arg "Conn_table.listen: bad port";
@@ -27,12 +40,12 @@ let unlisten ?addr t ~port = Hashtbl.remove t.listeners (binding_of ?addr port)
 let listener ?addr t ~port =
   let specific =
     match addr with
-    | Some addr -> Hashtbl.find_opt t.listeners (Specific (addr, port))
+    | Some addr -> Hashtbl.find_opt t.listeners (specific_binding addr port)
     | None -> None
   in
   match specific with
   | Some _ as found -> found
-  | None -> Hashtbl.find_opt t.listeners (Wildcard port)
+  | None -> Hashtbl.find_opt t.listeners port
 
 let add_connection t flow conn = t.demux.Demux.Registry.insert flow conn
 

@@ -968,9 +968,213 @@ let prop_merge_snapshots_with_histograms =
       && Obs.Histogram.summary merged_histogram
          = Obs.Histogram.summary whole_histogram)
 
+(* ------------------------------------------------------------------ *)
+(* Flow_key: packed immediate keys                                     *)
+
+(* Random flows over the {e full} 32-bit address space — including
+   addresses whose Int32 representation is negative, the case the
+   unsigned packing must mask correctly. *)
+let gen_flow_full_range =
+  let open QCheck.Gen in
+  let word16 = int_bound 0xFFFF in
+  let endpoint =
+    map3
+      (fun hi lo port ->
+        Packet.Flow.endpoint
+          (Packet.Ipv4.addr_of_int32 (Int32.of_int ((hi lsl 16) lor lo)))
+          port)
+      word16 word16 word16
+  in
+  map2
+    (fun local remote -> Packet.Flow.v ~local ~remote)
+    endpoint endpoint
+
+let arbitrary_flow =
+  QCheck.make ~print:Packet.Flow.to_string gen_flow_full_range
+
+let arbitrary_flow_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Packet.Flow.to_string a ^ " / " ^ Packet.Flow.to_string b)
+    QCheck.Gen.(pair gen_flow_full_range gen_flow_full_range)
+
+let prop_flow_key_round_trip =
+  QCheck.Test.make ~count:500 ~name:"flow_key round-trips and hashes like bytes"
+    arbitrary_flow (fun f ->
+      let k = Demux.Flow_key.of_flow f in
+      Packet.Flow.equal f (Demux.Flow_key.to_flow k)
+      && Demux.Flow_key.w0 k = Demux.Flow_key.w0_of_flow f
+      && Demux.Flow_key.w1 k = Demux.Flow_key.w1_of_flow f
+      && Demux.Flow_key.hash k
+         = Hashing.Hashers.hash Hashing.Hashers.multiplicative
+             (Packet.Flow.to_key_bytes f)
+      && Demux.Flow_key.hash_words (Demux.Flow_key.w0 k) (Demux.Flow_key.w1 k)
+         = Demux.Flow_key.hash k)
+
+let prop_flow_key_equality_agrees =
+  QCheck.Test.make ~count:500 ~name:"flow_key equal/compare agree with Flow.equal"
+    arbitrary_flow_pair (fun (a, b) ->
+      let ka = Demux.Flow_key.of_flow a and kb = Demux.Flow_key.of_flow b in
+      Demux.Flow_key.equal ka kb = Packet.Flow.equal a b
+      && (Demux.Flow_key.compare ka kb = 0) = Packet.Flow.equal a b
+      && Demux.Flow_key.equal_words ka ~w0:(Demux.Flow_key.w0 kb)
+           ~w1:(Demux.Flow_key.w1 kb)
+         = Packet.Flow.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Flat_table: open-addressing index vs a Hashtbl reference model      *)
+
+type ft_op = F_insert of int | F_remove of int | F_find of int
+
+let arbitrary_flat_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [ (4, map (fun i -> F_insert i) (int_bound 60));
+        (2, map (fun i -> F_remove i) (int_bound 60));
+        (5, map (fun i -> F_find i) (int_bound 60)) ]
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | F_insert i -> Printf.sprintf "I%d" i
+             | F_remove i -> Printf.sprintf "R%d" i
+             | F_find i -> Printf.sprintf "F%d" i)
+           ops))
+    (list_size (int_range 1 300) op)
+
+(* Drive the table and a Hashtbl through the same random op sequence.
+   [hash] lets the property run again with degenerate hashes that
+   force every key into colliding probe sequences — Robin-Hood
+   displacement and backward-shift deletion must not lose or invent
+   entries under maximal collision pressure either. *)
+let flat_table_model_agreement ?hash () ops =
+  let table = Demux.Flat_table.create ?hash ~initial_capacity:8 () in
+  let model = Hashtbl.create 16 in
+  let words i =
+    let f = flow i in
+    (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | F_insert i ->
+        let w0, w1 = words i in
+        Demux.Flat_table.replace table ~w0 ~w1 i;
+        Hashtbl.replace model i i;
+        Demux.Flat_table.find_opt table ~w0 ~w1 = Some i
+      | F_remove i ->
+        let w0, w1 = words i in
+        Demux.Flat_table.remove table ~w0 ~w1;
+        Hashtbl.remove model i;
+        Demux.Flat_table.find_opt table ~w0 ~w1 = None
+        && not (Demux.Flat_table.mem table ~w0 ~w1)
+      | F_find i ->
+        let w0, w1 = words i in
+        Demux.Flat_table.find_opt table ~w0 ~w1 = Hashtbl.find_opt model i
+        && (match Demux.Flat_table.find table ~w0 ~w1 with
+           | v -> Hashtbl.find_opt model i = Some v
+           | exception Not_found -> Hashtbl.find_opt model i = None))
+    ops
+  && Demux.Flat_table.length table = Hashtbl.length model
+  && Demux.Flat_table.fold (fun ~w0:_ ~w1:_ _ n -> n + 1) table 0
+     = Hashtbl.length model
+
+let prop_flat_table_model =
+  QCheck.Test.make ~count:200 ~name:"flat_table agrees with Hashtbl model"
+    arbitrary_flat_ops
+    (flat_table_model_agreement ())
+
+let prop_flat_table_model_degenerate_hash =
+  QCheck.Test.make ~count:100
+    ~name:"flat_table agrees with model under forced collisions"
+    arbitrary_flat_ops
+    (fun ops ->
+      flat_table_model_agreement ~hash:(fun _ _ -> 0) () ops
+      && flat_table_model_agreement ~hash:(fun w0 _ -> w0 land 3) () ops)
+
+let test_flat_table_grows () =
+  let table = Demux.Flat_table.create ~initial_capacity:8 () in
+  Alcotest.(check int) "starting capacity" 8 (Demux.Flat_table.capacity table);
+  let n = 1_000 in
+  for i = 0 to n - 1 do
+    let f = flow i in
+    Demux.Flat_table.replace table ~w0:(Demux.Flow_key.w0_of_flow f)
+      ~w1:(Demux.Flow_key.w1_of_flow f) i
+  done;
+  Alcotest.(check int) "all present" n (Demux.Flat_table.length table);
+  Alcotest.(check bool) "stayed under 7/8 load" true
+    (Demux.Flat_table.length table * 8 <= Demux.Flat_table.capacity table * 7);
+  for i = 0 to n - 1 do
+    let f = flow i in
+    Alcotest.(check int)
+      (Printf.sprintf "entry %d survived the growth" i)
+      i
+      (Demux.Flat_table.find table ~w0:(Demux.Flow_key.w0_of_flow f)
+         ~w1:(Demux.Flow_key.w1_of_flow f))
+  done;
+  (* Robin Hood keeps probe sequences short even at 1000 entries. *)
+  Alcotest.(check bool) "probe lengths bounded" true
+    (Demux.Flat_table.max_probe_length table < 32);
+  Demux.Flat_table.clear table;
+  Alcotest.(check int) "clear empties" 0 (Demux.Flat_table.length table)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation regression: the Sequent hit path                    *)
+
+(* [Gc.minor_words] delta across 10k warm lookups.  A single word
+   allocated per lookup would show as 10k words; the slack of 64
+   covers only the boxing of the float counters themselves. *)
+let measure_minor_words iterations f =
+  let before = Gc.minor_words () in
+  for _ = 1 to iterations do
+    f ()
+  done;
+  Gc.minor_words () -. before
+
+let test_sequent_hit_path_zero_alloc () =
+  let t = Demux.Sequent.create () in
+  let population = Sim.Topology.flows 256 in
+  Array.iter (fun f -> ignore (Demux.Sequent.insert t f ())) population;
+  let target = population.(17) in
+  (* Warm: fault code in and point the chain cache at the target. *)
+  ignore (Demux.Sequent.lookup_pcb t target);
+  let delta =
+    measure_minor_words 10_000 (fun () ->
+        ignore (Demux.Sequent.lookup_pcb t target))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequent hit allocates nothing (minor-words delta %.0f)"
+       delta)
+    true (delta <= 64.0)
+
+let test_flat_table_find_zero_alloc () =
+  let table = Demux.Flat_table.create () in
+  let population = Sim.Topology.flows 256 in
+  Array.iteri
+    (fun i f ->
+      Demux.Flat_table.replace table ~w0:(Demux.Flow_key.w0_of_flow f)
+        ~w1:(Demux.Flow_key.w1_of_flow f) i)
+    population;
+  let w0 = Demux.Flow_key.w0_of_flow population.(17)
+  and w1 = Demux.Flow_key.w1_of_flow population.(17) in
+  ignore (Demux.Flat_table.find table ~w0 ~w1);
+  let delta =
+    measure_minor_words 10_000 (fun () ->
+        ignore (Demux.Flat_table.find table ~w0 ~w1))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat find allocates nothing (minor-words delta %.0f)"
+       delta)
+    true (delta <= 64.0)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     (prop_lookup_count_invariant :: prop_merge_snapshots_with_histograms
+     :: prop_flow_key_round_trip :: prop_flow_key_equality_agrees
+     :: prop_flat_table_model :: prop_flat_table_model_degenerate_hash
      :: model_tests)
 
 (* ------------------------------------------------------------------ *)
@@ -1043,4 +1247,11 @@ let () =
       ( "chain",
         [ Alcotest.test_case "operations" `Quick test_chain_operations;
           Alcotest.test_case "scan counts" `Quick test_chain_scan_counts ] );
+      ( "flat-table",
+        [ Alcotest.test_case "grows, stays correct" `Quick test_flat_table_grows ] );
+      ( "zero-alloc",
+        [ Alcotest.test_case "sequent hit path" `Quick
+            test_sequent_hit_path_zero_alloc;
+          Alcotest.test_case "flat_table find" `Quick
+            test_flat_table_find_zero_alloc ] );
       ("properties", qcheck_cases) ]

@@ -116,6 +116,30 @@ let test_flow_fast_path_matches_bytes () =
         flows)
     Hashing.Hashers.all
 
+let test_words_fast_path_matches_bytes () =
+  (* Same bit-identity bar for the packed-word entry points: hashing
+     the two [Flow_key] words must equal hashing the canonical
+     12-byte key, for every hasher — whether it has a direct
+     [run_words] path or falls back to serialising the words. *)
+  let flows = Sim.Topology.flows 500 in
+  List.iter
+    (fun hasher ->
+      Array.iter
+        (fun flow ->
+          let w0 = Demux.Flow_key.w0_of_flow flow
+          and w1 = Demux.Flow_key.w1_of_flow flow in
+          Alcotest.(check int)
+            (Hashing.Hashers.name hasher ^ " words = bytes")
+            (Hashing.Hashers.hash hasher (Packet.Flow.to_key_bytes flow))
+            (Hashing.Hashers.hash_words hasher w0 w1);
+          Alcotest.(check int)
+            (Hashing.Hashers.name hasher ^ " bucket_words = bucket")
+            (Hashing.Hashers.bucket hasher ~buckets:19
+               (Packet.Flow.to_key_bytes flow))
+            (Hashing.Hashers.bucket_words hasher ~buckets:19 w0 w1))
+        flows)
+    Hashing.Hashers.all
+
 let test_bucket_range_and_validation () =
   let k = key "any key" in
   List.iter
@@ -294,6 +318,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "flow fast path = key bytes" `Quick
             test_flow_fast_path_matches_bytes;
+          Alcotest.test_case "packed words = key bytes" `Quick
+            test_words_fast_path_matches_bytes;
           Alcotest.test_case "bucket range" `Quick test_bucket_range_and_validation;
           Alcotest.test_case "of_name" `Quick test_of_name;
           Alcotest.test_case "spreads real flows" `Quick test_spreads_real_flows ] );

@@ -211,6 +211,41 @@ let test_lookup_batch_matches_per_packet () =
   Alcotest.(check int) "empty batch" 0
     (Parallel.Striped.lookup_batch batched [||])
 
+let test_lookup_batch_keyed_matches_unkeyed () =
+  (* Pre-hashed batches must group, find, and account exactly like the
+     self-hashing batch path, since the keyed path just reuses hashes
+     the dispatcher computed upstream. *)
+  let population = flows 300 in
+  let keyed = Parallel.Striped.create ~chains:19 () in
+  let plain = Parallel.Striped.create ~chains:19 () in
+  Array.iter
+    (fun f ->
+      ignore (Parallel.Striped.insert keyed f ());
+      ignore (Parallel.Striped.insert plain f ()))
+    population;
+  let rng = Numerics.Rng.create ~seed:12 in
+  let burst =
+    Array.init 256 (fun _ -> flow (Numerics.Rng.int rng ~bound:400))
+  in
+  let hashes = Array.map (Parallel.Striped.hash_flow keyed) burst in
+  let found_keyed = Parallel.Striped.lookup_batch_keyed keyed burst ~hashes in
+  let found_plain = Parallel.Striped.lookup_batch plain burst in
+  Alcotest.(check int) "same found count" found_plain found_keyed;
+  let sk = Parallel.Striped.stats keyed in
+  let sp = Parallel.Striped.stats plain in
+  Alcotest.(check int) "same lookups" sp.Demux.Lookup_stats.lookups
+    sk.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "same examined" sp.Demux.Lookup_stats.pcbs_examined
+    sk.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int) "same batches" sp.Demux.Lookup_stats.batches
+    sk.Demux.Lookup_stats.batches;
+  Alcotest.(check int) "empty batch" 0
+    (Parallel.Striped.lookup_batch_keyed keyed [||] ~hashes:[||]);
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Striped.lookup_batch_keyed: flows/hashes length mismatch")
+    (fun () ->
+      ignore (Parallel.Striped.lookup_batch_keyed keyed burst ~hashes:[| 1 |]))
+
 let test_insert_batch () =
   let d = Parallel.Striped.create ~chains:7 () in
   let entries = Array.init 50 (fun i -> (flow i, i)) in
@@ -328,7 +363,8 @@ let test_dispatcher_pipeline () =
   let obs = Obs.Registry.create () in
   let result =
     Parallel.Dispatcher.run ~obs ~workers:3 ~batch:16
-      ~lookup_batch:(fun batch -> Parallel.Striped.lookup_batch d batch)
+      ~lookup_batch:(fun batch ~hashes ->
+        Parallel.Striped.lookup_batch_keyed d batch ~hashes)
       stream
   in
   Alcotest.(check int) "all packets offered" 5_000
@@ -356,7 +392,7 @@ let test_dispatcher_pipeline () =
     (Invalid_argument "Dispatcher.run: workers <= 0") (fun () ->
       ignore
         (Parallel.Dispatcher.run ~workers:0 ~batch:1
-           ~lookup_batch:(fun _ -> 0) stream))
+           ~lookup_batch:(fun _ ~hashes:_ -> 0) stream))
 
 let test_dispatcher_sharding_is_by_flow () =
   (* Every packet of one flow must land on the same worker: feed a
@@ -375,7 +411,7 @@ let test_dispatcher_sharding_is_by_flow () =
     population;
   let result =
     Parallel.Dispatcher.run ~hasher ~workers ~batch:8
-      ~lookup_batch:Array.length stream
+      ~lookup_batch:(fun batch ~hashes:_ -> Array.length batch) stream
   in
   Alcotest.(check (array int)) "per-worker counts follow the flow hash"
     expected result.Parallel.Dispatcher.per_worker_packets
@@ -556,6 +592,8 @@ let () =
       ( "batched",
         [ Alcotest.test_case "lookup_batch = per-packet" `Quick
             test_lookup_batch_matches_per_packet;
+          Alcotest.test_case "keyed batch = unkeyed" `Quick
+            test_lookup_batch_keyed_matches_unkeyed;
           Alcotest.test_case "insert_batch" `Quick test_insert_batch;
           Alcotest.test_case "coarse batch" `Quick test_coarse_batch ] );
       ( "ring",
