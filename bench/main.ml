@@ -643,6 +643,19 @@ let check_records path =
       Printf.printf "%s: %d records (E29 coverage ok), schema ok\n" path
         (List.length items))
 
+(* The differential-check gate: --check refuses to bless a benchmark
+   run unless a passing tcpdemux-check/1 report sits next to it —
+   perf numbers from tables the oracle has not cleared are not
+   results. *)
+let check_check_report path =
+  match Check.Report.validate_file path with
+  | Ok () -> Printf.printf "%s: tcpdemux-check/1 ok\n" path
+  | Error message ->
+    Printf.eprintf
+      "%s: %s\n(run `tcpdemux check --smoke --json %s` first)\n" path message
+      path;
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel layer                                                      *)
 
@@ -853,24 +866,30 @@ let run_bechamel ~smoke () =
 
 let usage () =
   prerr_endline
-    "usage: bench [--smoke] [--json FILE] [--check FILE]\n\
+    "usage: bench [--smoke] [--json FILE] [--check FILE] \
+     [--check-report FILE]\n\
      \  --smoke      small populations and windows (CI)\n\
      \  --json FILE  write tcpdemux-bench/1 records to FILE\n\
-     \  --check FILE validate a records file and exit";
+     \  --check FILE validate a records file (and the tcpdemux-check/1\n\
+     \               report, --check-report, default check.json) and exit";
   exit 2
 
 let () =
   let smoke = ref false and json = ref None and check = ref None in
+  let check_report = ref "check.json" in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke := true; parse rest
     | "--json" :: path :: rest -> json := Some path; parse rest
     | "--check" :: path :: rest -> check := Some path; parse rest
+    | "--check-report" :: path :: rest -> check_report := path; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   match !check with
-  | Some path -> check_records path
+  | Some path ->
+    check_records path;
+    check_check_report !check_report
   | None ->
     print_endline
       "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";

@@ -900,6 +900,125 @@ let parallel_cmd =
         $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
+(* check: differential oracle + fuzz + cross-validation (lib/check)    *)
+
+let run_check algorithms smoke seed ops pool programs_per_profile no_xval
+    json_path obs_json trace_file trace_capacity =
+  match parse_specs algorithms with
+  | Error message -> `Error (false, message)
+  | Ok specs ->
+    with_obs ~label:"check" obs_json trace_file trace_capacity
+      (fun obs _tracer ->
+        let subjects =
+          List.map (fun spec () -> Check.Subject.of_spec spec) specs
+          @ [ (fun () -> Check.Subject.striped ());
+              (fun () -> Check.Subject.flat_table ()) ]
+        in
+        let programs_per_profile =
+          if smoke then 2 else programs_per_profile
+        in
+        let summary, failures =
+          Check.Fuzz.campaign ?obs ~programs_per_profile ~ops ~pool ~subjects
+            ~seed ()
+        in
+        Format.printf
+          "diff: %d subjects x %d programs, %d op applications, %d \
+           mismatch(es)@."
+          (List.length summary.Check.Diff.subjects)
+          summary.Check.Diff.programs summary.Check.Diff.ops
+          (List.length summary.Check.Diff.mismatches);
+        List.iter
+          (fun failure ->
+            Format.printf "%a@." Check.Fuzz.pp_failure failure)
+          failures;
+        let xval =
+          if no_xval then None
+          else begin
+            (* Smoke keeps the full 3x3 (N, H) grid but shortens the
+               measured window; tolerances are calibrated to hold at
+               both durations (EXPERIMENTS.md E30). *)
+            let duration = if smoke then 40.0 else 120.0 in
+            let outcome = Check.Xval.run ?obs ~duration ~seed () in
+            Format.printf "%a" Check.Xval.pp outcome;
+            Some outcome
+          end
+        in
+        let report = Check.Report.v ?xval ~seed summary failures in
+        (match json_path with
+        | Some path ->
+          Check.Report.write path report;
+          Format.printf "wrote tcpdemux-check/1 report to %s@." path
+        | None -> ());
+        if Check.Report.passed report then begin
+          Format.printf "check: PASS@.";
+          `Ok ()
+        end
+        else `Error (false, "check failed (see mismatches above)"))
+
+let check_cmd =
+  let doc =
+    "Differentially test every demultiplexer against a reference model \
+     on deterministic fuzzed programs, and cross-validate simulated \
+     costs against the paper's closed forms."
+  in
+  let algorithms =
+    Arg.(
+      value
+      & opt (list string)
+          [ "linear"; "bsd"; "mtf"; "sr-cache"; "sequent-19";
+            "hashed-mtf-19"; "resizing-hash"; "splay"; "conn-id";
+            "lru-cache-8"; "guarded-sequent-19" ]
+      & info [ "a"; "algos"; "algorithms" ] ~docv:"ALGOS"
+          ~doc:
+            "Comma-separated registry specs to check (a striped table \
+             and the flat Robin-Hood index are always included).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI-sized run: 2 programs per profile and a shorter \
+             cross-validation window.  Still covers every profile, \
+             every algorithm and the full (N, H) grid.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 1024
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per fuzzed program.")
+  in
+  let pool =
+    Arg.(
+      value & opt int 64
+      & info [ "pool" ] ~docv:"N" ~doc:"Distinct flows per program.")
+  in
+  let programs =
+    Arg.(
+      value & opt int 4
+      & info [ "programs" ] ~docv:"N"
+          ~doc:"Programs per fuzz profile (ignored under --smoke).")
+  in
+  let no_xval =
+    Arg.(
+      value & flag
+      & info [ "no-xval" ]
+          ~doc:"Skip the analytic cross-validation sweep.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the $(i,tcpdemux-check/1) report to $(docv).")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run_check $ algorithms $ smoke $ seed_arg $ ops $ pool
+        $ programs $ no_xval $ json $ obs_json_arg $ trace_file_arg
+        $ trace_capacity_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -910,6 +1029,6 @@ let main_cmd =
     (Cmd.info "tcpdemux" ~version:"1.0.0" ~doc)
     [ analyze_cmd; figure_cmd; simulate_cmd; validate_cmd; sweep_cmd;
       sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd; attack_cmd;
-      parallel_cmd ]
+      parallel_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,29 @@
+(** A deliberately broken copy of {!Demux.Flat_table}, for proving the
+    fuzzer's teeth.
+
+    Identical Robin-Hood layout, hash, tags, displacement insertion and
+    growth — except [remove] just empties the victim's slot instead of
+    backward-shifting its displaced successors.  The hole it leaves
+    terminates later probe sequences early, so entries that were pushed
+    past the deleted slot become unreachable: lookups miss residents
+    and [iter] still sees them, exactly the membership corruption the
+    differential oracle's content audit describes.
+
+    Test-only: nothing outside [test/] should depend on this module.
+    Its surface is {!Subject.FLAT}, so [Subject.of_flat] adapts it
+    straight into the harness. *)
+
+type 'a t
+
+val create :
+  ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+val find_opt : 'a t -> w0:int -> w1:int -> 'a option
+val mem : 'a t -> w0:int -> w1:int -> bool
+val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
+
+val remove : 'a t -> w0:int -> w1:int -> unit
+(** The bug: clears the slot without the backward shift. *)
+
+val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,75 @@
+(** Deterministic program generation and shrinking.
+
+    Everything here is a pure function of its seed: the same
+    [(profile, seed, pool, ops)] always yields the same {!Op.t}, so a
+    failure report's header is enough to regenerate the exact program
+    — and the printed program itself replays without the generator at
+    all (see {!Op.parse}).
+
+    Profiles are the traffic shapes that historically break
+    demultiplexers in different ways: uniform churn, Zipf skew (cache
+    and move-to-front pathologies), collision floods (every flow on
+    one hash chain, from the same {!Demux.Registry.chain_geometry} the
+    table under test uses), protocol boundary values (address
+    [0.0.0.0] / [255.255.255.255], port [0] / [65535]), and
+    adversarial near-miss tuples produced by {!Fault.Injector}
+    [tuple_flip] — well-formed flows one bit away from real ones. *)
+
+type profile =
+  | Uniform
+  | Zipf of float        (** Skew exponent; [Zipf 1.0] ≈ web traffic. *)
+  | Colliding            (** All flows land on one Sequent chain. *)
+  | Boundary
+  | Adversarial
+
+val profile_name : profile -> string
+
+val default_profiles : profile list
+(** [Uniform; Zipf 1.0; Colliding; Boundary; Adversarial]. *)
+
+val flow_pool : profile -> seed:int -> size:int -> Packet.Flow.t array
+(** The closed flow universe a generated program draws from.
+    Deterministic in [seed]; all flows distinct.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val generate :
+  ?label:string -> profile -> seed:int -> pool:int -> ops:int -> Op.t
+(** A program of [ops] operations over a [pool]-flow universe.  The
+    op mix is roughly 25% insert, 40% data lookup, 10% pure-ACK
+    lookup, 15% remove, 10% send — enough churn that tables grow,
+    shrink, and collide.  @raise Invalid_argument if [ops < 0] or
+    [pool <= 0]. *)
+
+val shrink : (Op.t -> bool) -> Op.t -> Op.t
+(** [shrink fails program] greedily deletes chunks of decreasing size
+    (ddmin-style) while [fails] stays true, until no single op can be
+    removed.  The result fails, is no longer than the input, and
+    carries the input's seed with label ["shrunk"].
+    @raise Invalid_argument if [fails program] is false. *)
+
+type failure = {
+  original : Op.t;
+  shrunk : Op.t;
+  mismatch : Diff.mismatch;     (** From replaying [shrunk]. *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+(** The replayable dump: the mismatch, then the shrunk program in
+    {!Op.print} form. *)
+
+val campaign :
+  ?obs:Obs.Registry.t ->
+  ?profiles:profile list ->
+  ?programs_per_profile:int ->
+  ?ops:int ->
+  ?pool:int ->
+  subjects:(unit -> Subject.t) list ->
+  seed:int ->
+  unit ->
+  Diff.summary * failure list
+(** Generate [programs_per_profile] (default 2) programs of [ops]
+    (default 1024) operations per profile (default
+    {!default_profiles}), run every subject through every program
+    under {!Diff.run}, and shrink each failing (subject, program)
+    pair to a minimal counterexample.  Program seeds are derived
+    deterministically from [seed]. *)

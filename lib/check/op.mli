@@ -1,0 +1,54 @@
+(** Operation programs: the common input language of the differential
+    oracle and the fuzzer.
+
+    A program is a finite sequence of demultiplexer operations over
+    {e explicit} flows (full 4-tuples, not indices into some implied
+    universe), so a program file is self-contained: it parses back to
+    exactly the operations it printed, and a corpus entry pinned today
+    replays byte-identically forever.  The five operations are the
+    whole mutation/observation surface every algorithm in
+    {!Demux.Registry} shares. *)
+
+type kind =
+  | Insert          (** Admit the flow (payload = step index). *)
+  | Lookup          (** Receive-path lookup, [Demux.Types.Data]. *)
+  | Ack_lookup      (** Receive-path lookup, [Demux.Types.Pure_ack]. *)
+  | Remove          (** Protocol removal (absent flows allowed). *)
+  | Send            (** Transmit-side [note_send] (send/receive cache). *)
+
+type op = { kind : kind; flow : Packet.Flow.t }
+
+type t = {
+  label : string;     (** Where the program came from (profile name,
+                          corpus file, "shrunk", ...). *)
+  seed : int;         (** Generation seed, for provenance; replay does
+                          not consult it — the ops are explicit. *)
+  ops : op array;
+}
+
+val v : ?label:string -> ?seed:int -> op array -> t
+
+val length : t -> int
+
+(** {1 Text form}
+
+    One operation per line: an opcode letter ([I]/[L]/[A]/[R]/[S]),
+    the local endpoint, the remote endpoint, both as [addr:port].
+    Comment lines start with [#]; the header carries the label and
+    seed.  {!parse} is the exact inverse of {!print} (asserted by a
+    qcheck round-trip in the test suite). *)
+
+val print : t -> string
+
+val parse : string -> (t, string) result
+(** Errors name the offending line. *)
+
+val load : string -> (t, string) result
+(** [parse] the contents of a file (e.g. a [test/corpus] entry). *)
+
+val save : string -> t -> unit
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+(** Program header plus every op — the replayable counterexample dump
+    the fuzzer prints on failure. *)

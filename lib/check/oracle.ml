@@ -1,0 +1,47 @@
+(* Sorted assoc list, strictly increasing in Flow.compare.  O(N) per
+   operation — the oracle optimises for obviousness, not speed. *)
+
+type t = { mutable entries : (Packet.Flow.t * int) list }
+
+let create () = { entries = [] }
+
+let length t = List.length t.entries
+
+let rec find_assoc flow = function
+  | [] -> None
+  | (f, v) :: rest ->
+    let c = Packet.Flow.compare f flow in
+    if c = 0 then Some v else if c > 0 then None else find_assoc flow rest
+
+let lookup t flow = find_assoc flow t.entries
+
+let mem t flow = lookup t flow <> None
+
+let insert t flow v =
+  let rec go = function
+    | [] -> [ (flow, v) ]
+    | ((f, _) as entry) :: rest ->
+      let c = Packet.Flow.compare f flow in
+      if c = 0 then invalid_arg "Oracle.insert: duplicate flow"
+      else if c > 0 then (flow, v) :: entry :: rest
+      else entry :: go rest
+  in
+  t.entries <- go t.entries
+
+let remove t flow =
+  let removed = ref None in
+  let rec go = function
+    | [] -> []
+    | ((f, v) as entry) :: rest ->
+      let c = Packet.Flow.compare f flow in
+      if c = 0 then begin
+        removed := Some v;
+        rest
+      end
+      else if c > 0 then entry :: rest
+      else entry :: go rest
+  in
+  t.entries <- go t.entries;
+  !removed
+
+let contents t = t.entries

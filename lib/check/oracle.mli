@@ -1,0 +1,38 @@
+(** The pure reference demultiplexer.
+
+    A sorted association list over canonical {!Packet.Flow.t} — the
+    simplest structure that can possibly be right.  Every algorithm in
+    the library, whatever its caches, chains, splays or Robin-Hood
+    displacement do, must be observationally equal to this model:
+    same hit/miss on every lookup, same binding, same residents at
+    quiesce.  {!Diff} holds one oracle per subject and checks exactly
+    that.
+
+    Payloads are [int]s — {!Diff} stores the inserting step's index,
+    so a stale entry surviving a remove/re-insert cycle is caught by
+    payload comparison even though the flow matches. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val mem : t -> Packet.Flow.t -> bool
+
+val lookup : t -> Packet.Flow.t -> int option
+
+val insert : t -> Packet.Flow.t -> int -> unit
+(** @raise Invalid_argument if the flow is already present (callers
+    check {!mem} first, mirroring the algorithms' duplicate-insert
+    discipline). *)
+
+val remove : t -> Packet.Flow.t -> int option
+(** Remove and return the binding; [None] if absent. *)
+
+val contents : t -> (Packet.Flow.t * int) list
+(** All residents in {!Packet.Flow.compare} order — the canonical
+    form both sides of a content comparison are reduced to, so the
+    check is independent of any algorithm's iteration order
+    (Robin-Hood backward-shift bugs change {e membership}, and that is
+    what this exposes). *)

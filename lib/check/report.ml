@@ -1,0 +1,114 @@
+type t = {
+  seed : int;
+  summary : Diff.summary;
+  failures : Fuzz.failure list;
+  xval : Xval.outcome option;
+}
+
+let v ?xval ~seed summary failures = { seed; summary; failures; xval }
+
+let passed t =
+  t.summary.Diff.mismatches = []
+  && t.failures = []
+  && match t.xval with None -> true | Some o -> o.Xval.passed
+
+let schema = "tcpdemux-check/1"
+
+let json_of_mismatch (m : Diff.mismatch) program =
+  Obs.Json.Obj
+    ([ ("subject", Obs.Json.String m.Diff.subject);
+       ("step", Obs.Json.Int m.Diff.step);
+       ("what", Obs.Json.String m.Diff.what) ]
+    @
+    match program with
+    | None -> []
+    | Some p -> [ ("program", Obs.Json.String (Op.print p)) ])
+
+let json_of_cell (c : Xval.cell) =
+  Obs.Json.Obj
+    [ ("users", Obs.Json.Int c.Xval.users);
+      ( "chains",
+        match c.Xval.chains with
+        | Some h -> Obs.Json.Int h
+        | None -> Obs.Json.Null );
+      ("algorithm", Obs.Json.String c.Xval.algorithm);
+      ("predicted", Obs.Json.Float c.Xval.predicted);
+      ("simulated", Obs.Json.Float c.Xval.simulated);
+      ("ci95", Obs.Json.Float c.Xval.ci95);
+      ("ratio", Obs.Json.Float c.Xval.ratio);
+      ("tolerance", Obs.Json.Float c.Xval.tolerance);
+      ("slack", Obs.Json.Float c.Xval.slack);
+      ("pass", Obs.Json.Bool c.Xval.pass) ]
+
+let to_json t =
+  let failures =
+    List.map
+      (fun (f : Fuzz.failure) ->
+        json_of_mismatch f.Fuzz.mismatch (Some f.Fuzz.shrunk))
+      t.failures
+  in
+  (* Mismatches that were not shrunk (e.g. found by Diff.run outside a
+     fuzz campaign) still appear, without a program dump. *)
+  let shrunk_subjects =
+    List.map (fun (f : Fuzz.failure) -> f.Fuzz.mismatch) t.failures
+  in
+  let bare =
+    List.filter_map
+      (fun m ->
+        if List.memq m shrunk_subjects then None
+        else Some (json_of_mismatch m None))
+      t.summary.Diff.mismatches
+  in
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.String schema);
+      ("seed", Obs.Json.Int t.seed);
+      ("passed", Obs.Json.Bool (passed t));
+      ( "diff",
+        Obs.Json.Obj
+          [ ( "subjects",
+              Obs.Json.List
+                (List.map
+                   (fun s -> Obs.Json.String s)
+                   t.summary.Diff.subjects) );
+            ("programs", Obs.Json.Int t.summary.Diff.programs);
+            ("ops", Obs.Json.Int t.summary.Diff.ops);
+            ("mismatches", Obs.Json.List (failures @ bare)) ] );
+      ( "xval",
+        match t.xval with
+        | None -> Obs.Json.Null
+        | Some o ->
+          Obs.Json.Obj
+            [ ("passed", Obs.Json.Bool o.Xval.passed);
+              ("cells", Obs.Json.List (List.map json_of_cell o.Xval.cells)) ]
+      ) ]
+
+let write path t = Obs.Json.write_file path (to_json t)
+
+let validate_file path =
+  let ( let* ) = Result.bind in
+  let* json = Obs.Json.of_file path in
+  let* () =
+    match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_string_opt with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "schema is %S, want %S" s schema)
+    | None -> Error "missing \"schema\" field"
+  in
+  let* mismatches =
+    match
+      Option.bind (Obs.Json.member "diff" json) (fun diff ->
+          Option.bind (Obs.Json.member "mismatches" diff) Obs.Json.to_list_opt)
+    with
+    | Some l -> Ok l
+    | None -> Error "missing \"diff\".\"mismatches\" list"
+  in
+  let* () =
+    if mismatches = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d differential mismatch(es) recorded"
+           (List.length mismatches))
+  in
+  match Obs.Json.member "passed" json with
+  | Some (Obs.Json.Bool true) -> Ok ()
+  | Some (Obs.Json.Bool false) -> Error "report says \"passed\": false"
+  | Some _ | None -> Error "missing boolean \"passed\" field"

@@ -1,0 +1,41 @@
+(** The [tcpdemux-check/1] machine-readable report.
+
+    One JSON document capturing a whole check run — the differential
+    oracle's totals, any shrunk counterexamples (as replayable
+    {!Op.print} dumps), and the cross-validation grid — written by
+    [tcpdemux check --json] and gated on by [bench --check] and CI.
+
+    Shape:
+    {v
+    { "schema": "tcpdemux-check/1",
+      "seed": 42,
+      "passed": true,
+      "diff": { "subjects": [...], "programs": n, "ops": n,
+                "mismatches": [ {"subject", "step", "what",
+                                 "program" (Op.print dump)} ] },
+      "xval": { "passed": true, "cells": [ {"users", "chains",
+                "algorithm", "predicted", "simulated", "ci95",
+                "ratio", "tolerance", "pass"} ] } }
+    v}
+    [xval] is [null] when cross-validation was skipped. *)
+
+type t = {
+  seed : int;
+  summary : Diff.summary;
+  failures : Fuzz.failure list;
+  xval : Xval.outcome option;
+}
+
+val v :
+  ?xval:Xval.outcome -> seed:int -> Diff.summary -> Fuzz.failure list -> t
+
+val passed : t -> bool
+(** No mismatches and (when present) every xval cell in tolerance. *)
+
+val to_json : t -> Obs.Json.t
+val write : string -> t -> unit
+
+val validate_file : string -> (unit, string) result
+(** The gate ([bench --check], CI): the file must parse, carry schema
+    [tcpdemux-check/1], report zero mismatches, and have
+    ["passed": true].  Errors say which requirement failed. *)

@@ -1,0 +1,127 @@
+let sorted_contents pairs =
+  List.sort (fun (a, _) (b, _) -> Packet.Flow.compare a b) pairs
+
+let pcb_pair pcb = (pcb.Demux.Pcb.flow, pcb.Demux.Pcb.data)
+
+type t = {
+  name : string;
+  insert : Packet.Flow.t -> int -> unit;
+  remove : Packet.Flow.t -> (Packet.Flow.t * int) option;
+  lookup :
+    kind:Demux.Types.packet_kind -> Packet.Flow.t ->
+    (Packet.Flow.t * int) option;
+  note_send : Packet.Flow.t -> unit;
+  stats : unit -> Demux.Lookup_stats.snapshot;
+  length : unit -> int;
+  contents : unit -> (Packet.Flow.t * int) list;
+  guard : Demux.Guarded.config option;
+}
+
+let of_spec spec =
+  let demux = Demux.Registry.create spec in
+  let guard =
+    match spec with
+    | Demux.Registry.Guarded { spec = inner; max_chain; max_total } ->
+      (* Mirror Registry.create's guard wiring exactly, so the shadow
+         guard Diff runs over the oracle makes the same decisions. *)
+      let chains, hasher = Demux.Registry.chain_geometry inner in
+      Some (Demux.Guarded.config ~max_chain ~max_total ~chains ~hasher ())
+    | _ -> None
+  in
+  { name = demux.Demux.Registry.name;
+    insert = (fun flow v -> ignore (demux.Demux.Registry.insert flow v));
+    remove =
+      (fun flow -> Option.map pcb_pair (demux.Demux.Registry.remove flow));
+    lookup =
+      (fun ~kind flow ->
+        Option.map pcb_pair (demux.Demux.Registry.lookup ~kind flow));
+    note_send = demux.Demux.Registry.note_send;
+    stats = (fun () -> Demux.Lookup_stats.snapshot demux.Demux.Registry.stats);
+    length = demux.Demux.Registry.length;
+    contents =
+      (fun () ->
+        let acc = ref [] in
+        demux.Demux.Registry.iter (fun pcb -> acc := pcb_pair pcb :: !acc);
+        sorted_contents !acc);
+    guard }
+
+let striped ?(chains = Demux.Sequent.default_chains)
+    ?(hasher = Hashing.Hashers.multiplicative) () =
+  let table = Parallel.Striped.create ~chains ~hasher () in
+  { name = Printf.sprintf "striped-sequent-%d" chains;
+    insert = (fun flow v -> ignore (Parallel.Striped.insert table flow v));
+    remove =
+      (fun flow -> Option.map pcb_pair (Parallel.Striped.remove table flow));
+    lookup =
+      (fun ~kind flow ->
+        Option.map pcb_pair (Parallel.Striped.lookup table ~kind flow));
+    note_send = Parallel.Striped.note_send table;
+    stats = (fun () -> Parallel.Striped.stats table);
+    length = (fun () -> Parallel.Striped.length table);
+    contents =
+      (fun () ->
+        let acc = ref [] in
+        Parallel.Striped.iter (fun pcb -> acc := pcb_pair pcb :: !acc) table;
+        sorted_contents !acc);
+    guard = None }
+
+module type FLAT = sig
+  type 'a t
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+
+  val length : 'a t -> int
+  val find_opt : 'a t -> w0:int -> w1:int -> 'a option
+  val mem : 'a t -> w0:int -> w1:int -> bool
+  val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
+  val remove : 'a t -> w0:int -> w1:int -> unit
+  val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
+end
+
+let of_flat ?initial_capacity ~name (module M : FLAT) =
+  let table : int Demux.Pcb.t M.t = M.create ?initial_capacity () in
+  let stats = Demux.Lookup_stats.create () in
+  let next_id = ref 0 in
+  let words flow =
+    (Demux.Flow_key.w0_of_flow flow, Demux.Flow_key.w1_of_flow flow)
+  in
+  { name;
+    insert =
+      (fun flow v ->
+        let w0, w1 = words flow in
+        if M.mem table ~w0 ~w1 then
+          invalid_arg (name ^ ".insert: duplicate flow");
+        let pcb = Demux.Pcb.make ~id:!next_id ~flow v in
+        incr next_id;
+        M.replace table ~w0 ~w1 pcb;
+        Demux.Lookup_stats.note_insert stats);
+    remove =
+      (fun flow ->
+        let w0, w1 = words flow in
+        match M.find_opt table ~w0 ~w1 with
+        | None -> None
+        | Some pcb ->
+          M.remove table ~w0 ~w1;
+          Demux.Lookup_stats.note_remove stats;
+          Some (pcb_pair pcb));
+    lookup =
+      (fun ~kind:_ flow ->
+        let w0, w1 = words flow in
+        Demux.Lookup_stats.begin_lookup stats;
+        Demux.Lookup_stats.examine stats ();
+        let result = M.find_opt table ~w0 ~w1 in
+        Demux.Lookup_stats.end_lookup stats ~hit_cache:false
+          ~found:(result <> None);
+        Option.map pcb_pair result);
+    note_send = (fun _ -> ());
+    stats = (fun () -> Demux.Lookup_stats.snapshot stats);
+    length = (fun () -> M.length table);
+    contents =
+      (fun () ->
+        let acc = ref [] in
+        M.iter (fun ~w0:_ ~w1:_ pcb -> acc := pcb_pair pcb :: !acc) table;
+        sorted_contents !acc);
+    guard = None }
+
+let flat_table () = of_flat ~name:"flat-table" (module Demux.Flat_table)

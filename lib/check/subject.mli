@@ -1,0 +1,61 @@
+(** Systems under test, behind one face.
+
+    {!Diff} drives anything that looks like a demultiplexer: the
+    registry algorithms, the lock-striped parallel table in
+    single-domain lockstep, and bare flat-table indexes (including
+    deliberately broken copies, so tests can prove the fuzzer catches
+    a planted bug).  Payloads are [int]s, matching {!Oracle}. *)
+
+type t = {
+  name : string;
+  insert : Packet.Flow.t -> int -> unit;
+      (** @raise Invalid_argument on a duplicate flow. *)
+  remove : Packet.Flow.t -> (Packet.Flow.t * int) option;
+  lookup :
+    kind:Demux.Types.packet_kind -> Packet.Flow.t ->
+    (Packet.Flow.t * int) option;
+  note_send : Packet.Flow.t -> unit;
+  stats : unit -> Demux.Lookup_stats.snapshot;
+  length : unit -> int;
+  contents : unit -> (Packet.Flow.t * int) list;
+      (** Residents in {!Packet.Flow.compare} order, whatever the
+          underlying iteration order. *)
+  guard : Demux.Guarded.config option;
+      (** When the subject wraps an overload guard, its configuration —
+          {!Diff} runs a shadow guard over the oracle with exactly this
+          config so the oracle predicts {e which} flows are shed, not
+          just how many. *)
+}
+
+val of_spec : Demux.Registry.spec -> t
+(** A fresh instance of a registry algorithm. *)
+
+val striped : ?chains:int -> ?hasher:Hashing.Hashers.t -> unit -> t
+(** A fresh {!Parallel.Striped} table driven from the calling domain —
+    single-domain lockstep, so results are deterministic and
+    comparable to the scalar Sequent algorithm. *)
+
+(** The slice of {!Demux.Flat_table}'s signature the adapter needs.
+    {!Demux.Flat_table} satisfies it; so does {!Buggy_table}. *)
+module type FLAT = sig
+  type 'a t
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+
+  val length : 'a t -> int
+  val find_opt : 'a t -> w0:int -> w1:int -> 'a option
+  val mem : 'a t -> w0:int -> w1:int -> bool
+  val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
+  val remove : 'a t -> w0:int -> w1:int -> unit
+  val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
+end
+
+val of_flat :
+  ?initial_capacity:int -> name:string -> (module FLAT) -> t
+(** A demultiplexer over a bare flat index: one probe charged per
+    lookup, PCBs held as values.  [initial_capacity] defaults to the
+    table's minimum, so collision clusters form early. *)
+
+val flat_table : unit -> t
+(** [of_flat (module Demux.Flat_table)] under the name ["flat-table"]. *)

@@ -1,0 +1,55 @@
+(** Analytic ↔ simulation cross-validation on a parameter grid.
+
+    {!Sim.Validate} compares one parameter point; this module sweeps a
+    grid of TPC/A populations [N] and (for Sequent) chain counts [H],
+    runs the real data structures under the simulated workload, and
+    {e asserts} that each measured mean PCBs-examined lands within a
+    stated tolerance of the paper's closed form — the quantitative
+    version of the paper's "qualitatively confirmed by benchmarks".
+
+    The bound is [|simulated − predicted| ≤ tolerance·predicted +
+    slack]: a per-algorithm relative term for proportional model
+    error, plus a small absolute slack for the O(1) extra
+    examinations real (non-uniform) hashing costs when the predicted
+    cost is near 1.  Bounds are loose enough to absorb simulation
+    variance and tight enough that a broken model or a broken table
+    fails: the grid and bounds are tabulated in EXPERIMENTS.md
+    (E30). *)
+
+type cell = {
+  users : int;              (** TPC/A population [N]. *)
+  chains : int option;      (** [Some h] for Sequent cells. *)
+  algorithm : string;
+  predicted : float;        (** Closed-form expected PCBs examined. *)
+  simulated : float;        (** Simulated mean. *)
+  ci95 : float;
+  ratio : float;            (** simulated / predicted. *)
+  tolerance : float;        (** Relative term of the bound. *)
+  slack : float;            (** Absolute term of the bound. *)
+  pass : bool;
+}
+
+type outcome = { cells : cell list; passed : bool }
+
+val default_users : int list
+(** [[100; 200; 400]]. *)
+
+val default_chains : int list
+(** [[7; 19; 51]]. *)
+
+val run :
+  ?obs:Obs.Registry.t ->
+  ?users:int list ->
+  ?chains:int list ->
+  ?warmup:float ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** For every [N]: BSD, MTF and SR-cache once each, plus Sequent at
+    every [H] — each a full {!Sim.Tpca_workload} run with seed derived
+    from [seed] (default 42).  [warmup]/[duration] pass through to
+    {!Sim.Tpca_workload.default_config} (shorter durations widen the
+    noise; the default tolerances assume the default duration). *)
+
+val pp : Format.formatter -> outcome -> unit

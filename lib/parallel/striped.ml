@@ -210,6 +210,12 @@ let note_send t flow =
 
 let length t = Atomic.get t.population
 
+let iter f t =
+  Array.iter
+    (fun stripe ->
+      with_stripe stripe (fun () -> Demux.Chain.iter f stripe.chain))
+    t.stripes
+
 let stats t =
   Demux.Lookup_stats.merge_snapshots
     (Array.to_list

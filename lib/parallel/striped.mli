@@ -78,6 +78,14 @@ val insert_batch :
 val note_send : 'a t -> Packet.Flow.t -> unit
 val length : 'a t -> int
 
+val iter : ('a Demux.Pcb.t -> unit) -> 'a t -> unit
+(** Visit every resident PCB, one stripe at a time under that stripe's
+    lock.  Like {!stats}, this is not an instantaneous cut of the
+    whole table — entries moving between stripes mid-iteration (there
+    are none; flows never migrate) aside, per-stripe consistency is
+    what it offers.  Used by the differential checker ([lib/check]) to
+    compare table contents at quiesce. *)
+
 val stats : 'a t -> Demux.Lookup_stats.snapshot
 (** Merged across stripes.  {b Point-in-time caveat}: each stripe's
     snapshot is taken under that stripe's lock, one stripe after

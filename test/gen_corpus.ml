@@ -1,0 +1,75 @@
+(* Regenerates the pinned regression programs in test/corpus/.
+
+   Run `dune exec test/gen_corpus.exe -- test/corpus` from the repo
+   root after changing a generator, then commit the diff — the corpus
+   is pinned precisely so that generator drift shows up in review, so
+   never regenerate casually (see test/corpus/README.md). *)
+
+let op kind flow = { Check.Op.kind; flow }
+
+(* Five flows whose Flat_table home slots coincide at the minimum
+   capacity (mask 7): inserting them builds a Robin-Hood displacement
+   cluster, and removing from its middle forces the backward shift the
+   planted Buggy_table skips. *)
+let robin_hood () =
+  let mask = 7 in
+  let home flow =
+    Demux.Flow_key.hash_words
+      (Demux.Flow_key.w0_of_flow flow)
+      (Demux.Flow_key.w1_of_flow flow)
+    land mask
+  in
+  let rec collect acc slot i =
+    if List.length acc = 5 then List.rev acc
+    else
+      let flow = Sim.Topology.flow_of_client i in
+      match slot with
+      | None -> collect [ flow ] (Some (home flow)) (i + 1)
+      | Some s ->
+        if home flow = s then collect (flow :: acc) slot (i + 1)
+        else collect acc slot (i + 1)
+  in
+  let cluster = collect [] None 0 in
+  let inserts = List.map (op Check.Op.Insert) cluster in
+  let lookups = List.map (op Check.Op.Lookup) cluster in
+  let removes = [ op Check.Op.Remove (List.nth cluster 0);
+                  op Check.Op.Remove (List.nth cluster 2) ] in
+  Check.Op.v ~label:"robin-hood-backward-shift" ~seed:0
+    (Array.of_list
+       (inserts @ lookups @ [ List.nth removes 0 ] @ lookups
+       @ [ List.nth removes 1 ] @ lookups))
+
+(* Forty flows all reducing to chain 0 of the default Sequent
+   geometry: past max_chain = 32 the overload guard starts shedding,
+   so replaying this against guarded-* exercises eviction-set
+   prediction, and against everything else it is plain churn. *)
+let guarded_eviction () =
+  let flows =
+    Array.to_list (Check.Fuzz.flow_pool Check.Fuzz.Colliding ~seed:3 ~size:40)
+  in
+  let first_ten = List.filteri (fun i _ -> i < 10) flows in
+  let inserts = List.map (op Check.Op.Insert) flows in
+  let lookups = List.map (op Check.Op.Lookup) flows in
+  Check.Op.v ~label:"guarded-eviction" ~seed:3
+    (Array.of_list
+       (inserts @ lookups
+       @ List.map (op Check.Op.Remove) first_ten
+       @ lookups
+       @ List.map (op Check.Op.Insert) first_ten
+       @ lookups))
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  let save name program =
+    let path = Filename.concat dir (name ^ ".prog") in
+    Check.Op.save path program;
+    Printf.printf "wrote %s (%d ops)\n" path (Check.Op.length program)
+  in
+  save "robin-hood-backward-shift" (robin_hood ());
+  save "guarded-eviction" (guarded_eviction ());
+  save "boundary-tuples"
+    (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
+       ~pool:48 ~ops:300);
+  save "collision-flood"
+    (Check.Fuzz.generate ~label:"collision-flood" Check.Fuzz.Colliding
+       ~seed:13 ~pool:48 ~ops:400)

@@ -1,0 +1,606 @@
+(* Tests for lib/check: the differential oracle, the deterministic
+   fuzzer and its shrinker, the pinned regression corpus, and the
+   analytic cross-validation grid.  The centrepiece is the planted-bug
+   demonstration: a copy of Flat_table whose delete skips the
+   Robin-Hood backward shift is caught by the fuzzer and shrunk to a
+   replayable counterexample a handful of ops long. *)
+
+let flow i = Sim.Topology.flow_of_client i
+
+(* Every registry algorithm, plus the striped table and the flat
+   Robin-Hood index — the subject pool the oracle drives. *)
+let registry_specs =
+  [ Demux.Registry.Linear; Demux.Registry.Bsd; Demux.Registry.Mtf;
+    Demux.Registry.Sr_cache;
+    Demux.Registry.Sequent
+      { chains = 19; hasher = Hashing.Hashers.multiplicative };
+    Demux.Registry.Hashed_mtf
+      { chains = 19; hasher = Hashing.Hashers.multiplicative };
+    Demux.Registry.Conn_id { capacity = 4096 };
+    Demux.Registry.Resizing_hash; Demux.Registry.Splay;
+    Demux.Registry.Lru_cache { entries = 8 };
+    Demux.Registry.Guarded
+      { spec =
+          Demux.Registry.Sequent
+            { chains = 19; hasher = Hashing.Hashers.multiplicative };
+        max_chain = Demux.Guarded.default_max_chain;
+        max_total = Demux.Guarded.default_max_total };
+    Demux.Registry.Guarded
+      { spec = Demux.Registry.Bsd; max_chain = 16; max_total = 48 } ]
+
+let all_subjects () =
+  List.map (fun spec () -> Check.Subject.of_spec spec) registry_specs
+  @ [ (fun () -> Check.Subject.striped ());
+      (fun () -> Check.Subject.flat_table ()) ]
+
+let buggy_subject () =
+  Check.Subject.of_flat ~name:"buggy-flat" (module Check.Buggy_table)
+
+let op kind flow = { Check.Op.kind; flow }
+
+let op_equal (a : Check.Op.op) (b : Check.Op.op) =
+  a.Check.Op.kind = b.Check.Op.kind
+  && Packet.Flow.equal a.Check.Op.flow b.Check.Op.flow
+
+let program_equal (a : Check.Op.t) (b : Check.Op.t) =
+  a.Check.Op.label = b.Check.Op.label
+  && a.Check.Op.seed = b.Check.Op.seed
+  && Array.length a.Check.Op.ops = Array.length b.Check.Op.ops
+  && Array.for_all2 op_equal a.Check.Op.ops b.Check.Op.ops
+
+(* ------------------------------------------------------------------ *)
+(* Op: the program text format                                         *)
+
+let test_op_round_trip_unit () =
+  let program =
+    Check.Fuzz.generate Check.Fuzz.Boundary ~seed:5 ~pool:48 ~ops:200
+  in
+  match Check.Op.parse (Check.Op.print program) with
+  | Error message -> Alcotest.fail message
+  | Ok parsed ->
+    Alcotest.(check bool) "round-trips" true (program_equal program parsed)
+
+let test_op_parse_errors () =
+  let bad text =
+    match Check.Op.parse text with
+    | Ok _ -> Alcotest.fail ("parsed: " ^ text)
+    | Error _ -> ()
+  in
+  bad "X 1.2.3.4:1 5.6.7.8:2";
+  bad "I 1.2.3.4:99999 5.6.7.8:2";
+  bad "I 1.2.3.4 5.6.7.8:2";
+  bad "I 300.2.3.4:1 5.6.7.8:2"
+
+let qcheck_op_round_trip =
+  let arbitrary_program =
+    let open QCheck in
+    let endpoint =
+      map
+        (fun (a, b, c, d, port) ->
+          Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets a b c d) port)
+        (quad (0 -- 255) (0 -- 255) (0 -- 255) (0 -- 255)
+        |> fun q -> pair q (0 -- 65535) |> map (fun ((a, b, c, d), p) -> (a, b, c, d, p)))
+    in
+    let kind =
+      oneofl
+        [ Check.Op.Insert; Check.Op.Lookup; Check.Op.Ack_lookup;
+          Check.Op.Remove; Check.Op.Send ]
+    in
+    let op_gen =
+      map
+        (fun (k, (local, remote)) ->
+          { Check.Op.kind = k; flow = Packet.Flow.v ~local ~remote })
+        (pair kind (pair endpoint endpoint))
+    in
+    map
+      (fun (seed, ops) ->
+        Check.Op.v ~label:"qcheck" ~seed (Array.of_list ops))
+      (pair (0 -- 1_000_000) (list_of_size Gen.(0 -- 40) op_gen))
+  in
+  QCheck.Test.make ~count:200 ~name:"Op.parse inverts Op.print"
+    arbitrary_program (fun program ->
+      match Check.Op.parse (Check.Op.print program) with
+      | Ok parsed -> program_equal program parsed
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The differential oracle                                             *)
+
+let test_diff_all_algorithms_clean () =
+  (* Every profile, every subject, one program each: zero mismatches.
+     This is the tentpole invariant — all fourteen implementations
+     agree with the reference model op for op. *)
+  let summary, failures =
+    Check.Fuzz.campaign ~programs_per_profile:1 ~ops:768 ~pool:48
+      ~subjects:(all_subjects ()) ~seed:42 ()
+  in
+  Alcotest.(check int) "subjects" 14 (List.length summary.Check.Diff.subjects);
+  Alcotest.(check int) "programs" 5 summary.Check.Diff.programs;
+  Alcotest.(check bool) "ops executed" true (summary.Check.Diff.ops > 10_000);
+  (match summary.Check.Diff.mismatches with
+  | [] -> ()
+  | m :: _ -> Alcotest.fail (Format.asprintf "%a" Check.Diff.pp_mismatch m));
+  Alcotest.(check int) "no failures" 0 (List.length failures)
+
+let test_diff_is_deterministic () =
+  let run () =
+    let summary, _ =
+      Check.Fuzz.campaign ~programs_per_profile:1 ~ops:256 ~pool:32
+        ~subjects:[ (fun () -> Check.Subject.of_spec Demux.Registry.Bsd) ]
+        ~seed:7 ()
+    in
+    summary.Check.Diff.ops
+  in
+  Alcotest.(check int) "same op count" (run ()) (run ())
+
+let test_diff_obs_counters () =
+  let obs = Obs.Registry.create () in
+  let _summary, _failures =
+    Check.Fuzz.campaign ~obs ~programs_per_profile:1 ~ops:128 ~pool:16
+      ~subjects:[ (fun () -> Check.Subject.of_spec Demux.Registry.Mtf) ]
+      ~seed:9 ()
+  in
+  let metrics = Obs.Registry.snapshot obs in
+  let counter name =
+    match Obs.Registry.find metrics name with
+    | Some { Obs.Registry.data = Obs.Registry.Counter n; _ } -> n
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  Alcotest.(check int) "check.programs" 5 (counter "check.programs");
+  Alcotest.(check int) "check.ops" (5 * 128) (counter "check.ops");
+  Alcotest.(check int) "check.mismatches" 0 (counter "check.mismatches")
+
+(* ------------------------------------------------------------------ *)
+(* Pinned corpus                                                       *)
+
+let corpus_programs () =
+  let dir = "corpus" in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".prog")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         match Check.Op.load path with
+         | Ok program -> (f, program)
+         | Error message -> Alcotest.fail (path ^ ": " ^ message))
+
+let test_corpus_replays_clean () =
+  let programs = corpus_programs () in
+  Alcotest.(check bool) "corpus present" true (List.length programs >= 4);
+  List.iter
+    (fun (name, program) ->
+      let summary =
+        Check.Diff.run (all_subjects ()) [ program ]
+      in
+      match summary.Check.Diff.mismatches with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.fail
+          (Format.asprintf "%s: %a" name Check.Diff.pp_mismatch m))
+    programs
+
+let load_corpus name =
+  match Check.Op.load (Filename.concat "corpus" name) with
+  | Ok program -> program
+  | Error message -> Alcotest.fail (name ^ ": " ^ message)
+
+let test_corpus_robin_hood_is_a_cluster () =
+  (* The pinned program's five inserted flows share one Flat_table
+     home slot at the minimum capacity, so inserting them builds a
+     displacement cluster — the precondition for backward-shift
+     deletion to matter at all. *)
+  let program = load_corpus "robin-hood-backward-shift.prog" in
+  let inserts =
+    Array.to_list program.Check.Op.ops
+    |> List.filter (fun (o : Check.Op.op) -> o.Check.Op.kind = Check.Op.Insert)
+    |> List.map (fun (o : Check.Op.op) -> o.Check.Op.flow)
+  in
+  Alcotest.(check int) "five colliding flows" 5 (List.length inserts);
+  let home f =
+    Demux.Flow_key.hash_words
+      (Demux.Flow_key.w0_of_flow f)
+      (Demux.Flow_key.w1_of_flow f)
+    land 7
+  in
+  match inserts with
+  | first :: rest ->
+    List.iter
+      (fun f -> Alcotest.(check int) "same home slot" (home first) (home f))
+      rest
+  | [] -> assert false
+
+let test_corpus_robin_hood_catches_buggy_table () =
+  (* The same program must fail the backward-shift-skipping copy —
+     proof the corpus entry really regression-tests the delete path. *)
+  let program = load_corpus "robin-hood-backward-shift.prog" in
+  Alcotest.(check bool) "flat table passes" true
+    (Check.Diff.run_subject (Check.Subject.flat_table ()) program = []);
+  Alcotest.(check bool) "buggy table fails" true
+    (Check.Diff.run_subject (buggy_subject ()) program <> [])
+
+let test_corpus_guarded_sheds () =
+  (* The guarded-eviction program must actually push the guard past
+     its chain bound: evictions happen, and the oracle (via its shadow
+     guard) still predicts the exact surviving set. *)
+  let program = load_corpus "guarded-eviction.prog" in
+  let subject =
+    Check.Subject.of_spec
+      (Demux.Registry.Guarded
+         { spec =
+             Demux.Registry.Sequent
+               { chains = 19; hasher = Hashing.Hashers.multiplicative };
+           max_chain = Demux.Guarded.default_max_chain;
+           max_total = Demux.Guarded.default_max_total })
+  in
+  (match Check.Diff.run_subject subject program with
+  | [] -> ()
+  | m :: _ -> Alcotest.fail (Format.asprintf "%a" Check.Diff.pp_mismatch m));
+  let stats = subject.Check.Subject.stats () in
+  Alcotest.(check bool) "guard evicted" true
+    (stats.Demux.Lookup_stats.evictions > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The planted bug: caught, shrunk, replayable                         *)
+
+let buggy_fails program =
+  Check.Diff.run_subject (buggy_subject ()) program <> []
+
+let find_failing_program () =
+  let rec hunt seed =
+    if seed > 50 then Alcotest.fail "no program caught the planted bug"
+    else
+      let program =
+        Check.Fuzz.generate Check.Fuzz.Colliding ~seed ~pool:32 ~ops:256
+      in
+      if buggy_fails program then program else hunt (seed + 1)
+  in
+  hunt 0
+
+let test_fuzzer_catches_planted_bug () =
+  let original = find_failing_program () in
+  let shrunk = Check.Fuzz.shrink buggy_fails original in
+  (* Still failing, no longer than the input. *)
+  Alcotest.(check bool) "shrunk still fails" true (buggy_fails shrunk);
+  Alcotest.(check bool) "shrunk no longer" true
+    (Check.Op.length shrunk <= Check.Op.length original);
+  (* 1-minimal: deleting any single remaining op loses the failure. *)
+  let ops = shrunk.Check.Op.ops in
+  Array.iteri
+    (fun i _ ->
+      let without =
+        Array.append (Array.sub ops 0 i)
+          (Array.sub ops (i + 1) (Array.length ops - i - 1))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d is necessary" i)
+        false
+        (buggy_fails (Check.Op.v ~label:"minimal?" ~seed:shrunk.Check.Op.seed without)))
+    ops;
+  (* Replayable: the printed dump parses back to the identical program
+     and still fails — the counterexample survives being pasted into a
+     corpus file. *)
+  (match Check.Op.parse (Check.Op.print shrunk) with
+  | Error message -> Alcotest.fail message
+  | Ok parsed ->
+    Alcotest.(check bool) "byte-identical replay" true
+      (program_equal shrunk parsed);
+    Alcotest.(check bool) "replay still fails" true (buggy_fails parsed));
+  (* And the correct table shrugs the same program off. *)
+  Alcotest.(check bool) "real flat table passes" true
+    (Check.Diff.run_subject (Check.Subject.flat_table ()) shrunk = [])
+
+let qcheck_shrink_properties =
+  (* Across many generator seeds: whenever a colliding program trips
+     the planted bug, shrinking yields a still-failing program no
+     longer than the original that replays identically from its
+     printed form. *)
+  QCheck.Test.make ~count:12 ~name:"shrink: fails, <= length, replays"
+    QCheck.(0 -- 1_000) (fun seed ->
+      let program =
+        Check.Fuzz.generate Check.Fuzz.Colliding ~seed ~pool:24 ~ops:192
+      in
+      if not (buggy_fails program) then true
+      else
+        let shrunk = Check.Fuzz.shrink buggy_fails program in
+        buggy_fails shrunk
+        && Check.Op.length shrunk <= Check.Op.length program
+        &&
+        match Check.Op.parse (Check.Op.print shrunk) with
+        | Ok parsed -> program_equal shrunk parsed && buggy_fails parsed
+        | Error _ -> false)
+
+let test_campaign_reports_planted_bug () =
+  (* End to end: a campaign over the buggy subject produces a failure
+     with a shrunk program and a mismatch naming the subject. *)
+  let summary, failures =
+    Check.Fuzz.campaign ~profiles:[ Check.Fuzz.Colliding ]
+      ~programs_per_profile:2 ~ops:256 ~pool:32
+      ~subjects:[ buggy_subject ] ~seed:1 ()
+  in
+  Alcotest.(check bool) "mismatches recorded" true
+    (summary.Check.Diff.mismatches <> []);
+  match failures with
+  | [] -> Alcotest.fail "campaign found no failure"
+  | f :: _ ->
+    Alcotest.(check string) "names the subject" "buggy-flat"
+      f.Check.Fuzz.mismatch.Check.Diff.subject;
+    Alcotest.(check bool) "shrunk is smaller" true
+      (Check.Op.length f.Check.Fuzz.shrunk
+      <= Check.Op.length f.Check.Fuzz.original)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded shedding semantics                                          *)
+
+let test_guarded_eviction_sets_match () =
+  (* A tight guard under collision flood: the shadow guard over the
+     oracle must predict the exact same eviction set, or the quiesce
+     content audit fails.  Run long enough that dozens of evictions
+     happen. *)
+  let spec =
+    Demux.Registry.Guarded
+      { spec =
+          Demux.Registry.Sequent
+            { chains = 19; hasher = Hashing.Hashers.multiplicative };
+        max_chain = 8; max_total = 24 }
+  in
+  let program =
+    Check.Fuzz.generate Check.Fuzz.Colliding ~seed:21 ~pool:48 ~ops:2048
+  in
+  let subject = Check.Subject.of_spec spec in
+  (match Check.Diff.run_subject subject program with
+  | [] -> ()
+  | m :: _ -> Alcotest.fail (Format.asprintf "%a" Check.Diff.pp_mismatch m));
+  let stats = subject.Check.Subject.stats () in
+  Alcotest.(check bool) "many evictions or rejections" true
+    (stats.Demux.Lookup_stats.evictions
+     + stats.Demux.Lookup_stats.rejections
+    > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel lockstep                                                   *)
+
+(* A churn program that is valid per flow (insert only when absent,
+   remove only when present), so any stripe-preserving reordering
+   leaves every per-flow op sequence intact. *)
+let churn_ops ~pool ~ops ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let present = Array.make pool false in
+  Array.init ops (fun _ ->
+      let i = Numerics.Rng.int rng ~bound:pool in
+      let f = flow i in
+      let roll = Numerics.Rng.int rng ~bound:100 in
+      if roll < 30 && not present.(i) then begin
+        present.(i) <- true;
+        op Check.Op.Insert f
+      end
+      else if roll < 45 && present.(i) then begin
+        present.(i) <- false;
+        op Check.Op.Remove f
+      end
+      else op Check.Op.Lookup f)
+
+type lockstep_result =
+  | Inserted
+  | Removed of int option
+  | Found of int option
+
+let apply_striped table (o : Check.Op.op) index =
+  match o.Check.Op.kind with
+  | Check.Op.Insert ->
+    ignore (Parallel.Striped.insert table o.Check.Op.flow index);
+    Inserted
+  | Check.Op.Remove ->
+    Removed
+      (Option.map
+         (fun pcb -> pcb.Demux.Pcb.data)
+         (Parallel.Striped.remove table o.Check.Op.flow))
+  | Check.Op.Lookup | Check.Op.Ack_lookup | Check.Op.Send ->
+    Found
+      (Option.map
+         (fun pcb -> pcb.Demux.Pcb.data)
+         (Parallel.Striped.lookup table o.Check.Op.flow))
+
+let test_striped_four_domain_lockstep () =
+  let chains = 19 and domains = 4 in
+  let ops = churn_ops ~pool:200 ~ops:8_000 ~seed:33 in
+  let n = Array.length ops in
+  (* Single-domain reference run. *)
+  let reference = Parallel.Striped.create ~chains () in
+  let expected = Array.mapi (fun i o -> apply_striped reference o i) ops in
+  (* 4-domain run: domain d owns stripes congruent to d mod domains,
+     and applies its ops in program order — per-stripe sequences are
+     exactly the single-domain ones, so every result and the merged
+     stats must come out identical. *)
+  let table = Parallel.Striped.create ~chains () in
+  let results = Array.make n Inserted in
+  let stripe_of (o : Check.Op.op) =
+    Hashing.Hashers.bucket_flow Hashing.Hashers.multiplicative ~buckets:chains
+      o.Check.Op.flow
+  in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Array.iteri
+              (fun i o ->
+                if stripe_of o mod domains = d then
+                  results.(i) <- apply_striped table o i)
+              ops))
+  in
+  List.iter Domain.join workers;
+  for i = 0 to n - 1 do
+    if results.(i) <> expected.(i) then
+      Alcotest.fail (Printf.sprintf "op %d diverged from single-domain run" i)
+  done;
+  let merged = Parallel.Striped.stats table
+  and single = Parallel.Striped.stats reference in
+  Alcotest.(check bool) "merged stats match single-domain run" true
+    (merged = single);
+  (* And the scalar Sequent algorithm, driven by the same program,
+     agrees on every counter too (same chains, same per-chain cache). *)
+  let scalar =
+    Demux.Sequent.create ~chains ~hasher:Hashing.Hashers.multiplicative ()
+  in
+  Array.iteri
+    (fun i (o : Check.Op.op) ->
+      match o.Check.Op.kind with
+      | Check.Op.Insert -> ignore (Demux.Sequent.insert scalar o.Check.Op.flow i)
+      | Check.Op.Remove -> ignore (Demux.Sequent.remove scalar o.Check.Op.flow)
+      | _ -> ignore (Demux.Sequent.lookup scalar o.Check.Op.flow))
+    ops;
+  let scalar_stats = Demux.Lookup_stats.snapshot (Demux.Sequent.stats scalar) in
+  Alcotest.(check bool) "scalar Sequent stats match" true
+    (scalar_stats = merged)
+
+let test_batch_accounting_equals_scalar () =
+  (* A burst demultiplexed through lookup_batch must charge exactly
+     what the per-packet path charges — same examined counts, same
+     cache hits — plus only the batch markers. *)
+  let population = Array.init 300 flow in
+  let make () =
+    let t = Parallel.Striped.create ~chains:19 () in
+    Array.iteri (fun i f -> ignore (Parallel.Striped.insert t f i)) population;
+    t
+  in
+  let rng = Numerics.Rng.create ~seed:11 in
+  let burst =
+    Array.init 4_096 (fun _ ->
+        (* 1 in 8 is a miss: a flow outside the resident population. *)
+        let i = Numerics.Rng.int rng ~bound:(300 * 8 / 7) in
+        flow i)
+  in
+  let scalar = make () in
+  let scalar_found = ref 0 in
+  Array.iter
+    (fun f ->
+      match Parallel.Striped.lookup scalar f with
+      | Some _ -> incr scalar_found
+      | None -> ())
+    burst;
+  let batched = make () in
+  let batched_found = Parallel.Striped.lookup_batch batched burst in
+  Alcotest.(check int) "same hits" !scalar_found batched_found;
+  let s = Parallel.Striped.stats scalar
+  and b = Parallel.Striped.stats batched in
+  Alcotest.(check int) "lookups" s.Demux.Lookup_stats.lookups
+    b.Demux.Lookup_stats.lookups;
+  Alcotest.(check int) "pcbs_examined" s.Demux.Lookup_stats.pcbs_examined
+    b.Demux.Lookup_stats.pcbs_examined;
+  Alcotest.(check int) "cache_hits" s.Demux.Lookup_stats.cache_hits
+    b.Demux.Lookup_stats.cache_hits;
+  Alcotest.(check int) "found" s.Demux.Lookup_stats.found
+    b.Demux.Lookup_stats.found;
+  Alcotest.(check int) "not_found" s.Demux.Lookup_stats.not_found
+    b.Demux.Lookup_stats.not_found;
+  Alcotest.(check int) "max_examined" s.Demux.Lookup_stats.max_examined
+    b.Demux.Lookup_stats.max_examined;
+  Alcotest.(check int) "scalar path has no batches" 0
+    s.Demux.Lookup_stats.batches;
+  Alcotest.(check bool) "batched path marked batches" true
+    (b.Demux.Lookup_stats.batches > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation and the report                                     *)
+
+let test_xval_grid_passes () =
+  let outcome = Check.Xval.run ~duration:40.0 ~seed:42 () in
+  Alcotest.(check int) "full grid" 18 (List.length outcome.Check.Xval.cells);
+  List.iter
+    (fun (c : Check.Xval.cell) ->
+      if not c.Check.Xval.pass then
+        Alcotest.fail
+          (Printf.sprintf "%s at N=%d out of tolerance (ratio %.3f)"
+             c.Check.Xval.algorithm c.Check.Xval.users c.Check.Xval.ratio))
+    outcome.Check.Xval.cells;
+  Alcotest.(check bool) "passed" true outcome.Check.Xval.passed;
+  (* The grid covers >= 3 populations and >= 3 chain counts. *)
+  let distinct f =
+    List.sort_uniq compare (List.filter_map f outcome.Check.Xval.cells)
+  in
+  Alcotest.(check bool) "3 populations" true
+    (List.length (distinct (fun c -> Some c.Check.Xval.users)) >= 3);
+  Alcotest.(check bool) "3 chain counts" true
+    (List.length (distinct (fun c -> c.Check.Xval.chains)) >= 3)
+
+let test_report_round_trip () =
+  let summary, failures =
+    Check.Fuzz.campaign ~profiles:[ Check.Fuzz.Uniform ]
+      ~programs_per_profile:1 ~ops:64 ~pool:16
+      ~subjects:[ (fun () -> Check.Subject.of_spec Demux.Registry.Bsd) ]
+      ~seed:4 ()
+  in
+  let report = Check.Report.v ~seed:4 summary failures in
+  Alcotest.(check bool) "passed" true (Check.Report.passed report);
+  let path = Filename.temp_file "tcpdemux-check" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Check.Report.write path report;
+      match Check.Report.validate_file path with
+      | Ok () -> ()
+      | Error message -> Alcotest.fail message)
+
+let test_report_rejects_failures () =
+  (* A report carrying a mismatch must not validate. *)
+  let mismatch =
+    { Check.Diff.subject = "bsd"; step = 3; op = None; what = "synthetic" }
+  in
+  let summary =
+    { Check.Diff.subjects = [ "bsd" ]; programs = 1; ops = 10;
+      mismatches = [ mismatch ] }
+  in
+  let report = Check.Report.v ~seed:1 summary [] in
+  Alcotest.(check bool) "not passed" false (Check.Report.passed report);
+  let path = Filename.temp_file "tcpdemux-check" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Check.Report.write path report;
+      match Check.Report.validate_file path with
+      | Ok () -> Alcotest.fail "failing report validated"
+      | Error _ -> ());
+  match Check.Report.validate_file "no-such-file.json" with
+  | Ok () -> Alcotest.fail "missing report validated"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "check"
+    [ ( "op",
+        [ quick "print/parse round trip" test_op_round_trip_unit;
+          quick "parse errors" test_op_parse_errors;
+          QCheck_alcotest.to_alcotest qcheck_op_round_trip ] );
+      ( "diff",
+        [ quick "all algorithms agree with the oracle"
+            test_diff_all_algorithms_clean;
+          quick "deterministic" test_diff_is_deterministic;
+          quick "obs counters" test_diff_obs_counters ] );
+      ( "corpus",
+        [ quick "replays clean on every subject" test_corpus_replays_clean;
+          quick "robin-hood program is a displacement cluster"
+            test_corpus_robin_hood_is_a_cluster;
+          quick "robin-hood program catches the buggy table"
+            test_corpus_robin_hood_catches_buggy_table;
+          quick "guarded program sheds and still matches"
+            test_corpus_guarded_sheds ] );
+      ( "fuzz",
+        [ quick "planted bug caught, shrunk, replayable"
+            test_fuzzer_catches_planted_bug;
+          QCheck_alcotest.to_alcotest qcheck_shrink_properties;
+          quick "campaign reports the failure"
+            test_campaign_reports_planted_bug ] );
+      ( "guarded",
+        [ quick "eviction sets predicted by the shadow guard"
+            test_guarded_eviction_sets_match ] );
+      ( "parallel",
+        [ quick "4-domain lockstep equals single domain"
+            test_striped_four_domain_lockstep;
+          quick "batch accounting equals scalar"
+            test_batch_accounting_equals_scalar ] );
+      ( "xval",
+        [ quick "grid within tolerance" test_xval_grid_passes ] );
+      ( "report",
+        [ quick "write/validate round trip" test_report_round_trip;
+          quick "rejects failures and missing files"
+            test_report_rejects_failures ] ) ]
