@@ -912,7 +912,9 @@ let run_check algorithms smoke seed ops pool programs_per_profile no_xval
         let subjects =
           List.map (fun spec () -> Check.Subject.of_spec spec) specs
           @ [ (fun () -> Check.Subject.striped ());
-              (fun () -> Check.Subject.flat_table ()) ]
+              (fun () -> Check.Subject.flat_table ());
+              (fun () -> Check.Subject.flat_table_doubling ());
+              (fun () -> Check.Subject.guarded_flat_table ()) ]
         in
         let programs_per_profile =
           if smoke then 2 else programs_per_profile
@@ -971,7 +973,8 @@ let check_cmd =
       & info [ "a"; "algos"; "algorithms" ] ~docv:"ALGOS"
           ~doc:
             "Comma-separated registry specs to check (a striped table \
-             and the flat Robin-Hood index are always included).")
+             and the flat Robin-Hood index — incremental and doubling \
+             resize, plus a guarded variant — are always included).")
   in
   let smoke =
     Arg.(
@@ -1019,6 +1022,106 @@ let check_cmd =
         $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
+(* chaos: fault scenarios over the parallel pipeline (lib/fault)       *)
+
+let run_chaos scenarios smoke seed workers ops json_path =
+  let parse_scenarios = function
+    | [] -> Ok Fault.Chaos.all
+    | names ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+          match Fault.Chaos.scenario_of_name name with
+          | Some s -> go (s :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf "unknown scenario %S (have: %s)" name
+                 (String.concat ", "
+                    (List.map Fault.Chaos.scenario_name Fault.Chaos.all))))
+      in
+      go [] names
+  in
+  match parse_scenarios scenarios with
+  | Error message -> `Error (false, message)
+  | Ok scenarios ->
+    if workers <= 0 then `Error (false, "--workers must be positive")
+    else if ops <= 0 then `Error (false, "--ops must be positive")
+    else begin
+      let ops = if smoke then min ops 20_000 else ops in
+      Format.printf "chaos: %d scenario(s), %d workers, %d ops each, seed \
+                     %d%s@.@."
+        (List.length scenarios) workers ops seed
+        (if smoke then " (smoke)" else "");
+      let outcomes =
+        List.mapi
+          (fun i scenario ->
+            Check.Chaos.run_scenario ~workers ~ops ~seed:((seed * 31) + i)
+              scenario)
+          scenarios
+      in
+      let t = { Check.Chaos.seed; workers; ops; outcomes } in
+      Format.printf "@[<v>%a@]@." Check.Chaos.pp t;
+      (match json_path with
+      | Some path ->
+        (try
+           Check.Chaos.write path t;
+           Format.printf "wrote tcpdemux-chaos/1 report to %s@." path
+         with Sys_error message -> Format.printf "warning: %s@." message)
+      | None -> ());
+      if Check.Chaos.passed t then begin
+        Format.printf "chaos: PASS@.";
+        `Ok ()
+      end
+      else `Error (false, "chaos audit failed (see mismatches above)")
+    end
+
+let chaos_cmd =
+  let doc =
+    "Run seeded fault scenarios (stalled consumer, slow worker, ring-full \
+     storm, bursty arrivals, mid-run table growth) against the parallel \
+     pipeline and replay-audit every one: contents, stats and shed \
+     accounting must match the reference oracle exactly."
+  in
+  let scenarios =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "s"; "scenarios" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated scenario names (default: all of \
+             stalled-consumer, slow-worker, ring-full-storm, \
+             burst-arrival, mid-run-growth).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI-sized run: caps the per-scenario op count at 20000.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domain count.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 120_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Ops offered per scenario.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the $(i,tcpdemux-chaos/1) report to $(docv).")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const run_chaos $ scenarios $ smoke $ seed_arg $ workers $ ops
+        $ json))
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1029,6 +1132,6 @@ let main_cmd =
     (Cmd.info "tcpdemux" ~version:"1.0.0" ~doc)
     [ analyze_cmd; figure_cmd; simulate_cmd; validate_cmd; sweep_cmd;
       sensitivity_cmd; hashes_cmd; trace_cmd; replay_cmd; attack_cmd;
-      parallel_cmd; check_cmd ]
+      parallel_cmd; check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

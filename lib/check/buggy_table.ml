@@ -20,7 +20,10 @@ let min_capacity = 8
 
 let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
 
-let create ?(hash = default_hash) ?(initial_capacity = min_capacity) () =
+(* [resize] is part of the {!Subject.FLAT} surface; the buggy copy
+   ignores it and always rebuilds by doubling. *)
+let create ?(hash = default_hash) ?(initial_capacity = min_capacity)
+    ?resize:(_ : Demux.Flat_table.resize option) () =
   if initial_capacity < 0 then
     invalid_arg "Buggy_table.create: initial_capacity < 0";
   let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in

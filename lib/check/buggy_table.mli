@@ -16,7 +16,12 @@
 type 'a t
 
 val create :
-  ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+  ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+  ?resize:Demux.Flat_table.resize -> unit -> 'a t
+(** [resize] is accepted for {!Subject.FLAT} compatibility and
+    ignored: the buggy copy predates incremental growth and always
+    rebuilds by doubling.  The planted bug is in [remove] either
+    way. *)
 
 val length : 'a t -> int
 val find_opt : 'a t -> w0:int -> w1:int -> 'a option

@@ -1,0 +1,290 @@
+(* Post-hoc audit of Fault.Chaos runs: replay the per-worker applied-op
+   logs through the reference Oracle and demand the pipeline's end
+   state matches exactly.
+
+   Why a replay is exact despite a racy run: the pipeline shards ops
+   per flow (RSS), so all ops on a given flow were applied by one
+   worker in FIFO order, and flows never share state — replaying each
+   worker's log in its recorded order reconstructs the only correct
+   end state.  Tier decisions (which ops were shed) are timing-driven
+   and differ run to run; the audit does not predict them, it holds
+   the run to consistency: every logged outcome must agree with the
+   oracle at that point, every dropped op must be accounted
+   (offered = applied + dropped + rejected, checked against both the
+   producer's and the controller's ledgers), and the final contents
+   and stats must equal what the log implies. *)
+
+type scenario_outcome = {
+  result : Fault.Chaos.result;
+  mismatches : Diff.mismatch list;
+}
+
+exception Stop of Diff.mismatch
+
+let flow_str = Packet.Flow.to_string
+
+(* Replay one run's logs into a fresh oracle, checking each event's
+   observed outcome as it is applied; returns the oracle and the
+   predicted stats ledger.  Raises [Stop] at the first disagreement
+   (the reconstruction is suspect from then on, as in Diff). *)
+let replay (r : Fault.Chaos.result) oracle exp =
+  let name = Fault.Chaos.scenario_name r.Fault.Chaos.scenario in
+  let step = ref (-1) in
+  let fail what =
+    raise (Stop { Diff.subject = name; step = !step; op = None; what })
+  in
+  Array.iter
+    (fun log ->
+      Array.iter
+        (fun (ev : Fault.Chaos.event) ->
+          incr step;
+          let flow = ev.Fault.Chaos.op.Fault.Chaos.flow in
+          let payload = ev.Fault.Chaos.op.Fault.Chaos.payload in
+          match ev.Fault.Chaos.outcome with
+          | Fault.Chaos.Inserted ->
+            if Oracle.mem oracle flow then
+              fail
+                (Printf.sprintf "insert of %s admitted while already resident"
+                   (flow_str flow))
+            else begin
+              Oracle.insert oracle flow payload;
+              exp.Diff.inserts <- exp.Diff.inserts + 1
+            end
+          | Fault.Chaos.Duplicate ->
+            if not (Oracle.mem oracle flow) then
+              fail
+                (Printf.sprintf "duplicate reported for absent flow %s"
+                   (flow_str flow))
+          | Fault.Chaos.Shed ->
+            exp.Diff.rejections <- exp.Diff.rejections + 1;
+            if Oracle.mem oracle flow then
+              fail
+                (Printf.sprintf
+                   "shed %s as a new flow while it was resident"
+                   (flow_str flow))
+          | Fault.Chaos.Found got -> (
+            exp.Diff.lookups <- exp.Diff.lookups + 1;
+            match Oracle.lookup oracle flow with
+            | Some v when v = got -> exp.Diff.found <- exp.Diff.found + 1
+            | Some v ->
+              fail
+                (Printf.sprintf
+                   "lookup of %s returned stale payload %d, oracle has %d"
+                   (flow_str flow) got v)
+            | None ->
+              fail
+                (Printf.sprintf "lookup found %s, which the oracle lost"
+                   (flow_str flow)))
+          | Fault.Chaos.Missed -> (
+            exp.Diff.lookups <- exp.Diff.lookups + 1;
+            match Oracle.lookup oracle flow with
+            | None -> exp.Diff.not_found <- exp.Diff.not_found + 1
+            | Some _ ->
+              fail
+                (Printf.sprintf "lookup missed resident flow %s"
+                   (flow_str flow)))
+          | Fault.Chaos.Removed got -> (
+            match Oracle.remove oracle flow with
+            | Some v when v = got -> exp.Diff.removes <- exp.Diff.removes + 1
+            | Some v ->
+              fail
+                (Printf.sprintf
+                   "remove of %s returned stale payload %d, oracle has %d"
+                   (flow_str flow) got v)
+            | None ->
+              fail
+                (Printf.sprintf "removed %s, which the oracle never held"
+                   (flow_str flow)))
+          | Fault.Chaos.Absent ->
+            if Oracle.mem oracle flow then
+              fail
+                (Printf.sprintf "remove missed resident flow %s"
+                   (flow_str flow)))
+        log)
+    r.Fault.Chaos.logs
+
+let audit (r : Fault.Chaos.result) =
+  let name = Fault.Chaos.scenario_name r.Fault.Chaos.scenario in
+  let quiesce what =
+    { Diff.subject = name; step = r.Fault.Chaos.delivered; op = None; what }
+  in
+  let oracle = Oracle.create () in
+  let exp = Diff.counts () in
+  try
+    replay r oracle exp;
+    (* Conservation: nothing offered may vanish unaccounted, and the
+       producer's ledger must agree with the controller's. *)
+    let applied = r.Fault.Chaos.delivered in
+    if
+      r.Fault.Chaos.offered
+      <> applied + r.Fault.Chaos.dropped_ops + r.Fault.Chaos.rejected_ops
+    then
+      raise
+        (Stop
+           (quiesce
+              (Printf.sprintf
+                 "conservation: offered %d <> applied %d + dropped %d + \
+                  rejected %d"
+                 r.Fault.Chaos.offered applied r.Fault.Chaos.dropped_ops
+                 r.Fault.Chaos.rejected_ops)));
+    if r.Fault.Chaos.dropped_ops <> r.Fault.Chaos.pressure_dropped_ops then
+      raise
+        (Stop
+           (quiesce
+              (Printf.sprintf
+                 "ledgers disagree: producer dropped %d, controller %d"
+                 r.Fault.Chaos.dropped_ops
+                 r.Fault.Chaos.pressure_dropped_ops)));
+    if r.Fault.Chaos.rejected_ops <> r.Fault.Chaos.pressure_rejected_ops then
+      raise
+        (Stop
+           (quiesce
+              (Printf.sprintf
+                 "ledgers disagree: producer rejected %d, controller %d"
+                 r.Fault.Chaos.rejected_ops
+                 r.Fault.Chaos.pressure_rejected_ops)));
+    if exp.Diff.rejections <> r.Fault.Chaos.shed_flows then
+      raise
+        (Stop
+           (quiesce
+              (Printf.sprintf
+                 "ledgers disagree: logs show %d sheds, controller %d"
+                 exp.Diff.rejections r.Fault.Chaos.shed_flows)));
+    (match
+       Diff.audit_contents_against ~contents:r.Fault.Chaos.contents
+         ~length:r.Fault.Chaos.population oracle
+     with
+    | Ok () -> ()
+    | Error what -> raise (Stop (quiesce what)));
+    (match Diff.audit_snapshot r.Fault.Chaos.stats exp with
+    | Ok () -> ()
+    | Error what -> raise (Stop (quiesce what)));
+    []
+  with Stop mismatch -> [ mismatch ]
+
+type t = {
+  seed : int;
+  workers : int;
+  ops : int;
+  outcomes : scenario_outcome list;
+}
+
+let run_scenario ?workers ?ops ~seed scenario =
+  let result = Fault.Chaos.run ?workers ?ops ~seed scenario in
+  { result; mismatches = audit result }
+
+let run ?(workers = 4) ?(ops = 60_000) ~seed () =
+  let outcomes =
+    List.mapi
+      (fun i scenario ->
+        run_scenario ~workers ~ops ~seed:((seed * 31) + i) scenario)
+      Fault.Chaos.all
+  in
+  { seed; workers; ops; outcomes }
+
+let passed t = List.for_all (fun o -> o.mismatches = []) t.outcomes
+
+let mismatches t = List.concat_map (fun o -> o.mismatches) t.outcomes
+
+let pp ppf t =
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "%a@," Fault.Chaos.pp_result o.result;
+      let live =
+        List.filter (fun (_, n) -> n > 0) o.result.Fault.Chaos.transitions
+      in
+      if live <> [] then
+        Format.fprintf ppf "  tier entries: %s@,"
+          (String.concat ", "
+             (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) live));
+      match o.mismatches with
+      | [] -> Format.fprintf ppf "  audit: contents + stats + ledgers ok@,"
+      | ms ->
+        List.iter
+          (fun m -> Format.fprintf ppf "  MISMATCH %a@," Diff.pp_mismatch m)
+          ms)
+    t.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* tcpdemux-chaos/1 report                                             *)
+
+let schema = "tcpdemux-chaos/1"
+
+let json_of_outcome o =
+  let r = o.result in
+  Obs.Json.Obj
+    [ ( "name",
+        Obs.Json.String (Fault.Chaos.scenario_name r.Fault.Chaos.scenario) );
+      ("seed", Obs.Json.Int r.Fault.Chaos.seed);
+      ("workers", Obs.Json.Int r.Fault.Chaos.workers);
+      ("offered", Obs.Json.Int r.Fault.Chaos.offered);
+      ("applied", Obs.Json.Int r.Fault.Chaos.delivered);
+      ("dropped", Obs.Json.Int r.Fault.Chaos.dropped_ops);
+      ("rejected", Obs.Json.Int r.Fault.Chaos.rejected_ops);
+      ("shed_flows", Obs.Json.Int r.Fault.Chaos.shed_flows);
+      ("residents", Obs.Json.Int r.Fault.Chaos.population);
+      ("max_ring_depth", Obs.Json.Int r.Fault.Chaos.max_ring_depth);
+      ( "transitions",
+        Obs.Json.Obj
+          (List.map
+             (fun (name, n) -> (name, Obs.Json.Int n))
+             r.Fault.Chaos.transitions) );
+      ( "mismatches",
+        Obs.Json.List
+          (List.map
+             (fun (m : Diff.mismatch) ->
+               Obs.Json.Obj
+                 [ ("subject", Obs.Json.String m.Diff.subject);
+                   ("step", Obs.Json.Int m.Diff.step);
+                   ("what", Obs.Json.String m.Diff.what) ])
+             o.mismatches) ) ]
+
+let to_json t =
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.String schema);
+      ("seed", Obs.Json.Int t.seed);
+      ("workers", Obs.Json.Int t.workers);
+      ("ops", Obs.Json.Int t.ops);
+      ("passed", Obs.Json.Bool (passed t));
+      ("scenarios", Obs.Json.List (List.map json_of_outcome t.outcomes)) ]
+
+let write path t = Obs.Json.write_file path (to_json t)
+
+let validate_file path =
+  let ( let* ) = Result.bind in
+  let* json = Obs.Json.of_file path in
+  let* () =
+    match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_string_opt with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "schema is %S, want %S" s schema)
+    | None -> Error "missing \"schema\" field"
+  in
+  let* scenarios =
+    match
+      Option.bind (Obs.Json.member "scenarios" json) Obs.Json.to_list_opt
+    with
+    | Some [] -> Error "empty \"scenarios\" list"
+    | Some l -> Ok l
+    | None -> Error "missing \"scenarios\" list"
+  in
+  let* () =
+    let bad =
+      List.filter
+        (fun s ->
+          match
+            Option.bind (Obs.Json.member "mismatches" s) Obs.Json.to_list_opt
+          with
+          | Some [] -> false
+          | Some _ | None -> true)
+        scenarios
+    in
+    if bad = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d scenario(s) with recorded mismatches"
+           (List.length bad))
+  in
+  match Obs.Json.member "passed" json with
+  | Some (Obs.Json.Bool true) -> Ok ()
+  | Some (Obs.Json.Bool false) -> Error "report says \"passed\": false"
+  | Some _ | None -> Error "missing boolean \"passed\" field"

@@ -1,0 +1,71 @@
+(** Replay audit for {!Fault.Chaos} pipeline runs.
+
+    A chaos run degrades on a timing-driven schedule, so no two runs
+    shed the same ops — but the per-worker logs it records are a total
+    account of what {e was} applied, and per-flow sharding makes them
+    replayable: feeding each worker's log through the reference
+    {!Oracle} in order reconstructs the unique correct end state.
+    The audit demands, per scenario:
+
+    - every logged outcome agrees with the oracle at that point
+      (inserts of residents, phantom duplicates, stale payloads on
+      [Found]/[Removed], missed residents — all are mismatches);
+    - conservation: [offered = applied + dropped + rejected], with the
+      producer's shed ledger equal to the pressure controller's and
+      the logged [Shed] events equal to the controller's shed-flow
+      count;
+    - final contents, population, and {!Demux.Lookup_stats} match the
+      replayed oracle exactly ({!Diff.audit_contents_against} /
+      {!Diff.audit_snapshot}).
+
+    Graceful degradation may drop work; it may not corrupt state or
+    lose accounting. *)
+
+type scenario_outcome = {
+  result : Fault.Chaos.result;
+  mismatches : Diff.mismatch list;
+      (** Empty, or the single first disagreement ([op = None];
+          [step] is the global replay index, or [delivered] for a
+          quiesce-stage failure). *)
+}
+
+val audit : Fault.Chaos.result -> Diff.mismatch list
+(** Replay one run's logs and check everything above. *)
+
+type t = {
+  seed : int;
+  workers : int;
+  ops : int;      (** Ops offered per scenario. *)
+  outcomes : scenario_outcome list;
+}
+
+val run_scenario :
+  ?workers:int -> ?ops:int -> seed:int -> Fault.Chaos.scenario ->
+  scenario_outcome
+(** Run one scenario and audit it. *)
+
+val run : ?workers:int -> ?ops:int -> seed:int -> unit -> t
+(** Run and audit every scenario in {!Fault.Chaos.all} (defaults:
+    4 workers, 60_000 ops each), deriving a distinct per-scenario
+    seed from [seed]. *)
+
+val passed : t -> bool
+val mismatches : t -> Diff.mismatch list
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Report}
+
+    A machine-readable verdict mirroring {!Report}, so CI can archive
+    a chaos run and [bench --check] can gate on it. *)
+
+val schema : string
+(** ["tcpdemux-chaos/1"]. *)
+
+val to_json : t -> Obs.Json.t
+val write : string -> t -> unit
+
+val validate_file : string -> (unit, string) result
+(** [Ok ()] iff the file parses, declares {!schema}, has a non-empty
+    scenario list with zero recorded mismatches, and says
+    [passed: true]. *)

@@ -15,7 +15,7 @@ let pp_mismatch ppf m =
 
 (* The counters the oracle can predict exactly; everything else in a
    snapshot is algorithm-specific and only has to satisfy invariants. *)
-type expected = {
+type counts = {
   mutable lookups : int;
   mutable found : int;
   mutable not_found : int;
@@ -24,6 +24,10 @@ type expected = {
   mutable evictions : int;
   mutable rejections : int;
 }
+
+let counts () =
+  { lookups = 0; found = 0; not_found = 0; inserts = 0; removes = 0;
+    evictions = 0; rejections = 0 }
 
 exception Fail of string
 exception Stop of mismatch
@@ -59,9 +63,8 @@ let check_pcb_flow ~what queried actual =
             (flow_str flow) (flow_str queried)))
   | Some _ | None -> ()
 
-let audit_contents (subject : Subject.t) oracle =
+let audit_contents_exn ~contents:got ~length:slen oracle =
   let want = Oracle.contents oracle in
-  let got = subject.Subject.contents () in
   let rec compare i want got =
     match (want, got) with
     | [], [] -> ()
@@ -83,13 +86,18 @@ let audit_contents (subject : Subject.t) oracle =
       else compare (i + 1) wrest grest
   in
   compare 0 want got;
-  let olen = Oracle.length oracle and slen = subject.Subject.length () in
+  let olen = Oracle.length oracle in
   if olen <> slen then
     raise
       (Fail (Printf.sprintf "length: subject %d, oracle %d" slen olen))
 
-let audit_stats (subject : Subject.t) exp =
-  let s = subject.Subject.stats () in
+let audit_contents (subject : Subject.t) oracle =
+  audit_contents_exn
+    ~contents:(subject.Subject.contents ())
+    ~length:(subject.Subject.length ())
+    oracle
+
+let audit_snapshot_exn (s : Demux.Lookup_stats.snapshot) exp =
   let exact name got want =
     if got <> want then
       raise
@@ -114,15 +122,28 @@ let audit_stats (subject : Subject.t) exp =
   invariant "found > 0 implies max_examined >= 1"
     (s.Demux.Lookup_stats.found = 0 || s.Demux.Lookup_stats.max_examined >= 1)
 
+let audit_stats (subject : Subject.t) exp =
+  audit_snapshot_exn (subject.Subject.stats ()) exp
+
+(* Result-typed wrappers over the audit cores, for checkers (the chaos
+   auditor) that compare raw pipeline output rather than a live
+   Subject.t. *)
+let audit_contents_against ~contents ~length oracle =
+  match audit_contents_exn ~contents ~length oracle with
+  | () -> Ok ()
+  | exception Fail what -> Error what
+
+let audit_snapshot snapshot exp =
+  match audit_snapshot_exn snapshot exp with
+  | () -> Ok ()
+  | exception Fail what -> Error what
+
 let run_subject ?(checkpoint_every = 512) (subject : Subject.t) program =
   if checkpoint_every <= 0 then
     invalid_arg "Diff.run_subject: checkpoint_every <= 0";
   let oracle = Oracle.create () in
   let shadow = Option.map Demux.Guarded.create subject.Subject.guard in
-  let exp =
-    { lookups = 0; found = 0; not_found = 0; inserts = 0; removes = 0;
-      evictions = 0; rejections = 0 }
-  in
+  let exp = counts () in
   let apply step (op : Op.op) =
     let flow = op.Op.flow in
     match op.Op.kind with

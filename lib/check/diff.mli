@@ -33,6 +33,44 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
+(** {1 Audit primitives}
+
+    The content/stats audits [run_subject] applies at checkpoints,
+    exposed over raw data so checkers that do not drive a live
+    {!Subject.t} — the chaos auditor replays per-worker pipeline logs
+    after the fact — can demand the same exact match. *)
+
+type counts = {
+  mutable lookups : int;
+  mutable found : int;
+  mutable not_found : int;
+  mutable inserts : int;
+  mutable removes : int;
+  mutable evictions : int;
+  mutable rejections : int;
+}
+(** The {!Demux.Lookup_stats} counters an oracle can predict exactly;
+    the rest of a snapshot is algorithm-specific and is only held to
+    invariants. *)
+
+val counts : unit -> counts
+(** A fresh all-zero ledger. *)
+
+val audit_contents_against :
+  contents:(Packet.Flow.t * int) list -> length:int -> Oracle.t ->
+  (unit, string) result
+(** Compare a table's residents ([contents] must be sorted by
+    {!Packet.Flow.compare}, as {!Subject.t.contents} and
+    [Fault.Chaos.result.contents] both are) and its reported [length]
+    against the oracle.  [Error what] names the first disagreement. *)
+
+val audit_snapshot :
+  Demux.Lookup_stats.snapshot -> counts -> (unit, string) result
+(** Check a stats snapshot against a predicted ledger: the seven
+    predictable counters exactly, plus the invariants
+    ([cache_hits <= lookups], [pcbs_examined >= found],
+    [max_examined <= pcbs_examined], ...). *)
+
 val run_subject :
   ?checkpoint_every:int -> Subject.t -> Op.t -> mismatch list
 (** Run one freshly created subject through a program.  Stops at the

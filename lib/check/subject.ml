@@ -69,7 +69,8 @@ module type FLAT = sig
   type 'a t
 
   val create :
-    ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?resize:Demux.Flat_table.resize -> unit -> 'a t
 
   val length : 'a t -> int
   val find_opt : 'a t -> w0:int -> w1:int -> 'a option
@@ -79,8 +80,8 @@ module type FLAT = sig
   val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
 end
 
-let of_flat ?initial_capacity ~name (module M : FLAT) =
-  let table : int Demux.Pcb.t M.t = M.create ?initial_capacity () in
+let of_flat ?initial_capacity ?resize ~name (module M : FLAT) =
+  let table : int Demux.Pcb.t M.t = M.create ?initial_capacity ?resize () in
   let stats = Demux.Lookup_stats.create () in
   let next_id = ref 0 in
   let words flow =
@@ -125,3 +126,87 @@ let of_flat ?initial_capacity ~name (module M : FLAT) =
     guard = None }
 
 let flat_table () = of_flat ~name:"flat-table" (module Demux.Flat_table)
+
+let flat_table_doubling () =
+  of_flat ~resize:Demux.Flat_table.Doubling ~name:"flat-table-doubling"
+    (module Demux.Flat_table)
+
+let guarded_flat_table ?(max_chain = 8) ?(max_total = 40) ?(chains = 4) () =
+  let config = Demux.Guarded.config ~max_chain ~max_total ~chains () in
+  let guard = Demux.Guarded.create config in
+  (* Default (minimum) initial capacity: the guard's bounds sit above
+     several incremental-resize boundaries, so evictions fire while a
+     migration is in flight. *)
+  let table : int Demux.Pcb.t Demux.Flat_table.t =
+    Demux.Flat_table.create ()
+  in
+  let stats = Demux.Lookup_stats.create () in
+  let next_id = ref 0 in
+  let words flow =
+    (Demux.Flow_key.w0_of_flow flow, Demux.Flow_key.w1_of_flow flow)
+  in
+  let remove_raw flow =
+    let w0, w1 = words flow in
+    match Demux.Flat_table.find_opt table ~w0 ~w1 with
+    | None -> None
+    | Some pcb ->
+      Demux.Flat_table.remove table ~w0 ~w1;
+      Some pcb
+  in
+  (* The same wiring as Registry.guard, so the shadow guard Diff runs
+     over the oracle makes identical shed decisions: evict the guard's
+     victims (each a remove + an eviction) before the admitted insert;
+     a rejection mutates nothing. *)
+  { name = "guarded-flat-table";
+    insert =
+      (fun flow v ->
+        match Demux.Guarded.admit guard flow with
+        | `Reject -> Demux.Lookup_stats.note_rejection stats
+        | `Admit victims ->
+          List.iter
+            (fun victim ->
+              match remove_raw victim with
+              | Some _ ->
+                Demux.Lookup_stats.note_remove stats;
+                Demux.Lookup_stats.note_eviction stats
+              | None ->
+                invalid_arg
+                  "guarded-flat-table: guard evicted an absent flow")
+            victims;
+          let w0, w1 = words flow in
+          if Demux.Flat_table.mem table ~w0 ~w1 then
+            invalid_arg "guarded-flat-table.insert: duplicate flow";
+          let pcb = Demux.Pcb.make ~id:!next_id ~flow v in
+          incr next_id;
+          Demux.Flat_table.replace table ~w0 ~w1 pcb;
+          Demux.Guarded.note_inserted guard flow;
+          Demux.Lookup_stats.note_insert stats);
+    remove =
+      (fun flow ->
+        match remove_raw flow with
+        | None -> None
+        | Some pcb ->
+          Demux.Lookup_stats.note_remove stats;
+          Demux.Guarded.note_removed guard flow;
+          Some (pcb_pair pcb));
+    lookup =
+      (fun ~kind:_ flow ->
+        let w0, w1 = words flow in
+        Demux.Lookup_stats.begin_lookup stats;
+        Demux.Lookup_stats.examine stats ();
+        let result = Demux.Flat_table.find_opt table ~w0 ~w1 in
+        if result <> None then Demux.Guarded.note_touched guard flow;
+        Demux.Lookup_stats.end_lookup stats ~hit_cache:false
+          ~found:(result <> None);
+        Option.map pcb_pair result);
+    note_send = (fun _ -> ());
+    stats = (fun () -> Demux.Lookup_stats.snapshot stats);
+    length = (fun () -> Demux.Flat_table.length table);
+    contents =
+      (fun () ->
+        let acc = ref [] in
+        Demux.Flat_table.iter
+          (fun ~w0:_ ~w1:_ pcb -> acc := pcb_pair pcb :: !acc)
+          table;
+        sorted_contents !acc);
+    guard = Some config }

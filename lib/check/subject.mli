@@ -41,7 +41,8 @@ module type FLAT = sig
   type 'a t
 
   val create :
-    ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?resize:Demux.Flat_table.resize -> unit -> 'a t
 
   val length : 'a t -> int
   val find_opt : 'a t -> w0:int -> w1:int -> 'a option
@@ -52,10 +53,34 @@ module type FLAT = sig
 end
 
 val of_flat :
-  ?initial_capacity:int -> name:string -> (module FLAT) -> t
+  ?initial_capacity:int -> ?resize:Demux.Flat_table.resize ->
+  name:string -> (module FLAT) -> t
 (** A demultiplexer over a bare flat index: one probe charged per
     lookup, PCBs held as values.  [initial_capacity] defaults to the
-    table's minimum, so collision clusters form early. *)
+    table's minimum, so collision clusters form early; [resize] is the
+    growth policy (the table's default when omitted). *)
 
 val flat_table : unit -> t
-(** [of_flat (module Demux.Flat_table)] under the name ["flat-table"]. *)
+(** [of_flat (module Demux.Flat_table)] under the name ["flat-table"]
+    — incremental resize, the production default. *)
+
+val flat_table_doubling : unit -> t
+(** The same index pinned to the legacy stop-the-world
+    {!Demux.Flat_table.Doubling} policy, under the name
+    ["flat-table-doubling"], so differential runs race the two resize
+    strategies against the oracle and each other. *)
+
+val guarded_flat_table :
+  ?max_chain:int -> ?max_total:int -> ?chains:int -> unit -> t
+(** A {!Demux.Guarded} overload guard (defaults: [max_chain 8],
+    [max_total 40], [4] chains, LRU shedding) over an incrementally
+    resizing {!Demux.Flat_table} at minimum initial capacity, wired
+    exactly like {!Demux.Registry}'s guarded algorithms and named
+    ["guarded-flat-table"].  The bounds sit above several resize
+    boundaries (populations 7, 14, 28 from the 8-slot minimum), so
+    guard activity and incremental migrations interleave under churn;
+    tightening [max_total] to sit just past a boundary (e.g. [30])
+    forces evictions {e during} a drain — the dedicated overlap test
+    in [test_check.ml] does exactly that.  Because [guard] carries
+    the config, {!Diff}'s shadow guard checks the exact eviction
+    {e set}, not just the count. *)

@@ -15,19 +15,60 @@
    Collision policy is Robin-Hood displacement: an inserted entry
    steals the slot of any resident that is closer to its home bucket,
    which bounds probe-length variance and lets lookups stop early once
-   they out-distance the resident.  Deletion is backward-shift (move
-   displaced successors one slot back), so the table never holds
-   tombstones and probe lengths do not degrade with churn.  Capacity
-   is a power of two and doubles at 7/8 load. *)
+   they out-distance the resident.  Deletion in the live region is
+   backward-shift (move displaced successors one slot back), so the
+   table never holds tombstones and probe lengths do not degrade with
+   churn.  Capacity is a power of two and grows at 7/8 load.
+
+   Growth comes in two flavours ([resize]):
+
+   - [Incremental] (the default): when the trigger fires, the full
+     arrays become the frozen [old] region and a fresh region of twice
+     the capacity becomes [cur].  Every subsequent mutation migrates a
+     bounded number of entries (and visits a bounded number of slots)
+     from [old] into [cur], so no single insert ever pays the O(N)
+     rebuild; lookups probe [cur] then [old] while the drain is in
+     flight.  The old region never moves an entry once the drain
+     starts: migrated (and user-removed) slots are marked dead with a
+     reserved tag byte, keeping their stored hash so probe-distance
+     arithmetic — and therefore Robin-Hood early termination — still
+     works on the frozen layout.  A dead mark costs O(1) where a
+     backward shift out of a 7/8-full region costs a whole
+     displacement run, which is precisely the tail the incremental
+     policy exists to remove (E31); the region is garbage the moment
+     the drain ends, so the tombstone objection (probe degradation
+     under churn) does not apply to it.
+   - [Doubling]: the original stop-the-world copy, kept behind the flag
+     so differential tests can race the two policies against each
+     other.
+
+   Drain-completes-before-next-trigger argument: growth C -> 2C starts
+   with at most 7C/8 entries to migrate, and the next trigger cannot
+   fire before [length] reaches 7C/4 — at least 7C/8 further inserts,
+   each migrating up to [migration_entries] (>= 1) entries.  The
+   defensive [drain_old] in [begin_grow] covers adversarial
+   interleavings anyway (it is a no-op when the budget maths holds). *)
+
+type resize = Doubling | Incremental
+
+type 'a region = {
+  tags : Bytes.t;
+  hs : int array;
+  w0s : int array;
+  w1s : int array;
+  vals : 'a option array;
+  mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+}
 
 type 'a t = {
-  mutable tags : Bytes.t;
-  mutable hs : int array;
-  mutable w0s : int array;
-  mutable w1s : int array;
-  mutable vals : 'a option array;
-  mutable mask : int; (* capacity - 1; capacity is a power of two *)
-  mutable size : int;
+  mutable cur : 'a region;
+  mutable old : 'a region option;
+      (* the pre-growth region still draining, oldest entries first *)
+  mutable migrate_pos : int;
+      (* next old-region slot the drain will inspect (mod capacity) *)
+  mutable resizes : int;
+  resize : resize;
   hash : int -> int -> int;
 }
 
@@ -35,97 +76,157 @@ let default_hash = Flow_key.hash_words
 
 let min_capacity = 8
 
+(* Per-mutation drain budget: at most [migration_entries] entries are
+   moved and at most [migration_slot_budget] old-region slots are
+   inspected, so a mutation's resize tax is O(1) even when the old
+   region is sparse (long empty or dead runs cost slot visits, not
+   moves).  One entry per mutation would already finish the drain
+   before the next growth trigger (the old region holds L = 7C/8
+   entries at the trigger and at least L inserts arrive before the
+   doubled table refills to its own trigger), but the budget is set
+   higher on purpose: while the drain is in flight, every inserted
+   key also pays an absent-key probe through the frozen, 7/8-full old
+   region, so the tail is minimized by finishing the drain quickly —
+   a handful of dead-mark moves per mutation is cheap now that
+   migration does no backward shifting (E31). *)
+let migration_entries = 4
+let migration_slot_budget = 32
+
+(* Tag byte for a dead old-region slot: distinct from 0 (empty) and
+   from every live tag ([tag_of_hash] lands in 1..254).  Dead slots
+   keep their stored hash so probe distances still read correctly,
+   but can never match a lookup. *)
+let dead_tag = 255
+
 let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
 
-let create ?(hash = default_hash) ?(initial_capacity = min_capacity) () =
-  if initial_capacity < 0 then
-    invalid_arg "Flat_table.create: initial_capacity < 0";
-  let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+let make_region cap =
   { tags = Bytes.make cap '\000';
     hs = Array.make cap 0;
     w0s = Array.make cap 0;
     w1s = Array.make cap 0;
     vals = Array.make cap None;
     mask = cap - 1;
-    size = 0;
+    count = 0 }
+
+let create ?(hash = default_hash) ?(initial_capacity = min_capacity)
+    ?(resize = Incremental) () =
+  if initial_capacity < 0 then
+    invalid_arg "Flat_table.create: initial_capacity < 0";
+  let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+  { cur = make_region cap;
+    old = None;
+    migrate_pos = 0;
+    resizes = 0;
+    resize;
     hash }
 
-let length t = t.size
-let capacity t = t.mask + 1
+let length t =
+  t.cur.count + (match t.old with Some o -> o.count | None -> 0)
+
+let capacity t = t.cur.mask + 1
+let resize_policy t = t.resize
+let resizes t = t.resizes
+let pending_migration t = match t.old with Some o -> o.count | None -> 0
 
 let tag_of_hash h =
   let tag = (h lsr 16) land 0xFF in
-  if tag = 0 then 1 else tag
+  if tag = 0 || tag = dead_tag then 1 else tag
 
 (* Distance of the entry resident at [slot] from its home bucket. *)
-let distance t slot = (slot - (t.hs.(slot) land t.mask)) land t.mask
+let distance r slot = (slot - (r.hs.(slot) land r.mask)) land r.mask
 
 (* Probe loop shared by [find]/[find_opt]/[mem]: returns the slot
    holding the key, or -1.  A top-level [rec] with explicit arguments
    (not a closure, not [ref] cells) so the hit path allocates
-   nothing. *)
-let rec probe t tag w0 w1 slot dist =
-  let resident = Bytes.get_uint8 t.tags slot in
+   nothing.  A dead slot ([dead_tag], old region only) never matches
+   a lookup — [tag_of_hash] avoids 255 — but its retained hash keeps
+   the distance comparison meaningful: the old region's layout is
+   frozen when the drain starts, so every displacement relation that
+   held then still holds, dead or alive. *)
+let rec probe r tag w0 w1 slot dist =
+  let resident = Bytes.get_uint8 r.tags slot in
   if resident = 0 then -1
-  else if resident = tag && t.w0s.(slot) = w0 && t.w1s.(slot) = w1 then slot
-  else if distance t slot < dist then
+  else if resident = tag && r.w0s.(slot) = w0 && r.w1s.(slot) = w1 then slot
+  else if distance r slot < dist then
     (* Robin-Hood invariant: had the key been present, it would have
        displaced this closer-to-home resident. *)
     -1
-  else probe t tag w0 w1 ((slot + 1) land t.mask) (dist + 1)
+  else probe r tag w0 w1 ((slot + 1) land r.mask) (dist + 1)
 
-let find_slot t w0 w1 =
-  let h = t.hash w0 w1 in
-  probe t (tag_of_hash h) w0 w1 (h land t.mask) 0
+let region_slot r h tag w0 w1 = probe r tag w0 w1 (h land r.mask) 0
+
+let value_at r slot =
+  match r.vals.(slot) with
+  | Some v -> v
+  | None -> assert false (* occupied slots always carry a binding *)
 
 let find t ~w0 ~w1 =
-  let slot = find_slot t w0 w1 in
-  if slot < 0 then raise Not_found
+  let h = t.hash w0 w1 in
+  let tag = tag_of_hash h in
+  let slot = region_slot t.cur h tag w0 w1 in
+  if slot >= 0 then value_at t.cur slot
   else
-    match t.vals.(slot) with
-    | Some v -> v
-    | None -> assert false (* occupied slots always carry a binding *)
+    match t.old with
+    | None -> raise Not_found
+    | Some o ->
+      let slot = region_slot o h tag w0 w1 in
+      if slot >= 0 then value_at o slot else raise Not_found
 
 let find_opt t ~w0 ~w1 =
-  let slot = find_slot t w0 w1 in
-  if slot < 0 then None else t.vals.(slot)
+  let h = t.hash w0 w1 in
+  let tag = tag_of_hash h in
+  let slot = region_slot t.cur h tag w0 w1 in
+  if slot >= 0 then t.cur.vals.(slot)
+  else
+    match t.old with
+    | None -> None
+    | Some o ->
+      let slot = region_slot o h tag w0 w1 in
+      if slot >= 0 then o.vals.(slot) else None
 
-let mem t ~w0 ~w1 = find_slot t w0 w1 >= 0
+let mem t ~w0 ~w1 =
+  let h = t.hash w0 w1 in
+  let tag = tag_of_hash h in
+  region_slot t.cur h tag w0 w1 >= 0
+  || (match t.old with
+     | None -> false
+     | Some o -> region_slot o h tag w0 w1 >= 0)
 
-(* Robin-Hood insertion of a key known to be absent: walk from the
-   home slot, swapping the carried entry with any resident closer to
-   its own home, until an empty slot absorbs the carry. *)
-let insert_fresh t h w0 w1 v =
+(* Robin-Hood insertion of a key known to be absent from [r]: walk from
+   the home slot, swapping the carried entry with any resident closer
+   to its own home, until an empty slot absorbs the carry. *)
+let insert_fresh r h w0 w1 v =
   let tag = ref (tag_of_hash h) in
   let h = ref h and w0 = ref w0 and w1 = ref w1 and v = ref v in
-  let slot = ref (!h land t.mask) in
+  let slot = ref (!h land r.mask) in
   let dist = ref 0 in
   let continue = ref true in
   while !continue do
-    let resident = Bytes.get_uint8 t.tags !slot in
+    let resident = Bytes.get_uint8 r.tags !slot in
     if resident = 0 then begin
-      Bytes.set_uint8 t.tags !slot !tag;
-      t.hs.(!slot) <- !h;
-      t.w0s.(!slot) <- !w0;
-      t.w1s.(!slot) <- !w1;
-      t.vals.(!slot) <- Some !v;
+      Bytes.set_uint8 r.tags !slot !tag;
+      r.hs.(!slot) <- !h;
+      r.w0s.(!slot) <- !w0;
+      r.w1s.(!slot) <- !w1;
+      r.vals.(!slot) <- Some !v;
       continue := false
     end
     else begin
-      let resident_dist = distance t !slot in
+      let resident_dist = distance r !slot in
       if resident_dist < !dist then begin
         (* Swap: the resident is richer (closer to home); it yields
            the slot and we carry it onward. *)
-        let h' = t.hs.(!slot) and w0' = t.w0s.(!slot)
-        and w1' = t.w1s.(!slot) in
+        let h' = r.hs.(!slot) and w0' = r.w0s.(!slot)
+        and w1' = r.w1s.(!slot) in
         let v' =
-          match t.vals.(!slot) with Some v -> v | None -> assert false
+          match r.vals.(!slot) with Some v -> v | None -> assert false
         in
-        Bytes.set_uint8 t.tags !slot !tag;
-        t.hs.(!slot) <- !h;
-        t.w0s.(!slot) <- !w0;
-        t.w1s.(!slot) <- !w1;
-        t.vals.(!slot) <- Some !v;
+        Bytes.set_uint8 r.tags !slot !tag;
+        r.hs.(!slot) <- !h;
+        r.w0s.(!slot) <- !w0;
+        r.w1s.(!slot) <- !w1;
+        r.vals.(!slot) <- Some !v;
         tag := tag_of_hash h';
         h := h';
         w0 := w0';
@@ -133,73 +234,159 @@ let insert_fresh t h w0 w1 v =
         v := v';
         dist := resident_dist
       end;
-      slot := (!slot + 1) land t.mask;
+      slot := (!slot + 1) land r.mask;
       incr dist
     end
   done;
-  t.size <- t.size + 1
+  r.count <- r.count + 1
 
-let grow t =
-  let old_tags = t.tags and old_hs = t.hs and old_w0s = t.w0s
-  and old_w1s = t.w1s and old_vals = t.vals in
-  let old_cap = t.mask + 1 in
-  let cap = old_cap * 2 in
-  t.tags <- Bytes.make cap '\000';
-  t.hs <- Array.make cap 0;
-  t.w0s <- Array.make cap 0;
-  t.w1s <- Array.make cap 0;
-  t.vals <- Array.make cap None;
-  t.mask <- cap - 1;
-  t.size <- 0;
-  for slot = 0 to old_cap - 1 do
-    if Bytes.get_uint8 old_tags slot <> 0 then
-      let v = match old_vals.(slot) with Some v -> v | None -> assert false in
-      insert_fresh t old_hs.(slot) old_w0s.(slot) old_w1s.(slot) v
-  done
+(* Backward-shift deletion of the entry at [slot]: pull each displaced
+   successor one slot towards its home until a slot is empty or home
+   (distance 0), so no tombstone is left behind. *)
+let backshift_remove r slot =
+  let i = ref slot in
+  let continue = ref true in
+  while !continue do
+    let next = (!i + 1) land r.mask in
+    if Bytes.get_uint8 r.tags next = 0 || distance r next = 0 then begin
+      Bytes.set_uint8 r.tags !i 0;
+      r.vals.(!i) <- None;
+      continue := false
+    end
+    else begin
+      Bytes.set_uint8 r.tags !i (Bytes.get_uint8 r.tags next);
+      r.hs.(!i) <- r.hs.(next);
+      r.w0s.(!i) <- r.w0s.(next);
+      r.w1s.(!i) <- r.w1s.(next);
+      r.vals.(!i) <- r.vals.(next);
+      i := next
+    end
+  done;
+  r.count <- r.count - 1
+
+let finish_drain t =
+  t.old <- None;
+  t.migrate_pos <- 0
+
+(* Mark an old-region slot dead: O(1), no displacement run.  The
+   stored hash stays behind for probe-distance arithmetic; only the
+   binding is released. *)
+let kill_slot o slot =
+  Bytes.set_uint8 o.tags slot dead_tag;
+  o.vals.(slot) <- None;
+  o.count <- o.count - 1
+
+(* One bounded drain step.  The old region's layout is frozen —
+   migration marks slots dead instead of backshifting — so the cursor
+   sweeps each slot exactly once and never wraps: every live entry
+   sits where it sat when the drain began. *)
+let migrate t =
+  match t.old with
+  | None -> ()
+  | Some o ->
+    let moved = ref 0 and visited = ref 0 in
+    let finished = ref (o.count = 0) in
+    while
+      (not !finished)
+      && !moved < migration_entries
+      && !visited < migration_slot_budget
+    do
+      let p = t.migrate_pos land o.mask in
+      incr visited;
+      let tag = Bytes.get_uint8 o.tags p in
+      if tag = 0 || tag = dead_tag then t.migrate_pos <- t.migrate_pos + 1
+      else begin
+        let h = o.hs.(p) and w0 = o.w0s.(p) and w1 = o.w1s.(p) in
+        let v = value_at o p in
+        kill_slot o p;
+        t.migrate_pos <- t.migrate_pos + 1;
+        insert_fresh t.cur h w0 w1 v;
+        incr moved
+      end;
+      if o.count = 0 then finished := true
+    done;
+    if !finished then finish_drain t
+
+let rec drain_old t =
+  match t.old with
+  | None -> ()
+  | Some _ ->
+    migrate t;
+    drain_old t
+
+let begin_grow t =
+  t.resizes <- t.resizes + 1;
+  match t.resize with
+  | Doubling ->
+    let old = t.cur in
+    t.cur <- make_region ((old.mask + 1) * 2);
+    for slot = 0 to old.mask do
+      if Bytes.get_uint8 old.tags slot <> 0 then
+        insert_fresh t.cur old.hs.(slot) old.w0s.(slot) old.w1s.(slot)
+          (value_at old slot)
+    done
+  | Incremental ->
+    (* Unreachable in practice while the budget maths in the header
+       holds; kept so a future budget tweak degrades to a full drain
+       instead of stacking a third region. *)
+    drain_old t;
+    t.old <- Some t.cur;
+    t.migrate_pos <- 0;
+    t.cur <- make_region ((t.cur.mask + 1) * 2)
 
 let replace t ~w0 ~w1 v =
-  let slot = find_slot t w0 w1 in
-  if slot >= 0 then t.vals.(slot) <- Some v
+  if t.resize = Incremental then migrate t;
+  let h = t.hash w0 w1 in
+  let tag = tag_of_hash h in
+  let slot = region_slot t.cur h tag w0 w1 in
+  if slot >= 0 then t.cur.vals.(slot) <- Some v
   else begin
-    (* Double at 7/8 load. *)
-    if (t.size + 1) * 8 > (t.mask + 1) * 7 then grow t;
-    insert_fresh t (t.hash w0 w1) w0 w1 v
+    let old_slot =
+      match t.old with
+      | None -> -1
+      | Some o -> region_slot o h tag w0 w1
+    in
+    if old_slot >= 0 then
+      (match t.old with
+      | Some o -> o.vals.(old_slot) <- Some v
+      | None -> assert false)
+    else begin
+      (* Grow at 7/8 load of the live region. *)
+      if (length t + 1) * 8 > (t.cur.mask + 1) * 7 then begin_grow t;
+      insert_fresh t.cur h w0 w1 v
+    end
   end
 
 let remove t ~w0 ~w1 =
-  let slot = find_slot t w0 w1 in
-  if slot >= 0 then begin
-    (* Backward-shift deletion: pull each displaced successor one slot
-       towards its home until a slot is empty or home (distance 0), so
-       no tombstone is left behind. *)
-    let i = ref slot in
-    let continue = ref true in
-    while !continue do
-      let next = (!i + 1) land t.mask in
-      if Bytes.get_uint8 t.tags next = 0 || distance t next = 0 then begin
-        Bytes.set_uint8 t.tags !i 0;
-        t.vals.(!i) <- None;
-        continue := false
+  if t.resize = Incremental then migrate t;
+  let h = t.hash w0 w1 in
+  let tag = tag_of_hash h in
+  let slot = region_slot t.cur h tag w0 w1 in
+  if slot >= 0 then backshift_remove t.cur slot
+  else
+    match t.old with
+    | None -> ()
+    | Some o ->
+      let slot = region_slot o h tag w0 w1 in
+      if slot >= 0 then begin
+        (* Dead-mark, don't backshift: the frozen layout is what keeps
+           old-region probes and the drain cursor correct. *)
+        kill_slot o slot;
+        if o.count = 0 then finish_drain t
       end
-      else begin
-        Bytes.set_uint8 t.tags !i (Bytes.get_uint8 t.tags next);
-        t.hs.(!i) <- t.hs.(next);
-        t.w0s.(!i) <- t.w0s.(next);
-        t.w1s.(!i) <- t.w1s.(next);
-        t.vals.(!i) <- t.vals.(next);
-        i := next
-      end
-    done;
-    t.size <- t.size - 1
-  end
 
-let iter f t =
-  for slot = 0 to t.mask do
-    if Bytes.get_uint8 t.tags slot <> 0 then
-      match t.vals.(slot) with
-      | Some v -> f ~w0:t.w0s.(slot) ~w1:t.w1s.(slot) v
+let iter_region f r =
+  for slot = 0 to r.mask do
+    let tag = Bytes.get_uint8 r.tags slot in
+    if tag <> 0 && tag <> dead_tag then
+      match r.vals.(slot) with
+      | Some v -> f ~w0:r.w0s.(slot) ~w1:r.w1s.(slot) v
       | None -> assert false
   done
+
+let iter f t =
+  iter_region f t.cur;
+  match t.old with None -> () | Some o -> iter_region f o
 
 let fold f t init =
   let acc = ref init in
@@ -207,17 +394,25 @@ let fold f t init =
   !acc
 
 let clear t =
-  Bytes.fill t.tags 0 (Bytes.length t.tags) '\000';
-  Array.fill t.vals 0 (Array.length t.vals) None;
-  t.size <- 0
+  Bytes.fill t.cur.tags 0 (Bytes.length t.cur.tags) '\000';
+  Array.fill t.cur.vals 0 (Array.length t.cur.vals) None;
+  t.cur.count <- 0;
+  t.old <- None;
+  t.migrate_pos <- 0
 
 (* Longest probe sequence currently in the table — exposed for tests
    and diagnostics (Robin Hood keeps this small and low-variance). *)
 let max_probe_length t =
   let worst = ref 0 in
-  for slot = 0 to t.mask do
-    if Bytes.get_uint8 t.tags slot <> 0 then
-      let d = distance t slot in
-      if d > !worst then worst := d
-  done;
+  let scan r =
+    for slot = 0 to r.mask do
+      let tag = Bytes.get_uint8 r.tags slot in
+      if tag <> 0 && tag <> dead_tag then begin
+        let d = distance r slot in
+        if d > !worst then worst := d
+      end
+    done
+  in
+  scan t.cur;
+  (match t.old with None -> () | Some o -> scan o);
   !worst

@@ -8,7 +8,16 @@
     Robin-Hood displacement (bounded probe variance, early lookup
     termination); deletion is backward-shift, so the table is
     tombstone-free and probe lengths do not rot under churn.  Capacity
-    is a power of two and doubles at 7/8 load.
+    is a power of two and grows at 7/8 load.
+
+    Growth policy is selectable ({!resize}).  The default,
+    {!Incremental}, never rebuilds in one shot: at the trigger the full
+    arrays become a draining old region and a fresh double-size region
+    goes live, then every mutation migrates a bounded handful of
+    entries across, so the per-insert latency tail stays flat while a
+    resize is in flight (EXPERIMENTS.md E31, DESIGN.md section 12).
+    {!Doubling} is the original stop-the-world copy, kept for
+    differential testing.
 
     [find] on a present key performs zero minor-heap allocations —
     this is the index the demultiplexers' hot paths sit on
@@ -16,18 +25,38 @@
 
 type 'a t
 
-val create : ?hash:(int -> int -> int) -> ?initial_capacity:int -> unit -> 'a t
+type resize =
+  | Doubling      (** Stop-the-world rebuild at the growth trigger. *)
+  | Incremental   (** Bounded migration per mutation; no O(N) insert. *)
+
+val create :
+  ?hash:(int -> int -> int) -> ?initial_capacity:int -> ?resize:resize ->
+  unit -> 'a t
 (** [create ()] makes an empty table.  [hash] defaults to
     {!Flow_key.hash_words}; override only in tests (it must be fixed
     for the table's lifetime).  [initial_capacity] is rounded up to a
-    power of two, minimum 8.
+    power of two, minimum 8.  [resize] (default {!Incremental}) is the
+    growth policy, fixed for the table's lifetime.
     @raise Invalid_argument if [initial_capacity < 0]. *)
 
 val length : 'a t -> int
+(** Resident entries, counting both regions during a drain. *)
+
 val capacity : 'a t -> int
+(** Capacity of the live region (the one accepting inserts). *)
+
+val resize_policy : 'a t -> resize
+
+val resizes : 'a t -> int
+(** Growth triggers fired since creation (either policy). *)
+
+val pending_migration : 'a t -> int
+(** Entries still waiting in the draining old region; 0 when no
+    incremental resize is in flight (always 0 under {!Doubling}). *)
 
 val find : 'a t -> w0:int -> w1:int -> 'a
-(** Allocation-free lookup by packed key words.
+(** Allocation-free lookup by packed key words; probes the live region
+    first, then the draining region if a resize is in flight.
     @raise Not_found if the key is absent. *)
 
 val find_opt : 'a t -> w0:int -> w1:int -> 'a option
@@ -35,18 +64,24 @@ val find_opt : 'a t -> w0:int -> w1:int -> 'a option
 val mem : 'a t -> w0:int -> w1:int -> bool
 
 val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
-(** Insert, or overwrite the existing binding. *)
+(** Insert, or overwrite the existing binding.  Under {!Incremental},
+    also migrates up to a constant number of entries from the draining
+    region first. *)
 
 val remove : 'a t -> w0:int -> w1:int -> unit
-(** Remove the binding if present (backward-shift; no tombstones). *)
+(** Remove the binding if present (backward-shift; no tombstones).
+    Under {!Incremental}, also migrates up to a constant number of
+    entries from the draining region first. *)
 
 val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
+(** Visits both regions during a drain; order is unspecified. *)
 
 val fold : (w0:int -> w1:int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 
 val clear : 'a t -> unit
-(** Empty the table, keeping its current capacity. *)
+(** Empty the table, keeping the live region's current capacity and
+    abandoning any in-flight drain. *)
 
 val max_probe_length : 'a t -> int
-(** Longest probe distance of any resident entry — a diagnostic for
-    tests; Robin Hood keeps it small. *)
+(** Longest probe distance of any resident entry in either region — a
+    diagnostic for tests; Robin Hood keeps it small. *)

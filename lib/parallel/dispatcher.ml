@@ -5,6 +5,8 @@ type result = {
   found : int;
   batches : int;
   dropped_packets : int;
+  tier_dropped_packets : int;
+  rejected_packets : int;
   max_ring_depth : int;
   elapsed_seconds : float;
   packets_per_second : float;
@@ -41,7 +43,7 @@ let worker_loop ring lookup_batch =
 
 let run ?obs ?(tracer = Obs.Trace.disabled)
     ?(hasher = Hashing.Hashers.multiplicative) ?(ring_capacity = 64)
-    ?(drop_on_full = false) ~workers ~batch ~lookup_batch packets =
+    ?(drop_on_full = false) ?pressure ~workers ~batch ~lookup_batch packets =
   if workers <= 0 then invalid_arg "Dispatcher.run: workers <= 0";
   if batch <= 0 then invalid_arg "Dispatcher.run: batch <= 0";
   if ring_capacity <= 0 then invalid_arg "Dispatcher.run: ring_capacity <= 0";
@@ -68,6 +70,7 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
       obs
   in
   let dropped = ref 0 and batches = ref 0 and max_depth = ref 0 in
+  let tier_dropped = ref 0 and rejected = ref 0 in
   Option.iter
     (fun obs ->
       Obs.Registry.register_counter obs
@@ -91,35 +94,68 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
   let hash_buffers = Array.init workers (fun _ -> Array.make batch 0) in
   let fills = Array.make workers 0 in
   let started = Obs.Clock.now_ns () in
-  (* Ship worker [w]'s partial buffer as one immutable batch. *)
+  (* Ship worker [w]'s partial buffer as one immutable batch.  The
+     pressure tier gates the push: at [Reject] the batch is refused
+     before the ring is even tried; at [Drop_batches] a full ring drops
+     the batch instead of blocking (a tier-attributed drop, counted
+     separately from the explicit [drop_on_full] mode); below that the
+     original semantics apply. *)
   let flush w =
     let fill = fills.(w) in
     if fill > 0 then begin
       fills.(w) <- 0;
-      let batch_array =
-        if fill = batch then
-          (Array.copy buffers.(w), Array.copy hash_buffers.(w))
-        else (Array.sub buffers.(w) 0 fill, Array.sub hash_buffers.(w) 0 fill)
-      in
-      let ring = rings.(w) in
-      let depth = Ring.length ring in
-      if depth > !max_depth then max_depth := depth;
-      Option.iter (fun h -> Obs.Histogram.record h depth) depth_histogram;
-      if Ring.try_push ring batch_array then begin
-        incr batches;
-        Option.iter (fun h -> Obs.Histogram.record h fill) batch_histogram;
-        Obs.Trace.record tracer Obs.Trace.Batch fill w
-      end
-      else if drop_on_full then dropped := !dropped + fill
-      else begin
-        (* Backpressure: the worker is behind; wait for space. *)
-        while not (Ring.try_push ring batch_array) do
-          Domain.cpu_relax ()
-        done;
-        incr batches;
-        Option.iter (fun h -> Obs.Histogram.record h fill) batch_histogram;
-        Obs.Trace.record tracer Obs.Trace.Batch fill w
-      end
+      match pressure with
+      | Some p when Pressure.rejecting p ->
+        Pressure.note_rejected p ~packets:fill;
+        rejected := !rejected + fill;
+        (* Still sample the destination ring: the workers keep
+           draining while the producer sheds, and without a load
+           signal the controller would never observe the calm run it
+           needs to leave Reject. *)
+        let ring = rings.(w) in
+        Pressure.note_ring_depth p ~depth:(Ring.length ring)
+          ~capacity:(Ring.capacity ring)
+      | _ ->
+        let batch_array =
+          if fill = batch then
+            (Array.copy buffers.(w), Array.copy hash_buffers.(w))
+          else (Array.sub buffers.(w) 0 fill, Array.sub hash_buffers.(w) 0 fill)
+        in
+        let ring = rings.(w) in
+        let depth = Ring.length ring in
+        if depth > !max_depth then max_depth := depth;
+        Option.iter (fun h -> Obs.Histogram.record h depth) depth_histogram;
+        Option.iter
+          (fun p ->
+            Pressure.note_ring_depth p ~depth ~capacity:(Ring.capacity ring))
+          pressure;
+        let shipped fill w =
+          incr batches;
+          Option.iter (fun h -> Obs.Histogram.record h fill) batch_histogram;
+          Obs.Trace.record tracer Obs.Trace.Batch fill w
+        in
+        if Ring.try_push ring batch_array then shipped fill w
+        else begin
+          let tier_drop =
+            match pressure with
+            | Some p -> Pressure.drops_batches p
+            | None -> false
+          in
+          if tier_drop then begin
+            (match pressure with
+            | Some p -> Pressure.note_dropped_batch p ~packets:fill
+            | None -> ());
+            tier_dropped := !tier_dropped + fill
+          end
+          else if drop_on_full then dropped := !dropped + fill
+          else begin
+            (* Backpressure: the worker is behind; wait for space. *)
+            while not (Ring.try_push ring batch_array) do
+              Domain.cpu_relax ()
+            done;
+            shipped fill w
+          end
+        end
     end
   in
   (* RSS: shard every packet by flow hash, so one connection's packets
@@ -148,17 +184,25 @@ let run ?obs ?(tracer = Obs.Trace.disabled)
   let delivered = Array.fold_left (fun a (p, _) -> a + p) 0 counts in
   let found = Array.fold_left (fun a (_, f) -> a + f) 0 counts in
   { workers; batch; packets = total; found; batches = !batches;
-    dropped_packets = !dropped; max_ring_depth = !max_depth;
+    dropped_packets = !dropped; tier_dropped_packets = !tier_dropped;
+    rejected_packets = !rejected; max_ring_depth = !max_depth;
     elapsed_seconds = elapsed;
     packets_per_second =
       (if elapsed > 0.0 then float_of_int delivered /. elapsed else 0.0);
     per_worker_packets = Array.map fst counts }
 
+let lost_packets r =
+  r.dropped_packets + r.tier_dropped_packets + r.rejected_packets
+
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%d workers x batch %d: %d packets (%d found, %d dropped) in %.3f s \
      = %.0f pkts/s@,%d batches, max ring depth %d, per-worker %s@]"
-    r.workers r.batch r.packets r.found r.dropped_packets r.elapsed_seconds
+    r.workers r.batch r.packets r.found (lost_packets r) r.elapsed_seconds
     r.packets_per_second r.batches r.max_ring_depth
     (String.concat ","
-       (Array.to_list (Array.map string_of_int r.per_worker_packets)))
+       (Array.to_list (Array.map string_of_int r.per_worker_packets)));
+  if r.tier_dropped_packets > 0 || r.rejected_packets > 0 then
+    Format.fprintf ppf
+      "@,pressure: %d dropped at drop-batches, %d refused at reject"
+      r.tier_dropped_packets r.rejected_packets

@@ -17,7 +17,11 @@
     The rings are bounded, so a slow worker surfaces as backpressure:
     by default the dispatcher spins until space frees (lossless); with
     [drop_on_full] it sheds the batch and counts the packets dropped,
-    the way a NIC rx queue overflows. *)
+    the way a NIC rx queue overflows.  With a {!Pressure} controller
+    attached, degradation is tiered instead of binary: ring occupancy
+    feeds the controller, and at [Drop_batches] or worse a full ring
+    sheds the batch (attributed to the tier), while at [Reject] batches
+    are refused before the ring is tried at all. *)
 
 type result = {
   workers : int;
@@ -26,15 +30,23 @@ type result = {
   found : int;                (** Lookups that found their PCB. *)
   batches : int;              (** Batches actually pushed. *)
   dropped_packets : int;      (** Shed on full rings ([drop_on_full]). *)
+  tier_dropped_packets : int; (** Shed on full rings at [Drop_batches]. *)
+  rejected_packets : int;     (** Refused outright at [Reject]. *)
   max_ring_depth : int;       (** Deepest ring occupancy observed. *)
   elapsed_seconds : float;    (** Monotonic, dispatch start to last join. *)
   packets_per_second : float;
   per_worker_packets : int array;  (** Delivered per shard — shows hash balance. *)
 }
 
+val lost_packets : result -> int
+(** [dropped_packets + tier_dropped_packets + rejected_packets]: every
+    offered packet is either delivered to a worker or counted here —
+    the conservation law the chaos harness audits. *)
+
 val run :
   ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t ->
   ?hasher:Hashing.Hashers.t -> ?ring_capacity:int -> ?drop_on_full:bool ->
+  ?pressure:Pressure.t ->
   workers:int -> batch:int ->
   lookup_batch:(Packet.Flow.t array -> hashes:int array -> int) ->
   Packet.Flow.t array -> result
@@ -60,6 +72,12 @@ val run :
     [pipeline.ring_depth_max] gauge.  With [?tracer], records one
     [Batch] event per push ([a] = size, [b] = worker shard); the
     tracer is touched only by the dispatching domain.
+
+    With [?pressure], every push samples ring occupancy into the
+    controller ({!Pressure.note_ring_depth}) and the current tier
+    gates shipping as described above; tier-attributed losses are
+    counted both in the controller and in [tier_dropped_packets] /
+    [rejected_packets].
 
     @raise Invalid_argument if [workers], [batch] or [ring_capacity]
     is non-positive, or [packets] is empty. *)

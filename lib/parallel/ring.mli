@@ -39,6 +39,30 @@ val is_empty : 'a t -> bool
 
 val close : 'a t -> unit
 (** Producer signals end-of-stream.  Elements already queued remain
-    poppable; further pushes raise. *)
+    poppable; further pushes raise [Invalid_argument].  Idempotent.
+
+    {b Close semantics.}  [close] is part of the producer's program
+    order: every element pushed before the call is published (the
+    producer's [Atomic] write of the tail index happens before the
+    closed flag is set), so a consumer that {e observes}
+    [is_closed t = true] is guaranteed that one final drain —
+    popping until {!try_pop} returns [None] — delivers every element
+    that was ever pushed, exactly once and in push order.  The full
+    consumer protocol is therefore:
+
+    {v
+      pop until None;
+      if is_closed then pop until None  (* authoritative: done *)
+      else retry / back off             (* None just meant empty *)
+    v}
+
+    The second drain is not optional: a push can land between a
+    failed pop and the close check, and [None] from {!try_pop} means
+    "empty right now", never "finished", until closed has been
+    observed.  Nothing is lost and nothing is duplicated when pushes
+    race [close] from the producer's own domain — the race that
+    matters is only ever producer-vs-consumer, which the SPSC
+    index discipline already orders.  See the produce-vs-close
+    property test in [test_parallel.ml]. *)
 
 val is_closed : 'a t -> bool

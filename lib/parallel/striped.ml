@@ -11,10 +11,11 @@ type 'a t = {
   hasher : Hashing.Hashers.t;
   next_id : int Atomic.t;
   population : int Atomic.t;
+  mutable pressure : Pressure.t option;
 }
 
 let create ?(chains = Demux.Sequent.default_chains)
-    ?(hasher = Hashing.Hashers.multiplicative) () =
+    ?(hasher = Hashing.Hashers.multiplicative) ?pressure () =
   if chains <= 0 then invalid_arg "Striped.create: chains <= 0";
   { stripes =
       Array.init chains (fun _ ->
@@ -22,7 +23,10 @@ let create ?(chains = Demux.Sequent.default_chains)
             index = Demux.Flat_table.create ~initial_capacity:16 ();
             cache = None;
             stats = Demux.Lookup_stats.create () });
-    hasher; next_id = Atomic.make 0; population = Atomic.make 0 }
+    hasher; next_id = Atomic.make 0; population = Atomic.make 0; pressure }
+
+let set_pressure t p = t.pressure <- Some p
+let pressure t = t.pressure
 
 let chains t = Array.length t.stripes
 
@@ -49,8 +53,17 @@ let insert_locked t stripe flow data =
     invalid_arg "Striped.insert: duplicate flow";
   let id = Atomic.fetch_and_add t.next_id 1 in
   let pcb = Demux.Pcb.make ~id ~flow data in
+  (* With a pressure controller attached, the index mutation is timed:
+     its latency (which carries the incremental-resize tax, if any) is
+     one of the controller's two load signals. *)
+  let started =
+    match t.pressure with Some _ -> Obs.Clock.now_ns () | None -> 0
+  in
   let node = Demux.Chain.push_front stripe.chain pcb in
   Demux.Flat_table.replace stripe.index ~w0 ~w1 node;
+  (match t.pressure with
+  | Some p -> Pressure.note_insert_ns p (Obs.Clock.now_ns () - started)
+  | None -> ());
   Demux.Lookup_stats.note_insert stripe.stats;
   Atomic.incr t.population;
   pcb
@@ -58,6 +71,25 @@ let insert_locked t stripe flow data =
 let insert t flow data =
   let stripe = stripe_of_flow t flow in
   with_stripe stripe (fun () -> insert_locked t stripe flow data)
+
+(* Pressure-aware insert: at [Shed_new_flows] or worse, a flow not
+   already resident is refused instead of admitted.  The shed is
+   charged as a rejection on the stripe's stats — the same counter
+   [Demux.Guarded] uses for admission refusals — and on the
+   controller, so both ledgers agree packet-for-packet. *)
+let try_insert t flow data =
+  let stripe = stripe_of_flow t flow in
+  with_stripe stripe (fun () ->
+      let w0 = Demux.Flow_key.w0_of_flow flow
+      and w1 = Demux.Flow_key.w1_of_flow flow in
+      if Demux.Flat_table.mem stripe.index ~w0 ~w1 then `Duplicate
+      else
+        match t.pressure with
+        | Some p when not (Pressure.admits_new_flows p) ->
+          Pressure.note_shed_flow p;
+          Demux.Lookup_stats.note_rejection stripe.stats;
+          `Shed
+        | _ -> `Inserted (insert_locked t stripe flow data))
 
 let remove t flow =
   let stripe = stripe_of_flow t flow in

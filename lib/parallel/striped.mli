@@ -16,15 +16,37 @@
 
 type 'a t
 
-val create : ?chains:int -> ?hasher:Hashing.Hashers.t -> unit -> 'a t
+val create :
+  ?chains:int -> ?hasher:Hashing.Hashers.t -> ?pressure:Pressure.t ->
+  unit -> 'a t
 (** Defaults: 19 chains, multiplicative hashing (matching
-    {!Demux.Sequent.create}).
+    {!Demux.Sequent.create}), no overload controller.
     @raise Invalid_argument if [chains <= 0]. *)
 
 val chains : 'a t -> int
 
+val set_pressure : 'a t -> Pressure.t -> unit
+(** Attach (or replace) the overload controller after creation.  With
+    one attached, every insert's index-mutation latency feeds
+    {!Pressure.note_insert_ns}, and {!try_insert} sheds new flows at
+    {!Pressure.Shed_new_flows} or worse. *)
+
+val pressure : 'a t -> Pressure.t option
+
 val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Demux.Pcb.t
-(** @raise Invalid_argument if the flow is already present. *)
+(** @raise Invalid_argument if the flow is already present.  Never
+    sheds — management-plane entry points that must not fail under
+    load use this; the packet-driven path uses {!try_insert}. *)
+
+val try_insert :
+  'a t -> Packet.Flow.t -> 'a ->
+  [ `Inserted of 'a Demux.Pcb.t | `Duplicate | `Shed ]
+(** Pressure-aware insert for the packet path.  [`Duplicate] if the
+    flow is already resident (nothing changes — unlike {!insert} it
+    does not raise); [`Shed] if the attached controller is at
+    {!Pressure.Shed_new_flows} or worse (counted as a rejection in the
+    stripe's {!Demux.Lookup_stats} and as {!Pressure.note_shed_flow});
+    [`Inserted pcb] otherwise. *)
 
 val remove : 'a t -> Packet.Flow.t -> 'a Demux.Pcb.t option
 

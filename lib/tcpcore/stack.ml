@@ -18,6 +18,13 @@ type connection = {
   mutable ack_pending : bool;
 }
 
+(* The stack-side view of pipeline overload.  Mirrors the tiers of the
+   parallel pipeline's pressure controller without depending on it: the
+   integration layer bridges the two with a closure
+   ([set_overload_probe]), keeping tcpcore free of any domain/threading
+   dependency. *)
+type overload_tier = Normal | Shed_new_flows | Drop_batches | Reject
+
 type listener = { on_data : t -> connection -> string -> unit }
 
 and timer_event =
@@ -29,6 +36,9 @@ and drop_counters = {
   mutable parse_error : int;    (* malformed or checksum-failing bytes *)
   mutable wrong_destination : int;  (* well-formed but not addressed to us *)
   mutable handler_error : int;  (* segment processing raised; datagram shed *)
+  mutable overload_shed_new_flow : int;  (* SYNs refused at Shed_new_flows *)
+  mutable overload_drop_batch : int;  (* non-established shed at Drop_batches *)
+  mutable overload_reject : int;  (* datagrams refused outright at Reject *)
 }
 
 and t = {
@@ -44,8 +54,11 @@ and t = {
   time_wait_timeout : float;
   retransmit_timeout : float;
   max_retransmits : int;
+  rto_jitter : bool;
+  rto_rng : Numerics.Rng.t;
   delayed_acks : bool;
   delayed_ack_timeout : float;
+  mutable overload_probe : unit -> overload_tier;
   wheel : timer_event Timer_wheel.t;
   time_wait_timers : Timer_wheel.timer Demux.Flow_table.t;
 }
@@ -60,8 +73,8 @@ let create ?(demux =
                { chains = Demux.Sequent.default_chains;
                  hasher = Hashing.Hashers.multiplicative })
     ?(time_wait_timeout = 60.0) ?(retransmit_timeout = 1.0)
-    ?(max_retransmits = 12) ?(delayed_acks = false)
-    ?(delayed_ack_timeout = 0.2) ~local_addr () =
+    ?(max_retransmits = 12) ?(rto_jitter = true) ?(rto_seed = 0x52544f)
+    ?(delayed_acks = false) ?(delayed_ack_timeout = 0.2) ~local_addr () =
   if time_wait_timeout <= 0.0 then
     invalid_arg "Stack.create: time_wait_timeout <= 0";
   if retransmit_timeout <= 0.0 then
@@ -71,11 +84,18 @@ let create ?(demux =
   { local_addr; tracer = Obs.Trace.disabled;
     table = Conn_table.create demux; outbox = [];
     next_iss = 1000l; segments_sent = 0; rsts_sent = 0; retransmissions = 0;
-    drops = { parse_error = 0; wrong_destination = 0; handler_error = 0 };
-    time_wait_timeout; retransmit_timeout; max_retransmits; delayed_acks;
-    delayed_ack_timeout;
+    drops =
+      { parse_error = 0; wrong_destination = 0; handler_error = 0;
+        overload_shed_new_flow = 0; overload_drop_batch = 0;
+        overload_reject = 0 };
+    time_wait_timeout; retransmit_timeout; max_retransmits;
+    rto_jitter; rto_rng = Numerics.Rng.create ~seed:rto_seed;
+    delayed_acks; delayed_ack_timeout;
+    overload_probe = (fun () -> Normal);
     wheel = Timer_wheel.create ~tick:0.25 ();
     time_wait_timers = Demux.Flow_table.create 16 }
+
+let set_overload_probe t probe = t.overload_probe <- probe
 
 let local_addr t = t.local_addr
 
@@ -101,9 +121,22 @@ let emit t ?(payload = "") ~flow ~flags ~seq ~ack_number () =
 (* Exponential RTO backoff: attempt [n] waits [2^(n-1)] base timeouts,
    capped at 64x (RFC 6298's doubling with BSD's traditional cap), so
    a peer that never acknowledges — or an induced-loss fault plan —
-   cannot make the stack hammer the network at a constant rate. *)
+   cannot make the stack hammer the network at a constant rate.
+
+   With [rto_jitter] (the default), the capped delay is full-jittered:
+   attempt [n] waits [base + u * (capped - base)] for a fresh uniform
+   [u], i.e. anywhere in [[base, capped]].  Without jitter, every host
+   that lost the same burst retransmits on the same schedule, and the
+   synchronized retry wave re-creates the overload that caused the
+   loss; jittered, the wave decorrelates while the mean backoff still
+   grows exponentially.  Draws come from the stack's own seeded
+   generator, so a given stack's delay sequence is reproducible. *)
 let rto_for_attempt t attempt =
-  t.retransmit_timeout *. Float.of_int (1 lsl min 6 (attempt - 1))
+  let capped = t.retransmit_timeout *. Float.of_int (1 lsl min 6 (attempt - 1)) in
+  if (not t.rto_jitter) || attempt <= 1 then capped
+  else
+    t.retransmit_timeout
+    +. (Numerics.Rng.float t.rto_rng *. (capped -. t.retransmit_timeout))
 
 (* Queue a sequence-space-consuming segment (SYN, FIN or data) for
    retransmission and arm its RTO timer. *)
@@ -443,31 +476,69 @@ let accept t flow (tcp : Packet.Tcp_header.t) =
   emit_reliable t conn ~flags:Packet.Tcp_header.flag_syn_ack ~seq:iss
     ~ack_number:conn.rcv_nxt ()
 
+(* Overload sheds at segment granularity, attributed to the tier that
+   caused them.  Tiers degrade from the edge inward: [Shed_new_flows]
+   refuses only listener SYNs (silently — the peer's own RTO retries
+   the open once pressure clears; an RST would hard-refuse it);
+   [Drop_batches] additionally sheds everything that is not an
+   established connection's traffic, including the RST courtesy for
+   strays; [Reject] sheds the datagram before any demux work
+   ([handle_bytes] short-circuits, and direct [handle_segment] callers
+   are shed here). *)
+let note_overload_drop t tier len =
+  let code =
+    match tier with
+    | Shed_new_flows ->
+      t.drops.overload_shed_new_flow <- t.drops.overload_shed_new_flow + 1;
+      3
+    | Drop_batches ->
+      t.drops.overload_drop_batch <- t.drops.overload_drop_batch + 1;
+      4
+    | Normal | Reject ->
+      t.drops.overload_reject <- t.drops.overload_reject + 1;
+      5
+  in
+  Obs.Trace.record t.tracer Obs.Trace.Drop code len
+
 let handle_segment t (segment : Packet.Segment.t) =
-  let tcp = segment.Packet.Segment.tcp in
-  let flags = tcp.Packet.Tcp_header.flags in
-  let flow = Packet.Segment.flow segment in
-  let kind = classify_kind tcp segment.Packet.Segment.payload in
-  match Conn_table.lookup t.table ~kind flow with
-  | Conn_table.Connection pcb ->
-    let conn = pcb.Demux.Pcb.data in
-    handle_connection t conn segment;
-    maybe_arm_time_wait t conn
-  | Conn_table.Listener _ when flags.Packet.Tcp_header.syn
-                               && not flags.Packet.Tcp_header.ack ->
-    accept t flow tcp
-  | Conn_table.Listener _ ->
-    if not flags.Packet.Tcp_header.rst then
-      emit_rst t ~flow ~seq:0l
-        ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l)
-  | Conn_table.No_match ->
-    if not flags.Packet.Tcp_header.rst then
-      emit_rst t ~flow ~seq:0l
-        ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l)
+  match t.overload_probe () with
+  | Reject ->
+    note_overload_drop t Reject
+      (String.length segment.Packet.Segment.payload)
+  | tier -> (
+    let tcp = segment.Packet.Segment.tcp in
+    let flags = tcp.Packet.Tcp_header.flags in
+    let flow = Packet.Segment.flow segment in
+    let kind = classify_kind tcp segment.Packet.Segment.payload in
+    let payload_len = String.length segment.Packet.Segment.payload in
+    match Conn_table.lookup t.table ~kind flow with
+    | Conn_table.Connection pcb ->
+      let conn = pcb.Demux.Pcb.data in
+      handle_connection t conn segment;
+      maybe_arm_time_wait t conn
+    | Conn_table.Listener _ when flags.Packet.Tcp_header.syn
+                                 && not flags.Packet.Tcp_header.ack -> (
+      match tier with
+      | Normal -> accept t flow tcp
+      | Shed_new_flows -> note_overload_drop t Shed_new_flows payload_len
+      | Drop_batches -> note_overload_drop t Drop_batches payload_len
+      | Reject -> assert false (* handled above *))
+    | Conn_table.Listener _ | Conn_table.No_match ->
+      if tier = Drop_batches then note_overload_drop t Drop_batches payload_len
+      else if not flags.Packet.Tcp_header.rst then
+        emit_rst t ~flow ~seq:0l
+          ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l))
 
 (* Attacker-controlled bytes: never raise.  Anything that cannot be
    processed is shed and attributed to a named counter. *)
 let handle_bytes t buf =
+  match t.overload_probe () with
+  | Reject ->
+    (* The point of the top tier is to spend nothing per datagram:
+       shed before even parsing. *)
+    note_overload_drop t Reject (Bytes.length buf);
+    Error "stack: overloaded; datagram rejected"
+  | Normal | Shed_new_flows | Drop_batches -> (
   match Packet.Segment.parse buf ~off:0 with
   | Error reason ->
     t.drops.parse_error <- t.drops.parse_error + 1;
@@ -489,19 +560,26 @@ let handle_bytes t buf =
       t.drops.wrong_destination <- t.drops.wrong_destination + 1;
       Obs.Trace.record t.tracer Obs.Trace.Drop 1 (Bytes.length buf);
       Error "stack: datagram not addressed to this host"
-    end
+    end)
 
-let drop_reasons = [ "parse-error"; "wrong-destination"; "handler-error" ]
+let drop_reasons =
+  [ "parse-error"; "wrong-destination"; "handler-error";
+    "overload-shed-new-flow"; "overload-drop-batch"; "overload-reject" ]
 
 let drop_reason_of_code code = List.nth_opt drop_reasons code
 
 let drop_counts t =
   [ ("parse-error", t.drops.parse_error);
     ("wrong-destination", t.drops.wrong_destination);
-    ("handler-error", t.drops.handler_error) ]
+    ("handler-error", t.drops.handler_error);
+    ("overload-shed-new-flow", t.drops.overload_shed_new_flow);
+    ("overload-drop-batch", t.drops.overload_drop_batch);
+    ("overload-reject", t.drops.overload_reject) ]
 
 let drops_total t =
   t.drops.parse_error + t.drops.wrong_destination + t.drops.handler_error
+  + t.drops.overload_shed_new_flow + t.drops.overload_drop_batch
+  + t.drops.overload_reject
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)

@@ -37,6 +37,7 @@ type connection = {
 val create :
   ?demux:Demux.Registry.spec -> ?time_wait_timeout:float ->
   ?retransmit_timeout:float -> ?max_retransmits:int ->
+  ?rto_jitter:bool -> ?rto_seed:int ->
   ?delayed_acks:bool -> ?delayed_ack_timeout:float ->
   local_addr:Packet.Ipv4.addr -> unit -> t
 (** A host at [local_addr].  Default demultiplexer: the Sequent
@@ -44,14 +45,29 @@ val create :
     delay used by {!advance_clock} (default 60 s);
     [retransmit_timeout] is the base RTO for SYN/FIN/data segments
     (default 1 s; no adaptive estimation — out of scope per DESIGN.md
-    — but each unanswered retransmission doubles the wait, capped at
-    64x, and a segment is abandoned after [max_retransmits]
-    attempts).  With [delayed_acks] (default false) data is
+    — but each unanswered retransmission backs off exponentially,
+    capped at 64x, and a segment is abandoned after [max_retransmits]
+    attempts).  With [rto_jitter] (default [true]) each backoff delay
+    is {e full-jittered}: attempt [n] waits a uniform draw from
+    [[base, min(base * 2^(n-1), base * 64)]], so hosts that lost the
+    same burst do not retransmit in a synchronized wave that re-creates
+    the overload; draws come from a generator seeded with [rto_seed]
+    (fixed default), so a stack's delay sequence is deterministic.
+    Pass [~rto_jitter:false] for the exact classic doubling schedule.
+    With [delayed_acks] (default false) data is
     acknowledged RFC 1122-style: every second segment, after
     [delayed_ack_timeout] (default 200 ms, fired by
     {!advance_clock}), or piggybacked on outbound data — the
     mechanism the paper's footnote 2 appeals to.
     @raise Invalid_argument on non-positive timeouts. *)
+
+val rto_for_attempt : t -> int -> float
+(** The delay armed before retransmission attempt [n >= 1] (attempt 1
+    is the initial send's timer).  Without jitter this is the pure
+    capped exponential; with jitter it consumes one draw from the
+    stack's generator per call, exactly as the retransmission path
+    does — exposed so tests can audit the bounds and determinism of
+    the schedule. *)
 
 val local_addr : t -> Packet.Ipv4.addr
 
@@ -86,8 +102,13 @@ val handle_bytes : t -> bytes -> (unit, string) result
     a named counter ({!drop_counts}), and reported as [Error]. *)
 
 val drop_counts : t -> (string * int) list
-(** Datagrams shed by {!handle_bytes} since creation, by reason:
-    ["parse-error"], ["wrong-destination"], ["handler-error"]. *)
+(** Segments and datagrams shed since creation, by reason:
+    ["parse-error"], ["wrong-destination"] and ["handler-error"] from
+    {!handle_bytes}'s input validation, plus the overload tiers'
+    named reasons — ["overload-shed-new-flow"] (listener SYNs refused
+    at {!Shed_new_flows}), ["overload-drop-batch"] (non-established
+    traffic shed at {!Drop_batches}) and ["overload-reject"]
+    (datagrams refused outright at {!Reject}). *)
 
 val drops_total : t -> int
 (** Sum of {!drop_counts}. *)
@@ -95,6 +116,26 @@ val drops_total : t -> int
 val drop_reasons : string list
 (** The {!drop_counts} keys, in drop-code order: code [i] in a traced
     [Drop] event names reason [List.nth drop_reasons i]. *)
+
+(** {1 Overload degradation}
+
+    The parallel pipeline's pressure controller
+    ({!Parallel.Pressure}) lives above this library; the stack sees
+    its tier through a closure, keeping tcpcore dependency-free.  Each
+    tier maps onto a named drop reason (see {!drop_counts}). *)
+
+type overload_tier = Normal | Shed_new_flows | Drop_batches | Reject
+(** Mirror of [Parallel.Pressure.tier], in severity order. *)
+
+val set_overload_probe : t -> (unit -> overload_tier) -> unit
+(** Install the tier source consulted on every inbound datagram and
+    segment (default: always {!Normal}).  At {!Shed_new_flows},
+    listener SYNs are shed silently (the peer's RTO retries the open;
+    no RST).  At {!Drop_batches}, everything except established
+    connections' traffic is shed, including the RST courtesy for
+    strays.  At {!Reject}, {!handle_bytes} sheds before parsing and
+    {!handle_segment} before demultiplexing.  Every shed is counted
+    under its tier's reason and traced as a [Drop] event. *)
 
 val drop_reason_of_code : int -> string option
 (** Decode a traced [Drop] event's payload [a] back to its reason. *)

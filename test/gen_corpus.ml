@@ -58,6 +58,43 @@ let guarded_eviction () =
        @ List.map (op Check.Op.Insert) first_ten
        @ lookups))
 
+(* Churn across the flat table's incremental-resize boundaries.  From
+   the 8-slot minimum the 7/8 trigger fires as the population reaches
+   8, 15 and 29; this program crosses all three with removes, misses
+   and re-inserts landing while the old region is still draining.  In
+   particular each boundary is followed immediately by a remove of a
+   flow that is still resident in the old region and (for two of
+   them) a re-insert of the same flow — the exact sequence that would
+   resurrect a stale binding if a drained or removed old-region slot
+   could ever match a later probe. *)
+let churn_resize () =
+  let flow i = Sim.Topology.flow_of_client i in
+  let insert i = op Check.Op.Insert (flow i) in
+  let lookup i = op Check.Op.Lookup (flow i) in
+  let remove i = op Check.Op.Remove (flow i) in
+  let range a b f = List.init (b - a + 1) (fun k -> f (a + k)) in
+  let ops =
+    (* population 0 -> 7, then the 8th insert fires trigger #1 *)
+    range 0 6 insert
+    @ [ lookup 3; insert 7;
+        (* old region (capacity 8) still draining: *)
+        remove 0; lookup 0; insert 0; lookup 0;
+        lookup 5 ]
+    (* population 8 -> 14, the 15th fires trigger #2 *)
+    @ range 8 13 insert
+    @ [ insert 14;
+        (* old region (capacity 16) still draining: *)
+        remove 2; remove 9; lookup 2; lookup 9; insert 2; lookup 2 ]
+    (* population 14 -> 28, the 29th fires trigger #3 *)
+    @ range 15 28 insert
+    @ [ lookup 20; insert 29;
+        (* old region (capacity 32) still draining: *)
+        remove 17; lookup 17; remove 4; insert 17; lookup 17 ]
+    (* sweep every flow: hits, and misses for 4 and 9 *)
+    @ range 0 29 lookup
+  in
+  Check.Op.v ~label:"churn-resize" ~seed:6 (Array.of_list ops)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
   let save name program =
@@ -67,6 +104,7 @@ let () =
   in
   save "robin-hood-backward-shift" (robin_hood ());
   save "guarded-eviction" (guarded_eviction ());
+  save "churn_resize" (churn_resize ());
   save "boundary-tuples"
     (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
        ~pool:48 ~ops:300);

@@ -31,7 +31,9 @@ let registry_specs =
 let all_subjects () =
   List.map (fun spec () -> Check.Subject.of_spec spec) registry_specs
   @ [ (fun () -> Check.Subject.striped ());
-      (fun () -> Check.Subject.flat_table ()) ]
+      (fun () -> Check.Subject.flat_table ());
+      (fun () -> Check.Subject.flat_table_doubling ());
+      (fun () -> Check.Subject.guarded_flat_table ()) ]
 
 let buggy_subject () =
   Check.Subject.of_flat ~name:"buggy-flat" (module Check.Buggy_table)
@@ -108,13 +110,13 @@ let qcheck_op_round_trip =
 
 let test_diff_all_algorithms_clean () =
   (* Every profile, every subject, one program each: zero mismatches.
-     This is the tentpole invariant — all fourteen implementations
+     This is the tentpole invariant — all sixteen implementations
      agree with the reference model op for op. *)
   let summary, failures =
     Check.Fuzz.campaign ~programs_per_profile:1 ~ops:768 ~pool:48
       ~subjects:(all_subjects ()) ~seed:42 ()
   in
-  Alcotest.(check int) "subjects" 14 (List.length summary.Check.Diff.subjects);
+  Alcotest.(check int) "subjects" 16 (List.length summary.Check.Diff.subjects);
   Alcotest.(check int) "programs" 5 summary.Check.Diff.programs;
   Alcotest.(check bool) "ops executed" true (summary.Check.Diff.ops > 10_000);
   (match summary.Check.Diff.mismatches with
@@ -356,6 +358,74 @@ let test_guarded_eviction_sets_match () =
      + stats.Demux.Lookup_stats.rejections
     > 20)
 
+let test_guarded_eviction_during_resize () =
+  (* Eviction accounting while an incremental migration is in flight.
+     [max_total = 30] sits just past the flat table's third resize
+     boundary (the insert reaching population 29 triggers the 32->64
+     grow), so on a plain ramp the guard starts shedding while the
+     capacity-32 old region is still draining — evicted victims can be
+     old-region residents, exercising the dead-marking remove path.
+     Half one drives the guard + table directly (the exact
+     [Subject.guarded_flat_table] wiring) and asserts the overlap
+     really happens; half two replays equivalent churn through the
+     oracle's shadow guard, which must predict the exact eviction
+     set mid-migration. *)
+  let config = Demux.Guarded.config ~max_chain:30 ~max_total:30 ~chains:4 () in
+  let guard = Demux.Guarded.create config in
+  let table : int Demux.Flat_table.t = Demux.Flat_table.create () in
+  let words f =
+    (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+  in
+  let evictions = ref 0 and overlapped = ref 0 in
+  for i = 0 to 44 do
+    let f = flow i in
+    match Demux.Guarded.admit guard f with
+    | `Reject -> Alcotest.fail "guard rejected below max_chain"
+    | `Admit victims ->
+      List.iter
+        (fun victim ->
+          let w0, w1 = words victim in
+          Alcotest.(check bool) "victim resident" true
+            (Demux.Flat_table.mem table ~w0 ~w1);
+          Demux.Flat_table.remove table ~w0 ~w1;
+          Demux.Guarded.note_removed guard victim;
+          incr evictions;
+          if Demux.Flat_table.pending_migration table > 0 then
+            incr overlapped)
+        victims;
+      let w0, w1 = words f in
+      Demux.Flat_table.replace table ~w0 ~w1 i;
+      Demux.Guarded.note_inserted guard f
+  done;
+  Alcotest.(check int) "population pinned at max_total" 30
+    (Demux.Flat_table.length table);
+  Alcotest.(check int) "one victim per over-limit insert" 15 !evictions;
+  Alcotest.(check bool) "crossed several resize boundaries" true
+    (Demux.Flat_table.resizes table >= 3);
+  Alcotest.(check bool) "evictions landed mid-migration" true
+    (!overlapped >= 1);
+  (* Shadow-guard half: the oracle must predict the same eviction
+     sets while the subject's migrations are in flight.  Ramp past
+     the boundary, then churn removes/re-inserts across it. *)
+  let ops =
+    Array.of_list
+      (List.init 45 (fun i -> op Check.Op.Insert (flow i))
+      @ List.init 45 (fun i -> op Check.Op.Lookup (flow i))
+      @ List.init 6 (fun i -> op Check.Op.Remove (flow (20 + i)))
+      @ List.init 6 (fun i -> op Check.Op.Insert (flow (50 + i)))
+      @ List.init 56 (fun i -> op Check.Op.Lookup (flow i)))
+  in
+  let program = Check.Op.v ~label:"eviction-during-resize" ~seed:9 ops in
+  let subject =
+    Check.Subject.guarded_flat_table ~max_chain:30 ~max_total:30 ()
+  in
+  (match Check.Diff.run_subject subject program with
+  | [] -> ()
+  | m :: _ -> Alcotest.fail (Format.asprintf "%a" Check.Diff.pp_mismatch m));
+  let stats = subject.Check.Subject.stats () in
+  Alcotest.(check bool) "shadow guard saw evictions" true
+    (stats.Demux.Lookup_stats.evictions > 10)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel lockstep                                                   *)
 
@@ -563,6 +633,47 @@ let test_report_rejects_failures () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Chaos replay audit                                                  *)
+
+let test_chaos_audit_all_scenarios () =
+  (* Small but real: every fault scenario through the parallel
+     pipeline, each run's worker logs replayed against the oracle.
+     Degradation may shed work; it may not corrupt state or lose
+     accounting — zero mismatches across the board. *)
+  let t = Check.Chaos.run ~workers:2 ~ops:4_000 ~seed:17 () in
+  Alcotest.(check int) "every scenario ran"
+    (List.length Fault.Chaos.all)
+    (List.length t.Check.Chaos.outcomes);
+  List.iter
+    (fun (o : Check.Chaos.scenario_outcome) ->
+      let r = o.Check.Chaos.result in
+      (match o.Check.Chaos.mismatches with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.fail
+          (Format.asprintf "%s: %a"
+             (Fault.Chaos.scenario_name r.Fault.Chaos.scenario)
+             Check.Diff.pp_mismatch m));
+      Alcotest.(check int)
+        (Fault.Chaos.scenario_name r.Fault.Chaos.scenario ^ " conservation")
+        r.Fault.Chaos.offered
+        (r.Fault.Chaos.delivered + r.Fault.Chaos.dropped_ops
+        + r.Fault.Chaos.rejected_ops))
+    t.Check.Chaos.outcomes;
+  Alcotest.(check bool) "audit passed" true (Check.Chaos.passed t)
+
+let test_chaos_report_round_trip () =
+  let t = Check.Chaos.run ~workers:2 ~ops:2_000 ~seed:23 () in
+  let path = Filename.temp_file "chaos" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Check.Chaos.write path t;
+      match Check.Chaos.validate_file path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("chaos report rejected: " ^ e))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -592,12 +703,18 @@ let () =
             test_campaign_reports_planted_bug ] );
       ( "guarded",
         [ quick "eviction sets predicted by the shadow guard"
-            test_guarded_eviction_sets_match ] );
+            test_guarded_eviction_sets_match;
+          quick "evictions during incremental resize"
+            test_guarded_eviction_during_resize ] );
       ( "parallel",
         [ quick "4-domain lockstep equals single domain"
             test_striped_four_domain_lockstep;
           quick "batch accounting equals scalar"
             test_batch_accounting_equals_scalar ] );
+      ( "chaos",
+        [ quick "every scenario audits clean" test_chaos_audit_all_scenarios;
+          quick "report write/validate round trip"
+            test_chaos_report_round_trip ] );
       ( "xval",
         [ quick "grid within tolerance" test_xval_grid_passes ] );
       ( "report",

@@ -1122,6 +1122,144 @@ let test_flat_table_grows () =
   Alcotest.(check int) "clear empties" 0 (Demux.Flat_table.length table)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental resize: drain accounting and the dead-slot invariant    *)
+
+let flat_words i =
+  let f = flow i in
+  (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+
+let test_flat_table_no_resurrection () =
+  (* Regression for the tombstone drain: once a migration starts the
+     old region's layout is frozen and removes dead-mark instead of
+     backshifting.  A dead slot keeps its stored words, so if it could
+     ever satisfy a probe, removing an old-region resident and
+     re-inserting the same key would later resurrect the stale
+     binding.  Cross a boundary, churn exactly that pattern while the
+     drain is in flight, then drain fully and audit every key. *)
+  let table : int Demux.Flat_table.t = Demux.Flat_table.create () in
+  let put i v =
+    let w0, w1 = flat_words i in
+    Demux.Flat_table.replace table ~w0 ~w1 v
+  in
+  let get i =
+    let w0, w1 = flat_words i in
+    Demux.Flat_table.find_opt table ~w0 ~w1
+  in
+  let del i =
+    let w0, w1 = flat_words i in
+    Demux.Flat_table.remove table ~w0 ~w1
+  in
+  for i = 0 to 28 do put i i done;
+  (* The insert reaching population 29 fires the 32 -> 64 grow. *)
+  Alcotest.(check bool) "migration in flight" true
+    (Demux.Flat_table.pending_migration table > 0);
+  del 3;
+  Alcotest.(check (option int)) "removed while draining" None (get 3);
+  put 3 1003;
+  Alcotest.(check (option int)) "re-insert lands fresh" (Some 1003) (get 3);
+  del 7;
+  put 7 1007;
+  (* Push the drain to completion with further inserts. *)
+  for i = 29 to 40 do put i i done;
+  Alcotest.(check int) "drain complete" 0
+    (Demux.Flat_table.pending_migration table);
+  Alcotest.(check (option int)) "no stale binding for 3" (Some 1003) (get 3);
+  Alcotest.(check (option int)) "no stale binding for 7" (Some 1007) (get 7);
+  for i = 0 to 40 do
+    if i <> 3 && i <> 7 then
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d intact" i)
+        (Some i) (get i)
+  done;
+  Alcotest.(check int) "population" 41 (Demux.Flat_table.length table);
+  Alcotest.(check int) "fold agrees" 41
+    (Demux.Flat_table.fold (fun ~w0:_ ~w1:_ _ n -> n + 1) table 0)
+
+let test_flat_table_resize_accounting () =
+  (* The observability counters behind bench E31 and the pressure
+     controller's insert-latency watermark. *)
+  let incremental : int Demux.Flat_table.t = Demux.Flat_table.create () in
+  let doubling : int Demux.Flat_table.t =
+    Demux.Flat_table.create ~resize:Demux.Flat_table.Doubling ()
+  in
+  let presized : int Demux.Flat_table.t =
+    Demux.Flat_table.create ~initial_capacity:256 ()
+  in
+  for i = 0 to 99 do
+    let w0, w1 = flat_words i in
+    Demux.Flat_table.replace incremental ~w0 ~w1 i;
+    Demux.Flat_table.replace doubling ~w0 ~w1 i;
+    Demux.Flat_table.replace presized ~w0 ~w1 i
+  done;
+  Alcotest.(check bool) "incremental crossed >= 4 boundaries" true
+    (Demux.Flat_table.resizes incremental >= 4);
+  Alcotest.(check int) "same trigger, same count"
+    (Demux.Flat_table.resizes incremental)
+    (Demux.Flat_table.resizes doubling);
+  Alcotest.(check int) "doubling never carries a drain" 0
+    (Demux.Flat_table.pending_migration doubling);
+  Alcotest.(check int) "pre-sized never resizes" 0
+    (Demux.Flat_table.resizes presized);
+  (* Whatever drain the last trigger left behind retires after a
+     bounded number of further mutations. *)
+  let budget = ref 0 in
+  while Demux.Flat_table.pending_migration incremental > 0 do
+    incr budget;
+    if !budget > 1_000 then Alcotest.fail "drain never completed";
+    let w0, w1 = flat_words (100 + !budget) in
+    Demux.Flat_table.replace incremental ~w0 ~w1 0;
+    Demux.Flat_table.remove incremental ~w0 ~w1
+  done;
+  Alcotest.(check int) "churning the drain out left the population alone" 100
+    (Demux.Flat_table.length incremental)
+
+let test_flat_table_policies_agree_under_churn () =
+  (* Differential: the same deterministic churn through both resize
+     policies must be observationally identical at every step. *)
+  let incremental : int Demux.Flat_table.t = Demux.Flat_table.create () in
+  let doubling : int Demux.Flat_table.t =
+    Demux.Flat_table.create ~resize:Demux.Flat_table.Doubling ()
+  in
+  let rng = Numerics.Rng.create ~seed:77 in
+  let pool = 300 in
+  for step = 1 to 6_000 do
+    let i = Numerics.Rng.int rng ~bound:pool in
+    let w0, w1 = flat_words i in
+    let roll = Numerics.Rng.int rng ~bound:100 in
+    if roll < 45 then begin
+      Demux.Flat_table.replace incremental ~w0 ~w1 step;
+      Demux.Flat_table.replace doubling ~w0 ~w1 step
+    end
+    else if roll < 65 then begin
+      Demux.Flat_table.remove incremental ~w0 ~w1;
+      Demux.Flat_table.remove doubling ~w0 ~w1
+    end
+    else begin
+      let a = Demux.Flat_table.find_opt incremental ~w0 ~w1
+      and b = Demux.Flat_table.find_opt doubling ~w0 ~w1 in
+      if a <> b then
+        Alcotest.fail
+          (Printf.sprintf "step %d key %d: incremental %s, doubling %s" step
+             i
+             (match a with Some v -> string_of_int v | None -> "miss")
+             (match b with Some v -> string_of_int v | None -> "miss"))
+    end
+  done;
+  Alcotest.(check int) "same final population"
+    (Demux.Flat_table.length doubling)
+    (Demux.Flat_table.length incremental);
+  Alcotest.(check bool) "incremental resized repeatedly" true
+    (Demux.Flat_table.resizes incremental >= 4);
+  let contents t =
+    List.sort compare
+      (Demux.Flat_table.fold
+         (fun ~w0 ~w1 v acc -> (w0, w1, v) :: acc)
+         t [])
+  in
+  Alcotest.(check bool) "same final contents" true
+    (contents incremental = contents doubling)
+
+(* ------------------------------------------------------------------ *)
 (* Zero-allocation regression: the Sequent hit path                    *)
 
 (* [Gc.minor_words] delta across 10k warm lookups.  A single word
@@ -1248,7 +1386,13 @@ let () =
         [ Alcotest.test_case "operations" `Quick test_chain_operations;
           Alcotest.test_case "scan counts" `Quick test_chain_scan_counts ] );
       ( "flat-table",
-        [ Alcotest.test_case "grows, stays correct" `Quick test_flat_table_grows ] );
+        [ Alcotest.test_case "grows, stays correct" `Quick test_flat_table_grows;
+          Alcotest.test_case "dead slots never resurrect a binding" `Quick
+            test_flat_table_no_resurrection;
+          Alcotest.test_case "resize and drain accounting" `Quick
+            test_flat_table_resize_accounting;
+          Alcotest.test_case "incremental and doubling agree under churn"
+            `Quick test_flat_table_policies_agree_under_churn ] );
       ( "zero-alloc",
         [ Alcotest.test_case "sequent hit path" `Quick
             test_sequent_hit_path_zero_alloc;

@@ -345,6 +345,195 @@ let test_ring_spsc_transfer () =
   Alcotest.(check int) "every push popped" total count;
   Alcotest.(check (list int)) "in order" [] out_of_order
 
+let test_ring_produce_close_race () =
+  (* Property: over seeded rounds whose capacity, stream length and
+     consumer pacing vary where [close] lands relative to the
+     consumer's progress, the documented drain-after-close protocol
+     (ring.mli) delivers every element exactly once and in order —
+     and a push after close raises.  [delivered] counts the in-order
+     prefix, so a lost element shows as a short count and a
+     duplicated or reordered one as [disorder > 0]. *)
+  for round = 0 to 24 do
+    let rng = Random.State.make [| 0xC105E; round |] in
+    let capacity = 1 lsl Random.State.int rng 4 in
+    let total = 1 + Random.State.int rng 400 in
+    let jitter = Random.State.int rng 3 in
+    let ring = Parallel.Ring.create ~capacity in
+    let consumer =
+      Domain.spawn (fun () ->
+          let next = ref 0 and disorder = ref 0 in
+          let consume v = if v = !next then incr next else incr disorder in
+          let rec drain () =
+            match Parallel.Ring.try_pop ring with
+            | Some v -> consume v; drain ()
+            | None -> ()
+          in
+          let rec loop () =
+            match Parallel.Ring.try_pop ring with
+            | Some v -> consume v; loop ()
+            | None ->
+              if Parallel.Ring.is_closed ring then drain ()
+              else begin
+                for _ = 0 to jitter do Domain.cpu_relax () done;
+                loop ()
+              end
+          in
+          loop ();
+          (!next, !disorder))
+    in
+    for i = 0 to total - 1 do
+      while not (Parallel.Ring.try_push ring i) do Domain.cpu_relax () done
+    done;
+    Parallel.Ring.close ring;
+    (match Parallel.Ring.try_push ring total with
+    | _ -> Alcotest.fail "push after close accepted"
+    | exception Invalid_argument _ -> ());
+    let delivered, disorder = Domain.join consumer in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: every element, in order" round)
+      total delivered;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: no duplicate or reordered element" round)
+      0 disorder
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pressure controller                                                 *)
+
+let check_tier label expected p =
+  Alcotest.(check string) label
+    (Parallel.Pressure.tier_name expected)
+    (Parallel.Pressure.tier_name (Parallel.Pressure.tier p))
+
+let test_pressure_hysteresis () =
+  let config = Parallel.Pressure.config ~trip:3 ~hold:2 () in
+  let p = Parallel.Pressure.create ~config () in
+  (* Default watermarks: hot at >= 75% occupancy, calm at <= 25%,
+     neutral in between. *)
+  let hot () = Parallel.Pressure.note_ring_depth p ~depth:8 ~capacity:8 in
+  let calm () = Parallel.Pressure.note_ring_depth p ~depth:0 ~capacity:8 in
+  let mid () = Parallel.Pressure.note_ring_depth p ~depth:4 ~capacity:8 in
+  check_tier "fresh controller is Normal" Parallel.Pressure.Normal p;
+  hot ();
+  hot ();
+  check_tier "two hots under trip=3 hold" Parallel.Pressure.Normal p;
+  mid ();
+  hot ();
+  hot ();
+  check_tier "neutral resets the hot streak" Parallel.Pressure.Normal p;
+  hot ();
+  check_tier "third consecutive hot escalates" Parallel.Pressure.Shed_new_flows
+    p;
+  hot ();
+  hot ();
+  hot ();
+  check_tier "streaks escalate one tier each" Parallel.Pressure.Drop_batches p;
+  calm ();
+  mid ();
+  calm ();
+  check_tier "neutral resets the calm streak too" Parallel.Pressure.Drop_batches
+    p;
+  calm ();
+  check_tier "hold=2 calm observations recover one tier"
+    Parallel.Pressure.Shed_new_flows p;
+  calm ();
+  calm ();
+  check_tier "recovery steps tier by tier" Parallel.Pressure.Normal p;
+  Alcotest.(check int) "every sample counted" 15
+    (Parallel.Pressure.observations p)
+
+let test_pressure_insert_latency_watermark () =
+  let config = Parallel.Pressure.config ~trip:1 ~hold:1 () in
+  let p = Parallel.Pressure.create ~config () in
+  (* Default latency watermarks: hot at >= 50_000 ns, calm at <=
+     5_000 ns. *)
+  Parallel.Pressure.note_insert_ns p 60_000;
+  check_tier "slow insert escalates" Parallel.Pressure.Shed_new_flows p;
+  Parallel.Pressure.note_insert_ns p 20_000;
+  check_tier "between watermarks holds" Parallel.Pressure.Shed_new_flows p;
+  Parallel.Pressure.note_insert_ns p 1_000;
+  check_tier "fast insert recovers" Parallel.Pressure.Normal p
+
+let test_pressure_force_and_counters () =
+  let config = Parallel.Pressure.config ~trip:1 ~hold:1 () in
+  let p = Parallel.Pressure.create ~config () in
+  Parallel.Pressure.force p Parallel.Pressure.Reject;
+  check_tier "forced" Parallel.Pressure.Reject p;
+  Alcotest.(check bool) "rejecting" true (Parallel.Pressure.rejecting p);
+  Alcotest.(check bool) "drops batches" true
+    (Parallel.Pressure.drops_batches p);
+  Alcotest.(check bool) "sheds new flows" false
+    (Parallel.Pressure.admits_new_flows p);
+  for _ = 1 to 20 do
+    Parallel.Pressure.note_ring_depth p ~depth:0 ~capacity:8
+  done;
+  check_tier "observations ignored while forced" Parallel.Pressure.Reject p;
+  Parallel.Pressure.note_shed_flow p;
+  Parallel.Pressure.note_dropped_batch p ~packets:3;
+  Parallel.Pressure.note_rejected p ~packets:7;
+  Alcotest.(check int) "shed flows" 1 (Parallel.Pressure.shed_flows p);
+  Alcotest.(check int) "dropped batches" 1
+    (Parallel.Pressure.dropped_batches p);
+  Alcotest.(check int) "dropped batch packets" 3
+    (Parallel.Pressure.dropped_batch_packets p);
+  Alcotest.(check int) "rejected packets" 7
+    (Parallel.Pressure.rejected_packets p);
+  Alcotest.(check (list (pair string int))) "counters keyed by tier"
+    [ ("shed-new-flows", 1); ("drop-batches", 3); ("reject", 7) ]
+    (Parallel.Pressure.counters p);
+  Parallel.Pressure.release p;
+  Parallel.Pressure.note_ring_depth p ~depth:0 ~capacity:8;
+  check_tier "released: recovery resumes from Reject"
+    Parallel.Pressure.Drop_batches p;
+  Parallel.Pressure.note_ring_depth p ~depth:0 ~capacity:8;
+  Parallel.Pressure.note_ring_depth p ~depth:0 ~capacity:8;
+  check_tier "all the way back down" Parallel.Pressure.Normal p;
+  (* Entries into each tier: Normal once more at the end, Reject once
+     (the force), and each intermediate tier once on the way down. *)
+  Alcotest.(check (list (pair string int))) "transitions"
+    [ ("normal", 1); ("shed-new-flows", 1); ("drop-batches", 1);
+      ("reject", 1) ]
+    (Parallel.Pressure.transitions p)
+
+let test_dispatcher_under_pressure () =
+  let population = flows 40 in
+  let stream = Array.concat (List.init 25 (fun _ -> population)) in
+  let total = Array.length stream in
+  (* Forced Reject: the producer refuses every batch before touching a
+     ring, so nothing is delivered and everything is accounted. *)
+  let p = Parallel.Pressure.create () in
+  Parallel.Pressure.force p Parallel.Pressure.Reject;
+  let result =
+    Parallel.Dispatcher.run ~pressure:p ~workers:3 ~batch:8
+      ~lookup_batch:(fun batch ~hashes:_ -> Array.length batch)
+      stream
+  in
+  Alcotest.(check int) "all packets offered" total
+    result.Parallel.Dispatcher.packets;
+  Alcotest.(check int) "nothing delivered at Reject" 0
+    (Array.fold_left ( + ) 0 result.Parallel.Dispatcher.per_worker_packets);
+  Alcotest.(check int) "every packet accounted as rejected" total
+    result.Parallel.Dispatcher.rejected_packets;
+  Alcotest.(check int) "controller ledger agrees" total
+    (Parallel.Pressure.rejected_packets p);
+  (* Forced Drop_batches with a tiny ring: whatever is not delivered
+     must be accounted as tier drops — offered = delivered + lost. *)
+  let p = Parallel.Pressure.create () in
+  Parallel.Pressure.force p Parallel.Pressure.Drop_batches;
+  let result =
+    Parallel.Dispatcher.run ~pressure:p ~workers:2 ~batch:4 ~ring_capacity:1
+      ~lookup_batch:(fun batch ~hashes:_ -> Array.length batch)
+      stream
+  in
+  let delivered =
+    Array.fold_left ( + ) 0 result.Parallel.Dispatcher.per_worker_packets
+  in
+  Alcotest.(check int) "conservation: offered = delivered + lost" total
+    (delivered + Parallel.Dispatcher.lost_packets result);
+  Alcotest.(check int) "tier drops agree with the controller"
+    result.Parallel.Dispatcher.tier_dropped_packets
+    (Parallel.Pressure.dropped_batch_packets p)
+
 (* ------------------------------------------------------------------ *)
 (* Dispatcher pipeline                                                 *)
 
@@ -598,7 +787,17 @@ let () =
           Alcotest.test_case "coarse batch" `Quick test_coarse_batch ] );
       ( "ring",
         [ Alcotest.test_case "basics" `Quick test_ring_basics;
-          Alcotest.test_case "spsc transfer" `Quick test_ring_spsc_transfer ] );
+          Alcotest.test_case "spsc transfer" `Quick test_ring_spsc_transfer;
+          Alcotest.test_case "produce racing close" `Quick
+            test_ring_produce_close_race ] );
+      ( "pressure",
+        [ Alcotest.test_case "hysteresis" `Quick test_pressure_hysteresis;
+          Alcotest.test_case "insert-latency watermark" `Quick
+            test_pressure_insert_latency_watermark;
+          Alcotest.test_case "force, release, counters" `Quick
+            test_pressure_force_and_counters;
+          Alcotest.test_case "dispatcher under forced tiers" `Quick
+            test_dispatcher_under_pressure ] );
       ( "dispatcher",
         [ Alcotest.test_case "pipeline" `Quick test_dispatcher_pipeline;
           Alcotest.test_case "sharding by flow" `Quick

@@ -572,8 +572,13 @@ let test_stack_rto_backoff () =
      RTO the re-sends land near 1, 3, 7 and 15 s.  A fixed-RTO
      implementation would fire again by 2.5 s; the quiet windows below
      prove the doubling (with slack for the 0.25 s timer-wheel
-     tick). *)
-  let server, client = make_pair () in
+     tick).  Jitter is disabled: this test pins the classic
+     deterministic schedule; the jittered one is audited in
+     test_stack_rto_jitter_*. *)
+  let server = Tcpcore.Stack.create ~local_addr:server_addr () in
+  let client =
+    Tcpcore.Stack.create ~rto_jitter:false ~local_addr:client_addr ()
+  in
   let conn, _ = establish server client in
   Tcpcore.Stack.send client conn "into the void";
   ignore (Tcpcore.Stack.poll_output client);
@@ -606,6 +611,115 @@ let test_stack_retransmit_attempts_bounded () =
   done;
   Alcotest.(check int) "abandoned after max_retransmits" 3
     (Tcpcore.Stack.retransmissions client)
+
+let test_stack_rto_jitter_bounds () =
+  (* Full jitter on the capped exponential: every delay for attempt n
+     lies in [base, base * 2^min(6, n-1)] — never below the base (no
+     hammering), never above the 64x cap (no unbounded sulk). *)
+  let base = 0.5 in
+  let stack =
+    Tcpcore.Stack.create ~retransmit_timeout:base ~local_addr:client_addr ()
+  in
+  Alcotest.(check (float 1e-9))
+    "attempt 1 is exactly the base" base
+    (Tcpcore.Stack.rto_for_attempt stack 1);
+  for attempt = 2 to 20 do
+    let capped = base *. Float.of_int (1 lsl min 6 (attempt - 1)) in
+    for _ = 1 to 50 do
+      let delay = Tcpcore.Stack.rto_for_attempt stack attempt in
+      if delay < base -. 1e-9 then
+        Alcotest.failf "attempt %d: delay %g below base %g" attempt delay base;
+      if delay > capped +. 1e-9 then
+        Alcotest.failf "attempt %d: delay %g above cap %g" attempt delay capped
+    done
+  done
+
+let test_stack_rto_jitter_deterministic () =
+  (* Same seed, same delay sequence; a different seed diverges; and the
+     draws genuinely spread (full jitter, not a constant offset). *)
+  let sequence ~seed =
+    let stack =
+      Tcpcore.Stack.create ~rto_seed:seed ~local_addr:client_addr ()
+    in
+    List.init 32 (fun i -> Tcpcore.Stack.rto_for_attempt stack (2 + (i mod 8)))
+  in
+  let a = sequence ~seed:42 and b = sequence ~seed:42 in
+  Alcotest.(check (list (float 1e-12))) "seed 42 reproduces" a b;
+  let c = sequence ~seed:43 in
+  Alcotest.(check bool) "seed 43 diverges" true (a <> c);
+  let spread =
+    List.fold_left max neg_infinity a -. List.fold_left min infinity a
+  in
+  Alcotest.(check bool) "draws spread" true (spread > 0.1)
+
+let test_stack_rto_jitter_off_is_doubling () =
+  let stack =
+    Tcpcore.Stack.create ~rto_jitter:false ~retransmit_timeout:1.0
+      ~local_addr:client_addr ()
+  in
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "attempt %d" (i + 1))
+        expected
+        (Tcpcore.Stack.rto_for_attempt stack (i + 1)))
+    [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 64.0; 64.0 ]
+
+let test_stack_overload_tiers () =
+  (* The stack maps each pressure tier onto a named drop reason.
+     Shed_new_flows refuses listener SYNs silently; Drop_batches also
+     sheds stray traffic (no RST); Reject sheds before parsing. *)
+  let tier = ref Tcpcore.Stack.Normal in
+  let stack = Tcpcore.Stack.create ~local_addr:server_addr () in
+  Tcpcore.Stack.set_overload_probe stack (fun () -> !tier);
+  Tcpcore.Stack.listen stack ~port:80 ~on_data:(fun _ _ _ -> ());
+  let syn ~client_port =
+    Packet.Segment.make
+      ~src:(Packet.Flow.endpoint client_addr client_port)
+      ~dst:(Packet.Flow.endpoint server_addr 80)
+      ~flags:Packet.Tcp_header.flag_syn ~seq:100l ()
+  in
+  let drop reason = List.assoc reason (Tcpcore.Stack.drop_counts stack) in
+  (* Normal: the SYN is accepted. *)
+  Tcpcore.Stack.handle_segment stack (syn ~client_port:5000);
+  Alcotest.(check int) "accepted" 1 (Tcpcore.Stack.connection_count stack);
+  ignore (Tcpcore.Stack.poll_output stack);
+  (* Shed_new_flows: a fresh SYN is shed, counted, and draws no RST;
+     the established connection's traffic still flows. *)
+  tier := Tcpcore.Stack.Shed_new_flows;
+  Tcpcore.Stack.handle_segment stack (syn ~client_port:5001);
+  Alcotest.(check int) "not accepted" 1 (Tcpcore.Stack.connection_count stack);
+  Alcotest.(check int) "shed counted" 1 (drop "overload-shed-new-flow");
+  Alcotest.(check (list pass)) "no RST for shed SYN" []
+    (Tcpcore.Stack.poll_output stack);
+  (* Drop_batches: stray non-SYN traffic is shed without the RST
+     courtesy. *)
+  tier := Tcpcore.Stack.Drop_batches;
+  let stray =
+    Packet.Segment.make
+      ~src:(Packet.Flow.endpoint client_addr 5002)
+      ~dst:(Packet.Flow.endpoint server_addr 80)
+      ~flags:Packet.Tcp_header.flag_ack ~seq:7l ~ack_number:9l ()
+  in
+  Tcpcore.Stack.handle_segment stack stray;
+  Alcotest.(check int) "stray shed" 1 (drop "overload-drop-batch");
+  Alcotest.(check int) "no RST sent" 0 (Tcpcore.Stack.rsts_sent stack);
+  Tcpcore.Stack.handle_segment stack (syn ~client_port:5003);
+  Alcotest.(check int) "SYN shed at drop-batches too" 2
+    (drop "overload-drop-batch");
+  (* Reject: handle_bytes sheds before parsing — even junk is counted
+     under the tier, not as a parse error. *)
+  tier := Tcpcore.Stack.Reject;
+  (match Tcpcore.Stack.handle_bytes stack (Bytes.create 3) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "reject tier let a datagram in");
+  Alcotest.(check int) "rejected" 1 (drop "overload-reject");
+  Alcotest.(check int) "not a parse error" 0 (drop "parse-error");
+  (* Back to normal: full service resumes. *)
+  tier := Tcpcore.Stack.Normal;
+  Tcpcore.Stack.handle_segment stack (syn ~client_port:5004);
+  Alcotest.(check int) "recovered" 2 (Tcpcore.Stack.connection_count stack);
+  Alcotest.(check int) "drops sum" 4 (Tcpcore.Stack.drops_total stack)
 
 let test_stack_fuzz_never_raises () =
   (* 10k hostile buffers: pure junk, bit-flipped real segments,
@@ -900,6 +1014,14 @@ let () =
             test_stack_rto_backoff;
           Alcotest.test_case "retransmit attempts bounded" `Quick
             test_stack_retransmit_attempts_bounded;
+          Alcotest.test_case "RTO jitter bounds" `Quick
+            test_stack_rto_jitter_bounds;
+          Alcotest.test_case "RTO jitter deterministic" `Quick
+            test_stack_rto_jitter_deterministic;
+          Alcotest.test_case "RTO jitter off = doubling" `Quick
+            test_stack_rto_jitter_off_is_doubling;
+          Alcotest.test_case "overload tiers" `Quick
+            test_stack_overload_tiers;
           Alcotest.test_case "fuzzed bytes never raise" `Quick
             test_stack_fuzz_never_raises;
           Alcotest.test_case "ack cancels retransmission" `Quick
