@@ -691,11 +691,12 @@ let parse_target name =
     | Some chains when chains > 0 ->
       Ok (Parallel.Throughput.Striped_sequent chains)
     | _ -> Error (Printf.sprintf "unknown striped target %S" name))
+  | [ "epoch" ] | [ "epoch"; "table" ] -> Ok Parallel.Throughput.Epoch_table
   | _ ->
     Error
       (Printf.sprintf
          "unknown target %S (try: coarse:bsd, coarse:sequent-19, \
-          striped:sequent-19)"
+          striped:sequent-19, epoch)"
          name)
 
 (* The same synthetic flow population Throughput builds internally,
@@ -712,22 +713,50 @@ let parallel_flows connections =
         ~local:(Packet.Flow.endpoint (Packet.Ipv4.addr_of_octets 192 168 1 1) 8888)
         ~remote:(Packet.Flow.endpoint addr (1024 + (i * 7 mod 60000))))
 
+let pipeline_stream flows ~packets ~seed =
+  let rng = Parallel.Worker_rng.create seed in
+  Array.init packets (fun _ ->
+      flows.(Parallel.Worker_rng.int rng ~bound:(Array.length flows)))
+
 let run_pipeline ?obs ?tracer ~workers ~batch ~connections ~packets ~seed () =
   let flows = parallel_flows connections in
   let table = Parallel.Striped.create ~chains:19 () in
   Array.iter (fun flow -> ignore (Parallel.Striped.insert table flow ())) flows;
-  let rng = Parallel.Worker_rng.create seed in
-  let stream =
-    Array.init packets (fun _ ->
-        flows.(Parallel.Worker_rng.int rng ~bound:(Array.length flows)))
-  in
+  let stream = pipeline_stream flows ~packets ~seed in
   Parallel.Dispatcher.run ?obs ?tracer ~workers ~batch
     ~lookup_batch:(fun flows ~hashes ->
       Parallel.Striped.lookup_batch_keyed table flows ~hashes)
     stream
 
-let run_parallel targets domains batches connections lookups pipeline smoke
-    seed obs_json trace_file trace_capacity =
+(* The same dispatcher pipeline over the lock-free epoch table:
+   workers demultiplex each batch through Epoch.Table.lookup_batch_keyed
+   (one epoch pin per batch, zero mutex acquisitions).  The dispatcher's
+   default hasher matches the table's Flow_key.hash_words, so the
+   precomputed shard hashes are reusable as probe hashes. *)
+let run_pipeline_epoch ?obs ?tracer ~workers ~batch ~connections ~packets
+    ~seed () =
+  let flows = parallel_flows connections in
+  let table : unit Epoch.Table.t = Epoch.Table.create () in
+  Epoch.Table.load table
+    (Array.map
+       (fun flow ->
+         ( Demux.Flow_key.w0_of_flow flow,
+           Demux.Flow_key.w1_of_flow flow,
+           () ))
+       flows);
+  Option.iter (fun obs -> Epoch.Table.register_obs obs table) obs;
+  let stream = pipeline_stream flows ~packets ~seed in
+  let result =
+    Parallel.Dispatcher.run ?obs ?tracer ~workers ~batch
+      ~lookup_batch:(fun flows ~hashes ->
+        Epoch.Table.lookup_batch_keyed table flows ~hashes)
+      stream
+  in
+  Epoch.Table.quiesce table;
+  result
+
+let run_parallel targets domains batches connections lookups pipeline epoch
+    smoke seed obs_json trace_file trace_capacity =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
@@ -744,6 +773,13 @@ let run_parallel targets domains batches connections lookups pipeline smoke
   match parse [] targets with
   | Error message -> `Error (false, message)
   | Ok targets ->
+    (* --epoch: measure the lock-free table alongside whatever else was
+       asked for, and run the dispatcher pipeline over it too. *)
+    let targets =
+      if epoch && not (List.mem Parallel.Throughput.Epoch_table targets) then
+        targets @ [ Parallel.Throughput.Epoch_table ]
+      else targets
+    in
     if List.exists (fun d -> d <= 0) domains then
       `Error (false, "--domains must all be positive")
     else if List.exists (fun b -> b <= 0) batches then
@@ -780,9 +816,9 @@ let run_parallel targets domains batches connections lookups pipeline smoke
           | None -> ())
         results;
       let pipeline_tracers = ref [] in
-      if pipeline then begin
-        Format.printf
-          "@.pipeline: dispatcher -> SPSC rings -> striped workers@.";
+      let pipeline_pass ~label run_one =
+        Format.printf "@.pipeline: dispatcher -> SPSC rings -> %s workers@."
+          label;
         List.iter
           (fun workers ->
             List.iter
@@ -799,12 +835,16 @@ let run_parallel targets domains batches connections lookups pipeline smoke
                     trace_file
                 in
                 let r =
-                  run_pipeline ?obs ?tracer ~workers ~batch ~connections
+                  run_one ?obs ?tracer ~workers ~batch ~connections
                     ~packets:lookups ~seed ()
                 in
                 Format.printf "%a@." Parallel.Dispatcher.pp r)
               batches)
           domains
+      in
+      if pipeline then begin
+        pipeline_pass ~label:"striped" run_pipeline;
+        if epoch then pipeline_pass ~label:"epoch-table" run_pipeline_epoch
       end;
       (try
          (match (obs_json, obs) with
@@ -845,7 +885,7 @@ let parallel_cmd =
       & info [ "t"; "targets" ] ~docv:"TARGETS"
           ~doc:
             "Comma-separated targets: coarse:bsd, coarse:sequent[-H], \
-             striped:sequent[-H].")
+             striped:sequent[-H], epoch (the lock-free epoch table).")
   in
   let domains =
     Arg.(
@@ -882,6 +922,16 @@ let parallel_cmd =
              bounded SPSC rings feeding striped workers) for each \
              (domains, batch) pair.")
   in
+  let epoch =
+    Arg.(
+      value & flag
+      & info [ "epoch" ]
+          ~doc:
+            "Add the lock-free epoch table (Epoch.Table) to the measured \
+             targets, and — when the pipeline runs — drive the dispatcher \
+             over it as well; with --obs-json, its epoch.* reclamation \
+             and per-operation counters land in the snapshot.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -896,7 +946,7 @@ let parallel_cmd =
     Term.(
       ret
         (const run_parallel $ targets $ domains $ batches $ connections
-        $ lookups $ pipeline $ smoke $ seed_arg $ obs_json_arg
+        $ lookups $ pipeline $ epoch $ smoke $ seed_arg $ obs_json_arg
         $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -914,7 +964,8 @@ let run_check algorithms smoke seed ops pool programs_per_profile no_xval
           @ [ (fun () -> Check.Subject.striped ());
               (fun () -> Check.Subject.flat_table ());
               (fun () -> Check.Subject.flat_table_doubling ());
-              (fun () -> Check.Subject.guarded_flat_table ()) ]
+              (fun () -> Check.Subject.guarded_flat_table ());
+              (fun () -> Check.Subject.epoch_table ()) ]
         in
         let programs_per_profile =
           if smoke then 2 else programs_per_profile
@@ -972,9 +1023,10 @@ let check_cmd =
             "lru-cache-8"; "guarded-sequent-19" ]
       & info [ "a"; "algos"; "algorithms" ] ~docv:"ALGOS"
           ~doc:
-            "Comma-separated registry specs to check (a striped table \
-             and the flat Robin-Hood index — incremental and doubling \
-             resize, plus a guarded variant — are always included).")
+            "Comma-separated registry specs to check (a striped table, \
+             the flat Robin-Hood index — incremental and doubling \
+             resize, plus a guarded variant — and the lock-free epoch \
+             table are always included).")
   in
   let smoke =
     Arg.(

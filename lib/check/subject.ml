@@ -131,6 +131,27 @@ let flat_table_doubling () =
   of_flat ~resize:Demux.Flat_table.Doubling ~name:"flat-table-doubling"
     (module Demux.Flat_table)
 
+let epoch_table () =
+  (* Epoch.Table behind the FLAT adapter: identical charging to the
+     other flat subjects (one probe per lookup), so Diff's oracle
+     predictions apply unchanged.  Single-domain lockstep here; the
+     multi-domain determinism test in test_check.ml partitions ops
+     across domains and checks it converges to this same subject. *)
+  of_flat ~name:"epoch-table"
+    (module struct
+      type 'a t = 'a Epoch.Table.t
+
+      let create ?hash ?initial_capacity ?resize:(_ : Demux.Flat_table.resize option) () =
+        Epoch.Table.create ?hash ?initial_capacity ()
+
+      let length = Epoch.Table.length
+      let find_opt = Epoch.Table.find_opt
+      let mem = Epoch.Table.mem
+      let replace = Epoch.Table.replace
+      let remove = Epoch.Table.remove
+      let iter = Epoch.Table.iter
+    end)
+
 let guarded_flat_table ?(max_chain = 8) ?(max_total = 40) ?(chains = 4) () =
   let config = Demux.Guarded.config ~max_chain ~max_total ~chains () in
   let guard = Demux.Guarded.create config in

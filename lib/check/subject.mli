@@ -70,6 +70,15 @@ val flat_table_doubling : unit -> t
     ["flat-table-doubling"], so differential runs race the two resize
     strategies against the oracle and each other. *)
 
+val epoch_table : unit -> t
+(** {!Epoch.Table} — the lock-free read-mostly table — behind the
+    {!of_flat} adapter under the name ["epoch-table"], at minimum
+    initial capacity so differential programs cross several
+    copy-publish-retire growth boundaries.  Driven single-domain
+    (lockstep), every published-region replacement and its retirement
+    still happens exactly as under concurrency; the reader-pinned half
+    of the story is covered by {!Epoch_audit}. *)
+
 val guarded_flat_table :
   ?max_chain:int -> ?max_total:int -> ?chains:int -> unit -> t
 (** A {!Demux.Guarded} overload guard (defaults: [max_chain 8],

@@ -1,0 +1,93 @@
+type retired = { stamp : int; free : unit -> unit }
+
+type t = {
+  global_epoch : int Atomic.t;
+  slot_pool : Domain_slot.pool;
+  lock : Mutex.t;  (* guards [retired] and the two counters below *)
+  mutable retired : retired list;  (* newest first *)
+  mutable retirements : int;
+  mutable reclamations : int;
+}
+
+let create ?(max_readers = 64) () =
+  { global_epoch = Atomic.make 1;
+    slot_pool = Domain_slot.create_pool ~max_readers;
+    lock = Mutex.create ();
+    retired = [];
+    retirements = 0;
+    reclamations = 0 }
+
+let epoch t = Atomic.get t.global_epoch
+let global t = t.global_epoch
+let pool t = t.slot_pool
+
+let retire t free =
+  Mutex.lock t.lock;
+  t.retired <- { stamp = Atomic.get t.global_epoch; free } :: t.retired;
+  t.retirements <- t.retirements + 1;
+  Mutex.unlock t.lock
+
+let reclaim t =
+  Mutex.lock t.lock;
+  (* Advance first: readers arriving from here on pin at the new
+     epoch, so they can never extend the horizon below any stamp
+     already on the list. *)
+  ignore (Atomic.fetch_and_add t.global_epoch 1);
+  let horizon = Domain_slot.min_pinned t.slot_pool in
+  let freeable, kept =
+    List.partition (fun r -> r.stamp < horizon) t.retired
+  in
+  t.retired <- kept;
+  t.reclamations <- t.reclamations + List.length freeable;
+  Mutex.unlock t.lock;
+  (* Free closures run outside the lock: they may be arbitrarily
+     expensive (scrubbing a region) and must not stall writers. *)
+  List.iter (fun r -> r.free ()) freeable;
+  List.length freeable
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = List.length t.retired in
+  Mutex.unlock t.lock;
+  n
+
+let quiesce t =
+  while
+    ignore (reclaim t);
+    pending t > 0
+  do
+    Domain.cpu_relax ()
+  done
+
+let pins t = Domain_slot.total_pins t.slot_pool
+
+let retirements t =
+  Mutex.lock t.lock;
+  let n = t.retirements in
+  Mutex.unlock t.lock;
+  n
+
+let reclamations t =
+  Mutex.lock t.lock;
+  let n = t.reclamations in
+  Mutex.unlock t.lock;
+  n
+
+let register_obs ?(prefix = "epoch") obs t =
+  let name suffix = prefix ^ "." ^ suffix in
+  Obs.Registry.register_counter obs ~name:(name "pins")
+    ~help:"read-side epoch pins across all reader slots" (fun () -> pins t);
+  Obs.Registry.register_counter obs ~name:(name "retirements")
+    ~help:"objects handed to retire (deferred free)" (fun () ->
+      retirements t);
+  Obs.Registry.register_counter obs ~name:(name "reclamations")
+    ~help:"retired objects freed after their grace period" (fun () ->
+      reclamations t);
+  Obs.Registry.register_gauge obs ~name:(name "pending")
+    ~help:"retired objects still awaiting a grace period" (fun () ->
+      float_of_int (pending t));
+  Obs.Registry.register_gauge obs ~name:(name "epoch")
+    ~help:"current global epoch" (fun () -> float_of_int (epoch t));
+  Obs.Registry.register_gauge obs ~name:(name "pinned_readers")
+    ~help:"reader slots currently inside a read-side critical section"
+    (fun () -> float_of_int (Domain_slot.pinned_count t.slot_pool))

@@ -1,0 +1,72 @@
+(** The epoch/grace-period reclamation core.
+
+    A reclamation domain owns a global epoch counter, a pool of reader
+    slots ({!Domain_slot}), and a deferred-free list.  The protocol:
+
+    - {b Readers} acquire a slot once, then bracket each read-side
+      critical section with {!Domain_slot.pin} (one atomic store of
+      the observed global epoch) and {!Domain_slot.unpin}.  They never
+      take a lock.
+    - {b Writers} unlink an object from every published pointer {e
+      first}, then hand it to {!retire}.  The object is stamped with
+      the current global epoch: no reader that pins {e after} the
+      unlink can reach it.
+    - {!reclaim} advances the global epoch and frees every retired
+      object whose stamp is strictly below the oldest pinned epoch —
+      a reader pinned at epoch [p] can only be holding objects that
+      were still published at [p], i.e. retired at [p] or later.
+
+    The retire list and counters are guarded by an internal mutex that
+    only writers and reclaimers touch; the read side is untouched by
+    it.  See DESIGN.md §13 for the sequential-consistency argument
+    that makes the one-store pin safe against a concurrent reclaim. *)
+
+type t
+
+val create : ?max_readers:int -> unit -> t
+(** A fresh reclamation domain (default [max_readers] 64).
+    @raise Invalid_argument if [max_readers <= 0]. *)
+
+val epoch : t -> int
+(** The current global epoch (starts at 1, advanced by {!reclaim}). *)
+
+val global : t -> int Atomic.t
+(** The epoch counter itself — what readers pass to
+    {!Domain_slot.pin}. *)
+
+val pool : t -> Domain_slot.pool
+
+val retire : t -> (unit -> unit) -> unit
+(** Defer [free] until every reader that could still see the object
+    has unpinned.  The object {b must} already be unreachable from
+    every published pointer.  [free] runs at most once, from whichever
+    thread's {!reclaim} (or {!quiesce}) crosses the grace period. *)
+
+val reclaim : t -> int
+(** Advance the global epoch, then free every retired object whose
+    stamp precedes the oldest pinned epoch (all of them when no reader
+    is pinned).  Returns how many were freed.  [free] closures run
+    outside the internal lock. *)
+
+val quiesce : t -> unit
+(** Run {!reclaim} until the retire list is empty.  Blocks (spinning
+    with [Domain.cpu_relax]) while any reader stays pinned below the
+    retirement horizon — call it only when readers are guaranteed to
+    make progress, e.g. at shutdown or between test phases. *)
+
+val pending : t -> int
+(** Retired objects not yet freed. *)
+
+(** {1 Observability} *)
+
+val pins : t -> int
+(** Total read-side pins across all reader slots. *)
+
+val retirements : t -> int
+val reclamations : t -> int
+(** Total objects handed to {!retire} / freed by {!reclaim}. *)
+
+val register_obs : ?prefix:string -> Obs.Registry.t -> t -> unit
+(** Polled counters [<prefix>.pins] / [.retirements] / [.reclamations]
+    and gauges [.pending] / [.epoch] / [.pinned_readers] (default
+    prefix ["epoch"]). *)

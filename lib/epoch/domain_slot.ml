@@ -1,0 +1,68 @@
+type t = {
+  pin : int Atomic.t;    (* 0 = quiescent; e > 0 = pinned at epoch e *)
+  mutable depth : int;   (* pin nesting, owner domain only *)
+  mutable pins : int;    (* total pin calls, owner domain only *)
+  index : int;
+}
+
+type pool = {
+  slots : t array;
+  owned : bool Atomic.t array;
+}
+
+let create_pool ~max_readers =
+  if max_readers <= 0 then
+    invalid_arg "Domain_slot.create_pool: max_readers <= 0";
+  { slots =
+      Array.init max_readers (fun index ->
+          { pin = Atomic.make 0; depth = 0; pins = 0; index });
+    owned = Array.init max_readers (fun _ -> Atomic.make false) }
+
+let capacity pool = Array.length pool.slots
+
+let acquire pool =
+  let n = Array.length pool.slots in
+  let rec scan i =
+    if i >= n then
+      failwith
+        (Printf.sprintf "Epoch.Domain_slot.acquire: all %d reader slots taken"
+           n)
+    else if Atomic.compare_and_set pool.owned.(i) false true then
+      pool.slots.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let release pool slot =
+  if Atomic.get slot.pin <> 0 then
+    invalid_arg "Epoch.Domain_slot.release: slot still pinned";
+  slot.depth <- 0;
+  Atomic.set pool.owned.(slot.index) false
+
+let pin slot ~global =
+  if slot.depth = 0 then Atomic.set slot.pin (Atomic.get global);
+  slot.depth <- slot.depth + 1;
+  slot.pins <- slot.pins + 1
+
+let unpin slot =
+  if slot.depth <= 0 then invalid_arg "Epoch.Domain_slot.unpin: not pinned";
+  slot.depth <- slot.depth - 1;
+  if slot.depth = 0 then Atomic.set slot.pin 0
+
+let pinned_epoch slot = Atomic.get slot.pin
+let depth slot = slot.depth
+
+let min_pinned pool =
+  Array.fold_left
+    (fun acc slot ->
+      let e = Atomic.get slot.pin in
+      if e > 0 && e < acc then e else acc)
+    max_int pool.slots
+
+let pinned_count pool =
+  Array.fold_left
+    (fun acc slot -> if Atomic.get slot.pin > 0 then acc + 1 else acc)
+    0 pool.slots
+
+let total_pins pool =
+  Array.fold_left (fun acc slot -> acc + slot.pins) 0 pool.slots

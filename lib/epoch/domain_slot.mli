@@ -1,0 +1,63 @@
+(** Per-reader epoch pins.
+
+    A {!pool} is a fixed array of reader slots.  Each reader domain
+    acquires one slot (once, at registration) and thereafter announces
+    its read-side critical sections by {e pinning}: publishing the
+    epoch it observed into its slot with a single [Atomic.set].  A
+    reclaimer scans the pool for the oldest pinned epoch; anything
+    retired before that horizon is invisible to every present and
+    future reader and can be freed.
+
+    OCaml [Atomic] operations are sequentially consistent, which is
+    what makes the one-store pin sound: the reclaimer's publish of a
+    replacement region and the reader's pin store are totally ordered,
+    so a reader whose pin the reclaimer did not see must load the
+    {e new} region (see DESIGN.md §13 for the full argument).
+
+    Pins nest: an inner {!pin} keeps the outermost pin's epoch (more
+    conservative, still correct), so a pinned caller can safely invoke
+    operations that pin internally.  All slot operations except
+    {!acquire}/{!release} are lock-free and allocation-free. *)
+
+type t
+(** One reader slot.  Owned by a single domain; only {!min_pinned} and
+    {!total_pins} read it from elsewhere. *)
+
+type pool
+
+val create_pool : max_readers:int -> pool
+(** @raise Invalid_argument if [max_readers <= 0]. *)
+
+val capacity : pool -> int
+
+val acquire : pool -> t
+(** Claim a free slot (lock-free CAS scan).
+    @raise Failure when all [max_readers] slots are taken. *)
+
+val release : pool -> t -> unit
+(** Return a slot to the pool.  The slot must be unpinned. *)
+
+val pin : t -> global:int Atomic.t -> unit
+(** Enter a read-side critical section: publish the current value of
+    [global] into the slot.  Nested calls retain the outer epoch. *)
+
+val unpin : t -> unit
+(** Leave the (innermost) read-side critical section.  The outermost
+    [unpin] clears the slot, releasing the grace-period horizon. *)
+
+val pinned_epoch : t -> int
+(** [0] when not pinned, else the pinned epoch. *)
+
+val depth : t -> int
+(** Current pin nesting depth (owner-domain view). *)
+
+val min_pinned : pool -> int
+(** The oldest epoch any reader is currently pinned at, or [max_int]
+    when no reader is pinned — the reclamation horizon. *)
+
+val pinned_count : pool -> int
+(** How many slots are currently pinned. *)
+
+val total_pins : pool -> int
+(** Total {!pin} calls across all slots, for observability.  Exact at
+    quiescence; a racy (but monotone-per-slot) sum while readers run. *)

@@ -1,0 +1,452 @@
+(* The storage layout and probe discipline are Demux.Flat_table's
+   (packed struct-of-arrays, 1-byte tag filter, Robin-Hood
+   displacement).  The concurrency discipline is different: published
+   regions are immutable, writers copy-mutate-publish under one mutex,
+   and old regions go through Core.retire so a reader pinned before
+   the publish keeps a valid snapshot. *)
+
+type 'a region = {
+  tags : Bytes.t;
+  hs : int array;
+  w0s : int array;
+  w1s : int array;
+  vals : 'a option array;
+  mask : int;
+  mutable count : int;  (* mutated only while the region is private *)
+}
+
+let min_capacity = 8
+let scrub_tag = 255 (* Flat_table.dead_tag: poison for reclaimed regions *)
+
+let tag_of_hash h =
+  let tag = (h lsr 16) land 0xFF in
+  if tag = 0 || tag = scrub_tag then 1 else tag
+
+let make_region cap =
+  { tags = Bytes.make cap '\000';
+    hs = Array.make cap 0;
+    w0s = Array.make cap 0;
+    w1s = Array.make cap 0;
+    vals = Array.make cap None;
+    mask = cap - 1;
+    count = 0 }
+
+let copy_region r =
+  { tags = Bytes.copy r.tags;
+    hs = Array.copy r.hs;
+    w0s = Array.copy r.w0s;
+    w1s = Array.copy r.w1s;
+    vals = Array.copy r.vals;
+    mask = r.mask;
+    count = r.count }
+
+(* Reclamation poison: dead tags everywhere, keys and displacement
+   hashes zeroed, values dropped.  Any probe of a scrubbed region
+   terminates (distance from a zeroed hash only shrinks) and misses —
+   a use-after-reclaim is a deterministic wrong answer, not a stale
+   hit, which is what the planted-bug audit in lib/check detects. *)
+let scrub r =
+  Bytes.fill r.tags 0 (Bytes.length r.tags) (Char.chr scrub_tag);
+  Array.fill r.hs 0 (Array.length r.hs) 0;
+  Array.fill r.w0s 0 (Array.length r.w0s) 0;
+  Array.fill r.w1s 0 (Array.length r.w1s) 0;
+  Array.fill r.vals 0 (Array.length r.vals) None;
+  r.count <- 0
+
+let distance r slot = (slot - (r.hs.(slot) land r.mask)) land r.mask
+
+(* Top-level recursion, as in Flat_table: the probe loop must not
+   close over anything, so the warm read path allocates nothing. *)
+let rec probe r tag w0 w1 slot dist =
+  let resident = Bytes.get_uint8 r.tags slot in
+  if resident = 0 then -1
+  else if resident = tag && r.w0s.(slot) = w0 && r.w1s.(slot) = w1 then slot
+  else if distance r slot < dist then -1
+  else probe r tag w0 w1 ((slot + 1) land r.mask) (dist + 1)
+
+let region_find r ~hash ~w0 ~w1 =
+  let h = hash w0 w1 in
+  let slot = probe r (tag_of_hash h) w0 w1 (h land r.mask) 0 in
+  if slot < 0 then None else r.vals.(slot)
+
+(* Private-region mutation (pre-publish): plain Robin-Hood insert. *)
+let rec place r slot dist h tag w0 w1 v =
+  let resident = Bytes.get_uint8 r.tags slot in
+  if resident = 0 then begin
+    Bytes.set_uint8 r.tags slot tag;
+    r.hs.(slot) <- h;
+    r.w0s.(slot) <- w0;
+    r.w1s.(slot) <- w1;
+    r.vals.(slot) <- v;
+    r.count <- r.count + 1
+  end
+  else begin
+    let rdist = distance r slot in
+    if rdist < dist then begin
+      (* The resident is closer to home than we are: it moves on. *)
+      let h' = r.hs.(slot)
+      and tag' = resident
+      and w0' = r.w0s.(slot)
+      and w1' = r.w1s.(slot)
+      and v' = r.vals.(slot) in
+      Bytes.set_uint8 r.tags slot tag;
+      r.hs.(slot) <- h;
+      r.w0s.(slot) <- w0;
+      r.w1s.(slot) <- w1;
+      r.vals.(slot) <- v;
+      place r ((slot + 1) land r.mask) (rdist + 1) h' tag' w0' w1' v'
+    end
+    else place r ((slot + 1) land r.mask) (dist + 1) h tag w0 w1 v
+  end
+
+let insert_fresh r h w0 w1 v =
+  place r (h land r.mask) 0 h (tag_of_hash h) w0 w1 (Some v)
+
+let rec backshift r slot =
+  let next = (slot + 1) land r.mask in
+  let next_tag = Bytes.get_uint8 r.tags next in
+  if next_tag = 0 || distance r next = 0 then begin
+    Bytes.set_uint8 r.tags slot 0;
+    r.hs.(slot) <- 0;
+    r.w0s.(slot) <- 0;
+    r.w1s.(slot) <- 0;
+    r.vals.(slot) <- None
+  end
+  else begin
+    Bytes.set_uint8 r.tags slot next_tag;
+    r.hs.(slot) <- r.hs.(next);
+    r.w0s.(slot) <- r.w0s.(next);
+    r.w1s.(slot) <- r.w1s.(next);
+    r.vals.(slot) <- r.vals.(next);
+    backshift r next
+  end
+
+let needs_growth r extra = (r.count + extra) * 8 > (r.mask + 1) * 7
+
+let rec grown_capacity cap count = if count * 8 > cap * 7 then grown_capacity (cap * 2) count else cap
+
+let rebuild r ~capacity =
+  let fresh = make_region capacity in
+  for slot = 0 to r.mask do
+    if Bytes.get_uint8 r.tags slot <> 0 then
+      insert_fresh fresh r.hs.(slot) r.w0s.(slot) r.w1s.(slot)
+        (match r.vals.(slot) with
+        | Some v -> v
+        | None -> assert false)
+  done;
+  fresh
+
+(* Per-reader-domain state: one epoch slot and one private
+   Lookup_stats, registered lazily on the domain's first lookup. *)
+type reader = {
+  slot : Domain_slot.t;
+  stats : Demux.Lookup_stats.t;
+}
+
+type 'a t = {
+  core : Core.t;
+  published : 'a region Atomic.t;
+  writer : Mutex.t;
+  mutable writer_locks : int;  (* guarded by [writer] *)
+  readers_lock : Mutex.t;
+  mutable reader_locks : int;  (* guarded by [readers_lock] *)
+  mutable readers : reader list;  (* guarded by [readers_lock] *)
+  reader_key : reader option Domain.DLS.key;
+  writer_stats : Demux.Lookup_stats.t;
+  hash : int -> int -> int;
+  mutable publish_count : int;  (* guarded by [writer] *)
+}
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+let create ?(hash = Demux.Flow_key.hash_words) ?(initial_capacity = min_capacity)
+    ?max_readers () =
+  if initial_capacity < 0 then
+    invalid_arg "Epoch.Table.create: initial_capacity < 0";
+  let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+  { core = Core.create ?max_readers ();
+    published = Atomic.make (make_region cap);
+    writer = Mutex.create ();
+    writer_locks = 0;
+    readers_lock = Mutex.create ();
+    reader_locks = 0;
+    readers = [];
+    reader_key = Domain.DLS.new_key (fun () -> None);
+    writer_stats = Demux.Lookup_stats.create ();
+    hash;
+    publish_count = 0 }
+
+let reader_of t =
+  match Domain.DLS.get t.reader_key with
+  | Some reader -> reader
+  | None ->
+    let slot = Domain_slot.acquire (Core.pool t.core) in
+    let reader = { slot; stats = Demux.Lookup_stats.create () } in
+    Mutex.lock t.readers_lock;
+    t.reader_locks <- t.reader_locks + 1;
+    t.readers <- reader :: t.readers;
+    Mutex.unlock t.readers_lock;
+    Domain.DLS.set t.reader_key (Some reader);
+    reader
+
+(* {1 Read path} *)
+
+let find_opt t ~w0 ~w1 =
+  let reader = reader_of t in
+  Demux.Lookup_stats.begin_lookup reader.stats;
+  Demux.Lookup_stats.examine reader.stats ();
+  Domain_slot.pin reader.slot ~global:(Core.global t.core);
+  let r = Atomic.get t.published in
+  let h = t.hash w0 w1 in
+  let slot = probe r (tag_of_hash h) w0 w1 (h land r.mask) 0 in
+  let result = if slot < 0 then None else r.vals.(slot) in
+  Domain_slot.unpin reader.slot;
+  Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false
+    ~found:(result <> None);
+  result
+
+let mem t ~w0 ~w1 = find_opt t ~w0 ~w1 <> None
+
+let find_flow t flow =
+  find_opt t
+    ~w0:(Demux.Flow_key.w0_of_flow flow)
+    ~w1:(Demux.Flow_key.w1_of_flow flow)
+
+let lookup_batch_hashed t flows ~hash_at =
+  let n = Array.length flows in
+  if n = 0 then 0
+  else begin
+    let reader = reader_of t in
+    Demux.Lookup_stats.note_batch reader.stats ~size:n;
+    Domain_slot.pin reader.slot ~global:(Core.global t.core);
+    let r = Atomic.get t.published in
+    let found = ref 0 in
+    for i = 0 to n - 1 do
+      let flow = flows.(i) in
+      let w0 = Demux.Flow_key.w0_of_flow flow in
+      let w1 = Demux.Flow_key.w1_of_flow flow in
+      let h = hash_at t i w0 w1 in
+      Demux.Lookup_stats.begin_lookup reader.stats;
+      Demux.Lookup_stats.examine reader.stats ();
+      let slot = probe r (tag_of_hash h) w0 w1 (h land r.mask) 0 in
+      let hit = slot >= 0 && r.vals.(slot) <> None in
+      if hit then incr found;
+      Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false ~found:hit
+    done;
+    Domain_slot.unpin reader.slot;
+    !found
+  end
+
+let lookup_batch t flows =
+  lookup_batch_hashed t flows ~hash_at:(fun t _ w0 w1 -> t.hash w0 w1)
+
+let lookup_batch_keyed t flows ~hashes =
+  if Array.length flows <> Array.length hashes then
+    invalid_arg "Epoch.Table.lookup_batch_keyed: length mismatch";
+  lookup_batch_hashed t flows
+    ~hash_at:(fun _ i _ _ -> Array.unsafe_get hashes i)
+
+let length t = (Atomic.get t.published).count
+
+let iter f t =
+  let reader = reader_of t in
+  Domain_slot.pin reader.slot ~global:(Core.global t.core);
+  let r = Atomic.get t.published in
+  for slot = 0 to r.mask do
+    let tag = Bytes.get_uint8 r.tags slot in
+    if tag <> 0 && tag <> scrub_tag then
+      match r.vals.(slot) with
+      | Some v -> f ~w0:r.w0s.(slot) ~w1:r.w1s.(slot) v
+      | None -> ()
+  done;
+  Domain_slot.unpin reader.slot
+
+(* {1 Pinned views} *)
+
+type 'a view = { view_region : 'a region; view_hash : int -> int -> int }
+
+let pin t =
+  let reader = reader_of t in
+  Domain_slot.pin reader.slot ~global:(Core.global t.core);
+  { view_region = Atomic.get t.published; view_hash = t.hash }
+
+let view_find view ~w0 ~w1 =
+  region_find view.view_region ~hash:view.view_hash ~w0 ~w1
+
+let view_length view = view.view_region.count
+
+let unpin t =
+  let reader = reader_of t in
+  Domain_slot.unpin reader.slot
+
+(* {1 Write path} *)
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  t.writer_locks <- t.writer_locks + 1;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
+
+let publish t fresh old =
+  Atomic.set t.published fresh;
+  t.publish_count <- t.publish_count + 1;
+  Core.retire t.core (fun () -> scrub old);
+  (* Opportunistic: writes are the rare path, so they pay for
+     reclamation; anything still pinned stays on the list. *)
+  ignore (Core.reclaim t.core)
+
+let replace t ~w0 ~w1 v =
+  with_writer t @@ fun () ->
+  let cur = Atomic.get t.published in
+  let h = t.hash w0 w1 in
+  let slot = probe cur (tag_of_hash h) w0 w1 (h land cur.mask) 0 in
+  let fresh =
+    if slot >= 0 then begin
+      let fresh = copy_region cur in
+      fresh.vals.(slot) <- Some v;
+      fresh
+    end
+    else begin
+      let fresh =
+        if needs_growth cur 1 then
+          rebuild cur ~capacity:(grown_capacity ((cur.mask + 1) * 2) (cur.count + 1))
+        else copy_region cur
+      in
+      insert_fresh fresh h w0 w1 v;
+      Demux.Lookup_stats.note_insert t.writer_stats;
+      fresh
+    end
+  in
+  publish t fresh cur
+
+let remove t ~w0 ~w1 =
+  with_writer t @@ fun () ->
+  let cur = Atomic.get t.published in
+  let h = t.hash w0 w1 in
+  let slot = probe cur (tag_of_hash h) w0 w1 (h land cur.mask) 0 in
+  if slot >= 0 then begin
+    let fresh = copy_region cur in
+    backshift fresh slot;
+    fresh.count <- fresh.count - 1;
+    Demux.Lookup_stats.note_remove t.writer_stats;
+    publish t fresh cur
+  end
+
+let load t entries =
+  if Array.length entries > 0 then
+    with_writer t @@ fun () ->
+    let cur = Atomic.get t.published in
+    let fresh =
+      if needs_growth cur (Array.length entries) then
+        rebuild cur
+          ~capacity:
+            (grown_capacity (cur.mask + 1) (cur.count + Array.length entries))
+      else copy_region cur
+    in
+    Array.iter
+      (fun (w0, w1, v) ->
+        let h = t.hash w0 w1 in
+        let slot = probe fresh (tag_of_hash h) w0 w1 (h land fresh.mask) 0 in
+        if slot >= 0 then fresh.vals.(slot) <- Some v
+        else begin
+          insert_fresh fresh h w0 w1 v;
+          Demux.Lookup_stats.note_insert t.writer_stats
+        end)
+      entries;
+    publish t fresh cur
+
+(* {1 Reclamation passthroughs} *)
+
+let core t = t.core
+let reclaim t = Core.reclaim t.core
+let quiesce t = Core.quiesce t.core
+let pending t = Core.pending t.core
+
+(* {1 Accounting} *)
+
+let stats t =
+  Mutex.lock t.readers_lock;
+  t.reader_locks <- t.reader_locks + 1;
+  let readers = t.readers in
+  Mutex.unlock t.readers_lock;
+  Demux.Lookup_stats.merge_snapshots
+    (Demux.Lookup_stats.snapshot t.writer_stats
+    :: List.map (fun r -> Demux.Lookup_stats.snapshot r.stats) readers)
+
+let publishes t = t.publish_count
+let capacity t = (Atomic.get t.published).mask + 1
+let lock_acquisitions t = t.writer_locks + t.reader_locks
+
+let registry ?initial_capacity () =
+  let table = create ?initial_capacity () in
+  let stats = Demux.Lookup_stats.create () in
+  let next_id = ref 0 in
+  let words flow =
+    (Demux.Flow_key.w0_of_flow flow, Demux.Flow_key.w1_of_flow flow)
+  in
+  { Demux.Registry.name = "epoch-table";
+    insert =
+      (fun flow v ->
+        let w0, w1 = words flow in
+        if mem table ~w0 ~w1 then
+          invalid_arg "epoch-table.insert: duplicate flow";
+        let pcb = Demux.Pcb.make ~id:!next_id ~flow v in
+        incr next_id;
+        replace table ~w0 ~w1 pcb;
+        Demux.Lookup_stats.note_insert stats;
+        pcb);
+    remove =
+      (fun flow ->
+        let w0, w1 = words flow in
+        match find_opt table ~w0 ~w1 with
+        | None -> None
+        | Some pcb ->
+          remove table ~w0 ~w1;
+          Demux.Lookup_stats.note_remove stats;
+          Some pcb);
+    lookup =
+      (fun ?kind:_ flow ->
+        let w0, w1 = words flow in
+        Demux.Lookup_stats.begin_lookup stats;
+        Demux.Lookup_stats.examine stats ();
+        let result = find_opt table ~w0 ~w1 in
+        Demux.Lookup_stats.end_lookup stats ~hit_cache:false
+          ~found:(result <> None);
+        result);
+    note_send = (fun _ -> ());
+    stats;
+    length = (fun () -> length table);
+    iter = (fun f -> iter (fun ~w0:_ ~w1:_ pcb -> f pcb) table) }
+
+let register_obs ?(prefix = "epoch.table") obs t =
+  Core.register_obs ~prefix obs t.core;
+  let name suffix = prefix ^ "." ^ suffix in
+  let stat pick = fun () -> pick (stats t) in
+  Obs.Registry.register_counter obs ~name:(name "lookups")
+    ~help:"lock-free lookups, merged across reader domains"
+    (stat (fun s -> s.Demux.Lookup_stats.lookups));
+  Obs.Registry.register_counter obs ~name:(name "found")
+    ~help:"lookups that matched a resident flow"
+    (stat (fun s -> s.Demux.Lookup_stats.found));
+  Obs.Registry.register_counter obs ~name:(name "inserts")
+    ~help:"new flows inserted by the writer"
+    (stat (fun s -> s.Demux.Lookup_stats.inserts));
+  Obs.Registry.register_counter obs ~name:(name "removes")
+    ~help:"flows removed by the writer"
+    (stat (fun s -> s.Demux.Lookup_stats.removes));
+  Obs.Registry.register_counter obs ~name:(name "batches")
+    ~help:"batched lookup calls (one epoch pin each)"
+    (stat (fun s -> s.Demux.Lookup_stats.batches));
+  Obs.Registry.register_counter obs ~name:(name "publishes")
+    ~help:"region replacements published by the writer" (fun () ->
+      publishes t);
+  Obs.Registry.register_counter obs ~name:(name "lock_acquisitions")
+    ~help:
+      "every mutex acquisition the table ever made (writer + reader \
+       registration; the read path takes none)" (fun () ->
+      lock_acquisitions t);
+  Obs.Registry.register_gauge obs ~name:(name "resident")
+    ~help:"flows resident in the published region" (fun () ->
+      float_of_int (length t));
+  Obs.Registry.register_gauge obs ~name:(name "capacity")
+    ~help:"slots in the published region" (fun () ->
+      float_of_int (capacity t))

@@ -1,0 +1,147 @@
+(** A read-mostly concurrent flow table with lock-free lookups.
+
+    The storage model is {!Demux.Flat_table}'s packed struct-of-arrays
+    index — 1-byte tag filter, Robin-Hood displacement, the same
+    {!Demux.Flow_key} two-word keys and multiplicative hash — but
+    where the flat table mutates one region in place, this table
+    treats every {e published} region as immutable:
+
+    - {b Readers} never take a lock.  A lookup pins the calling
+      domain's epoch slot (one atomic store), loads the published
+      region pointer (one atomic load), probes the immutable arrays
+      exactly like [Flat_table.find_opt], and unpins.  The warm path
+      allocates zero minor-heap words.
+    - {b Writers} serialize on a single writer mutex.  A mutation
+      copies the current region, applies the Robin-Hood insert or
+      backward-shift delete (and any growth) to the private copy,
+      publishes the copy with one atomic store, and hands the old
+      region to {!Core.retire}.  Once every reader pinned before the
+      publish has unpinned, reclamation scrubs the old region
+      ({!Demux.Flat_table} dead tags + zeroed keys), so a
+      use-after-reclaim shows up as a deterministic miss instead of a
+      silent stale hit.
+
+    Each reader domain registers lazily on its first lookup (one slot
+    acquisition and one registration-mutex acquisition, never again);
+    steady-state reads take no mutex at all — {!lock_acquisitions}
+    counts every mutex acquisition the table ever makes, so a
+    measurement phase can assert its read path took none.  Per-domain
+    {!Demux.Lookup_stats} are merged on {!stats} read, as in
+    {!Parallel.Striped}. *)
+
+type 'a t
+
+val create :
+  ?hash:(int -> int -> int) -> ?initial_capacity:int -> ?max_readers:int ->
+  unit -> 'a t
+(** Defaults: {!Demux.Flow_key.hash_words}, the 8-slot minimum
+    capacity, 64 reader slots.  [hash] must match whatever full hash a
+    batched caller supplies to {!lookup_batch_keyed}.
+    @raise Invalid_argument if [initial_capacity < 0] or
+    [max_readers <= 0]. *)
+
+(** {1 Read path (lock-free)} *)
+
+val find_opt : 'a t -> w0:int -> w1:int -> 'a option
+val mem : 'a t -> w0:int -> w1:int -> bool
+
+val find_flow : 'a t -> Packet.Flow.t -> 'a option
+(** [find_opt] over {!Demux.Flow_key.w0_of_flow}/[w1_of_flow] —
+    allocation-free. *)
+
+val lookup_batch : 'a t -> Packet.Flow.t array -> int
+(** Probe every flow under one epoch pin; returns how many were found.
+    Charges the same per-lookup accounting as {!find_opt} plus one
+    {!Demux.Lookup_stats.note_batch}, mirroring
+    {!Parallel.Striped.lookup_batch}. *)
+
+val lookup_batch_keyed : 'a t -> Packet.Flow.t array -> hashes:int array -> int
+(** Like {!lookup_batch} with caller-supplied full hashes (computed
+    once upstream, e.g. by {!Parallel.Dispatcher} at shard time).  The
+    hashes {b must} come from this table's [hash] on the flow's key
+    words — the default matches [Dispatcher]'s default hasher.
+    @raise Invalid_argument if the arrays differ in length. *)
+
+val length : 'a t -> int
+(** Residents in the currently published region (one atomic load). *)
+
+val iter : (w0:int -> w1:int -> 'a -> unit) -> 'a t -> unit
+(** Iterate one consistent published region under a single epoch pin —
+    unlike {!Parallel.Striped.iter}, this {e is} an instantaneous cut
+    of the whole table. *)
+
+(** {2 Pinned views}
+
+    An explicit read-side critical section: {!pin} returns the region
+    published at pin time and keeps the calling domain's epoch slot
+    pinned until {!unpin}, so the view stays valid across any number
+    of concurrent writer publishes.  Pins nest ({!Domain_slot.pin});
+    lookups between [pin] and [unpin] are safe.  Used by the
+    grace-period audit in [lib/check] and by tests that must observe a
+    region {e outlive} its replacement. *)
+
+type 'a view
+
+val pin : 'a t -> 'a view
+val view_find : 'a view -> w0:int -> w1:int -> 'a option
+val view_length : 'a view -> int
+val unpin : 'a t -> unit
+(** @raise Invalid_argument if the calling domain holds no pin. *)
+
+(** {1 Write path (single writer mutex)} *)
+
+val replace : 'a t -> w0:int -> w1:int -> 'a -> unit
+(** Insert or overwrite, copy-on-write, publish, retire the old
+    region. *)
+
+val remove : 'a t -> w0:int -> w1:int -> unit
+(** Backward-shift delete on the private copy; absent keys publish
+    nothing. *)
+
+val load : 'a t -> (int * int * 'a) array -> unit
+(** Bulk [replace]: one copy, one publish, one retirement for the
+    whole batch — the setup path for benchmark populations. *)
+
+(** {1 Reclamation} *)
+
+val core : 'a t -> Core.t
+val reclaim : 'a t -> int
+val quiesce : 'a t -> unit
+val pending : 'a t -> int
+(** Passthroughs to this table's {!Core} domain.  Writers already run
+    an opportunistic {!Core.reclaim} after every publish, so these are
+    for tests and shutdown. *)
+
+(** {1 Accounting} *)
+
+val stats : 'a t -> Demux.Lookup_stats.snapshot
+(** Merged across the writer and every registered reader domain.  The
+    same point-in-time caveat as {!Parallel.Striped.stats} applies
+    while readers run. *)
+
+val publishes : 'a t -> int
+(** Region replacements so far. *)
+
+val capacity : 'a t -> int
+
+val lock_acquisitions : 'a t -> int
+(** Every mutex acquisition this table has ever performed (writer
+    mutex + reader-registration mutex — there are no others).  A
+    read-only phase over already-registered domains must leave this
+    unchanged; bench E33 asserts exactly that. *)
+
+val registry : ?initial_capacity:int -> unit -> 'a Demux.Registry.t
+(** A fresh epoch table behind the {!Demux.Registry} record (named
+    ["epoch-table"], single-domain discipline like every registry
+    algorithm): PCB values, duplicate-insert rejection, one PCB
+    examined charged per lookup — the flat-index accounting
+    [Check.Subject.of_flat] uses, so the differential oracle predicts
+    its counters exactly.  [Demux.Registry.spec] cannot name this
+    table (the dependency points the other way), which is why the
+    constructor lives here. *)
+
+val register_obs : ?prefix:string -> Obs.Registry.t -> 'a t -> unit
+(** {!Core.register_obs} plus per-operation table counters
+    ([<prefix>.lookups]/[.found]/[.inserts]/[.removes]/[.batches]/
+    [.publishes]/[.lock_acquisitions]) and gauges ([.resident]/
+    [.capacity]); default prefix ["epoch.table"]. *)

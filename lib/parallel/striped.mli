@@ -12,7 +12,19 @@
 
     All operations are safe to call from any domain.  Statistics are
     kept per stripe and merged on read, so the hot path never shares a
-    counter across stripes. *)
+    counter across stripes.
+
+    {b Scaling caveat.}  Striping removes {e collisions}, not the
+    {e locks}: every lookup still acquires its stripe's mutex, so
+    aggregate read throughput flattens once lock traffic — not chain
+    length — is the bottleneck (bench E33 measures the flattening at
+    8 domains).  For a read-mostly population the ceiling above this
+    design is [Epoch.Table], whose lookups take no lock at all:
+    readers pin an epoch and probe an immutable published region,
+    writers serialize on one mutex and retire replaced regions
+    through a grace period.  Reach it from the same harnesses via
+    {!Throughput.Epoch_table} and the ["epoch-table"] check
+    subject. *)
 
 type 'a t
 

@@ -1,9 +1,14 @@
-type target = Coarse_bsd | Coarse_sequent of int | Striped_sequent of int
+type target =
+  | Coarse_bsd
+  | Coarse_sequent of int
+  | Striped_sequent of int
+  | Epoch_table
 
 let target_name = function
   | Coarse_bsd -> "coarse:bsd"
   | Coarse_sequent chains -> Printf.sprintf "coarse:sequent-%d" chains
   | Striped_sequent chains -> Printf.sprintf "striped:sequent-%d" chains
+  | Epoch_table -> "epoch:table"
 
 type result = {
   target : string;
@@ -128,6 +133,17 @@ let run ?obs ?trace_capacity ?(connections = 2000)
       Array.iter (fun flow -> ignore (Striped.insert d flow ())) flows;
       ((fun flow -> Striped.lookup d flow <> None),
        fun batch -> Striped.lookup_batch d batch)
+    | Epoch_table ->
+      let d = Epoch.Table.create () in
+      Epoch.Table.load d
+        (Array.map
+           (fun flow ->
+             ( Demux.Flow_key.w0_of_flow flow,
+               Demux.Flow_key.w1_of_flow flow,
+               () ))
+           flows);
+      ((fun flow -> Epoch.Table.find_flow d flow <> None),
+       fun batch -> Epoch.Table.lookup_batch d batch)
   in
   (* One histogram per domain, merged after the join: recording stays
      allocation- and contention-free on the measurement path. *)

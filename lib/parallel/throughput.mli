@@ -6,7 +6,13 @@
     per-domain flow sequence, and reports aggregate throughput.  This
     is the experiment behind the paper's parallel-TCP motivation: with
     a single lock, adding processors adds nothing; with per-chain
-    locks, throughput scales until chains collide.
+    locks, throughput scales until chains collide — and even
+    collision-free striping is {e not} the scaling ceiling, because
+    every lookup still pays one mutex acquisition.  The
+    {!Epoch_table} target measures the design past that wall:
+    [Epoch.Table]'s lock-free read path (readers pin an epoch and
+    probe an immutable published region; bench E33 is the
+    striped-vs-epoch scaling table).
 
     All timing — the run's elapsed window and the optional per-lookup
     latency — uses the monotonic nanosecond clock ({!Obs.Clock.now_ns}),
@@ -14,7 +20,15 @@
     inflated intervals.  Any interval that still came out negative
     would be clamped to zero and counted ([clock_went_backwards]). *)
 
-type target = Coarse_bsd | Coarse_sequent of int | Striped_sequent of int
+type target =
+  | Coarse_bsd
+  | Coarse_sequent of int
+  | Striped_sequent of int
+  | Epoch_table
+      (** {!Epoch.Table} — lock-free lookups over an immutable
+          published region, epoch-based reclamation.  Timing uses the
+          same monotonic clock and the same clamp-and-count
+          ([clock_went_backwards]) discipline as every other target. *)
 
 val target_name : target -> string
 

@@ -95,6 +95,39 @@ let churn_resize () =
   in
   Check.Op.v ~label:"churn-resize" ~seed:6 (Array.of_list ops)
 
+(* The epoch-reclaim scenario, single-threaded half: churn that drives
+   the epoch table through every copy-publish-retire growth cycle
+   (populations 8, 15, 29 from the 8-slot minimum) with removes,
+   misses and re-inserts landing between publishes.  The first seven
+   ops are plain inserts on purpose: test_check.ml replays this
+   program twice — once through the differential oracle like any
+   corpus entry, and once onto a bare Epoch.Table with a view pinned
+   after op 7, the reader that outlives every region the writer
+   retires.  Flows are offset from churn_resize's so the two programs
+   stay distinguishable in a diff. *)
+let epoch_reclaim () =
+  let flow i = Sim.Topology.flow_of_client (100 + i) in
+  let insert i = op Check.Op.Insert (flow i) in
+  let lookup i = op Check.Op.Lookup (flow i) in
+  let remove i = op Check.Op.Remove (flow i) in
+  let range a b f = List.init (b - a + 1) (fun k -> f (a + k)) in
+  let ops =
+    (* seven inserts: one capacity-8 region, the pin point *)
+    range 0 6 insert
+    (* the 8th insert fires growth #1; churn while the pinned reader
+       still holds the pre-growth region *)
+    @ [ insert 7; remove 1; lookup 1; insert 1; lookup 1 ]
+    (* population 8 -> 14, the 15th fires growth #2 *)
+    @ range 8 13 insert
+    @ [ insert 14; remove 3; remove 10; lookup 3; lookup 10; insert 3 ]
+    (* population 14 -> 28, the 29th fires growth #3 *)
+    @ range 15 28 insert
+    @ [ insert 29; remove 20; lookup 20; insert 30 ]
+    (* sweep every flow: hits, and misses for 10 and 20 *)
+    @ range 0 30 lookup
+  in
+  Check.Op.v ~label:"epoch-reclaim" ~seed:17 (Array.of_list ops)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
   let save name program =
@@ -105,6 +138,7 @@ let () =
   save "robin-hood-backward-shift" (robin_hood ());
   save "guarded-eviction" (guarded_eviction ());
   save "churn_resize" (churn_resize ());
+  save "epoch-reclaim" (epoch_reclaim ());
   save "boundary-tuples"
     (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
        ~pool:48 ~ops:300);

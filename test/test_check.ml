@@ -33,6 +33,7 @@ let all_subjects () =
   @ [ (fun () -> Check.Subject.striped ());
       (fun () -> Check.Subject.flat_table ());
       (fun () -> Check.Subject.flat_table_doubling ());
+      (fun () -> Check.Subject.epoch_table ());
       (fun () -> Check.Subject.guarded_flat_table ()) ]
 
 let buggy_subject () =
@@ -110,13 +111,13 @@ let qcheck_op_round_trip =
 
 let test_diff_all_algorithms_clean () =
   (* Every profile, every subject, one program each: zero mismatches.
-     This is the tentpole invariant — all sixteen implementations
+     This is the tentpole invariant — all seventeen implementations
      agree with the reference model op for op. *)
   let summary, failures =
     Check.Fuzz.campaign ~programs_per_profile:1 ~ops:768 ~pool:48
       ~subjects:(all_subjects ()) ~seed:42 ()
   in
-  Alcotest.(check int) "subjects" 16 (List.length summary.Check.Diff.subjects);
+  Alcotest.(check int) "subjects" 17 (List.length summary.Check.Diff.subjects);
   Alcotest.(check int) "programs" 5 summary.Check.Diff.programs;
   Alcotest.(check bool) "ops executed" true (summary.Check.Diff.ops > 10_000);
   (match summary.Check.Diff.mismatches with
@@ -569,6 +570,183 @@ let test_batch_accounting_equals_scalar () =
     (b.Demux.Lookup_stats.batches > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Epoch table: lockstep determinism and the grace-period audit        *)
+
+let apply_epoch table (o : Check.Op.op) index =
+  let w0 = Demux.Flow_key.w0_of_flow o.Check.Op.flow
+  and w1 = Demux.Flow_key.w1_of_flow o.Check.Op.flow in
+  match o.Check.Op.kind with
+  | Check.Op.Insert ->
+    Epoch.Table.replace table ~w0 ~w1 index;
+    Inserted
+  | Check.Op.Remove ->
+    let prior = Epoch.Table.find_opt table ~w0 ~w1 in
+    Epoch.Table.remove table ~w0 ~w1;
+    Removed prior
+  | Check.Op.Lookup | Check.Op.Ack_lookup | Check.Op.Send ->
+    Found (Epoch.Table.find_opt table ~w0 ~w1)
+
+let test_epoch_four_domain_lockstep () =
+  let domains = 4 in
+  let ops = churn_ops ~pool:200 ~ops:8_000 ~seed:35 in
+  let n = Array.length ops in
+  (* Single-domain reference run of the same driver. *)
+  let reference = Epoch.Table.create () in
+  let expected = Array.mapi (fun i o -> apply_epoch reference o i) ops in
+  (* 4-domain run: domain d owns the flows hashing to bucket d and
+     applies its ops in program order, so every per-flow op sequence
+     is exactly the single-domain one.  Writers serialize on the
+     table's writer mutex and readers are lock-free, but a flow's
+     presence depends only on its own op sequence — so every result
+     and the merged stats must come out identical (the table charges
+     exactly one examination per lookup, an order-independent
+     discipline). *)
+  let table = Epoch.Table.create () in
+  let results = Array.make n Inserted in
+  let owner_of (o : Check.Op.op) =
+    Hashing.Hashers.bucket_flow Hashing.Hashers.multiplicative
+      ~buckets:domains o.Check.Op.flow
+  in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Array.iteri
+              (fun i o ->
+                if owner_of o = d then results.(i) <- apply_epoch table o i)
+              ops))
+  in
+  List.iter Domain.join workers;
+  for i = 0 to n - 1 do
+    if results.(i) <> expected.(i) then
+      Alcotest.fail (Printf.sprintf "op %d diverged from single-domain run" i)
+  done;
+  let merged = Epoch.Table.stats table
+  and single = Epoch.Table.stats reference in
+  Alcotest.(check bool) "merged stats match single-domain run" true
+    (merged = single);
+  (* Every region the concurrent run retired is reclaimable once the
+     workers are gone. *)
+  Epoch.Table.quiesce table;
+  Alcotest.(check int) "retire backlog drained" 0 (Epoch.Table.pending table);
+  (* The scalar Sequent algorithm, driven by the same program, returns
+     the same payload for every op — same per-flow histories — and
+     agrees on the result-derived counters (examined counts differ by
+     design: Sequent charges chain positions, the epoch table charges
+     one probe). *)
+  let scalar =
+    Demux.Sequent.create ~chains:19 ~hasher:Hashing.Hashers.multiplicative ()
+  in
+  Array.iteri
+    (fun i (o : Check.Op.op) ->
+      let r =
+        match o.Check.Op.kind with
+        | Check.Op.Insert ->
+          ignore (Demux.Sequent.insert scalar o.Check.Op.flow i);
+          Inserted
+        | Check.Op.Remove ->
+          Removed
+            (Option.map
+               (fun pcb -> pcb.Demux.Pcb.data)
+               (Demux.Sequent.remove scalar o.Check.Op.flow))
+        | Check.Op.Lookup | Check.Op.Ack_lookup | Check.Op.Send ->
+          Found
+            (Option.map
+               (fun pcb -> pcb.Demux.Pcb.data)
+               (Demux.Sequent.lookup scalar o.Check.Op.flow))
+      in
+      if r <> expected.(i) then
+        Alcotest.fail
+          (Printf.sprintf "op %d: scalar Sequent result diverged" i))
+    ops;
+  let scalar_stats = Demux.Lookup_stats.snapshot (Demux.Sequent.stats scalar) in
+  Alcotest.(check int) "inserts match scalar Sequent"
+    scalar_stats.Demux.Lookup_stats.inserts merged.Demux.Lookup_stats.inserts;
+  Alcotest.(check int) "removes match scalar Sequent"
+    scalar_stats.Demux.Lookup_stats.removes merged.Demux.Lookup_stats.removes
+
+let test_epoch_audit_real_table_passes () =
+  let r =
+    Check.Epoch_audit.run
+      (module struct
+        include Epoch.Table
+
+        let create () = create ()
+      end)
+  in
+  Alcotest.(check int) "pinned view answers every probe" 0
+    r.Check.Epoch_audit.wrong;
+  Alcotest.(check bool) "retire backlog visible while pinned" true
+    (r.Check.Epoch_audit.pending_while_pinned > 0);
+  Alcotest.(check int) "backlog drains at quiesce" 0
+    r.Check.Epoch_audit.pending_after_quiesce;
+  Alcotest.(check bool) "audit passes" true (Check.Epoch_audit.passed r)
+
+let test_epoch_audit_catches_buggy_epoch () =
+  let r =
+    Check.Epoch_audit.run
+      (module struct
+        include Check.Buggy_epoch
+
+        let create () = create ()
+      end)
+  in
+  (* The planted bug scrubs the pinned region at publish time, so the
+     pinned view misses every flow that was resident — a total, not a
+     partial, failure — and nothing is ever deferred. *)
+  Alcotest.(check int) "pinned view lost every resident"
+    r.Check.Epoch_audit.probed r.Check.Epoch_audit.wrong;
+  Alcotest.(check bool) "probes happened" true
+    (r.Check.Epoch_audit.probed > 0);
+  Alcotest.(check int) "nothing deferred while pinned" 0
+    r.Check.Epoch_audit.pending_while_pinned;
+  Alcotest.(check bool) "audit fails" false (Check.Epoch_audit.passed r)
+
+let test_corpus_epoch_reclaim () =
+  (* The pinned program's first seven ops build a capacity-8 region;
+     the rest churns across all three growth boundaries (populations
+     8, 15, 29) with removes and re-inserts in flight.  Replaying it
+     against every subject is covered by the replays-clean test; this
+     one replays it onto a bare epoch table with a view pinned after
+     the seventh insert — the reader that outlives every region the
+     writer retires — and checks the view still answers with the
+     pin-time payloads even for flows the churn removed or rebound. *)
+  let program = load_corpus "epoch-reclaim.prog" in
+  let ops = program.Check.Op.ops in
+  let table = Epoch.Table.create () in
+  let split = 7 in
+  for i = 0 to split - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "op %d is an insert" i)
+      true
+      (ops.(i).Check.Op.kind = Check.Op.Insert);
+    ignore (apply_epoch table ops.(i) i)
+  done;
+  let resident = ref [] in
+  Epoch.Table.iter
+    (fun ~w0 ~w1 v -> resident := (w0, w1, v) :: !resident)
+    table;
+  Alcotest.(check int) "seven residents at pin time" split
+    (List.length !resident);
+  let view = Epoch.Table.pin table in
+  for i = split to Array.length ops - 1 do
+    ignore (apply_epoch table ops.(i) i)
+  done;
+  Alcotest.(check bool) "crossed all three growth boundaries" true
+    (Epoch.Table.capacity table >= 64);
+  Alcotest.(check bool) "writer retired regions across the pin" true
+    (Epoch.Table.pending table > 0);
+  List.iter
+    (fun (w0, w1, v) ->
+      match Epoch.Table.view_find view ~w0 ~w1 with
+      | Some v' when v' = v -> ()
+      | _ -> Alcotest.fail "pinned view lost a pin-time resident")
+    !resident;
+  Epoch.Table.unpin table;
+  Epoch.Table.quiesce table;
+  Alcotest.(check int) "backlog drains after unpin" 0
+    (Epoch.Table.pending table)
+
+(* ------------------------------------------------------------------ *)
 (* Cross-validation and the report                                     *)
 
 let test_xval_grid_passes () =
@@ -711,6 +889,15 @@ let () =
             test_striped_four_domain_lockstep;
           quick "batch accounting equals scalar"
             test_batch_accounting_equals_scalar ] );
+      ( "epoch",
+        [ quick "4-domain lockstep equals single domain"
+            test_epoch_four_domain_lockstep;
+          quick "grace-period audit passes the real table"
+            test_epoch_audit_real_table_passes;
+          quick "grace-period audit catches the planted bug"
+            test_epoch_audit_catches_buggy_epoch;
+          quick "pinned reader survives the corpus churn"
+            test_corpus_epoch_reclaim ] );
       ( "chaos",
         [ quick "every scenario audits clean" test_chaos_audit_all_scenarios;
           quick "report write/validate round trip"

@@ -657,6 +657,31 @@ let test_throughput_batched () =
   | Some { Obs.Registry.data = Obs.Registry.Counter 0; _ } -> ()
   | _ -> Alcotest.fail "clock_went_backwards counter missing or nonzero"
 
+let test_throughput_epoch_table () =
+  (* The lock-free target: same harness, same monotonic-clock
+     discipline (backwards reads clamped and counted, never negative
+     samples) as the striped targets. *)
+  let result =
+    Parallel.Throughput.run ~connections:200 ~lookups_per_domain:20_000
+      ~domains:2 Parallel.Throughput.Epoch_table
+  in
+  Alcotest.(check string) "target" "epoch:table"
+    result.Parallel.Throughput.target;
+  Alcotest.(check int) "total" 40_000 result.Parallel.Throughput.total_lookups;
+  Alcotest.(check bool) "positive rate" true
+    (result.Parallel.Throughput.lookups_per_second > 0.0);
+  Alcotest.(check int) "no backwards clock reads" 0
+    result.Parallel.Throughput.clock_went_backwards;
+  (* Batched mode drives lookup_batch under one pin per batch. *)
+  let batched =
+    Parallel.Throughput.run ~connections:200 ~lookups_per_domain:10_000
+      ~batch:8 ~domains:2 Parallel.Throughput.Epoch_table
+  in
+  Alcotest.(check int) "batched total" 20_000
+    batched.Parallel.Throughput.total_lookups;
+  Alcotest.(check int) "batched: no backwards clock reads" 0
+    batched.Parallel.Throughput.clock_went_backwards
+
 let test_worker_rng () =
   let a = Parallel.Worker_rng.create 5 in
   let b = Parallel.Worker_rng.create 5 in
@@ -805,6 +830,8 @@ let () =
       ( "throughput",
         [ Alcotest.test_case "smoke" `Quick test_throughput_smoke;
           Alcotest.test_case "batched mode" `Quick test_throughput_batched;
+          Alcotest.test_case "epoch table target" `Quick
+            test_throughput_epoch_table;
           Alcotest.test_case "worker rng" `Quick test_worker_rng;
           QCheck_alcotest.to_alcotest worker_rng_in_bounds;
           Alcotest.test_case "rng uniformity" `Quick test_worker_rng_uniform ] );
