@@ -692,11 +692,13 @@ let parse_target name =
       Ok (Parallel.Throughput.Striped_sequent chains)
     | _ -> Error (Printf.sprintf "unknown striped target %S" name))
   | [ "epoch" ] | [ "epoch"; "table" ] -> Ok Parallel.Throughput.Epoch_table
+  | [ "offheap" ] | [ "epoch"; "offheap" ] ->
+    Ok Parallel.Throughput.Offheap_epoch
   | _ ->
     Error
       (Printf.sprintf
          "unknown target %S (try: coarse:bsd, coarse:sequent-19, \
-          striped:sequent-19, epoch)"
+          striped:sequent-19, epoch, epoch:offheap)"
          name)
 
 (* The same synthetic flow population Throughput builds internally,
@@ -755,8 +757,35 @@ let run_pipeline_epoch ?obs ?tracer ~workers ~batch ~connections ~packets
   Epoch.Table.quiesce table;
   result
 
+(* And over the off-heap epoch table: identical pipeline shape, but
+   the published region is Bigarray storage and retired regions are
+   freed eagerly at reclaim (values are the flow's load index). *)
+let run_pipeline_offheap ?obs ?tracer ~workers ~batch ~connections ~packets
+    ~seed () =
+  let flows = parallel_flows connections in
+  let table = Epoch.Packed.Offheap.create () in
+  Epoch.Packed.Offheap.load table
+    (Array.mapi
+       (fun i flow ->
+         ( Demux.Flow_key.w0_of_flow flow,
+           Demux.Flow_key.w1_of_flow flow,
+           i ))
+       flows);
+  Option.iter
+    (fun obs -> Epoch.Packed.Offheap.register_obs obs table)
+    obs;
+  let stream = pipeline_stream flows ~packets ~seed in
+  let result =
+    Parallel.Dispatcher.run ?obs ?tracer ~workers ~batch
+      ~lookup_batch:(fun flows ~hashes ->
+        Epoch.Packed.Offheap.lookup_batch_keyed table flows ~hashes)
+      stream
+  in
+  Epoch.Packed.Offheap.quiesce table;
+  result
+
 let run_parallel targets domains batches connections lookups pipeline epoch
-    smoke seed obs_json trace_file trace_capacity =
+    offheap smoke seed obs_json trace_file trace_capacity =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
@@ -778,6 +807,14 @@ let run_parallel targets domains batches connections lookups pipeline epoch
     let targets =
       if epoch && not (List.mem Parallel.Throughput.Epoch_table targets) then
         targets @ [ Parallel.Throughput.Epoch_table ]
+      else targets
+    in
+    (* --offheap: likewise for the Bigarray-backed epoch table. *)
+    let targets =
+      if
+        offheap
+        && not (List.mem Parallel.Throughput.Offheap_epoch targets)
+      then targets @ [ Parallel.Throughput.Offheap_epoch ]
       else targets
     in
     if List.exists (fun d -> d <= 0) domains then
@@ -844,7 +881,9 @@ let run_parallel targets domains batches connections lookups pipeline epoch
       in
       if pipeline then begin
         pipeline_pass ~label:"striped" run_pipeline;
-        if epoch then pipeline_pass ~label:"epoch-table" run_pipeline_epoch
+        if epoch then pipeline_pass ~label:"epoch-table" run_pipeline_epoch;
+        if offheap then
+          pipeline_pass ~label:"offheap-epoch-table" run_pipeline_offheap
       end;
       (try
          (match (obs_json, obs) with
@@ -885,7 +924,8 @@ let parallel_cmd =
       & info [ "t"; "targets" ] ~docv:"TARGETS"
           ~doc:
             "Comma-separated targets: coarse:bsd, coarse:sequent[-H], \
-             striped:sequent[-H], epoch (the lock-free epoch table).")
+             striped:sequent[-H], epoch (the lock-free epoch table), \
+             epoch:offheap (the same protocol over Bigarray storage).")
   in
   let domains =
     Arg.(
@@ -932,6 +972,17 @@ let parallel_cmd =
              over it as well; with --obs-json, its epoch.* reclamation \
              and per-operation counters land in the snapshot.")
   in
+  let offheap =
+    Arg.(
+      value & flag
+      & info [ "offheap" ]
+          ~doc:
+            "Add the Bigarray-backed epoch table (Epoch.Packed.Offheap) \
+             to the measured targets, and — when the pipeline runs — \
+             drive the dispatcher over it as well; with --obs-json, its \
+             epoch.packed.* counters (including resident storage bytes) \
+             land in the snapshot.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -946,8 +997,8 @@ let parallel_cmd =
     Term.(
       ret
         (const run_parallel $ targets $ domains $ batches $ connections
-        $ lookups $ pipeline $ epoch $ smoke $ seed_arg $ obs_json_arg
-        $ trace_file_arg $ trace_capacity_arg))
+        $ lookups $ pipeline $ epoch $ offheap $ smoke $ seed_arg
+        $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 (* check: differential oracle + fuzz + cross-validation (lib/check)    *)
@@ -965,7 +1016,8 @@ let run_check algorithms smoke seed ops pool programs_per_profile no_xval
               (fun () -> Check.Subject.flat_table ());
               (fun () -> Check.Subject.flat_table_doubling ());
               (fun () -> Check.Subject.guarded_flat_table ());
-              (fun () -> Check.Subject.epoch_table ()) ]
+              (fun () -> Check.Subject.epoch_table ());
+              (fun () -> Check.Subject.offheap_table ()) ]
         in
         let programs_per_profile =
           if smoke then 2 else programs_per_profile

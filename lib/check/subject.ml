@@ -152,6 +152,62 @@ let epoch_table () =
       let iter = Epoch.Table.iter
     end)
 
+let of_packed ?initial_capacity ?resize ~name (module M : Demux.Packed_table.S)
+    =
+  (* Packed tables hold bare ints, which is exactly the oracle's
+     payload type — no Pcb box needed.  Flows for [contents] are
+     reconstructed from the stored words ([Flow_key.to_flow] is the
+     packing's inverse), so this adapter also exercises the round-trip
+     the boundary qcheck in test_demux.ml pins. *)
+  let table = M.create ?initial_capacity ?resize () in
+  let stats = Demux.Lookup_stats.create () in
+  let words flow =
+    (Demux.Flow_key.w0_of_flow flow, Demux.Flow_key.w1_of_flow flow)
+  in
+  { name;
+    insert =
+      (fun flow v ->
+        let w0, w1 = words flow in
+        if M.mem table ~w0 ~w1 then
+          invalid_arg (name ^ ".insert: duplicate flow");
+        M.replace table ~w0 ~w1 v;
+        Demux.Lookup_stats.note_insert stats);
+    remove =
+      (fun flow ->
+        let w0, w1 = words flow in
+        match M.find_opt table ~w0 ~w1 with
+        | None -> None
+        | Some v ->
+          M.remove table ~w0 ~w1;
+          Demux.Lookup_stats.note_remove stats;
+          Some (flow, v));
+    lookup =
+      (fun ~kind:_ flow ->
+        let w0, w1 = words flow in
+        Demux.Lookup_stats.begin_lookup stats;
+        Demux.Lookup_stats.examine stats ();
+        let result = M.find_opt table ~w0 ~w1 in
+        Demux.Lookup_stats.end_lookup stats ~hit_cache:false
+          ~found:(result <> None);
+        Option.map (fun v -> (flow, v)) result);
+    note_send = (fun _ -> ());
+    stats = (fun () -> Demux.Lookup_stats.snapshot stats);
+    length = (fun () -> M.length table);
+    contents =
+      (fun () ->
+        let acc = ref [] in
+        M.iter
+          (fun ~w0 ~w1 v ->
+            acc :=
+              (Demux.Flow_key.to_flow (Demux.Flow_key.make ~w0 ~w1), v)
+              :: !acc)
+          table;
+        sorted_contents !acc);
+    guard = None }
+
+let offheap_table () =
+  of_packed ~name:"offheap-table" (module Demux.Packed_table.Offheap)
+
 let guarded_flat_table ?(max_chain = 8) ?(max_total = 40) ?(chains = 4) () =
   let config = Demux.Guarded.config ~max_chain ~max_total ~chains () in
   let guard = Demux.Guarded.create config in

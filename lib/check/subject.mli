@@ -79,6 +79,21 @@ val epoch_table : unit -> t
     still happens exactly as under concurrency; the reader-pinned half
     of the story is covered by {!Epoch_audit}. *)
 
+val of_packed :
+  ?initial_capacity:int -> ?resize:Demux.Flat_table.resize ->
+  name:string -> (module Demux.Packed_table.S) -> t
+(** A demultiplexer over a {!Demux.Packed_table} instance.  Payloads
+    are stored directly in the table's int value lane (no PCB box);
+    [contents] reconstructs each flow from its packed words, so every
+    differential run also exercises the {!Demux.Flow_key} round-trip. *)
+
+val offheap_table : unit -> t
+(** {!Demux.Packed_table.Offheap} — the Bigarray-backed flat index —
+    behind {!of_packed} under the name ["offheap-table"], at minimum
+    initial capacity with the default incremental resize, so
+    differential programs cross resize boundaries over off-heap
+    regions.  Check subject #18. *)
+
 val guarded_flat_table :
   ?max_chain:int -> ?max_total:int -> ?chains:int -> unit -> t
 (** A {!Demux.Guarded} overload guard (defaults: [max_chain 8],

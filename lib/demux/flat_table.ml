@@ -270,8 +270,19 @@ let finish_drain t =
 
 (* Mark an old-region slot dead: O(1), no displacement run.  The
    stored hash stays behind for probe-distance arithmetic; only the
-   binding is released. *)
+   binding is released.  The guard keeps [pending_migration]
+   (= [o.count]) from ever going negative: both callers probe for a
+   live slot first, but a double dead-mark — say an eviction driven
+   through a wrapper racing a plain remove to the same old-region
+   slot — would make the drain's [o.count = 0] termination test
+   unreachable and wedge the resize forever; fail loudly instead. *)
 let kill_slot o slot =
+  if o.count <= 0 || Bytes.get_uint8 o.tags slot = 0
+     || Bytes.get_uint8 o.tags slot = dead_tag
+  then
+    invalid_arg
+      "Flat_table: dead-marking a non-live old-region slot \
+       (pending_migration accounting would go negative)";
   Bytes.set_uint8 o.tags slot dead_tag;
   o.vals.(slot) <- None;
   o.count <- o.count - 1

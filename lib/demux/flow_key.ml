@@ -11,6 +11,22 @@
 
 type t = { w0 : int; w1 : int }
 
+(* The packing above needs 48 significant bits per word, and
+   [addr_int]'s [Int32.to_int ... land 0xFFFFFFFF] sign-extension
+   cleanup is only correct when the native int is wider than 32 bits.
+   On a 32-bit platform (Sys.int_size = 31) or in JS (32-bit floats'
+   53-bit ints aside, jsoo gives 32) the [lsl 16] would silently
+   truncate the address — refuse to start rather than mis-demultiplex:
+   every table in lib/demux keys on these words. *)
+let () =
+  if Sys.int_size < 63 then
+    failwith
+      (Printf.sprintf
+         "Flow_key: packed 48-bit flow words require 63-bit native ints, \
+          but Sys.int_size = %d on this platform (32-bit and js_of_ocaml \
+          runtimes are unsupported)"
+         Sys.int_size)
+
 let addr_int a = Int32.to_int (Packet.Ipv4.addr_to_int32 a) land 0xFFFFFFFF
 
 let word_of_endpoint (e : Packet.Flow.endpoint) =

@@ -13,7 +13,12 @@
     no allocation, unlike {!Packet.Flow.to_key_bytes} which builds a
     fresh 12-byte string per call.  Hashing is bit-identical to
     hashing the canonical key bytes (asserted by qcheck in
-    test_demux.ml). *)
+    test_demux.ml).
+
+    Requires 63-bit native ints: loading this module on a platform
+    with [Sys.int_size < 63] (32-bit, js_of_ocaml) raises [Failure]
+    at startup instead of silently truncating addresses in the
+    [lsl 16] packing. *)
 
 type t = private { w0 : int; w1 : int }
 (** The packed key.  The record itself is boxed — cold paths (table

@@ -1,0 +1,344 @@
+(* Flat_table's Robin-Hood + incremental-resize machinery, functored
+   over Storage.S so the slot arrays can live off the OCaml heap.
+   The algorithm is line-for-line the one in flat_table.ml (see the
+   long header there for the displacement / dead-marking / drain
+   arguments); differences are confined to:
+
+   - slot access goes through the storage module's accessors (which
+     compile to direct Bytes/Array/Bigarray loads in each instance);
+   - values are bare ints, so there is no [vals : 'a option array] —
+     occupancy is the tag byte alone, and no lane ever holds a
+     pointer;
+   - [kill_slot] assertion-checks the old-region accounting so
+     [pending_migration] can never silently go negative (ISSUE 8
+     satellite: a double dead-mark under a Guarded wrapper's eviction
+     racing a user remove would otherwise wedge the drain-termination
+     condition [o.count = 0]). *)
+
+module type S = sig
+  type t
+
+  val backend : string
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?resize:Flat_table.resize -> unit -> t
+
+  val length : t -> int
+  val capacity : t -> int
+  val resize_policy : t -> Flat_table.resize
+  val resizes : t -> int
+  val pending_migration : t -> int
+  val bytes : t -> int
+  val find : t -> w0:int -> w1:int -> int
+  val find_opt : t -> w0:int -> w1:int -> int option
+  val mem : t -> w0:int -> w1:int -> bool
+  val replace : t -> w0:int -> w1:int -> int -> unit
+  val remove : t -> w0:int -> w1:int -> unit
+  val iter : (w0:int -> w1:int -> int -> unit) -> t -> unit
+  val fold : (w0:int -> w1:int -> int -> 'b -> 'b) -> t -> 'b -> 'b
+  val clear : t -> unit
+  val max_probe_length : t -> int
+end
+
+let default_hash = Flow_key.hash_words
+let min_capacity = 8
+let migration_entries = 4
+let migration_slot_budget = 32
+let dead_tag = Storage.dead_tag
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+module Make (St : Storage.S) : S = struct
+  type region = { store : St.t; mutable count : int }
+
+  type t = {
+    mutable cur : region;
+    mutable old : region option;
+    mutable migrate_pos : int;
+    mutable resizes : int;
+    resize : Flat_table.resize;
+    hash : int -> int -> int;
+  }
+
+  let backend = St.backend
+  let make_region cap = { store = St.create ~capacity:cap; count = 0 }
+
+  let create ?(hash = default_hash) ?(initial_capacity = min_capacity)
+      ?(resize = Flat_table.Incremental) () =
+    if initial_capacity < 0 then
+      invalid_arg "Packed_table.create: initial_capacity < 0";
+    let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+    { cur = make_region cap;
+      old = None;
+      migrate_pos = 0;
+      resizes = 0;
+      resize;
+      hash }
+
+  let length t =
+    t.cur.count + (match t.old with Some o -> o.count | None -> 0)
+
+  let capacity t = St.capacity t.cur.store
+  let resize_policy t = t.resize
+  let resizes t = t.resizes
+  let pending_migration t = match t.old with Some o -> o.count | None -> 0
+
+  let bytes t =
+    St.bytes t.cur.store
+    + (match t.old with Some o -> St.bytes o.store | None -> 0)
+
+  let tag_of_hash h =
+    let tag = (h lsr 16) land 0xFF in
+    if tag = 0 || tag = dead_tag then 1 else tag
+
+  let[@inline] distance s slot = (slot - (St.hash s slot land St.mask s)) land St.mask s
+
+  let rec probe s tag w0 w1 slot dist =
+    let resident = St.tag s slot in
+    if resident = 0 then -1
+    else if resident = tag && St.w0 s slot = w0 && St.w1 s slot = w1 then slot
+    else if distance s slot < dist then -1
+    else probe s tag w0 w1 ((slot + 1) land St.mask s) (dist + 1)
+
+  let region_slot s h tag w0 w1 = probe s tag w0 w1 (h land St.mask s) 0
+
+  let find t ~w0 ~w1 =
+    let h = t.hash w0 w1 in
+    let tag = tag_of_hash h in
+    let slot = region_slot t.cur.store h tag w0 w1 in
+    if slot >= 0 then St.value t.cur.store slot
+    else
+      match t.old with
+      | None -> raise Not_found
+      | Some o ->
+        let slot = region_slot o.store h tag w0 w1 in
+        if slot >= 0 then St.value o.store slot else raise Not_found
+
+  let find_opt t ~w0 ~w1 =
+    match find t ~w0 ~w1 with v -> Some v | exception Not_found -> None
+
+  let mem t ~w0 ~w1 =
+    let h = t.hash w0 w1 in
+    let tag = tag_of_hash h in
+    region_slot t.cur.store h tag w0 w1 >= 0
+    || (match t.old with
+       | None -> false
+       | Some o -> region_slot o.store h tag w0 w1 >= 0)
+
+  let insert_fresh r h w0 w1 v =
+    let s = r.store in
+    let tag = ref (tag_of_hash h) in
+    let h = ref h and w0 = ref w0 and w1 = ref w1 and v = ref v in
+    let slot = ref (!h land St.mask s) in
+    let dist = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let resident = St.tag s !slot in
+      if resident = 0 then begin
+        St.set_tag s !slot !tag;
+        St.set_hash s !slot !h;
+        St.set_words s !slot ~w0:!w0 ~w1:!w1;
+        St.set_value s !slot !v;
+        continue := false
+      end
+      else begin
+        let resident_dist = distance s !slot in
+        if resident_dist < !dist then begin
+          let h' = St.hash s !slot and w0' = St.w0 s !slot
+          and w1' = St.w1 s !slot in
+          let v' = St.value s !slot in
+          St.set_tag s !slot !tag;
+          St.set_hash s !slot !h;
+          St.set_words s !slot ~w0:!w0 ~w1:!w1;
+          St.set_value s !slot !v;
+          tag := tag_of_hash h';
+          h := h';
+          w0 := w0';
+          w1 := w1';
+          v := v';
+          dist := resident_dist
+        end;
+        slot := (!slot + 1) land St.mask s;
+        incr dist
+      end
+    done;
+    r.count <- r.count + 1
+
+  let backshift_remove r slot =
+    let s = r.store in
+    let i = ref slot in
+    let continue = ref true in
+    while !continue do
+      let next = (!i + 1) land St.mask s in
+      if St.tag s next = 0 || distance s next = 0 then begin
+        St.set_tag s !i 0;
+        St.set_value s !i 0;
+        continue := false
+      end
+      else begin
+        St.set_tag s !i (St.tag s next);
+        St.set_hash s !i (St.hash s next);
+        St.set_words s !i ~w0:(St.w0 s next) ~w1:(St.w1 s next);
+        St.set_value s !i (St.value s next);
+        i := next
+      end
+    done;
+    r.count <- r.count - 1
+
+  let finish_drain t =
+    (match t.old with Some o -> St.free o.store | None -> ());
+    t.old <- None;
+    t.migrate_pos <- 0
+
+  (* Dead-mark an old-region slot.  The accounting guard is the ISSUE 8
+     satellite fix: both callers check the slot is live before calling,
+     but if any future path double-kills (e.g. an eviction racing a
+     remove through a wrapper), [o.count] going negative would make
+     [pending_migration] negative and the drain's [o.count = 0]
+     termination test unreachable — fail loudly instead. *)
+  let kill_slot o slot =
+    if o.count <= 0 || St.tag o.store slot = 0 || St.tag o.store slot = dead_tag
+    then
+      invalid_arg
+        "Packed_table: dead-marking a non-live old-region slot \
+         (pending_migration accounting would go negative)";
+    St.set_tag o.store slot dead_tag;
+    St.set_value o.store slot 0;
+    o.count <- o.count - 1
+
+  let migrate t =
+    match t.old with
+    | None -> ()
+    | Some o ->
+      let s = o.store in
+      let moved = ref 0 and visited = ref 0 in
+      let finished = ref (o.count = 0) in
+      while
+        (not !finished)
+        && !moved < migration_entries
+        && !visited < migration_slot_budget
+      do
+        let p = t.migrate_pos land St.mask s in
+        incr visited;
+        let tag = St.tag s p in
+        if tag = 0 || tag = dead_tag then t.migrate_pos <- t.migrate_pos + 1
+        else begin
+          let h = St.hash s p and w0 = St.w0 s p and w1 = St.w1 s p in
+          let v = St.value s p in
+          kill_slot o p;
+          t.migrate_pos <- t.migrate_pos + 1;
+          insert_fresh t.cur h w0 w1 v;
+          incr moved
+        end;
+        if o.count = 0 then finished := true
+      done;
+      if !finished then finish_drain t
+
+  let rec drain_old t =
+    match t.old with
+    | None -> ()
+    | Some _ ->
+      migrate t;
+      drain_old t
+
+  let begin_grow t =
+    t.resizes <- t.resizes + 1;
+    match t.resize with
+    | Flat_table.Doubling ->
+      let old = t.cur in
+      let s = old.store in
+      t.cur <- make_region (St.capacity s * 2);
+      for slot = 0 to St.mask s do
+        if St.tag s slot <> 0 then
+          insert_fresh t.cur (St.hash s slot) (St.w0 s slot) (St.w1 s slot)
+            (St.value s slot)
+      done;
+      St.free s
+    | Flat_table.Incremental ->
+      drain_old t;
+      t.old <- Some t.cur;
+      t.migrate_pos <- 0;
+      t.cur <- make_region (St.capacity t.cur.store * 2)
+
+  let replace t ~w0 ~w1 v =
+    if t.resize = Flat_table.Incremental then migrate t;
+    let h = t.hash w0 w1 in
+    let tag = tag_of_hash h in
+    let slot = region_slot t.cur.store h tag w0 w1 in
+    if slot >= 0 then St.set_value t.cur.store slot v
+    else begin
+      let old_slot =
+        match t.old with
+        | None -> -1
+        | Some o -> region_slot o.store h tag w0 w1
+      in
+      if old_slot >= 0 then
+        (match t.old with
+        | Some o -> St.set_value o.store old_slot v
+        | None -> assert false)
+      else begin
+        if (length t + 1) * 8 > St.capacity t.cur.store * 7 then begin_grow t;
+        insert_fresh t.cur h w0 w1 v
+      end
+    end
+
+  let remove t ~w0 ~w1 =
+    if t.resize = Flat_table.Incremental then migrate t;
+    let h = t.hash w0 w1 in
+    let tag = tag_of_hash h in
+    let slot = region_slot t.cur.store h tag w0 w1 in
+    if slot >= 0 then backshift_remove t.cur slot
+    else
+      match t.old with
+      | None -> ()
+      | Some o ->
+        let slot = region_slot o.store h tag w0 w1 in
+        if slot >= 0 then begin
+          kill_slot o slot;
+          if o.count = 0 then finish_drain t
+        end
+
+  let iter_region f r =
+    let s = r.store in
+    for slot = 0 to St.mask s do
+      let tag = St.tag s slot in
+      if tag <> 0 && tag <> dead_tag then
+        f ~w0:(St.w0 s slot) ~w1:(St.w1 s slot) (St.value s slot)
+    done
+
+  let iter f t =
+    iter_region f t.cur;
+    match t.old with None -> () | Some o -> iter_region f o
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun ~w0 ~w1 v -> acc := f ~w0 ~w1 v !acc) t;
+    !acc
+
+  let clear t =
+    St.reset t.cur.store;
+    t.cur.count <- 0;
+    (match t.old with Some o -> St.free o.store | None -> ());
+    t.old <- None;
+    t.migrate_pos <- 0
+
+  let max_probe_length t =
+    let worst = ref 0 in
+    let scan r =
+      let s = r.store in
+      for slot = 0 to St.mask s do
+        let tag = St.tag s slot in
+        if tag <> 0 && tag <> dead_tag then begin
+          let d = distance s slot in
+          if d > !worst then worst := d
+        end
+      done
+    in
+    scan t.cur;
+    (match t.old with None -> () | Some o -> scan o);
+    !worst
+end
+
+module Heap = Make (Storage.Heap)
+module Offheap = Make (Storage.Offheap)

@@ -1,0 +1,65 @@
+(** {!Flat_table}'s machinery over pluggable {!Storage} backends.
+
+    Same algorithm as {!Flat_table} — Robin-Hood open addressing over
+    struct-of-arrays slots, one-byte tag filter, backward-shift
+    deletes in the live region, and the two-region incremental-resize
+    drain (frozen old region, dead-marking, bounded per-mutation
+    migration) — but the slot storage is a {!Storage.S} parameter and
+    the value lane is a bare [int], so the whole table can live in
+    [Bigarray] buffers the GC never scans ({!Offheap}).  At 10M flows
+    that removes ~400 MB of int arrays from every major-mark cycle
+    (EXPERIMENTS.md E34, DESIGN.md section 14).
+
+    The [int] value restriction is what makes off-heap storage sound
+    without [Obj] tricks: every lane holds immediates.  Callers that
+    need boxed values keep using {!Flat_table}; the demux subjects
+    store PCB indexes or connection ids, which already fit. *)
+
+module type S = sig
+  type t
+
+  val backend : string
+  (** Storage backend name ("heap" / "offheap"). *)
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?resize:Flat_table.resize -> unit -> t
+  (** Same contract as {!Flat_table.create}; values are [int]. *)
+
+  val length : t -> int
+  val capacity : t -> int
+  val resize_policy : t -> Flat_table.resize
+  val resizes : t -> int
+
+  val pending_migration : t -> int
+  (** Entries still waiting in the draining old region.  Never
+      negative: the accounting is assertion-checked at every
+      dead-mark (a double decrement raises instead of silently
+      corrupting the drain-termination condition). *)
+
+  val bytes : t -> int
+  (** Resident slot-storage bytes across both regions (live + any
+      draining old region) — the numerator of E34's bytes/flow. *)
+
+  val find : t -> w0:int -> w1:int -> int
+  (** @raise Not_found if the key is absent.  Allocation-free. *)
+
+  val find_opt : t -> w0:int -> w1:int -> int option
+  val mem : t -> w0:int -> w1:int -> bool
+  val replace : t -> w0:int -> w1:int -> int -> unit
+  val remove : t -> w0:int -> w1:int -> unit
+  val iter : (w0:int -> w1:int -> int -> unit) -> t -> unit
+  val fold : (w0:int -> w1:int -> int -> 'b -> 'b) -> t -> 'b -> 'b
+  val clear : t -> unit
+  val max_probe_length : t -> int
+end
+
+module Make (_ : Storage.S) : S
+
+module Heap : S
+(** {!Flat_table}'s layout ([Bytes] + [int array]) behind the packed
+    interface — the differential baseline E34 compares against. *)
+
+module Offheap : S
+(** [Bigarray]-backed slots: GC-invisible, constant marking cost
+    regardless of flow count. *)

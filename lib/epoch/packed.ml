@@ -1,0 +1,437 @@
+(* Epoch.Table's copy-on-write protocol over Demux.Storage regions.
+   See table.ml for the concurrency argument (immutable published
+   regions, one writer mutex, retire-then-reclaim); the delta here is
+   that a region is a Storage.S buffer of bare-int lanes, so:
+
+   - the Offheap instance keeps all published flow state out of the
+     OCaml heap (the GC marks five custom-block headers per region,
+     not capacity*4 words), and
+   - the retire closure ends with [St.free], which scrubs AND severs
+     the buffers — off-heap memory is handed back to the allocator at
+     reclaim time rather than at some later major-GC sweep.  Readers
+     pinned before the publish can never observe the free: reclaim
+     only runs the closure once every reader slot has advanced past
+     the retirement epoch (Core's safety invariant, qcheck-verified
+     in test_epoch.ml). *)
+
+module type S = sig
+  type t
+
+  val backend : string
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?max_readers:int -> unit -> t
+
+  val get : t -> w0:int -> w1:int -> default:int -> int
+  val find_opt : t -> w0:int -> w1:int -> int option
+  val mem : t -> w0:int -> w1:int -> bool
+  val find_flow : t -> Packet.Flow.t -> int option
+  val lookup_batch : t -> Packet.Flow.t array -> int
+  val lookup_batch_keyed : t -> Packet.Flow.t array -> hashes:int array -> int
+  val length : t -> int
+  val iter : (w0:int -> w1:int -> int -> unit) -> t -> unit
+  val replace : t -> w0:int -> w1:int -> int -> unit
+  val remove : t -> w0:int -> w1:int -> unit
+  val load : t -> (int * int * int) array -> unit
+  val reclaim : t -> int
+  val quiesce : t -> unit
+  val pending : t -> int
+  val stats : t -> Demux.Lookup_stats.snapshot
+  val publishes : t -> int
+  val capacity : t -> int
+  val bytes : t -> int
+  val lock_acquisitions : t -> int
+  val register_obs : ?prefix:string -> Obs.Registry.t -> t -> unit
+end
+
+let min_capacity = 8
+let scrub_tag = Demux.Storage.dead_tag
+
+let tag_of_hash h =
+  let tag = (h lsr 16) land 0xFF in
+  if tag = 0 || tag = scrub_tag then 1 else tag
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+module Make (St : Demux.Storage.S) : S = struct
+  (* [count] is mutated only while the region is private to the
+     writer; once published the region is immutable until retired. *)
+  type region = { store : St.t; mutable count : int }
+
+  type reader = {
+    slot : Domain_slot.t;
+    stats : Demux.Lookup_stats.t;
+  }
+
+  type t = {
+    core : Core.t;
+    published : region Atomic.t;
+    writer : Mutex.t;
+    mutable writer_locks : int;  (* guarded by [writer] *)
+    readers_lock : Mutex.t;
+    mutable reader_locks : int;  (* guarded by [readers_lock] *)
+    mutable readers : reader list;  (* guarded by [readers_lock] *)
+    reader_key : reader option Domain.DLS.key;
+    writer_stats : Demux.Lookup_stats.t;
+    hash : int -> int -> int;
+    mutable publish_count : int;  (* guarded by [writer] *)
+  }
+
+  let backend = St.backend
+  let make_region cap = { store = St.create ~capacity:cap; count = 0 }
+
+  let copy_region r = { store = St.copy r.store; count = r.count }
+
+  let create ?(hash = Demux.Flow_key.hash_words)
+      ?(initial_capacity = min_capacity) ?max_readers () =
+    if initial_capacity < 0 then
+      invalid_arg "Epoch.Packed.create: initial_capacity < 0";
+    let cap = pow2_at_least (max min_capacity initial_capacity) min_capacity in
+    { core = Core.create ?max_readers ();
+      published = Atomic.make (make_region cap);
+      writer = Mutex.create ();
+      writer_locks = 0;
+      readers_lock = Mutex.create ();
+      reader_locks = 0;
+      readers = [];
+      reader_key = Domain.DLS.new_key (fun () -> None);
+      writer_stats = Demux.Lookup_stats.create ();
+      hash;
+      publish_count = 0 }
+
+  let reader_of t =
+    match Domain.DLS.get t.reader_key with
+    | Some reader -> reader
+    | None ->
+      let slot = Domain_slot.acquire (Core.pool t.core) in
+      let reader = { slot; stats = Demux.Lookup_stats.create () } in
+      Mutex.lock t.readers_lock;
+      t.reader_locks <- t.reader_locks + 1;
+      t.readers <- reader :: t.readers;
+      Mutex.unlock t.readers_lock;
+      Domain.DLS.set t.reader_key (Some reader);
+      reader
+
+  (* {1 Probing} *)
+
+  let[@inline] distance s slot =
+    (slot - (St.hash s slot land St.mask s)) land St.mask s
+
+  let rec probe s tag w0 w1 slot dist =
+    let resident = St.tag s slot in
+    if resident = 0 then -1
+    else if resident = tag && St.w0 s slot = w0 && St.w1 s slot = w1 then slot
+    else if distance s slot < dist then -1
+    else probe s tag w0 w1 ((slot + 1) land St.mask s) (dist + 1)
+
+  (* {1 Read path} *)
+
+  let get t ~w0 ~w1 ~default =
+    let reader = reader_of t in
+    Demux.Lookup_stats.begin_lookup reader.stats;
+    Demux.Lookup_stats.examine reader.stats ();
+    Domain_slot.pin reader.slot ~global:(Core.global t.core);
+    let r = Atomic.get t.published in
+    let s = r.store in
+    let h = t.hash w0 w1 in
+    let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+    let result = if slot < 0 then default else St.value s slot in
+    Domain_slot.unpin reader.slot;
+    Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false
+      ~found:(slot >= 0);
+    result
+
+  let mem t ~w0 ~w1 =
+    let reader = reader_of t in
+    Demux.Lookup_stats.begin_lookup reader.stats;
+    Demux.Lookup_stats.examine reader.stats ();
+    Domain_slot.pin reader.slot ~global:(Core.global t.core);
+    let r = Atomic.get t.published in
+    let s = r.store in
+    let h = t.hash w0 w1 in
+    let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+    Domain_slot.unpin reader.slot;
+    Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false
+      ~found:(slot >= 0);
+    slot >= 0
+
+  let find_opt t ~w0 ~w1 =
+    let reader = reader_of t in
+    Demux.Lookup_stats.begin_lookup reader.stats;
+    Demux.Lookup_stats.examine reader.stats ();
+    Domain_slot.pin reader.slot ~global:(Core.global t.core);
+    let r = Atomic.get t.published in
+    let s = r.store in
+    let h = t.hash w0 w1 in
+    let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+    let result = if slot < 0 then None else Some (St.value s slot) in
+    Domain_slot.unpin reader.slot;
+    Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false
+      ~found:(slot >= 0);
+    result
+
+  let find_flow t flow =
+    find_opt t
+      ~w0:(Demux.Flow_key.w0_of_flow flow)
+      ~w1:(Demux.Flow_key.w1_of_flow flow)
+
+  let lookup_batch_hashed t flows ~hash_at =
+    let n = Array.length flows in
+    if n = 0 then 0
+    else begin
+      let reader = reader_of t in
+      Demux.Lookup_stats.note_batch reader.stats ~size:n;
+      Domain_slot.pin reader.slot ~global:(Core.global t.core);
+      let r = Atomic.get t.published in
+      let s = r.store in
+      let found = ref 0 in
+      for i = 0 to n - 1 do
+        let flow = flows.(i) in
+        let w0 = Demux.Flow_key.w0_of_flow flow in
+        let w1 = Demux.Flow_key.w1_of_flow flow in
+        let h = hash_at t i w0 w1 in
+        Demux.Lookup_stats.begin_lookup reader.stats;
+        Demux.Lookup_stats.examine reader.stats ();
+        let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+        let hit = slot >= 0 in
+        if hit then incr found;
+        Demux.Lookup_stats.end_lookup reader.stats ~hit_cache:false ~found:hit
+      done;
+      Domain_slot.unpin reader.slot;
+      !found
+    end
+
+  let lookup_batch t flows =
+    lookup_batch_hashed t flows ~hash_at:(fun t _ w0 w1 -> t.hash w0 w1)
+
+  let lookup_batch_keyed t flows ~hashes =
+    if Array.length flows <> Array.length hashes then
+      invalid_arg "Epoch.Packed.lookup_batch_keyed: length mismatch";
+    lookup_batch_hashed t flows
+      ~hash_at:(fun _ i _ _ -> Array.unsafe_get hashes i)
+
+  let length t = (Atomic.get t.published).count
+
+  let iter f t =
+    let reader = reader_of t in
+    Domain_slot.pin reader.slot ~global:(Core.global t.core);
+    let r = Atomic.get t.published in
+    let s = r.store in
+    for slot = 0 to St.mask s do
+      let tag = St.tag s slot in
+      if tag <> 0 && tag <> scrub_tag then
+        f ~w0:(St.w0 s slot) ~w1:(St.w1 s slot) (St.value s slot)
+    done;
+    Domain_slot.unpin reader.slot
+
+  (* {1 Private-region mutation (pre-publish)} *)
+
+  let rec place r slot dist h tag w0 w1 v =
+    let s = r.store in
+    let resident = St.tag s slot in
+    if resident = 0 then begin
+      St.set_tag s slot tag;
+      St.set_hash s slot h;
+      St.set_words s slot ~w0 ~w1;
+      St.set_value s slot v;
+      r.count <- r.count + 1
+    end
+    else begin
+      let rdist = distance s slot in
+      if rdist < dist then begin
+        let h' = St.hash s slot
+        and tag' = resident
+        and w0' = St.w0 s slot
+        and w1' = St.w1 s slot
+        and v' = St.value s slot in
+        St.set_tag s slot tag;
+        St.set_hash s slot h;
+        St.set_words s slot ~w0 ~w1;
+        St.set_value s slot v;
+        place r ((slot + 1) land St.mask s) (rdist + 1) h' tag' w0' w1' v'
+      end
+      else place r ((slot + 1) land St.mask s) (dist + 1) h tag w0 w1 v
+    end
+
+  let insert_fresh r h w0 w1 v =
+    place r (h land St.mask r.store) 0 h (tag_of_hash h) w0 w1 v
+
+  let rec backshift s slot =
+    let next = (slot + 1) land St.mask s in
+    let next_tag = St.tag s next in
+    if next_tag = 0 || distance s next = 0 then begin
+      St.set_tag s slot 0;
+      St.set_hash s slot 0;
+      St.set_words s slot ~w0:0 ~w1:0;
+      St.set_value s slot 0
+    end
+    else begin
+      St.set_tag s slot next_tag;
+      St.set_hash s slot (St.hash s next);
+      St.set_words s slot ~w0:(St.w0 s next) ~w1:(St.w1 s next);
+      St.set_value s slot (St.value s next);
+      backshift s next
+    end
+
+  let needs_growth r extra = (r.count + extra) * 8 > St.capacity r.store * 7
+
+  let rec grown_capacity cap count =
+    if count * 8 > cap * 7 then grown_capacity (cap * 2) count else cap
+
+  let rebuild r ~capacity =
+    let fresh = make_region capacity in
+    let s = r.store in
+    for slot = 0 to St.mask s do
+      if St.tag s slot <> 0 then
+        insert_fresh fresh (St.hash s slot) (St.w0 s slot) (St.w1 s slot)
+          (St.value s slot)
+    done;
+    fresh
+
+  (* {1 Write path} *)
+
+  let with_writer t f =
+    Mutex.lock t.writer;
+    t.writer_locks <- t.writer_locks + 1;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
+
+  let publish t fresh old =
+    Atomic.set t.published fresh;
+    t.publish_count <- t.publish_count + 1;
+    (* Scrub + sever: once every reader has moved past the retirement
+       epoch, the region's buffers lose their last reference inside
+       the closure, so off-heap payloads are released by the eager
+       free, not by a later GC sweep of the region arrays. *)
+    Core.retire t.core (fun () -> St.free old.store);
+    ignore (Core.reclaim t.core)
+
+  let replace t ~w0 ~w1 v =
+    with_writer t @@ fun () ->
+    let cur = Atomic.get t.published in
+    let s = cur.store in
+    let h = t.hash w0 w1 in
+    let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+    let fresh =
+      if slot >= 0 then begin
+        let fresh = copy_region cur in
+        St.set_value fresh.store slot v;
+        fresh
+      end
+      else begin
+        let fresh =
+          if needs_growth cur 1 then
+            rebuild cur
+              ~capacity:(grown_capacity (St.capacity s * 2) (cur.count + 1))
+          else copy_region cur
+        in
+        insert_fresh fresh h w0 w1 v;
+        Demux.Lookup_stats.note_insert t.writer_stats;
+        fresh
+      end
+    in
+    publish t fresh cur
+
+  let remove t ~w0 ~w1 =
+    with_writer t @@ fun () ->
+    let cur = Atomic.get t.published in
+    let s = cur.store in
+    let h = t.hash w0 w1 in
+    let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+    if slot >= 0 then begin
+      let fresh = copy_region cur in
+      backshift fresh.store slot;
+      fresh.count <- fresh.count - 1;
+      Demux.Lookup_stats.note_remove t.writer_stats;
+      publish t fresh cur
+    end
+
+  let load t entries =
+    if Array.length entries > 0 then
+      with_writer t @@ fun () ->
+      let cur = Atomic.get t.published in
+      let fresh =
+        if needs_growth cur (Array.length entries) then
+          rebuild cur
+            ~capacity:
+              (grown_capacity (St.capacity cur.store)
+                 (cur.count + Array.length entries))
+        else copy_region cur
+      in
+      Array.iter
+        (fun (w0, w1, v) ->
+          let s = fresh.store in
+          let h = t.hash w0 w1 in
+          let slot = probe s (tag_of_hash h) w0 w1 (h land St.mask s) 0 in
+          if slot >= 0 then St.set_value s slot v
+          else begin
+            insert_fresh fresh h w0 w1 v;
+            Demux.Lookup_stats.note_insert t.writer_stats
+          end)
+        entries;
+      publish t fresh cur
+
+  (* {1 Reclamation passthroughs} *)
+
+  let reclaim t = Core.reclaim t.core
+  let quiesce t = Core.quiesce t.core
+  let pending t = Core.pending t.core
+
+  (* {1 Accounting} *)
+
+  let stats t =
+    Mutex.lock t.readers_lock;
+    t.reader_locks <- t.reader_locks + 1;
+    let readers = t.readers in
+    Mutex.unlock t.readers_lock;
+    Demux.Lookup_stats.merge_snapshots
+      (Demux.Lookup_stats.snapshot t.writer_stats
+      :: List.map (fun r -> Demux.Lookup_stats.snapshot r.stats) readers)
+
+  let publishes t = t.publish_count
+  let capacity t = St.capacity (Atomic.get t.published).store
+  let bytes t = St.bytes (Atomic.get t.published).store
+  let lock_acquisitions t = t.writer_locks + t.reader_locks
+
+  let register_obs ?(prefix = "epoch.packed") obs t =
+    Core.register_obs ~prefix obs t.core;
+    let name suffix = prefix ^ "." ^ suffix in
+    let stat pick = fun () -> pick (stats t) in
+    Obs.Registry.register_counter obs ~name:(name "lookups")
+      ~help:"lock-free lookups, merged across reader domains"
+      (stat (fun s -> s.Demux.Lookup_stats.lookups));
+    Obs.Registry.register_counter obs ~name:(name "found")
+      ~help:"lookups that matched a resident flow"
+      (stat (fun s -> s.Demux.Lookup_stats.found));
+    Obs.Registry.register_counter obs ~name:(name "inserts")
+      ~help:"new flows inserted by the writer"
+      (stat (fun s -> s.Demux.Lookup_stats.inserts));
+    Obs.Registry.register_counter obs ~name:(name "removes")
+      ~help:"flows removed by the writer"
+      (stat (fun s -> s.Demux.Lookup_stats.removes));
+    Obs.Registry.register_counter obs ~name:(name "batches")
+      ~help:"batched lookup calls (one epoch pin each)"
+      (stat (fun s -> s.Demux.Lookup_stats.batches));
+    Obs.Registry.register_counter obs ~name:(name "publishes")
+      ~help:"region replacements published by the writer" (fun () ->
+        publishes t);
+    Obs.Registry.register_counter obs ~name:(name "lock_acquisitions")
+      ~help:
+        "every mutex acquisition the table ever made (writer + reader \
+         registration; the read path takes none)" (fun () ->
+        lock_acquisitions t);
+    Obs.Registry.register_gauge obs ~name:(name "resident")
+      ~help:"flows resident in the published region" (fun () ->
+        float_of_int (length t));
+    Obs.Registry.register_gauge obs ~name:(name "capacity")
+      ~help:"slots in the published region" (fun () ->
+        float_of_int (capacity t));
+    Obs.Registry.register_gauge obs ~name:(name "bytes")
+      ~help:
+        (Printf.sprintf
+           "slot-storage bytes of the published region (%s backend)"
+           backend) (fun () -> float_of_int (bytes t))
+end
+
+module Heap = Make (Demux.Storage.Heap)
+module Offheap = Make (Demux.Storage.Offheap)

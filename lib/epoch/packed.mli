@@ -1,0 +1,79 @@
+(** {!Table}'s lock-free copy-on-write discipline over pluggable
+    {!Demux.Storage} backends, with [int] values.
+
+    Same read/write protocol as {!Table} — readers pin an epoch slot,
+    [Atomic.get] the published region, probe, unpin, with zero mutexes
+    and zero allocations; the writer serialises on one mutex,
+    copy-mutate-publishes, and retires the old region through
+    {!Core} — but regions are {!Demux.Storage.S} buffers, so with the
+    {!Offheap} instance the published flow state is invisible to the
+    GC and a retired region's memory is returned to the allocator
+    {e at reclaim time} ([Storage.free] severs the Bigarray buffers
+    inside the retire closure) instead of whenever a major cycle
+    eventually notices the dead arrays.  At 10M flows that is ~400 MB
+    per retired region reclaimed eagerly (DESIGN.md section 14).
+
+    Reclaimed regions are scrubbed before the free (dead tags, zeroed
+    words), so a use-after-reclaim read through a stale region pointer
+    is a deterministic miss, exactly as in {!Table}. *)
+
+module type S = sig
+  type t
+
+  val backend : string
+
+  val create :
+    ?hash:(int -> int -> int) -> ?initial_capacity:int ->
+    ?max_readers:int -> unit -> t
+
+  (** {1 Read path — lock-free, allocation-free} *)
+
+  val get : t -> w0:int -> w1:int -> default:int -> int
+  (** The bound value, or [default] when absent.  Allocation-free
+      (unlike {!find_opt}, which must box the result). *)
+
+  val find_opt : t -> w0:int -> w1:int -> int option
+  val mem : t -> w0:int -> w1:int -> bool
+
+  val find_flow : t -> Packet.Flow.t -> int option
+
+  val lookup_batch : t -> Packet.Flow.t array -> int
+  (** Hit count for the batch under one epoch pin; accounting matches
+      {!Table.lookup_batch}. *)
+
+  val lookup_batch_keyed : t -> Packet.Flow.t array -> hashes:int array -> int
+
+  val length : t -> int
+  val iter : (w0:int -> w1:int -> int -> unit) -> t -> unit
+
+  (** {1 Write path — single writer mutex, copy-on-write publish} *)
+
+  val replace : t -> w0:int -> w1:int -> int -> unit
+  val remove : t -> w0:int -> w1:int -> unit
+
+  val load : t -> (int * int * int) array -> unit
+  (** Bulk insert of [(w0, w1, v)] triples as one publish. *)
+
+  (** {1 Reclamation} *)
+
+  val reclaim : t -> int
+  val quiesce : t -> unit
+  val pending : t -> int
+
+  (** {1 Accounting} *)
+
+  val stats : t -> Demux.Lookup_stats.snapshot
+  val publishes : t -> int
+  val capacity : t -> int
+
+  val bytes : t -> int
+  (** Slot-storage bytes of the currently published region. *)
+
+  val lock_acquisitions : t -> int
+  val register_obs : ?prefix:string -> Obs.Registry.t -> t -> unit
+end
+
+module Make (_ : Demux.Storage.S) : S
+
+module Heap : S
+module Offheap : S

@@ -42,6 +42,16 @@ let index t v =
     let b = m - t.sub_bits + 1 in
     (b * t.sub) + ((v lsr (m - t.sub_bits)) - t.sub)
 
+(* [sum] saturates at [max_int] instead of wrapping.  A single
+   recorded [max_int] (a clamped clock-went-backwards interval ends up
+   exactly there) plus anything else would otherwise flip [sum]
+   negative and poison [mean]/[summary] for the histogram's whole
+   remaining life.  Saturated totals keep mean an overestimate-free
+   lower bound, and percentiles never consult [sum] at all. *)
+let[@inline] sat_add a b =
+  let s = a + b in
+  if s < 0 && a >= 0 && b >= 0 then max_int else s
+
 (* Inclusive value range covered by bucket [i] — the inverse of
    [index] up to quantisation. *)
 let bucket_bounds t i =
@@ -55,7 +65,10 @@ let add t v ~count =
     let v = if v < 0 then 0 else v in
     t.counts.(index t v) <- t.counts.(index t v) + count;
     t.count <- t.count + count;
-    t.sum <- t.sum + (v * count);
+    let contribution =
+      if v > 0 && count > max_int / v then max_int else v * count
+    in
+    t.sum <- sat_add t.sum contribution;
     if v < t.min_v then t.min_v <- v;
     if v > t.max_v then t.max_v <- v
   end
@@ -65,7 +78,7 @@ let record t v =
   let i = index t v in
   t.counts.(i) <- t.counts.(i) + 1;
   t.count <- t.count + 1;
-  t.sum <- t.sum + v;
+  t.sum <- sat_add t.sum v;
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
@@ -148,7 +161,7 @@ let merge_into ~into src =
     (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
     src.counts;
   into.count <- into.count + src.count;
-  into.sum <- into.sum + src.sum;
+  into.sum <- sat_add into.sum src.sum;
   if src.count > 0 then begin
     if src.min_v < into.min_v then into.min_v <- src.min_v;
     if src.max_v > into.max_v then into.max_v <- src.max_v

@@ -36,7 +36,10 @@ val count : t -> int
 (** Values recorded. *)
 
 val sum : t -> int
-(** Exact sum of recorded values (not bucket-quantised). *)
+(** Sum of recorded values (not bucket-quantised).  Saturates at
+    [max_int] instead of wrapping — recording a clamped [max_int]
+    interval must not flip the total negative — so past saturation
+    it, and {!mean}, are lower bounds. *)
 
 val min_value : t -> int
 (** Smallest recorded value; 0 when empty. *)

@@ -3,12 +3,14 @@ type target =
   | Coarse_sequent of int
   | Striped_sequent of int
   | Epoch_table
+  | Offheap_epoch
 
 let target_name = function
   | Coarse_bsd -> "coarse:bsd"
   | Coarse_sequent chains -> Printf.sprintf "coarse:sequent-%d" chains
   | Striped_sequent chains -> Printf.sprintf "striped:sequent-%d" chains
   | Epoch_table -> "epoch:table"
+  | Offheap_epoch -> "epoch:offheap"
 
 type result = {
   target : string;
@@ -144,6 +146,17 @@ let run ?obs ?trace_capacity ?(connections = 2000)
            flows);
       ((fun flow -> Epoch.Table.find_flow d flow <> None),
        fun batch -> Epoch.Table.lookup_batch d batch)
+    | Offheap_epoch ->
+      let d = Epoch.Packed.Offheap.create () in
+      Epoch.Packed.Offheap.load d
+        (Array.mapi
+           (fun i flow ->
+             ( Demux.Flow_key.w0_of_flow flow,
+               Demux.Flow_key.w1_of_flow flow,
+               i ))
+           flows);
+      ((fun flow -> Epoch.Packed.Offheap.find_flow d flow <> None),
+       fun batch -> Epoch.Packed.Offheap.lookup_batch d batch)
   in
   (* One histogram per domain, merged after the join: recording stays
      allocation- and contention-free on the measurement path. *)

@@ -29,6 +29,10 @@ type target =
           published region, epoch-based reclamation.  Timing uses the
           same monotonic clock and the same clamp-and-count
           ([clock_went_backwards]) discipline as every other target. *)
+  | Offheap_epoch
+      (** {!Epoch.Packed.Offheap} — the same lock-free protocol with
+          the published region held in Bigarray (off-heap) storage,
+          values the flow's load index.  Named ["epoch:offheap"]. *)
 
 val target_name : target -> string
 

@@ -128,6 +128,44 @@ let epoch_reclaim () =
   in
   Check.Op.v ~label:"epoch-reclaim" ~seed:17 (Array.of_list ops)
 
+(* The off-heap storage scenario: churn that crosses an
+   incremental-resize boundary and then leans on the frozen old
+   region's dead-marking path — every remove between a growth trigger
+   and the end of its drain must decrement the old region's live count
+   exactly once (Packed_table's kill_slot raises if the accounting
+   would go negative, and replaying this against offheap-table walks
+   that assertion over Bigarray storage).  The double remove/re-insert
+   pairs around each boundary are the sequences that would double-kill
+   an old-region slot if a re-inserted key were dead-marked again.
+   Flows are offset from churn_resize's and epoch_reclaim's so the
+   three programs stay distinguishable in a diff. *)
+let offheap_churn () =
+  let flow i = Sim.Topology.flow_of_client (200 + i) in
+  let insert i = op Check.Op.Insert (flow i) in
+  let lookup i = op Check.Op.Lookup (flow i) in
+  let remove i = op Check.Op.Remove (flow i) in
+  let range a b f = List.init (b - a + 1) (fun k -> f (a + k)) in
+  let ops =
+    (* population 0 -> 7, then the 8th insert fires trigger #1 *)
+    range 0 6 insert
+    @ [ insert 7;
+        (* old region (capacity 8) draining: dead-mark two residents,
+           re-insert one (into the new region), remove it again — the
+           second remove must hit the new region, not re-kill the
+           dead-marked old slot *)
+        remove 0; remove 5; insert 0; remove 0; lookup 0; lookup 5;
+        insert 5 ]
+    (* population 7 -> 14, the 15th fires trigger #2 *)
+    @ range 8 14 insert
+    @ [ (* old region (capacity 16) draining: interleave dead-marks
+           with lookups that probe across dead-marked slots *)
+        remove 3; lookup 3; remove 11; lookup 11; remove 6; lookup 12;
+        insert 3; lookup 3; insert 11 ]
+    (* sweep every flow: hits, and a miss for 6 *)
+    @ range 0 14 lookup
+  in
+  Check.Op.v ~label:"offheap-churn" ~seed:23 (Array.of_list ops)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
   let save name program =
@@ -139,6 +177,7 @@ let () =
   save "guarded-eviction" (guarded_eviction ());
   save "churn_resize" (churn_resize ());
   save "epoch-reclaim" (epoch_reclaim ());
+  save "offheap-churn" (offheap_churn ());
   save "boundary-tuples"
     (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
        ~pool:48 ~ops:300);

@@ -34,6 +34,7 @@ let all_subjects () =
       (fun () -> Check.Subject.flat_table ());
       (fun () -> Check.Subject.flat_table_doubling ());
       (fun () -> Check.Subject.epoch_table ());
+      (fun () -> Check.Subject.offheap_table ());
       (fun () -> Check.Subject.guarded_flat_table ()) ]
 
 let buggy_subject () =
@@ -111,13 +112,13 @@ let qcheck_op_round_trip =
 
 let test_diff_all_algorithms_clean () =
   (* Every profile, every subject, one program each: zero mismatches.
-     This is the tentpole invariant — all seventeen implementations
+     This is the tentpole invariant — all eighteen implementations
      agree with the reference model op for op. *)
   let summary, failures =
     Check.Fuzz.campaign ~programs_per_profile:1 ~ops:768 ~pool:48
       ~subjects:(all_subjects ()) ~seed:42 ()
   in
-  Alcotest.(check int) "subjects" 17 (List.length summary.Check.Diff.subjects);
+  Alcotest.(check int) "subjects" 18 (List.length summary.Check.Diff.subjects);
   Alcotest.(check int) "programs" 5 summary.Check.Diff.programs;
   Alcotest.(check bool) "ops executed" true (summary.Check.Diff.ops > 10_000);
   (match summary.Check.Diff.mismatches with

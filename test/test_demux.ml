@@ -1021,6 +1021,38 @@ let prop_flow_key_equality_agrees =
            ~w1:(Demux.Flow_key.w1 kb)
          = Packet.Flow.equal a b)
 
+(* Companion to Flow_key's 63-bit startup guard: the extreme corners
+   of the 4-tuple space — 0.0.0.0 and 255.255.255.255, ports 0 and
+   65535 — must round-trip through the packed words, and the words
+   themselves must stay non-negative OCaml immediates.  The all-ones
+   address with port 65535 is the pattern that would spill into the
+   sign bit if the 48-bit layout were off by one. *)
+let gen_flow_boundary =
+  let open QCheck.Gen in
+  let addr =
+    oneofl [ 0l; 0xFFFFFFFFl; 0x7FFFFFFFl; 0x80000000l; 1l; 0xFFFFFFFEl ]
+  in
+  let port = oneofl [ 0; 1; 32767; 32768; 65534; 65535 ] in
+  let endpoint =
+    map2
+      (fun a p -> Packet.Flow.endpoint (Packet.Ipv4.addr_of_int32 a) p)
+      addr port
+  in
+  map2 (fun local remote -> Packet.Flow.v ~local ~remote) endpoint endpoint
+
+let prop_flow_key_boundary_round_trip =
+  QCheck.Test.make ~count:300
+    ~name:"flow_key round-trips at the 4-tuple boundary corners"
+    (QCheck.make ~print:Packet.Flow.to_string gen_flow_boundary)
+    (fun f ->
+      let k = Demux.Flow_key.of_flow f in
+      let w0 = Demux.Flow_key.w0 k and w1 = Demux.Flow_key.w1 k in
+      w0 >= 0 && w1 >= 0
+      && Packet.Flow.equal f (Demux.Flow_key.to_flow k)
+      && Packet.Flow.equal f
+           (Demux.Flow_key.to_flow (Demux.Flow_key.make ~w0 ~w1))
+      && Demux.Flow_key.hash_words w0 w1 = Demux.Flow_key.hash k)
+
 (* ------------------------------------------------------------------ *)
 (* Flat_table: open-addressing index vs a Hashtbl reference model      *)
 
@@ -1312,6 +1344,7 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     (prop_lookup_count_invariant :: prop_merge_snapshots_with_histograms
      :: prop_flow_key_round_trip :: prop_flow_key_equality_agrees
+     :: prop_flow_key_boundary_round_trip
      :: prop_flat_table_model :: prop_flat_table_model_degenerate_hash
      :: model_tests)
 

@@ -87,6 +87,51 @@ let test_histogram_clear () =
   Alcotest.(check bool) "empty again" true (Obs.Histogram.is_empty h);
   Alcotest.(check int) "max reset" 0 (Obs.Histogram.max_value h)
 
+let test_histogram_max_int_top_bucket () =
+  (* A clamped-to-max interval (the monotonic clock's worst case) must
+     land in the top octave's last sub-bucket — counted, reported as
+     max, and dominating every percentile — not wrap the bucket
+     arithmetic or vanish into an overflow bin. *)
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.record h max_int;
+  Alcotest.(check int) "counted" 1 (Obs.Histogram.count h);
+  Alcotest.(check int) "max" max_int (Obs.Histogram.max_value h);
+  Alcotest.(check int) "min" max_int (Obs.Histogram.min_value h);
+  Alcotest.(check int) "p100" max_int (Obs.Histogram.percentile h 100.0);
+  Obs.Histogram.record h 1;
+  Obs.Histogram.record h 2;
+  Alcotest.(check int) "p999 is the extreme" max_int (Obs.Histogram.p999 h);
+  (match List.rev (Obs.Histogram.buckets h) with
+  | (lo, hi, count) :: _ ->
+    Alcotest.(check int) "top bucket holds it" 1 count;
+    Alcotest.(check bool) "bounds bracket max_int" true
+      (lo <= max_int && hi = max_int)
+  | [] -> Alcotest.fail "no buckets");
+  (* Round-tripping through [buckets]/[add] keeps the extreme. *)
+  let copy = Obs.Histogram.create () in
+  List.iter
+    (fun (_, hi, count) -> Obs.Histogram.add copy hi ~count)
+    (Obs.Histogram.buckets h);
+  Alcotest.(check int) "restored max" max_int (Obs.Histogram.max_value copy)
+
+let test_histogram_sum_saturates () =
+  (* Two max_int samples: an int sum would wrap negative; the
+     documented behaviour is saturation, keeping sum and mean lower
+     bounds instead of nonsense. *)
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.record h max_int;
+  Obs.Histogram.record h max_int;
+  Alcotest.(check int) "sum saturates" max_int (Obs.Histogram.sum h);
+  Alcotest.(check bool) "mean stays non-negative" true
+    (Obs.Histogram.mean h >= 0.0);
+  Obs.Histogram.add h max_int ~count:3;
+  Alcotest.(check int) "add saturates too" max_int (Obs.Histogram.sum h);
+  let into = Obs.Histogram.create () in
+  Obs.Histogram.record into max_int;
+  Obs.Histogram.merge_into ~into h;
+  Alcotest.(check int) "merge saturates too" max_int
+    (Obs.Histogram.sum into)
+
 let test_histogram_sub_bits_validation () =
   Alcotest.check_raises "sub_bits too big"
     (Invalid_argument "Histogram.create: sub_bits outside 1-10") (fun () ->
@@ -522,6 +567,10 @@ let () =
           Alcotest.test_case "negative clamps" `Quick
             test_histogram_negative_clamps;
           Alcotest.test_case "clear" `Quick test_histogram_clear;
+          Alcotest.test_case "max_int lands in top bucket" `Quick
+            test_histogram_max_int_top_bucket;
+          Alcotest.test_case "sum saturates at max_int" `Quick
+            test_histogram_sum_saturates;
           Alcotest.test_case "validation" `Quick
             test_histogram_sub_bits_validation ] );
       ( "json",
