@@ -1064,6 +1064,349 @@ let print_e34 () =
      collector's workload (the \"millions of users\" scaling claim,\n\
      ROADMAP item 2).\n"
 
+(* ------------------------------------------------------------------ *)
+(* E35: flat Robin-Hood vs bucketized cuckoo under hostile lookups.
+
+   The flat table's miss cost is load-dependent: a negative lookup
+   walks the probe run until it meets an empty or richer slot, so an
+   attacker who fills the table (SYN flood) or aims every query at
+   one home slot (collision flood) taxes every miss.  The cuckoo
+   table's per-bucket negative-lookup filter is the counter-claim:
+   when no resident of the queried key's class was ever displaced out
+   of its primary bucket, a miss resolves after scanning that single
+   bucket's tag vector — one cache line — and the worst case is
+   bounded by construction at two buckets plus the stash, independent
+   of load and of the attacker's key choices.
+
+   Four lookup profiles at N in {10k, 100k, 1M} residents:
+
+   - uniform         — hits, uniformly random residents;
+   - zipf            — hits, Zipf(1) popularity (hot keys dominate);
+   - collision-flood — misses crafted via the inverted multiplicative
+                       hash so every query homes to slot/bucket 0 of
+                       either table (the strongest keyed attack
+                       against the shared primary hash — the cuckoo
+                       side still answers from one filtered bucket,
+                       because the second hash is independent);
+   - syn-flood       — misses, uniformly random absent keys (the
+                       paper-scale table-bloat attack, miss-heavy).
+
+   Each cell reports best-of-trials wall clock and an untimed probe
+   census over the query set.  Probe units are each table's natural
+   cost unit — slots inspected for flat (including the terminating
+   slot), buckets scanned plus stash entries examined for cuckoo —
+   i.e. cache lines touched by the key compare loop.  Gates: at 1M
+   under syn-flood the cuckoo misses must beat flat on both ns and
+   probes; every cuckoo cell's max probes must respect the 2 + stash
+   structural bound; and a warm cuckoo hit must not allocate, on
+   either storage backend. *)
+
+type e35_row = {
+  e35_algo : string;
+  e35_profile : string;
+  e35_n : int;
+  e35_ns : float;
+  e35_probes : float;  (* mean probes per lookup over the query set *)
+  e35_max_probes : int;
+}
+
+let e35_populations = [ 10_000; 100_000; 1_000_000 ]
+let e35_profiles = [ "uniform"; "zipf"; "collision-flood"; "syn-flood" ]
+
+(* Query sets cycle a power-of-two pool so the timed loop indexes with
+   a mask (no bounds math on the hot path). *)
+let e35_qlen = 65536
+
+let e35_w1_of i = (i lxor 0x2545F491) * 0x9E3779B9
+
+(* Modular inverse of the golden-ratio multiplier mod 2^32, by Newton
+   iteration (x <- x * (2 - a*x) doubles the correct low bits each
+   round; odd a is its own inverse mod 8, so six rounds overshoot
+   32 bits).  This is the attacker's tool: with the inverse in hand,
+   any desired hash output can be turned into a fold32 preimage. *)
+let e35_golden_inv =
+  let a = 0x9E3779B1 in
+  let rec refine x rounds =
+    if rounds = 0 then x
+    else refine ((x * (2 - (a * x))) land 0xFFFFFFFF) (rounds - 1)
+  in
+  let inv = refine a 6 in
+  assert ((a * inv) land 0xFFFFFFFF = 1);
+  inv
+
+(* The j-th crafted absent key: its multiplicative hash is j lsl 21,
+   so the low 21 bits are zero and the key homes to slot/bucket 0
+   under any power-of-two mask up to 2^21 — which covers the flat
+   table's 2^21 slots and the cuckoo table's 2^18 buckets at N = 1M,
+   and every smaller population by mask nesting.  Work backwards:
+   pick the 32-bit product P = j lsl 23 (j < 512 keeps P in range),
+   recover the fold32 preimage f = P * golden^-1, then split f across
+   (w0, w1) — w0 carries a >= 2^35 marker so the key can never equal
+   a resident (residents use w0 = i < 2^20), and w1's low 16 bits are
+   zeroed so the fold's OR term comes from w0 alone. *)
+let e35_crafted_key j =
+  let j = j land 511 in
+  let product = j lsl 23 in
+  let fold = (e35_golden_inv * product) land 0xFFFFFFFF in
+  let w0 = ((0x80000 + j) lsl 16) lor 0x1234 in
+  let high = (w0 lsr 16) lxor ((w0 land 0xFFFF) lsl 16) in
+  let w1 = (fold lxor high) lsl 16 in
+  (w0, w1)
+
+(* Zipf(1) sampling by inverse CDF over the harmonic weights — the
+   same popularity shape the locality workload uses, built once per
+   population (the prefix-sum array is transient). *)
+let e35_zipf_indexes ~n ~count rng =
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. float_of_int (i + 1));
+    cdf.(i) <- !total
+  done;
+  Array.init count (fun _ ->
+      let u = Numerics.Rng.float rng *. !total in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+      in
+      search 0 (n - 1))
+
+let e35_queries ~profile ~n ~seed =
+  let qw0 = Array.make e35_qlen 0 and qw1 = Array.make e35_qlen 0 in
+  let rng = Numerics.Rng.create ~seed in
+  (match profile with
+  | "uniform" ->
+    for k = 0 to e35_qlen - 1 do
+      let i = Numerics.Rng.int rng ~bound:n in
+      qw0.(k) <- i;
+      qw1.(k) <- e35_w1_of i
+    done
+  | "zipf" ->
+    let indexes = e35_zipf_indexes ~n ~count:e35_qlen rng in
+    for k = 0 to e35_qlen - 1 do
+      qw0.(k) <- indexes.(k);
+      qw1.(k) <- e35_w1_of indexes.(k)
+    done
+  | "collision-flood" ->
+    for k = 0 to e35_qlen - 1 do
+      let w0, w1 = e35_crafted_key k in
+      qw0.(k) <- w0;
+      qw1.(k) <- w1
+    done
+  | "syn-flood" ->
+    (* Random absent keys: the w0 marker bit keeps them disjoint from
+       residents without constraining either hash. *)
+    for k = 0 to e35_qlen - 1 do
+      qw0.(k) <- (1 lsl 40) lor Numerics.Rng.int rng ~bound:(1 lsl 30);
+      qw1.(k) <- Numerics.Rng.int rng ~bound:max_int
+    done
+  | _ -> invalid_arg ("e35_queries: unknown profile " ^ profile));
+  (qw0, qw1)
+
+(* One (table, profile) cell: an untimed probe census over the
+   distinct query pool, a warm pass, then best-of-trials wall clock
+   over [lookups] mask-cycled membership tests.  Both tables pay the
+   same closure call, so the comparison is probe work only. *)
+let e35_measure_cell ~mem ~probe ~qw0 ~qw1 ~lookups ~trials =
+  let sum = ref 0 and max_probes = ref 0 in
+  for k = 0 to e35_qlen - 1 do
+    let p = probe ~w0:qw0.(k) ~w1:qw1.(k) in
+    sum := !sum + p;
+    if p > !max_probes then max_probes := p
+  done;
+  for k = 0 to e35_qlen - 1 do
+    ignore (mem ~w0:qw0.(k) ~w1:qw1.(k))
+  done;
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Obs.Clock.now_ns () in
+    for k = 0 to lookups - 1 do
+      let i = k land (e35_qlen - 1) in
+      ignore
+        (mem ~w0:(Array.unsafe_get qw0 i) ~w1:(Array.unsafe_get qw1 i))
+    done;
+    let t1 = Obs.Clock.now_ns () in
+    let ns = float_of_int (t1 - t0) /. float_of_int lookups in
+    if ns < !best then best := ns
+  done;
+  (!best, float_of_int !sum /. float_of_int e35_qlen, !max_probes)
+
+let e35 ~smoke () =
+  let lookups = if smoke then 100_000 else 2_000_000 in
+  let trials = if smoke then 2 else 3 in
+  (* Populations stay full-size even under smoke: the miss-cost claim
+     is about load, and a small table would test nothing.  Smoke only
+     shortens the timed windows. *)
+  List.concat_map
+    (fun n ->
+      let module F = Demux.Packed_table.Heap in
+      let module C = Demux.Cuckoo_table.Heap in
+      let flat = F.create () in
+      for i = 0 to n - 1 do
+        F.replace flat ~w0:i ~w1:(e35_w1_of i) i
+      done;
+      (* Finish the incremental migration so flat lookups probe one
+         region — the steady state the resize policy converges to. *)
+      while F.pending_migration flat > 0 do
+        F.replace flat ~w0:0 ~w1:(e35_w1_of 0) 0
+      done;
+      let cuckoo = C.create () in
+      for i = 0 to n - 1 do
+        C.replace cuckoo ~w0:i ~w1:(e35_w1_of i) i
+      done;
+      List.concat_map
+        (fun profile ->
+          (* The syn-flood column measures the table mid-attack: the
+             flood's embryonic connections have bloated both tables to
+             just under their growth triggers (7/8 full for flat,
+             15/16 for cuckoo) — the state the attack sustains, and
+             the one where flat's miss runs are longest.  The flood
+             keys live in a marker range disjoint from residents and
+             from every query.  Profiles run in declaration order, so
+             the hit columns are measured before the bloat.  No
+             trigger is crossed (targets stop short), so capacity —
+             and the crafted-collision mask argument — is unchanged. *)
+          if profile = "syn-flood" then begin
+            let flood_w0 j = (1 lsl 41) lor j in
+            let flat_target = (F.capacity flat * 7 / 8) - 8 in
+            let j = ref 0 in
+            while F.length flat < flat_target do
+              F.replace flat ~w0:(flood_w0 !j) ~w1:(e35_w1_of (!j + 7)) !j;
+              incr j
+            done;
+            let cuckoo_target =
+              (C.capacity cuckoo * 15 / 16)
+              - Demux.Cuckoo_table.stash_capacity - 8
+            in
+            let j = ref 0 in
+            while C.length cuckoo < cuckoo_target do
+              C.replace cuckoo ~w0:(flood_w0 !j) ~w1:(e35_w1_of (!j + 7)) !j;
+              incr j
+            done
+          end;
+          let qw0, qw1 = e35_queries ~profile ~n ~seed:(bench_seed + n) in
+          let cell algo mem probe =
+            let ns, probes, max_probes =
+              e35_measure_cell ~mem ~probe ~qw0 ~qw1 ~lookups ~trials
+            in
+            { e35_algo = algo; e35_profile = profile; e35_n = n;
+              e35_ns = ns; e35_probes = probes;
+              e35_max_probes = max_probes }
+          in
+          [ cell "flat"
+              (fun ~w0 ~w1 -> F.mem flat ~w0 ~w1)
+              (fun ~w0 ~w1 -> F.probe_count flat ~w0 ~w1);
+            cell "cuckoo"
+              (fun ~w0 ~w1 -> C.mem cuckoo ~w0 ~w1)
+              (fun ~w0 ~w1 -> C.probe_count cuckoo ~w0 ~w1) ])
+        e35_profiles)
+    e35_populations
+
+(* Warm-hit allocation for the cuckoo read path, per storage backend:
+   the same zero-allocation bar every other lookup structure in the
+   tree is held to (DESIGN.md section 10). *)
+let e35_warm_words (module M : Demux.Cuckoo_table.S) =
+  let table = M.create () in
+  for i = 0 to 4095 do
+    M.replace table ~w0:i ~w1:(e35_w1_of i) i
+  done;
+  for k = 0 to 999 do
+    let i = k land 4095 in
+    ignore (M.find table ~w0:i ~w1:(e35_w1_of i))
+  done;
+  let lookups = 200_000 in
+  let before = Gc.minor_words () in
+  for k = 0 to lookups - 1 do
+    let i = k land 4095 in
+    ignore (M.find table ~w0:i ~w1:(e35_w1_of i))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int lookups
+
+let assert_e35 rows (heap_words, offheap_words) =
+  let cell algo profile n =
+    match
+      List.find_opt
+        (fun r ->
+          r.e35_algo = algo && r.e35_profile = profile && r.e35_n = n)
+        rows
+    with
+    | Some r -> r
+    | None ->
+      Printf.eprintf "E35 BROKEN: missing %s/%s/n%d cell\n" algo profile n;
+      exit 1
+  in
+  (* The structural bound first: two buckets plus the stash, in every
+     cell — if any adversarial profile pushed a cuckoo lookup past
+     it, the filter/stash machinery is broken, not slow. *)
+  let bound = 2 + Demux.Cuckoo_table.stash_capacity in
+  List.iter
+    (fun r ->
+      if r.e35_algo = "cuckoo" && r.e35_max_probes > bound then begin
+        Printf.eprintf
+          "E35 BROKEN: cuckoo %s/n%d max probes %d exceeds the \
+           structural bound %d\n"
+          r.e35_profile r.e35_n r.e35_max_probes bound;
+        exit 1
+      end)
+    rows;
+  (* The headline miss-heavy gate: at 1M residents under syn-flood,
+     the filtered cuckoo miss must beat the flat Robin-Hood miss on
+     both probe count and wall clock, strictly. *)
+  let flat = cell "flat" "syn-flood" 1_000_000 in
+  let cuckoo = cell "cuckoo" "syn-flood" 1_000_000 in
+  if cuckoo.e35_probes >= flat.e35_probes then begin
+    Printf.eprintf
+      "E35 REGRESSION: cuckoo syn-flood misses probe %.2f units vs \
+       flat %.2f at 1M — the negative-lookup filter is not \
+       short-circuiting\n"
+      cuckoo.e35_probes flat.e35_probes;
+    exit 1
+  end;
+  if cuckoo.e35_ns >= flat.e35_ns then begin
+    Printf.eprintf
+      "E35 REGRESSION: cuckoo syn-flood miss %.1f ns vs flat %.1f ns \
+       at 1M — the probe advantage is not reaching wall clock\n"
+      cuckoo.e35_ns flat.e35_ns;
+    exit 1
+  end;
+  List.iter
+    (fun (backend, words) ->
+      if words > 0.01 then begin
+        Printf.eprintf
+          "E35 REGRESSION: warm cuckoo hit (%s) allocates %.4f minor \
+           words per lookup\n"
+          backend words;
+        exit 1
+      end)
+    [ ("heap", heap_words); ("offheap", offheap_words) ]
+
+let print_e35 () =
+  section
+    "E35 (extension): flat Robin-Hood vs bucketized cuckoo under \
+     hostile lookup profiles";
+  let rows = e35 ~smoke:false () in
+  row "%-8s %-16s %9s %10s %10s %6s\n" "algo" "profile" "n" "ns/lookup"
+    "probes" "max";
+  List.iter
+    (fun r ->
+      row "%-8s %-16s %9d %10.1f %10.2f %6d\n" r.e35_algo r.e35_profile
+        r.e35_n r.e35_ns r.e35_probes r.e35_max_probes)
+    rows;
+  let heap_words = e35_warm_words (module Demux.Cuckoo_table.Heap) in
+  let offheap_words = e35_warm_words (module Demux.Cuckoo_table.Offheap) in
+  row "warm cuckoo hit: %.4f minor words/lookup (heap), %.4f (offheap)\n"
+    heap_words offheap_words;
+  assert_e35 rows (heap_words, offheap_words);
+  row
+    "Hits are a wash — one filtered bucket vs a short Robin-Hood run\n\
+     — but misses diverge: the flat walk lengthens with load and with\n\
+     crafted home-slot collisions, while the cuckoo filter answers\n\
+     most misses from one bucket's tag vector and is capped at two\n\
+     buckets plus the stash by construction, whatever the attacker\n\
+     knows about the primary hash.\n"
+
 let print_hash_ablation () =
   section "Ablation: hash-function chain balance (DESIGN.md section 6)";
   let flows = Array.to_list (Sim.Topology.flows 2000) in
@@ -1232,7 +1575,35 @@ let collect_records ~smoke =
       emit ~id:"E34" ~metric:(metric "warm_minor_words_per_lookup")
         ~units:"words" r.warm_words_per_lookup)
     e34_rows;
-  assert_e34 ~smoke e34_rows
+  assert_e34 ~smoke e34_rows;
+  (* E35: flat vs cuckoo under the four lookup profiles, full-size
+     populations even under smoke (only the timed windows shrink),
+     with the miss-heavy and structural-bound gates enforced
+     in-line. *)
+  let e35_rows = e35 ~smoke () in
+  List.iter
+    (fun r ->
+      let metric suffix =
+        Printf.sprintf "demux.e35.%s.%s.n%d.%s" r.e35_algo r.e35_profile
+          r.e35_n suffix
+      in
+      emit ~id:"E35" ~metric:(metric "ns_per_lookup") ~units:"ns" r.e35_ns;
+      emit ~id:"E35" ~metric:(metric "probes_per_lookup") ~units:"probes"
+        r.e35_probes;
+      emit ~id:"E35" ~metric:(metric "max_probes") ~units:"probes"
+        (float_of_int r.e35_max_probes))
+    e35_rows;
+  let e35_heap_words = e35_warm_words (module Demux.Cuckoo_table.Heap) in
+  let e35_offheap_words =
+    e35_warm_words (module Demux.Cuckoo_table.Offheap)
+  in
+  emit ~id:"E35"
+    ~metric:"demux.e35.cuckoo.heap.warm_minor_words_per_lookup"
+    ~units:"words" e35_heap_words;
+  emit ~id:"E35"
+    ~metric:"demux.e35.cuckoo.offheap.warm_minor_words_per_lookup"
+    ~units:"words" e35_offheap_words;
+  assert_e35 e35_rows (e35_heap_words, e35_offheap_words)
 
 let write_records path =
   Obs.Json.write_file path
@@ -1379,8 +1750,45 @@ let check_records path =
               "minor_pause_p99_ns"; "full_major_ns";
               "warm_minor_words_per_lookup" ])
         [ "heap"; "offheap" ];
+      (* And the E35 adversarial-profile grid: both algorithms, every
+         profile and population, all three metrics, plus the two
+         warm-hit allocation records — the SYN-flood claim needs the
+         flat side of the comparison as much as the cuckoo side. *)
+      let e35_metrics =
+        List.filter_map
+          (fun item ->
+            match field "id" item Obs.Json.to_string_opt with
+            | Some "E35" -> field "metric" item Obs.Json.to_string_opt
+            | _ -> None)
+          items
+      in
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun profile ->
+              List.iter
+                (fun n ->
+                  List.iter
+                    (fun suffix ->
+                      let want =
+                        Printf.sprintf "demux.e35.%s.%s.n%d.%s" algo
+                          profile n suffix
+                      in
+                      if not (List.mem want e35_metrics) then
+                        fail (Printf.sprintf "missing E35 record %s" want))
+                    [ "ns_per_lookup"; "probes_per_lookup"; "max_probes" ])
+                e35_populations)
+            e35_profiles)
+        [ "flat"; "cuckoo" ];
+      List.iter
+        (fun want ->
+          if not (List.mem want e35_metrics) then
+            fail (Printf.sprintf "missing E35 record %s" want))
+        [ "demux.e35.cuckoo.heap.warm_minor_words_per_lookup";
+          "demux.e35.cuckoo.offheap.warm_minor_words_per_lookup" ];
       Printf.printf
-        "%s: %d records (E29 + E31 + E33 + E34 coverage ok), schema ok\n"
+        "%s: %d records (E29 + E31 + E33 + E34 + E35 coverage ok), \
+         schema ok\n"
         path (List.length items))
 
 (* The differential-check gate: --check refuses to bless a benchmark
@@ -1618,11 +2026,13 @@ let run_bechamel ~smoke () =
 
 let usage () =
   prerr_endline
-    "usage: bench [--smoke] [--e34] [--json FILE] [--check FILE] \
+    "usage: bench [--smoke] [--e34] [--e35] [--json FILE] [--check FILE] \
      [--check-report FILE] [--chaos-report FILE]\n\
      \  --smoke      small populations and windows (CI)\n\
      \  --e34        run only the E34 off-heap storage ramp (10M flows,\n\
      \               ~minutes and ~1 GB resident) and exit\n\
+     \  --e35        run only the E35 flat-vs-cuckoo adversarial lookup\n\
+     \               grid (three populations to 1M flows) and exit\n\
      \  --json FILE  write tcpdemux-bench/1 records to FILE\n\
      \  --check FILE validate a records file (plus the tcpdemux-check/1\n\
      \               report, --check-report, default check.json, and the\n\
@@ -1633,12 +2043,14 @@ let usage () =
 let () =
   let smoke = ref false and json = ref None and check = ref None in
   let only_e34 = ref false in
+  let only_e35 = ref false in
   let check_report = ref "check.json" in
   let chaos_report = ref "chaos.json" in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke := true; parse rest
     | "--e34" :: rest -> only_e34 := true; parse rest
+    | "--e35" :: rest -> only_e35 := true; parse rest
     | "--json" :: path :: rest -> json := Some path; parse rest
     | "--check" :: path :: rest -> check := Some path; parse rest
     | "--check-report" :: path :: rest -> check_report := path; parse rest
@@ -1655,6 +2067,11 @@ let () =
     print_endline
       "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
     print_e34 ();
+    print_endline "\ndone."
+  | None when !only_e35 ->
+    print_endline
+      "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
+    print_e35 ();
     print_endline "\ndone."
   | None ->
     print_endline
@@ -1683,6 +2100,7 @@ let () =
       print_e31 ();
       print_e33 ();
       print_e34 ();
+      print_e35 ();
       print_hash_ablation ()
     end;
     (match !json with

@@ -659,8 +659,9 @@ let attack_cmd =
     Arg.(
       value
       & opt (list string)
-          [ "bsd"; "mtf"; "sr-cache"; "sequent-19"; "guarded-sequent-19" ]
-      & info [ "a"; "algorithms" ] ~docv:"ALGOS" ~doc)
+          [ "bsd"; "mtf"; "sr-cache"; "sequent-19"; "guarded-sequent-19";
+            "cuckoo"; "guarded-cuckoo" ]
+      & info [ "a"; "algo"; "algorithms" ] ~docv:"ALGOS" ~doc)
   in
   Cmd.v
     (Cmd.info "attack" ~doc)
@@ -694,11 +695,12 @@ let parse_target name =
   | [ "epoch" ] | [ "epoch"; "table" ] -> Ok Parallel.Throughput.Epoch_table
   | [ "offheap" ] | [ "epoch"; "offheap" ] ->
     Ok Parallel.Throughput.Offheap_epoch
+  | [ "cuckoo" ] | [ "cuckoo"; "table" ] -> Ok Parallel.Throughput.Cuckoo_table
   | _ ->
     Error
       (Printf.sprintf
          "unknown target %S (try: coarse:bsd, coarse:sequent-19, \
-          striped:sequent-19, epoch, epoch:offheap)"
+          striped:sequent-19, epoch, epoch:offheap, cuckoo)"
          name)
 
 (* The same synthetic flow population Throughput builds internally,
@@ -785,7 +787,7 @@ let run_pipeline_offheap ?obs ?tracer ~workers ~batch ~connections ~packets
   result
 
 let run_parallel targets domains batches connections lookups pipeline epoch
-    offheap smoke seed obs_json trace_file trace_capacity =
+    offheap cuckoo smoke seed obs_json trace_file trace_capacity =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
@@ -815,6 +817,14 @@ let run_parallel targets domains batches connections lookups pipeline epoch
         offheap
         && not (List.mem Parallel.Throughput.Offheap_epoch targets)
       then targets @ [ Parallel.Throughput.Offheap_epoch ]
+      else targets
+    in
+    (* --cuckoo: likewise for the bucketized cuckoo table (read-only
+       concurrent probes over a pre-populated table). *)
+    let targets =
+      if
+        cuckoo && not (List.mem Parallel.Throughput.Cuckoo_table targets)
+      then targets @ [ Parallel.Throughput.Cuckoo_table ]
       else targets
     in
     if List.exists (fun d -> d <= 0) domains then
@@ -925,7 +935,8 @@ let parallel_cmd =
           ~doc:
             "Comma-separated targets: coarse:bsd, coarse:sequent[-H], \
              striped:sequent[-H], epoch (the lock-free epoch table), \
-             epoch:offheap (the same protocol over Bigarray storage).")
+             epoch:offheap (the same protocol over Bigarray storage), \
+             cuckoo (the bucketized cuckoo table, read-only probes).")
   in
   let domains =
     Arg.(
@@ -983,6 +994,16 @@ let parallel_cmd =
              epoch.packed.* counters (including resident storage bytes) \
              land in the snapshot.")
   in
+  let cuckoo =
+    Arg.(
+      value & flag
+      & info [ "cuckoo" ]
+          ~doc:
+            "Add the bucketized cuckoo table (Demux.Cuckoo_table) to the \
+             measured targets: populated before the domains spawn, then \
+             probed read-only, so worst-case lookup cost stays two \
+             buckets plus the stash under any load.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -997,7 +1018,7 @@ let parallel_cmd =
     Term.(
       ret
         (const run_parallel $ targets $ domains $ batches $ connections
-        $ lookups $ pipeline $ epoch $ offheap $ smoke $ seed_arg
+        $ lookups $ pipeline $ epoch $ offheap $ cuckoo $ smoke $ seed_arg
         $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -1017,7 +1038,8 @@ let run_check algorithms smoke seed ops pool programs_per_profile no_xval
               (fun () -> Check.Subject.flat_table_doubling ());
               (fun () -> Check.Subject.guarded_flat_table ());
               (fun () -> Check.Subject.epoch_table ());
-              (fun () -> Check.Subject.offheap_table ()) ]
+              (fun () -> Check.Subject.offheap_table ());
+              (fun () -> Check.Subject.cuckoo_table ()) ]
         in
         let programs_per_profile =
           if smoke then 2 else programs_per_profile
@@ -1072,13 +1094,14 @@ let check_cmd =
       & opt (list string)
           [ "linear"; "bsd"; "mtf"; "sr-cache"; "sequent-19";
             "hashed-mtf-19"; "resizing-hash"; "splay"; "conn-id";
-            "lru-cache-8"; "guarded-sequent-19" ]
+            "lru-cache-8"; "guarded-sequent-19"; "cuckoo"; "guarded-cuckoo" ]
       & info [ "a"; "algos"; "algorithms" ] ~docv:"ALGOS"
           ~doc:
             "Comma-separated registry specs to check (a striped table, \
              the flat Robin-Hood index — incremental and doubling \
-             resize, plus a guarded variant — and the lock-free epoch \
-             table are always included).")
+             resize, plus a guarded variant — the lock-free epoch \
+             table and the bare bucketized cuckoo table are always \
+             included).")
   in
   let smoke =
     Arg.(

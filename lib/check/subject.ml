@@ -208,6 +208,13 @@ let of_packed ?initial_capacity ?resize ~name (module M : Demux.Packed_table.S)
 let offheap_table () =
   of_packed ~name:"offheap-table" (module Demux.Packed_table.Offheap)
 
+(* Cuckoo_table's signature is a superset of Packed_table.S, so the
+   bare-table subject rides the same adapter: differential programs
+   drive kicks, stash spills and the negative-lookup filter through
+   exactly the oracle the flat tables answer to. *)
+let cuckoo_table () =
+  of_packed ~name:"cuckoo-table" (module Demux.Cuckoo_table.Heap)
+
 let guarded_flat_table ?(max_chain = 8) ?(max_total = 40) ?(chains = 4) () =
   let config = Demux.Guarded.config ~max_chain ~max_total ~chains () in
   let guard = Demux.Guarded.create config in

@@ -94,6 +94,14 @@ val offheap_table : unit -> t
     differential programs cross resize boundaries over off-heap
     regions.  Check subject #18. *)
 
+val cuckoo_table : unit -> t
+(** {!Demux.Cuckoo_table.Heap} — bucketized cuckoo hashing with the
+    negative-lookup filter — behind {!of_packed} under the name
+    ["cuckoo-table"], at minimum capacity so differential programs
+    cross doubling rehashes, BFS kick chains and stash spills.
+    (The registry specs ["cuckoo"] / ["guarded-cuckoo"] are subjects
+    #19–20 via {!of_spec}; this is the bare table.) *)
+
 val guarded_flat_table :
   ?max_chain:int -> ?max_total:int -> ?chains:int -> unit -> t
 (** A {!Demux.Guarded} overload guard (defaults: [max_chain 8],

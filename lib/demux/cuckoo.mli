@@ -1,0 +1,32 @@
+(** The bucketized-cuckoo demultiplexer ({!Cuckoo_table} + a PCB side
+    store), registry spec ["cuckoo"].
+
+    Lookup cost is charged through {!Lookup_stats} in the table's
+    probe units (buckets scanned + stash entries examined), so the
+    paper's "PCBs examined" ledger shows the bounded worst case
+    directly: a filter-short-circuited SYN-flood miss charges 1,
+    anything else at most 2 + the stash occupancy.  See
+    DESIGN.md section 15. *)
+
+type 'a t
+
+val name : string
+
+val create : unit -> 'a t
+
+val insert : 'a t -> Packet.Flow.t -> 'a -> 'a Pcb.t
+(** @raise Invalid_argument if the flow is already present. *)
+
+val lookup :
+  'a t -> ?kind:Types.packet_kind -> Packet.Flow.t -> 'a Pcb.t option
+
+val remove : 'a t -> Packet.Flow.t -> 'a Pcb.t option
+val note_send : 'a t -> Packet.Flow.t -> unit
+val stats : 'a t -> Lookup_stats.t
+val length : 'a t -> int
+
+val table : 'a t -> Cuckoo_table.Heap.t
+(** The underlying table, for kick/stash diagnostics in attack
+    reports. *)
+
+val iter : ('a Pcb.t -> unit) -> 'a t -> unit

@@ -17,6 +17,12 @@ type t = {
      counting discipline is identical with and without them (asserted
      in test_obs.ml, timed in bench's "obs" group). *)
   mutable histogram : Obs.Histogram.t option;
+  (* Per-series split of the same distribution: hits and misses have
+     very different probe shapes (a miss walks the full cluster / both
+     cuckoo buckets), so E35's miss-heavy column reads the miss series
+     directly instead of inferring it from mixed percentiles. *)
+  mutable hit_histogram : Obs.Histogram.t option;
+  mutable miss_histogram : Obs.Histogram.t option;
   mutable tracer : Obs.Trace.t;
 }
 
@@ -24,10 +30,18 @@ let create () =
   { lookups = 0; pcbs_examined = 0; cache_hits = 0; found = 0; not_found = 0;
     inserts = 0; removes = 0; evictions = 0; rejections = 0; batches = 0;
     max_examined = 0; current = 0; in_lookup = false; histogram = None;
+    hit_histogram = None; miss_histogram = None;
     tracer = Obs.Trace.disabled }
 
 let set_histogram t histogram = t.histogram <- histogram
 let histogram t = t.histogram
+
+let set_series_histograms t ~hit ~miss =
+  t.hit_histogram <- hit;
+  t.miss_histogram <- miss
+
+let hit_histogram t = t.hit_histogram
+let miss_histogram t = t.miss_histogram
 let set_tracer t tracer = t.tracer <- tracer
 let tracer t = t.tracer
 
@@ -50,6 +64,9 @@ let end_lookup t ~hit_cache ~found =
   if hit_cache then t.cache_hits <- t.cache_hits + 1;
   if found then t.found <- t.found + 1 else t.not_found <- t.not_found + 1;
   (match t.histogram with
+  | Some h -> Obs.Histogram.record h t.current
+  | None -> ());
+  (match (if found then t.hit_histogram else t.miss_histogram) with
   | Some h -> Obs.Histogram.record h t.current
   | None -> ());
   Obs.Trace.record t.tracer Obs.Trace.Lookup_end t.current
@@ -145,7 +162,13 @@ let reset (t : t) =
   t.in_lookup <- false;
   (* The histogram follows the counters (a post-warm-up reset must
      clear both); the tracer is a rolling log and keeps its events. *)
-  match t.histogram with
+  (match t.histogram with
+  | Some h -> Obs.Histogram.clear h
+  | None -> ());
+  (match t.hit_histogram with
+  | Some h -> Obs.Histogram.clear h
+  | None -> ());
+  match t.miss_histogram with
   | Some h -> Obs.Histogram.clear h
   | None -> ()
 

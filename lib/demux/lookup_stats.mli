@@ -48,6 +48,19 @@ val set_histogram : t -> Obs.Histogram.t option -> unit
 
 val histogram : t -> Obs.Histogram.t option
 
+val set_series_histograms :
+  t -> hit:Obs.Histogram.t option -> miss:Obs.Histogram.t option -> unit
+(** Attach per-outcome histograms: the lookup's examined count is
+    additionally recorded into [hit] when the lookup found a PCB and
+    into [miss] otherwise.  Orthogonal to {!set_histogram} (the
+    combined series keeps recording); {!reset} clears all three.
+    Misses are the series that matters under a SYN flood
+    (EXPERIMENTS.md E35) — this makes them directly attributable
+    instead of inferred from mixed percentiles. *)
+
+val hit_histogram : t -> Obs.Histogram.t option
+val miss_histogram : t -> Obs.Histogram.t option
+
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Attach a tracer; lookups emit [Lookup_begin] / [Lookup_end]
     (payload: examined count; flag bits: found, cache hit) plus

@@ -39,6 +39,7 @@ module type S = sig
   val fold : (w0:int -> w1:int -> int -> 'b -> 'b) -> t -> 'b -> 'b
   val clear : t -> unit
   val max_probe_length : t -> int
+  val probe_count : t -> w0:int -> w1:int -> int
 end
 
 let default_hash = Flow_key.hash_words
@@ -322,6 +323,29 @@ module Make (St : Storage.S) : S = struct
     (match t.old with Some o -> St.free o.store | None -> ());
     t.old <- None;
     t.migrate_pos <- 0
+
+  (* Slots a [find] of this key inspects (terminating slot included),
+     across both regions — the flat side of E35's probe accounting. *)
+  let probe_count t ~w0 ~w1 =
+    let h = t.hash w0 w1 in
+    let tag = tag_of_hash h in
+    let region_probes s =
+      let rec go slot dist n =
+        let resident = St.tag s slot in
+        if resident = 0 then (n + 1, false)
+        else if resident = tag && St.w0 s slot = w0 && St.w1 s slot = w1 then
+          (n + 1, true)
+        else if distance s slot < dist then (n + 1, false)
+        else go ((slot + 1) land St.mask s) (dist + 1) (n + 1)
+      in
+      go (h land St.mask s) 0 0
+    in
+    let n, found = region_probes t.cur.store in
+    if found then n
+    else
+      match t.old with
+      | None -> n
+      | Some o -> n + fst (region_probes o.store)
 
   let max_probe_length t =
     let worst = ref 0 in

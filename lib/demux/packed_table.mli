@@ -52,6 +52,12 @@ module type S = sig
   val fold : (w0:int -> w1:int -> int -> 'b -> 'b) -> t -> 'b -> 'b
   val clear : t -> unit
   val max_probe_length : t -> int
+
+  val probe_count : t -> w0:int -> w1:int -> int
+  (** Slots a [find] of this key inspects right now (the terminating
+      empty/richer slot included, both regions during a drain);
+      always ≥ 1.  Read-only diagnostic — the probe side of E35's
+      flat-vs-cuckoo accounting. *)
 end
 
 module Make (_ : Storage.S) : S

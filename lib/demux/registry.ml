@@ -9,6 +9,7 @@ type spec =
   | Resizing_hash
   | Splay
   | Lru_cache of { entries : int }
+  | Cuckoo
   | Guarded of { spec : spec; max_chain : int; max_total : int }
 
 let default_specs =
@@ -28,6 +29,7 @@ let rec spec_name = function
   | Resizing_hash -> "resizing-hash"
   | Splay -> "splay"
   | Lru_cache { entries } -> Printf.sprintf "lru-cache-%d" entries
+  | Cuckoo -> "cuckoo"
   | Guarded { spec; _ } -> "guarded-" ^ spec_name spec
 
 let rec spec_of_string s =
@@ -55,6 +57,7 @@ let rec spec_of_string s =
   | "resizing-hash" -> Ok Resizing_hash
   | "splay" -> Ok Splay
   | "lru-cache" -> Ok (Lru_cache { entries = 8 })
+  | "cuckoo" -> Ok Cuckoo
   | "sequent" ->
     Ok
       (Sequent
@@ -89,7 +92,7 @@ let rec spec_of_string s =
         (Printf.sprintf
            "unknown algorithm %S (try: linear, bsd, mtf, sr-cache, \
             sequent[-H], hashed-mtf[-H], conn-id, resizing-hash, splay, \
-            lru-cache[-K], guarded-<algorithm>)"
+            lru-cache[-K], cuckoo, guarded-<algorithm>)"
            s))
 
 type 'a t = {
@@ -111,7 +114,7 @@ let rec chain_geometry = function
     (chains, hasher)
   | Guarded { spec; _ } -> chain_geometry spec
   | Linear | Bsd | Mtf | Sr_cache | Conn_id _ | Resizing_hash | Splay
-  | Lru_cache _ ->
+  | Lru_cache _ | Cuckoo ->
     (1, Hashing.Hashers.multiplicative)
 
 let guard config inner =
@@ -225,6 +228,13 @@ let rec create spec =
       note_send = Lru_cache.note_send d; stats = Lru_cache.stats d;
       length = (fun () -> Lru_cache.length d);
       iter = (fun f -> Lru_cache.iter f d) }
+  | Cuckoo ->
+    let d = Cuckoo.create () in
+    { name; insert = Cuckoo.insert d; remove = Cuckoo.remove d;
+      lookup = (fun ?kind flow -> Cuckoo.lookup d ?kind flow);
+      note_send = Cuckoo.note_send d; stats = Cuckoo.stats d;
+      length = (fun () -> Cuckoo.length d);
+      iter = (fun f -> Cuckoo.iter f d) }
   | Guarded { spec = inner_spec; max_chain; max_total } ->
     let chains, hasher = chain_geometry inner_spec in
     guard
@@ -261,4 +271,17 @@ let observe ?prefix obs t =
       ~help:"per-lookup examined-count distribution"
       (prefix ^ ".examined")
   in
-  Lookup_stats.set_histogram t.stats (Some histogram)
+  Lookup_stats.set_histogram t.stats (Some histogram);
+  (* Hit/miss split of the same distribution: under a SYN flood the
+     miss series is the whole story (EXPERIMENTS.md E35). *)
+  let hit =
+    Obs.Registry.histogram obs ~units:"pcbs"
+      ~help:"examined-count distribution, lookups that matched"
+      (prefix ^ ".examined_hit")
+  in
+  let miss =
+    Obs.Registry.histogram obs ~units:"pcbs"
+      ~help:"examined-count distribution, lookups that missed"
+      (prefix ^ ".examined_miss")
+  in
+  Lookup_stats.set_series_histograms t.stats ~hit:(Some hit) ~miss:(Some miss)

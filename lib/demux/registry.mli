@@ -15,6 +15,10 @@ type spec =
   | Resizing_hash
   | Splay
   | Lru_cache of { entries : int }
+  | Cuckoo
+      (** Bucketized cuckoo hashing with a negative-lookup filter
+          ({!Cuckoo} / {!Cuckoo_table}): bounded worst-case probes,
+          single-bucket SYN-flood misses. *)
   | Guarded of { spec : spec; max_chain : int; max_total : int }
       (** Which algorithm, with its configuration.  [Guarded] wraps
           another algorithm in an overload guard (see {!Guarded} and
@@ -37,7 +41,7 @@ val spec_name : spec -> string
 val spec_of_string : string -> (spec, string) result
 (** Parse names like ["bsd"], ["mtf"], ["sequent-19"], ["sequent-100"],
     ["hashed-mtf-19"], ["conn-id"], ["resizing-hash"], ["splay"], ["lru-cache-K"],
-    ["linear"], ["sr-cache"], and ["guarded-<algorithm>"] (default
+    ["linear"], ["sr-cache"], ["cuckoo"], and ["guarded-<algorithm>"] (default
     bounds).  Inverse of {!spec_name} up to configuration that the
     name does not encode (hashers, guard bounds, non-positive counts
     are rejected with a specific message). *)
@@ -66,7 +70,9 @@ val observe : ?prefix:string -> Obs.Registry.t -> 'a t -> unit
     count as a gauge, and a ["<prefix>.examined"] histogram attached
     via {!Lookup_stats.set_histogram} so each lookup's examined count
     is recorded as a distribution (the paper's figure of merit, per
-    packet instead of in aggregate). *)
+    packet instead of in aggregate), plus ["<prefix>.examined_hit"] /
+    ["<prefix>.examined_miss"] per-outcome series via
+    {!Lookup_stats.set_series_histograms}. *)
 
 val guard : Guarded.config -> 'a t -> 'a t
 (** [guard config inner] bounds [inner]'s population: insertions that

@@ -4,6 +4,7 @@ type target =
   | Striped_sequent of int
   | Epoch_table
   | Offheap_epoch
+  | Cuckoo_table
 
 let target_name = function
   | Coarse_bsd -> "coarse:bsd"
@@ -11,6 +12,7 @@ let target_name = function
   | Striped_sequent chains -> Printf.sprintf "striped:sequent-%d" chains
   | Epoch_table -> "epoch:table"
   | Offheap_epoch -> "epoch:offheap"
+  | Cuckoo_table -> "cuckoo:table"
 
 type result = {
   target : string;
@@ -157,6 +159,31 @@ let run ?obs ?trace_capacity ?(connections = 2000)
            flows);
       ((fun flow -> Epoch.Packed.Offheap.find_flow d flow <> None),
        fun batch -> Epoch.Packed.Offheap.lookup_batch d batch)
+    | Cuckoo_table ->
+      (* The bucketized cuckoo table has no internal synchronisation,
+         but the measurement phase is strictly read-only over a table
+         populated before the domains spawn, so concurrent probes see
+         a frozen structure.  (The per-lookup probe accumulator each
+         reader races on is a plain immediate field — last writer
+         wins, nobody reads it here.) *)
+      let d = Demux.Cuckoo_table.Heap.create () in
+      Array.iteri
+        (fun i flow ->
+          Demux.Cuckoo_table.Heap.replace d
+            ~w0:(Demux.Flow_key.w0_of_flow flow)
+            ~w1:(Demux.Flow_key.w1_of_flow flow)
+            i)
+        flows;
+      let mem flow =
+        Demux.Cuckoo_table.Heap.mem d
+          ~w0:(Demux.Flow_key.w0_of_flow flow)
+          ~w1:(Demux.Flow_key.w1_of_flow flow)
+      in
+      ( mem,
+        fun batch ->
+          Array.fold_left
+            (fun hits flow -> if mem flow then hits + 1 else hits)
+            0 batch )
   in
   (* One histogram per domain, merged after the join: recording stays
      allocation- and contention-free on the measurement path. *)

@@ -33,6 +33,13 @@ type target =
       (** {!Epoch.Packed.Offheap} — the same lock-free protocol with
           the published region held in Bigarray (off-heap) storage,
           values the flow's load index.  Named ["epoch:offheap"]. *)
+  | Cuckoo_table
+      (** {!Demux.Cuckoo_table.Heap} — bucketized cuckoo hashing with
+          per-bucket tag vectors and negative-lookup filters,
+          populated before the domains spawn and probed read-only, so
+          the unsynchronised structure is frozen for the whole
+          measurement window.  Worst-case lookup is two buckets plus
+          the stash regardless of load.  Named ["cuckoo:table"]. *)
 
 val target_name : target -> string
 

@@ -56,6 +56,68 @@ let colliding_flows ~hasher ~chains ~count =
   in
   collect 0 [] 0
 
+(* The cuckoo analogue of the chain-geometry attack: chain_geometry
+   tells an attacker nothing useful about a cuckoo table (there are no
+   chains), but the two hash functions are public, so the attacker
+   aims every flow at both candidate buckets of ONE victim bucket
+   pair.  The crafted set shares its primary bucket at every
+   power-of-two mask up to [buckets] (nested masks), so the collisions
+   hold from the table's first size through its growth to the flood
+   population, forcing the insert path through full buckets, BFS
+   kicks, and stash spills rather than degenerating to uniform
+   traffic. *)
+let cuckoo_colliding_flows ~buckets ~count =
+  if buckets < 2 || buckets land (buckets - 1) <> 0 then
+    invalid_arg "Attack_workload.cuckoo_colliding_flows: buckets not a power \
+                 of two >= 2";
+  let mask = buckets - 1 in
+  let bucket_pair flow =
+    let w0 = Demux.Flow_key.w0_of_flow flow
+    and w1 = Demux.Flow_key.w1_of_flow flow in
+    ( Demux.Cuckoo_table.default_hash1 w0 w1 land mask,
+      Demux.Cuckoo_table.default_hash2 w0 w1 land mask )
+  in
+  (* The victim pair: primary bucket 0, secondary taken from the first
+     candidate that lands a genuine two-bucket pair. *)
+  let scan_cap = 32_000_000 in
+  let rec pick_secondary i =
+    if i >= scan_cap then None
+    else
+      let b1, b2 = bucket_pair (Topology.flow_of_client i) in
+      if b1 = 0 && b2 <> 0 then Some b2 else pick_secondary (i + 1)
+  in
+  match pick_secondary 0 with
+  | None -> ([], 0)
+  | Some victim ->
+    let rec collect i acc exact =
+      if exact >= count || i >= scan_cap then (acc, exact, i)
+      else
+        let flow = Topology.flow_of_client i in
+        let b1, b2 = bucket_pair flow in
+        if b1 = 0 && b2 = victim then collect (i + 1) (flow :: acc) (exact + 1)
+        else collect (i + 1) acc exact
+    in
+    let acc, exact, resume = collect 0 [] 0 in
+    (* If the pair family runs dry inside the scan cap, pad with
+       primary-bucket-only colliders (client indexes past [resume] are
+       fresh, so no duplicates): still every flow through bucket 0's
+       tag vector and filter. *)
+    let rec pad i acc have =
+      if have >= count || i >= scan_cap then acc
+      else
+        let flow = Topology.flow_of_client i in
+        let b1, _ = bucket_pair flow in
+        if b1 = 0 then pad (i + 1) (flow :: acc) (have + 1)
+        else pad (i + 1) acc have
+    in
+    let flows = if exact >= count then acc else pad resume acc exact in
+    (List.rev flows, exact)
+
+let rec targets_cuckoo = function
+  | Demux.Registry.Cuckoo -> true
+  | Demux.Registry.Guarded { spec; _ } -> targets_cuckoo spec
+  | _ -> false
+
 let observe_demux ~scenario obs tracer demux =
   (match obs with
   | Some obs ->
@@ -82,7 +144,36 @@ let observe_stack ~scenario ~spec obs tracer stack =
   | Some tracer -> Tcpcore.Stack.set_tracer stack tracer
   | None -> ()
 
+(* Bucket-pair variant for cuckoo specs: same scenario shape (insert
+   the crafted flows, then hammer lookups over them), but the flows
+   aim at one victim bucket pair of the bucket count the table will
+   grow to for this population, so inserts ride kick chains into the
+   stash instead of spreading uniformly. *)
+let run_cuckoo_collision_flood ?obs ?tracer config spec =
+  let buckets = Demux.Cuckoo_table.buckets_for config.flood_flows in
+  let flow_list, exact =
+    cuckoo_colliding_flows ~buckets ~count:config.flood_flows
+  in
+  let flows = Array.of_list flow_list in
+  let demux = Demux.Registry.create spec in
+  observe_demux ~scenario:"collision-flood" obs tracer demux;
+  Array.iter (fun flow -> ignore (demux.Demux.Registry.insert flow ())) flows;
+  let rng = Numerics.Rng.create ~seed:config.seed in
+  for _ = 1 to config.flood_lookups do
+    let flow = flows.(Numerics.Rng.int rng ~bound:(Array.length flows)) in
+    ignore (demux.Demux.Registry.lookup ~kind:Demux.Types.Data flow)
+  done;
+  result_of_stats ~algorithm:demux.Demux.Registry.name
+    ~scenario:"collision-flood" ~packets:config.flood_lookups
+    ~table_length:(demux.Demux.Registry.length ())
+    ~notes:
+      (Printf.sprintf "bucket-pair %d/%d exact of %d flows at %d buckets"
+         exact (Array.length flows) (Array.length flows) buckets)
+    (Demux.Lookup_stats.snapshot demux.Demux.Registry.stats)
+
 let run_collision_flood ?obs ?tracer config spec =
+  if targets_cuckoo spec then run_cuckoo_collision_flood ?obs ?tracer config spec
+  else
   let chains, hasher = Demux.Registry.chain_geometry spec in
   let flows =
     Array.of_list (colliding_flows ~hasher ~chains ~count:config.flood_flows)

@@ -49,6 +49,21 @@ val colliding_flows :
 (** [count] distinct flows that all hash to chain 0 of the given
     geometry — the attacker's ammunition. *)
 
+val cuckoo_colliding_flows :
+  buckets:int -> count:int -> Packet.Flow.t list * int
+(** The cuckoo analogue of {!colliding_flows}: up to [count] distinct
+    flows whose {e both} candidate buckets
+    ({!Demux.Cuckoo_table.default_hash1} / [default_hash2] under
+    [land (buckets - 1)]) equal one victim bucket pair — and, by mask
+    nesting, whose primary bucket coincides at every smaller
+    power-of-two size, so the collisions hold while the table grows.
+    Returns the flows and how many hit the pair exactly (the
+    remainder, if the enumeration cap ran out, collide on the primary
+    bucket only).  [run_collision_flood] uses this automatically for
+    ["cuckoo"] / ["guarded-cuckoo"] specs, sized by
+    {!Demux.Cuckoo_table.buckets_for}.
+    @raise Invalid_argument if [buckets] is not a power of two >= 2. *)
+
 val run_collision_flood :
   ?obs:Obs.Registry.t -> ?tracer:Obs.Trace.t -> config ->
   Demux.Registry.spec -> result

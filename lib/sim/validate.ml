@@ -22,7 +22,8 @@ let predicted_cost params (spec : Demux.Registry.spec) =
   | Demux.Registry.Lru_cache { entries } ->
     Some (Analysis.Lru_model.cost params ~entries)
   | Demux.Registry.Hashed_mtf _ | Demux.Registry.Resizing_hash
-  | Demux.Registry.Splay | Demux.Registry.Guarded _ ->
+  | Demux.Registry.Splay | Demux.Registry.Cuckoo
+  | Demux.Registry.Guarded _ ->
     None
 
 let compare ?obs ?tracer ?config params specs =

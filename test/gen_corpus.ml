@@ -166,6 +166,84 @@ let offheap_churn () =
   in
   Check.Op.v ~label:"offheap-churn" ~seed:23 (Array.of_list ops)
 
+(* The cuckoo kick-chain + stash boundary, pinned.  Two flow classes,
+   found by scanning the topology for hash coincidences (the program
+   is deterministic):
+
+   - {e pair} flows: BOTH candidate buckets pin to (0, 1) at 16
+     buckets — and, by mask nesting, at every smaller power-of-two
+     count, so the collisions survive growth from the 2-bucket
+     minimum.  Twenty are inserted against the pair's sixteen slots;
+     a twenty-first (the ghost) never is.
+   - {e feeder} flows: primary bucket 0, but an alternate bucket that
+     stays OFF the pair at every size the program reaches (h2 land 3
+     >= 2).  Inserted first, they squat in bucket 0 — and they are
+     the only occupants BFS can displace, because a pure both-bucket
+     clique has nowhere to kick to.
+
+   As the pair saturates, each new pair flow forces a BFS kick chain
+   that evicts a feeder to its free alternate bucket (kicks and a
+   filter increment for bucket 0); once only clique keys remain, BFS
+   dead-ends and the surplus spills to the stash (more filter
+   increments).  The ghost's lookups take the filter-positive full
+   miss path — both buckets and the stash scanned, still a miss — the
+   one path the filter cannot short-circuit.  Removes then hit a pair
+   resident, a late pair flow (in the stash by then) and a kicked
+   feeder (a displaced-entry remove: filter decrement at bucket 0),
+   and re-insert all three. *)
+let cuckoo_kick () =
+  let mask = 15 in
+  let hashes flow =
+    let w0 = Demux.Flow_key.w0_of_flow flow
+    and w1 = Demux.Flow_key.w1_of_flow flow in
+    (Demux.Cuckoo_table.default_hash1 w0 w1,
+     Demux.Cuckoo_table.default_hash2 w0 w1)
+  in
+  let is_pair flow =
+    let h1, h2 = hashes flow in
+    h1 land mask = 0 && h2 land mask = 1
+  in
+  let is_feeder flow =
+    let h1, h2 = hashes flow in
+    h1 land mask = 0 && h2 land 3 >= 2
+  in
+  let rec collect pairs feeders i =
+    if List.length pairs = 21 && List.length feeders = 4 then
+      (List.rev pairs, List.rev feeders)
+    else if i > 2_000_000 then
+      failwith "cuckoo_kick: collider scan exhausted"
+    else
+      let flow = Sim.Topology.flow_of_client i in
+      if is_pair flow && List.length pairs < 21 then
+        collect (flow :: pairs) feeders (i + 1)
+      else if is_feeder flow && List.length feeders < 4 then
+        collect pairs (flow :: feeders) (i + 1)
+      else collect pairs feeders (i + 1)
+  in
+  let pairs, feeders = collect [] [] 0 in
+  let residents = List.filteri (fun i _ -> i < 20) pairs in
+  let ghost = List.nth pairs 20 in
+  let insert f = op Check.Op.Insert f in
+  let lookup f = op Check.Op.Lookup f in
+  let remove f = op Check.Op.Remove f in
+  let bucket_resident = List.nth residents 2 in
+  let stash_resident = List.nth residents 19 in
+  let kicked_feeder = List.nth feeders 0 in
+  let ops =
+    List.map insert feeders
+    @ List.map insert residents
+    @ List.map lookup (feeders @ residents)
+    @ [ lookup ghost;
+        remove bucket_resident; lookup bucket_resident;
+        remove stash_resident; lookup stash_resident;
+        remove kicked_feeder; lookup kicked_feeder;
+        insert bucket_resident; insert stash_resident;
+        insert kicked_feeder ]
+    @ List.map lookup (feeders @ residents)
+    @ [ lookup ghost ]
+  in
+  Check.Op.v ~label:"cuckoo-kick" ~seed:29 (Array.of_list ops)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
   let save name program =
@@ -178,6 +256,7 @@ let () =
   save "churn_resize" (churn_resize ());
   save "epoch-reclaim" (epoch_reclaim ());
   save "offheap-churn" (offheap_churn ());
+  save "cuckoo-kick" (cuckoo_kick ());
   save "boundary-tuples"
     (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
        ~pool:48 ~ops:300);

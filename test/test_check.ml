@@ -26,7 +26,12 @@ let registry_specs =
         max_chain = Demux.Guarded.default_max_chain;
         max_total = Demux.Guarded.default_max_total };
     Demux.Registry.Guarded
-      { spec = Demux.Registry.Bsd; max_chain = 16; max_total = 48 } ]
+      { spec = Demux.Registry.Bsd; max_chain = 16; max_total = 48 };
+    Demux.Registry.Cuckoo;
+    Demux.Registry.Guarded
+      { spec = Demux.Registry.Cuckoo;
+        max_chain = Demux.Guarded.default_max_chain;
+        max_total = Demux.Guarded.default_max_total } ]
 
 let all_subjects () =
   List.map (fun spec () -> Check.Subject.of_spec spec) registry_specs
@@ -35,7 +40,8 @@ let all_subjects () =
       (fun () -> Check.Subject.flat_table_doubling ());
       (fun () -> Check.Subject.epoch_table ());
       (fun () -> Check.Subject.offheap_table ());
-      (fun () -> Check.Subject.guarded_flat_table ()) ]
+      (fun () -> Check.Subject.guarded_flat_table ());
+      (fun () -> Check.Subject.cuckoo_table ()) ]
 
 let buggy_subject () =
   Check.Subject.of_flat ~name:"buggy-flat" (module Check.Buggy_table)
@@ -112,13 +118,13 @@ let qcheck_op_round_trip =
 
 let test_diff_all_algorithms_clean () =
   (* Every profile, every subject, one program each: zero mismatches.
-     This is the tentpole invariant — all eighteen implementations
+     This is the tentpole invariant — all twenty-one implementations
      agree with the reference model op for op. *)
   let summary, failures =
     Check.Fuzz.campaign ~programs_per_profile:1 ~ops:768 ~pool:48
       ~subjects:(all_subjects ()) ~seed:42 ()
   in
-  Alcotest.(check int) "subjects" 18 (List.length summary.Check.Diff.subjects);
+  Alcotest.(check int) "subjects" 21 (List.length summary.Check.Diff.subjects);
   Alcotest.(check int) "programs" 5 summary.Check.Diff.programs;
   Alcotest.(check bool) "ops executed" true (summary.Check.Diff.ops > 10_000);
   (match summary.Check.Diff.mismatches with
@@ -242,6 +248,38 @@ let test_corpus_guarded_sheds () =
   let stats = subject.Check.Subject.stats () in
   Alcotest.(check bool) "guard evicted" true
     (stats.Demux.Lookup_stats.evictions > 0)
+
+let test_corpus_cuckoo_kick_crosses_stash () =
+  (* Every flow in the pinned program homes to cuckoo bucket 0 at 16
+     buckets (and, by mask nesting, at every smaller power-of-two
+     count); the pair class also pins its alternate bucket to 1,
+     while the feeder class keeps its alternate off the pair.
+     Replaying the program onto a bare cuckoo table must therefore
+     overflow the (0, 1) pair's sixteen slots: BFS kick chains evict
+     the feeders, the surplus pair flows land in the stash, and the
+     structural probe bound holds throughout. *)
+  let program = load_corpus "cuckoo-kick.prog" in
+  let module C = Demux.Cuckoo_table.Heap in
+  let table = C.create () in
+  Array.iter
+    (fun (o : Check.Op.op) ->
+      let w0 = Demux.Flow_key.w0_of_flow o.Check.Op.flow
+      and w1 = Demux.Flow_key.w1_of_flow o.Check.Op.flow in
+      let h2 = Demux.Cuckoo_table.default_hash2 w0 w1 in
+      Alcotest.(check int) "primary bucket pinned" 0
+        (Demux.Cuckoo_table.default_hash1 w0 w1 land 15);
+      Alcotest.(check bool) "pair or feeder alternate" true
+        (h2 land 15 = 1 || h2 land 3 >= 2);
+      match o.Check.Op.kind with
+      | Check.Op.Insert -> C.replace table ~w0 ~w1 0
+      | Check.Op.Remove -> C.remove table ~w0 ~w1
+      | _ -> ignore (C.find_opt table ~w0 ~w1))
+    program.Check.Op.ops;
+  Alcotest.(check int) "twenty-four residents" 24 (C.length table);
+  Alcotest.(check bool) "kick chains ran" true (C.kicks table > 0);
+  Alcotest.(check bool) "stash in use" true (C.stash_len table > 0);
+  Alcotest.(check bool) "probe bound holds" true
+    (C.max_probe_length table <= 2 + C.stash_len table)
 
 (* ------------------------------------------------------------------ *)
 (* The planted bug: caught, shrunk, replayable                         *)
@@ -873,7 +911,9 @@ let () =
           quick "robin-hood program catches the buggy table"
             test_corpus_robin_hood_catches_buggy_table;
           quick "guarded program sheds and still matches"
-            test_corpus_guarded_sheds ] );
+            test_corpus_guarded_sheds;
+          quick "cuckoo-kick program crosses the kick/stash boundary"
+            test_corpus_cuckoo_kick_crosses_stash ] );
       ( "fuzz",
         [ quick "planted bug caught, shrunk, replayable"
             test_fuzzer_catches_planted_bug;

@@ -1127,6 +1127,189 @@ let prop_flat_table_model_degenerate_hash =
       flat_table_model_agreement ~hash:(fun _ _ -> 0) () ops
       && flat_table_model_agreement ~hash:(fun w0 _ -> w0 land 3) () ops)
 
+(* ------------------------------------------------------------------ *)
+(* Cuckoo_table: bucketized cuckoo hashing vs the same Hashtbl model   *)
+
+(* Same drive as [flat_table_model_agreement], but over either Storage
+   backend and with the hash pair injectable: degenerate pairs aim
+   every key at one bucket pair, forcing BFS kick loops to exhaust
+   and spill into the stash, and the table must still agree with the
+   model key for key. *)
+let cuckoo_model_agreement (module T : Demux.Cuckoo_table.S) ?hash1 ?hash2 ()
+    ops =
+  let table = T.create2 ?hash1 ?hash2 () in
+  let model = Hashtbl.create 16 in
+  let words i =
+    let f = flow i in
+    (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | F_insert i ->
+        let w0, w1 = words i in
+        T.replace table ~w0 ~w1 i;
+        Hashtbl.replace model i i;
+        T.find_opt table ~w0 ~w1 = Some i
+      | F_remove i ->
+        let w0, w1 = words i in
+        T.remove table ~w0 ~w1;
+        Hashtbl.remove model i;
+        T.find_opt table ~w0 ~w1 = None && not (T.mem table ~w0 ~w1)
+      | F_find i ->
+        let w0, w1 = words i in
+        T.find_opt table ~w0 ~w1 = Hashtbl.find_opt model i
+        && (match T.find table ~w0 ~w1 with
+           | v -> Hashtbl.find_opt model i = Some v
+           | exception Not_found -> Hashtbl.find_opt model i = None)
+        && T.probe_count table ~w0 ~w1 <= 2 + T.stash_len table)
+    ops
+  && T.length table = Hashtbl.length model
+  && T.fold (fun ~w0:_ ~w1:_ _ n -> n + 1) table 0 = Hashtbl.length model
+  && T.max_probe_length table <= 2 + T.stash_len table
+
+let prop_cuckoo_model =
+  QCheck.Test.make ~count:200
+    ~name:"cuckoo_table agrees with Hashtbl model (heap + offheap)"
+    arbitrary_flat_ops
+    (fun ops ->
+      cuckoo_model_agreement (module Demux.Cuckoo_table.Heap) () ops
+      && cuckoo_model_agreement (module Demux.Cuckoo_table.Offheap) () ops)
+
+(* Degenerate primary hash: every key's home is one of 4 buckets, so
+   both buckets fill and inserts ride BFS kicks constantly while the
+   honest secondary still spreads. *)
+let prop_cuckoo_model_degenerate_primary =
+  QCheck.Test.make ~count:100
+    ~name:"cuckoo_table agrees with model under a degenerate primary hash"
+    arbitrary_flat_ops
+    (fun ops ->
+      cuckoo_model_agreement (module Demux.Cuckoo_table.Heap)
+        ~hash1:(fun w0 _ -> w0 land 3) () ops
+      && cuckoo_model_agreement (module Demux.Cuckoo_table.Offheap)
+           ~hash1:(fun w0 _ -> w0 land 3) () ops)
+
+(* Both hashes constant: every key targets the same bucket pair, so
+   past 16 keys each insert's BFS exhausts and spills to the stash.
+   The key pool stays below the 2-buckets + stash bound (32), so this
+   never trips the degenerate-overflow guard; the explicit bound test
+   below does. *)
+let arbitrary_small_pool_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [ (4, map (fun i -> F_insert i) (int_bound 23));
+        (2, map (fun i -> F_remove i) (int_bound 23));
+        (5, map (fun i -> F_find i) (int_bound 23)) ]
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | F_insert i -> Printf.sprintf "I%d" i
+             | F_remove i -> Printf.sprintf "R%d" i
+             | F_find i -> Printf.sprintf "F%d" i)
+           ops))
+    (list_size (int_range 1 300) op)
+
+let prop_cuckoo_model_stash =
+  QCheck.Test.make ~count:100
+    ~name:"cuckoo_table agrees with model when kicks spill to the stash"
+    arbitrary_small_pool_ops
+    (fun ops ->
+      cuckoo_model_agreement (module Demux.Cuckoo_table.Heap)
+        ~hash1:(fun _ _ -> 0) ~hash2:(fun _ _ -> 1) () ops
+      && cuckoo_model_agreement (module Demux.Cuckoo_table.Offheap)
+           ~hash1:(fun _ _ -> 0) ~hash2:(fun _ _ -> 1) () ops)
+
+(* Deterministic kick-chain + stash walk: with both hashes constant
+   the victim pair holds exactly 2 buckets = 16 slots, so keys 17..20
+   must live in the stash, lookups must still find all 20, and the
+   probe bound must hold. *)
+let test_cuckoo_kick_chain_into_stash () =
+  let module T = Demux.Cuckoo_table.Heap in
+  let table = T.create2 ~hash1:(fun _ _ -> 0) ~hash2:(fun _ _ -> 1) () in
+  let words i =
+    let f = flow i in
+    (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+  in
+  for i = 0 to 19 do
+    let w0, w1 = words i in
+    T.replace table ~w0 ~w1 i
+  done;
+  Alcotest.(check int) "all resident" 20 (T.length table);
+  Alcotest.(check int) "overflow sits in the stash" 4 (T.stash_len table);
+  for i = 0 to 19 do
+    let w0, w1 = words i in
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d found" i)
+      (Some i)
+      (T.find_opt table ~w0 ~w1)
+  done;
+  Alcotest.(check bool) "probe bound 2 buckets + stash" true
+    (T.max_probe_length table <= 2 + T.stash_len table);
+  (* Remove one bucket resident and one stash resident; both classes
+     of removal must neither lose nor resurrect anything. *)
+  let w0, w1 = words 3 in
+  T.remove table ~w0 ~w1;
+  Alcotest.(check (option int)) "bucket removal" None (T.find_opt table ~w0 ~w1);
+  let w0, w1 = words 19 in
+  T.remove table ~w0 ~w1;
+  Alcotest.(check (option int)) "stash removal" None (T.find_opt table ~w0 ~w1);
+  Alcotest.(check int) "population after removals" 18 (T.length table)
+
+(* More keys target one bucket pair than 2 buckets + stash can hold:
+   the insert must fail loudly after growth retries (growth cannot
+   separate keys whose hashes are constants), not loop forever. *)
+let test_cuckoo_degenerate_overflow_raises () =
+  let module T = Demux.Cuckoo_table.Heap in
+  let table = T.create2 ~hash1:(fun _ _ -> 0) ~hash2:(fun _ _ -> 1) () in
+  let words i =
+    let f = flow i in
+    (Demux.Flow_key.w0_of_flow f, Demux.Flow_key.w1_of_flow f)
+  in
+  let raised = ref None in
+  (try
+     for i = 0 to 39 do
+       let w0, w1 = words i in
+       T.replace table ~w0 ~w1 i
+     done
+   with Invalid_argument msg -> raised := Some msg);
+  Alcotest.(check bool) "insert past the bound raises" true (!raised <> None);
+  Alcotest.(check int) "bound is 2 buckets + stash"
+    (2 * Demux.Cuckoo_table.slots_per_bucket + Demux.Cuckoo_table.stash_capacity)
+    (T.length table)
+
+(* The negative-lookup filter: a miss whose tag class never overflowed
+   out of its primary bucket must resolve after one bucket probe. *)
+let test_cuckoo_filter_short_circuits_misses () =
+  let module T = Demux.Cuckoo_table.Heap in
+  let table = T.create () in
+  let population = Sim.Topology.flows 64 in
+  Array.iteri
+    (fun i f ->
+      T.replace table ~w0:(Demux.Flow_key.w0_of_flow f)
+        ~w1:(Demux.Flow_key.w1_of_flow f) i)
+    population;
+  (* At 64 keys over >= 16 buckets no bucket can have overflowed
+     (load is far below one bucket's 8 slots on average), so every
+     absent key must short-circuit. *)
+  Alcotest.(check int) "no stash at this load" 0 (T.stash_len table);
+  let absent = Sim.Topology.flows 2048 in
+  let worst = ref 0 in
+  for i = 1024 to 2047 do
+    let f = absent.(i) in
+    let p =
+      T.probe_count table ~w0:(Demux.Flow_key.w0_of_flow f)
+        ~w1:(Demux.Flow_key.w1_of_flow f)
+    in
+    if p > !worst then worst := p
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "misses bounded by 2 (worst %d)" !worst)
+    true (!worst <= 2)
+
 let test_flat_table_grows () =
   let table = Demux.Flat_table.create ~initial_capacity:8 () in
   Alcotest.(check int) "starting capacity" 8 (Demux.Flat_table.capacity table);
@@ -1340,12 +1523,35 @@ let test_flat_table_find_zero_alloc () =
        delta)
     true (delta <= 64.0)
 
+(* The warm-hit regression E35 gates: cuckoo lookups on either Storage
+   backend allocate nothing once the table is built. *)
+let cuckoo_find_zero_alloc (module T : Demux.Cuckoo_table.S) () =
+  let table = T.create () in
+  let population = Sim.Topology.flows 256 in
+  Array.iteri
+    (fun i f ->
+      T.replace table ~w0:(Demux.Flow_key.w0_of_flow f)
+        ~w1:(Demux.Flow_key.w1_of_flow f) i)
+    population;
+  let w0 = Demux.Flow_key.w0_of_flow population.(17)
+  and w1 = Demux.Flow_key.w1_of_flow population.(17) in
+  ignore (T.find table ~w0 ~w1);
+  let delta =
+    measure_minor_words 10_000 (fun () -> ignore (T.find table ~w0 ~w1))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s cuckoo find allocates nothing (minor-words delta %.0f)"
+       T.backend delta)
+    true (delta <= 64.0)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     (prop_lookup_count_invariant :: prop_merge_snapshots_with_histograms
      :: prop_flow_key_round_trip :: prop_flow_key_equality_agrees
      :: prop_flow_key_boundary_round_trip
      :: prop_flat_table_model :: prop_flat_table_model_degenerate_hash
+     :: prop_cuckoo_model :: prop_cuckoo_model_degenerate_primary
+     :: prop_cuckoo_model_stash
      :: model_tests)
 
 (* ------------------------------------------------------------------ *)
@@ -1426,9 +1632,20 @@ let () =
             test_flat_table_resize_accounting;
           Alcotest.test_case "incremental and doubling agree under churn"
             `Quick test_flat_table_policies_agree_under_churn ] );
+      ( "cuckoo-table",
+        [ Alcotest.test_case "kick chain crosses into the stash" `Quick
+            test_cuckoo_kick_chain_into_stash;
+          Alcotest.test_case "degenerate overflow raises at the bound" `Quick
+            test_cuckoo_degenerate_overflow_raises;
+          Alcotest.test_case "filter short-circuits misses" `Quick
+            test_cuckoo_filter_short_circuits_misses ] );
       ( "zero-alloc",
         [ Alcotest.test_case "sequent hit path" `Quick
             test_sequent_hit_path_zero_alloc;
           Alcotest.test_case "flat_table find" `Quick
-            test_flat_table_find_zero_alloc ] );
+            test_flat_table_find_zero_alloc;
+          Alcotest.test_case "cuckoo find (heap)" `Quick
+            (cuckoo_find_zero_alloc (module Demux.Cuckoo_table.Heap));
+          Alcotest.test_case "cuckoo find (offheap)" `Quick
+            (cuckoo_find_zero_alloc (module Demux.Cuckoo_table.Offheap)) ] );
       ("properties", qcheck_cases) ]
