@@ -1407,6 +1407,167 @@ let print_e35 () =
      buckets plus the stash by construction, whatever the attacker\n\
      knows about the primary hash.\n"
 
+(* E36: the shared-nothing per-core stacks (DESIGN.md section 16).
+   Every prior parallel experiment shared the flow table and scaled
+   the lookup; here each domain owns a complete TCP stack — connection
+   table, timer wheel, demux table — and a dispatcher steers raw
+   datagrams by flow, so the full path (parse -> demux -> state
+   machine) runs without a single shared mutable word.  Three passes:
+   the domain ladder for delivered packets/sec, an instrumented run
+   for the per-stage latency breakdown (steer and enqueue on the
+   dispatcher, parse/demux/state on the owning core), and a migration
+   run — every accepted connection handed off the listener core —
+   gated on exact conservation.  Throughput rows are recorded at every
+   rung regardless of the host; the strict 8-domain > 1-domain bar is
+   only enforced where 8 hardware threads exist, because on fewer
+   cores the ladder measures time-slicing, not scaling. *)
+
+let e36_domains = [ 1; 2; 4; 8 ]
+
+let e36_trace ~smoke () =
+  let clients, requests = if smoke then (80, 4) else (800, 12) in
+  Sim.Segment_workload.generate
+    (Sim.Segment_workload.config ~clients ~requests_per_client:requests
+       ~interleave:Sim.Segment_workload.Round_robin ~seed:bench_seed ())
+
+let e36_server_addr = Sim.Topology.server.Packet.Flow.addr
+
+let e36_gate ~label r =
+  match Parallel.Smp.violations r with
+  | [] -> ()
+  | violations ->
+    Printf.eprintf "E36 BROKEN: %s violates conservation:\n" label;
+    List.iter (fun v -> Printf.eprintf "  %s\n" v) violations;
+    exit 1
+
+(* The scaling ladder: chain-affine steering, no migration, stage
+   clocks off so the rate is the pipeline's own. *)
+let e36_scaling ~smoke () =
+  let trace = e36_trace ~smoke () in
+  List.map
+    (fun domains ->
+      let r =
+        Parallel.Smp.run
+          (Parallel.Smp.config ~domains ~local_addr:e36_server_addr ())
+          trace.Sim.Segment_workload.datagrams
+      in
+      e36_gate ~label:(Printf.sprintf "ladder at %d domains" domains) r;
+      (domains, r))
+    e36_domains
+
+(* The instrumented pass: stage histograms on, 4 domains. *)
+let e36_stages ~smoke () =
+  let trace = e36_trace ~smoke () in
+  let r =
+    Parallel.Smp.run
+      (Parallel.Smp.config ~stages:true ~domains:4
+         ~local_addr:e36_server_addr ())
+      trace.Sim.Segment_workload.datagrams
+  in
+  e36_gate ~label:"instrumented run" r;
+  r
+
+(* The migration pass: listener core accepts, every connection
+   migrates, stragglers forward; conservation is the result. *)
+let e36_migrate ~smoke () =
+  let trace = e36_trace ~smoke () in
+  let r =
+    Parallel.Smp.run
+      (Parallel.Smp.config
+         ~demux:(Demux.Registry.Conn_id { capacity = 65536 })
+         ~migrate:true ~domains:4 ~local_addr:e36_server_addr ())
+      trace.Sim.Segment_workload.datagrams
+  in
+  e36_gate ~label:"migration run" r;
+  r
+
+let e36_rate rows ~domains =
+  match List.assoc_opt domains rows with
+  | Some (r : Parallel.Smp.result) -> r.Parallel.Smp.packets_per_s
+  | None ->
+    Printf.eprintf "E36: missing ladder rung at %d domains\n" domains;
+    exit 1
+
+let e36_stage_names = [ "steer"; "enqueue"; "parse"; "demux"; "state" ]
+
+let assert_e36 rows (instrumented : Parallel.Smp.result)
+    (migrated : Parallel.Smp.result) =
+  (* Stage coverage: the breakdown must exist and have seen every
+     datagram, or the latency story is dark. *)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name instrumented.Parallel.Smp.stages with
+      | None ->
+        Printf.eprintf "E36 BROKEN: stage %s missing from breakdown\n" name;
+        exit 1
+      | Some h ->
+        if Obs.Histogram.count h <> instrumented.Parallel.Smp.total then begin
+          Printf.eprintf
+            "E36 BROKEN: stage %s saw %d of %d datagrams\n" name
+            (Obs.Histogram.count h) instrumented.Parallel.Smp.total;
+          exit 1
+        end)
+    e36_stage_names;
+  (* Migration actually happened, and conserved every segment. *)
+  e36_gate ~label:"migration run" migrated;
+  if migrated.Parallel.Smp.handoffs = 0 then begin
+    Printf.eprintf "E36 BROKEN: migration run performed no handoffs\n";
+    exit 1
+  end;
+  (* The scaling bar, where the hardware can express it. *)
+  let threads = Domain.recommended_domain_count () in
+  if threads >= 8 then begin
+    let d1 = e36_rate rows ~domains:1 and d8 = e36_rate rows ~domains:8 in
+    if not (d8 > d1) then begin
+      Printf.eprintf
+        "E36 REGRESSION: 8 shared-nothing stacks deliver %.0f pkts/s <= \
+         %.0f at 1 domain on %d hardware threads\n"
+        d8 d1 threads;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "E36: scaling bar skipped (%d hardware threads < 8); rates \
+       recorded, not enforced\n"
+      threads
+
+let print_e36 () =
+  section
+    "E36 (extension): shared-nothing per-core TCP stacks with flow \
+     steering";
+  let rows = e36_scaling ~smoke:false () in
+  row "%-10s %14s %12s %10s\n" "domains" "pkts/s" "delivered" "handoffs";
+  List.iter
+    (fun (d, (r : Parallel.Smp.result)) ->
+      row "%-10d %14.0f %12d %10d\n" d r.Parallel.Smp.packets_per_s
+        r.Parallel.Smp.total r.Parallel.Smp.handoffs)
+    rows;
+  let instrumented = e36_stages ~smoke:false () in
+  row "per-stage latency (4 domains, every datagram):\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name instrumented.Parallel.Smp.stages with
+      | Some h ->
+        row "  %-8s p50 %6d ns   p99 %8d ns\n" name (Obs.Histogram.p50 h)
+          (Obs.Histogram.p99 h)
+      | None -> ())
+    e36_stage_names;
+  let migrated = e36_migrate ~smoke:false () in
+  row
+    "migration: %d handoffs, %d stragglers forwarded, %d flushes, \
+     conservation exact\n"
+    migrated.Parallel.Smp.handoffs migrated.Parallel.Smp.forwarded
+    migrated.Parallel.Smp.flushes;
+  assert_e36 rows instrumented migrated;
+  row
+    "Each domain owns its connection table, timer wheel and demux\n\
+     table outright — the dispatcher steers whole flows, so no lookup,\n\
+     timer or state transition ever crosses a core boundary, and the\n\
+     migration pass shows the one moment ownership moves is a\n\
+     message-passing handoff with exact segment accounting, not a\n\
+     shared structure.\n"
+
 let print_hash_ablation () =
   section "Ablation: hash-function chain balance (DESIGN.md section 6)";
   let flows = Array.to_list (Sim.Topology.flows 2000) in
@@ -1603,7 +1764,44 @@ let collect_records ~smoke =
   emit ~id:"E35"
     ~metric:"demux.e35.cuckoo.offheap.warm_minor_words_per_lookup"
     ~units:"words" e35_offheap_words;
-  assert_e35 e35_rows (e35_heap_words, e35_offheap_words)
+  assert_e35 e35_rows (e35_heap_words, e35_offheap_words);
+  (* E36: the shared-nothing ladder at every rung, the per-stage
+     latency breakdown, and the migration-conservation records, with
+     the stage/conservation bars (and, on >=8 hardware threads, the
+     scaling bar) enforced in-line. *)
+  let e36_rows = e36_scaling ~smoke () in
+  List.iter
+    (fun (d, (r : Parallel.Smp.result)) ->
+      emit ~id:"E36"
+        ~metric:(Printf.sprintf "smp.d%d.packets_per_s" d)
+        ~units:"pkts/s" r.Parallel.Smp.packets_per_s)
+    e36_rows;
+  let e36_instrumented = e36_stages ~smoke () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name e36_instrumented.Parallel.Smp.stages with
+      | Some h ->
+        emit ~id:"E36"
+          ~metric:(Printf.sprintf "smp.stage.%s.p50_ns" name)
+          ~units:"ns"
+          (float_of_int (Obs.Histogram.p50 h));
+        emit ~id:"E36"
+          ~metric:(Printf.sprintf "smp.stage.%s.p99_ns" name)
+          ~units:"ns"
+          (float_of_int (Obs.Histogram.p99 h))
+      | None -> ())
+    e36_stage_names;
+  let e36_migrated = e36_migrate ~smoke () in
+  emit ~id:"E36" ~metric:"smp.migrate.handoffs" ~units:"flows"
+    (float_of_int e36_migrated.Parallel.Smp.handoffs);
+  emit ~id:"E36" ~metric:"smp.migrate.forwarded" ~units:"segments"
+    (float_of_int e36_migrated.Parallel.Smp.forwarded);
+  emit ~id:"E36" ~metric:"smp.migrate.flushes" ~units:"flows"
+    (float_of_int e36_migrated.Parallel.Smp.flushes);
+  emit ~id:"E36" ~metric:"smp.migrate.violations" ~units:"count"
+    (float_of_int
+       (List.length (Parallel.Smp.violations e36_migrated)));
+  assert_e36 e36_rows e36_instrumented e36_migrated
 
 let write_records path =
   Obs.Json.write_file path
@@ -1786,9 +1984,61 @@ let check_records path =
             fail (Printf.sprintf "missing E35 record %s" want))
         [ "demux.e35.cuckoo.heap.warm_minor_words_per_lookup";
           "demux.e35.cuckoo.offheap.warm_minor_words_per_lookup" ];
+      (* And the E36 shared-nothing series: the packets/sec ladder at
+         every rung, the five-stage latency breakdown, and the
+         migration-conservation records — the SMP claim is only
+         auditable with the scaling curve AND the exact-handoff
+         evidence side by side. *)
+      let e36_metrics =
+        List.filter_map
+          (fun item ->
+            match field "id" item Obs.Json.to_string_opt with
+            | Some "E36" -> field "metric" item Obs.Json.to_string_opt
+            | _ -> None)
+          items
+      in
+      List.iter
+        (fun domains ->
+          let want = Printf.sprintf "smp.d%d.packets_per_s" domains in
+          if not (List.mem want e36_metrics) then
+            fail (Printf.sprintf "missing E36 record %s" want))
+        e36_domains;
+      List.iter
+        (fun name ->
+          List.iter
+            (fun suffix ->
+              let want = Printf.sprintf "smp.stage.%s.%s" name suffix in
+              if not (List.mem want e36_metrics) then
+                fail (Printf.sprintf "missing E36 record %s" want))
+            [ "p50_ns"; "p99_ns" ])
+        e36_stage_names;
+      List.iter
+        (fun want ->
+          if not (List.mem want e36_metrics) then
+            fail (Printf.sprintf "missing E36 record %s" want))
+        [ "smp.migrate.handoffs"; "smp.migrate.forwarded";
+          "smp.migrate.flushes"; "smp.migrate.violations" ];
+      (match
+         List.find_opt
+           (fun item ->
+             field "id" item Obs.Json.to_string_opt = Some "E36"
+             && field "metric" item Obs.Json.to_string_opt
+                = Some "smp.migrate.violations")
+           items
+       with
+      | Some item ->
+        (match field "value" item Obs.Json.to_float_opt with
+        | Some 0. -> ()
+        | Some v ->
+          fail
+            (Printf.sprintf
+               "E36 migration conservation violated (%d violations)"
+               (int_of_float v))
+        | None -> fail "E36 smp.migrate.violations is not a number")
+      | None -> ());
       Printf.printf
-        "%s: %d records (E29 + E31 + E33 + E34 + E35 coverage ok), \
-         schema ok\n"
+        "%s: %d records (E29 + E31 + E33 + E34 + E35 + E36 coverage \
+         ok, migration conservation ok), schema ok\n"
         path (List.length items))
 
 (* The differential-check gate: --check refuses to bless a benchmark
@@ -2033,6 +2283,9 @@ let usage () =
      \               ~minutes and ~1 GB resident) and exit\n\
      \  --e35        run only the E35 flat-vs-cuckoo adversarial lookup\n\
      \               grid (three populations to 1M flows) and exit\n\
+     \  --e36        run only the E36 shared-nothing per-core stack\n\
+     \               ladder (throughput, stage breakdown, migration)\n\
+     \               and exit\n\
      \  --json FILE  write tcpdemux-bench/1 records to FILE\n\
      \  --check FILE validate a records file (plus the tcpdemux-check/1\n\
      \               report, --check-report, default check.json, and the\n\
@@ -2044,6 +2297,7 @@ let () =
   let smoke = ref false and json = ref None and check = ref None in
   let only_e34 = ref false in
   let only_e35 = ref false in
+  let only_e36 = ref false in
   let check_report = ref "check.json" in
   let chaos_report = ref "chaos.json" in
   let rec parse = function
@@ -2051,6 +2305,7 @@ let () =
     | "--smoke" :: rest -> smoke := true; parse rest
     | "--e34" :: rest -> only_e34 := true; parse rest
     | "--e35" :: rest -> only_e35 := true; parse rest
+    | "--e36" :: rest -> only_e36 := true; parse rest
     | "--json" :: path :: rest -> json := Some path; parse rest
     | "--check" :: path :: rest -> check := Some path; parse rest
     | "--check-report" :: path :: rest -> check_report := path; parse rest
@@ -2072,6 +2327,11 @@ let () =
     print_endline
       "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
     print_e35 ();
+    print_endline "\ndone."
+  | None when !only_e36 ->
+    print_endline
+      "tcpdemux benchmark harness — McKenney & Dove (1992) reproduction";
+    print_e36 ();
     print_endline "\ndone."
   | None ->
     print_endline
@@ -2101,6 +2361,7 @@ let () =
       print_e33 ();
       print_e34 ();
       print_e35 ();
+      print_e36 ();
       print_hash_ablation ()
     end;
     (match !json with

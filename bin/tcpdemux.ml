@@ -786,8 +786,78 @@ let run_pipeline_offheap ?obs ?tracer ~workers ~batch ~connections ~packets
   Epoch.Packed.Offheap.quiesce table;
   result
 
+(* --smp: the shared-nothing per-core stacks (Parallel.Smp).  Each
+   domain owns a complete TCP stack — connection table, timer wheel,
+   demux table — and a dispatcher steers raw datagrams into per-domain
+   rings; with --migrate the listener core hands every accepted
+   connection to another core mid-trace.  Every run is gated on exact
+   handoff conservation (Smp.violations), so the smoke pass doubles as
+   a correctness check in CI. *)
+let run_smp ~domains ~migrate ~smoke ~seed obs_json =
+  let domains = if smoke then [ 1; 2 ] else domains in
+  if List.exists (fun d -> d <= 0) domains then
+    `Error (false, "--domains must all be positive")
+  else begin
+  let clients, requests = if smoke then (60, 3) else (1500, 10) in
+  let trace =
+    Sim.Segment_workload.generate
+      (Sim.Segment_workload.config ~clients ~requests_per_client:requests
+         ~interleave:Sim.Segment_workload.Round_robin ~seed ())
+  in
+  let obs = Option.map (fun _ -> Obs.Registry.create ()) obs_json in
+  (* Migration needs a content-independent demux spec so the handoff
+     path (remove + insert) keeps lookup statistics comparable across
+     domain counts. *)
+  let demux =
+    if migrate then Some (Demux.Registry.Conn_id { capacity = 65536 })
+    else None
+  in
+  Format.printf
+    "smp: shared-nothing per-core stacks, %d datagrams (%d flows)%s@."
+    (Array.length trace.Sim.Segment_workload.datagrams)
+    trace.Sim.Segment_workload.syns
+    (if migrate then ", flow migration on" else "");
+  let failures = ref [] in
+  List.iter
+    (fun d ->
+      let r =
+        Parallel.Smp.run
+          (Parallel.Smp.config ?demux ~migrate ~stages:true ~domains:d
+             ~local_addr:Sim.Topology.server.Packet.Flow.addr ())
+          trace.Sim.Segment_workload.datagrams
+      in
+      Format.printf "%a@." Parallel.Smp.pp r;
+      (match Parallel.Smp.violations r with
+      | [] -> ()
+      | v -> failures := (d, v) :: !failures);
+      Option.iter
+        (fun obs ->
+          Parallel.Smp.register_obs
+            ~prefix:(Printf.sprintf "smp.d%d" d)
+            r obs)
+        obs)
+    domains;
+  match !failures with
+  | (d, v) :: _ ->
+    `Error
+      ( false,
+        Printf.sprintf "smp: conservation violated at %d domains: %s" d
+          (String.concat "; " v) )
+  | [] -> (
+    try
+      (match (obs_json, obs) with
+      | Some path, Some obs ->
+        Obs.Registry.write_json ~label:"parallel" obs path;
+        Format.printf "wrote metric snapshot to %s@." path
+      | _ -> ());
+      `Ok ()
+    with Sys_error message -> `Error (false, message))
+  end
+
 let run_parallel targets domains batches connections lookups pipeline epoch
-    offheap cuckoo smoke seed obs_json trace_file trace_capacity =
+    offheap cuckoo smp migrate smoke seed obs_json trace_file trace_capacity =
+  if smp then run_smp ~domains ~migrate ~smoke ~seed obs_json
+  else
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
@@ -1004,6 +1074,30 @@ let parallel_cmd =
              probed read-only, so worst-case lookup cost stays two \
              buckets plus the stash under any load.")
   in
+  let smp =
+    Arg.(
+      value & flag
+      & info [ "smp" ]
+          ~doc:
+            "Run the shared-nothing per-core stacks instead of the \
+             lookup-throughput targets: one complete TCP stack \
+             (connection table, timer wheel, demux table) per domain in \
+             --domains, fed by a dispatcher steering a deterministic \
+             segment workload; prints packets/sec and the per-stage \
+             latency breakdown, and fails if handoff conservation is \
+             violated.  With --obs-json, smp.dN.* counters and stage \
+             histograms land in the snapshot.")
+  in
+  let migrate =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:
+            "With --smp: accept every connection on the listener core \
+             (domain 0) and migrate it to another core mid-trace — \
+             route-map override plus in-flight segment forwarding, with \
+             exact handoff accounting.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -1011,15 +1105,17 @@ let parallel_cmd =
           ~doc:
             "CI-sized run: 2 domains, batches 1 and 8, small counts, \
              pipeline included.  Overrides --domains, --batch, \
-             --connections, --lookups.")
+             --connections, --lookups.  With --smp: domains 1 and 2 \
+             over a small workload.")
   in
   Cmd.v
     (Cmd.info "parallel" ~doc)
     Term.(
       ret
         (const run_parallel $ targets $ domains $ batches $ connections
-        $ lookups $ pipeline $ epoch $ offheap $ cuckoo $ smoke $ seed_arg
-        $ obs_json_arg $ trace_file_arg $ trace_capacity_arg))
+        $ lookups $ pipeline $ epoch $ offheap $ cuckoo $ smp $ migrate
+        $ smoke $ seed_arg $ obs_json_arg $ trace_file_arg
+        $ trace_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 (* check: differential oracle + fuzz + cross-validation (lib/check)    *)

@@ -1,0 +1,65 @@
+(** Lower {!Op} programs to wire-format segment traces for the
+    shared-nothing SMP stacks ({!Parallel.Smp}).
+
+    The differential oracle replays programs against bare demux tables;
+    this module replays the {e same pinned programs} through real TCP
+    stacks, so a corpus entry doubles as a migration-conservation trace.
+    Each table operation becomes the client-side segments that force the
+    server through the corresponding table op:
+
+    - [Insert]     → SYN + handshake ACK (passive open, [Established])
+    - [Lookup]     → one in-order data segment (receive-path hit)
+    - [Ack_lookup] → one pure ACK (no payload, no state change)
+    - [Remove]     → a data segment carrying {!marker} — the server
+                     application ({!close_on_marker}) closes, emitting
+                     FIN — followed by the client's FIN+ACK that acks
+                     that FIN, driving the server [Fin_wait_1] →
+                     [Time_wait] (the protocol removal path, complete
+                     with a live 2MSL timer)
+    - [Send]       → a byte-identical retransmission of the client's
+                     FIN+ACK: the TIME-WAIT resurrection probe.  A
+                     correct stack re-acks and stays in [Time_wait]; a
+                     stack that lost the connection (double migration,
+                     double drain) answers with an RST or a fresh PCB.
+
+    Sequence numbers assume both sides draw from
+    {!Tcpcore.Stack.deterministic_iss} (the client on the reversed
+    flow) and that the server application is exactly
+    {!close_on_marker}: replaying a lowered trace under any other
+    [on_data] invalidates {!expectations}. *)
+
+val marker : string
+(** Payload that makes {!close_on_marker} close the connection. *)
+
+val close_on_marker :
+  Tcpcore.Stack.t -> Tcpcore.Stack.connection -> string -> unit
+(** The server application the lowering assumes: closes the connection
+    when the delivered payload equals {!marker}, ignores everything
+    else.  Safe to install as [on_data] on every per-core stack. *)
+
+type expectation = {
+  flow : Packet.Flow.t;
+  state : Tcpcore.State.t;
+      (** [Established] for open flows, [Time_wait] after [Remove]. *)
+  bytes_in : int;
+      (** In-order client payload delivered, {!marker} included. *)
+}
+
+type lowered = {
+  datagrams : bytes array;  (** Wire datagrams, program order. *)
+  expectations : expectation list;
+      (** One per opened flow, first-[Insert] order. *)
+  opened : int;             (** [Insert] count = expected connections. *)
+  closed : int;             (** [Remove] count = expected TIME-WAITs. *)
+  probes : int;             (** [Send] count: duplicate-FIN probes. *)
+  payload_bytes : int;      (** Total client payload on the wire. *)
+}
+
+val lower : ?payload:int -> Op.t -> (lowered, string) result
+(** [lower prog] turns a program into its segment trace.  [?payload]
+    (default 64) sizes each [Lookup] data segment.  Programs must be
+    well-formed as {e connection} histories — no [Insert] of an open
+    flow, no [Lookup]/[Remove] of a closed or absent one, [Send] only
+    after [Remove] — otherwise [Error] names the offending op.  (The
+    fuzzer's free-form programs need not qualify; the pinned SMP corpus
+    entries do by construction.) *)

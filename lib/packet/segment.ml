@@ -31,6 +31,35 @@ let to_bytes t =
   assert (written = Bytes.length buf);
   buf
 
+(* Read only the five header fields a steering layer needs — version,
+   IHL, protocol, addresses, ports — without checksum verification or
+   payload copying.  This is the work a NIC's RSS engine does per
+   packet; full validation stays with [parse] on the owning core. *)
+let peek_flow buf ~off =
+  let len = Bytes.length buf - off in
+  if len < Ipv4.header_length + 4 then Error "segment: truncated datagram"
+  else
+    let b i = Char.code (Bytes.unsafe_get buf (off + i)) in
+    let first = b 0 in
+    if first lsr 4 <> 4 then Error "ipv4: bad version"
+    else
+      let ihl = (first land 0xF) * 4 in
+      if ihl < Ipv4.header_length then Error "ipv4: header too short"
+      else if len < ihl + 4 then Error "segment: truncated datagram"
+      else if b 9 <> 6 then Error "segment: not TCP"
+      else
+        let addr i =
+          Ipv4.addr_of_int32
+            (Int32.logor
+               (Int32.shift_left (Int32.of_int ((b i lsl 8) lor b (i + 1))) 16)
+               (Int32.of_int ((b (i + 2) lsl 8) lor b (i + 3))))
+        in
+        let port i = (b i lsl 8) lor b (i + 1) in
+        let src = { Flow.addr = addr 12; port = port ihl } in
+        let dst = { Flow.addr = addr 16; port = port (ihl + 2) } in
+        (* The receiver's key: local = destination, remote = source. *)
+        Ok { Flow.local = dst; remote = src }
+
 let parse ?(verify_checksum = true) buf ~off =
   match Ipv4.parse buf ~off with
   | Error _ as e -> e

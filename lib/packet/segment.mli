@@ -29,4 +29,12 @@ val parse : ?verify_checksum:bool -> bytes -> off:int -> (t, string) result
     both checksums must be valid.  Rejects non-TCP protocols and
     fragments. *)
 
+val peek_flow : bytes -> off:int -> (Flow.t, string) result
+(** The demultiplexing key of the datagram at [off], read straight
+    from the header bytes without checksum verification, option
+    parsing or payload extraction — the constant-time peek an RSS
+    steering layer performs before handing the datagram to the core
+    that will {!parse} and validate it.  Rejects only what makes the
+    4-tuple unreadable (truncation, wrong IP version, non-TCP). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,198 @@
+(** Shared-nothing per-core TCP stacks with flow steering.
+
+    The {!Dispatcher} pipeline demultiplexes pre-parsed flow keys
+    against a {e shared} table; this module replicates the entire
+    stack instead.  Each domain owns a private {!Tcpcore.Stack} — its
+    own connection table, demultiplexer and timing wheel — and the
+    dispatcher steers raw datagrams to the owning core with a
+    constant-time header peek ({!Packet.Segment.peek_flow}), exactly
+    as NIC receive-side scaling would.  No mutable state is shared
+    between domains: every cross-core interaction travels over an SPSC
+    {!Ring}, so the full receive path — parse, steer, enqueue, demux,
+    state machine — runs without a single lock or shared write.
+
+    {2 Steering}
+
+    {!Flow_hash} shards by full flow hash; {!Chain_affine} shards by
+    the demultiplexer's own chain bucket, so every hash chain lives
+    wholly on one core and an N-core run performs {e bit-identical}
+    per-chain work to a single-core run — the property the cross-core
+    lockstep tests assert, down to exact {!Demux.Lookup_stats}
+    equality.
+
+    {2 Flow migration}
+
+    With [migrate] every datagram is first steered to domain 0, the
+    listener core.  When a handshake completes there, the accepted
+    connection is extracted ({!Tcpcore.Stack.extract_connection}) and
+    handed to its owning core over a peer ring, and the dispatcher's
+    {e private} route map is updated via a control ring:
+
+    {v
+      worker 0:   Adopt(conn) -> peer ring k;  Redirect(f,k) -> ctrl
+      dispatcher: pops Redirect; route[f] <- k; Flush(f) -> ring 0
+      worker 0:   forwards stragglers of f from ring 0 to peer ring k,
+                  converts Flush(f) into Forward_done(f) -> peer ring k
+      worker k:   buffers direct datagrams of f from Adopt until
+                  Forward_done, then processes the backlog in order
+    v}
+
+    Ring FIFO order plus the SC-atomic publication order of the rings
+    give per-flow total order across the handoff: stragglers steered
+    before the route change are processed (at the new core) before any
+    datagram steered after it, each exactly once.  {!violations}
+    checks the resulting conservation ledger.  At [domains = 1] the
+    handoff degenerates to a {e self-handoff} — the same extract and
+    adopt table operations against the same stack — so single-domain
+    runs remain op-for-op comparable with multi-domain ones. *)
+
+type steering =
+  | Flow_hash     (** Shard by full flow hash (RSS). *)
+  | Chain_affine  (** Shard by the demux spec's chain bucket, keeping
+                      each hash chain wholly on one core. *)
+
+type config = {
+  domains : int;
+  ring_capacity : int;
+  demux : Demux.Registry.spec;
+  steering : steering;
+  migrate : bool;
+  migrate_target : int option;
+      (** With [migrate]: adopt every flow on this domain, or spread
+          across domains 1..N-1 by flow hash when [None]. *)
+  listen_port : int;
+  local_addr : Packet.Ipv4.addr;
+  iss : Packet.Flow.t -> int32;
+  on_data :
+    Tcpcore.Stack.t -> Tcpcore.Stack.connection -> string -> unit;
+      (** Application callback, invoked on whichever domain owns the
+          connection — it must not capture domain-unsafe state. *)
+  pressure : Pressure.config option;
+      (** Per-domain overload controllers (one {!Pressure.t} each, so
+          a stalled core degrades locally without dragging siblings
+          down). *)
+  on_pressure : Pressure.t array -> unit;
+      (** Observation hook handed the per-domain controllers before
+          the run starts — tests use it to {!Pressure.force} tiers. *)
+  stall : (int * int) option;
+      (** [(domain, ns)]: busy-wait [ns] per datagram on one worker,
+          simulating a slow core for degradation tests. *)
+  stages : bool;
+      (** Record per-stage latency histograms (see {!result.stages}).
+          Off by default: the hot path then never reads the clock. *)
+}
+
+val config :
+  ?ring_capacity:int ->
+  ?demux:Demux.Registry.spec ->
+  ?steering:steering ->
+  ?migrate:bool ->
+  ?migrate_target:int ->
+  ?listen_port:int ->
+  ?iss:(Packet.Flow.t -> int32) ->
+  ?on_data:(Tcpcore.Stack.t -> Tcpcore.Stack.connection -> string -> unit) ->
+  ?pressure:Pressure.config ->
+  ?on_pressure:(Pressure.t array -> unit) ->
+  ?stall:int * int ->
+  ?stages:bool ->
+  domains:int ->
+  local_addr:Packet.Ipv4.addr ->
+  unit ->
+  config
+(** Defaults: ring capacity 1024, Sequent with 19 chains,
+    [Chain_affine], no migration, port 8888,
+    {!Tcpcore.Stack.deterministic_iss} (required for cross-domain
+    lockstep — per-stack ISS counters would diverge), no-op [on_data],
+    no pressure, no stall, stages off.
+    @raise Invalid_argument on non-positive domains / capacity / port,
+    a stall or migrate target outside [0, domains), or
+    [migrate_target] without [migrate]. *)
+
+type conn_summary = {
+  flow : Packet.Flow.t;
+  state : Tcpcore.State.t;
+  bytes_in : int;
+  bytes_out : int;
+  snd_nxt : int32;
+  rcv_nxt : int32;
+  snd_una : int32;
+}
+(** The cross-core comparable image of one connection.  Structural
+    equality on sorted summary lists is the lockstep oracle. *)
+
+type domain_result = {
+  index : int;
+  steered : int;        (** Datagrams pushed to this domain's ring. *)
+  rejected : int;       (** Refused at dispatch ({!Pressure.Reject}). *)
+  dropped_full : int;   (** Dropped at dispatch on a full ring
+                            ({!Pressure.Drop_batches}). *)
+  processed : int;      (** Direct datagrams fed to the stack
+                            (including buffered-then-flushed ones). *)
+  forwarded_in : int;   (** Straggler segments processed via the peer
+                            ring. *)
+  forwarded_out : int;  (** Stragglers this domain forwarded (listener
+                            core only). *)
+  buffered : int;       (** Direct datagrams that waited for
+                            [Forward_done]. *)
+  adopted : int;        (** Connections adopted from the listener core. *)
+  migrated_out : int;   (** Connections extracted and handed off. *)
+  self_handoffs : int;  (** Extract+adopt against the same stack
+                            ([domains = 1] or target = listener). *)
+  flushes : int;        (** [Flush] messages converted to
+                            [Forward_done] (listener core only). *)
+  unclassified : int;   (** Datagrams that matched no protocol state —
+                            always 0 unless the handoff protocol is
+                            broken (the oracle the migration tests
+                            assert). *)
+  leftover : int;       (** Buffered datagrams never flushed — same
+                            invariant, same expected 0. *)
+  tx : int;             (** Reply segments emitted by this stack. *)
+  connections : int;
+  drops : (string * int) list;        (** {!Tcpcore.Stack.drop_counts}. *)
+  stats : Demux.Lookup_stats.snapshot;
+  tier : string option;               (** Final pressure tier. *)
+  tier_transitions : (string * int) list;
+  pressure_counters : (string * int) list;
+}
+
+type result = {
+  domains : int;
+  total : int;                        (** Datagrams offered. *)
+  per_domain : domain_result array;
+  merged_drops : (string * int) list;
+  merged_stats : Demux.Lookup_stats.snapshot;
+  connections : conn_summary list;    (** All domains, sorted by flow. *)
+  handoffs : int;                     (** Cross-core migrations. *)
+  self_handoffs : int;
+  forwarded : int;                    (** Total straggler segments. *)
+  flushes : int;
+  elapsed_s : float;
+  packets_per_s : float;              (** Delivered datagrams / s. *)
+  stages : (string * Obs.Histogram.t) list;
+      (** With [stages]: [parse], [steer], [enqueue], [demux], [state]
+          latency histograms in nanoseconds, worker-side ones merged
+          across domains.  Empty otherwise. *)
+}
+
+val run : config -> bytes array -> result
+(** Replay a wire-format datagram trace (e.g.
+    {!Sim.Segment_workload.generate}) through [domains] per-core
+    stacks.  Spawns one domain per stack (each stack is created,
+    driven and summarized entirely inside its domain — the
+    {!Tcpcore.Timer_wheel} ownership check holds the pipeline to
+    that); the calling domain runs the dispatcher.
+    @raise Invalid_argument on an empty trace. *)
+
+val violations : result -> string list
+(** The conservation ledger, empty when sound: every offered datagram
+    accounted for exactly once (steered/rejected/dropped vs
+    processed/forwarded/unclassified/leftover, per domain and in
+    total), forwarded segments conserved across the peer rings,
+    adoptions matching extractions matching flushes, and no
+    unclassified or leftover datagrams. *)
+
+val register_obs : ?prefix:string -> result -> Obs.Registry.t -> unit
+(** Register the run's counters (totals and per-domain) and stage
+    histograms under ["<prefix>."] (default ["smp"]). *)
+
+val pp : Format.formatter -> result -> unit

@@ -47,6 +47,13 @@ and t = {
   table : (connection, listener) Conn_table.t;
   mutable outbox : Packet.Segment.t list;  (* newest first; reversed on drain *)
   mutable next_iss : int32;
+  iss_for : (Packet.Flow.t -> int32) option;
+  mutable on_established : (t -> connection -> unit) option;
+  (* Per-stage latency histograms (parse / demux / state), off by
+     default: the receive path reads the clock only when attached. *)
+  mutable stage_parse : Obs.Histogram.t option;
+  mutable stage_demux : Obs.Histogram.t option;
+  mutable stage_state : Obs.Histogram.t option;
   mutable segments_sent : int;
   mutable rsts_sent : int;
   mutable retransmissions : int;
@@ -74,7 +81,7 @@ let create ?(demux =
                  hasher = Hashing.Hashers.multiplicative })
     ?(time_wait_timeout = 60.0) ?(retransmit_timeout = 1.0)
     ?(max_retransmits = 12) ?(rto_jitter = true) ?(rto_seed = 0x52544f)
-    ?(delayed_acks = false) ?(delayed_ack_timeout = 0.2) ~local_addr () =
+    ?(delayed_acks = false) ?(delayed_ack_timeout = 0.2) ?iss ~local_addr () =
   if time_wait_timeout <= 0.0 then
     invalid_arg "Stack.create: time_wait_timeout <= 0";
   if retransmit_timeout <= 0.0 then
@@ -83,7 +90,9 @@ let create ?(demux =
     invalid_arg "Stack.create: delayed_ack_timeout <= 0";
   { local_addr; tracer = Obs.Trace.disabled;
     table = Conn_table.create demux; outbox = [];
-    next_iss = 1000l; segments_sent = 0; rsts_sent = 0; retransmissions = 0;
+    next_iss = 1000l; iss_for = iss; on_established = None;
+    stage_parse = None; stage_demux = None; stage_state = None;
+    segments_sent = 0; rsts_sent = 0; retransmissions = 0;
     drops =
       { parse_error = 0; wrong_destination = 0; handler_error = 0;
         overload_shed_new_flow = 0; overload_drop_batch = 0;
@@ -96,14 +105,46 @@ let create ?(demux =
     time_wait_timers = Demux.Flow_table.create 16 }
 
 let set_overload_probe t probe = t.overload_probe <- probe
+let set_on_established t hook = t.on_established <- hook
+
+let set_stage_histograms t ~parse ~demux ~state =
+  t.stage_parse <- parse;
+  t.stage_demux <- demux;
+  t.stage_state <- state
 
 let local_addr t = t.local_addr
 
-let fresh_iss t =
-  let iss = t.next_iss in
-  (* Deterministic, well-spaced initial sequence numbers. *)
-  t.next_iss <- Int32.add t.next_iss 64000l;
-  iss
+let fresh_iss t flow =
+  match t.iss_for with
+  | Some f -> f flow
+  | None ->
+    let iss = t.next_iss in
+    (* Deterministic, well-spaced initial sequence numbers. *)
+    t.next_iss <- Int32.add t.next_iss 64000l;
+    iss
+
+(* A per-flow ISS in the spirit of RFC 6528 minus the secret and the
+   clock: a fixed mix of the 4-tuple.  What matters here is not
+   off-path attack resistance but that a connection's ISS no longer
+   depends on {e accept order}, so N per-core stacks accepting the
+   same flows in any interleaving produce bit-identical sequence
+   state — the property the cross-core lockstep tests pin. *)
+let deterministic_iss flow =
+  let word (ep : Packet.Flow.endpoint) =
+    ((Int32.to_int (Packet.Ipv4.addr_to_int32 ep.Packet.Flow.addr)
+      land 0xFFFFFFFF)
+     lsl 16)
+    lor ep.Packet.Flow.port
+  in
+  let mix h v =
+    let h = (h lxor v) * 0x9E3779B1 in
+    h lxor (h lsr 29)
+  in
+  let h =
+    mix (mix 0x69737321 (word flow.Packet.Flow.local))
+      (word flow.Packet.Flow.remote)
+  in
+  Int32.of_int (h land 0x3FFFFFFF)
 
 let transmit t segment flow =
   t.outbox <- segment :: t.outbox;
@@ -182,7 +223,7 @@ let listen t ~port ~on_data = Conn_table.listen t.table ~port { on_data }
 let connect t ~local_port ~remote =
   let local = Packet.Flow.endpoint t.local_addr local_port in
   let flow = Packet.Flow.v ~local ~remote in
-  let iss = fresh_iss t in
+  let iss = fresh_iss t flow in
   let conn =
     { flow; state = State.Syn_sent; snd_nxt = Int32.add iss 1l;
       rcv_nxt = 0l; snd_una = iss; bytes_in = 0; bytes_out = 0; unacked = [];
@@ -242,6 +283,58 @@ let maybe_arm_time_wait t conn =
     in
     Demux.Flow_table.replace t.time_wait_timers conn.flow timer
   end
+
+(* ------------------------------------------------------------------ *)
+(* Flow migration (shared-nothing handoff between per-core stacks)     *)
+
+let extract_connection t flow =
+  (* Removal goes through the registry's unmetered maintenance path
+     (note_remove accounting, no examined charges) — the same table op
+     a protocol close performs. *)
+  match (Conn_table.demux t.table).Demux.Registry.remove flow with
+  | None -> None
+  | Some pcb ->
+    let conn = pcb.Demux.Pcb.data in
+    (match Demux.Flow_table.find_opt t.time_wait_timers flow with
+    | Some timer ->
+      ignore (Timer_wheel.cancel t.wheel timer);
+      Demux.Flow_table.remove t.time_wait_timers flow
+    | None -> ());
+    (* Ship a fresh record and neutralize the original.  Pending wheel
+       entries (RTO, delayed ack) still reference the original, and
+       every timer path is a no-op on a Closed connection with an
+       empty retransmission queue — so no timer on this stack can ever
+       touch state that now lives on another domain. *)
+    let copy =
+      { flow = conn.flow; state = conn.state; snd_nxt = conn.snd_nxt;
+        rcv_nxt = conn.rcv_nxt; snd_una = conn.snd_una;
+        bytes_in = conn.bytes_in; bytes_out = conn.bytes_out;
+        unacked = conn.unacked; ack_pending = conn.ack_pending }
+    in
+    conn.state <- State.Closed;
+    conn.unacked <- [];
+    conn.ack_pending <- false;
+    Some copy
+
+let adopt_connection t conn =
+  if
+    not
+      (Packet.Ipv4.equal_addr conn.flow.Packet.Flow.local.Packet.Flow.addr
+         t.local_addr)
+  then invalid_arg "Stack.adopt_connection: flow is not addressed to this host";
+  if State.equal conn.state State.Closed then
+    invalid_arg "Stack.adopt_connection: connection is closed";
+  ignore (Conn_table.add_connection t.table conn.flow conn);
+  maybe_arm_time_wait t conn;
+  (* Anything still unacknowledged gets a fresh first-attempt RTO on
+     this stack's wheel (attempt 1 never consumes a jitter draw, so
+     adoption stays deterministic). *)
+  List.iter
+    (fun (seq, _) ->
+      ignore
+        (Timer_wheel.schedule t.wheel ~delay:(rto_for_attempt t 1)
+           (Retransmit (conn, seq, 1))))
+    conn.unacked
 
 (* Retransmission bookkeeping.  An arriving ACK advances snd_una and
    releases fully acknowledged segments from the queue; an expired RTO
@@ -322,6 +415,10 @@ let connection_of_flow t flow =
       if Packet.Flow.equal pcb.Demux.Pcb.flow flow then
         found := Some pcb.Demux.Pcb.data);
   !found
+
+let iter_connections t f =
+  (Conn_table.demux t.table).Demux.Registry.iter (fun pcb ->
+      f pcb.Demux.Pcb.data)
 
 let connection_count t = Conn_table.connections t.table
 let demux_stats t = (Conn_table.demux t.table).Demux.Registry.stats
@@ -454,7 +551,13 @@ let handle_connection t conn (segment : Packet.Segment.t) =
       then begin
         ignore (apply_transition conn State.Rcv_ack);
         (* The handshake ACK may carry data. *)
-        handle_established t conn segment
+        handle_established t conn segment;
+        (* Accept completion: the passive open reached a synchronized
+           state.  Fired after the piggybacked data is delivered, so a
+           hook that migrates the connection sees settled state. *)
+        match t.on_established with
+        | Some hook -> hook t conn
+        | None -> ()
       end
     | State.Established | State.Close_wait -> handle_established t conn segment
     | State.Fin_wait_1 | State.Fin_wait_2 | State.Closing | State.Last_ack
@@ -463,7 +566,7 @@ let handle_connection t conn (segment : Packet.Segment.t) =
     | State.Closed | State.Listen -> ()
 
 let accept t flow (tcp : Packet.Tcp_header.t) =
-  let iss = fresh_iss t in
+  let iss = fresh_iss t flow in
   let conn =
     { flow; state = State.Syn_received;
       snd_nxt = Int32.add iss 1l;
@@ -505,13 +608,26 @@ let handle_segment t (segment : Packet.Segment.t) =
   | Reject ->
     note_overload_drop t Reject
       (String.length segment.Packet.Segment.payload)
-  | tier -> (
+  | tier ->
     let tcp = segment.Packet.Segment.tcp in
     let flags = tcp.Packet.Tcp_header.flags in
     let flow = Packet.Segment.flow segment in
     let kind = classify_kind tcp segment.Packet.Segment.payload in
     let payload_len = String.length segment.Packet.Segment.payload in
-    match Conn_table.lookup t.table ~kind flow with
+    let timing = t.stage_demux <> None || t.stage_state <> None in
+    let demux_t0 = if timing then Obs.Clock.now_ns () else 0 in
+    let result = Conn_table.lookup t.table ~kind flow in
+    let state_t0 =
+      if not timing then 0
+      else begin
+        let now = Obs.Clock.now_ns () in
+        (match t.stage_demux with
+        | Some h -> Obs.Histogram.record h (now - demux_t0)
+        | None -> ());
+        now
+      end
+    in
+    (match result with
     | Conn_table.Connection pcb ->
       let conn = pcb.Demux.Pcb.data in
       handle_connection t conn segment;
@@ -527,7 +643,10 @@ let handle_segment t (segment : Packet.Segment.t) =
       if tier = Drop_batches then note_overload_drop t Drop_batches payload_len
       else if not flags.Packet.Tcp_header.rst then
         emit_rst t ~flow ~seq:0l
-          ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l))
+          ~ack_number:(Int32.add tcp.Packet.Tcp_header.seq 1l));
+    match t.stage_state with
+    | Some h -> Obs.Histogram.record h (Obs.Clock.now_ns () - state_t0)
+    | None -> ()
 
 (* Attacker-controlled bytes: never raise.  Anything that cannot be
    processed is shed and attributed to a named counter. *)
@@ -539,7 +658,14 @@ let handle_bytes t buf =
     note_overload_drop t Reject (Bytes.length buf);
     Error "stack: overloaded; datagram rejected"
   | Normal | Shed_new_flows | Drop_batches -> (
-  match Packet.Segment.parse buf ~off:0 with
+  let parse_t0 =
+    match t.stage_parse with None -> 0 | Some _ -> Obs.Clock.now_ns ()
+  in
+  let parsed = Packet.Segment.parse buf ~off:0 in
+  (match t.stage_parse with
+  | Some h -> Obs.Histogram.record h (Obs.Clock.now_ns () - parse_t0)
+  | None -> ());
+  match parsed with
   | Error reason ->
     t.drops.parse_error <- t.drops.parse_error + 1;
     Obs.Trace.record t.tracer Obs.Trace.Drop 0 (Bytes.length buf);

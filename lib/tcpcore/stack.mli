@@ -39,6 +39,7 @@ val create :
   ?retransmit_timeout:float -> ?max_retransmits:int ->
   ?rto_jitter:bool -> ?rto_seed:int ->
   ?delayed_acks:bool -> ?delayed_ack_timeout:float ->
+  ?iss:(Packet.Flow.t -> int32) ->
   local_addr:Packet.Ipv4.addr -> unit -> t
 (** A host at [local_addr].  Default demultiplexer: the Sequent
     algorithm with 19 chains.  [time_wait_timeout] is the 2MSL reaping
@@ -59,7 +60,18 @@ val create :
     [delayed_ack_timeout] (default 200 ms, fired by
     {!advance_clock}), or piggybacked on outbound data — the
     mechanism the paper's footnote 2 appeals to.
+    [iss] overrides initial-sequence-number assignment with a per-flow
+    function (see {!deterministic_iss}); by default each open draws
+    from a per-stack counter, which makes ISS depend on accept order.
     @raise Invalid_argument on non-positive timeouts. *)
+
+val deterministic_iss : Packet.Flow.t -> int32
+(** A fixed mix of the 4-tuple (RFC 6528 minus the secret and clock):
+    with [~iss:deterministic_iss], a connection's sequence state no
+    longer depends on the order the stack accepted its neighbours, so
+    N per-core stacks accepting the same flows in any interleaving
+    produce bit-identical [snd_*] fields — what the cross-core
+    lockstep tests compare. *)
 
 val rto_for_attempt : t -> int -> float
 (** The delay armed before retransmission attempt [n >= 1] (attempt 1
@@ -140,6 +152,19 @@ val set_overload_probe : t -> (unit -> overload_tier) -> unit
 val drop_reason_of_code : int -> string option
 (** Decode a traced [Drop] event's payload [a] back to its reason. *)
 
+val set_stage_histograms :
+  t ->
+  parse:Obs.Histogram.t option ->
+  demux:Obs.Histogram.t option ->
+  state:Obs.Histogram.t option ->
+  unit
+(** Attach per-stage latency histograms (nanoseconds): [parse] times
+    {!Packet.Segment.parse} inside {!handle_bytes}, [demux] the
+    metered PCB lookup inside {!handle_segment}, [state] the rest of
+    segment processing (state machine + reply emission).  All three
+    default to detached, in which case the receive path never reads
+    the clock. *)
+
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Attach a tracer to both the stack ([Drop] events, payload: reason
     code and datagram length) and its demultiplexer's
@@ -181,6 +206,44 @@ val retransmissions : t -> int
 
 val connection_of_flow : t -> Packet.Flow.t -> connection option
 (** Uncharged lookup for applications that track their peers. *)
+
+val iter_connections : t -> (connection -> unit) -> unit
+(** Visit every resident connection (unmetered maintenance view), in
+    no particular order. *)
+
+(** {1 Flow migration}
+
+    The shared-nothing handoff primitive: a listener core completes
+    the handshake, {!extract_connection} detaches the connection from
+    its table and timers, the connection record travels to the owning
+    core (over an SPSC ring in {!Parallel.Smp}), and
+    {!adopt_connection} installs it there.  Extraction ships a {e
+    fresh} record and neutralizes the original (Closed, empty
+    retransmission queue), so timers still pending on the old core's
+    wheel can never touch state that now lives on another domain. *)
+
+val set_on_established : t -> (t -> connection -> unit) option -> unit
+(** Hook fired when a {e passive} open completes its handshake (the
+    ACK of our SYN-ACK arrives), after any piggybacked data has been
+    delivered.  This is where a steering layer decides whether to
+    migrate the accepted connection to another core.  The hook runs
+    inside segment processing: it must not reenter the stack for this
+    segment (defer table mutations to after {!handle_bytes} returns). *)
+
+val extract_connection : t -> Packet.Flow.t -> connection option
+(** Detach the connection for handoff: remove it from the demux table
+    (unmetered maintenance removal, counted as a remove in
+    {!demux_stats}), cancel its 2MSL timer if armed, and return a
+    fresh copy of the record; the original is closed and emptied so
+    pending RTO / delayed-ack timers on this stack fire as no-ops.
+    [None] if the flow is not resident. *)
+
+val adopt_connection : t -> connection -> unit
+(** Install an extracted connection into this stack: demux-table
+    insert (counted), re-arm 2MSL if the connection is in TIME-WAIT
+    and a first-attempt RTO for each still-unacknowledged segment.
+    @raise Invalid_argument if the connection is [Closed] or its local
+    address is not this stack's. *)
 
 val connection_count : t -> int
 val demux_stats : t -> Demux.Lookup_stats.t

@@ -13,6 +13,7 @@ type 'a t = {
   mutable next_id : int;
   mutable live : int;
   by_id : (int, 'a entry) Hashtbl.t;
+  mutable owner : int option;  (* domain that claimed the wheel *)
 }
 
 type timer = int
@@ -21,14 +22,35 @@ let create ?(slot_count = 256) ~tick () =
   if tick <= 0.0 then invalid_arg "Timer_wheel.create: tick <= 0";
   if slot_count <= 0 then invalid_arg "Timer_wheel.create: slot_count <= 0";
   { slots = Array.make slot_count []; tick; clock = 0.0; cursor = 0;
-    next_id = 0; live = 0; by_id = Hashtbl.create 64 }
+    next_id = 0; live = 0; by_id = Hashtbl.create 64; owner = None }
 
 let now t = t.clock
+
+let owner t = t.owner
+
+(* Single-domain ownership: the first mutating operation claims the
+   wheel for the calling domain; any later mutation from a different
+   domain is a steering bug upstream (a connection's timers being
+   driven from a core that does not own its stack) and must fail loudly
+   — the silent alternative is two domains concurrently rewriting the
+   same slot lists. *)
+let claim t op =
+  let self = (Domain.self () :> int) in
+  match t.owner with
+  | None -> t.owner <- Some self
+  | Some id when id = self -> ()
+  | Some id ->
+    invalid_arg
+      (Printf.sprintf
+         "Timer_wheel.%s: wheel is owned by domain %d but was called \
+          from domain %d (mis-steered timer)"
+         op id self)
 
 let slot_of t deadline =
   int_of_float (Float.floor (deadline /. t.tick)) mod Array.length t.slots
 
 let schedule t ~delay payload =
+  claim t "schedule";
   if Float.is_nan delay || delay < 0.0 then
     invalid_arg "Timer_wheel.schedule: negative or NaN delay";
   let deadline = t.clock +. delay in
@@ -41,6 +63,7 @@ let schedule t ~delay payload =
   entry.id
 
 let cancel t id =
+  claim t "cancel";
   match Hashtbl.find_opt t.by_id id with
   | Some entry when not entry.cancelled ->
     entry.cancelled <- true;
@@ -50,6 +73,7 @@ let cancel t id =
   | Some _ | None -> false
 
 let advance t ~now =
+  claim t "advance";
   if Float.is_nan now || now < t.clock then
     invalid_arg "Timer_wheel.advance: clock cannot move backwards";
   let slot_count = Array.length t.slots in

@@ -244,6 +244,48 @@ let cuckoo_kick () =
   in
   Check.Op.v ~label:"cuckoo-kick" ~seed:29 (Array.of_list ops)
 
+(* The flow-migration oracle trace, pinned for Check.Smp_trace: twelve
+   connection histories whose lowering drives Parallel.Smp's handoff
+   machinery through every leg.  Each flow opens (I), streams data (L)
+   with pure-ack noise (A), and every even flow closes through the
+   protocol path (R -> server TIME-WAIT) and then retransmits its FIN
+   (S) — the TIME-WAIT resurrection probe.  The first six flows are
+   contiguous, so each handshake is chased immediately by its own data
+   while the accept-hook redirect is still in flight (stragglers the
+   listener core must forward); the last six are round-robin
+   interleaved, so redirected segments race the Forward_done barrier on
+   the adoptive cores (arrivals the new owner must buffer). *)
+let smp_migrate () =
+  let flow i = Sim.Topology.flow_of_client (300 + i) in
+  let per k =
+    let f = flow k in
+    [ op Check.Op.Insert f ]
+    @ List.init (2 + (k mod 3)) (fun _ -> op Check.Op.Lookup f)
+    @ [ op Check.Op.Ack_lookup f; op Check.Op.Lookup f ]
+    @ (if k mod 2 = 0 then
+         [ op Check.Op.Remove f; op Check.Op.Send f ]
+         @ (if k mod 4 = 0 then [ op Check.Op.Ack_lookup f ] else [])
+       else [])
+  in
+  let head = List.concat (List.init 6 per) in
+  let queues = Array.init 6 (fun k -> per (6 + k)) in
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    Array.iteri
+      (fun i q ->
+        match q with
+        | [] -> ()
+        | x :: rest ->
+          queues.(i) <- rest;
+          acc := x :: !acc;
+          continue := true)
+      queues
+  done;
+  Check.Op.v ~label:"smp-migrate" ~seed:31
+    (Array.of_list (head @ List.rev !acc))
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
   let save name program =
@@ -257,6 +299,7 @@ let () =
   save "epoch-reclaim" (epoch_reclaim ());
   save "offheap-churn" (offheap_churn ());
   save "cuckoo-kick" (cuckoo_kick ());
+  save "smp-migrate" (smp_migrate ());
   save "boundary-tuples"
     (Check.Fuzz.generate ~label:"boundary-tuples" Check.Fuzz.Boundary ~seed:11
        ~pool:48 ~ops:300);

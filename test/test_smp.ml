@@ -1,0 +1,382 @@
+(* Cross-core lockstep tests for the shared-nothing per-core pipeline
+   (Parallel.Smp): an N-domain run over a sharded segment trace must
+   reproduce a single-domain run exactly — final connection states,
+   drop counters and merged lookup statistics — including runs where
+   accepted connections migrate off the listener core mid-trace. *)
+
+let server = Sim.Topology.server
+
+let workload ?(clients = 48) ?(requests = 5) ?(close_after = false)
+    ?(interleave = Sim.Segment_workload.Shuffled) () =
+  Sim.Segment_workload.generate
+    (Sim.Segment_workload.config ~clients ~requests_per_client:requests
+       ~close_after ~interleave ())
+
+let smp ?ring_capacity ?demux ?steering ?migrate ?migrate_target ?pressure
+    ?on_pressure ?stall ?stages domains trace =
+  Parallel.Smp.run
+    (Parallel.Smp.config ?ring_capacity ?demux ?steering ?migrate
+       ?migrate_target ?pressure ?on_pressure ?stall ?stages ~domains
+       ~local_addr:server.Packet.Flow.addr ())
+    trace.Sim.Segment_workload.datagrams
+
+let check_no_violations label r =
+  Alcotest.(check (list string)) (label ^ ": conservation") []
+    (Parallel.Smp.violations r)
+
+let summaries (r : Parallel.Smp.result) =
+  List.map
+    (fun (c : Parallel.Smp.conn_summary) ->
+      ( Packet.Flow.to_string c.flow,
+        Tcpcore.State.to_string c.state,
+        c.bytes_in, c.bytes_out,
+        Int32.to_int c.snd_nxt, Int32.to_int c.rcv_nxt,
+        Int32.to_int c.snd_una ))
+    r.Parallel.Smp.connections
+
+let conn_testable =
+  Alcotest.(list (pair (pair string string) (pair (pair int int) (pair (pair int int) int))))
+
+let flat r =
+  List.map
+    (fun (a, b, c, d, e, f, g) -> ((a, b), ((c, d), ((e, f), g))))
+    (summaries r)
+
+let check_lockstep label single multi =
+  Alcotest.check conn_testable (label ^ ": connection states") (flat single)
+    (flat multi);
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": merged drop counters")
+    single.Parallel.Smp.merged_drops multi.Parallel.Smp.merged_drops;
+  Alcotest.(check bool)
+    (label ^ ": merged lookup stats")
+    true
+    (single.Parallel.Smp.merged_stats = multi.Parallel.Smp.merged_stats);
+  check_no_violations label single;
+  check_no_violations label multi
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep without migration                                          *)
+
+let test_lockstep_chain_affine () =
+  (* Chain-affine steering keeps every Sequent chain wholly on one
+     core, so even the content-dependent examined counts must agree
+     exactly with the single-domain run. *)
+  let trace = workload () in
+  let single = smp 1 trace and multi = smp 4 trace in
+  check_lockstep "chain-affine d1 vs d4" single multi;
+  Alcotest.(check int)
+    "every flow established" trace.Sim.Segment_workload.syns
+    (List.length multi.Parallel.Smp.connections);
+  List.iter
+    (fun (c : Parallel.Smp.conn_summary) ->
+      Alcotest.(check string)
+        "established" "ESTABLISHED"
+        (Tcpcore.State.to_string c.state);
+      Alcotest.(check int)
+        "bytes conserved" trace.Sim.Segment_workload.payload_bytes_per_flow
+        c.bytes_in)
+    multi.Parallel.Smp.connections;
+  (* More than one domain actually participated. *)
+  let active =
+    Array.fold_left
+      (fun n (d : Parallel.Smp.domain_result) ->
+        if d.processed > 0 then n + 1 else n)
+      0 multi.Parallel.Smp.per_domain
+  in
+  Alcotest.(check bool) "work spread across domains" true (active >= 3)
+
+let test_lockstep_close_after () =
+  (* Client FINs ride the trace: every connection must end Close_wait
+     on every sharding. *)
+  let trace = workload ~clients:24 ~requests:3 ~close_after:true () in
+  let single = smp 1 trace and multi = smp 3 trace in
+  check_lockstep "close d1 vs d3" single multi;
+  List.iter
+    (fun (c : Parallel.Smp.conn_summary) ->
+      Alcotest.(check string)
+        "close-wait" "CLOSE-WAIT"
+        (Tcpcore.State.to_string c.state))
+    multi.Parallel.Smp.connections
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep with flow migration                                        *)
+
+let conn_id = Demux.Registry.Conn_id { capacity = 4096 }
+
+let test_lockstep_migrate () =
+  (* All traffic lands on the listener core first; completed
+     handshakes migrate to domains 1..N-1.  The single-domain run
+     performs the same extract+adopt as a self-handoff, so table op
+     counts and lookup stats still match exactly. *)
+  let trace =
+    workload ~clients:36 ~requests:5
+      ~interleave:Sim.Segment_workload.Round_robin ()
+  in
+  let single = smp ~demux:conn_id ~migrate:true 1 trace in
+  let multi = smp ~demux:conn_id ~migrate:true 3 trace in
+  check_lockstep "migrate d1 vs d3" single multi;
+  Alcotest.(check int) "d1: every handoff is a self-handoff" 36
+    single.Parallel.Smp.self_handoffs;
+  Alcotest.(check int) "d1: no cross-core handoffs" 0
+    single.Parallel.Smp.handoffs;
+  Alcotest.(check int) "d3: every flow migrated" 36
+    multi.Parallel.Smp.handoffs;
+  Alcotest.(check int) "d3: listener core retains nothing" 0
+    multi.Parallel.Smp.per_domain.(0).Parallel.Smp.connections;
+  Alcotest.(check int) "d3: adoptions match handoffs" 36
+    (multi.Parallel.Smp.per_domain.(1).Parallel.Smp.adopted
+    + multi.Parallel.Smp.per_domain.(2).Parallel.Smp.adopted);
+  Alcotest.(check bool) "d3: both adopting cores used" true
+    (multi.Parallel.Smp.per_domain.(1).Parallel.Smp.adopted > 0
+    && multi.Parallel.Smp.per_domain.(2).Parallel.Smp.adopted > 0)
+
+let test_migrate_shuffled_conservation () =
+  (* A seeded random interleave maximizes stragglers: data segments
+     race the handshake-completing ACK into ring 0 and must be
+     forwarded, never lost or double-processed. *)
+  let trace =
+    workload ~clients:40 ~requests:6 ~close_after:true
+      ~interleave:Sim.Segment_workload.Shuffled ()
+  in
+  let single = smp ~demux:conn_id ~migrate:true 1 trace in
+  let multi = smp ~demux:conn_id ~migrate:true 4 trace in
+  check_lockstep "shuffled migrate d1 vs d4" single multi;
+  let m = multi.Parallel.Smp.per_domain in
+  Array.iter
+    (fun (d : Parallel.Smp.domain_result) ->
+      Alcotest.(check int)
+        (Printf.sprintf "d%d: no unclassified datagrams" d.index)
+        0 d.unclassified;
+      Alcotest.(check int)
+        (Printf.sprintf "d%d: no stranded buffers" d.index)
+        0 d.leftover)
+    m;
+  Alcotest.(check int) "handoff accounting exact" 40
+    multi.Parallel.Smp.flushes
+
+let test_migrate_fixed_target () =
+  (* Pinning the target puts every accepted flow on one core. *)
+  let trace = workload ~clients:12 ~requests:2 () in
+  let r = smp ~demux:conn_id ~migrate:true ~migrate_target:2 3 trace in
+  check_no_violations "fixed target" r;
+  Alcotest.(check int) "all adopted by domain 2" 12
+    r.Parallel.Smp.per_domain.(2).Parallel.Smp.adopted;
+  Alcotest.(check int) "domain 2 owns every connection" 12
+    r.Parallel.Smp.per_domain.(2).Parallel.Smp.connections
+
+let test_migrate_corpus_oracle () =
+  (* The pinned migration trace: corpus/smp-migrate.prog lowered to
+     wire segments (Check.Smp_trace) and replayed through the full
+     migrating pipeline.  The oracle is exact handoff conservation —
+     offered = processed-at-old + forwarded + processed-at-new, no
+     datagram lost or double-processed — plus per-flow final states:
+     every Removed flow must be parked in TIME-WAIT on its adoptive
+     core, and the retransmitted-FIN probes must not resurrect it. *)
+  let prog =
+    match Check.Op.load "corpus/smp-migrate.prog" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "corpus load: %s" e
+  in
+  let low =
+    match Check.Smp_trace.lower prog with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "lowering: %s" e
+  in
+  let run domains =
+    Parallel.Smp.run
+      (Parallel.Smp.config ~demux:conn_id ~migrate:true
+         ~on_data:Check.Smp_trace.close_on_marker ~domains
+         ~local_addr:server.Packet.Flow.addr ())
+      low.Check.Smp_trace.datagrams
+  in
+  let single = run 1 and multi = run 3 in
+  check_lockstep "corpus d1 vs d3" single multi;
+  Alcotest.(check int) "every datagram accounted"
+    (Array.length low.Check.Smp_trace.datagrams)
+    multi.Parallel.Smp.total;
+  Alcotest.(check int) "exactly one connection per opened flow"
+    low.Check.Smp_trace.opened
+    (List.length multi.Parallel.Smp.connections);
+  Alcotest.(check int) "every accepted flow handed off"
+    low.Check.Smp_trace.opened multi.Parallel.Smp.handoffs;
+  List.iter
+    (fun (e : Check.Smp_trace.expectation) ->
+      match
+        List.find_opt
+          (fun (c : Parallel.Smp.conn_summary) ->
+            Packet.Flow.equal c.flow e.flow)
+          multi.Parallel.Smp.connections
+      with
+      | None ->
+        Alcotest.failf "flow %s has no connection"
+          (Packet.Flow.to_string e.flow)
+      | Some c ->
+        Alcotest.(check string)
+          (Packet.Flow.to_string e.flow ^ ": final state")
+          (Tcpcore.State.to_string e.Check.Smp_trace.state)
+          (Tcpcore.State.to_string c.state);
+        Alcotest.(check int)
+          (Packet.Flow.to_string e.flow ^ ": bytes delivered")
+          e.Check.Smp_trace.bytes_in c.bytes_in)
+    low.Check.Smp_trace.expectations;
+  let time_waits =
+    List.length
+      (List.filter
+         (fun (c : Parallel.Smp.conn_summary) ->
+           Tcpcore.State.equal c.state Tcpcore.State.Time_wait)
+         multi.Parallel.Smp.connections)
+  in
+  Alcotest.(check int) "no TIME-WAIT resurrection"
+    low.Check.Smp_trace.closed time_waits;
+  Alcotest.(check bool) "resurrection probes actually fired" true
+    (low.Check.Smp_trace.probes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pressure under the SMP pipeline                                     *)
+
+let test_pressure_forced_local_shed () =
+  (* Forcing one domain's controller to Shed_new_flows must refuse
+     exactly that domain's SYNs and leave siblings untouched: the
+     controllers are per-domain, nothing is shared. *)
+  let trace = workload ~clients:30 ~requests:2 () in
+  let r =
+    smp
+      ~pressure:(Parallel.Pressure.config ())
+      ~on_pressure:(fun cs ->
+        Parallel.Pressure.force cs.(1) Parallel.Pressure.Shed_new_flows)
+      3 trace
+  in
+  check_no_violations "forced shed" r;
+  let d0 = r.Parallel.Smp.per_domain.(0)
+  and d1 = r.Parallel.Smp.per_domain.(1)
+  and d2 = r.Parallel.Smp.per_domain.(2) in
+  let shed (d : Parallel.Smp.domain_result) =
+    match List.assoc_opt "overload-shed-new-flow" d.drops with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "stalled domain sheds its SYNs" true (shed d1 > 0);
+  Alcotest.(check int) "domain 0 sheds nothing" 0 (shed d0);
+  Alcotest.(check int) "domain 2 sheds nothing" 0 (shed d2);
+  Alcotest.(check int) "no connections on the degraded domain" 0
+    d1.Parallel.Smp.connections;
+  Alcotest.(check int) "siblings keep full service" 30
+    (d0.Parallel.Smp.connections + d1.Parallel.Smp.connections
+    + d2.Parallel.Smp.connections + shed d1)
+
+let test_pressure_forced_reject () =
+  (* Reject refuses a domain's datagrams at the dispatcher; the ledger
+     must attribute every one of them. *)
+  let trace = workload ~clients:30 ~requests:2 () in
+  let r =
+    smp
+      ~pressure:(Parallel.Pressure.config ())
+      ~on_pressure:(fun cs ->
+        Parallel.Pressure.force cs.(2) Parallel.Pressure.Reject)
+      3 trace
+  in
+  check_no_violations "forced reject" r;
+  let d2 = r.Parallel.Smp.per_domain.(2) in
+  Alcotest.(check bool) "datagrams were refused" true
+    (d2.Parallel.Smp.rejected > 0);
+  Alcotest.(check int) "nothing reached the refused ring" 0
+    d2.Parallel.Smp.steered;
+  Alcotest.(check int) "pressure ledger matches dispatcher ledger"
+    d2.Parallel.Smp.rejected
+    (match List.assoc_opt "reject" d2.Parallel.Smp.pressure_counters with
+    | Some n -> n
+    | None -> -1)
+
+let test_pressure_organic_stall () =
+  (* A genuinely slow core: its ring stays hot, its controller trips
+     Shed_new_flows on its own observations, and the ledger still
+     reconciles exactly. *)
+  let trace =
+    workload ~clients:45 ~requests:4
+      ~interleave:Sim.Segment_workload.Round_robin ()
+  in
+  let r =
+    smp ~ring_capacity:16
+      ~pressure:
+        (Parallel.Pressure.config ~ring_high_pct:75 ~ring_low_pct:25 ~trip:4
+           ~hold:1000 ())
+      ~stall:(1, 400_000) 3 trace
+  in
+  check_no_violations "organic stall" r;
+  let d1 = r.Parallel.Smp.per_domain.(1) in
+  let entered tier (d : Parallel.Smp.domain_result) =
+    match List.assoc_opt tier d.Parallel.Smp.tier_transitions with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "stalled domain tripped" true
+    (entered "shed-new-flows" d1 > 0);
+  Array.iter
+    (fun (d : Parallel.Smp.domain_result) ->
+      Alcotest.(check int)
+        (Printf.sprintf "d%d: dispatcher drops = pressure drops" d.index)
+        d.Parallel.Smp.dropped_full
+        (match List.assoc_opt "drop-batches" d.Parallel.Smp.pressure_counters with
+        | Some n -> n
+        | None -> -1);
+      Alcotest.(check int)
+        (Printf.sprintf "d%d: dispatcher rejects = pressure rejects" d.index)
+        d.Parallel.Smp.rejected
+        (match List.assoc_opt "reject" d.Parallel.Smp.pressure_counters with
+        | Some n -> n
+        | None -> -1))
+    r.Parallel.Smp.per_domain
+
+(* ------------------------------------------------------------------ *)
+(* Stage instrumentation                                               *)
+
+let test_stage_breakdown () =
+  let trace = workload ~clients:20 ~requests:3 () in
+  let r = smp ~stages:true 2 trace in
+  check_no_violations "stages" r;
+  let total = trace.Sim.Segment_workload.datagrams |> Array.length in
+  let stage name =
+    match List.assoc_opt name r.Parallel.Smp.stages with
+    | Some h -> h
+    | None -> Alcotest.failf "missing stage %s" name
+  in
+  Alcotest.(check int) "every datagram steered" total
+    (Obs.Histogram.count (stage "steer"));
+  Alcotest.(check int) "every datagram enqueued" total
+    (Obs.Histogram.count (stage "enqueue"));
+  Alcotest.(check int) "every datagram parsed" total
+    (Obs.Histogram.count (stage "parse"));
+  Alcotest.(check int) "every segment demultiplexed" total
+    (Obs.Histogram.count (stage "demux"));
+  Alcotest.(check int) "every segment ran the state machine" total
+    (Obs.Histogram.count (stage "state"));
+  (* An un-instrumented run records nothing. *)
+  let bare = smp 2 trace in
+  Alcotest.(check int) "stages off by default" 0
+    (List.length bare.Parallel.Smp.stages)
+
+let () =
+  Alcotest.run "smp"
+    [ ( "lockstep",
+        [ Alcotest.test_case "chain-affine d1 = d4" `Quick
+            test_lockstep_chain_affine;
+          Alcotest.test_case "client FINs d1 = d3" `Quick
+            test_lockstep_close_after ] );
+      ( "migration",
+        [ Alcotest.test_case "migrate d1 = d3" `Quick test_lockstep_migrate;
+          Alcotest.test_case "shuffled stragglers conserved" `Quick
+            test_migrate_shuffled_conservation;
+          Alcotest.test_case "fixed target" `Quick test_migrate_fixed_target;
+          Alcotest.test_case "pinned corpus oracle" `Quick
+            test_migrate_corpus_oracle ] );
+      ( "pressure",
+        [ Alcotest.test_case "forced shed is local" `Quick
+            test_pressure_forced_local_shed;
+          Alcotest.test_case "forced reject ledger" `Quick
+            test_pressure_forced_reject;
+          Alcotest.test_case "organic stall trips locally" `Quick
+            test_pressure_organic_stall ] );
+      ( "stages",
+        [ Alcotest.test_case "per-stage histograms" `Quick
+            test_stage_breakdown ] ) ]

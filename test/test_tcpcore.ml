@@ -311,6 +311,60 @@ let test_wheel_validation () =
     (Invalid_argument "Timer_wheel.create: tick <= 0") (fun () ->
       ignore (Tcpcore.Timer_wheel.create ~tick:0.0 () : unit Tcpcore.Timer_wheel.t))
 
+let test_wheel_ownership () =
+  (* A wheel belongs to the first domain that schedules, cancels or
+     advances on it: a mis-steered timer operation from another domain
+     must raise instead of racing the owner's slot lists. *)
+  let wheel = Tcpcore.Timer_wheel.create ~tick:1.0 () in
+  Alcotest.(check bool) "unclaimed at creation" true
+    (Tcpcore.Timer_wheel.owner wheel = None);
+  ignore (Tcpcore.Timer_wheel.schedule wheel ~delay:1.0 "mine");
+  let self = (Domain.self () :> int) in
+  Alcotest.(check bool) "claimed by first use" true
+    (Tcpcore.Timer_wheel.owner wheel = Some self);
+  (* Same-domain use stays fine. *)
+  ignore (Tcpcore.Timer_wheel.advance wheel ~now:0.5);
+  let raised =
+    Domain.join
+      (Domain.spawn (fun () ->
+           try
+             ignore (Tcpcore.Timer_wheel.advance wheel ~now:2.0);
+             None
+           with Invalid_argument msg -> Some msg))
+  in
+  (match raised with
+  | Some msg ->
+    Alcotest.(check bool) "names the operation and both domains" true
+      (String.length msg > 0
+      && String.sub msg 0 24 = "Timer_wheel.advance: whe")
+  | None -> Alcotest.fail "cross-domain advance did not raise");
+  (* The owner is unaffected by the stranger's failed call. *)
+  Alcotest.(check int) "still one pending" 1
+    (Tcpcore.Timer_wheel.pending wheel);
+  Alcotest.(check (list string)) "owner still advances" [ "mine" ]
+    (List.map snd (Tcpcore.Timer_wheel.advance wheel ~now:2.0))
+
+let test_wheel_owned_by_spawning_domain () =
+  (* A wheel first used inside a spawned domain belongs there — the
+     per-core stack pattern (Parallel.Smp creates each stack inside
+     its worker domain). *)
+  let wheel = Tcpcore.Timer_wheel.create ~tick:1.0 () in
+  let worker_id, timer =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let timer = Tcpcore.Timer_wheel.schedule wheel ~delay:1.0 () in
+           ((Domain.self () :> int), timer)))
+  in
+  Alcotest.(check bool) "owned by the worker" true
+    (Tcpcore.Timer_wheel.owner wheel = Some worker_id);
+  Alcotest.check_raises "main domain is now a stranger"
+    (Invalid_argument
+       (Printf.sprintf
+          "Timer_wheel.cancel: wheel is owned by domain %d but was called \
+           from domain %d (mis-steered timer)" worker_id
+          ((Domain.self () :> int))))
+    (fun () -> ignore (Tcpcore.Timer_wheel.cancel wheel timer))
+
 let prop_wheel_fires_everything =
   QCheck.Test.make ~count:200 ~name:"wheel fires every uncancelled timer once"
     QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0.0 500.0))
@@ -1042,5 +1096,8 @@ let () =
             test_wheel_multi_revolution_delay;
           Alcotest.test_case "boundary landing" `Quick
             test_wheel_boundary_landing;
-          Alcotest.test_case "validation" `Quick test_wheel_validation ] );
+          Alcotest.test_case "validation" `Quick test_wheel_validation;
+          Alcotest.test_case "domain ownership" `Quick test_wheel_ownership;
+          Alcotest.test_case "ownership follows first use" `Quick
+            test_wheel_owned_by_spawning_domain ] );
       ("properties", qcheck_cases) ]
